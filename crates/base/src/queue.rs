@@ -1,0 +1,247 @@
+//! A fixed-capacity circular queue used to model hardware FIFOs.
+//!
+//! The ROB, load queue, store queue, and write buffer are all bounded FIFOs
+//! whose fullness is architecturally visible (a full ROB stalls rename; a
+//! full write buffer blocks retirement and matters for the deadlock-freedom
+//! argument of Section 5.1.2). [`CircQueue`] makes the bound explicit and
+//! rejects pushes beyond capacity instead of silently growing.
+
+/// A bounded FIFO queue over a ring buffer.
+///
+/// Unlike `VecDeque`, pushing into a full `CircQueue` fails (returning the
+/// rejected element) rather than reallocating — matching how hardware
+/// structures behave.
+///
+/// # Examples
+///
+/// ```
+/// use pl_base::CircQueue;
+/// let mut q = CircQueue::new(2);
+/// assert!(q.push_back(1).is_ok());
+/// assert!(q.push_back(2).is_ok());
+/// assert_eq!(q.push_back(3), Err(3));
+/// assert_eq!(q.pop_front(), Some(1));
+/// assert_eq!(q.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircQueue<T> {
+    items: std::collections::VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> CircQueue<T> {
+    /// Creates an empty queue with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero; hardware queues always have at least
+    /// one entry.
+    pub fn new(capacity: usize) -> CircQueue<T> {
+        assert!(capacity > 0, "hardware queue capacity must be nonzero");
+        CircQueue {
+            items: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Returns the fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if no entries are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Returns `true` if every entry is occupied.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Returns the number of free entries.
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Appends an element at the tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` if the queue is full, handing the element back
+    /// to the caller.
+    pub fn push_back(&mut self, value: T) -> Result<(), T> {
+        if self.is_full() {
+            Err(value)
+        } else {
+            self.items.push_back(value);
+            Ok(())
+        }
+    }
+
+    /// Removes and returns the head element, or `None` if empty.
+    pub fn pop_front(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Returns a reference to the head element, or `None` if empty.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Returns a mutable reference to the head element, or `None` if empty.
+    pub fn front_mut(&mut self) -> Option<&mut T> {
+        self.items.front_mut()
+    }
+
+    /// Returns a reference to the tail element, or `None` if empty.
+    pub fn back(&self) -> Option<&T> {
+        self.items.back()
+    }
+
+    /// Returns a mutable reference to the tail element, or `None` if empty.
+    pub fn back_mut(&mut self) -> Option<&mut T> {
+        self.items.back_mut()
+    }
+
+    /// Removes and returns the tail element, or `None` if empty.
+    ///
+    /// Used when squashing: the youngest entries are discarded first.
+    pub fn pop_back(&mut self) -> Option<T> {
+        self.items.pop_back()
+    }
+
+    /// Returns a reference to the element at `index` (0 is the head).
+    pub fn get(&self, index: usize) -> Option<&T> {
+        self.items.get(index)
+    }
+
+    /// Returns a mutable reference to the element at `index` (0 is the
+    /// head).
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut T> {
+        self.items.get_mut(index)
+    }
+
+    /// Iterates from head (oldest) to tail (youngest). The iterator is
+    /// double-ended, so `.rev()` walks youngest-first (the order used by
+    /// store-to-load forwarding).
+    pub fn iter(&self) -> std::collections::vec_deque::Iter<'_, T> {
+        self.items.iter()
+    }
+
+    /// Iterates mutably from head (oldest) to tail (youngest).
+    pub fn iter_mut(&mut self) -> std::collections::vec_deque::IterMut<'_, T> {
+        self.items.iter_mut()
+    }
+
+    /// Removes all entries for which `keep` returns `false`, preserving
+    /// order. Returns the number removed.
+    ///
+    /// Used for selective squashes that discard every entry younger than a
+    /// given sequence number.
+    pub fn retain<F: FnMut(&T) -> bool>(&mut self, mut keep: F) -> usize {
+        let before = self.items.len();
+        self.items.retain(|x| keep(x));
+        before - self.items.len()
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+impl<'a, T> IntoIterator for &'a CircQueue<T> {
+    type Item = &'a T;
+    type IntoIter = std::collections::vec_deque::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _: CircQueue<u8> = CircQueue::new(0);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = CircQueue::new(4);
+        for i in 0..4 {
+            q.push_back(i).unwrap();
+        }
+        assert!(q.is_full());
+        assert_eq!(q.free(), 0);
+        for i in 0..4 {
+            assert_eq!(q.pop_front(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_to_full_returns_value() {
+        let mut q = CircQueue::new(1);
+        q.push_back("a").unwrap();
+        assert_eq!(q.push_back("b"), Err("b"));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn front_back_accessors() {
+        let mut q = CircQueue::new(3);
+        q.push_back(10).unwrap();
+        q.push_back(20).unwrap();
+        assert_eq!(q.front(), Some(&10));
+        assert_eq!(q.back(), Some(&20));
+        *q.front_mut().unwrap() += 1;
+        *q.back_mut().unwrap() += 1;
+        assert_eq!(q.pop_front(), Some(11));
+        assert_eq!(q.pop_back(), Some(21));
+        assert_eq!(q.pop_back(), None);
+    }
+
+    #[test]
+    fn retain_squashes_young_entries() {
+        let mut q = CircQueue::new(8);
+        for i in 0..8 {
+            q.push_back(i).unwrap();
+        }
+        let removed = q.retain(|&x| x < 5);
+        assert_eq!(removed, 3);
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.back(), Some(&4));
+    }
+
+    #[test]
+    fn indexed_access_and_iteration() {
+        let mut q = CircQueue::new(4);
+        q.push_back(1).unwrap();
+        q.push_back(2).unwrap();
+        assert_eq!(q.get(0), Some(&1));
+        assert_eq!(q.get(2), None);
+        *q.get_mut(1).unwrap() = 5;
+        let collected: Vec<_> = q.iter().copied().collect();
+        assert_eq!(collected, vec![1, 5]);
+        let by_ref: Vec<_> = (&q).into_iter().copied().collect();
+        assert_eq!(by_ref, vec![1, 5]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = CircQueue::new(2);
+        q.push_back(1).unwrap();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), 2);
+    }
+}

@@ -1,0 +1,325 @@
+//! Simulation statistics: counters and histograms.
+//!
+//! Every component (core stages, caches, directory, pinning governor)
+//! records into a [`Stats`] registry of named counters. The bench harnesses
+//! read these to produce the paper's tables: squash counts by cause drive
+//! Figures 1 and 9, retried writes drive Section 9.1.3, CST false positives
+//! drive Section 9.2.1, and CPT occupancy drives Section 9.2.2.
+
+use std::collections::BTreeMap;
+
+/// A registry of named monotonic counters and histograms.
+///
+/// Counter names are dotted paths like `"squash.mcv"` or
+/// `"l1.misses"`. Reading a counter that was never written returns zero, so
+/// report code never needs to special-case missing activity.
+///
+/// # Examples
+///
+/// ```
+/// use pl_base::Stats;
+/// let mut s = Stats::new();
+/// s.add("squash.mcv", 3);
+/// s.incr("squash.mcv");
+/// assert_eq!(s.get("squash.mcv"), 4);
+/// assert_eq!(s.get("never.touched"), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Stats {
+    /// Creates an empty registry.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero if needed.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Adds one to the counter `name`.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Returns the value of counter `name`, or zero if never written.
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records `value` into histogram `name`, creating it if needed.
+    pub fn sample(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Returns the histogram `name` if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates over `(name, value)` pairs in lexicographic name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates over counters whose name starts with `prefix`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pl_base::Stats;
+    /// let mut s = Stats::new();
+    /// s.add("squash.mcv", 1);
+    /// s.add("squash.branch", 2);
+    /// s.add("l1.hits", 3);
+    /// let squashes: u64 = s.iter_prefix("squash.").map(|(_, v)| v).sum();
+    /// assert_eq!(squashes, 3);
+    /// ```
+    pub fn iter_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a str, u64)> {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merges another registry into this one, summing counters and pooling
+    /// histogram samples. Used to aggregate per-core statistics.
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Removes every counter and histogram.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.counters.is_empty() && self.histograms.is_empty() {
+            return write!(f, "(no statistics recorded)");
+        }
+        for (k, v) in &self.counters {
+            writeln!(f, "{k} = {v}")?;
+        }
+        for (k, h) in &self.histograms {
+            writeln!(f, "{k}: {h}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A streaming histogram tracking count, sum, min, max, and mean.
+///
+/// # Examples
+///
+/// ```
+/// use pl_base::Histogram;
+/// let mut h = Histogram::new();
+/// h.record(2);
+/// h.record(4);
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.max(), Some(4));
+/// assert!((h.mean().unwrap() - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Pools another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+impl std::fmt::Display for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.mean() {
+            Some(mean) => write!(
+                f,
+                "n={} mean={:.2} min={} max={}",
+                self.count,
+                mean,
+                self.min.unwrap_or(0),
+                self.max.unwrap_or(0)
+            ),
+            None => write!(f, "n=0"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_default_to_zero() {
+        let s = Stats::new();
+        assert_eq!(s.get("anything"), 0);
+    }
+
+    #[test]
+    fn add_and_incr() {
+        let mut s = Stats::new();
+        s.add("a", 5);
+        s.incr("a");
+        s.add("a", 0);
+        assert_eq!(s.get("a"), 6);
+    }
+
+    #[test]
+    fn add_zero_creates_nothing() {
+        let mut s = Stats::new();
+        s.add("ghost", 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn prefix_iteration() {
+        let mut s = Stats::new();
+        s.add("squash.mcv", 1);
+        s.add("squash.branch", 2);
+        s.add("squashx", 99);
+        s.add("z", 1);
+        let names: Vec<_> = s.iter_prefix("squash.").map(|(k, _)| k.to_string()).collect();
+        assert_eq!(names, vec!["squash.branch", "squash.mcv"]);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms() {
+        let mut a = Stats::new();
+        a.add("x", 1);
+        a.sample("h", 10);
+        let mut b = Stats::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        b.sample("h", 20);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(20));
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        for v in [5, 1, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 15);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(9));
+        assert!((h.mean().unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_with_empty() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.min(), Some(7));
+        let empty = Histogram::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        let s = Stats::new();
+        assert!(!s.to_string().is_empty());
+        let mut s2 = Stats::new();
+        s2.add("k", 1);
+        s2.sample("h", 2);
+        let text = s2.to_string();
+        assert!(text.contains("k = 1"));
+        assert!(text.contains("n=1"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = Stats::new();
+        s.add("a", 1);
+        s.sample("h", 1);
+        s.clear();
+        assert_eq!(s.get("a"), 0);
+        assert!(s.histogram("h").is_none());
+    }
+}

@@ -1,0 +1,69 @@
+//! Figure 1: the cost of each Visibility-Point condition.
+//!
+//! A Fence-defended processor releases loads at four cumulative points —
+//! when no squash is possible due to branches (Ctrl Dep), + aliasing
+//! (Alias Dep), + exceptions (Exception), + memory consistency violations
+//! (MCV). The stacked difference between successive points attributes the
+//! overhead to each condition; the paper finds MCV dominant.
+//!
+//! Run with `cargo run --release -p pl-bench --bin fig1 [--scale ...] [--cores N]`.
+
+use pl_base::{geo_mean, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, ThreatModel};
+use pl_bench::{overhead_pct, print_banner, unsafe_cpis};
+use pl_machine::Machine;
+use pl_secure::VpMask;
+use pl_workloads::{parallel_suite, spec_suite, Scale, Workload};
+
+fn masked_geo_overhead(
+    base: &MachineConfig,
+    workloads: &[Workload],
+    baselines: &[f64],
+    mask: VpMask,
+) -> f64 {
+    let mut cfg = base.clone();
+    cfg.defense = DefenseScheme::Fence;
+    cfg.threat_model = ThreatModel::Comprehensive;
+    cfg.pinned_loads = PinnedLoadsConfig::with_mode(PinMode::Off);
+    let normalized: Vec<f64> = workloads
+        .iter()
+        .zip(baselines)
+        .map(|(w, &unsafe_cpi)| {
+            let mut m = Machine::new(&cfg).expect("valid config");
+            w.install(&mut m);
+            m.set_vp_mask(mask);
+            let res = m
+                .run(pl_bench::RUN_BUDGET)
+                .unwrap_or_else(|e| panic!("`{}` under {mask}: {e}", w.name));
+            res.cpi() / unsafe_cpi
+        })
+        .collect();
+    overhead_pct(geo_mean(&normalized).expect("positive CPIs"))
+}
+
+fn suite_breakdown(name: &str, base: &MachineConfig, workloads: &[Workload]) {
+    let baselines = unsafe_cpis(base, workloads);
+    println!("\n--- {name} ---");
+    let mut prev = 0.0;
+    for (label, mask) in VpMask::cumulative() {
+        let total = masked_geo_overhead(base, workloads, &baselines, mask);
+        println!(
+            "{label:<12} total {total:>7.1}%   (+{:>6.1}% attributable to this condition)",
+            total - prev
+        );
+        prev = total;
+    }
+}
+
+fn main() {
+    let (scale, cores) = pl_bench::parse_args();
+    let single = MachineConfig::default_single_core();
+    print_banner("Figure 1: VP-condition overhead breakdown (Fence)", &single);
+
+    suite_breakdown("SPEC17-like (1 core)", &single, &spec_suite(scale));
+
+    let multi = MachineConfig::default_multi_core(cores);
+    let par = parallel_suite(cores, if scale == Scale::Full { Scale::Bench } else { scale });
+    suite_breakdown(&format!("SPLASH2/PARSEC-like ({cores} cores)"), &multi, &par);
+
+    println!("\npaper reference: MCV is by far the largest component, then Ctrl Dep.");
+}

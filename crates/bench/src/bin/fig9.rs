@@ -1,0 +1,102 @@
+//! Figure 9: breakdown of each scheme's Comprehensive-model overhead into
+//! the four squash sources, next to the LP and EP overheads.
+//!
+//! Like Figure 1, the attribution comes from running each scheme with the
+//! four cumulative VP masks; LP and EP columns come from the Table 3
+//! extensions. Run with
+//! `cargo run --release -p pl-bench --bin fig9 [--scale ...] [--cores N]`.
+
+use pl_base::{
+    geo_mean, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, ThreatModel,
+};
+use pl_bench::{overhead_pct, print_banner, run_workload, unsafe_cpis};
+use pl_machine::Machine;
+use pl_secure::VpMask;
+use pl_workloads::{parallel_suite, spec_suite, Workload};
+
+fn masked_overhead(
+    base: &MachineConfig,
+    scheme: DefenseScheme,
+    workloads: &[Workload],
+    baselines: &[f64],
+    mask: VpMask,
+) -> f64 {
+    let mut cfg = base.clone();
+    cfg.defense = scheme;
+    cfg.threat_model = ThreatModel::Comprehensive;
+    let normalized: Vec<f64> = workloads
+        .iter()
+        .zip(baselines)
+        .map(|(w, &unsafe_cpi)| {
+            let mut m = Machine::new(&cfg).expect("valid config");
+            w.install(&mut m);
+            m.set_vp_mask(mask);
+            let res = m
+                .run(pl_bench::RUN_BUDGET)
+                .unwrap_or_else(|e| panic!("`{}` under {scheme}/{mask}: {e}", w.name));
+            res.cpi() / unsafe_cpi
+        })
+        .collect();
+    overhead_pct(geo_mean(&normalized).expect("positive CPIs"))
+}
+
+fn pinned_overhead(
+    base: &MachineConfig,
+    scheme: DefenseScheme,
+    mode: PinMode,
+    workloads: &[Workload],
+    baselines: &[f64],
+) -> f64 {
+    let mut cfg = base.clone();
+    cfg.defense = scheme;
+    cfg.threat_model = ThreatModel::Comprehensive;
+    cfg.pinned_loads = PinnedLoadsConfig::with_mode(mode);
+    let normalized: Vec<f64> = workloads
+        .iter()
+        .zip(baselines)
+        .map(|(w, &unsafe_cpi)| run_workload(&cfg, w).cpi() / unsafe_cpi)
+        .collect();
+    overhead_pct(geo_mean(&normalized).expect("positive CPIs"))
+}
+
+fn suite_report(
+    suite_name: &str,
+    base: &MachineConfig,
+    workloads: &[Workload],
+) {
+    let baselines = unsafe_cpis(base, workloads);
+    for scheme in DefenseScheme::PROTECTED {
+        let mut components = Vec::new();
+        let mut prev = 0.0;
+        for (label, mask) in VpMask::cumulative() {
+            let total = masked_overhead(base, scheme, workloads, &baselines, mask);
+            components.push((label, total - prev, total));
+            prev = total;
+        }
+        let lp = pinned_overhead(base, scheme, PinMode::Late, workloads, &baselines);
+        let ep = pinned_overhead(base, scheme, PinMode::Early, workloads, &baselines);
+        println!("\n--- {scheme} / {suite_name} ---");
+        for (label, delta, total) in &components {
+            println!("  {label:<12} +{delta:>6.1}%  (cumulative {total:>6.1}%)");
+        }
+        println!("  {:<12}  {:>6.1}%", "LP", lp);
+        println!("  {:<12}  {:>6.1}%", "EP", ep);
+    }
+}
+
+fn main() {
+    let (scale, cores) = pl_bench::parse_args();
+    let single = MachineConfig::default_single_core();
+    print_banner("Figure 9: overhead breakdown by squash source, with LP/EP", &single);
+    suite_report("SPEC17-like", &single, &spec_suite(scale));
+    let multi = MachineConfig::default_multi_core(cores);
+    suite_report(
+        &format!("Parallel ({cores} cores)"),
+        &multi,
+        &parallel_suite(cores, scale),
+    );
+    println!(
+        "\npaper reference: overhead under Comp is dominated by MCV, then Ctrl \
+         Dep; LP and especially EP remove most of the MCV share."
+    );
+}

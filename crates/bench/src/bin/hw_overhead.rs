@@ -1,0 +1,69 @@
+//! Section 9.2.4: hardware overhead of the Pinned Loads structures.
+//!
+//! Storage bytes are exact reproductions of the paper's accounting (the
+//! default CSTs come out to 444 and 370 bytes); area, read energy, and
+//! leakage are modeled by scaling the paper's CACTI 7.0 / 22 nm anchors
+//! (see `pl_secure::hw_cost`).
+//!
+//! Run with `cargo run --release -p pl-bench --bin hw_overhead`.
+
+use pl_base::MachineConfig;
+use pl_secure::hw_cost::{
+    cpt_cost, dir_cst_cost, l1_cst_cost, lq_tag_extension_bytes, total_per_core_bytes,
+};
+
+fn main() {
+    let cfg = MachineConfig::default_single_core();
+    let cst = &cfg.pinned_loads.cst;
+    println!("== Section 9.2.4: Pinned Loads hardware overhead (per core) ==");
+    println!(
+        "{:<22} {:>8} {:>12} {:>14} {:>12}",
+        "structure", "bytes", "area (mm2)", "read E (pJ)", "leak (mW)"
+    );
+    let l1 = l1_cst_cost(cst);
+    println!(
+        "{:<22} {:>8} {:>12.4} {:>14.2} {:>12.2}",
+        format!("L1 CST ({}x{})", cst.l1_entries, cst.l1_records),
+        l1.bytes,
+        l1.area_mm2,
+        l1.read_energy_pj,
+        l1.leakage_mw
+    );
+    let dir = dir_cst_cost(cst);
+    println!(
+        "{:<22} {:>8} {:>12.4} {:>14.2} {:>12.2}",
+        format!("Dir/LLC CST ({}x{})", cst.dir_entries, cst.dir_records),
+        dir.bytes,
+        dir.area_mm2,
+        dir.read_energy_pj,
+        dir.leakage_mw
+    );
+    let cpt = cpt_cost(cfg.pinned_loads.cpt.entries);
+    println!(
+        "{:<22} {:>8} {:>12} {:>14} {:>12}",
+        format!("CPT ({} entries)", cfg.pinned_loads.cpt.entries),
+        cpt.bytes,
+        "negl.",
+        "negl.",
+        "negl."
+    );
+    let lq = lq_tag_extension_bytes(cfg.core.lq_entries, cfg.pinned_loads.lq_id_tag_bits);
+    println!(
+        "{:<22} {:>8} {:>12} {:>14} {:>12}",
+        format!("LQ tag ext ({} bits)", cfg.pinned_loads.lq_id_tag_bits),
+        lq,
+        "negl.",
+        "negl.",
+        "negl."
+    );
+    let mut ep_cfg = cfg.clone();
+    ep_cfg.pinned_loads.mode = pl_base::PinMode::Early;
+    println!(
+        "\ntotal per core (Early Pinning): {} bytes",
+        total_per_core_bytes(&ep_cfg)
+    );
+    println!(
+        "paper reference: L1 CST 444 B / 0.0008 mm2 / 0.6 pJ / 0.17 mW; \
+         Dir/LLC CST 370 B / 0.0005 mm2 / 0.4 pJ / 0.17 mW."
+    );
+}

@@ -1,0 +1,44 @@
+//! Extension experiment: an InvisiSpec-class invisible-speculation
+//! defense with and without Pinned Loads.
+//!
+//! The paper's Section 4 lists invisible execution as a third class of
+//! baseline that Pinned Loads can augment ("pre-VP loads can be issued
+//! invisibly, but need to be followed by a second access later on",
+//! Section 1) but does not evaluate one. This harness does: pre-VP loads
+//! bind their value without touching the cache hierarchy and are
+//! validated by an exposed access at their VP, so the overhead is the
+//! validation traffic plus retirement stalls — which earlier VPs (LP/EP)
+//! directly reduce.
+//!
+//! Run with `cargo run --release -p pl-bench --bin invisible [--scale ...] [--cores N]`.
+
+use pl_base::{DefenseScheme, MachineConfig};
+use pl_bench::{print_banner, print_scheme_table, scheme_cpi_rows, unsafe_cpis};
+use pl_workloads::{parallel_suite, spec_suite};
+
+fn main() {
+    let (scale, cores) = pl_bench::parse_args();
+    let single = MachineConfig::default_single_core();
+    print_banner("Extension: invisible speculation (InvisiSpec-class)", &single);
+
+    let workloads = spec_suite(scale);
+    let names: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
+    let baselines = unsafe_cpis(&single, &workloads);
+    let rows = scheme_cpi_rows(&single, &workloads, DefenseScheme::Invisible, &baselines);
+    println!("\n=== SPEC17-like suite ===");
+    print_scheme_table(DefenseScheme::Invisible, &names, &rows);
+
+    let multi = MachineConfig::default_multi_core(cores);
+    let par = parallel_suite(cores, scale);
+    let par_names: Vec<String> = par.iter().map(|w| w.name.clone()).collect();
+    let par_baselines = unsafe_cpis(&multi, &par);
+    let par_rows = scheme_cpi_rows(&multi, &par, DefenseScheme::Invisible, &par_baselines);
+    println!("\n=== Parallel suite ({cores} cores) ===");
+    print_scheme_table(DefenseScheme::Invisible, &par_names, &par_rows);
+
+    println!(
+        "\nexpected shape: far cheaper than Fence+Comp (values bind early), \
+         more expensive than Unsafe (double accesses + retirement stalls); \
+         LP/EP shrink the window between invisible bind and exposure."
+    );
+}

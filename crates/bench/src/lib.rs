@@ -1,0 +1,296 @@
+//! Shared harness code for the figure/table reproduction binaries.
+//!
+//! Each binary under `src/bin/` regenerates one artifact from the paper's
+//! evaluation (see `DESIGN.md` for the index). This library provides the
+//! common machinery: building the configuration matrix of Table 3,
+//! running workloads, normalizing CPI against the Unsafe baseline, and
+//! printing aligned tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pl_base::{geo_mean, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, ThreatModel};
+use pl_machine::{Machine, RunResult};
+use pl_workloads::{Scale, Workload};
+
+/// Cycle budget per run; generous because defended configurations can be
+/// several times slower than Unsafe.
+pub const RUN_BUDGET: u64 = 2_000_000_000;
+
+/// The Table 3 extension matrix for one defense scheme: `Comp`, `LP`,
+/// `EP`, `Spectre`.
+///
+/// # Examples
+///
+/// ```
+/// use pl_base::{DefenseScheme, MachineConfig};
+/// use pl_bench::extension_matrix;
+/// let m = extension_matrix(&MachineConfig::default_single_core(), DefenseScheme::Dom);
+/// let labels: Vec<&str> = m.iter().map(|(l, _)| *l).collect();
+/// assert_eq!(labels, ["Comp", "LP", "EP", "Spectre"]);
+/// ```
+pub fn extension_matrix(
+    base: &MachineConfig,
+    scheme: DefenseScheme,
+) -> Vec<(&'static str, MachineConfig)> {
+    let mut comp = base.clone();
+    comp.defense = scheme;
+    comp.threat_model = ThreatModel::Comprehensive;
+    comp.pinned_loads = PinnedLoadsConfig::with_mode(PinMode::Off);
+
+    let mut lp = comp.clone();
+    lp.pinned_loads = PinnedLoadsConfig::with_mode(PinMode::Late);
+
+    let mut ep = comp.clone();
+    ep.pinned_loads = PinnedLoadsConfig::with_mode(PinMode::Early);
+
+    let mut spectre = comp.clone();
+    spectre.threat_model = ThreatModel::Spectre;
+
+    vec![("Comp", comp), ("LP", lp), ("EP", ep), ("Spectre", spectre)]
+}
+
+/// The unprotected baseline all CPIs are normalized to.
+pub fn unsafe_config(base: &MachineConfig) -> MachineConfig {
+    let mut cfg = base.clone();
+    cfg.defense = DefenseScheme::Unsafe;
+    cfg.pinned_loads = PinnedLoadsConfig::with_mode(PinMode::Off);
+    cfg
+}
+
+/// Runs `workload` on a fresh machine with `cfg`.
+///
+/// # Panics
+///
+/// Panics with a diagnostic if the run deadlocks or exceeds the budget —
+/// both indicate a harness bug worth failing loudly on.
+pub fn run_workload(cfg: &MachineConfig, workload: &Workload) -> RunResult {
+    let mut machine = Machine::new(cfg).expect("benchmark configurations are valid");
+    workload.install(&mut machine);
+    machine
+        .run(RUN_BUDGET)
+        .unwrap_or_else(|e| panic!("workload `{}` on {}: {e}", workload.name, cfg.label()))
+}
+
+/// CPI of `cfg` on `workload`, normalized to the Unsafe baseline.
+pub fn normalized_cpi(base: &MachineConfig, cfg: &MachineConfig, workload: &Workload) -> f64 {
+    let unsafe_cpi = run_workload(&unsafe_config(base), workload).cpi();
+    let cpi = run_workload(cfg, workload).cpi();
+    cpi / unsafe_cpi
+}
+
+/// Formats a row of `values` under `name`, one column per configuration.
+pub fn format_row(name: &str, values: &[f64]) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!("{name:<16}");
+    for v in values {
+        let _ = write!(s, " {v:>8.3}");
+    }
+    s
+}
+
+/// Formats the header row for a table with the given column labels.
+pub fn format_header(columns: &[&str]) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!("{:<16}", "benchmark");
+    for c in columns {
+        let _ = write!(s, " {c:>8}");
+    }
+    s
+}
+
+/// Geometric mean over the per-benchmark values of each column.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty or ragged.
+pub fn geo_mean_rows(rows: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!rows.is_empty(), "need at least one benchmark row");
+    let cols = rows[0].len();
+    (0..cols)
+        .map(|c| {
+            let col: Vec<f64> = rows.iter().map(|r| r[c]).collect();
+            geo_mean(&col).expect("normalized CPIs are positive")
+        })
+        .collect()
+}
+
+/// Converts a normalized CPI into the "execution overhead" percentage the
+/// paper reports (1.20 -> 20%).
+pub fn overhead_pct(normalized_cpi: f64) -> f64 {
+    (normalized_cpi - 1.0) * 100.0
+}
+
+/// Unsafe-baseline CPI per workload, computed once and shared across the
+/// scheme tables.
+pub fn unsafe_cpis(base: &MachineConfig, workloads: &[Workload]) -> Vec<f64> {
+    let cfg = unsafe_config(base);
+    workloads.iter().map(|w| run_workload(&cfg, w).cpi()).collect()
+}
+
+/// Normalized-CPI rows for one scheme: one row per workload with the four
+/// Table 3 columns (`Comp`, `LP`, `EP`, `Spectre`).
+pub fn scheme_cpi_rows(
+    base: &MachineConfig,
+    workloads: &[Workload],
+    scheme: DefenseScheme,
+    baselines: &[f64],
+) -> Vec<Vec<f64>> {
+    let matrix = extension_matrix(base, scheme);
+    workloads
+        .iter()
+        .zip(baselines)
+        .map(|(w, &unsafe_cpi)| {
+            matrix
+                .iter()
+                .map(|(_, cfg)| run_workload(cfg, w).cpi() / unsafe_cpi)
+                .collect()
+        })
+        .collect()
+}
+
+/// Prints a full normalized-CPI table for one scheme, with a trailing
+/// geometric-mean row, and returns the geo-mean values.
+pub fn print_scheme_table(
+    scheme: DefenseScheme,
+    names: &[String],
+    rows: &[Vec<f64>],
+) -> Vec<f64> {
+    println!("\n--- {scheme} (normalized CPI vs Unsafe) ---");
+    println!("{}", format_header(&["Comp", "LP", "EP", "Spectre"]));
+    for (name, row) in names.iter().zip(rows) {
+        println!("{}", format_row(name, row));
+    }
+    let gm = geo_mean_rows(rows);
+    println!("{}", format_row("Geo. Mean", &gm));
+    println!(
+        "overheads: Comp {:.1}%  LP {:.1}%  EP {:.1}%  Spectre {:.1}%",
+        overhead_pct(gm[0]),
+        overhead_pct(gm[1]),
+        overhead_pct(gm[2]),
+        overhead_pct(gm[3]),
+    );
+    gm
+}
+
+/// Parses the common CLI flags of the figure binaries:
+/// `--scale test|bench|full` and `--cores N`. Unknown flags abort with a
+/// usage message.
+pub fn parse_args() -> (Scale, usize) {
+    let mut scale = Scale::Bench;
+    let mut cores = 8usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("bench") => Scale::Bench,
+                    Some("full") => Scale::Full,
+                    other => {
+                        eprintln!("unknown scale {other:?}; use test|bench|full");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--cores" => {
+                i += 1;
+                cores = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--cores requires a number");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("unknown flag {other}; supported: --scale test|bench|full, --cores N");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    (scale, cores)
+}
+
+/// Prints the simulated-architecture banner (Table 1 summary) so every
+/// report is self-describing.
+pub fn print_banner(title: &str, cfg: &MachineConfig) {
+    println!("== {title} ==");
+    println!(
+        "machine: {} core(s), ROB {}, LQ {}, SQ {}, WB {}, L1D {}KB/{}-way, \
+         LLC {}x{}MB/{}-way, DRAM {} cycles",
+        cfg.num_cores,
+        cfg.core.rob_entries,
+        cfg.core.lq_entries,
+        cfg.core.sq_entries,
+        cfg.core.write_buffer_entries,
+        cfg.mem.l1d.size_bytes / 1024,
+        cfg.mem.l1d.ways,
+        cfg.mem.llc_slices,
+        cfg.mem.llc_slice.size_bytes / (1024 * 1024),
+        cfg.mem.llc_slice.ways,
+        cfg.mem.dram_latency,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_table_3() {
+        let base = MachineConfig::default_single_core();
+        for scheme in DefenseScheme::PROTECTED {
+            let m = extension_matrix(&base, scheme);
+            assert_eq!(m.len(), 4);
+            for (_, cfg) in &m {
+                cfg.validate().unwrap();
+                assert_eq!(cfg.defense, scheme);
+            }
+            assert_eq!(m[0].1.pinned_loads.mode, PinMode::Off);
+            assert_eq!(m[1].1.pinned_loads.mode, PinMode::Late);
+            assert_eq!(m[2].1.pinned_loads.mode, PinMode::Early);
+            assert_eq!(m[3].1.threat_model, ThreatModel::Spectre);
+        }
+    }
+
+    #[test]
+    fn unsafe_config_is_undefended() {
+        let cfg = unsafe_config(&MachineConfig::default_multi_core(4));
+        assert_eq!(cfg.defense, DefenseScheme::Unsafe);
+        assert_eq!(cfg.num_cores, 4);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn overhead_percentage() {
+        assert!((overhead_pct(1.0)).abs() < 1e-12);
+        assert!((overhead_pct(2.126) - 112.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geo_mean_rows_by_column() {
+        let rows = vec![vec![1.0, 2.0], vec![4.0, 8.0]];
+        let g = geo_mean_rows(&rows);
+        assert!((g[0] - 2.0).abs() < 1e-12);
+        assert!((g[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_align_with_header() {
+        let h = format_header(&["Comp", "LP"]);
+        let r = format_row("stream", &[1.5, 1.25]);
+        assert_eq!(h.len(), r.len());
+    }
+
+    #[test]
+    fn normalized_cpi_of_unsafe_is_one() {
+        let base = MachineConfig::default_single_core();
+        let w = pl_workloads::spec_suite(Scale::Test).remove(4); // alu_dense
+        let n = normalized_cpi(&base, &unsafe_config(&base), &w);
+        assert!((n - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,1854 @@
+//! The out-of-order core pipeline.
+//!
+//! One [`Core`] models the Table 1 processor: 8-wide fetch/issue/commit, a
+//! 192-entry ROB, 62-entry load queue, 32-entry store queue, a write
+//! buffer, an LTAGE-class branch predictor, and a private L1D with MSHRs.
+//! It implements TSO (loads squashed when their line is invalidated or
+//! evicted before retirement, with the oldest load exempt — the aggressive
+//! implementation of Section 2, with the conservative variant as a
+//! config knob), the four squash sources of the Comprehensive threat
+//! model, the Fence/DOM/STT defense schemes plus an InvisiSpec-class
+//! invisible-speculation extension, and both Pinned Loads designs.
+//!
+//! A core communicates with the memory system exclusively through
+//! coherence messages: the machine delivers inbound messages via
+//! [`Core::handle_msg`] and drains [`Core::drain_outbox`] into the NoC.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use pl_base::{Addr, CoreId, Cycle, LineAddr, MachineConfig, PinMode, SeqNum, Stats};
+use pl_isa::{Inst, Operand, Pc, Program, Reg};
+use pl_mem::{home_slice, Cache, DataGrant, Memory, Mesi, MshrFile, Msg, NodeId, WbState, WriteBuffer};
+use pl_predictor::BranchPredictor;
+use pl_secure::scheme::LoadContext;
+use pl_secure::{IssuePolicy, PinGovernor, PinState, TaintTracker, VpMask, VpStatus};
+
+use crate::dyninst::{DynInst, LqEntry, PredInfo, SqEntry, Stage};
+
+/// Delay before retrying a nacked coherence request.
+const NACK_RETRY_DELAY: u64 = 5;
+/// Delay before retrying a write that was deferred by a pinned sharer.
+const DEFER_RETRY_DELAY: u64 = 12;
+/// Delay before retrying an L1 install whose set was fully pinned.
+const INSTALL_RETRY_DELAY: u64 = 6;
+/// Fetch-buffer capacity in instructions.
+const FETCH_BUF_CAP: usize = 16;
+
+#[derive(Debug, Clone)]
+struct Fetched {
+    pc: Pc,
+    inst: Inst,
+    pred: Option<PredInfo>,
+}
+
+/// What to do once a denied L1 install finally succeeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InstallAction {
+    /// Complete the read miss: wake the MSHR waiters.
+    ReadFill,
+    /// Merge the write-buffer head and finish the write transaction.
+    WriteMerge { needs_unblock: bool },
+    /// Finish the atomic at the ROB head.
+    AtomicFinish { needs_unblock: bool },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingInstall {
+    line: LineAddr,
+    state: Mesi,
+    action: InstallAction,
+    retry_at: Cycle,
+}
+
+/// In-flight `GetX` transaction for the atomic at the ROB head.
+#[derive(Debug, Clone, Copy, Default)]
+struct AtomicTxn {
+    active: bool,
+    line: LineAddr,
+    use_star: bool,
+    acks_pending: usize,
+    saw_defer: bool,
+    have_data: bool,
+    needs_unblock: bool,
+    waiting_retry: bool,
+    retry_at: Cycle,
+}
+
+/// Per-cycle aggregates over the ROB used to evaluate VP conditions in
+/// O(1) per load.
+#[derive(Debug, Clone, Copy, Default)]
+struct Aggregates {
+    oldest_unresolved_ctrl: Option<SeqNum>,
+    oldest_unknown_store_addr: Option<SeqNum>,
+    oldest_unknown_mem_addr: Option<SeqNum>,
+    oldest_active_fence: Option<SeqNum>,
+}
+
+/// One simulated out-of-order core with its private L1.
+#[derive(Debug)]
+pub struct Core {
+    id: CoreId,
+    cfg: MachineConfig,
+    program: Arc<Program>,
+    policy: IssuePolicy,
+    vp_mask: VpMask,
+
+    bp: BranchPredictor,
+    fetch_pc: Pc,
+    fetch_halted: bool,
+    fetch_stalled_until: Cycle,
+    fetch_buf: VecDeque<Fetched>,
+
+    rob: VecDeque<DynInst>,
+    next_seq: SeqNum,
+    rename: [Option<SeqNum>; pl_isa::inst::NUM_REGS],
+    regfile: [u64; pl_isa::inst::NUM_REGS],
+
+    lq: Vec<LqEntry>,
+    sq: Vec<SqEntry>,
+    wb: WriteBuffer,
+    wb_needs_unblock: bool,
+
+    l1: Cache<Mesi>,
+    mshrs: MshrFile,
+    pending_installs: Vec<PendingInstall>,
+    read_retries: Vec<(Cycle, LineAddr)>,
+
+    governor: PinGovernor,
+    taint: TaintTracker,
+    atomic: AtomicTxn,
+
+    arch_call_stack: Vec<Pc>,
+    /// VP-condition aggregates, recomputed once per cycle.
+    aggr: Aggregates,
+    outbox: Vec<(NodeId, Msg)>,
+    stats: Stats,
+    halted: bool,
+    retired: u64,
+}
+
+impl Core {
+    /// Creates a core running `program` under the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; call
+    /// [`MachineConfig::validate`] first.
+    pub fn new(id: CoreId, cfg: &MachineConfig, program: Arc<Program>) -> Core {
+        cfg.validate().expect("core requires a valid machine configuration");
+        let vp_mask = VpMask::from(cfg.threat_model);
+        Core {
+            id,
+            cfg: cfg.clone(),
+            program,
+            policy: IssuePolicy::new(cfg.defense),
+            vp_mask,
+            bp: BranchPredictor::new(cfg.core.btb_entries, cfg.core.ras_entries),
+            fetch_pc: Pc::ENTRY,
+            fetch_halted: false,
+            fetch_stalled_until: Cycle::ZERO,
+            fetch_buf: VecDeque::new(),
+            rob: VecDeque::new(),
+            next_seq: SeqNum(0),
+            rename: [None; pl_isa::inst::NUM_REGS],
+            regfile: [0; pl_isa::inst::NUM_REGS],
+            lq: Vec::new(),
+            sq: Vec::new(),
+            wb: WriteBuffer::new(cfg.core.write_buffer_entries),
+            wb_needs_unblock: false,
+            l1: Cache::new(&cfg.mem.l1d),
+            mshrs: MshrFile::new(cfg.mem.l1d.mshr_entries),
+            pending_installs: Vec::new(),
+            read_retries: Vec::new(),
+            governor: PinGovernor::new(cfg),
+            taint: TaintTracker::new(),
+            atomic: AtomicTxn::default(),
+            arch_call_stack: Vec::new(),
+            aggr: Aggregates::default(),
+            outbox: Vec::new(),
+            stats: Stats::new(),
+            halted: false,
+            retired: 0,
+        }
+    }
+
+    /// This core's identifier.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// Overrides the Visibility-Point mask, used by the Figure 1 study to
+    /// release fences at the four cumulative points instead of a full
+    /// threat model.
+    pub fn set_vp_mask(&mut self, mask: VpMask) {
+        self.vp_mask = mask;
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Returns `true` once the program halted and all buffered state
+    /// (write buffer, in-flight transactions) has drained.
+    pub fn quiesced(&self) -> bool {
+        self.halted
+            && self.wb.is_empty()
+            && !self.atomic.active
+            && self.outbox.is_empty()
+            && self.pending_installs.is_empty()
+    }
+
+    /// Returns `true` once the program has executed its halt.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Accumulated per-core statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The pinning governor (pin statistics, CPT state).
+    pub fn governor(&self) -> &PinGovernor {
+        &self.governor
+    }
+
+    /// Sets an architectural register before the program starts, used by
+    /// workloads to pass arguments (base pointers, thread IDs).
+    pub fn set_reg(&mut self, reg: Reg, value: u64) {
+        if !reg.is_zero() {
+            self.regfile[reg.index()] = value;
+        }
+    }
+
+    /// Reads an architectural register after the program halts.
+    pub fn reg(&self, reg: Reg) -> u64 {
+        self.regfile[reg.index()]
+    }
+
+    /// Returns `true` if this core currently has `line` pinned — the
+    /// machine's `PinView` consults this.
+    pub fn is_line_pinned(&self, line: LineAddr) -> bool {
+        self.governor.is_line_pinned(line)
+    }
+
+    /// One-line description of pipeline state for deadlock diagnostics.
+    pub fn debug_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{}: halted={} rob={} lq={} sq={} wb={} retired={}",
+            self.id,
+            self.halted,
+            self.rob.len(),
+            self.lq.len(),
+            self.sq.len(),
+            self.wb.len(),
+            self.retired
+        );
+        if let Some(head) = self.rob.front() {
+            let _ = write!(s, " head=[{} {} {:?}]", head.seq, head.inst, head.stage);
+        }
+        if let Some(wbh) = self.wb.head() {
+            let _ = write!(
+                s,
+                " wb_head=[{} {:?} acks={} defer={} star={}]",
+                wbh.line(),
+                wbh.state,
+                wbh.acks_pending,
+                wbh.saw_defer,
+                wbh.use_star
+            );
+        }
+        if self.atomic.active {
+            let _ = write!(s, " atomic=[{} retry={}]", self.atomic.line, self.atomic.waiting_retry);
+        }
+        let mshr_lines: Vec<String> = self.mshrs.lines().map(|l| l.to_string()).collect();
+        if !mshr_lines.is_empty() {
+            let _ = write!(s, " mshrs=[{}]", mshr_lines.join(", "));
+        }
+        if !self.pending_installs.is_empty() {
+            let _ = write!(s, " pending_installs={}", self.pending_installs.len());
+        }
+        s
+    }
+
+    /// Removes and returns all outbound coherence messages.
+    pub fn drain_outbox(&mut self) -> Vec<(NodeId, Msg)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    fn home(&self, line: LineAddr) -> NodeId {
+        NodeId::Slice(home_slice(line, self.cfg.mem.llc_slices))
+    }
+
+    fn send(&mut self, dst: NodeId, msg: Msg) {
+        self.outbox.push((dst, msg));
+    }
+
+    // ------------------------------------------------------------------
+    // Inbound coherence messages
+    // ------------------------------------------------------------------
+
+    /// Processes one message delivered by the interconnect.
+    pub fn handle_msg(&mut self, msg: Msg, now: Cycle, image: &mut Memory) {
+        match msg {
+            Msg::Data { line, grant, acks_expected } => {
+                self.on_data(line, grant, acks_expected, now, image)
+            }
+            Msg::OwnerData { line, grant, .. } => self.on_owner_data(line, grant, now, image),
+            Msg::Inv { line, requester, star } => self.on_inv(line, requester, star, now),
+            Msg::FwdGetS { line, requester } => self.on_fwd_gets(line, requester),
+            Msg::FwdGetX { line, requester, star } => self.on_fwd_getx(line, requester, star, now),
+            Msg::BackInv { line, slice } => self.on_back_inv(line, slice, now),
+            Msg::Clear { line } => self.governor.on_clear(line),
+            Msg::Nack { line, was_write } => self.on_nack(line, was_write, now),
+            Msg::InvAck { line, .. } => self.on_inv_ack(line, false, now, image),
+            Msg::InvDefer { line, .. } => self.on_inv_ack(line, true, now, image),
+            other => {
+                debug_assert!(false, "core {} received unexpected message {other}", self.id);
+            }
+        }
+    }
+
+    fn write_txn_matches(&self, line: LineAddr) -> Option<bool /*is_atomic*/> {
+        if self.atomic.active && !self.atomic.waiting_retry && self.atomic.line == line {
+            return Some(true);
+        }
+        if let Some(head) = self.wb.head() {
+            if head.state == WbState::Requested && head.line() == line {
+                return Some(false);
+            }
+        }
+        None
+    }
+
+    fn on_data(
+        &mut self,
+        line: LineAddr,
+        grant: DataGrant,
+        acks_expected: usize,
+        now: Cycle,
+        image: &mut Memory,
+    ) {
+        if grant == DataGrant::Modified {
+            match self.write_txn_matches(line) {
+                Some(true) => {
+                    self.atomic.have_data = true;
+                    self.atomic.acks_pending = acks_expected;
+                    self.atomic.needs_unblock = acks_expected > 0;
+                    self.try_finish_write(true, now, image);
+                    return;
+                }
+                Some(false) => {
+                    let head = self.wb.head_mut().expect("matched write txn has a head");
+                    head.have_data = true;
+                    head.acks_pending = acks_expected;
+                    self.wb_needs_unblock = acks_expected > 0;
+                    self.try_finish_write(false, now, image);
+                    return;
+                }
+                None => {}
+            }
+        }
+        // Read fill.
+        let state = match grant {
+            DataGrant::Shared => Mesi::Shared,
+            DataGrant::Exclusive => Mesi::Exclusive,
+            DataGrant::Modified => Mesi::Modified,
+        };
+        self.install_or_queue(line, state, InstallAction::ReadFill, now, image);
+    }
+
+    fn on_owner_data(&mut self, line: LineAddr, grant: DataGrant, now: Cycle, image: &mut Memory) {
+        if grant == DataGrant::Modified {
+            match self.write_txn_matches(line) {
+                Some(true) => {
+                    self.atomic.have_data = true;
+                    self.atomic.needs_unblock = true;
+                    self.try_finish_write(true, now, image);
+                    return;
+                }
+                Some(false) => {
+                    let head = self.wb.head_mut().expect("matched write txn has a head");
+                    head.have_data = true;
+                    self.wb_needs_unblock = true;
+                    self.try_finish_write(false, now, image);
+                    return;
+                }
+                None => {}
+            }
+        }
+        self.install_or_queue(line, Mesi::Shared, InstallAction::ReadFill, now, image);
+    }
+
+    fn on_inv_ack(&mut self, line: LineAddr, defer: bool, now: Cycle, image: &mut Memory) {
+        match self.write_txn_matches(line) {
+            Some(true) => {
+                if defer {
+                    self.atomic.saw_defer = true;
+                }
+                self.atomic.acks_pending = self.atomic.acks_pending.saturating_sub(1);
+                self.try_finish_write(true, now, image);
+            }
+            Some(false) => {
+                {
+                    let head = self.wb.head_mut().expect("matched write txn has a head");
+                    if defer {
+                        head.saw_defer = true;
+                    }
+                    head.acks_pending = head.acks_pending.saturating_sub(1);
+                }
+                self.try_finish_write(false, now, image);
+            }
+            None => {
+                // Stale response from an aborted attempt; drop it.
+            }
+        }
+    }
+
+    /// Checks whether the current write transaction (write-buffer head or
+    /// atomic) can finish — all responses in — and either merges the write
+    /// or aborts and schedules the starred retry.
+    fn try_finish_write(&mut self, is_atomic: bool, now: Cycle, image: &mut Memory) {
+        let (have_data, acks, saw_defer, needs_unblock) = if is_atomic {
+            (
+                self.atomic.have_data,
+                self.atomic.acks_pending,
+                self.atomic.saw_defer,
+                self.atomic.needs_unblock,
+            )
+        } else {
+            let Some(head) = self.wb.head() else { return };
+            (head.have_data, head.acks_pending, head.saw_defer, self.wb_needs_unblock)
+        };
+        // For the FwdGetX path a defer arrives without data; treat the
+        // defer itself as terminal once no acks remain.
+        if acks > 0 || (!have_data && !saw_defer) {
+            return;
+        }
+        let line = if is_atomic {
+            self.atomic.line
+        } else {
+            self.wb.head().expect("write head exists").line()
+        };
+        if saw_defer {
+            // A sharer pinned the line: abort at the directory, retry with
+            // GetX* after a backoff (Figure 5a).
+            self.send(self.home(line), Msg::Abort { line, from: self.id });
+            self.stats.incr("wb.writes_retried");
+            if is_atomic {
+                self.atomic.use_star = true;
+                self.atomic.have_data = false;
+                self.atomic.saw_defer = false;
+                self.atomic.waiting_retry = true;
+                self.atomic.retry_at = now + DEFER_RETRY_DELAY;
+            } else {
+                let head = self.wb.head_mut().expect("write head exists");
+                head.use_star = true;
+                head.have_data = false;
+                head.saw_defer = false;
+                head.state = WbState::WaitingRetry;
+                head.retry_at = now + DEFER_RETRY_DELAY;
+            }
+            return;
+        }
+        // Success: install in M and merge.
+        let action = if is_atomic {
+            InstallAction::AtomicFinish { needs_unblock }
+        } else {
+            InstallAction::WriteMerge { needs_unblock }
+        };
+        self.install_or_queue(line, Mesi::Modified, action, now, image);
+    }
+
+    fn on_inv(&mut self, line: LineAddr, requester: CoreId, star: bool, now: Cycle) {
+        if star {
+            self.governor.on_inv_star(line);
+        }
+        if self.governor.is_line_pinned(line) {
+            // Section 5.1.1: the cache is not invalidated, the load is not
+            // squashed, and a Defer is sent to the writer.
+            self.stats.incr("l1.invs_deferred");
+            self.send(NodeId::Core(requester), Msg::InvDefer { line, from: self.id });
+            return;
+        }
+        self.squash_tso_loads(line, "squash.mcv_inv", now);
+        self.l1.invalidate(line);
+        self.send(NodeId::Core(requester), Msg::InvAck { line, from: self.id });
+    }
+
+    fn on_fwd_gets(&mut self, line: LineAddr, requester: CoreId) {
+        // Downgrade M/E -> S; reads do not invalidate, so no squash and no
+        // defer are needed.
+        let dirty = match self.l1.get_mut(line) {
+            Some(state) => {
+                let was_dirty = *state == Mesi::Modified;
+                *state = Mesi::Shared;
+                was_dirty
+            }
+            None => false,
+        };
+        self.send(NodeId::Core(requester), Msg::OwnerData { line, grant: DataGrant::Shared, from: self.id });
+        self.send(self.home(line), Msg::CopyBack { line, from: self.id, dirty });
+    }
+
+    fn on_fwd_getx(&mut self, line: LineAddr, requester: CoreId, star: bool, now: Cycle) {
+        if star {
+            self.governor.on_inv_star(line);
+        }
+        if self.governor.is_line_pinned(line) {
+            self.stats.incr("l1.invs_deferred");
+            self.send(NodeId::Core(requester), Msg::InvDefer { line, from: self.id });
+            return;
+        }
+        self.squash_tso_loads(line, "squash.mcv_inv", now);
+        self.l1.invalidate(line);
+        self.send(
+            NodeId::Core(requester),
+            Msg::OwnerData { line, grant: DataGrant::Modified, from: self.id },
+        );
+    }
+
+    fn on_back_inv(&mut self, line: LineAddr, slice: usize, now: Cycle) {
+        if self.governor.is_line_pinned(line) {
+            self.stats.incr("l1.back_invs_deferred");
+            self.send(NodeId::Slice(slice), Msg::BackInvDefer { line, from: self.id });
+            return;
+        }
+        self.squash_tso_loads(line, "squash.mcv_evict", now);
+        let dirty = self.l1.invalidate(line) == Some(Mesi::Modified);
+        self.send(NodeId::Slice(slice), Msg::BackInvAck { line, from: self.id, dirty });
+    }
+
+    fn on_nack(&mut self, line: LineAddr, was_write: bool, now: Cycle) {
+        self.stats.incr("l1.nacks");
+        if was_write {
+            // The rejected request was our GetX (write-buffer head or
+            // atomic); the tag prevents misattributing a nacked *read* on
+            // the same line to the write transaction.
+            if self.atomic.active && self.atomic.line == line && !self.atomic.waiting_retry {
+                self.atomic.waiting_retry = true;
+                self.atomic.retry_at = now + NACK_RETRY_DELAY;
+                self.atomic.have_data = false;
+                return;
+            }
+            if let Some(head) = self.wb.head_mut() {
+                if head.state == WbState::Requested && head.line() == line {
+                    head.state = WbState::WaitingRetry;
+                    head.retry_at = now + NACK_RETRY_DELAY;
+                    head.have_data = false;
+                }
+            }
+            return;
+        }
+        // A read request was nacked: retry the GetS while the miss is
+        // still wanted.
+        if self.mshrs.contains(line) {
+            self.read_retries.push((now + NACK_RETRY_DELAY, line));
+        }
+    }
+
+    /// TSO conservative squash: any performed-but-unretired load on `line`
+    /// that is not the oldest load in the ROB is squashed, along with its
+    /// successors (Section 2).
+    fn squash_tso_loads(&mut self, line: LineAddr, counter: &'static str, now: Cycle) {
+        // The aggressive implementation never squashes the oldest load in
+        // the ROB (it cannot have been reordered); the conservative one
+        // squashes any matching performed load (Section 2).
+        let oldest_seq = if self.cfg.core.conservative_tso {
+            None
+        } else {
+            self.lq.first().map(|e| e.seq)
+        };
+        let victim = self.lq.iter().find(|e| {
+            e.performed()
+                && !e.forwarded
+                && !e.invisible
+                && e.pin != PinState::Pinned
+                && e.line() == Some(line)
+                && Some(e.seq) != oldest_seq
+        });
+        if let Some(v) = victim {
+            let seq = v.seq;
+            debug_assert_eq!(v.pin, PinState::Unpinned, "pending loads have not performed");
+            let pc = self.rob_entry(seq).map(|e| e.pc).expect("squashed load is in the ROB");
+            self.stats.incr(counter);
+            self.squash_from(seq, pc, now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Install path
+    // ------------------------------------------------------------------
+
+    fn install_or_queue(
+        &mut self,
+        line: LineAddr,
+        state: Mesi,
+        action: InstallAction,
+        now: Cycle,
+        image: &mut Memory,
+    ) {
+        // A late read fill (e.g. a nacked-then-regranted prefetch) must
+        // not downgrade a line we already hold with write permission.
+        let state = match self.l1.peek(line) {
+            Some(&existing) if existing.writable() && !state.writable() => existing,
+            _ => state,
+        };
+        if self.try_install(line, state, now) {
+            self.run_install_action(line, action, now, image);
+        } else {
+            self.pending_installs.push(PendingInstall {
+                line,
+                state,
+                action,
+                retry_at: now + INSTALL_RETRY_DELAY,
+            });
+        }
+    }
+
+    /// Attempts to place `line` into the L1, honoring pinned-line eviction
+    /// denial. Returns `false` if every victim in the set is pinned.
+    fn try_install(&mut self, line: LineAddr, state: Mesi, now: Cycle) -> bool {
+        let governor = &self.governor;
+        let result = self.l1.insert(line, state, |victim, _| !governor.is_line_pinned(victim));
+        match result {
+            Ok(None) => true,
+            Ok(Some((victim, victim_state))) => {
+                // Evicting a line with performed unretired loads squashes
+                // them (conservative TSO), and the directory must be told.
+                self.squash_tso_loads(victim, "squash.mcv_evict", now);
+                self.stats.incr("l1.evictions");
+                let msg = if victim_state == Mesi::Modified {
+                    Msg::PutM { line: victim, from: self.id }
+                } else {
+                    Msg::PutS { line: victim, from: self.id }
+                };
+                self.send(self.home(victim), msg);
+                true
+            }
+            Err(_) => {
+                self.stats.incr("l1.evictions_denied");
+                false
+            }
+        }
+    }
+
+    fn run_install_action(
+        &mut self,
+        line: LineAddr,
+        action: InstallAction,
+        now: Cycle,
+        image: &mut Memory,
+    ) {
+        match action {
+            InstallAction::ReadFill => {
+                let waiters = self.mshrs.complete(line);
+                for seq in waiters {
+                    self.perform_waiting_load(seq, now, image);
+                }
+                // Late Pinning: loads that issued pin-pending on this line
+                // become pinned the moment their data arrives.
+                self.promote_pending_pins(line);
+            }
+            InstallAction::WriteMerge { needs_unblock } => {
+                let head = self.wb.pop().expect("write merge requires a head entry");
+                image.write(head.addr, head.value);
+                self.stats.incr("wb.merges");
+                if needs_unblock {
+                    self.send(self.home(line), Msg::Unblock { line, from: self.id });
+                }
+                self.wb_needs_unblock = false;
+                self.promote_pending_pins(line);
+            }
+            InstallAction::AtomicFinish { needs_unblock } => {
+                self.finish_atomic(now, image);
+                if needs_unblock {
+                    self.send(self.home(line), Msg::Unblock { line, from: self.id });
+                }
+            }
+        }
+    }
+
+    fn promote_pending_pins(&mut self, line: LineAddr) {
+        for e in &mut self.lq {
+            if e.pin == PinState::Pending && e.line() == Some(line) {
+                e.pin = PinState::Pinned;
+                self.governor.record_pin(line);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The pipeline tick
+    // ------------------------------------------------------------------
+
+    /// Advances the core by one cycle.
+    pub fn tick(&mut self, now: Cycle, image: &mut Memory) {
+        self.stats.incr("cycles");
+        if now.raw() % 32 == 0 {
+            self.stats.sample("occ.rob", self.rob.len() as u64);
+            self.stats.sample("occ.lq", self.lq.len() as u64);
+            self.stats.sample("occ.wb", self.wb.len() as u64);
+        }
+        self.retry_pending_installs(now, image);
+        self.retry_reads(now);
+        self.commit(now, image);
+        self.drain_write_buffer(now, image);
+        self.step_atomic(now, image);
+        self.aggr = self.aggregates();
+        if self.policy.tracks_taint() {
+            self.propagate_taint();
+        }
+        self.pin_pass(now);
+        self.complete_executing(now, image);
+        self.issue(now, image);
+        self.dispatch(now);
+        self.fetch(now);
+    }
+
+    fn retry_pending_installs(&mut self, now: Cycle, image: &mut Memory) {
+        let due: Vec<PendingInstall> = {
+            let (due, rest): (Vec<_>, Vec<_>) =
+                self.pending_installs.drain(..).partition(|p| p.retry_at <= now);
+            self.pending_installs = rest;
+            due
+        };
+        for p in due {
+            self.install_or_queue(p.line, p.state, p.action, now, image);
+        }
+    }
+
+    fn retry_reads(&mut self, now: Cycle) {
+        let mut due = Vec::new();
+        self.read_retries.retain(|&(at, line)| {
+            if at <= now {
+                due.push(line);
+                false
+            } else {
+                true
+            }
+        });
+        for line in due {
+            if self.mshrs.contains(line) {
+                self.send(self.home(line), Msg::GetS { line, requester: self.id });
+            }
+        }
+    }
+
+    // ---- commit ----
+
+    fn commit(&mut self, now: Cycle, _image: &mut Memory) {
+        for _ in 0..self.cfg.core.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.completed() {
+                break;
+            }
+            let seq = head.seq;
+            let inst = head.inst;
+            let pc = head.pc;
+            let result = head.result;
+            let head_dispatched = head.dispatched_at;
+
+            // Stores move to the write buffer at retirement (TSO).
+            if matches!(inst, Inst::Store { .. }) {
+                let entry = self.sq.first().expect("retiring store has an SQ entry");
+                debug_assert_eq!(entry.seq, seq);
+                let (addr, data) =
+                    (entry.addr.expect("resolved store"), entry.data.expect("resolved store"));
+                if self.wb.push(addr, data).is_err() {
+                    self.stats.incr("stall.wb_full");
+                    break;
+                }
+                self.sq.remove(0);
+            }
+            if inst.is_load() && !inst.is_atomic() {
+                let entry = self.lq.first().expect("retiring load has an LQ entry");
+                debug_assert_eq!(entry.seq, seq);
+                if entry.invisible {
+                    // InvisiSpec: the exposed validation access has not
+                    // completed; the load cannot leave the pipeline yet.
+                    self.stats.incr("stall.validation");
+                    break;
+                }
+                if entry.pin == PinState::Pinned {
+                    let line = entry.line().expect("pinned load has an address");
+                    self.governor.record_unpin(line);
+                }
+                self.lq.remove(0);
+            }
+            match inst {
+                Inst::Call { .. } => self.arch_call_stack.push(pc.next()),
+                Inst::Ret => {
+                    self.arch_call_stack.pop();
+                }
+                Inst::Halt => {
+                    self.halted = true;
+                    self.fetch_halted = true;
+                }
+                _ => {}
+            }
+            if let (Some(dst), Some(v)) = (inst.def_reg(), result) {
+                self.regfile[dst.index()] = v;
+                if self.rename[dst.index()] == Some(seq) {
+                    self.rename[dst.index()] = None;
+                }
+            }
+            self.taint.clear(seq);
+            self.rob.pop_front();
+            self.retired += 1;
+            self.stats.incr("retired");
+            self.stats.sample("rob.commit_latency", now.since(head_dispatched));
+            if self.halted {
+                break;
+            }
+        }
+    }
+
+    // ---- write buffer drain ----
+
+    fn drain_write_buffer(&mut self, now: Cycle, image: &mut Memory) {
+        let Some(head) = self.wb.head() else { return };
+        match head.state {
+            WbState::Idle => {
+                let line = head.line();
+                let addr = head.addr;
+                let value = head.value;
+                let use_star = head.use_star;
+                if self.l1.peek(line).is_some_and(|s| s.writable()) {
+                    // Silent upgrade/merge: the line is already E/M here.
+                    if let Some(s) = self.l1.get_mut(line) {
+                        *s = Mesi::Modified;
+                    }
+                    image.write(addr, value);
+                    self.wb.pop();
+                    self.stats.incr("wb.merges");
+                    self.promote_pending_pins(line);
+                } else {
+                    self.send(
+                        self.home(line),
+                        Msg::GetX { line, requester: self.id, star: use_star },
+                    );
+                    let head = self.wb.head_mut().expect("head still present");
+                    head.state = WbState::Requested;
+                    head.have_data = false;
+                    head.saw_defer = false;
+                    head.acks_pending = 0;
+                    self.wb_needs_unblock = false;
+                }
+            }
+            WbState::Requested => {}
+            WbState::WaitingRetry => {
+                if now >= head.retry_at {
+                    self.wb.head_mut().expect("head still present").state = WbState::Idle;
+                }
+            }
+        }
+    }
+
+    // ---- atomic execution at the ROB head ----
+
+    fn step_atomic(&mut self, now: Cycle, image: &mut Memory) {
+        let Some(head) = self.rob.front() else { return };
+        if !head.inst.is_atomic() || head.completed() {
+            return;
+        }
+        if self.atomic.active {
+            if self.atomic.waiting_retry && now >= self.atomic.retry_at {
+                self.atomic.waiting_retry = false;
+                self.atomic.saw_defer = false;
+                self.atomic.have_data = false;
+                let line = self.atomic.line;
+                self.send(
+                    self.home(line),
+                    Msg::GetX { line, requester: self.id, star: self.atomic.use_star },
+                );
+            }
+            return;
+        }
+        // Atomics execute only at the head, with the write buffer drained,
+        // to provide their LOCK fence semantics.
+        if !self.wb.is_empty() {
+            return;
+        }
+        let seq = self.rob.front().expect("head checked").seq;
+        if !self.operands_ready(seq) {
+            return;
+        }
+        let (base, offset) = self
+            .rob
+            .front()
+            .expect("head checked")
+            .inst
+            .mem_operand()
+            .expect("atomic is a memory op");
+        let base_val = self.operand_value(seq, base);
+        let addr = Addr::new(base_val.wrapping_add(offset as u64));
+        let line = addr.line();
+        if self.l1.peek(line).is_some_and(|s| s.writable()) {
+            self.atomic.active = true;
+            self.atomic.line = line;
+            self.finish_atomic(now, image);
+        } else {
+            self.atomic = AtomicTxn {
+                active: true,
+                line,
+                use_star: false,
+                acks_pending: 0,
+                saw_defer: false,
+                have_data: false,
+                needs_unblock: false,
+                waiting_retry: false,
+                retry_at: Cycle::ZERO,
+            };
+            self.send(self.home(line), Msg::GetX { line, requester: self.id, star: false });
+        }
+    }
+
+    fn finish_atomic(&mut self, now: Cycle, image: &mut Memory) {
+        let head = self.rob.front_mut().expect("atomic finish requires a head");
+        debug_assert!(head.inst.is_atomic());
+        let seq = head.seq;
+        let inst = head.inst;
+        let (base, offset) = inst.mem_operand().expect("atomic is a memory op");
+        let base_val = self.operand_value(seq, base);
+        let addr = Addr::new(base_val.wrapping_add(offset as u64));
+        let line = addr.line();
+        if let Some(s) = self.l1.get_mut(line) {
+            *s = Mesi::Modified;
+        } else {
+            // The GetX path installs before calling us; the hit path has
+            // the line already. Defensive install.
+            let _ = self.try_install(line, Mesi::Modified, now);
+        }
+        let old = image.read(addr);
+        let new = match inst {
+            Inst::AtomicAdd { src, .. } => old.wrapping_add(self.operand_value(seq, src)),
+            Inst::AtomicCas { cmp, src, .. } => {
+                if old == self.operand_value(seq, cmp) {
+                    self.operand_value(seq, src)
+                } else {
+                    old
+                }
+            }
+            _ => unreachable!("finish_atomic on non-atomic"),
+        };
+        image.write(addr, new);
+        let head = self.rob.front_mut().expect("head still present");
+        head.result = Some(old);
+        head.stage = Stage::Completed;
+        self.atomic = AtomicTxn::default();
+        self.stats.incr("atomics");
+    }
+
+    // ---- taint propagation (STT) ----
+
+    fn propagate_taint(&mut self) {
+        // Walk in program order: producers precede consumers, so one pass
+        // reaches a fixed point.
+        {
+            let rob = &self.rob;
+            let taint = &mut self.taint;
+            for e in rob.iter() {
+                if e.inst.is_load() {
+                    // A load's own taint is managed at perform/VP time.
+                    continue;
+                }
+                taint.derive(e.seq, e.srcs.iter().filter_map(|&(_, p)| p));
+            }
+        }
+        // Untaint loads that have reached their VP.
+        let aggr = self.aggr;
+        for i in 0..self.lq.len() {
+            let e = &self.lq[i];
+            if e.performed() && self.taint.is_tainted(e.seq) {
+                let status = self.vp_status_for(i, &aggr);
+                if self.vp_mask.reached(status) {
+                    self.taint.clear(e.seq);
+                }
+            }
+        }
+    }
+
+    // ---- pinning ----
+
+    /// Number of yet-to-complete stores older than `seq` (in the write
+    /// buffer or still in the SQ) — the Section 5.1.2 deadlock-avoidance
+    /// count.
+    fn older_incomplete_stores(&self, seq: SeqNum) -> usize {
+        self.wb.len() + self.sq.iter().filter(|s| s.seq < seq).count()
+    }
+
+    /// Non-ordering pin-eligibility conditions for LQ entry `i`.
+    fn pin_eligible_base(&self, i: usize, aggr: &Aggregates) -> bool {
+        let e = &self.lq[i];
+        let Some(line) = e.line() else { return false };
+        let status = self.vp_status_base(i, aggr);
+        status.clear_except_mcv()
+            && aggr.oldest_active_fence.is_none_or(|f| f > e.seq)
+            && self.older_incomplete_stores(e.seq) <= self.wb.capacity()
+            && self.governor.can_attempt_pin(line).is_ok()
+    }
+
+    /// Ordering prefix check: every load older than LQ index `i` is
+    /// pinned, MCV-immune, retired, or is the (exempt, issued) oldest
+    /// load.
+    fn pin_order_ok(&self, i: usize) -> bool {
+        let aggressive = !self.cfg.core.conservative_tso;
+        self.lq.iter().take(i).enumerate().all(|(j, e)| {
+            e.pin == PinState::Pinned
+                || e.mcv_immune()
+                || (aggressive && j == 0 && (e.performed() || e.waiting_fill))
+        })
+    }
+
+    fn pin_pass(&mut self, _now: Cycle) {
+        if self.governor.mode() == PinMode::Off {
+            return;
+        }
+        let aggr = self.aggr;
+        for i in 0..self.lq.len() {
+            let e = &self.lq[i];
+            match e.pin {
+                PinState::Pinned => continue,
+                // Strict program order: one pin-pending load blocks all
+                // younger pins (Section 5.2).
+                PinState::Pending => break,
+                PinState::Unpinned => {}
+            }
+            if e.mcv_immune() {
+                continue;
+            }
+            if !self.pin_order_ok(i) {
+                break;
+            }
+            if !self.pin_eligible_base(i, &aggr) {
+                // The oldest load is exempt from MCV squashes, so younger
+                // loads may pin past it once it has issued; everyone else
+                // blocks the frontier.
+                if i == 0 && (e.performed() || e.waiting_fill) {
+                    continue;
+                }
+                break;
+            }
+            let line = self.lq[i].line().expect("eligible load has an address");
+            match self.governor.mode() {
+                PinMode::Early => {
+                    let lq_id = self.lq[i].lq_id;
+                    let lq = &self.lq;
+                    let live = |id: u64| -> Option<LineAddr> {
+                        lq.iter()
+                            .find(|x| x.lq_id == id && x.pin == PinState::Pinned)
+                            .and_then(|x| x.line())
+                    };
+                    let governor = &mut self.governor;
+                    if governor.try_pin_early(line, lq_id, &live).is_ok() {
+                        self.lq[i].pin = PinState::Pinned;
+                        continue;
+                    }
+                    self.stats.incr("pin.ep_denied");
+                    break;
+                }
+                PinMode::Late => {
+                    let e = &self.lq[i];
+                    if e.performed() && !e.forwarded && self.l1.peek(line).is_some_and(|s| s.readable())
+                    {
+                        self.lq[i].pin = PinState::Pinned;
+                        self.governor.record_pin(line);
+                        continue;
+                    }
+                    if e.waiting_fill {
+                        self.lq[i].pin = PinState::Pending;
+                        break;
+                    }
+                    // Not yet issued: the issue stage will send it out
+                    // pin-pending; stop the frontier here.
+                    break;
+                }
+                PinMode::Off => unreachable!("checked above"),
+            }
+        }
+    }
+
+    // ---- VP status ----
+
+    fn aggregates(&self) -> Aggregates {
+        let mut a = Aggregates::default();
+        for e in &self.rob {
+            if e.inst.is_control() && !e.completed() && a.oldest_unresolved_ctrl.is_none() {
+                a.oldest_unresolved_ctrl = Some(e.seq);
+            }
+            if e.inst.is_fence() && !e.completed() && a.oldest_active_fence.is_none() {
+                a.oldest_active_fence = Some(e.seq);
+            }
+            if e.inst.is_mem() {
+                let addr_known = if e.inst.is_atomic() {
+                    e.completed()
+                } else if e.inst.is_load() {
+                    self.lq.iter().find(|l| l.seq == e.seq).is_some_and(|l| l.addr.is_some())
+                } else {
+                    self.sq.iter().find(|s| s.seq == e.seq).is_some_and(|s| s.addr.is_some())
+                };
+                if !addr_known {
+                    if a.oldest_unknown_mem_addr.is_none() {
+                        a.oldest_unknown_mem_addr = Some(e.seq);
+                    }
+                    if e.inst.is_store() && a.oldest_unknown_store_addr.is_none() {
+                        a.oldest_unknown_store_addr = Some(e.seq);
+                    }
+                }
+            }
+        }
+        a
+    }
+
+    /// VP conditions other than MCV for LQ entry `i`.
+    fn vp_status_base(&self, i: usize, aggr: &Aggregates) -> VpStatus {
+        let e = &self.lq[i];
+        let seq = e.seq;
+        VpStatus {
+            ctrl_clear: aggr.oldest_unresolved_ctrl.is_none_or(|s| s > seq),
+            alias_clear: aggr.oldest_unknown_store_addr.is_none_or(|s| s > seq),
+            exception_clear: e.addr.is_some()
+                && aggr.oldest_unknown_mem_addr.is_none_or(|s| s >= seq),
+            mcv_clear: false,
+        }
+    }
+
+    /// Full VP status for LQ entry `i`, including the MCV condition under
+    /// the active pinning mode.
+    fn vp_status_for(&self, i: usize, aggr: &Aggregates) -> VpStatus {
+        let mut status = self.vp_status_base(i, aggr);
+        let e = &self.lq[i];
+        let is_oldest = i == 0;
+        status.mcv_clear = e.mcv_immune()
+            || is_oldest
+            || match self.governor.mode() {
+                PinMode::Off => false,
+                PinMode::Early => false, // must actually be pinned
+                PinMode::Late => {
+                    e.pin == PinState::Pending
+                        || (status.clear_except_mcv()
+                            && self.pin_order_ok(i)
+                            && self.pin_eligible_base(i, aggr))
+                }
+            };
+        status
+    }
+
+    // ---- execute completion ----
+
+    fn complete_executing(&mut self, now: Cycle, _image: &mut Memory) {
+        let mut resolutions: Vec<SeqNum> = Vec::new();
+        for e in self.rob.iter_mut() {
+            if let Stage::Executing { done_at } = e.stage {
+                if done_at <= now {
+                    e.stage = Stage::Completed;
+                    if e.inst.is_control() || matches!(e.inst, Inst::Store { .. }) {
+                        resolutions.push(e.seq);
+                    }
+                }
+            }
+        }
+        for seq in resolutions {
+            if self.rob_entry(seq).is_none() {
+                continue; // squashed by an earlier resolution this cycle
+            }
+            let inst = self.rob_entry(seq).expect("checked").inst;
+            if inst.is_control() {
+                self.resolve_control(seq, now);
+            } else {
+                self.resolve_store(seq, now);
+            }
+        }
+    }
+
+    fn resolve_control(&mut self, seq: SeqNum, now: Cycle) {
+        let e = self.rob_entry(seq).expect("resolving control in ROB");
+        let pc = e.pc;
+        let inst = e.inst;
+        let pred = e.pred.clone().expect("control instructions carry predictions");
+        let (actual_taken, actual_target) = match inst {
+            Inst::Branch { cond, src1, src2, target } => {
+                let a = self.operand_value(seq, src1);
+                let b = self.operand_value(seq, src2);
+                let taken = cond.eval(a, b);
+                (taken, if taken { target } else { pc.next() })
+            }
+            Inst::Jump { target } | Inst::Call { target } => (true, target),
+            Inst::Ret => (true, self.ret_target_at(seq)),
+            _ => unreachable!("not a control instruction"),
+        };
+        let mispredicted = pred.target != actual_target;
+        if inst.is_cond_branch() {
+            self.bp.update_cond(pc, actual_taken, pred.taken, &pred.checkpoint);
+        }
+        self.bp.update_target(pc, actual_target);
+        if mispredicted {
+            self.stats.incr("squash.branch");
+            self.bp.recover(
+                &pred.checkpoint,
+                if inst.is_cond_branch() { Some(actual_taken) } else { None },
+            );
+            if inst == Inst::Ret {
+                // Re-apply the ret's own pop on the restored RAS.
+                let _ = self.bp.pop_return();
+            }
+            if matches!(inst, Inst::Call { .. }) {
+                self.bp.push_return(pc.next());
+            }
+            self.squash_from(seq.next(), actual_target, now);
+            self.fetch_stalled_until = now + self.cfg.core.mispredict_penalty;
+        }
+    }
+
+    fn resolve_store(&mut self, seq: SeqNum, now: Cycle) {
+        let Some(entry) = self.sq.iter().find(|s| s.seq == seq) else { return };
+        let Some(addr) = entry.addr else { return };
+        let word = addr.raw() >> 3;
+        // Memory-order violation: a younger load already performed against
+        // stale data (it read memory, or forwarded from a store older than
+        // this one).
+        let victim = self.lq.iter().find(|l| {
+            l.seq > seq
+                && l.performed()
+                && l.addr.is_some_and(|a| a.raw() >> 3 == word)
+                // The load is mis-ordered unless it already bound its
+                // value from this store or a younger one; values from the
+                // write buffer, memory, or an older store are all stale.
+                && l.forwarded_from.is_none_or(|f| f < seq)
+        });
+        if let Some(v) = victim {
+            let vseq = v.seq;
+            debug_assert_eq!(v.pin, PinState::Unpinned, "pinned loads are never squashed");
+            let pc = self.rob_entry(vseq).expect("victim load is in ROB").pc;
+            self.stats.incr("squash.alias");
+            self.squash_from(vseq, pc, now);
+            self.fetch_stalled_until = now + 3;
+        }
+    }
+
+    /// Computes the architectural return target for the `Ret` at `seq`:
+    /// the committed call stack adjusted by older in-flight calls/rets.
+    fn ret_target_at(&self, seq: SeqNum) -> Pc {
+        let mut stack = self.arch_call_stack.clone();
+        for e in &self.rob {
+            if e.seq >= seq {
+                break;
+            }
+            match e.inst {
+                Inst::Call { .. } => stack.push(e.pc.next()),
+                Inst::Ret => {
+                    stack.pop();
+                }
+                _ => {}
+            }
+        }
+        stack.last().copied().unwrap_or_else(|| Pc(self.program.len()))
+    }
+
+    // ---- issue ----
+
+    fn issue(&mut self, now: Cycle, image: &mut Memory) {
+        let mut budget = self.cfg.core.issue_width;
+        // Non-memory and address-generation issue. A store's address
+        // resolution can trigger an alias squash that shrinks the ROB, so
+        // the bound is re-read every iteration.
+        let mut i = 0;
+        while i < self.rob.len() && budget > 0 {
+            let idx = i;
+            i += 1;
+            let e = &self.rob[idx];
+            if e.stage != Stage::Dispatched {
+                continue;
+            }
+            let seq = e.seq;
+            let inst = e.inst;
+            match inst {
+                Inst::Nop => {
+                    self.rob[idx].stage = Stage::Completed;
+                }
+                Inst::Halt => {
+                    // Halt completes only at the head so that everything
+                    // older retires first.
+                    if idx == 0 {
+                        self.rob[idx].stage = Stage::Completed;
+                    }
+                }
+                Inst::Mfence => {
+                    if idx == 0 && self.wb.is_empty() {
+                        self.rob[idx].stage = Stage::Completed;
+                    }
+                }
+                Inst::AtomicAdd { .. } | Inst::AtomicCas { .. } => {
+                    // Driven by step_atomic at the head.
+                }
+                Inst::Alu { op, src1, src2, .. } => {
+                    let Some(a) = self.try_operand(seq, src1) else { continue };
+                    let b = match src2 {
+                        Operand::Reg(r) => match self.try_operand(seq, r) {
+                            Some(v) => v,
+                            None => continue,
+                        },
+                        Operand::Imm(v) => v as u64,
+                    };
+                    let lat = if op.is_long_latency() {
+                        self.cfg.core.mul_latency
+                    } else {
+                        self.cfg.core.alu_latency
+                    };
+                    self.rob[idx].result = Some(op.apply(a, b));
+                    self.rob[idx].stage = Stage::Executing { done_at: now + lat };
+                    budget -= 1;
+                }
+                Inst::Branch { src1, src2, .. } => {
+                    if self.try_operand(seq, src1).is_none()
+                        || self.try_operand(seq, src2).is_none()
+                    {
+                        continue;
+                    }
+                    self.rob[idx].stage = Stage::Executing { done_at: now + 1 };
+                    budget -= 1;
+                }
+                Inst::Jump { .. } | Inst::Call { .. } | Inst::Ret => {
+                    self.rob[idx].stage = Stage::Executing { done_at: now + 1 };
+                    budget -= 1;
+                }
+                Inst::Load { base, .. } => {
+                    // Address generation; the memory access itself is
+                    // gated separately below.
+                    let lq_idx = self.lq.iter().position(|l| l.seq == seq);
+                    let Some(lq_idx) = lq_idx else { continue };
+                    if self.lq[lq_idx].addr.is_some() {
+                        continue;
+                    }
+                    let Some(b) = self.try_operand(seq, base) else { continue };
+                    let offset = match inst {
+                        Inst::Load { offset, .. } => offset,
+                        _ => unreachable!(),
+                    };
+                    self.lq[lq_idx].addr = Some(Addr::new(b.wrapping_add(offset as u64)));
+                    budget -= 1;
+                }
+                Inst::Store { src, base, offset } => {
+                    // Address generation and data capture are independent
+                    // micro-ops, as in real LSUs: the address (which drives
+                    // alias resolution and younger loads' VP conditions)
+                    // must not wait for the data.
+                    let sq_idx = self.sq.iter().position(|s| s.seq == seq);
+                    let Some(sq_idx) = sq_idx else { continue };
+                    let mut progressed = false;
+                    if self.sq[sq_idx].addr.is_none() {
+                        if let Some(b) = self.try_operand(seq, base) {
+                            self.sq[sq_idx].addr = Some(Addr::new(b.wrapping_add(offset as u64)));
+                            self.resolve_store(seq, now);
+                            progressed = true;
+                        }
+                    }
+                    // `resolve_store` squashes only younger instructions,
+                    // never this store; re-find it defensively.
+                    if let Some(sq_idx) = self.sq.iter().position(|s| s.seq == seq) {
+                        if self.sq[sq_idx].data.is_none() && self.sq[sq_idx].addr.is_some() {
+                            if let Some(d) = self.try_operand(seq, src) {
+                                self.sq[sq_idx].data = Some(d);
+                                progressed = true;
+                            }
+                        }
+                        if self.sq[sq_idx].resolved() {
+                            if let Some(e) = self.rob_entry_mut(seq) {
+                                if e.stage == Stage::Dispatched {
+                                    e.stage = Stage::Executing { done_at: now + 1 };
+                                }
+                            }
+                        }
+                    }
+                    if progressed {
+                        budget -= 1;
+                    }
+                }
+            }
+        }
+        self.issue_loads(now, image);
+    }
+
+    /// The load-issue pass: applies the defense scheme's policy, performs
+    /// store-to-load forwarding, and accesses the L1.
+    fn issue_loads(&mut self, now: Cycle, image: &mut Memory) {
+        let mut ports = 3usize; // L1-D read ports (Table 1)
+        let aggr = self.aggr;
+        for i in 0..self.lq.len() {
+            if ports == 0 {
+                break;
+            }
+            let e = &self.lq[i];
+            if e.invisible && e.performed() && !e.exposing {
+                // InvisiSpec exposure: once the load reaches its VP, issue
+                // the second, visible access to validate the early value.
+                let status = self.vp_status_for(i, &aggr);
+                if self.vp_mask.reached(status) {
+                    self.expose_load(i, now, image);
+                    ports -= 1;
+                }
+                continue;
+            }
+            if e.performed() || e.waiting_fill {
+                continue;
+            }
+            let Some(addr) = e.addr else { continue };
+            let seq = e.seq;
+            // Loads younger than an active fence must not issue.
+            if aggr.oldest_active_fence.is_some_and(|f| f < seq) {
+                continue;
+            }
+            let line = addr.line();
+            let status = self.vp_status_for(i, &aggr);
+            let vp_reached = self.vp_mask.reached(status);
+            let l1_hit = self.l1.peek(line).is_some_and(|s| s.readable());
+            let tainted = self.policy.tracks_taint()
+                && self.rob_entry(seq).is_some_and(|d| {
+                    self.taint.any_tainted(d.srcs.iter().filter_map(|&(_, p)| p))
+                });
+            let ctx = LoadContext { vp_reached, l1_hit, address_tainted: tainted };
+            if let Err(block) = self.policy.may_issue(ctx) {
+                let key = match block {
+                    pl_secure::scheme::IssueBlock::WaitVp => "stall.vp",
+                    pl_secure::scheme::IssueBlock::WaitMissVp => "stall.dom_miss",
+                    pl_secure::scheme::IssueBlock::WaitTaint => "stall.taint",
+                };
+                self.stats.incr(key);
+                continue;
+            }
+            // Store-to-load forwarding from older SQ entries.
+            let word = addr.raw() >> 3;
+            let fwd = self
+                .sq
+                .iter()
+                .rev()
+                .filter(|s| s.seq < seq)
+                .find(|s| s.addr.is_some_and(|a| a.raw() >> 3 == word));
+            if let Some(store) = fwd {
+                let from = store.seq;
+                match store.data {
+                    Some(v) => {
+                        self.perform_load(i, v, true, Some(from), now, !vp_reached);
+                        ports -= 1;
+                    }
+                    None => {
+                        // Matching older store without data: wait.
+                        self.stats.incr("stall.store_data");
+                    }
+                }
+                continue;
+            }
+            // Write-buffer forwarding (retired but unmerged own stores).
+            if let Some(v) = self.wb.forward(addr) {
+                self.perform_load(i, v, true, None, now, !vp_reached);
+                ports -= 1;
+                continue;
+            }
+            if self.policy.issues_invisibly() && !vp_reached {
+                // Invisible speculation: bind the value without changing
+                // cache state; validate at the VP (exposure). The access
+                // still pays a realistic latency — the L1 hit time when
+                // the line is resident, otherwise a memory round trip.
+                // Without consulting the directory we cannot tell LLC
+                // from DRAM residency, so the miss case is charged the
+                // full DRAM latency: conservative for the invisible
+                // scheme (it can only look worse, never unfairly better).
+                let v = image.read(addr);
+                let latency = if l1_hit {
+                    self.cfg.mem.l1d.hit_latency
+                } else {
+                    self.cfg.mem.llc_slice.hit_latency
+                        + 2 * self.cfg.mem.hop_latency
+                        + self.cfg.mem.dram_latency
+                };
+                self.perform_load(i, v, false, None, now, false);
+                self.lq[i].invisible = true;
+                if let Some(d) = self.rob_entry_mut(seq) {
+                    d.stage = Stage::Executing { done_at: now + latency };
+                }
+                self.stats.incr("loads.invisible");
+                ports -= 1;
+                continue;
+            }
+            if l1_hit {
+                self.l1.touch(line);
+                let v = image.read(addr);
+                self.stats.incr("l1.hits");
+                self.perform_load(i, v, false, None, now, !vp_reached);
+                ports -= 1;
+            } else {
+                match self.mshrs.allocate(line, seq, false) {
+                    Ok(primary) => {
+                        self.stats.incr("l1.misses");
+                        self.lq[i].waiting_fill = true;
+                        if self.governor.mode() == PinMode::Late
+                            && self.lq[i].pin == PinState::Unpinned
+                            && status.mcv_clear
+                            && !status.clear_except_mcv()
+                        {
+                            // unreachable in practice; placeholder branch
+                        }
+                        // Late Pinning: if this load issued under pin
+                        // eligibility (not merely as the oldest load),
+                        // mark it pin-pending so arrival pins it.
+                        if self.governor.mode() == PinMode::Late
+                            && status.clear_except_mcv()
+                            && self.pin_order_ok(i)
+                            && self.pin_eligible_base(i, &aggr)
+                        {
+                            self.lq[i].pin = PinState::Pending;
+                        }
+                        if primary {
+                            self.send(self.home(line), Msg::GetS { line, requester: self.id });
+                            self.prefetch_after(line);
+                        }
+                        ports -= 1;
+                    }
+                    Err(_) => {
+                        self.stats.incr("stall.mshr_full");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Issues the InvisiSpec exposure access for LQ entry `i`: an L1 hit
+    /// validates immediately; a miss fetches the line and validates on
+    /// arrival.
+    fn expose_load(&mut self, i: usize, now: Cycle, image: &mut Memory) {
+        let e = &self.lq[i];
+        let addr = e.addr.expect("performed load has an address");
+        let seq = e.seq;
+        let line = addr.line();
+        if self.l1.peek(line).is_some_and(|s| s.readable()) {
+            self.l1.touch(line);
+            self.stats.incr("l1.hits");
+            self.validate_exposed(i, now, image);
+        } else {
+            match self.mshrs.allocate(line, seq, false) {
+                Ok(primary) => {
+                    self.stats.incr("l1.misses");
+                    self.lq[i].exposing = true;
+                    if primary {
+                        self.send(self.home(line), Msg::GetS { line, requester: self.id });
+                        self.prefetch_after(line);
+                    }
+                }
+                Err(_) => self.stats.incr("stall.mshr_full"),
+            }
+        }
+    }
+
+    /// Compares the invisibly bound value against the now-coherent value;
+    /// a mismatch squashes and re-executes the load (InvisiSpec
+    /// validation failure).
+    fn validate_exposed(&mut self, i: usize, now: Cycle, image: &mut Memory) {
+        let e = &self.lq[i];
+        let addr = e.addr.expect("exposed load has an address");
+        let bound = e.value.expect("exposed load has a bound value");
+        let seq = e.seq;
+        let current = self.wb.forward(addr).unwrap_or_else(|| image.read(addr));
+        if current == bound {
+            self.lq[i].invisible = false;
+            self.lq[i].exposing = false;
+            self.stats.incr("loads.validated");
+        } else {
+            let pc = self.rob_entry(seq).expect("load in ROB").pc;
+            self.stats.incr("squash.validation");
+            self.squash_from(seq, pc, now);
+        }
+    }
+
+    /// Next-line prefetcher (Table 1): on a demand miss, fetch the
+    /// following lines too. Prefetches piggyback on the MSHR file with a
+    /// sentinel waiter so squashes never wake anything, and are dropped
+    /// when MSHRs are scarce — demand misses keep priority.
+    fn prefetch_after(&mut self, line: LineAddr) {
+        for d in 1..=self.cfg.mem.prefetch_degree {
+            if self.mshrs.len() + 2 > self.cfg.mem.l1d.mshr_entries {
+                return; // leave headroom for demand misses
+            }
+            let next = LineAddr::from_line_number(line.raw().wrapping_add(d as u64));
+            if self.l1.peek(next).is_some() || self.mshrs.contains(next) || self.wb.has_line(next)
+            {
+                continue;
+            }
+            if self.mshrs.allocate(next, SeqNum(u64::MAX), false) == Ok(true) {
+                self.stats.incr("l1.prefetches");
+                self.send(self.home(next), Msg::GetS { line: next, requester: self.id });
+            }
+        }
+    }
+
+    /// Binds a load's value ("performs" it) and schedules completion.
+    /// `forwarded_from` is the in-flight store that supplied the value,
+    /// if any (see `LqEntry::forwarded_from`).
+    fn perform_load(
+        &mut self,
+        i: usize,
+        value: u64,
+        forwarded: bool,
+        forwarded_from: Option<SeqNum>,
+        now: Cycle,
+        pre_vp: bool,
+    ) {
+        let hit_latency = self.cfg.mem.l1d.hit_latency;
+        let e = &mut self.lq[i];
+        e.value = Some(value);
+        e.performed_at = Some(now);
+        e.forwarded = forwarded;
+        e.forwarded_from = forwarded_from;
+        e.waiting_fill = false;
+        let seq = e.seq;
+        self.stats.incr("loads.performed");
+        if forwarded {
+            self.stats.incr("loads.forwarded");
+        }
+        if self.policy.tracks_taint() && pre_vp {
+            self.taint.mark(seq);
+        }
+        if let Some(d) = self.rob_entry_mut(seq) {
+            d.result = Some(value);
+            d.stage = Stage::Executing { done_at: now + hit_latency };
+        }
+    }
+
+    /// Performs a load that was waiting on a fill that just installed.
+    fn perform_waiting_load(&mut self, seq: SeqNum, now: Cycle, image: &mut Memory) {
+        let Some(i) = self.lq.iter().position(|l| l.seq == seq) else { return };
+        if self.lq[i].exposing {
+            // InvisiSpec exposure fill arrived: validate the bound value.
+            self.validate_exposed(i, now, image);
+            return;
+        }
+        if self.lq[i].performed() {
+            return;
+        }
+        self.lq[i].waiting_fill = false;
+        let addr = self.lq[i].addr.expect("waiting load has an address");
+        let word = addr.raw() >> 3;
+        // An older store may have resolved while the fill was in flight;
+        // re-check forwarding so the load binds the correct value.
+        let fwd = self
+            .sq
+            .iter()
+            .rev()
+            .filter(|s| s.seq < seq)
+            .find(|s| s.addr.is_some_and(|a| a.raw() >> 3 == word));
+        let aggr = self.aggr;
+        let pre_vp = {
+            let status = self.vp_status_for(i, &aggr);
+            !self.vp_mask.reached(status)
+        };
+        match fwd {
+            Some(store) => {
+                let from = store.seq;
+                match store.data {
+                    Some(v) => self.perform_load(i, v, true, Some(from), now, pre_vp),
+                    None => {
+                        // Wait for the store's data; the issue pass will
+                        // retry forwarding (the line is now resident, so
+                        // no new miss).
+                    }
+                }
+            }
+            None => {
+                let from_wb = self.wb.forward(addr);
+                let v = from_wb.unwrap_or_else(|| image.read(addr));
+                self.perform_load(i, v, from_wb.is_some(), None, now, pre_vp);
+            }
+        }
+    }
+
+    // ---- operand reading ----
+
+    /// Returns `true` once every source operand of `seq` is ready.
+    fn operands_ready(&self, seq: SeqNum) -> bool {
+        let Some(e) = self.rob_entry(seq) else { return false };
+        e.srcs.iter().all(|&(r, _)| self.try_operand(seq, r).is_some())
+    }
+
+    /// The current value of `reg` as seen by instruction `seq`, or `None`
+    /// if its producer has not completed.
+    fn try_operand(&self, seq: SeqNum, reg: Reg) -> Option<u64> {
+        if reg.is_zero() {
+            return Some(0);
+        }
+        let e = self.rob_entry(seq)?;
+        let producer = e.srcs.iter().find(|&&(r, _)| r == reg).map(|&(_, p)| p)?;
+        match producer {
+            Some(p) => match self.rob_entry(p) {
+                Some(prod) if prod.completed() => prod.result,
+                Some(_) => None,
+                // Producer committed: its value is architectural.
+                None => Some(self.regfile[reg.index()]),
+            },
+            None => Some(self.regfile[reg.index()]),
+        }
+    }
+
+    /// Like [`Core::try_operand`] but panics if unready; used at
+    /// resolution time when readiness was already established.
+    fn operand_value(&self, seq: SeqNum, reg: Reg) -> u64 {
+        self.try_operand(seq, reg).expect("operand ready at resolution")
+    }
+
+    // ---- dispatch & fetch ----
+
+    fn dispatch(&mut self, now: Cycle) {
+        for _ in 0..self.cfg.core.fetch_width {
+            if self.rob.len() == self.cfg.core.rob_entries {
+                self.stats.incr("stall.rob_full");
+                break;
+            }
+            let Some(front) = self.fetch_buf.front() else { break };
+            let inst = front.inst;
+            if inst.is_load() && !inst.is_atomic() && self.lq.len() == self.cfg.core.lq_entries {
+                self.stats.incr("stall.lq_full");
+                break;
+            }
+            if matches!(inst, Inst::Store { .. }) && self.sq.len() == self.cfg.core.sq_entries {
+                self.stats.incr("stall.sq_full");
+                break;
+            }
+            let f = self.fetch_buf.pop_front().expect("front checked");
+            let seq = self.next_seq;
+            self.next_seq = seq.next();
+            // Record source operands and their producers from the
+            // current rename map.
+            let srcs: Vec<(Reg, Option<SeqNum>)> = f
+                .inst
+                .use_regs()
+                .iter()
+                .map(|&r| (r, if r.is_zero() { None } else { self.rename[r.index()] }))
+                .collect();
+            let prev_map = f.inst.def_reg().map(|r| {
+                let old = self.rename[r.index()];
+                self.rename[r.index()] = Some(seq);
+                (r, old)
+            });
+            if f.inst.is_load() && !f.inst.is_atomic() {
+                let lq_id = self.governor.alloc_lq_id();
+                self.lq.push(LqEntry::new(seq, lq_id));
+            }
+            if matches!(f.inst, Inst::Store { .. }) {
+                self.sq.push(SqEntry::new(seq));
+            }
+            self.rob.push_back(DynInst {
+                seq,
+                pc: f.pc,
+                inst: f.inst,
+                stage: Stage::Dispatched,
+                result: None,
+                pred: f.pred,
+                prev_map,
+                srcs,
+                dispatched_at: now,
+            });
+        }
+    }
+
+    fn fetch(&mut self, now: Cycle) {
+        if self.fetch_halted || now < self.fetch_stalled_until {
+            return;
+        }
+        for _ in 0..self.cfg.core.fetch_width {
+            if self.fetch_buf.len() >= FETCH_BUF_CAP {
+                break;
+            }
+            let pc = self.fetch_pc;
+            let inst = self.program.fetch(pc);
+            let mut next = pc.next();
+            let pred = if inst.is_control() {
+                let (taken, target, ckpt) = match inst {
+                    Inst::Branch { target, .. } => {
+                        let (taken, ckpt) = self.bp.predict_cond(pc);
+                        (taken, if taken { target } else { pc.next() }, ckpt)
+                    }
+                    Inst::Jump { target } | Inst::Call { target } => {
+                        let ckpt = self.bp.checkpoint();
+                        if matches!(inst, Inst::Call { .. }) {
+                            self.bp.push_return(pc.next());
+                        }
+                        (true, target, ckpt)
+                    }
+                    Inst::Ret => {
+                        let ckpt = self.bp.checkpoint();
+                        let target = self.bp.pop_return().unwrap_or_else(|| pc.next());
+                        (true, target, ckpt)
+                    }
+                    _ => unreachable!("is_control covers these"),
+                };
+                next = target;
+                Some(PredInfo { taken, target, checkpoint: ckpt })
+            } else {
+                None
+            };
+            self.fetch_buf.push_back(Fetched { pc, inst, pred });
+            self.fetch_pc = next;
+            if inst == Inst::Halt {
+                self.fetch_halted = true;
+                break;
+            }
+        }
+    }
+
+    // ---- squash ----
+
+    /// Squashes every instruction with `seq >= first_bad` and redirects
+    /// fetch to `refetch`.
+    fn squash_from(&mut self, first_bad: SeqNum, refetch: Pc, now: Cycle) {
+        while let Some(back) = self.rob.back() {
+            if back.seq < first_bad {
+                break;
+            }
+            let e = self.rob.pop_back().expect("back checked");
+            if let Some((reg, old)) = e.prev_map {
+                self.rename[reg.index()] = old;
+            }
+            self.stats.incr("squashed_insts");
+        }
+        debug_assert!(
+            self.lq.iter().all(|e| e.seq < first_bad || e.pin != PinState::Pinned),
+            "a pinned load is being squashed"
+        );
+        self.lq.retain(|e| e.seq < first_bad);
+        self.sq.retain(|e| e.seq < first_bad);
+        self.mshrs.squash_younger(first_bad);
+        self.taint.squash_younger(first_bad);
+        self.next_seq = first_bad;
+        self.fetch_buf.clear();
+        self.fetch_pc = refetch;
+        self.fetch_halted = false;
+        self.fetch_stalled_until = now + 1;
+        self.stats.incr("squashes");
+    }
+
+    // ---- ROB lookup ----
+
+    fn rob_entry(&self, seq: SeqNum) -> Option<&DynInst> {
+        let head = self.rob.front()?.seq;
+        if seq < head {
+            return None;
+        }
+        let idx = (seq.0 - head.0) as usize;
+        let e = self.rob.get(idx)?;
+        debug_assert_eq!(e.seq, seq, "ROB sequence numbers must be dense");
+        Some(e)
+    }
+
+    fn rob_entry_mut(&mut self, seq: SeqNum) -> Option<&mut DynInst> {
+        let head = self.rob.front()?.seq;
+        if seq < head {
+            return None;
+        }
+        let idx = (seq.0 - head.0) as usize;
+        self.rob.get_mut(idx)
+    }
+}

@@ -1,0 +1,326 @@
+//! An assembler-style program builder with forward-reference labels.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::{AluOp, BranchCond, Inst, Operand, Reg};
+use crate::program::{Pc, Program};
+
+/// An opaque label handle created by [`ProgramBuilder::new_label`] and
+/// resolved to a [`Pc`] when the program is built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Error produced by [`ProgramBuilder::build`] or [`ProgramBuilder::bind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// A label was referenced by a branch/jump but never bound.
+    UnboundLabel(usize),
+    /// [`ProgramBuilder::bind`] was called twice on the same label.
+    RebondLabel(usize),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel(id) => write!(f, "label {id} was used but never bound"),
+            BuildError::RebondLabel(id) => write!(f, "label {id} was bound more than once"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Builds a [`Program`] instruction by instruction.
+///
+/// Labels may be referenced before they are bound; [`ProgramBuilder::build`]
+/// patches all uses and verifies that every referenced label was bound. A
+/// terminal `Halt` is appended automatically if the last instruction is not
+/// already one, so execution can never fall off the end.
+///
+/// # Examples
+///
+/// A counted loop:
+///
+/// ```
+/// use pl_isa::{BranchCond, ProgramBuilder, Reg};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ProgramBuilder::new();
+/// let counter = Reg::new(1)?;
+/// let top = b.new_label();
+/// b.addi(counter, Reg::ZERO, 100);
+/// b.bind(top)?;
+/// b.addi(counter, counter, -1);
+/// b.branch(BranchCond::Ne, counter, Reg::ZERO, top);
+/// let program = b.build()?;
+/// assert_eq!(program.len(), 4); // 3 written + auto halt
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    bound: HashMap<usize, Pc>,
+    // (instruction index, label id) pairs to patch at build time
+    fixups: Vec<(usize, usize)>,
+    next_label: usize,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns `true` if no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The PC the next emitted instruction will occupy.
+    pub fn here(&self) -> Pc {
+        Pc(self.insts.len())
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::RebondLabel`] if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), BuildError> {
+        if self.bound.insert(label.0, self.here()).is_some() {
+            return Err(BuildError::RebondLabel(label.0));
+        }
+        Ok(())
+    }
+
+    /// Emits a raw instruction. Prefer the mnemonic helpers below.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// Emits `dst = op(src1, src2)`.
+    pub fn alu(&mut self, op: AluOp, dst: Reg, src1: Reg, src2: impl Into<Operand>) -> &mut Self {
+        self.push(Inst::Alu { op, dst, src1, src2: src2.into() })
+    }
+
+    /// Emits `dst = src + imm` (the idiomatic register-move/constant idiom).
+    pub fn addi(&mut self, dst: Reg, src: Reg, imm: i64) -> &mut Self {
+        self.alu(AluOp::Add, dst, src, Operand::Imm(imm))
+    }
+
+    /// Emits `dst = mem[base + offset]`.
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::Load { dst, base, offset })
+    }
+
+    /// Emits `mem[base + offset] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::Store { src, base, offset })
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn branch(&mut self, cond: BranchCond, src1: Reg, src2: Reg, label: Label) -> &mut Self {
+        let at = self.insts.len();
+        self.fixups.push((at, label.0));
+        self.push(Inst::Branch { cond, src1, src2, target: Pc(usize::MAX) })
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) -> &mut Self {
+        let at = self.insts.len();
+        self.fixups.push((at, label.0));
+        self.push(Inst::Jump { target: Pc(usize::MAX) })
+    }
+
+    /// Emits a call to `label`.
+    pub fn call(&mut self, label: Label) -> &mut Self {
+        let at = self.insts.len();
+        self.fixups.push((at, label.0));
+        self.push(Inst::Call { target: Pc(usize::MAX) })
+    }
+
+    /// Emits a return.
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(Inst::Ret)
+    }
+
+    /// Emits a full memory fence.
+    pub fn mfence(&mut self) -> &mut Self {
+        self.push(Inst::Mfence)
+    }
+
+    /// Emits an atomic fetch-and-add.
+    pub fn atomic_add(&mut self, dst: Reg, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::AtomicAdd { dst, src, base, offset })
+    }
+
+    /// Emits an atomic compare-and-swap.
+    pub fn atomic_cas(&mut self, dst: Reg, cmp: Reg, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::AtomicCas { dst, cmp, src, base, offset })
+    }
+
+    /// Emits a no-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::Nop)
+    }
+
+    /// Emits a halt.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::Halt)
+    }
+
+    /// Resolves all labels and produces the program.
+    ///
+    /// Appends a final `Halt` if the program does not already end with one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnboundLabel`] if any referenced label was
+    /// never bound.
+    pub fn build(mut self) -> Result<Program, BuildError> {
+        for &(at, label_id) in &self.fixups {
+            let target = *self
+                .bound
+                .get(&label_id)
+                .ok_or(BuildError::UnboundLabel(label_id))?;
+            match &mut self.insts[at] {
+                Inst::Branch { target: t, .. } | Inst::Jump { target: t } | Inst::Call { target: t } => {
+                    *t = target;
+                }
+                other => unreachable!("fixup points at non-control instruction {other}"),
+            }
+        }
+        if !matches!(self.insts.last(), Some(Inst::Halt)) {
+            self.insts.push(Inst::Halt);
+        }
+        Ok(Program::from_validated(self.insts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i).unwrap()
+    }
+
+    #[test]
+    fn forward_label_is_patched() {
+        let mut b = ProgramBuilder::new();
+        let skip = b.new_label();
+        b.jump(skip);
+        b.nop();
+        b.bind(skip).unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.fetch(Pc(0)), Inst::Jump { target: Pc(2) });
+    }
+
+    #[test]
+    fn backward_label_is_patched() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.bind(top).unwrap();
+        b.nop();
+        b.branch(BranchCond::Eq, Reg::ZERO, Reg::ZERO, top);
+        let p = b.build().unwrap();
+        match p.fetch(Pc(1)) {
+            Inst::Branch { target, .. } => assert_eq!(target, Pc(0)),
+            other => panic!("expected branch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let ghost = b.new_label();
+        b.jump(ghost);
+        assert!(matches!(b.build(), Err(BuildError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn rebinding_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.bind(l).unwrap();
+        assert_eq!(b.bind(l), Err(BuildError::RebondLabel(0)));
+    }
+
+    #[test]
+    fn auto_halt_appended_once() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        let p = b.build().unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.fetch(Pc(1)), Inst::Halt);
+
+        let mut b2 = ProgramBuilder::new();
+        b2.nop();
+        b2.halt();
+        assert_eq!(b2.build().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_program_becomes_single_halt() {
+        let p = ProgramBuilder::new().build().unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.fetch(Pc(0)), Inst::Halt);
+    }
+
+    #[test]
+    fn mnemonic_helpers_emit_expected_shapes() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.bind(l).unwrap();
+        b.addi(r(1), Reg::ZERO, 5)
+            .load(r(2), r(1), 8)
+            .store(r(2), r(1), 16)
+            .mfence()
+            .atomic_add(r(3), r(2), r(1), 0)
+            .atomic_cas(r(3), r(2), r(4), r(1), 0)
+            .call(l);
+        b.ret();
+        let p = b.build().unwrap();
+        assert!(matches!(p.fetch(Pc(0)), Inst::Alu { .. }));
+        assert!(matches!(p.fetch(Pc(1)), Inst::Load { .. }));
+        assert!(matches!(p.fetch(Pc(2)), Inst::Store { .. }));
+        assert_eq!(p.fetch(Pc(3)), Inst::Mfence);
+        assert!(p.fetch(Pc(4)).is_atomic());
+        assert!(p.fetch(Pc(5)).is_atomic());
+        assert_eq!(p.fetch(Pc(6)), Inst::Call { target: Pc(0) });
+        assert_eq!(p.fetch(Pc(7)), Inst::Ret);
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut b = ProgramBuilder::new();
+        assert_eq!(b.here(), Pc(0));
+        assert!(b.is_empty());
+        b.nop();
+        assert_eq!(b.here(), Pc(1));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn build_error_display() {
+        assert!(BuildError::UnboundLabel(3).to_string().contains("3"));
+        assert!(BuildError::RebondLabel(1).to_string().contains("bound more than once"));
+    }
+}

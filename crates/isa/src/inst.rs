@@ -1,0 +1,547 @@
+//! Instruction and register definitions.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::program::Pc;
+
+/// Number of architectural integer registers.
+pub const NUM_REGS: usize = 32;
+
+/// An architectural register identifier.
+///
+/// Register 0 ([`Reg::ZERO`]) is hardwired to zero, as in RISC ISAs: writes
+/// to it are discarded and reads always yield zero.
+///
+/// # Examples
+///
+/// ```
+/// use pl_isa::Reg;
+/// let r = Reg::new(5)?;
+/// assert_eq!(r.index(), 5);
+/// assert!(Reg::new(32).is_err());
+/// # Ok::<(), pl_isa::RegError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegError`] if `index` is not below [`NUM_REGS`].
+    pub fn new(index: u8) -> Result<Reg, RegError> {
+        if (index as usize) < NUM_REGS {
+            Ok(Reg(index))
+        } else {
+            Err(RegError(index))
+        }
+    }
+
+    /// Returns the register number.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` if this is the hardwired-zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Error returned by [`Reg::new`] for an out-of-range register number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegError(u8);
+
+impl fmt::Display for RegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "register index {} is out of range (max {})", self.0, NUM_REGS - 1)
+    }
+}
+
+impl Error for RegError {}
+
+/// The second operand of an ALU instruction: a register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register operand.
+    Reg(Reg),
+    /// A sign-extended immediate operand.
+    Imm(i64),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+/// Arithmetic-logic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (longer latency).
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (modulo 64).
+    Shl,
+    /// Logical shift right (modulo 64).
+    Shr,
+    /// Unsigned set-less-than (1 if `a < b` else 0).
+    SltU,
+}
+
+impl AluOp {
+    /// Applies the operation to two 64-bit values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pl_isa::AluOp;
+    /// assert_eq!(AluOp::Add.apply(2, 3), 5);
+    /// assert_eq!(AluOp::SltU.apply(1, 2), 1);
+    /// assert_eq!(AluOp::Shl.apply(1, 65), 2); // shift amount is mod 64
+    /// ```
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b as u32),
+            AluOp::Shr => a.wrapping_shr(b as u32),
+            AluOp::SltU => u64::from(a < b),
+        }
+    }
+
+    /// Returns `true` for long-latency operations (multiply class).
+    pub fn is_long_latency(self) -> bool {
+        matches!(self, AluOp::Mul)
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::SltU => "sltu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Branch comparison conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Taken if the operands are equal.
+    Eq,
+    /// Taken if the operands differ.
+    Ne,
+    /// Taken if `a < b` (unsigned).
+    LtU,
+    /// Taken if `a >= b` (unsigned).
+    GeU,
+}
+
+impl BranchCond {
+    /// Evaluates the condition on two 64-bit values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pl_isa::BranchCond;
+    /// assert!(BranchCond::Eq.eval(3, 3));
+    /// assert!(BranchCond::LtU.eval(1, 2));
+    /// assert!(!BranchCond::GeU.eval(1, 2));
+    /// ```
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::LtU => a < b,
+            BranchCond::GeU => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for BranchCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::LtU => "bltu",
+            BranchCond::GeU => "bgeu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A decoded instruction.
+///
+/// Effective addresses for memory instructions are `base + offset`. Branch
+/// and jump targets are absolute instruction indices ([`Pc`]), resolved by
+/// the [`crate::ProgramBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `dst = op(src1, src2)`.
+    Alu {
+        /// Operation to perform.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        src1: Reg,
+        /// Second source operand.
+        src2: Operand,
+    },
+    /// `dst = mem[base + offset]` (64-bit).
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset.
+        offset: i64,
+    },
+    /// `mem[base + offset] = src` (64-bit).
+    Store {
+        /// Source data register.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset.
+        offset: i64,
+    },
+    /// Conditional branch to `target` when `cond(src1, src2)` holds.
+    Branch {
+        /// Comparison condition.
+        cond: BranchCond,
+        /// First comparison register.
+        src1: Reg,
+        /// Second comparison register.
+        src2: Reg,
+        /// Absolute target PC when taken.
+        target: Pc,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Absolute target PC.
+        target: Pc,
+    },
+    /// Direct call: pushes the return address onto the RAS and jumps.
+    Call {
+        /// Absolute target PC.
+        target: Pc,
+    },
+    /// Return: pops the RAS.
+    Ret,
+    /// Full memory fence (`MFENCE`): no younger memory operation may issue
+    /// until all older ones complete; loads are never pinned past it.
+    Mfence,
+    /// Atomic fetch-and-add: `dst = mem[base+offset]; mem[base+offset] += src`.
+    /// Has `LOCK` semantics: acts as a fence on both sides.
+    AtomicAdd {
+        /// Destination register receiving the old memory value.
+        dst: Reg,
+        /// Register holding the addend.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset.
+        offset: i64,
+    },
+    /// Atomic compare-and-swap: `dst = mem[a]; if dst == cmp { mem[a] = src }`
+    /// where `a = base + offset`. `LOCK` semantics.
+    AtomicCas {
+        /// Destination register receiving the old memory value.
+        dst: Reg,
+        /// Register holding the expected value.
+        cmp: Reg,
+        /// Register holding the replacement value.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset.
+        offset: i64,
+    },
+    /// No operation.
+    Nop,
+    /// Stops the hart; the core idles afterwards.
+    Halt,
+}
+
+impl Inst {
+    /// The architectural destination register, if the instruction writes
+    /// one (writes to the zero register are reported as `None`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pl_isa::{AluOp, Inst, Operand, Reg};
+    /// let r1 = Reg::new(1).unwrap();
+    /// let i = Inst::Alu { op: AluOp::Add, dst: r1, src1: Reg::ZERO, src2: Operand::Imm(1) };
+    /// assert_eq!(i.def_reg(), Some(r1));
+    /// assert_eq!(Inst::Nop.def_reg(), None);
+    /// ```
+    pub fn def_reg(&self) -> Option<Reg> {
+        let dst = match *self {
+            Inst::Alu { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::AtomicAdd { dst, .. }
+            | Inst::AtomicCas { dst, .. } => dst,
+            _ => return None,
+        };
+        if dst.is_zero() {
+            None
+        } else {
+            Some(dst)
+        }
+    }
+
+    /// The architectural source registers, in operand order. The zero
+    /// register is included (it reads as zero but carries no dependence).
+    pub fn use_regs(&self) -> Vec<Reg> {
+        match *self {
+            Inst::Alu { src1, src2, .. } => match src2 {
+                Operand::Reg(r) => vec![src1, r],
+                Operand::Imm(_) => vec![src1],
+            },
+            Inst::Load { base, .. } => vec![base],
+            Inst::Store { src, base, .. } => vec![src, base],
+            Inst::Branch { src1, src2, .. } => vec![src1, src2],
+            Inst::AtomicAdd { src, base, .. } => vec![src, base],
+            Inst::AtomicCas { cmp, src, base, .. } => vec![cmp, src, base],
+            Inst::Jump { .. } | Inst::Call { .. } | Inst::Ret | Inst::Mfence | Inst::Nop
+            | Inst::Halt => vec![],
+        }
+    }
+
+    /// Returns `true` for loads (including the load half of atomics).
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::AtomicAdd { .. } | Inst::AtomicCas { .. })
+    }
+
+    /// Returns `true` for stores (including the store half of atomics).
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Store { .. } | Inst::AtomicAdd { .. } | Inst::AtomicCas { .. })
+    }
+
+    /// Returns `true` for any memory-accessing instruction.
+    pub fn is_mem(&self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Returns `true` for atomic read-modify-write instructions, which have
+    /// `LOCK` fence semantics (Section 5: loads are never pinned past them).
+    pub fn is_atomic(&self) -> bool {
+        matches!(self, Inst::AtomicAdd { .. } | Inst::AtomicCas { .. })
+    }
+
+    /// Returns `true` for instructions with fence ordering semantics
+    /// (`MFENCE` and atomics).
+    pub fn is_fence(&self) -> bool {
+        matches!(self, Inst::Mfence) || self.is_atomic()
+    }
+
+    /// Returns `true` for control-flow instructions that the branch
+    /// predictor must predict.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Inst::Branch { .. } | Inst::Jump { .. } | Inst::Call { .. } | Inst::Ret
+        )
+    }
+
+    /// Returns `true` only for conditional branches.
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Inst::Branch { .. })
+    }
+
+    /// The base register and offset of a memory instruction, if any.
+    pub fn mem_operand(&self) -> Option<(Reg, i64)> {
+        match *self {
+            Inst::Load { base, offset, .. }
+            | Inst::Store { base, offset, .. }
+            | Inst::AtomicAdd { base, offset, .. }
+            | Inst::AtomicCas { base, offset, .. } => Some((base, offset)),
+            _ => None,
+        }
+    }
+
+    /// The statically-known control target, if any (conditional branches,
+    /// jumps, and calls; returns have dynamic targets).
+    pub fn static_target(&self) -> Option<Pc> {
+        match *self {
+            Inst::Branch { target, .. } | Inst::Jump { target } | Inst::Call { target } => {
+                Some(target)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Alu { op, dst, src1, src2 } => write!(f, "{op} {dst}, {src1}, {src2}"),
+            Inst::Load { dst, base, offset } => write!(f, "ld {dst}, {offset}({base})"),
+            Inst::Store { src, base, offset } => write!(f, "st {src}, {offset}({base})"),
+            Inst::Branch { cond, src1, src2, target } => {
+                write!(f, "{cond} {src1}, {src2}, @{}", target.0)
+            }
+            Inst::Jump { target } => write!(f, "j @{}", target.0),
+            Inst::Call { target } => write!(f, "call @{}", target.0),
+            Inst::Ret => f.write_str("ret"),
+            Inst::Mfence => f.write_str("mfence"),
+            Inst::AtomicAdd { dst, src, base, offset } => {
+                write!(f, "amoadd {dst}, {src}, {offset}({base})")
+            }
+            Inst::AtomicCas { dst, cmp, src, base, offset } => {
+                write!(f, "amocas {dst}, {cmp}, {src}, {offset}({base})")
+            }
+            Inst::Nop => f.write_str("nop"),
+            Inst::Halt => f.write_str("halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i).unwrap()
+    }
+
+    #[test]
+    fn reg_bounds() {
+        assert!(Reg::new(31).is_ok());
+        assert!(Reg::new(32).is_err());
+        assert!(Reg::ZERO.is_zero());
+        assert!(!r(1).is_zero());
+        let msg = Reg::new(40).unwrap_err().to_string();
+        assert!(msg.contains("40"));
+    }
+
+    #[test]
+    fn alu_ops_semantics() {
+        assert_eq!(AluOp::Add.apply(u64::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1), u64::MAX);
+        assert_eq!(AluOp::Mul.apply(3, 5), 15);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Shl.apply(1, 4), 16);
+        assert_eq!(AluOp::Shr.apply(16, 4), 1);
+        assert_eq!(AluOp::SltU.apply(5, 5), 0);
+        assert!(AluOp::Mul.is_long_latency());
+        assert!(!AluOp::Add.is_long_latency());
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BranchCond::Eq.eval(1, 1));
+        assert!(BranchCond::Ne.eval(1, 2));
+        assert!(BranchCond::LtU.eval(0, u64::MAX));
+        assert!(BranchCond::GeU.eval(u64::MAX, 0));
+        assert!(!BranchCond::LtU.eval(1, 1));
+        assert!(BranchCond::GeU.eval(1, 1));
+    }
+
+    #[test]
+    fn def_reg_hides_zero_register() {
+        let write_zero = Inst::Load { dst: Reg::ZERO, base: r(1), offset: 0 };
+        assert_eq!(write_zero.def_reg(), None);
+        let write_r2 = Inst::Load { dst: r(2), base: r(1), offset: 0 };
+        assert_eq!(write_r2.def_reg(), Some(r(2)));
+    }
+
+    #[test]
+    fn use_regs_per_shape() {
+        let alu_rr = Inst::Alu { op: AluOp::Add, dst: r(3), src1: r(1), src2: Operand::Reg(r(2)) };
+        assert_eq!(alu_rr.use_regs(), vec![r(1), r(2)]);
+        let alu_ri = Inst::Alu { op: AluOp::Add, dst: r(3), src1: r(1), src2: Operand::Imm(7) };
+        assert_eq!(alu_ri.use_regs(), vec![r(1)]);
+        let st = Inst::Store { src: r(4), base: r(5), offset: 8 };
+        assert_eq!(st.use_regs(), vec![r(4), r(5)]);
+        assert!(Inst::Ret.use_regs().is_empty());
+        let cas =
+            Inst::AtomicCas { dst: r(1), cmp: r(2), src: r(3), base: r(4), offset: 0 };
+        assert_eq!(cas.use_regs(), vec![r(2), r(3), r(4)]);
+    }
+
+    #[test]
+    fn classification_predicates() {
+        let ld = Inst::Load { dst: r(1), base: r(2), offset: 0 };
+        let st = Inst::Store { src: r(1), base: r(2), offset: 0 };
+        let amo = Inst::AtomicAdd { dst: r(1), src: r(2), base: r(3), offset: 0 };
+        assert!(ld.is_load() && !ld.is_store() && ld.is_mem() && !ld.is_fence());
+        assert!(!st.is_load() && st.is_store() && st.is_mem());
+        assert!(amo.is_load() && amo.is_store() && amo.is_atomic() && amo.is_fence());
+        assert!(Inst::Mfence.is_fence() && !Inst::Mfence.is_mem());
+        let br = Inst::Branch { cond: BranchCond::Eq, src1: r(1), src2: r(2), target: Pc(0) };
+        assert!(br.is_control() && br.is_cond_branch());
+        assert!(Inst::Ret.is_control() && !Inst::Ret.is_cond_branch());
+        assert_eq!(br.static_target(), Some(Pc(0)));
+        assert_eq!(Inst::Ret.static_target(), None);
+        assert_eq!(ld.mem_operand(), Some((r(2), 0)));
+        assert_eq!(Inst::Nop.mem_operand(), None);
+    }
+
+    #[test]
+    fn display_round_trips_key_shapes() {
+        let i = Inst::Alu { op: AluOp::Add, dst: r(1), src1: r(2), src2: Operand::Imm(-4) };
+        assert_eq!(i.to_string(), "add x1, x2, -4");
+        let l = Inst::Load { dst: r(1), base: r(2), offset: 16 };
+        assert_eq!(l.to_string(), "ld x1, 16(x2)");
+        assert_eq!(Inst::Halt.to_string(), "halt");
+    }
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(r(3)), Operand::Reg(r(3)));
+        assert_eq!(Operand::from(-1i64), Operand::Imm(-1));
+    }
+}

@@ -1,0 +1,47 @@
+//! The simulator's instruction set architecture.
+//!
+//! The paper evaluates on x86 binaries; shipping an x86 front end is out of
+//! scope, so the workloads run on a small RISC-style ISA that exercises the
+//! same microarchitectural mechanisms: register-to-register ALU operations,
+//! loads and stores (the transmitters the paper studies), conditional
+//! branches, calls/returns (exercising the RAS), memory fences, and atomic
+//! read-modify-writes (the `MFENCE`/`LOCK` class that Pinned Loads must
+//! never pin past, Section 5).
+//!
+//! Programs are built with [`ProgramBuilder`], a tiny assembler with
+//! forward-reference labels.
+//!
+//! # Examples
+//!
+//! ```
+//! use pl_isa::{BranchCond, Program, ProgramBuilder, Reg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = ProgramBuilder::new();
+//! let r1 = Reg::new(1)?;
+//! let r2 = Reg::new(2)?;
+//! let top = b.new_label();
+//! b.addi(r1, Reg::ZERO, 8);
+//! b.bind(top)?;
+//! b.load(r2, r1, 0);
+//! b.addi(r1, r1, -1);
+//! b.branch(BranchCond::Ne, r1, Reg::ZERO, top);
+//! b.halt();
+//! let prog: Program = b.build()?;
+//! assert_eq!(prog.len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod builder;
+pub mod inst;
+pub mod program;
+
+pub use asm::{disassemble, parse_asm, AsmError};
+pub use builder::{BuildError, Label, ProgramBuilder};
+pub use inst::{AluOp, BranchCond, Inst, Operand, Reg, RegError};
+pub use program::{Pc, Program};

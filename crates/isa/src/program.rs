@@ -1,0 +1,152 @@
+//! Program representation.
+
+use crate::inst::Inst;
+use std::fmt;
+
+/// A program counter: an absolute index into a [`Program`]'s instruction
+/// sequence.
+///
+/// # Examples
+///
+/// ```
+/// use pl_isa::Pc;
+/// let pc = Pc(4);
+/// assert_eq!(pc.next(), Pc(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc(pub usize);
+
+impl Pc {
+    /// The entry point of every program.
+    pub const ENTRY: Pc = Pc(0);
+
+    /// The fall-through successor.
+    pub fn next(self) -> Pc {
+        Pc(self.0 + 1)
+    }
+
+    /// Returns the raw instruction index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// An immutable, validated instruction sequence.
+///
+/// Construct one with [`crate::ProgramBuilder`]. Every branch target is
+/// guaranteed in-bounds, and execution cannot fall off the end (the builder
+/// appends a terminal `Halt` if the program lacks one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    pub(crate) fn from_validated(insts: Vec<Inst>) -> Program {
+        Program { insts }
+    }
+
+    /// Fetches the instruction at `pc`.
+    ///
+    /// Out-of-range PCs (possible transiently under wrong-path fetch)
+    /// return `Halt`, which the pipeline treats as "stop fetching down this
+    /// path".
+    pub fn fetch(&self, pc: Pc) -> Inst {
+        self.insts.get(pc.0).copied().unwrap_or(Inst::Halt)
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Iterates over `(pc, instruction)` pairs in layout order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pc, Inst)> + '_ {
+        self.insts.iter().enumerate().map(|(i, &inst)| (Pc(i), inst))
+    }
+
+    /// Renders the program as an assembly listing.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pl_isa::ProgramBuilder;
+    /// let mut b = ProgramBuilder::new();
+    /// b.nop();
+    /// let p = b.build()?;
+    /// assert!(p.listing().contains("nop"));
+    /// # Ok::<(), pl_isa::BuildError>(())
+    /// ```
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (pc, inst) in self.iter() {
+            let _ = writeln!(out, "{:>5}: {}", pc.0, inst);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "program ({} instructions)", self.insts.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn pc_successor() {
+        assert_eq!(Pc::ENTRY.next(), Pc(1));
+        assert_eq!(Pc(9).index(), 9);
+        assert_eq!(Pc(3).to_string(), "@3");
+    }
+
+    #[test]
+    fn fetch_out_of_range_is_halt() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        let p = b.build().unwrap();
+        // builder appends halt: len == 2
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.fetch(Pc(100)), Inst::Halt);
+    }
+
+    #[test]
+    fn iteration_matches_fetch() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        b.halt();
+        let p = b.build().unwrap();
+        for (pc, inst) in p.iter() {
+            assert_eq!(p.fetch(pc), inst);
+        }
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn listing_contains_every_pc() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        b.nop();
+        b.halt();
+        let p = b.build().unwrap();
+        let text = p.listing();
+        assert!(text.contains("0: nop"));
+        assert!(text.contains("2: halt"));
+    }
+}

@@ -1,0 +1,595 @@
+//! The full simulated machine: cores, interconnect, LLC/directory slices,
+//! and the functional memory image.
+//!
+//! [`Machine`] assembles the Table 1 system and drives it cycle by cycle:
+//! deliver coherence messages, tick the directory slices (with a
+//! [`PinView`] over the cores so pinned lines are never chosen as LLC
+//! victims), tick the cores, and route their outboxes through the mesh.
+//! [`Machine::run`] executes until every core quiesces, with a watchdog
+//! that reports a deadlock diagnosis instead of hanging — the scenario of
+//! Figure 4 is a test case, not a hazard, because the write-buffer
+//! occupancy check of Section 5.1.2 prevents it.
+//!
+//! # Examples
+//!
+//! ```
+//! use pl_base::{Addr, CoreId, MachineConfig};
+//! use pl_isa::{ProgramBuilder, Reg};
+//! use pl_machine::Machine;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = MachineConfig::default_single_core();
+//! let mut b = ProgramBuilder::new();
+//! let r1 = Reg::new(1)?;
+//! let r2 = Reg::new(2)?;
+//! b.addi(r1, Reg::ZERO, 0x1000); // pointer
+//! b.load(r2, r1, 0);             // r2 = mem[0x1000]
+//! b.store(r2, r1, 8);            // mem[0x1008] = r2
+//! let mut m = Machine::new(&cfg)?;
+//! m.load_program(CoreId(0), b.build()?);
+//! m.write_mem(Addr::new(0x1000), 7);
+//! let result = m.run(100_000)?;
+//! assert_eq!(m.read_mem(Addr::new(0x1008)), 7);
+//! assert!(result.cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use pl_base::{Addr, ConfigError, CoreId, Cycle, LineAddr, MachineConfig, Stats};
+use pl_cpu::Core;
+use pl_isa::{Program, Reg};
+use pl_mem::{LlcSlice, Memory, Msg, Noc, NodeId, PinView};
+use pl_secure::VpMask;
+
+/// Cycles without a single retirement before the watchdog declares a
+/// deadlock.
+const WATCHDOG_CYCLES: u64 = 300_000;
+
+/// How often the machine samples CPT occupancy (Section 9.2.2).
+const CPT_SAMPLE_PERIOD: u64 = 64;
+
+/// [`PinView`] over the cores' pin governors.
+struct CorePins<'a>(&'a [Core]);
+
+impl PinView for CorePins<'_> {
+    fn is_pinned(&self, core: CoreId, line: LineAddr) -> bool {
+        self.0.get(core.index()).is_some_and(|c| c.is_line_pinned(line))
+    }
+    fn is_pinned_by_any(&self, line: LineAddr) -> bool {
+        self.0.iter().any(|c| c.is_line_pinned(line))
+    }
+}
+
+/// Error returned by [`Machine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// No instruction retired for an extended period (300k cycles);
+    /// includes the cycle at which progress stopped and the instructions
+    /// retired so far.
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Total instructions retired before the stall.
+        retired: u64,
+    },
+    /// The cycle budget was exhausted before every core halted.
+    CycleLimit {
+        /// The exhausted budget.
+        limit: u64,
+        /// Total instructions retired.
+        retired: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Deadlock { cycle, retired } => {
+                write!(f, "no retirement progress by cycle {cycle} ({retired} retired)")
+            }
+            RunError::CycleLimit { limit, retired } => {
+                write!(f, "cycle limit {limit} reached with cores still running ({retired} retired)")
+            }
+        }
+    }
+}
+
+impl Error for RunError {}
+
+/// Results of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Total cycles simulated until the last core quiesced.
+    pub cycles: u64,
+    /// Instructions retired per core.
+    pub retired_per_core: Vec<u64>,
+    /// Merged statistics from every core, slice, and the NoC.
+    pub stats: Stats,
+}
+
+impl RunResult {
+    /// Total retired instructions across all cores.
+    pub fn total_retired(&self) -> u64 {
+        self.retired_per_core.iter().sum()
+    }
+
+    /// Machine-wide cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        self.cycles as f64 / self.total_retired().max(1) as f64
+    }
+}
+
+/// A complete simulated multicore machine.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    cores: Vec<Core>,
+    slices: Vec<LlcSlice>,
+    noc: Noc,
+    image: Memory,
+    now: Cycle,
+}
+
+impl Machine {
+    /// Builds a machine from a validated configuration. Every core
+    /// initially runs an empty (immediately halting) program; call
+    /// [`Machine::load_program`] per core.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`ConfigError`] if the configuration is
+    /// inconsistent.
+    pub fn new(cfg: &MachineConfig) -> Result<Machine, ConfigError> {
+        cfg.validate()?;
+        let empty = Arc::new(pl_isa::ProgramBuilder::new().build().expect("empty program builds"));
+        let cores = (0..cfg.num_cores)
+            .map(|i| Core::new(CoreId(i), cfg, Arc::clone(&empty)))
+            .collect();
+        let slices = (0..cfg.mem.llc_slices).map(|i| LlcSlice::new(i, &cfg.mem)).collect();
+        Ok(Machine {
+            cfg: cfg.clone(),
+            cores,
+            slices,
+            noc: Noc::new(cfg.mem.mesh_cols, cfg.mem.mesh_rows, cfg.mem.hop_latency),
+            image: Memory::new(),
+            now: Cycle::ZERO,
+        })
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Replaces the program on `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range or the machine already ran.
+    pub fn load_program(&mut self, core: CoreId, program: Program) {
+        assert_eq!(self.now, Cycle::ZERO, "programs must be loaded before running");
+        let program = Arc::new(program);
+        self.cores[core.index()] = Core::new(core, &self.cfg, program);
+    }
+
+    /// Loads the same program on every core (SPMD parallel workloads).
+    pub fn load_program_all(&mut self, program: Program) {
+        let program = Arc::new(program);
+        for i in 0..self.cores.len() {
+            assert_eq!(self.now, Cycle::ZERO, "programs must be loaded before running");
+            self.cores[i] = Core::new(CoreId(i), &self.cfg, Arc::clone(&program));
+        }
+    }
+
+    /// Overrides the Visibility-Point mask on every core (the Figure 1
+    /// study's cumulative release points).
+    pub fn set_vp_mask(&mut self, mask: VpMask) {
+        for c in &mut self.cores {
+            c.set_vp_mask(mask);
+        }
+    }
+
+    /// Seeds an architectural register on one core before the run.
+    pub fn set_reg(&mut self, core: CoreId, reg: Reg, value: u64) {
+        self.cores[core.index()].set_reg(reg, value);
+    }
+
+    /// Reads an architectural register after the run.
+    pub fn reg(&self, core: CoreId, reg: Reg) -> u64 {
+        self.cores[core.index()].reg(reg)
+    }
+
+    /// Writes the initial memory image.
+    pub fn write_mem(&mut self, addr: Addr, value: u64) {
+        self.image.write(addr, value);
+    }
+
+    /// Reads the (coherent) memory image.
+    pub fn read_mem(&self, addr: Addr) -> u64 {
+        self.image.read(addr)
+    }
+
+    /// Advances the machine one cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        // 1. Deliver due messages: core-bound first (they may generate
+        //    responses), then slice-bound under a pin view of the cores.
+        let delivered = self.noc.deliver(now);
+        let mut slice_bound: Vec<(usize, Msg)> = Vec::new();
+        for (_, dst, msg) in delivered {
+            match dst {
+                NodeId::Core(c) => self.cores[c.index()].handle_msg(msg, now, &mut self.image),
+                NodeId::Slice(s) => slice_bound.push((s, msg)),
+            }
+        }
+        {
+            let pins = CorePins(&self.cores);
+            for (s, msg) in slice_bound {
+                self.slices[s].handle(msg, now, &pins);
+            }
+            // 2. Tick slices (DRAM completions, allocation retries).
+            for slice in &mut self.slices {
+                slice.tick(now, &pins);
+            }
+        }
+        // 3. Tick cores.
+        for core in &mut self.cores {
+            core.tick(now, &mut self.image);
+        }
+        // 4. Route outboxes through the mesh.
+        for i in 0..self.cores.len() {
+            for (dst, msg) in self.cores[i].drain_outbox() {
+                self.noc.send(now, NodeId::Core(CoreId(i)), dst, msg);
+            }
+        }
+        for i in 0..self.slices.len() {
+            for (dst, msg) in self.slices[i].drain_outbox() {
+                self.noc.send(now, NodeId::Slice(i), dst, msg);
+            }
+        }
+        self.now += 1;
+    }
+
+    fn all_quiesced(&self) -> bool {
+        self.cores.iter().all(Core::quiesced) && self.noc.in_flight() == 0
+    }
+
+    /// Runs until every core halts and drains, up to `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Deadlock`] if no instruction retires for an
+    /// extended period, or [`RunError::CycleLimit`] if the budget runs
+    /// out.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunResult, RunError> {
+        let mut last_retired = self.total_retired();
+        let mut last_progress = self.now;
+        let mut cpt_stats = Stats::new();
+        while !self.all_quiesced() {
+            if self.now.raw() >= max_cycles {
+                return Err(RunError::CycleLimit { limit: max_cycles, retired: self.total_retired() });
+            }
+            self.tick();
+            let retired = self.total_retired();
+            if retired != last_retired {
+                last_retired = retired;
+                last_progress = self.now;
+            } else if self.now.since(last_progress) > WATCHDOG_CYCLES {
+                return Err(RunError::Deadlock { cycle: self.now.raw(), retired });
+            }
+            if self.now.raw() % CPT_SAMPLE_PERIOD == 0 {
+                for core in &self.cores {
+                    cpt_stats.sample("cpt.occupancy", core.governor().cpt().occupancy() as u64);
+                }
+            }
+        }
+        Ok(self.result_with(cpt_stats))
+    }
+
+    fn total_retired(&self) -> u64 {
+        self.cores.iter().map(Core::retired).sum()
+    }
+
+    /// Multi-line snapshot of every core's and slice's in-flight state,
+    /// for diagnosing stalls reported by [`RunError::Deadlock`].
+    pub fn dump_state(&self) -> String {
+        let mut out = String::new();
+        for core in &self.cores {
+            out.push_str(&core.debug_summary());
+            out.push('\n');
+        }
+        for slice in &self.slices {
+            out.push_str(&slice.debug_summary());
+            out.push('\n');
+        }
+        out.push_str(&format!("noc in flight: {}\n", self.noc.in_flight()));
+        out
+    }
+
+    /// Total lines currently pinned across all cores; zero after a
+    /// completed run (pins release at retirement).
+    pub fn pinned_line_count(&self) -> usize {
+        self.cores.iter().map(|c| c.governor().pinned_line_count()).sum()
+    }
+
+    fn result_with(&self, extra: Stats) -> RunResult {
+        let mut stats = extra;
+        for core in &self.cores {
+            stats.merge(core.stats());
+            stats.merge(core.governor().stats());
+            stats.add("cpt.insert_attempts", core.governor().cpt().insert_attempts());
+            stats.add("cpt.overflows", core.governor().cpt().overflows());
+            stats.sample("cpt.peak", core.governor().cpt().peak_occupancy() as u64);
+        }
+        for slice in &self.slices {
+            stats.merge(slice.stats());
+        }
+        stats.add("noc.messages", self.noc.messages_sent());
+        stats.add("noc.hops", self.noc.hops_traversed());
+        RunResult {
+            cycles: self.now.raw(),
+            retired_per_core: self.cores.iter().map(Core::retired).collect(),
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_base::{DefenseScheme, PinMode, PinnedLoadsConfig, ThreatModel};
+    use pl_isa::{BranchCond, ProgramBuilder};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i).unwrap()
+    }
+
+    fn single(cfg: &MachineConfig, b: ProgramBuilder) -> (Machine, RunResult) {
+        let mut m = Machine::new(cfg).unwrap();
+        m.load_program(CoreId(0), b.build().unwrap());
+        let res = m.run(5_000_000).unwrap();
+        (m, res)
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let cfg = MachineConfig::default_single_core();
+        let mut b = ProgramBuilder::new();
+        b.addi(r(1), Reg::ZERO, 0x2000);
+        b.addi(r(2), Reg::ZERO, 99);
+        b.store(r(2), r(1), 0);
+        b.load(r(3), r(1), 0);
+        b.store(r(3), r(1), 64);
+        let (m, _) = single(&cfg, b);
+        assert_eq!(m.read_mem(Addr::new(0x2000)), 99);
+        assert_eq!(m.read_mem(Addr::new(0x2040)), 99);
+    }
+
+    #[test]
+    fn pointer_chase_through_memory() {
+        let cfg = MachineConfig::default_single_core();
+        let mut m = Machine::new(&cfg).unwrap();
+        // A 4-node linked list: 0x1000 -> 0x3000 -> 0x5000 -> 0x7000 -> 0.
+        m.write_mem(Addr::new(0x1000), 0x3000);
+        m.write_mem(Addr::new(0x3000), 0x5000);
+        m.write_mem(Addr::new(0x5000), 0x7000);
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.addi(r(1), Reg::ZERO, 0x1000);
+        b.addi(r(2), Reg::ZERO, 0);
+        b.bind(top).unwrap();
+        b.load(r(1), r(1), 0);
+        b.addi(r(2), r(2), 1);
+        b.branch(BranchCond::Ne, r(1), Reg::ZERO, top);
+        m.load_program(CoreId(0), b.build().unwrap());
+        m.run(5_000_000).unwrap();
+        assert_eq!(m.reg(CoreId(0), r(2)), 4);
+    }
+
+    #[test]
+    fn store_to_load_forwarding_sees_unretired_store() {
+        let cfg = MachineConfig::default_single_core();
+        let mut b = ProgramBuilder::new();
+        b.addi(r(1), Reg::ZERO, 0x4000);
+        b.addi(r(2), Reg::ZERO, 5);
+        b.store(r(2), r(1), 0);
+        b.load(r(3), r(1), 0); // must forward 5
+        b.alu(pl_isa::AluOp::Add, r(4), r(3), 1i64);
+        let (m, res) = single(&cfg, b);
+        assert_eq!(m.reg(CoreId(0), r(4)), 6);
+        assert!(res.stats.get("loads.forwarded") >= 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = MachineConfig::default_single_core();
+        let build = || {
+            let mut b = ProgramBuilder::new();
+            let top = b.new_label();
+            b.addi(r(1), Reg::ZERO, 0x8000);
+            b.addi(r(2), Reg::ZERO, 50);
+            b.bind(top).unwrap();
+            b.store(r(2), r(1), 0);
+            b.load(r(3), r(1), 0);
+            b.addi(r(1), r(1), 64);
+            b.addi(r(2), r(2), -1);
+            b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+            b
+        };
+        let (_, a) = single(&cfg, build());
+        let (_, b2) = single(&cfg, build());
+        assert_eq!(a.cycles, b2.cycles);
+        assert_eq!(a.total_retired(), b2.total_retired());
+    }
+
+    #[test]
+    fn two_core_communication_through_coherence() {
+        // Core 0 writes a flag; core 1 spins on it, then reads the datum.
+        let cfg = MachineConfig::default_multi_core(2);
+        let mut m = Machine::new(&cfg).unwrap();
+        let data = 0x9000u64;
+        let flag = 0xa000u64;
+
+        let mut p0 = ProgramBuilder::new();
+        p0.addi(r(1), Reg::ZERO, data as i64);
+        p0.addi(r(2), Reg::ZERO, 1234);
+        p0.store(r(2), r(1), 0);
+        p0.addi(r(3), Reg::ZERO, flag as i64);
+        p0.addi(r(4), Reg::ZERO, 1);
+        p0.store(r(4), r(3), 0);
+        m.load_program(CoreId(0), p0.build().unwrap());
+
+        let mut p1 = ProgramBuilder::new();
+        let spin = p1.new_label();
+        p1.addi(r(3), Reg::ZERO, flag as i64);
+        p1.bind(spin).unwrap();
+        p1.load(r(4), r(3), 0);
+        p1.branch(BranchCond::Eq, r(4), Reg::ZERO, spin);
+        p1.addi(r(1), Reg::ZERO, data as i64);
+        p1.load(r(5), r(1), 0);
+        m.load_program(CoreId(1), p1.build().unwrap());
+
+        m.run(5_000_000).unwrap();
+        // TSO: once the flag is visible, the datum must be too.
+        assert_eq!(m.reg(CoreId(1), r(5)), 1234);
+    }
+
+    #[test]
+    fn atomic_add_from_all_cores_is_exact() {
+        let cfg = MachineConfig::default_multi_core(4);
+        let mut m = Machine::new(&cfg).unwrap();
+        let counter = 0xb000u64;
+        let mut p = ProgramBuilder::new();
+        let top = p.new_label();
+        p.addi(r(1), Reg::ZERO, counter as i64);
+        p.addi(r(2), Reg::ZERO, 1);
+        p.addi(r(3), Reg::ZERO, 25);
+        p.bind(top).unwrap();
+        p.atomic_add(r(4), r(2), r(1), 0);
+        p.addi(r(3), r(3), -1);
+        p.branch(BranchCond::Ne, r(3), Reg::ZERO, top);
+        m.load_program_all(p.build().unwrap());
+        m.run(20_000_000).unwrap();
+        assert_eq!(m.read_mem(Addr::new(counter)), 100, "4 cores x 25 increments");
+    }
+
+    fn defended_cfg(scheme: DefenseScheme, mode: PinMode) -> MachineConfig {
+        let mut cfg = MachineConfig::default_single_core();
+        cfg.defense = scheme;
+        cfg.threat_model = ThreatModel::Comprehensive;
+        cfg.pinned_loads = PinnedLoadsConfig::with_mode(mode);
+        cfg
+    }
+
+    fn chained_loads_program() -> ProgramBuilder {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.addi(r(1), Reg::ZERO, 0x10000);
+        b.addi(r(2), Reg::ZERO, 200);
+        b.bind(top).unwrap();
+        b.load(r(3), r(1), 0);
+        b.load(r(4), r(1), 64);
+        b.load(r(5), r(1), 128);
+        b.addi(r(1), r(1), 192);
+        b.addi(r(2), r(2), -1);
+        b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+        b
+    }
+
+    #[test]
+    fn every_defense_and_pin_mode_is_architecturally_identical() {
+        let mut reference: Option<u64> = None;
+        for scheme in [DefenseScheme::Unsafe, DefenseScheme::Fence, DefenseScheme::Dom, DefenseScheme::Stt] {
+            for mode in [PinMode::Off, PinMode::Late, PinMode::Early] {
+                if scheme == DefenseScheme::Unsafe && mode != PinMode::Off {
+                    continue;
+                }
+                let cfg = defended_cfg(scheme, mode);
+                let (m, res) = single(&cfg, chained_loads_program());
+                let final_r1 = m.reg(CoreId(0), r(1));
+                match reference {
+                    None => reference = Some(final_r1),
+                    Some(v) => assert_eq!(
+                        v, final_r1,
+                        "{scheme}/{mode:?} diverged architecturally"
+                    ),
+                }
+                assert!(res.total_retired() > 1000);
+            }
+        }
+    }
+
+    #[test]
+    fn fence_comp_is_slower_than_unsafe_and_pinning_recovers() {
+        let (_, unsafe_res) = single(&defended_cfg(DefenseScheme::Unsafe, PinMode::Off), chained_loads_program());
+        let (_, comp) = single(&defended_cfg(DefenseScheme::Fence, PinMode::Off), chained_loads_program());
+        let (_, ep) = single(&defended_cfg(DefenseScheme::Fence, PinMode::Early), chained_loads_program());
+        assert!(
+            comp.cycles > unsafe_res.cycles,
+            "Fence+Comp ({}) must cost more than Unsafe ({})",
+            comp.cycles,
+            unsafe_res.cycles
+        );
+        assert!(
+            ep.cycles < comp.cycles,
+            "Fence+EP ({}) must beat Fence+Comp ({})",
+            ep.cycles,
+            comp.cycles
+        );
+    }
+
+    #[test]
+    fn figure_4_scenario_does_not_deadlock() {
+        // Two cores store to each other's pinned lines then load their
+        // own: the Section 5.1.2 write-buffer check must avoid deadlock.
+        let cfg = {
+            let mut c = MachineConfig::default_multi_core(2);
+            c.defense = DefenseScheme::Fence;
+            c.pinned_loads = PinnedLoadsConfig::with_mode(PinMode::Early);
+            c
+        };
+        let x = 0xc000u64;
+        let y = 0xd000u64;
+        let mut m = Machine::new(&cfg).unwrap();
+        let prog = |mine: u64, theirs: u64| {
+            let mut b = ProgramBuilder::new();
+            let top = b.new_label();
+            b.addi(r(1), Reg::ZERO, mine as i64);
+            b.addi(r(2), Reg::ZERO, theirs as i64);
+            b.addi(r(5), Reg::ZERO, 50);
+            b.bind(top).unwrap();
+            b.store(r(5), r(1), 0);
+            b.store(r(5), r(1), 8);
+            b.load(r(3), r(2), 0);
+            b.addi(r(5), r(5), -1);
+            b.branch(BranchCond::Ne, r(5), Reg::ZERO, top);
+            b.build().unwrap()
+        };
+        m.load_program(CoreId(0), prog(x, y));
+        m.load_program(CoreId(1), prog(y, x));
+        let res = m.run(20_000_000).expect("no deadlock");
+        assert!(res.total_retired() > 100);
+    }
+
+    #[test]
+    fn cycle_limit_error_reports() {
+        let cfg = MachineConfig::default_single_core();
+        let mut b = ProgramBuilder::new();
+        let spin = b.new_label();
+        b.bind(spin).unwrap();
+        b.jump(spin); // infinite loop
+        let mut m = Machine::new(&cfg).unwrap();
+        m.load_program(CoreId(0), b.build().unwrap());
+        let err = m.run(10_000).unwrap_err();
+        assert!(matches!(err, RunError::CycleLimit { limit: 10_000, .. }));
+        assert!(!err.to_string().is_empty());
+    }
+}

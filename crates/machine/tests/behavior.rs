@@ -1,0 +1,344 @@
+//! Behavioral tests: each defense scheme and pinning design must exhibit
+//! its characteristic *dynamics*, not just correct results.
+
+use pl_base::{
+    Addr, CoreId, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, ThreatModel,
+};
+use pl_isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg};
+use pl_machine::{Machine, RunResult};
+
+fn r(i: u8) -> Reg {
+    Reg::new(i).unwrap()
+}
+
+fn cfg_with(scheme: DefenseScheme, pin: PinMode) -> MachineConfig {
+    let mut cfg = MachineConfig::default_single_core();
+    cfg.defense = scheme;
+    cfg.pinned_loads = PinnedLoadsConfig::with_mode(pin);
+    cfg
+}
+
+fn run(cfg: &MachineConfig, program: &Program) -> (Machine, RunResult) {
+    let mut m = Machine::new(cfg).unwrap();
+    m.load_program(CoreId(0), program.clone());
+    let res = m.run(100_000_000).unwrap();
+    (m, res)
+}
+
+/// A loop of L1-resident loads.
+fn hit_loop(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    b.addi(r(1), Reg::ZERO, 0x1000);
+    b.addi(r(2), Reg::ZERO, iters);
+    b.bind(top).unwrap();
+    b.load(r(3), r(1), 0);
+    b.load(r(4), r(1), 8);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+    b.build().unwrap()
+}
+
+/// A loop of streaming (missing) loads.
+fn miss_loop(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    b.addi(r(1), Reg::ZERO, 0x10_0000);
+    b.addi(r(2), Reg::ZERO, iters);
+    b.bind(top).unwrap();
+    b.load(r(3), r(1), 0);
+    b.addi(r(1), r(1), 64);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+    b.build().unwrap()
+}
+
+/// An index-then-data gather whose second load's address is tainted.
+/// The index loads *miss* (line stride over a large region), so their VP
+/// arrives late under Comp — the lag Early Pinning removes.
+fn gather_loop(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    b.addi(r(1), Reg::ZERO, 0x20_0000); // index table (zeros, streaming)
+    b.addi(r(6), Reg::ZERO, 0x4000); // data table (hot)
+    b.addi(r(2), Reg::ZERO, iters);
+    b.bind(top).unwrap();
+    b.load(r(5), r(1), 0); // index (misses)
+    b.alu(AluOp::And, r(5), r(5), 63i64);
+    b.alu(AluOp::Shl, r(5), r(5), 3i64);
+    b.alu(AluOp::Add, r(5), r(5), r(6));
+    b.load(r(10), r(5), 0); // dependent (tainted under STT)
+    b.addi(r(1), r(1), 64);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+    b.build().unwrap()
+}
+
+#[test]
+fn dom_is_cheap_on_hits_and_expensive_on_misses() {
+    let hits = hit_loop(300);
+    let misses = miss_loop(300);
+    let unsafe_cfg = cfg_with(DefenseScheme::Unsafe, PinMode::Off);
+    let dom = cfg_with(DefenseScheme::Dom, PinMode::Off);
+
+    let (_, u_hit) = run(&unsafe_cfg, &hits);
+    let (_, d_hit) = run(&dom, &hits);
+    let hit_overhead = d_hit.cycles as f64 / u_hit.cycles as f64;
+
+    let (_, u_miss) = run(&unsafe_cfg, &misses);
+    let (_, d_miss) = run(&dom, &misses);
+    let miss_overhead = d_miss.cycles as f64 / u_miss.cycles as f64;
+
+    assert!(
+        hit_overhead < 1.6,
+        "DOM must be nearly free on L1-resident code (got {hit_overhead:.2}x)"
+    );
+    assert!(
+        miss_overhead > 2.0,
+        "DOM must be expensive on streaming misses (got {miss_overhead:.2}x)"
+    );
+    assert!(d_miss.stats.get("stall.dom_miss") > 0, "DOM miss stalls must be recorded");
+    assert_eq!(d_hit.stats.get("stall.vp"), 0, "DOM never records fence stalls");
+}
+
+#[test]
+fn stt_stalls_only_tainted_addresses() {
+    let unsafe_cfg = cfg_with(DefenseScheme::Unsafe, PinMode::Off);
+    let stt = cfg_with(DefenseScheme::Stt, PinMode::Off);
+
+    // Untainted streaming loads: STT ~ free.
+    let misses = miss_loop(300);
+    let (_, u) = run(&unsafe_cfg, &misses);
+    let (_, s) = run(&stt, &misses);
+    assert!(
+        (s.cycles as f64) < 1.3 * u.cycles as f64,
+        "STT must not stall untainted loads ({} vs {})",
+        s.cycles,
+        u.cycles
+    );
+    assert_eq!(s.stats.get("stall.taint"), 0);
+
+    // Gather: the dependent load's address is tainted.
+    let gather = gather_loop(300);
+    let (_, ug) = run(&unsafe_cfg, &gather);
+    let (_, sg) = run(&stt, &gather);
+    assert!(sg.stats.get("stall.taint") > 0, "tainted stalls must occur on gathers");
+    assert!(
+        sg.cycles > ug.cycles,
+        "STT must slow the gather ({} vs {})",
+        sg.cycles,
+        ug.cycles
+    );
+
+    // EP accelerates the index load's VP, clearing the taint earlier.
+    let stt_ep = cfg_with(DefenseScheme::Stt, PinMode::Early);
+    let (_, eg) = run(&stt_ep, &gather);
+    assert!(
+        eg.cycles < sg.cycles,
+        "STT+EP ({}) must beat STT+Comp ({})",
+        eg.cycles,
+        sg.cycles
+    );
+}
+
+#[test]
+fn lp_beats_comp_and_ep_beats_lp_on_streaming_misses() {
+    let misses = miss_loop(400);
+    let (_, comp) = run(&cfg_with(DefenseScheme::Fence, PinMode::Off), &misses);
+    let (_, lp) = run(&cfg_with(DefenseScheme::Fence, PinMode::Late), &misses);
+    let (_, ep) = run(&cfg_with(DefenseScheme::Fence, PinMode::Early), &misses);
+    assert!(lp.cycles < comp.cycles, "LP ({}) < Comp ({})", lp.cycles, comp.cycles);
+    assert!(ep.cycles < lp.cycles, "EP ({}) < LP ({})", ep.cycles, lp.cycles);
+    assert!(ep.stats.get("pin.pins") > 0);
+    assert!(lp.stats.get("pin.pins") > 0);
+}
+
+#[test]
+fn spectre_model_ignores_mcv_and_beats_comprehensive() {
+    let misses = miss_loop(400);
+    let comp = cfg_with(DefenseScheme::Fence, PinMode::Off);
+    let mut spectre = comp.clone();
+    spectre.threat_model = ThreatModel::Spectre;
+    let (_, c) = run(&comp, &misses);
+    let (_, s) = run(&spectre, &misses);
+    assert!(
+        s.cycles * 2 < c.cycles,
+        "Spectre-model fence ({}) must be far cheaper than Comprehensive ({})",
+        s.cycles,
+        c.cycles
+    );
+}
+
+#[test]
+fn wrong_path_stores_never_reach_memory() {
+    // A never-taken branch guards a store; mispredictions may execute the
+    // store transiently, but it must never merge.
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    let skip = b.new_label();
+    b.addi(r(1), Reg::ZERO, 0x9000);
+    b.addi(r(2), Reg::ZERO, 200);
+    b.addi(r(5), Reg::ZERO, 0xbad);
+    b.bind(top).unwrap();
+    b.alu(AluOp::And, r(3), r(2), 1i64);
+    // r3 alternates 1/0; branch below is taken iff r3 == 3 (never).
+    b.addi(r(4), Reg::ZERO, 3);
+    b.branch(BranchCond::Ne, r(3), r(4), skip);
+    b.store(r(5), r(1), 0); // architecturally dead
+    b.bind(skip).unwrap();
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+    let program = b.build().unwrap();
+    for cfg in [
+        cfg_with(DefenseScheme::Unsafe, PinMode::Off),
+        cfg_with(DefenseScheme::Fence, PinMode::Early),
+    ] {
+        let (m, _) = run(&cfg, &program);
+        assert_eq!(
+            m.read_mem(Addr::new(0x9000)),
+            0,
+            "transient store leaked to memory under {}",
+            cfg.label()
+        );
+    }
+}
+
+#[test]
+fn next_line_prefetcher_helps_serialized_streams_and_is_accounted() {
+    // Under an unsafe core the demand stream saturates the MSHRs itself,
+    // so the prefetcher (deliberately) stays out of the way. Under a
+    // defended scheme the loads serialize near the ROB head, the MSHRs
+    // sit idle, and the next-line prefetcher roughly halves the miss
+    // count — the interesting interaction for DOM especially, where a
+    // prefetched line turns a pre-VP stall into a pre-VP hit.
+    let misses = miss_loop(400);
+    let mut off = cfg_with(DefenseScheme::Dom, PinMode::Off);
+    off.mem.prefetch_degree = 0;
+    let mut on = off.clone();
+    on.mem.prefetch_degree = 1;
+    let (_, without) = run(&off, &misses);
+    let (_, with) = run(&on, &misses);
+    assert_eq!(without.stats.get("l1.prefetches"), 0);
+    assert!(with.stats.get("l1.prefetches") > 100, "prefetches must issue");
+    assert!(
+        (with.cycles as f64) < 0.7 * without.cycles as f64,
+        "prefetching must substantially speed up a serialized stream ({} vs {})",
+        with.cycles,
+        without.cycles
+    );
+    assert!(
+        with.stats.get("l1.misses") < without.stats.get("l1.misses"),
+        "demand misses must drop"
+    );
+
+    // Unsafe baseline: demand MLP already saturates the MSHRs; the
+    // prefetcher must not make things worse.
+    let mut u_off = cfg_with(DefenseScheme::Unsafe, PinMode::Off);
+    u_off.mem.prefetch_degree = 0;
+    let mut u_on = u_off.clone();
+    u_on.mem.prefetch_degree = 1;
+    let (_, u0) = run(&u_off, &misses);
+    let (_, u1) = run(&u_on, &misses);
+    assert!(u1.cycles <= u0.cycles + u0.cycles / 10, "prefetching must not hurt unsafe MLP");
+}
+
+#[test]
+fn invisible_speculation_validates_and_outruns_fence() {
+    let misses = miss_loop(300);
+    let unsafe_cfg = cfg_with(DefenseScheme::Unsafe, PinMode::Off);
+    let fence = cfg_with(DefenseScheme::Fence, PinMode::Off);
+    let inv = cfg_with(DefenseScheme::Invisible, PinMode::Off);
+    let (_, u) = run(&unsafe_cfg, &misses);
+    let (_, f) = run(&fence, &misses);
+    let (_, i) = run(&inv, &misses);
+    assert!(
+        i.cycles < f.cycles,
+        "invisible speculation ({}) must beat Fence ({})",
+        i.cycles,
+        f.cycles
+    );
+    assert!(
+        i.cycles > u.cycles,
+        "the double access must cost something ({} vs {})",
+        i.cycles,
+        u.cycles
+    );
+    assert!(i.stats.get("loads.invisible") > 0, "pre-VP loads executed invisibly");
+    assert_eq!(
+        i.stats.get("loads.validated"),
+        i.stats.get("loads.invisible") - i.stats.get("squash.validation"),
+        "every invisible load is validated or squashed"
+    );
+}
+
+#[test]
+fn invisible_validation_catches_remote_writes() {
+    // Core 1 spins invisibly on a flag core 0 keeps changing; validation
+    // failures must re-execute the loads so the final observed value is
+    // the committed one.
+    let cfg = {
+        let mut c = MachineConfig::default_multi_core(2);
+        c.defense = DefenseScheme::Invisible;
+        c
+    };
+    let mut m = Machine::new(&cfg).unwrap();
+    let mut writer = ProgramBuilder::new();
+    let top = writer.new_label();
+    writer.addi(r(1), Reg::ZERO, 0x7000);
+    writer.addi(r(2), Reg::ZERO, 100);
+    writer.bind(top).unwrap();
+    writer.store(r(2), r(1), 0);
+    writer.addi(r(2), r(2), -1);
+    writer.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+    m.load_program(CoreId(0), writer.build().unwrap());
+
+    let mut reader = ProgramBuilder::new();
+    let spin = reader.new_label();
+    reader.addi(r(1), Reg::ZERO, 0x7000);
+    reader.bind(spin).unwrap();
+    reader.load(r(3), r(1), 0);
+    reader.addi(r(4), Reg::ZERO, 1);
+    reader.branch(BranchCond::Ne, r(3), r(4), spin); // spin until value 1
+    m.load_program(CoreId(1), reader.build().unwrap());
+    let res = m.run(100_000_000).unwrap();
+    assert_eq!(m.reg(CoreId(1), r(3)), 1, "reader must observe the final committed value");
+    assert!(res.total_retired() > 100);
+}
+
+#[test]
+fn conservative_tso_is_correct_and_not_faster() {
+    // The conservative implementation (any matching performed load is
+    // squashed; no oldest-load exemption in the LP issue rules) must stay
+    // architecturally identical and can only cost cycles.
+    let misses = miss_loop(300);
+    for pin in [PinMode::Off, PinMode::Late, PinMode::Early] {
+        let aggressive = cfg_with(DefenseScheme::Fence, pin);
+        let mut conservative = aggressive.clone();
+        conservative.core.conservative_tso = true;
+        let (ma, ra) = run(&aggressive, &misses);
+        let (mc, rc) = run(&conservative, &misses);
+        assert_eq!(
+            ma.reg(CoreId(0), r(1)),
+            mc.reg(CoreId(0), r(1)),
+            "architectural divergence under {pin:?}"
+        );
+        assert!(
+            rc.cycles >= ra.cycles,
+            "conservative TSO ({}) must not beat aggressive ({}) under {pin:?}",
+            rc.cycles,
+            ra.cycles
+        );
+    }
+}
+
+#[test]
+fn pinning_is_accounted_and_drains_to_zero() {
+    let misses = miss_loop(200);
+    let (m, res) = run(&cfg_with(DefenseScheme::Fence, PinMode::Early), &misses);
+    assert!(res.stats.get("pin.pins") >= 200, "every miss load should pin under EP");
+    assert_eq!(
+        m.pinned_line_count(),
+        0,
+        "every pin must release at retirement; none may outlive the run"
+    );
+}

@@ -1,0 +1,726 @@
+//! An LLC slice with its embedded directory bank.
+//!
+//! This is the home node of the MESI protocol. It implements:
+//!
+//! * Read (`GetS`) and write (`GetX`/`GetX*`) transactions, including the
+//!   Pinned Loads write transaction of Figure 3(b): the directory enters a
+//!   transient state, sharers respond to the *requester*, and the requester
+//!   finishes with `Unblock` (success) or `Abort` (a sharer deferred).
+//! * The starvation-avoidance retry flow of Figure 5: on an `Unblock` for a
+//!   starred write, the directory broadcasts `Clear` so sharers drop the
+//!   line from their Cannot-Pin Tables.
+//! * Inclusive-hierarchy evictions with the defer path: a victim whose
+//!   sharer pins the line cannot be evicted; the eviction is cancelled,
+//!   the victim's recency is refreshed, and the allocation retries
+//!   (Section 5.1.3).
+//! * Fixed-latency DRAM fetches for lines absent from the LLC.
+//!
+//! Requests that hit a line with an in-flight transaction are nacked and
+//! retried by the requester, matching "a transient state that rejects
+//! other requests to the line" (Section 5.1.1).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use pl_base::{CoreId, Cycle, LineAddr, MemConfig, Stats};
+
+use crate::cache::Cache;
+use crate::msg::{DataGrant, Msg, NodeId};
+use crate::PinView;
+
+/// Directory-visible state of a line resident in the LLC.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum DirState {
+    /// In the LLC, no L1 copies.
+    #[default]
+    Uncached,
+    /// Read-only copies at the listed cores.
+    Shared(Vec<CoreId>),
+    /// A single L1 holds the line in E or M.
+    Owned(CoreId),
+}
+
+impl DirState {
+    /// Cores holding a copy.
+    pub fn holders(&self) -> Vec<CoreId> {
+        match self {
+            DirState::Uncached => Vec::new(),
+            DirState::Shared(s) => s.clone(),
+            DirState::Owned(o) => vec![*o],
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct LlcLine {
+    state: DirState,
+    dirty: bool,
+}
+
+/// An in-flight transaction occupying a line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Txn {
+    /// Write with invalidations outstanding; waiting for Unblock/Abort.
+    Write { writer: CoreId, star: bool, others: Vec<CoreId> },
+    /// Read forwarded to the owner; waiting for CopyBack.
+    FwdS { owner: CoreId, requester: CoreId },
+    /// Write forwarded to the owner; waiting for Unblock/Abort.
+    FwdX { owner: CoreId, writer: CoreId, star: bool },
+    /// DRAM fetch in flight.
+    Fetch,
+    /// Back-invalidations outstanding for an eviction; the payload is the
+    /// line whose fill is waiting for this victim's way.
+    Evict { acks_left: usize, for_fill: LineAddr },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Timer {
+    DramDone(LineAddr),
+    RetryFill(LineAddr),
+}
+
+/// A fill waiting for DRAM and/or an LLC way.
+#[derive(Debug, Clone, Copy)]
+struct FillReq {
+    requester: CoreId,
+    write: bool,
+}
+
+/// Delay before re-attempting an allocation whose victims were all busy or
+/// pinned. Pinned loads retire in bounded time, so this always terminates.
+const RETRY_FILL_DELAY: u64 = 20;
+
+/// One LLC slice plus directory bank.
+///
+/// Drive it by feeding network messages to [`LlcSlice::handle`] and
+/// calling [`LlcSlice::tick`] every cycle; collect outbound messages with
+/// [`LlcSlice::drain_outbox`].
+#[derive(Debug)]
+pub struct LlcSlice {
+    id: usize,
+    cache: Cache<LlcLine>,
+    busy: HashMap<LineAddr, Txn>,
+    waiting_fills: HashMap<LineAddr, FillReq>,
+    timers: BinaryHeap<Reverse<(Cycle, u64, Timer)>>,
+    timer_seq: u64,
+    dram_latency: u64,
+    outbox: Vec<(NodeId, Msg)>,
+    stats: Stats,
+}
+
+impl LlcSlice {
+    /// Creates slice `id` with the geometry from `cfg`.
+    pub fn new(id: usize, cfg: &MemConfig) -> LlcSlice {
+        LlcSlice {
+            id,
+            cache: Cache::new(&cfg.llc_slice),
+            busy: HashMap::new(),
+            waiting_fills: HashMap::new(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            dram_latency: cfg.dram_latency,
+            outbox: Vec::new(),
+            stats: Stats::new(),
+        }
+    }
+
+    /// This slice's index (its tile on the mesh).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The directory state of `line`, if resident. Exposed for tests and
+    /// for the machine's invariant checks.
+    pub fn dir_state(&self, line: LineAddr) -> Option<DirState> {
+        self.cache.peek(line).map(|l| l.state.clone())
+    }
+
+    /// Returns `true` if a transaction is in flight for `line`.
+    pub fn is_busy(&self, line: LineAddr) -> bool {
+        self.busy.contains_key(&line)
+    }
+
+    /// One-line description of in-flight transactions for deadlock
+    /// diagnostics.
+    pub fn debug_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("slice{}:", self.id);
+        for (line, txn) in &self.busy {
+            let _ = write!(s, " busy[{line} {txn:?}]");
+        }
+        for line in self.waiting_fills.keys() {
+            let _ = write!(s, " fill_wait[{line}]");
+        }
+        let _ = write!(s, " timers={}", self.timers.len());
+        s
+    }
+
+    /// Removes and returns all outbound messages.
+    pub fn drain_outbox(&mut self) -> Vec<(NodeId, Msg)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    fn send(&mut self, dst: NodeId, msg: Msg) {
+        self.outbox.push((dst, msg));
+    }
+
+    fn arm_timer(&mut self, at: Cycle, t: Timer) {
+        self.timer_seq += 1;
+        self.timers.push(Reverse((at, self.timer_seq, t)));
+    }
+
+    /// Processes timers due at `now` (DRAM completions, allocation
+    /// retries).
+    pub fn tick(&mut self, now: Cycle, pins: &dyn PinView) {
+        while let Some(Reverse((at, _, _))) = self.timers.peek() {
+            if *at > now {
+                break;
+            }
+            let Reverse((_, _, timer)) = self.timers.pop().expect("peeked timer exists");
+            match timer {
+                Timer::DramDone(line) | Timer::RetryFill(line) => self.try_place(line, now, pins),
+            }
+        }
+    }
+
+    /// Handles one inbound message.
+    pub fn handle(&mut self, msg: Msg, now: Cycle, pins: &dyn PinView) {
+        match msg {
+            Msg::GetS { line, requester } => self.on_gets(line, requester, now),
+            Msg::GetX { line, requester, star } => self.on_getx(line, requester, star, now),
+            Msg::PutS { line, from } => self.on_puts(line, from),
+            Msg::PutM { line, from } => self.on_putm(line, from),
+            Msg::Unblock { line, from } => self.on_unblock(line, from),
+            Msg::Abort { line, from } => self.on_abort(line, from),
+            Msg::CopyBack { line, from, dirty } => self.on_copyback(line, from, dirty),
+            Msg::BackInvAck { line, from, dirty } => self.on_backinv_ack(line, from, dirty, now, pins),
+            Msg::BackInvDefer { line, from } => self.on_backinv_defer(line, from, now),
+            other => {
+                debug_assert!(false, "slice {} received unexpected message {other}", self.id);
+            }
+        }
+    }
+
+    fn on_gets(&mut self, line: LineAddr, requester: CoreId, now: Cycle) {
+        self.stats.incr("llc.gets");
+        if self.busy.contains_key(&line) {
+            self.stats.incr("llc.nacks");
+            self.send(NodeId::Core(requester), Msg::Nack { line, was_write: false });
+            return;
+        }
+        match self.cache.get_mut(line).map(|l| l.state.clone()) {
+            None => self.start_fetch(line, FillReq { requester, write: false }, now),
+            Some(DirState::Uncached) => {
+                // Sole copy: grant E so a later write upgrades silently.
+                self.set_state(line, DirState::Owned(requester));
+                self.send(
+                    NodeId::Core(requester),
+                    Msg::Data { line, grant: DataGrant::Exclusive, acks_expected: 0 },
+                );
+            }
+            Some(DirState::Shared(mut sharers)) => {
+                if !sharers.contains(&requester) {
+                    sharers.push(requester);
+                }
+                self.set_state(line, DirState::Shared(sharers));
+                self.send(
+                    NodeId::Core(requester),
+                    Msg::Data { line, grant: DataGrant::Shared, acks_expected: 0 },
+                );
+            }
+            Some(DirState::Owned(owner)) if owner == requester => {
+                // Stale request (the owner's eviction notice must have been
+                // reordered past a retry); re-grant.
+                self.send(
+                    NodeId::Core(requester),
+                    Msg::Data { line, grant: DataGrant::Exclusive, acks_expected: 0 },
+                );
+            }
+            Some(DirState::Owned(owner)) => {
+                self.busy.insert(line, Txn::FwdS { owner, requester });
+                self.send(NodeId::Core(owner), Msg::FwdGetS { line, requester });
+            }
+        }
+    }
+
+    fn on_getx(&mut self, line: LineAddr, requester: CoreId, star: bool, now: Cycle) {
+        self.stats.incr("llc.getx");
+        if star {
+            self.stats.incr("llc.getx_star");
+        }
+        if self.busy.contains_key(&line) {
+            self.stats.incr("llc.nacks");
+            self.send(NodeId::Core(requester), Msg::Nack { line, was_write: true });
+            return;
+        }
+        match self.cache.get_mut(line).map(|l| l.state.clone()) {
+            None => self.start_fetch(line, FillReq { requester, write: true }, now),
+            Some(DirState::Uncached) => {
+                self.set_state_dirty(line, DirState::Owned(requester));
+                self.send(
+                    NodeId::Core(requester),
+                    Msg::Data { line, grant: DataGrant::Modified, acks_expected: 0 },
+                );
+            }
+            Some(DirState::Shared(sharers)) => {
+                let others: Vec<CoreId> =
+                    sharers.iter().copied().filter(|&c| c != requester).collect();
+                if others.is_empty() {
+                    self.set_state_dirty(line, DirState::Owned(requester));
+                    self.send(
+                        NodeId::Core(requester),
+                        Msg::Data { line, grant: DataGrant::Modified, acks_expected: 0 },
+                    );
+                } else {
+                    self.send(
+                        NodeId::Core(requester),
+                        Msg::Data { line, grant: DataGrant::Modified, acks_expected: others.len() },
+                    );
+                    for &sharer in &others {
+                        self.send(NodeId::Core(sharer), Msg::Inv { line, requester, star });
+                    }
+                    self.busy.insert(line, Txn::Write { writer: requester, star, others });
+                }
+            }
+            Some(DirState::Owned(owner)) if owner == requester => {
+                self.set_state_dirty(line, DirState::Owned(requester));
+                self.send(
+                    NodeId::Core(requester),
+                    Msg::Data { line, grant: DataGrant::Modified, acks_expected: 0 },
+                );
+            }
+            Some(DirState::Owned(owner)) => {
+                self.busy.insert(line, Txn::FwdX { owner, writer: requester, star });
+                self.send(NodeId::Core(owner), Msg::FwdGetX { line, requester, star });
+            }
+        }
+    }
+
+    fn on_puts(&mut self, line: LineAddr, from: CoreId) {
+        if let Some(l) = self.cache.get_mut(line) {
+            if let DirState::Shared(sharers) = &mut l.state {
+                sharers.retain(|&c| c != from);
+                if sharers.is_empty() {
+                    l.state = DirState::Uncached;
+                }
+            } else if l.state == DirState::Owned(from) {
+                // A clean E copy was dropped.
+                l.state = DirState::Uncached;
+            }
+        }
+    }
+
+    fn on_putm(&mut self, line: LineAddr, from: CoreId) {
+        if let Some(l) = self.cache.get_mut(line) {
+            if l.state == DirState::Owned(from) {
+                l.state = DirState::Uncached;
+                l.dirty = true;
+            }
+        }
+    }
+
+    fn on_unblock(&mut self, line: LineAddr, from: CoreId) {
+        match self.busy.remove(&line) {
+            Some(Txn::Write { writer, star, others }) if writer == from => {
+                self.set_state_dirty(line, DirState::Owned(writer));
+                if star {
+                    // Figure 5(b): tell every former sharer to clear its CPT.
+                    for sharer in others {
+                        self.send(NodeId::Core(sharer), Msg::Clear { line });
+                    }
+                    self.stats.incr("llc.clears");
+                }
+            }
+            Some(Txn::FwdX { owner, writer, star }) if writer == from => {
+                self.set_state_dirty(line, DirState::Owned(writer));
+                if star {
+                    self.send(NodeId::Core(owner), Msg::Clear { line });
+                    self.stats.incr("llc.clears");
+                }
+            }
+            other => {
+                // Stale unblock; restore whatever transaction was there.
+                if let Some(t) = other {
+                    self.busy.insert(line, t);
+                }
+            }
+        }
+    }
+
+    fn on_abort(&mut self, line: LineAddr, from: CoreId) {
+        // Figure 3(b)/5(a): exit the transient state without changing the
+        // sharer bits.
+        match self.busy.get(&line) {
+            Some(Txn::Write { writer, .. }) if *writer == from => {
+                self.busy.remove(&line);
+                self.stats.incr("llc.aborts");
+            }
+            Some(Txn::FwdX { writer, .. }) if *writer == from => {
+                self.busy.remove(&line);
+                self.stats.incr("llc.aborts");
+            }
+            _ => {}
+        }
+    }
+
+    fn on_copyback(&mut self, line: LineAddr, from: CoreId, dirty: bool) {
+        if let Some(Txn::FwdS { owner, requester }) = self.busy.get(&line).cloned() {
+            if owner == from {
+                self.busy.remove(&line);
+                if let Some(l) = self.cache.get_mut(line) {
+                    l.state = DirState::Shared(vec![owner, requester]);
+                    l.dirty |= dirty;
+                }
+            }
+        }
+    }
+
+    fn on_backinv_ack(
+        &mut self,
+        line: LineAddr,
+        from: CoreId,
+        dirty: bool,
+        now: Cycle,
+        pins: &dyn PinView,
+    ) {
+        // Remove the responder from the sharer set regardless of
+        // transaction state (it has invalidated its copy).
+        if let Some(l) = self.cache.get_mut(line) {
+            l.dirty |= dirty;
+            match &mut l.state {
+                DirState::Shared(s) => {
+                    s.retain(|&c| c != from);
+                    if s.is_empty() {
+                        l.state = DirState::Uncached;
+                    }
+                }
+                DirState::Owned(o) if *o == from => l.state = DirState::Uncached,
+                _ => {}
+            }
+        }
+        if let Some(Txn::Evict { acks_left, for_fill }) = self.busy.get_mut(&line) {
+            *acks_left -= 1;
+            if *acks_left == 0 {
+                let fill = *for_fill;
+                self.busy.remove(&line);
+                // Victim fully invalidated: free the way and place the fill.
+                self.cache.invalidate(line);
+                self.stats.incr("llc.evictions");
+                self.place_fill(fill, now, pins);
+            }
+        }
+    }
+
+    fn on_backinv_defer(&mut self, line: LineAddr, from: CoreId, now: Cycle) {
+        let _ = from;
+        if let Some(Txn::Evict { for_fill, .. }) = self.busy.get(&line).cloned() {
+            // A core pinned the victim between selection and delivery:
+            // cancel the eviction, refresh the victim's recency, retry the
+            // allocation later (Section 5.1.3).
+            self.busy.remove(&line);
+            self.cache.touch(line);
+            self.stats.incr("llc.evictions_retried");
+            self.arm_timer(now + RETRY_FILL_DELAY, Timer::RetryFill(for_fill));
+        }
+    }
+
+    fn start_fetch(&mut self, line: LineAddr, req: FillReq, now: Cycle) {
+        self.stats.incr("llc.dram_fetches");
+        self.busy.insert(line, Txn::Fetch);
+        self.waiting_fills.insert(line, req);
+        self.arm_timer(now + self.dram_latency, Timer::DramDone(line));
+    }
+
+    /// Attempts to place a fetched line into the cache, possibly starting
+    /// an eviction transaction for a victim.
+    fn try_place(&mut self, line: LineAddr, now: Cycle, pins: &dyn PinView) {
+        if !self.waiting_fills.contains_key(&line) {
+            return; // already placed (stale retry timer)
+        }
+        // Fast path: a free way or a holder-less victim.
+        let attempt = self.cache.insert(
+            line,
+            LlcLine::default(),
+            |victim, meta| {
+                meta.state == DirState::Uncached && !self.busy.contains_key(&victim)
+            },
+        );
+        match attempt {
+            Ok(evicted) => {
+                if evicted.is_some() {
+                    self.stats.incr("llc.evictions");
+                }
+                self.place_fill(line, now, pins);
+            }
+            Err(_) => {
+                // Every silent candidate was vetoed: pick a shared/owned
+                // victim that is not busy and not pinned, and back-
+                // invalidate its holders.
+                let candidates = self.cache.lru_candidates(line);
+                let victim = candidates.into_iter().find(|&v| {
+                    !self.busy.contains_key(&v) && !pins.is_pinned_by_any(v)
+                });
+                match victim {
+                    Some(v) => {
+                        let holders =
+                            self.cache.peek(v).map(|l| l.state.holders()).unwrap_or_default();
+                        debug_assert!(!holders.is_empty(), "silent path should have taken this");
+                        self.busy.insert(
+                            v,
+                            Txn::Evict { acks_left: holders.len(), for_fill: line },
+                        );
+                        for h in holders {
+                            self.stats.incr("llc.back_invs");
+                            self.send(NodeId::Core(h), Msg::BackInv { line: v, slice: self.id });
+                        }
+                    }
+                    None => {
+                        // All ways pinned or busy: retry after pins drain.
+                        self.stats.incr("llc.evictions_denied");
+                        self.arm_timer(now + RETRY_FILL_DELAY, Timer::RetryFill(line));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Installs a fill whose way is guaranteed free and answers the
+    /// requester.
+    fn place_fill(&mut self, line: LineAddr, _now: Cycle, _pins: &dyn PinView) {
+        let Some(req) = self.waiting_fills.remove(&line) else {
+            return;
+        };
+        self.busy.remove(&line); // clear the Fetch marker
+        let (state, grant) = if req.write {
+            (DirState::Owned(req.requester), DataGrant::Modified)
+        } else {
+            (DirState::Owned(req.requester), DataGrant::Exclusive)
+        };
+        let dirty = req.write;
+        let inserted = self.cache.insert(
+            line,
+            LlcLine { state, dirty },
+            |victim, meta| meta.state == DirState::Uncached && !self.busy.contains_key(&victim),
+        );
+        match inserted {
+            Ok(evicted) => {
+                if evicted.is_some() {
+                    self.stats.incr("llc.evictions");
+                }
+                self.send(
+                    NodeId::Core(req.requester),
+                    Msg::Data { line, grant, acks_expected: 0 },
+                );
+            }
+            Err(_) => {
+                // The way we freed got consumed by a racing fill; go back
+                // through the placement path.
+                self.waiting_fills.insert(line, req);
+                self.busy.insert(line, Txn::Fetch);
+                self.try_place(line, _now, _pins);
+            }
+        }
+    }
+
+    fn set_state(&mut self, line: LineAddr, state: DirState) {
+        if let Some(l) = self.cache.get_mut(line) {
+            l.state = state;
+        }
+    }
+
+    fn set_state_dirty(&mut self, line: LineAddr, state: DirState) {
+        if let Some(l) = self.cache.get_mut(line) {
+            l.state = state;
+            l.dirty = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoPins;
+    use pl_base::Addr;
+
+    fn slice() -> LlcSlice {
+        LlcSlice::new(0, &MemConfig::default())
+    }
+
+    fn line(n: u64) -> LineAddr {
+        Addr::new(n * 64).line()
+    }
+
+    fn run_dram(s: &mut LlcSlice, upto: u64) -> Vec<(NodeId, Msg)> {
+        let mut out = Vec::new();
+        for c in 0..=upto {
+            s.tick(Cycle(c), &NoPins);
+            out.extend(s.drain_outbox());
+        }
+        out
+    }
+
+    #[test]
+    fn cold_gets_fetches_from_dram_and_grants_e() {
+        let mut s = slice();
+        s.handle(Msg::GetS { line: line(1), requester: CoreId(0) }, Cycle(0), &NoPins);
+        assert!(s.is_busy(line(1)));
+        assert_eq!(s.stats().get("llc.dram_fetches"), 1);
+        let out = run_dram(&mut s, 200);
+        assert_eq!(
+            out,
+            vec![(
+                NodeId::Core(CoreId(0)),
+                Msg::Data { line: line(1), grant: DataGrant::Exclusive, acks_expected: 0 }
+            )]
+        );
+        assert_eq!(s.dir_state(line(1)), Some(DirState::Owned(CoreId(0))));
+        assert!(!s.is_busy(line(1)));
+    }
+
+    #[test]
+    fn second_reader_triggers_fwd_gets() {
+        let mut s = slice();
+        s.handle(Msg::GetS { line: line(1), requester: CoreId(0) }, Cycle(0), &NoPins);
+        run_dram(&mut s, 200);
+        s.handle(Msg::GetS { line: line(1), requester: CoreId(1) }, Cycle(300), &NoPins);
+        let out = s.drain_outbox();
+        assert_eq!(
+            out,
+            vec![(NodeId::Core(CoreId(0)), Msg::FwdGetS { line: line(1), requester: CoreId(1) })]
+        );
+        // Owner copies back; both become sharers.
+        s.handle(Msg::CopyBack { line: line(1), from: CoreId(0), dirty: false }, Cycle(310), &NoPins);
+        assert_eq!(
+            s.dir_state(line(1)),
+            Some(DirState::Shared(vec![CoreId(0), CoreId(1)]))
+        );
+    }
+
+    fn make_shared_by_two(s: &mut LlcSlice) -> LineAddr {
+        let l = line(1);
+        s.handle(Msg::GetS { line: l, requester: CoreId(0) }, Cycle(0), &NoPins);
+        run_dram(s, 200);
+        s.handle(Msg::GetS { line: l, requester: CoreId(1) }, Cycle(300), &NoPins);
+        s.drain_outbox();
+        s.handle(Msg::CopyBack { line: l, from: CoreId(0), dirty: false }, Cycle(310), &NoPins);
+        l
+    }
+
+    #[test]
+    fn write_to_shared_line_invalidates_and_unblocks() {
+        let mut s = slice();
+        let l = make_shared_by_two(&mut s);
+        s.handle(Msg::GetX { line: l, requester: CoreId(2), star: false }, Cycle(400), &NoPins);
+        let out = s.drain_outbox();
+        assert!(out.contains(&(
+            NodeId::Core(CoreId(2)),
+            Msg::Data { line: l, grant: DataGrant::Modified, acks_expected: 2 }
+        )));
+        assert!(out.contains(&(
+            NodeId::Core(CoreId(0)),
+            Msg::Inv { line: l, requester: CoreId(2), star: false }
+        )));
+        assert!(out.contains(&(
+            NodeId::Core(CoreId(1)),
+            Msg::Inv { line: l, requester: CoreId(2), star: false }
+        )));
+        assert!(s.is_busy(l));
+        // Other requests are nacked while busy (transient state).
+        s.handle(Msg::GetS { line: l, requester: CoreId(3) }, Cycle(401), &NoPins);
+        assert_eq!(
+            s.drain_outbox(),
+            vec![(NodeId::Core(CoreId(3)), Msg::Nack { line: l, was_write: false })]
+        );
+        // Writer completes.
+        s.handle(Msg::Unblock { line: l, from: CoreId(2) }, Cycle(410), &NoPins);
+        assert_eq!(s.dir_state(l), Some(DirState::Owned(CoreId(2))));
+        assert!(!s.is_busy(l));
+    }
+
+    #[test]
+    fn abort_leaves_sharers_unchanged() {
+        let mut s = slice();
+        let l = make_shared_by_two(&mut s);
+        s.handle(Msg::GetX { line: l, requester: CoreId(2), star: false }, Cycle(400), &NoPins);
+        s.drain_outbox();
+        s.handle(Msg::Abort { line: l, from: CoreId(2) }, Cycle(405), &NoPins);
+        assert!(!s.is_busy(l));
+        assert_eq!(s.dir_state(l), Some(DirState::Shared(vec![CoreId(0), CoreId(1)])));
+        assert_eq!(s.stats().get("llc.aborts"), 1);
+    }
+
+    #[test]
+    fn starred_unblock_broadcasts_clear() {
+        let mut s = slice();
+        let l = make_shared_by_two(&mut s);
+        s.handle(Msg::GetX { line: l, requester: CoreId(2), star: true }, Cycle(400), &NoPins);
+        let out = s.drain_outbox();
+        assert!(out
+            .iter()
+            .any(|(_, m)| matches!(m, Msg::Inv { star: true, .. })));
+        s.handle(Msg::Unblock { line: l, from: CoreId(2) }, Cycle(410), &NoPins);
+        let out = s.drain_outbox();
+        let clears: Vec<_> = out.iter().filter(|(_, m)| matches!(m, Msg::Clear { .. })).collect();
+        assert_eq!(clears.len(), 2, "both former sharers receive Clear");
+        assert_eq!(s.stats().get("llc.clears"), 1);
+    }
+
+    #[test]
+    fn upgrade_with_sole_sharer_completes_immediately() {
+        let mut s = slice();
+        let l = line(2);
+        s.handle(Msg::GetS { line: l, requester: CoreId(0) }, Cycle(0), &NoPins);
+        run_dram(&mut s, 200);
+        // Owner requests write permission (it holds E; treat as GetX).
+        s.handle(Msg::GetX { line: l, requester: CoreId(0), star: false }, Cycle(300), &NoPins);
+        let out = s.drain_outbox();
+        assert_eq!(
+            out,
+            vec![(
+                NodeId::Core(CoreId(0)),
+                Msg::Data { line: l, grant: DataGrant::Modified, acks_expected: 0 }
+            )]
+        );
+        assert!(!s.is_busy(l));
+    }
+
+    #[test]
+    fn write_to_owned_line_forwards_to_owner() {
+        let mut s = slice();
+        let l = line(3);
+        s.handle(Msg::GetX { line: l, requester: CoreId(0), star: false }, Cycle(0), &NoPins);
+        run_dram(&mut s, 200);
+        s.handle(Msg::GetX { line: l, requester: CoreId(1), star: false }, Cycle(300), &NoPins);
+        let out = s.drain_outbox();
+        assert_eq!(
+            out,
+            vec![(
+                NodeId::Core(CoreId(0)),
+                Msg::FwdGetX { line: l, requester: CoreId(1), star: false }
+            )]
+        );
+        s.handle(Msg::Unblock { line: l, from: CoreId(1) }, Cycle(320), &NoPins);
+        assert_eq!(s.dir_state(l), Some(DirState::Owned(CoreId(1))));
+    }
+
+    #[test]
+    fn puts_and_putm_update_state() {
+        let mut s = slice();
+        let l = make_shared_by_two(&mut s);
+        s.handle(Msg::PutS { line: l, from: CoreId(0) }, Cycle(500), &NoPins);
+        assert_eq!(s.dir_state(l), Some(DirState::Shared(vec![CoreId(1)])));
+        s.handle(Msg::PutS { line: l, from: CoreId(1) }, Cycle(501), &NoPins);
+        assert_eq!(s.dir_state(l), Some(DirState::Uncached));
+
+        let l2 = line(9);
+        s.handle(Msg::GetX { line: l2, requester: CoreId(0), star: false }, Cycle(600), &NoPins);
+        run_dram(&mut s, 800);
+        s.handle(Msg::PutM { line: l2, from: CoreId(0) }, Cycle(900), &NoPins);
+        assert_eq!(s.dir_state(l2), Some(DirState::Uncached));
+    }
+}

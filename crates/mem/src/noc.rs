@@ -1,0 +1,215 @@
+//! The on-chip interconnect.
+//!
+//! Models the paper's "ordered, 4x2 mesh, 128 b link, 1 cycle/hop"
+//! (Table 1) at message granularity: each message takes a base latency of
+//! one cycle plus one hop-latency per Manhattan hop between the source and
+//! destination tiles. Cores and LLC slices with the same index share a
+//! tile, so a core talking to its local slice pays only the base latency.
+//!
+//! Delivery is point-to-point ordered: two messages between the same
+//! `(src, dst)` pair are delivered in send order, which directory
+//! protocols rely on.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pl_base::Cycle;
+
+use crate::msg::{Msg, NodeId};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct InFlight {
+    deliver_at: Cycle,
+    seq: u64,
+    src: NodeId,
+    dst: NodeId,
+    msg: Msg,
+}
+
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The mesh interconnect.
+///
+/// # Examples
+///
+/// ```
+/// use pl_base::{Addr, CoreId, Cycle};
+/// use pl_mem::{Msg, NodeId, Noc};
+///
+/// let mut noc = Noc::new(4, 2, 1);
+/// let line = Addr::new(0x40).line();
+/// noc.send(
+///     Cycle(0),
+///     NodeId::Core(CoreId(0)),
+///     NodeId::Slice(0),
+///     Msg::GetS { line, requester: CoreId(0) },
+/// );
+/// // Same tile: base latency of 1 cycle.
+/// assert!(noc.deliver(Cycle(0)).is_empty());
+/// let arrived = noc.deliver(Cycle(1));
+/// assert_eq!(arrived.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Noc {
+    cols: usize,
+    rows: usize,
+    hop_latency: u64,
+    queue: BinaryHeap<Reverse<InFlight>>,
+    next_seq: u64,
+    messages_sent: u64,
+    hops_traversed: u64,
+}
+
+impl Noc {
+    /// Creates a mesh of `cols` x `rows` tiles with the given per-hop
+    /// latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh has no tiles.
+    pub fn new(cols: usize, rows: usize, hop_latency: u64) -> Noc {
+        assert!(cols * rows > 0, "mesh must have at least one tile");
+        Noc {
+            cols,
+            rows,
+            hop_latency,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            messages_sent: 0,
+            hops_traversed: 0,
+        }
+    }
+
+    fn tile(&self, node: NodeId) -> (usize, usize) {
+        let t = match node {
+            NodeId::Core(c) => c.index(),
+            NodeId::Slice(s) => s,
+        } % (self.cols * self.rows);
+        (t % self.cols, t / self.cols)
+    }
+
+    /// Manhattan hop count between two nodes.
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> u64 {
+        let (sx, sy) = self.tile(src);
+        let (dx, dy) = self.tile(dst);
+        (sx.abs_diff(dx) + sy.abs_diff(dy)) as u64
+    }
+
+    /// End-to-end message latency between two nodes.
+    pub fn latency(&self, src: NodeId, dst: NodeId) -> u64 {
+        1 + self.hops(src, dst) * self.hop_latency
+    }
+
+    /// Enqueues a message sent at `now`.
+    pub fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId, msg: Msg) {
+        let deliver_at = now + self.latency(src, dst);
+        self.messages_sent += 1;
+        self.hops_traversed += self.hops(src, dst);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(InFlight { deliver_at, seq, src, dst, msg }));
+    }
+
+    /// Returns every message whose delivery time is `<= now`, in delivery
+    /// order (ties broken by send order, preserving per-pair FIFO).
+    pub fn deliver(&mut self, now: Cycle) -> Vec<(NodeId, NodeId, Msg)> {
+        let mut out = Vec::new();
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.deliver_at > now {
+                break;
+            }
+            let Reverse(m) = self.queue.pop().expect("peeked entry exists");
+            out.push((m.src, m.dst, m.msg));
+        }
+        out
+    }
+
+    /// Number of messages still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total messages ever sent (for the Section 9.1.3 traffic report).
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Total hop traversals (a proxy for link traffic).
+    pub fn hops_traversed(&self) -> u64 {
+        self.hops_traversed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_base::{Addr, CoreId};
+
+    fn gets(core: usize) -> Msg {
+        Msg::GetS { line: Addr::new(0x40).line(), requester: CoreId(core) }
+    }
+
+    #[test]
+    fn same_tile_is_base_latency() {
+        let noc = Noc::new(4, 2, 1);
+        assert_eq!(noc.hops(NodeId::Core(CoreId(3)), NodeId::Slice(3)), 0);
+        assert_eq!(noc.latency(NodeId::Core(CoreId(3)), NodeId::Slice(3)), 1);
+    }
+
+    #[test]
+    fn manhattan_distance_on_4x2() {
+        let noc = Noc::new(4, 2, 1);
+        // Tile 0 is (0,0); tile 7 is (3,1): 4 hops.
+        assert_eq!(noc.hops(NodeId::Core(CoreId(0)), NodeId::Slice(7)), 4);
+        assert_eq!(noc.latency(NodeId::Core(CoreId(0)), NodeId::Slice(7)), 5);
+    }
+
+    #[test]
+    fn delivery_respects_latency() {
+        let mut noc = Noc::new(4, 2, 1);
+        noc.send(Cycle(10), NodeId::Core(CoreId(0)), NodeId::Slice(7), gets(0));
+        assert!(noc.deliver(Cycle(14)).is_empty());
+        let out = noc.deliver(Cycle(15));
+        assert_eq!(out.len(), 1);
+        assert_eq!(noc.in_flight(), 0);
+    }
+
+    #[test]
+    fn per_pair_fifo_order() {
+        let mut noc = Noc::new(4, 2, 1);
+        let src = NodeId::Core(CoreId(0));
+        let dst = NodeId::Slice(0);
+        noc.send(Cycle(0), src, dst, gets(0));
+        noc.send(Cycle(0), src, dst, gets(1));
+        let out = noc.deliver(Cycle(100));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].2, gets(0));
+        assert_eq!(out[1].2, gets(1));
+    }
+
+    #[test]
+    fn traffic_counters() {
+        let mut noc = Noc::new(4, 2, 1);
+        noc.send(Cycle(0), NodeId::Core(CoreId(0)), NodeId::Slice(7), gets(0));
+        noc.send(Cycle(0), NodeId::Core(CoreId(1)), NodeId::Slice(1), gets(1));
+        assert_eq!(noc.messages_sent(), 2);
+        assert_eq!(noc.hops_traversed(), 4);
+    }
+
+    #[test]
+    fn out_of_range_nodes_wrap_onto_mesh() {
+        let noc = Noc::new(2, 1, 1);
+        // Node index 5 wraps to tile 1 on a 2-tile mesh.
+        assert_eq!(noc.hops(NodeId::Core(CoreId(5)), NodeId::Slice(1)), 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Quantitative accuracy characterization of the LTAGE-class predictor.
+//!
+//! These are regression fences: the absolute numbers are loose, but a
+//! predictor falling below them would distort every Ctrl-Dep result in
+//! the figure harnesses.
+
+use pl_isa::Pc;
+use pl_predictor::BranchPredictor;
+
+/// Runs `outcomes` through one branch PC and returns the accuracy over
+/// the second half (after warmup).
+fn accuracy(outcomes: impl Iterator<Item = bool> + Clone) -> f64 {
+    let mut bp = BranchPredictor::new(4096, 16);
+    let pc = Pc(100);
+    let total: Vec<bool> = outcomes.collect();
+    let half = total.len() / 2;
+    let mut correct = 0;
+    for (i, &taken) in total.iter().enumerate() {
+        let (pred, ckpt) = bp.predict_cond(pc);
+        if i >= half && pred == taken {
+            correct += 1;
+        }
+        bp.update_cond(pc, taken, pred, &ckpt);
+        if pred != taken {
+            // As the pipeline does on a squash: rewind the speculative
+            // history and append the resolved outcome.
+            bp.recover(&ckpt, Some(taken));
+        }
+    }
+    correct as f64 / (total.len() - half) as f64
+}
+
+#[test]
+fn strongly_biased_branches_are_near_perfect() {
+    let acc = accuracy((0..2000).map(|i| i % 50 != 0)); // 98% taken
+    assert!(acc > 0.93, "biased accuracy {acc}");
+}
+
+#[test]
+fn alternating_pattern_is_learned_by_history() {
+    let acc = accuracy((0..2000).map(|i| i % 2 == 0));
+    assert!(acc > 0.95, "alternating accuracy {acc}");
+}
+
+#[test]
+fn short_loops_exit_prediction_is_learned() {
+    // taken 7 times, not-taken once — the loop predictor's specialty.
+    let acc = accuracy((0..4000).map(|i| i % 8 != 7));
+    assert!(acc > 0.9, "loop accuracy {acc}");
+}
+
+#[test]
+fn medium_period_pattern_within_history_reach() {
+    // Period-6 pattern: beyond the bimodal base, captured by the tagged
+    // history tables. (Longer periods like 12 sit near this simplified
+    // TAGE's allocation-thrash limit and are not asserted.)
+    let pattern = [true, true, false, true, false, false];
+    let acc = accuracy((0..6000).map(move |i| pattern[i % pattern.len()]));
+    assert!(acc > 0.75, "period-6 accuracy {acc}");
+}
+
+#[test]
+fn incompressible_randomness_stays_near_chance() {
+    // A pseudo-random sequence has no learnable structure; anything in
+    // [0.4, 0.75] is sane (slight bias exploitation is fine).
+    let mut state = 0x12345678u64;
+    let outcomes: Vec<bool> = (0..4000)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 63 == 1
+        })
+        .collect();
+    let acc = accuracy(outcomes.into_iter());
+    assert!((0.35..0.78).contains(&acc), "random accuracy {acc}");
+}
+
+#[test]
+fn distinct_branches_do_not_destructively_interfere() {
+    // Two branches with opposite biases, interleaved.
+    let mut bp = BranchPredictor::new(4096, 16);
+    let (pc_a, pc_b) = (Pc(10), Pc(20));
+    let mut correct = 0;
+    let trials = 2000;
+    for i in 0..trials {
+        let (pc, taken) = if i % 2 == 0 { (pc_a, true) } else { (pc_b, false) };
+        let (pred, ckpt) = bp.predict_cond(pc);
+        if i >= trials / 2 && pred == taken {
+            correct += 1;
+        }
+        bp.update_cond(pc, taken, pred, &ckpt);
+    }
+    let acc = correct as f64 / (trials / 2) as f64;
+    assert!(acc > 0.95, "interference accuracy {acc}");
+}

@@ -1,0 +1,696 @@
+//! Multi-core kernels standing in for SPLASH2 and PARSEC.
+//!
+//! Every kernel is SPMD-style: one program per core, generated from the
+//! core index, so data placement and sharing patterns are explicit. The
+//! suite spans the sharing behaviors that drive the paper's parallel
+//! results: disjoint data (no coherence traffic), contended atomics,
+//! flag-based producer/consumer chains, false sharing (invalidation
+//! storms and write-defer pressure), read-mostly tables with occasional
+//! writers, barrier-separated phases, and migratory read-modify-write
+//! data.
+
+use pl_base::{Addr, SimRng};
+use pl_isa::{AluOp, BranchCond, Label, ProgramBuilder, Reg};
+
+use crate::regs::r;
+use crate::{build_linked_list, Scale, Workload};
+
+/// Returns the parallel suite for `cores` cores at the given scale.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero or one — these kernels need sharing.
+pub fn parallel_suite(cores: usize, scale: Scale) -> Vec<Workload> {
+    assert!(cores >= 2, "parallel kernels need at least two cores");
+    let f = scale.factor();
+    vec![
+        par_stream(cores, f),
+        lock_counter(cores, f),
+        producer_consumer(cores, f),
+        false_sharing(cores, f),
+        readers_writer(cores, f),
+        barrier_stencil(cores, f),
+        migratory(cores, f),
+        par_chase(cores, f),
+        cas_queue(cores, f),
+        par_mix(cores, f),
+        pipeline_stages(cores, f),
+        tree_readers(cores, f),
+    ]
+}
+
+/// Emits a sense-reversing barrier. Uses registers r21–r27; `one_reg`
+/// must already hold the constant 1.
+fn emit_barrier(
+    b: &mut ProgramBuilder,
+    count_addr: u64,
+    gen_addr: u64,
+    n: usize,
+    one_reg: Reg,
+) {
+    let spin: Label = b.new_label();
+    let done: Label = b.new_label();
+    let last: Label = b.new_label();
+    b.addi(r(24), Reg::ZERO, count_addr as i64);
+    b.addi(r(25), Reg::ZERO, gen_addr as i64);
+    b.load(r(27), r(25), 0); // generation snapshot
+    b.atomic_add(r(26), one_reg, r(24), 0); // old arrival count
+    b.addi(r(22), Reg::ZERO, (n - 1) as i64);
+    b.branch(BranchCond::Eq, r(26), r(22), last);
+    b.bind(spin).unwrap();
+    b.load(r(21), r(25), 0);
+    b.branch(BranchCond::Eq, r(21), r(27), spin);
+    b.jump(done);
+    b.bind(last).unwrap();
+    b.store(Reg::ZERO, r(24), 0); // reset count before releasing
+    b.atomic_add(r(26), one_reg, r(25), 0); // bump generation
+    b.bind(done).unwrap();
+}
+
+/// Embarrassingly parallel streaming over disjoint 256 KB regions (like
+/// `blackscholes`/`swaptions`): no sharing, so the parallel results track
+/// the single-core stream kernel.
+fn par_stream(cores: usize, f: u64) -> Workload {
+    const BASE: u64 = 0x100_0000;
+    const REGION: u64 = 0x4_0000; // 256 KB per core
+    let iters = 200 * f;
+    let programs = (0..cores)
+        .map(|c| {
+            let my_base = BASE + c as u64 * REGION;
+            let mut b = ProgramBuilder::new();
+            let top = b.new_label();
+            b.addi(r(1), Reg::ZERO, my_base as i64);
+            b.addi(r(2), Reg::ZERO, iters as i64);
+            b.addi(r(3), Reg::ZERO, 0);
+            b.bind(top).unwrap();
+            b.alu(AluOp::Shl, r(4), r(3), 6i64);
+            b.alu(AluOp::Add, r(4), r(4), r(1));
+            b.load(r(10), r(4), 0);
+            b.load(r(11), r(4), 64);
+            b.store(r(10), r(4), 8);
+            b.addi(r(3), r(3), 2);
+            b.alu(AluOp::And, r(3), r(3), 4095i64);
+            b.addi(r(2), r(2), -1);
+            b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+            b.build().expect("kernel builds")
+        })
+        .collect();
+    Workload {
+        name: "par_stream".into(),
+        programs,
+        init_mem: vec![],
+        init_regs: vec![vec![]; cores],
+    }
+}
+
+/// All cores hammer one atomic counter (like `radiosity`'s task queues):
+/// maximal LOCK contention; pinning must never pin past the atomics.
+fn lock_counter(cores: usize, f: u64) -> Workload {
+    const COUNTER: u64 = 0x200_0000;
+    let iters = 40 * f;
+    let programs = (0..cores)
+        .map(|_| {
+            let mut b = ProgramBuilder::new();
+            let top = b.new_label();
+            b.addi(r(1), Reg::ZERO, COUNTER as i64);
+            b.addi(r(2), Reg::ZERO, iters as i64);
+            b.addi(r(5), Reg::ZERO, 1);
+            b.bind(top).unwrap();
+            b.atomic_add(r(6), r(5), r(1), 0);
+            b.alu(AluOp::Add, r(20), r(20), r(6));
+            b.addi(r(2), r(2), -1);
+            b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+            b.build().expect("kernel builds")
+        })
+        .collect();
+    Workload {
+        name: "lock_counter".into(),
+        programs,
+        init_mem: vec![],
+        init_regs: vec![vec![]; cores],
+    }
+}
+
+/// A ring of single-slot mailboxes: core *i* produces for core *i+1*
+/// (like pipelined PARSEC apps): flag spinning means loads whose lines
+/// are repeatedly invalidated — the MCV-squash hot path.
+fn producer_consumer(cores: usize, f: u64) -> Workload {
+    const SLOTS: u64 = 0x300_0000; // slot i at SLOTS + i*64, flag at +8
+    let rounds = 30 * f;
+    let programs = (0..cores)
+        .map(|c| {
+            let my_slot = SLOTS + c as u64 * 64;
+            let next_slot = SLOTS + ((c + 1) % cores) as u64 * 64;
+            let mut b = ProgramBuilder::new();
+            let top = b.new_label();
+            let spin = b.new_label();
+            let bp = b.new_label();
+            b.addi(r(1), Reg::ZERO, my_slot as i64);
+            b.addi(r(3), Reg::ZERO, next_slot as i64);
+            b.addi(r(2), Reg::ZERO, rounds as i64);
+            b.addi(r(9), Reg::ZERO, 0); // round tag
+            b.bind(top).unwrap();
+            b.addi(r(9), r(9), 1);
+            // Backpressure: wait until the consumer acked round r9-1
+            // before overwriting its slot.
+            b.addi(r(12), r(9), -1);
+            b.bind(bp).unwrap();
+            b.load(r(13), r(3), 16);
+            b.branch(BranchCond::LtU, r(13), r(12), bp);
+            // Produce into the next core's slot, then raise its flag.
+            b.store(r(9), r(3), 0);
+            b.store(r(9), r(3), 8);
+            // Consume from my slot: wait for the flag to reach my round.
+            b.bind(spin).unwrap();
+            b.load(r(10), r(1), 8);
+            b.branch(BranchCond::LtU, r(10), r(9), spin);
+            b.load(r(11), r(1), 0);
+            b.alu(AluOp::Add, r(20), r(20), r(11));
+            // Ack consumption so my producer may reuse the slot.
+            b.store(r(9), r(1), 16);
+            b.addi(r(2), r(2), -1);
+            b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+            b.build().expect("kernel builds")
+        })
+        .collect();
+    Workload {
+        name: "prod_cons".into(),
+        programs,
+        init_mem: vec![],
+        init_regs: vec![vec![]; cores],
+    }
+}
+
+/// Every core writes its own word of the *same* cache lines: classic
+/// false sharing. Invalidation storms exercise Defer/Abort, GetX*, and
+/// the CPT (the Section 5.1.5 starvation machinery).
+fn false_sharing(cores: usize, f: u64) -> Workload {
+    const BASE: u64 = 0x400_0000;
+    const LINES: u64 = 8;
+    let iters = 60 * f;
+    let programs = (0..cores)
+        .map(|c| {
+            let mut b = ProgramBuilder::new();
+            let top = b.new_label();
+            b.addi(r(1), Reg::ZERO, BASE as i64);
+            b.addi(r(2), Reg::ZERO, iters as i64);
+            b.addi(r(3), Reg::ZERO, 0); // line index
+            b.bind(top).unwrap();
+            b.alu(AluOp::Shl, r(4), r(3), 6i64);
+            b.alu(AluOp::Add, r(4), r(4), r(1));
+            // My word within the shared line.
+            b.load(r(10), r(4), (c as i64 % 8) * 8);
+            b.addi(r(10), r(10), 1);
+            b.store(r(10), r(4), (c as i64 % 8) * 8);
+            b.addi(r(3), r(3), 1);
+            b.alu(AluOp::And, r(3), r(3), (LINES - 1) as i64);
+            b.addi(r(2), r(2), -1);
+            b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+            b.build().expect("kernel builds")
+        })
+        .collect();
+    Workload {
+        name: "false_sharing".into(),
+        programs,
+        init_mem: vec![],
+        init_regs: vec![vec![]; cores],
+    }
+}
+
+/// A read-mostly shared index table scanned by all cores, with each read
+/// driving a dependent gather into a shared data region, while core 0
+/// periodically rewrites index entries (like `raytrace` scene lookups):
+/// wide sharing, bursts of invalidations, and the load-to-load address
+/// dependences that expose STT's taint stalls.
+fn readers_writer(cores: usize, f: u64) -> Workload {
+    const TABLE: u64 = 0x500_0000;
+    const DATA: u64 = 0x580_0000;
+    const WORDS: u64 = 8192;
+    const DATA_LINES: u64 = 4096;
+    let mut rng = SimRng::new(0x5EED);
+    let init_mem: Vec<(Addr, u64)> = (0..WORDS)
+        .map(|i| (Addr::new(TABLE + i * 8), rng.gen_range(0..DATA_LINES)))
+        .collect();
+    let iters = 120 * f;
+    let programs = (0..cores)
+        .map(|c| {
+            let mut b = ProgramBuilder::new();
+            let top = b.new_label();
+            b.addi(r(1), Reg::ZERO, TABLE as i64);
+            b.addi(r(6), Reg::ZERO, DATA as i64);
+            b.addi(r(2), Reg::ZERO, iters as i64);
+            b.addi(r(3), Reg::ZERO, (c as i64) * 13);
+            b.bind(top).unwrap();
+            b.alu(AluOp::And, r(3), r(3), (WORDS - 1) as i64);
+            b.alu(AluOp::Shl, r(4), r(3), 3i64);
+            b.alu(AluOp::Add, r(4), r(4), r(1));
+            b.load(r(10), r(4), 0); // shared index
+            if c == 0 {
+                // The writer rewrites the index entry (staying in range).
+                b.alu(AluOp::And, r(11), r(10), (DATA_LINES - 1) as i64);
+                b.store(r(11), r(4), 0);
+            } else {
+                // Dependent gather: the loaded index addresses the data
+                // region, so this load's address is tainted under STT
+                // until the index load reaches its VP.
+                b.alu(AluOp::And, r(11), r(10), (DATA_LINES - 1) as i64);
+                b.alu(AluOp::Shl, r(11), r(11), 6i64);
+                b.alu(AluOp::Add, r(11), r(11), r(6));
+                b.load(r(12), r(11), 0);
+                b.alu(AluOp::Add, r(20), r(20), r(12));
+            }
+            b.addi(r(3), r(3), 17); // coprime stride scatters accesses
+            b.addi(r(2), r(2), -1);
+            b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+            b.build().expect("kernel builds")
+        })
+        .collect();
+    Workload {
+        name: "readers_writer".into(),
+        programs,
+        init_mem,
+        init_regs: vec![vec![]; cores],
+    }
+}
+
+/// Barrier-separated stencil phases over a shared grid (like
+/// `ocean`/`fft`): each phase reads neighbors written by other cores in
+/// the previous phase.
+fn barrier_stencil(cores: usize, f: u64) -> Workload {
+    const GRID: u64 = 0x600_0000;
+    const BARRIER_COUNT: u64 = 0x700_0000;
+    const BARRIER_GEN: u64 = 0x700_0040;
+    const CHUNK: u64 = 256; // words per core per phase
+    let phases = 6 * f;
+    let programs = (0..cores)
+        .map(|c| {
+            let my_off = (c as u64 * CHUNK) * 8;
+            let mut b = ProgramBuilder::new();
+            let phase_top = b.new_label();
+            let inner = b.new_label();
+            b.addi(r(2), Reg::ZERO, phases as i64);
+            b.addi(r(23), Reg::ZERO, 1); // constant for barriers
+            b.bind(phase_top).unwrap();
+            b.addi(r(1), Reg::ZERO, (GRID + my_off) as i64);
+            b.addi(r(3), Reg::ZERO, CHUNK as i64);
+            b.bind(inner).unwrap();
+            b.load(r(10), r(1), 0);
+            // Neighbor in the next core's chunk (wraps through the grid).
+            b.load(r(11), r(1), (CHUNK * 8) as i64);
+            b.alu(AluOp::Add, r(12), r(10), r(11));
+            b.store(r(12), r(1), 0);
+            b.addi(r(1), r(1), 8);
+            b.addi(r(3), r(3), -1);
+            b.branch(BranchCond::Ne, r(3), Reg::ZERO, inner);
+            emit_barrier(&mut b, BARRIER_COUNT, BARRIER_GEN, cores, r(23));
+            b.addi(r(2), r(2), -1);
+            b.branch(BranchCond::Ne, r(2), Reg::ZERO, phase_top);
+            b.build().expect("kernel builds")
+        })
+        .collect();
+    Workload {
+        name: "barrier_stencil".into(),
+        programs,
+        init_mem: vec![],
+        init_regs: vec![vec![]; cores],
+    }
+}
+
+/// Migratory data: a shared block is read-modified-written by cores in
+/// turn (like `lu_ncb`'s pivot rows — the kernel the paper highlights as
+/// EP's biggest win).
+fn migratory(cores: usize, f: u64) -> Workload {
+    const BLOCK: u64 = 0x800_0000;
+    const TOKEN: u64 = 0x900_0000;
+    const WORDS: u64 = 64;
+    let rounds = 12 * f;
+    let programs = (0..cores)
+        .map(|c| {
+            let mut b = ProgramBuilder::new();
+            let top = b.new_label();
+            let spin = b.new_label();
+            let inner = b.new_label();
+            b.addi(r(1), Reg::ZERO, BLOCK as i64);
+            b.addi(r(4), Reg::ZERO, TOKEN as i64);
+            b.addi(r(2), Reg::ZERO, rounds as i64);
+            b.addi(r(9), Reg::ZERO, c as i64); // my first turn
+            b.addi(r(8), Reg::ZERO, cores as i64);
+            b.bind(top).unwrap();
+            // Wait for my turn.
+            b.bind(spin).unwrap();
+            b.load(r(10), r(4), 0);
+            b.branch(BranchCond::Ne, r(10), r(9), spin);
+            // Read-modify-write the whole block.
+            b.addi(r(5), Reg::ZERO, WORDS as i64);
+            b.addi(r(6), r(1), 0);
+            b.bind(inner).unwrap();
+            b.load(r(11), r(6), 0);
+            b.addi(r(11), r(11), 1);
+            b.store(r(11), r(6), 0);
+            b.addi(r(6), r(6), 8);
+            b.addi(r(5), r(5), -1);
+            b.branch(BranchCond::Ne, r(5), Reg::ZERO, inner);
+            // Pass the token.
+            b.addi(r(12), r(10), 1);
+            b.alu(AluOp::SltU, r(13), r(12), r(8));
+            b.alu(AluOp::Mul, r(12), r(12), r(13)); // wrap to 0 at cores
+            b.store(r(12), r(4), 0);
+            // My next turn is `cores` later.
+            b.addi(r(2), r(2), -1);
+            b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+            b.build().expect("kernel builds")
+        })
+        .collect();
+    Workload {
+        name: "migratory".into(),
+        programs,
+        init_mem: vec![],
+        init_regs: vec![vec![]; cores],
+    }
+}
+
+/// Per-core private pointer chases over 64 KB lists plus a shared
+/// counter touch every iteration (like `canneal`'s random moves).
+fn par_chase(cores: usize, f: u64) -> Workload {
+    const LIST_BASE: u64 = 0xa00_0000;
+    const LIST_SPACE: u64 = 0x10_0000;
+    const SHARED: u64 = 0xb00_0000;
+    let rounds = 4 * f;
+    let mut init_mem = Vec::new();
+    let mut heads = Vec::new();
+    for c in 0..cores {
+        let mut rng = SimRng::new(0xCAFE + c as u64);
+        let (mem, head) =
+            build_linked_list(LIST_BASE + c as u64 * LIST_SPACE, 1024, 64, &mut rng);
+        init_mem.extend(mem);
+        heads.push(head);
+    }
+    let programs = (0..cores)
+        .map(|c| {
+            let mut b = ProgramBuilder::new();
+            let outer = b.new_label();
+            let top = b.new_label();
+            b.addi(r(2), Reg::ZERO, rounds as i64);
+            b.addi(r(3), Reg::ZERO, SHARED as i64);
+            b.bind(outer).unwrap();
+            b.addi(r(1), Reg::ZERO, heads[c] as i64);
+            b.bind(top).unwrap();
+            // The chased pointer also indexes a shared payload gather —
+            // a tainted-address load under STT (like canneal's
+            // element-dereference after a random pick).
+            b.alu(AluOp::And, r(11), r(1), 0x3f_ffc0);
+            b.alu(AluOp::Add, r(11), r(11), r(3));
+            b.load(r(12), r(11), 0);
+            b.alu(AluOp::Add, r(20), r(20), r(12));
+            b.load(r(1), r(1), 0);
+            b.branch(BranchCond::Ne, r(1), Reg::ZERO, top);
+            b.addi(r(2), r(2), -1);
+            b.branch(BranchCond::Ne, r(2), Reg::ZERO, outer);
+            b.build().expect("kernel builds")
+        })
+        .collect();
+    Workload { name: "par_chase".into(), programs, init_mem, init_regs: vec![vec![]; cores] }
+}
+
+/// Work distribution through a compare-and-swap ticket counter (like
+/// `fluidanimate` locks): CAS retry loops under contention.
+fn cas_queue(cores: usize, f: u64) -> Workload {
+    const TICKET: u64 = 0xc00_0000;
+    const WORK: u64 = 0xd00_0000;
+    let tickets = (20 * f * cores as u64) as i64;
+    let programs = (0..cores)
+        .map(|_| {
+            let mut b = ProgramBuilder::new();
+            let grab = b.new_label();
+            let done = b.new_label();
+            let retry = b.new_label();
+            b.addi(r(1), Reg::ZERO, TICKET as i64);
+            b.addi(r(6), Reg::ZERO, WORK as i64);
+            b.bind(grab).unwrap();
+            b.bind(retry).unwrap();
+            b.load(r(10), r(1), 0); // current ticket
+            b.addi(r(13), Reg::ZERO, tickets);
+            b.branch(BranchCond::GeU, r(10), r(13), done);
+            b.addi(r(11), r(10), 1);
+            b.atomic_cas(r(12), r(10), r(11), r(1), 0);
+            b.branch(BranchCond::Ne, r(12), r(10), retry);
+            // Won ticket r(10): do a little work on its cache line.
+            b.alu(AluOp::Shl, r(14), r(10), 6i64);
+            b.alu(AluOp::Add, r(14), r(14), r(6));
+            b.load(r(15), r(14), 0);
+            b.addi(r(15), r(15), 1);
+            b.store(r(15), r(14), 0);
+            b.jump(grab);
+            b.bind(done).unwrap();
+            b.build().expect("kernel builds")
+        })
+        .collect();
+    Workload {
+        name: "cas_queue".into(),
+        programs,
+        init_mem: vec![],
+        init_regs: vec![vec![]; cores],
+    }
+}
+
+/// A blend of disjoint streaming with periodic shared-flag communication
+/// (like `bodytrack`'s mixed phases).
+fn par_mix(cores: usize, f: u64) -> Workload {
+    const BASE: u64 = 0xe00_0000;
+    const REGION: u64 = 0x2_0000;
+    const FLAGS: u64 = 0xf00_0000;
+    let iters = 100 * f;
+    let programs = (0..cores)
+        .map(|c| {
+            let my_base = BASE + c as u64 * REGION;
+            let peer_flag = FLAGS + ((c + 1) % cores) as u64 * 64;
+            let my_flag = FLAGS + c as u64 * 64;
+            let mut b = ProgramBuilder::new();
+            let top = b.new_label();
+            b.addi(r(1), Reg::ZERO, my_base as i64);
+            b.addi(r(2), Reg::ZERO, iters as i64);
+            b.addi(r(5), Reg::ZERO, peer_flag as i64);
+            b.addi(r(6), Reg::ZERO, my_flag as i64);
+            b.addi(r(3), Reg::ZERO, 0);
+            b.bind(top).unwrap();
+            b.alu(AluOp::Shl, r(4), r(3), 6i64);
+            b.alu(AluOp::Add, r(4), r(4), r(1));
+            b.load(r(10), r(4), 0);
+            b.store(r(10), r(4), 8);
+            b.load(r(11), r(6), 0); // check my flag (shared, read)
+            b.store(r(2), r(5), 0); // poke the peer's flag (shared, write)
+            b.addi(r(3), r(3), 1);
+            b.alu(AluOp::And, r(3), r(3), 1023i64);
+            b.addi(r(2), r(2), -1);
+            b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+            b.build().expect("kernel builds")
+        })
+        .collect();
+    Workload {
+        name: "par_mix".into(),
+        programs,
+        init_mem: vec![],
+        init_regs: vec![vec![]; cores],
+    }
+}
+
+/// A software pipeline with heterogeneous stages (like `ferret`): stage
+/// *i* transforms a buffer and hands it to stage *i+1* through an acked
+/// mailbox; stages have different compute weights, so the slowest stage
+/// sets the pace and communication latency is on the critical path.
+fn pipeline_stages(cores: usize, f: u64) -> Workload {
+    const BUFS: u64 = 0x1100_0000; // slot i: data at +0, flag +8, ack +16
+    let items = 20 * f;
+    let programs = (0..cores)
+        .map(|c| {
+            let my_slot = BUFS + c as u64 * 64;
+            let next_slot = BUFS + ((c + 1) % cores) as u64 * 64;
+            let weight = 4 + 6 * (c as i64 % 3); // uneven stage cost
+            let mut b = ProgramBuilder::new();
+            let top = b.new_label();
+            let wait = b.new_label();
+            let bp = b.new_label();
+            let work = b.new_label();
+            b.addi(r(1), Reg::ZERO, my_slot as i64);
+            b.addi(r(3), Reg::ZERO, next_slot as i64);
+            b.addi(r(2), Reg::ZERO, items as i64);
+            b.addi(r(9), Reg::ZERO, 0); // item number
+            b.bind(top).unwrap();
+            b.addi(r(9), r(9), 1);
+            if c == 0 {
+                // The source stage synthesizes items.
+                b.alu(AluOp::Mul, r(11), r(9), 7i64);
+            } else {
+                // Wait for my producer's item r9.
+                b.bind(wait).unwrap();
+                b.load(r(10), r(1), 8);
+                b.branch(BranchCond::LtU, r(10), r(9), wait);
+                b.load(r(11), r(1), 0);
+                b.store(r(9), r(1), 16); // ack
+            }
+            // Stage-specific compute.
+            b.addi(r(5), Reg::ZERO, weight);
+            b.bind(work).unwrap();
+            b.alu(AluOp::Mul, r(11), r(11), 3i64);
+            b.alu(AluOp::Xor, r(11), r(11), 5i64);
+            b.addi(r(5), r(5), -1);
+            b.branch(BranchCond::Ne, r(5), Reg::ZERO, work);
+            if c != cores - 1 {
+                // Hand to the next stage with backpressure.
+                b.addi(r(12), r(9), -1);
+                b.bind(bp).unwrap();
+                b.load(r(13), r(3), 16);
+                b.branch(BranchCond::LtU, r(13), r(12), bp);
+                b.store(r(11), r(3), 0);
+                b.store(r(9), r(3), 8);
+            } else {
+                b.alu(AluOp::Add, r(20), r(20), r(11)); // sink
+            }
+            b.addi(r(2), r(2), -1);
+            b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+            b.build().expect("kernel builds")
+        })
+        .collect();
+    Workload {
+        name: "pipeline".into(),
+        programs,
+        init_mem: vec![],
+        init_regs: vec![vec![]; cores],
+    }
+}
+
+/// All cores walk a shared random binary tree read-only (like `barnes`
+/// force walks): wide read sharing of pointer-linked data — dependent
+/// loads whose lines end up Shared everywhere, with no writers.
+fn tree_readers(cores: usize, f: u64) -> Workload {
+    const TREE: u64 = 0x1200_0000;
+    const NODES: u64 = 4096; // node i at TREE + i*64: left at +0, right at +8
+    let mut rng = SimRng::new(0x7EE5);
+    let mut init_mem = Vec::new();
+    // A random binary tree over a shuffled node ordering: node k's
+    // children are 2k+1 / 2k+2 through a permutation.
+    let mut perm: Vec<u64> = (0..NODES).collect();
+    rng.shuffle(&mut perm);
+    for k in 0..NODES {
+        let node = TREE + perm[k as usize] * 64;
+        let left = if 2 * k + 1 < NODES { TREE + perm[(2 * k + 1) as usize] * 64 } else { 0 };
+        let right = if 2 * k + 2 < NODES { TREE + perm[(2 * k + 2) as usize] * 64 } else { 0 };
+        init_mem.push((Addr::new(node), left));
+        init_mem.push((Addr::new(node + 8), right));
+    }
+    let root = TREE + perm[0] * 64;
+    let walks = 40 * f;
+    let programs = (0..cores)
+        .map(|c| {
+            let mut b = ProgramBuilder::new();
+            let outer = b.new_label();
+            let descend = b.new_label();
+            let done = b.new_label();
+            b.addi(r(2), Reg::ZERO, walks as i64);
+            b.addi(r(9), Reg::ZERO, (0x9e37 + c as i64) & 0x7fff); // direction bits
+            b.bind(outer).unwrap();
+            b.addi(r(1), Reg::ZERO, root as i64);
+            b.bind(descend).unwrap();
+            // Pick left/right from the rotating direction bits.
+            b.alu(AluOp::And, r(10), r(9), 8i64);
+            b.alu(AluOp::Add, r(11), r(1), r(10));
+            b.load(r(1), r(11), 0); // next node (dependent, shared)
+            b.alu(AluOp::Shr, r(12), r(9), 1i64);
+            b.alu(AluOp::Xor, r(9), r(12), r(9));
+            b.addi(r(9), r(9), 3);
+            b.branch(BranchCond::Ne, r(1), Reg::ZERO, descend);
+            b.bind(done).unwrap();
+            b.addi(r(20), r(20), 1);
+            b.addi(r(2), r(2), -1);
+            b.branch(BranchCond::Ne, r(2), Reg::ZERO, outer);
+            b.build().expect("kernel builds")
+        })
+        .collect();
+    Workload { name: "tree_readers".into(), programs, init_mem, init_regs: vec![vec![]; cores] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_base::{CoreId, MachineConfig};
+    use pl_machine::Machine;
+
+    #[test]
+    fn suite_has_twelve_kernels_sized_to_cores() {
+        let suite = parallel_suite(4, Scale::Test);
+        assert_eq!(suite.len(), 12);
+        for w in &suite {
+            assert_eq!(w.cores(), 4, "kernel `{}`", w.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two cores")]
+    fn rejects_single_core() {
+        let _ = parallel_suite(1, Scale::Test);
+    }
+
+    #[test]
+    fn lock_counter_is_exact() {
+        let cfg = MachineConfig::default_multi_core(2);
+        let mut m = Machine::new(&cfg).unwrap();
+        lock_counter(2, 1).install(&mut m);
+        m.run(50_000_000).unwrap();
+        // 2 cores x 40 iterations at Scale::Test.
+        assert_eq!(m.read_mem(Addr::new(0x200_0000)), 80);
+    }
+
+    #[test]
+    fn cas_queue_consumes_every_ticket_once() {
+        let cfg = MachineConfig::default_multi_core(2);
+        let mut m = Machine::new(&cfg).unwrap();
+        cas_queue(2, 1).install(&mut m);
+        m.run(100_000_000).unwrap();
+        let tickets = 20 * 2;
+        // Every ticket's work word was incremented exactly once.
+        for t in 0..tickets {
+            assert_eq!(
+                m.read_mem(Addr::new(0xd00_0000 + t * 64)),
+                1,
+                "ticket {t} processed a wrong number of times"
+            );
+        }
+        assert_eq!(m.read_mem(Addr::new(0xc00_0000)), tickets);
+    }
+
+    #[test]
+    fn barrier_stencil_phases_complete() {
+        let cfg = MachineConfig::default_multi_core(2);
+        let mut m = Machine::new(&cfg).unwrap();
+        barrier_stencil(2, 1).install(&mut m);
+        let res = m.run(100_000_000).unwrap();
+        assert!(res.total_retired() > 1000);
+        // All phases done: the barrier generation equals the phase count.
+        assert_eq!(m.read_mem(Addr::new(0x700_0040)), 6);
+    }
+
+    #[test]
+    fn migratory_increments_block_once_per_round() {
+        let cfg = MachineConfig::default_multi_core(2);
+        let mut m = Machine::new(&cfg).unwrap();
+        migratory(2, 1).install(&mut m);
+        m.run(100_000_000).unwrap();
+        // Each of the 2 cores does 12 rounds over the block.
+        assert_eq!(m.read_mem(Addr::new(0x800_0000)), 24);
+        assert_eq!(m.read_mem(Addr::new(0x800_0000 + 63 * 8)), 24);
+    }
+
+    #[test]
+    fn producer_consumer_passes_all_rounds() {
+        let cfg = MachineConfig::default_multi_core(3);
+        let mut m = Machine::new(&cfg).unwrap();
+        producer_consumer(3, 1).install(&mut m);
+        let res = m.run(100_000_000).unwrap();
+        assert!(res.total_retired() > 500);
+        // Each core's r20 accumulated 1 + 2 + ... + 30 from its producer.
+        let expected: u64 = (1..=30).sum();
+        for c in 0..3 {
+            assert_eq!(m.reg(CoreId(c), super::r(20)), expected, "core {c}");
+        }
+    }
+}

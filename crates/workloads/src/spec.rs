@@ -1,0 +1,570 @@
+//! Single-core kernels standing in for the SPEC17 suite.
+//!
+//! Each kernel targets a distinct microarchitectural profile; the mapping
+//! to the paper's benchmarks is documented in `EXPERIMENTS.md`. All
+//! kernels are deterministic given the seed baked into the suite.
+
+use pl_base::{Addr, SimRng};
+use pl_isa::{AluOp, BranchCond, ProgramBuilder, Reg};
+
+use crate::regs::r;
+use crate::{build_linked_list, Scale, Workload};
+
+/// Returns the full SPEC17-like suite at the given scale.
+///
+/// The suite spans: streaming misses, cold and hot pointer chases,
+/// unpredictable branches, ALU-dense code, irregular gathers, read-write
+/// stencils, L1-resident reuse, store bursts, call/return pressure, and
+/// mixed behavior.
+pub fn spec_suite(scale: Scale) -> Vec<Workload> {
+    let f = scale.factor();
+    vec![
+        stream_independent(f),
+        chase_cold(f),
+        chase_hot(f),
+        branch_random(f),
+        alu_dense(f),
+        gather(f),
+        stencil_rw(f),
+        hot_reuse(f),
+        write_burst(f),
+        call_tree(f),
+        chase_branchy(f),
+        mixed(f),
+        matrix_block(f),
+        byte_scan(f),
+        random_rw(f),
+        reduction(f),
+    ]
+}
+
+fn single(name: &str, b: ProgramBuilder, init_mem: Vec<(Addr, u64)>) -> Workload {
+    Workload {
+        name: name.to_string(),
+        programs: vec![b.build().expect("kernel builds")],
+        init_mem,
+        init_regs: vec![vec![]],
+    }
+}
+
+/// Streaming loads over a large array: high L1 miss rate, independent
+/// addresses (like `bwaves`/`lbm`/`fotonik3d`). Early Pinning shines;
+/// Late Pinning serializes the misses.
+fn stream_independent(f: u64) -> Workload {
+    const BASE: i64 = 0x10_0000;
+    const LINES: u64 = 8192; // 512 KB footprint
+    let iters = 300 * f;
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    b.addi(r(1), Reg::ZERO, BASE);
+    b.addi(r(2), Reg::ZERO, iters as i64);
+    b.addi(r(3), Reg::ZERO, 0); // line index
+    b.bind(top).unwrap();
+    // Four independent loads per iteration, 64 B apart.
+    b.alu(AluOp::Shl, r(4), r(3), 6i64);
+    b.alu(AluOp::Add, r(4), r(4), r(1));
+    b.load(r(10), r(4), 0);
+    b.load(r(11), r(4), 64);
+    b.load(r(12), r(4), 128);
+    b.load(r(13), r(4), 192);
+    b.alu(AluOp::Add, r(20), r(10), r(11));
+    b.alu(AluOp::Add, r(20), r(20), r(12));
+    b.addi(r(3), r(3), 4);
+    // Wrap the index to stay within the footprint.
+    b.alu(AluOp::And, r(3), r(3), (LINES - 1) as i64);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+    single("stream", b, vec![])
+}
+
+/// Cold pointer chase over a 256 KB randomized linked list: dependent
+/// loads with high miss rate (like `mcf`). Even Early Pinning cannot
+/// parallelize the chain (Figure 2(g)/(h)).
+fn chase_cold(f: u64) -> Workload {
+    const BASE: u64 = 0x20_0000;
+    let nodes = 4096; // 256 KB at 64 B stride
+    let mut rng = SimRng::new(0xC0DE);
+    let (mem, head) = build_linked_list(BASE, nodes, 64, &mut rng);
+    let rounds = f;
+    let mut b = ProgramBuilder::new();
+    let outer = b.new_label();
+    let top = b.new_label();
+    b.addi(r(2), Reg::ZERO, rounds as i64);
+    b.bind(outer).unwrap();
+    b.addi(r(1), Reg::ZERO, head as i64);
+    b.bind(top).unwrap();
+    b.load(r(1), r(1), 0);
+    b.branch(BranchCond::Ne, r(1), Reg::ZERO, top);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, outer);
+    single("chase_cold", b, mem)
+}
+
+/// Hot pointer chase over a 12 KB list that fits in the L1: dependent
+/// loads that almost always hit (the `x264` pattern the paper calls out —
+/// EP cannot help dependent chains even when they hit).
+fn chase_hot(f: u64) -> Workload {
+    const BASE: u64 = 0x30_0000;
+    let nodes = 192; // 12 KB
+    let mut rng = SimRng::new(0xBEEF);
+    let (mem, head) = build_linked_list(BASE, nodes, 64, &mut rng);
+    let rounds = 25 * f;
+    let mut b = ProgramBuilder::new();
+    let outer = b.new_label();
+    let top = b.new_label();
+    b.addi(r(2), Reg::ZERO, rounds as i64);
+    b.bind(outer).unwrap();
+    b.addi(r(1), Reg::ZERO, head as i64);
+    b.bind(top).unwrap();
+    b.load(r(1), r(1), 0);
+    b.branch(BranchCond::Ne, r(1), Reg::ZERO, top);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, outer);
+    single("chase_hot", b, mem)
+}
+
+/// Data-dependent unpredictable branches over an L1-resident table of
+/// random bits (like `deepsjeng`/`leela`): the Spectre bound itself is
+/// expensive here, so pinning has limited headroom.
+fn branch_random(f: u64) -> Workload {
+    const BASE: i64 = 0x40_0000;
+    const WORDS: u64 = 1024; // 8 KB
+    let mut rng = SimRng::new(0xB1B);
+    let mem: Vec<(Addr, u64)> = (0..WORDS)
+        .map(|i| (Addr::new(BASE as u64 + i * 8), rng.next_u64() & 1))
+        .collect();
+    let iters = 600 * f;
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    let skip = b.new_label();
+    let join = b.new_label();
+    b.addi(r(1), Reg::ZERO, BASE);
+    b.addi(r(2), Reg::ZERO, iters as i64);
+    b.addi(r(3), Reg::ZERO, 0); // word index
+    b.addi(r(20), Reg::ZERO, 0); // taken counter
+    b.bind(top).unwrap();
+    b.alu(AluOp::Shl, r(4), r(3), 3i64);
+    b.alu(AluOp::Add, r(4), r(4), r(1));
+    b.load(r(5), r(4), 0);
+    b.branch(BranchCond::Eq, r(5), Reg::ZERO, skip);
+    b.addi(r(20), r(20), 1);
+    b.jump(join);
+    b.bind(skip).unwrap();
+    b.addi(r(20), r(20), 2);
+    b.bind(join).unwrap();
+    b.addi(r(3), r(3), 1);
+    b.alu(AluOp::And, r(3), r(3), (WORDS - 1) as i64);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+    single("branch_random", b, mem)
+}
+
+/// ALU-dense code with almost no memory traffic (like `exchange2`):
+/// defenses barely matter; a sanity anchor near 1.0 normalized CPI.
+fn alu_dense(f: u64) -> Workload {
+    let iters = 400 * f;
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    b.addi(r(2), Reg::ZERO, iters as i64);
+    b.addi(r(10), Reg::ZERO, 0x123);
+    b.addi(r(11), Reg::ZERO, 0x456);
+    b.bind(top).unwrap();
+    b.alu(AluOp::Mul, r(12), r(10), r(11));
+    b.alu(AluOp::Xor, r(13), r(12), r(10));
+    b.alu(AluOp::Add, r(14), r(13), r(11));
+    b.alu(AluOp::Shr, r(15), r(14), 3i64);
+    b.alu(AluOp::Or, r(10), r(15), 1i64);
+    b.alu(AluOp::Sub, r(11), r(14), r(13));
+    b.alu(AluOp::Add, r(11), r(11), 7i64);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+    single("alu_dense", b, vec![])
+}
+
+/// Indirect gather: a sequential index array drives irregular loads over
+/// a 512 KB table (like `gcc`/`xalancbmk`). One level of load-load
+/// dependence, then independence across iterations.
+fn gather(f: u64) -> Workload {
+    const IDX_BASE: u64 = 0x50_0000;
+    const DATA_BASE: i64 = 0x60_0000;
+    const IDX_WORDS: u64 = 2048;
+    const DATA_LINES: u64 = 8192;
+    let mut rng = SimRng::new(0x6A7);
+    let mem: Vec<(Addr, u64)> = (0..IDX_WORDS)
+        .map(|i| (Addr::new(IDX_BASE + i * 8), rng.gen_range(0..DATA_LINES)))
+        .collect();
+    let iters = 250 * f;
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    b.addi(r(1), Reg::ZERO, IDX_BASE as i64);
+    b.addi(r(6), Reg::ZERO, DATA_BASE);
+    b.addi(r(2), Reg::ZERO, iters as i64);
+    b.addi(r(3), Reg::ZERO, 0);
+    b.bind(top).unwrap();
+    b.alu(AluOp::Shl, r(4), r(3), 3i64);
+    b.alu(AluOp::Add, r(4), r(4), r(1));
+    b.load(r(5), r(4), 0); // index
+    b.alu(AluOp::Shl, r(5), r(5), 6i64);
+    b.alu(AluOp::Add, r(5), r(5), r(6));
+    b.load(r(10), r(5), 0); // gathered datum
+    b.alu(AluOp::Add, r(20), r(20), r(10));
+    b.addi(r(3), r(3), 1);
+    b.alu(AluOp::And, r(3), r(3), (IDX_WORDS - 1) as i64);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+    single("gather", b, mem)
+}
+
+/// Read-three/write-one stencil sweep over 128 KB (like `roms`/`wrf`):
+/// regular addresses, mixed loads and stores, moderate miss rate.
+fn stencil_rw(f: u64) -> Workload {
+    const BASE: i64 = 0x80_0000;
+    const WORDS: u64 = 16 * 1024; // 128 KB
+    let iters = 250 * f;
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    b.addi(r(1), Reg::ZERO, BASE);
+    b.addi(r(2), Reg::ZERO, iters as i64);
+    b.addi(r(3), Reg::ZERO, 1);
+    b.bind(top).unwrap();
+    b.alu(AluOp::Shl, r(4), r(3), 3i64);
+    b.alu(AluOp::Add, r(4), r(4), r(1));
+    b.load(r(10), r(4), -8);
+    b.load(r(11), r(4), 0);
+    b.load(r(12), r(4), 8);
+    b.alu(AluOp::Add, r(13), r(10), r(11));
+    b.alu(AluOp::Add, r(13), r(13), r(12));
+    b.store(r(13), r(4), 0);
+    b.addi(r(3), r(3), 1);
+    b.alu(AluOp::And, r(3), r(3), (WORDS - 2) as i64);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+    single("stencil_rw", b, vec![])
+}
+
+/// Tight reuse over 8 KB with perfectly predictable branches (like
+/// `namd`/`nab`): every load hits; DOM is nearly free here, Fence is not.
+fn hot_reuse(f: u64) -> Workload {
+    const BASE: i64 = 0x90_0000;
+    const WORDS: u64 = 1024;
+    let iters = 400 * f;
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    b.addi(r(1), Reg::ZERO, BASE);
+    b.addi(r(2), Reg::ZERO, iters as i64);
+    b.addi(r(3), Reg::ZERO, 0);
+    b.bind(top).unwrap();
+    b.alu(AluOp::Shl, r(4), r(3), 3i64);
+    b.alu(AluOp::Add, r(4), r(4), r(1));
+    b.load(r(10), r(4), 0);
+    b.load(r(11), r(4), 8);
+    b.alu(AluOp::Add, r(20), r(10), r(11));
+    b.addi(r(3), r(3), 2);
+    b.alu(AluOp::And, r(3), r(3), (WORDS - 1) as i64);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+    single("hot_reuse", b, vec![])
+}
+
+/// Store-dominated streaming (initialization/copy phases of HPC codes):
+/// exercises the write buffer and the Section 5.1.2 pinning condition.
+fn write_burst(f: u64) -> Workload {
+    const BASE: i64 = 0xa0_0000;
+    const LINES: u64 = 4096;
+    let iters = 300 * f;
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    b.addi(r(1), Reg::ZERO, BASE);
+    b.addi(r(2), Reg::ZERO, iters as i64);
+    b.addi(r(3), Reg::ZERO, 0);
+    b.addi(r(5), Reg::ZERO, 7);
+    b.bind(top).unwrap();
+    b.alu(AluOp::Shl, r(4), r(3), 6i64);
+    b.alu(AluOp::Add, r(4), r(4), r(1));
+    b.store(r(5), r(4), 0);
+    b.store(r(5), r(4), 8);
+    b.store(r(5), r(4), 16);
+    b.load(r(10), r(4), 0);
+    b.addi(r(3), r(3), 1);
+    b.alu(AluOp::And, r(3), r(3), (LINES - 1) as i64);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+    single("write_burst", b, vec![])
+}
+
+/// Call/return-heavy code with small leaf loads (like
+/// `povray`/`perlbench`): exercises the RAS and control-dependence VP
+/// delays.
+fn call_tree(f: u64) -> Workload {
+    const BASE: i64 = 0xb0_0000;
+    let iters = 200 * f;
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    let leaf1 = b.new_label();
+    let leaf2 = b.new_label();
+    let inner = b.new_label();
+    b.addi(r(1), Reg::ZERO, BASE);
+    b.addi(r(2), Reg::ZERO, iters as i64);
+    b.bind(top).unwrap();
+    b.call(inner);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+    b.halt();
+    b.bind(inner).unwrap();
+    b.call(leaf1);
+    b.call(leaf2);
+    b.call(leaf1);
+    b.ret();
+    b.bind(leaf1).unwrap();
+    b.load(r(10), r(1), 0);
+    b.alu(AluOp::Add, r(20), r(20), r(10));
+    b.ret();
+    b.bind(leaf2).unwrap();
+    b.load(r(11), r(1), 64);
+    b.alu(AluOp::Add, r(20), r(20), r(11));
+    b.ret();
+    single("call_tree", b, vec![])
+}
+
+/// Pointer chase whose continuation branches on loaded data (an `xz`-like
+/// mix of dependence and unpredictability): worst case for every scheme.
+fn chase_branchy(f: u64) -> Workload {
+    const BASE: u64 = 0xc0_0000;
+    let nodes = 2048; // 128 KB
+    let mut rng = SimRng::new(0xF00D);
+    let (mut mem, head) = build_linked_list(BASE, nodes, 64, &mut rng);
+    // A payload word next to each pointer decides a branch.
+    let payload: Vec<(Addr, u64)> = (0..nodes)
+        .map(|i| (Addr::new(BASE + i * 64 + 8), rng.next_u64() & 1))
+        .collect();
+    mem.extend(payload);
+    let rounds = 2 * f;
+    let mut b = ProgramBuilder::new();
+    let outer = b.new_label();
+    let top = b.new_label();
+    let even = b.new_label();
+    let cont = b.new_label();
+    b.addi(r(2), Reg::ZERO, rounds as i64);
+    b.bind(outer).unwrap();
+    b.addi(r(1), Reg::ZERO, head as i64);
+    b.bind(top).unwrap();
+    b.load(r(5), r(1), 8); // payload
+    b.branch(BranchCond::Eq, r(5), Reg::ZERO, even);
+    b.addi(r(20), r(20), 1);
+    b.jump(cont);
+    b.bind(even).unwrap();
+    b.addi(r(21), r(21), 1);
+    b.bind(cont).unwrap();
+    b.load(r(1), r(1), 0); // next
+    b.branch(BranchCond::Ne, r(1), Reg::ZERO, top);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, outer);
+    single("chase_branchy", b, mem)
+}
+
+/// A phase mix: stream, then chase, then branchy compute (like `blender`
+/// touching many behaviors in one run).
+fn mixed(f: u64) -> Workload {
+    const STREAM_BASE: i64 = 0xd0_0000;
+    const LIST_BASE: u64 = 0xe0_0000;
+    let mut rng = SimRng::new(0x1111);
+    let (mem, head) = build_linked_list(LIST_BASE, 512, 64, &mut rng);
+    let iters = 120 * f;
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    let chase = b.new_label();
+    let skip = b.new_label();
+    b.addi(r(2), Reg::ZERO, iters as i64);
+    b.addi(r(1), Reg::ZERO, STREAM_BASE);
+    b.addi(r(3), Reg::ZERO, 0);
+    b.bind(top).unwrap();
+    // Stream phase: two independent loads + a store.
+    b.alu(AluOp::Shl, r(4), r(3), 6i64);
+    b.alu(AluOp::Add, r(4), r(4), r(1));
+    b.load(r(10), r(4), 0);
+    b.load(r(11), r(4), 64);
+    b.store(r(10), r(4), 8);
+    // Chase phase: four dependent hops.
+    b.addi(r(5), Reg::ZERO, head as i64);
+    b.bind(chase).unwrap();
+    b.load(r(5), r(5), 0);
+    b.branch(BranchCond::Eq, r(5), Reg::ZERO, skip);
+    b.alu(AluOp::And, r(6), r(5), 0xff);
+    b.branch(BranchCond::Ne, r(6), Reg::ZERO, chase);
+    b.bind(skip).unwrap();
+    // Compute phase.
+    b.alu(AluOp::Mul, r(12), r(10), r(11));
+    b.alu(AluOp::Xor, r(20), r(20), r(12));
+    b.addi(r(3), r(3), 1);
+    b.alu(AluOp::And, r(3), r(3), 2047i64);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+    single("mixed", b, mem)
+}
+
+/// Blocked inner-product sweep (a `parest`-flavored dense compute
+/// kernel): nested loops over L1-blocked tiles, multiply-heavy, very
+/// predictable branches, high hit rate.
+fn matrix_block(f: u64) -> Workload {
+    const A: i64 = 0x100_0000;
+    const B_BASE: i64 = 0x101_0000;
+    let tiles = 30 * f;
+    let mut b = ProgramBuilder::new();
+    let outer = b.new_label();
+    let inner = b.new_label();
+    b.addi(r(2), Reg::ZERO, tiles as i64);
+    b.bind(outer).unwrap();
+    b.addi(r(1), Reg::ZERO, A);
+    b.addi(r(6), Reg::ZERO, B_BASE);
+    b.addi(r(3), Reg::ZERO, 16); // tile elements
+    b.addi(r(20), Reg::ZERO, 0); // dot product
+    b.bind(inner).unwrap();
+    b.load(r(10), r(1), 0);
+    b.load(r(11), r(6), 0);
+    b.alu(AluOp::Mul, r(12), r(10), r(11));
+    b.alu(AluOp::Add, r(20), r(20), r(12));
+    b.addi(r(1), r(1), 8);
+    b.addi(r(6), r(6), 8);
+    b.addi(r(3), r(3), -1);
+    b.branch(BranchCond::Ne, r(3), Reg::ZERO, inner);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, outer);
+    single("matrix_block", b, vec![])
+}
+
+/// Byte-scan with a data-dependent early exit (a `perlbench`-like text
+/// scanner): sequential loads, one hard-to-predict exit branch per
+/// element, moderate footprint.
+fn byte_scan(f: u64) -> Workload {
+    const HAY: u64 = 0x110_0000;
+    const WORDS: u64 = 4096; // 32 KB
+    let mut rng = SimRng::new(0x5CA9);
+    // ~6% sentinel density makes the exit branch data-dependent. The
+    // last word is always a sentinel so a scan starting after the last
+    // random sentinel still terminates instead of running off the end of
+    // the initialized region.
+    let mem: Vec<(Addr, u64)> = (0..WORDS)
+        .map(|i| {
+            let v = if i == WORDS - 1 || rng.gen_bool(0.0625) {
+                1
+            } else {
+                rng.gen_range(2..1000)
+            };
+            (Addr::new(HAY + i * 8), v)
+        })
+        .collect();
+    let scans = 60 * f;
+    let mut b = ProgramBuilder::new();
+    let outer = b.new_label();
+    let scan = b.new_label();
+    let found = b.new_label();
+    b.addi(r(2), Reg::ZERO, scans as i64);
+    b.addi(r(7), Reg::ZERO, 1); // sentinel
+    b.addi(r(9), Reg::ZERO, 0); // rotating start offset
+    b.bind(outer).unwrap();
+    b.alu(AluOp::And, r(9), r(9), (WORDS - 1) as i64);
+    b.alu(AluOp::Shl, r(1), r(9), 3i64);
+    b.addi(r(1), r(1), HAY as i64);
+    b.bind(scan).unwrap();
+    b.load(r(10), r(1), 0);
+    b.branch(BranchCond::Eq, r(10), r(7), found);
+    b.addi(r(1), r(1), 8);
+    b.jump(scan);
+    b.bind(found).unwrap();
+    b.addi(r(20), r(20), 1);
+    b.addi(r(9), r(9), 97); // jump to a new start (coprime stride)
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, outer);
+    single("byte_scan", b, mem)
+}
+
+/// Random read-modify-write over a 256 KB table (a `xalancbmk`-flavored
+/// hash-update pattern): irregular loads *and* stores, miss-heavy both
+/// ways, exercising the write-buffer pinning condition.
+fn random_rw(f: u64) -> Workload {
+    const TABLE: i64 = 0x120_0000;
+    const LINES: u64 = 4096;
+    let iters = 250 * f;
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    b.addi(r(1), Reg::ZERO, TABLE);
+    b.addi(r(2), Reg::ZERO, iters as i64);
+    b.addi(r(9), Reg::ZERO, 12345); // xorshift-ish state
+    b.bind(top).unwrap();
+    // Cheap PRNG in registers drives the table index.
+    b.alu(AluOp::Shl, r(10), r(9), 13i64);
+    b.alu(AluOp::Xor, r(9), r(9), r(10));
+    b.alu(AluOp::Shr, r(10), r(9), 7i64);
+    b.alu(AluOp::Xor, r(9), r(9), r(10));
+    b.alu(AluOp::And, r(11), r(9), (LINES - 1) as i64);
+    b.alu(AluOp::Shl, r(11), r(11), 6i64);
+    b.alu(AluOp::Add, r(11), r(11), r(1));
+    b.load(r(12), r(11), 0);
+    b.addi(r(12), r(12), 1);
+    b.store(r(12), r(11), 0);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+    single("random_rw", b, vec![])
+}
+
+/// Strided tree reduction over 256 KB (an `roms`-like reduction phase):
+/// the stride doubles each pass, shifting from streaming to sparse
+/// accesses with a log-depth loop nest.
+fn reduction(f: u64) -> Workload {
+    const DATA: i64 = 0x130_0000;
+    const WORDS: u64 = 2048;
+    let rounds = f;
+    let mut b = ProgramBuilder::new();
+    let round = b.new_label();
+    let pass = b.new_label();
+    let elem = b.new_label();
+    b.addi(r(2), Reg::ZERO, rounds as i64);
+    b.bind(round).unwrap();
+    b.addi(r(5), Reg::ZERO, 1); // stride
+    b.bind(pass).unwrap();
+    b.addi(r(1), Reg::ZERO, DATA);
+    b.addi(r(3), Reg::ZERO, 0); // index
+    b.bind(elem).unwrap();
+    b.alu(AluOp::Shl, r(4), r(3), 3i64);
+    b.alu(AluOp::Add, r(4), r(4), r(1));
+    b.load(r(10), r(4), 0);
+    b.alu(AluOp::Add, r(20), r(20), r(10));
+    b.alu(AluOp::Add, r(3), r(3), r(5));
+    b.alu(AluOp::SltU, r(6), r(3), WORDS as i64);
+    b.branch(BranchCond::Ne, r(6), Reg::ZERO, elem);
+    b.alu(AluOp::Shl, r(5), r(5), 1i64);
+    b.alu(AluOp::SltU, r(6), r(5), 256i64);
+    b.branch(BranchCond::Ne, r(6), Reg::ZERO, pass);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, round);
+    single("reduction", b, vec![])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_sixteen_kernels() {
+        assert_eq!(spec_suite(Scale::Test).len(), 16);
+    }
+
+    #[test]
+    fn all_kernels_are_single_core() {
+        for w in spec_suite(Scale::Test) {
+            assert_eq!(w.cores(), 1, "kernel `{}`", w.name);
+        }
+    }
+
+    #[test]
+    fn scale_increases_program_work() {
+        // Iteration counts live in immediates, so just check that builds
+        // succeed at every scale and produce identical program shapes.
+        let a = spec_suite(Scale::Test);
+        let b = spec_suite(Scale::Full);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.programs[0].len(), y.programs[0].len());
+        }
+    }
+}

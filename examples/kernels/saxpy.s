@@ -1,0 +1,19 @@
+# saxpy-like kernel in the bundled assembly syntax:
+#   for i in 0..512: y[i] = a*x[i] + y[i]
+# Run it with:
+#   cargo run --release --bin plsim -- --asm examples/kernels/saxpy.s --scheme fence --pin ep --stats
+    addi x1, x0, 0x10000     # x[] base
+    addi x2, x0, 0x20000     # y[] base
+    addi x3, x0, 3           # a
+    addi x4, x0, 512         # n
+loop:
+    ld   x5, 0(x1)           # x[i]
+    ld   x6, 0(x2)           # y[i]
+    mul  x5, x5, x3
+    add  x6, x6, x5
+    st   x6, 0(x2)
+    addi x1, x1, 8
+    addi x2, x2, 8
+    addi x4, x4, -1
+    bne  x4, x0, loop
+    halt

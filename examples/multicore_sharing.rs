@@ -1,0 +1,81 @@
+//! The pinning protocol in action on a multicore: one core pins a hot
+//! line with loads while another hammers it with writes.
+//!
+//! This exercises the Figure 3/5 machinery end to end: invalidations are
+//! deferred (`InvDefer`), writes abort and retry with `GetX*`, `Inv*`
+//! populates the Cannot-Pin Table, and `Clear` releases it once the write
+//! succeeds. The run prints the protocol counters so you can see each
+//! mechanism fire.
+//!
+//! ```sh
+//! cargo run --release --example multicore_sharing
+//! ```
+
+use pinned_loads::base::{
+    Addr, CoreId, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig,
+};
+use pinned_loads::isa::{AluOp, BranchCond, ProgramBuilder, Reg};
+use pinned_loads::machine::Machine;
+
+const HOT_LINE: u64 = 0x4_0000;
+
+fn reader(rounds: i64) -> pinned_loads::isa::Program {
+    let r = |i: u8| Reg::new(i).expect("valid register");
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    b.addi(r(1), Reg::ZERO, HOT_LINE as i64);
+    b.addi(r(2), Reg::ZERO, rounds);
+    b.bind(top).unwrap();
+    // A burst of loads to the hot line: under EP these pin it.
+    for _ in 0..4 {
+        b.load(r(10), r(1), 0);
+        b.alu(AluOp::Add, r(20), r(20), r(10));
+    }
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+    b.build().expect("reader builds")
+}
+
+fn writer(rounds: i64) -> pinned_loads::isa::Program {
+    let r = |i: u8| Reg::new(i).expect("valid register");
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    b.addi(r(1), Reg::ZERO, HOT_LINE as i64);
+    b.addi(r(2), Reg::ZERO, rounds);
+    b.bind(top).unwrap();
+    b.store(r(2), r(1), 0);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+    b.build().expect("writer builds")
+}
+
+fn main() {
+    for pin in [PinMode::Off, PinMode::Late, PinMode::Early] {
+        let mut cfg = MachineConfig::default_multi_core(2);
+        cfg.defense = DefenseScheme::Fence;
+        cfg.pinned_loads = PinnedLoadsConfig::with_mode(pin);
+        let mut m = Machine::new(&cfg).expect("valid configuration");
+        m.load_program(CoreId(0), reader(300));
+        m.load_program(CoreId(1), writer(300));
+        m.write_mem(Addr::new(HOT_LINE), 5);
+        let res = m.run(100_000_000).expect("no deadlock despite contention");
+        println!("--- Fence + {pin:?} ---");
+        println!("  cycles              {}", res.cycles);
+        println!("  loads pinned        {}", res.stats.get("pin.pins"));
+        println!("  invs deferred       {}", res.stats.get("l1.invs_deferred"));
+        println!("  writes retried      {}", res.stats.get("wb.writes_retried"));
+        println!("  GetX* sent          {}", res.stats.get("llc.getx_star"));
+        println!("  CPT inserts (Inv*)  {}", res.stats.get("pin.inv_stars"));
+        println!("  Clear broadcasts    {}", res.stats.get("llc.clears"));
+        println!("  MCV squashes        {}", res.stats.get("squash.mcv_inv"));
+        println!();
+    }
+    println!(
+        "With pinning Off, Fence serializes the reader's loads at the ROB \
+         head — safe but slowest. With LP/EP the loads pin the hot line and \
+         run ahead: the writer's invalidations defer, the write aborts and \
+         retries with GetX*, Inv* fills the CPT so the line cannot be \
+         re-pinned, and Clear releases it once the write lands — exactly \
+         the Section 5.1.1/5.1.5 flow, with guaranteed forward progress."
+    );
+}

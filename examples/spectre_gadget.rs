@@ -1,0 +1,104 @@
+//! A Spectre-v1 style gadget under each defense.
+//!
+//! The classic bounds-check-bypass gadget: a mispredicted branch lets a
+//! transient out-of-bounds load read a "secret", and a second, dependent
+//! load transmits it into the cache. This example shows the *timing*
+//! side of the defenses: the transmitting load is stalled (Fence), stalled
+//! on a miss (DOM), or stalled because its address is tainted (STT) —
+//! while Pinned Loads recovers performance without re-enabling the early
+//! transmission (the VP definition is unchanged; loads merely reach it
+//! sooner, after the branch has resolved).
+//!
+//! ```sh
+//! cargo run --release --example spectre_gadget
+//! ```
+
+use pinned_loads::base::{
+    Addr, CoreId, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, Stats,
+};
+use pinned_loads::isa::{AluOp, BranchCond, ProgramBuilder, Reg};
+use pinned_loads::machine::Machine;
+
+const ARRAY1: i64 = 0x1_0000; // 16 words "in bounds"
+const SECRET: u64 = 0x1_0000 + 16 * 8; // just past the bound
+const ARRAY2: i64 = 0x8_0000; // the transmission oracle
+
+fn gadget() -> pinned_loads::isa::Program {
+    let r = |i: u8| Reg::new(i).expect("valid register");
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    let in_bounds = b.new_label();
+    let join = b.new_label();
+    b.addi(r(1), Reg::ZERO, ARRAY1);
+    b.addi(r(6), Reg::ZERO, ARRAY2);
+    b.addi(r(2), Reg::ZERO, 200); // trials
+    b.addi(r(7), Reg::ZERO, 16); // bound
+    b.bind(top).unwrap();
+    // Index cycles 0..17: indices 16 (= the secret's slot) are
+    // out of bounds and must architecturally skip the access.
+    b.addi(r(3), r(3), 1);
+    b.alu(AluOp::SltU, r(4), r(3), 18i64);
+    b.alu(AluOp::Mul, r(3), r(3), r(4)); // wrap to 0 at 18
+    b.branch(BranchCond::LtU, r(3), r(7), in_bounds);
+    // Out of bounds: skip (the branch predictor will sometimes guess
+    // wrong and transiently run the gadget below).
+    b.jump(join);
+    b.bind(in_bounds).unwrap();
+    b.alu(AluOp::Shl, r(8), r(3), 3i64);
+    b.alu(AluOp::Add, r(8), r(8), r(1));
+    b.load(r(9), r(8), 0); // array1[i]  (the "secret" when transient)
+    b.alu(AluOp::Shl, r(10), r(9), 6i64);
+    b.alu(AluOp::Add, r(10), r(10), r(6));
+    b.load(r(11), r(10), 0); // array2[secret * 64]  (the transmitter)
+    b.alu(AluOp::Add, r(20), r(20), r(11));
+    b.bind(join).unwrap();
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+    b.build().expect("gadget builds")
+}
+
+fn run(defense: DefenseScheme, pin: PinMode) -> (u64, Stats) {
+    let mut cfg = MachineConfig::default_single_core();
+    cfg.defense = defense;
+    cfg.pinned_loads = PinnedLoadsConfig::with_mode(pin);
+    let mut m = Machine::new(&cfg).expect("valid configuration");
+    m.load_program(CoreId(0), gadget());
+    for i in 0..16u64 {
+        m.write_mem(Addr::new(ARRAY1 as u64 + i * 8), i % 4);
+    }
+    m.write_mem(Addr::new(SECRET), 42); // the secret value
+    let res = m.run(50_000_000).expect("gadget completes");
+    (res.cycles, res.stats)
+}
+
+fn main() {
+    println!("Spectre-v1 gadget, 200 trials, secret value 42\n");
+    println!(
+        "{:<14} {:>9} {:>10} {:>12} {:>12}",
+        "config", "cycles", "squashes", "stalls(vp)", "stalls(taint)"
+    );
+    for (label, defense, pin) in [
+        ("Unsafe", DefenseScheme::Unsafe, PinMode::Off),
+        ("Fence+Comp", DefenseScheme::Fence, PinMode::Off),
+        ("Fence+EP", DefenseScheme::Fence, PinMode::Early),
+        ("DOM+Comp", DefenseScheme::Dom, PinMode::Off),
+        ("DOM+EP", DefenseScheme::Dom, PinMode::Early),
+        ("STT+Comp", DefenseScheme::Stt, PinMode::Off),
+        ("STT+EP", DefenseScheme::Stt, PinMode::Early),
+    ] {
+        let (cycles, stats) = run(defense, pin);
+        println!(
+            "{label:<14} {cycles:>9} {:>10} {:>12} {:>12}",
+            stats.get("squash.branch"),
+            stats.get("stall.vp") + stats.get("stall.dom_miss"),
+            stats.get("stall.taint"),
+        );
+    }
+    println!(
+        "\nUnder Unsafe, the transient out-of-bounds pair executes and leaves a \
+         secret-dependent cache line — the leak. Every defended configuration \
+         blocks the transmitting load until its VP; Pinned Loads only shortens \
+         the post-branch wait (the VP itself still requires branch resolution), \
+         so the leak stays closed while cycles drop."
+    );
+}

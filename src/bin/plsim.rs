@@ -1,0 +1,208 @@
+//! `plsim` — run any bundled kernel on any configuration from the
+//! command line.
+//!
+//! ```sh
+//! plsim --list
+//! plsim --workload stream --scheme fence --pin ep
+//! plsim --workload migratory --cores 8 --scheme dom --pin lp --scale bench --stats
+//! plsim --asm kernel.s --scheme stt --pin ep --stats
+//! ```
+
+use pinned_loads::base::{
+    DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, ThreatModel,
+};
+use pinned_loads::machine::Machine;
+use pinned_loads::workloads::{parallel_suite, spec_suite, Scale, Workload};
+
+#[derive(Debug)]
+struct Args {
+    workload: Option<String>,
+    asm_file: Option<String>,
+    scheme: DefenseScheme,
+    pin: PinMode,
+    threat: ThreatModel,
+    cores: usize,
+    scale: Scale,
+    conservative_tso: bool,
+    show_stats: bool,
+    list: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: plsim --workload NAME [options]\n\
+         \n\
+         options:\n\
+           --list                     list available kernels and exit\n\
+           --asm FILE                 assemble and run FILE instead of a bundled kernel\n\
+           --scheme unsafe|fence|dom|stt|invisible (default unsafe)\n\
+           --pin off|lp|ep                 (default off)\n\
+           --threat comp|spectre           (default comp)\n\
+           --cores N                       (default 1; >=2 selects the parallel suite)\n\
+           --scale test|bench|full         (default bench)\n\
+           --conservative-tso              squash even the oldest load\n\
+           --stats                         dump all statistics counters"
+    );
+    std::process::exit(2);
+}
+
+fn parse() -> Args {
+    let mut args = Args {
+        workload: None,
+        asm_file: None,
+        scheme: DefenseScheme::Unsafe,
+        pin: PinMode::Off,
+        threat: ThreatModel::Comprehensive,
+        cores: 1,
+        scale: Scale::Bench,
+        conservative_tso: false,
+        show_stats: false,
+        list: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |argv: &[String], i: usize| -> String {
+        argv.get(i + 1).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--list" => args.list = true,
+            "--stats" => args.show_stats = true,
+            "--conservative-tso" => args.conservative_tso = true,
+            "--workload" => {
+                args.workload = Some(value(&argv, i));
+                i += 1;
+            }
+            "--asm" => {
+                args.asm_file = Some(value(&argv, i));
+                i += 1;
+            }
+            "--scheme" => {
+                args.scheme = match value(&argv, i).as_str() {
+                    "unsafe" => DefenseScheme::Unsafe,
+                    "fence" => DefenseScheme::Fence,
+                    "dom" => DefenseScheme::Dom,
+                    "stt" => DefenseScheme::Stt,
+                    "invisible" => DefenseScheme::Invisible,
+                    _ => usage(),
+                };
+                i += 1;
+            }
+            "--pin" => {
+                args.pin = match value(&argv, i).as_str() {
+                    "off" => PinMode::Off,
+                    "lp" => PinMode::Late,
+                    "ep" => PinMode::Early,
+                    _ => usage(),
+                };
+                i += 1;
+            }
+            "--threat" => {
+                args.threat = match value(&argv, i).as_str() {
+                    "comp" => ThreatModel::Comprehensive,
+                    "spectre" => ThreatModel::Spectre,
+                    _ => usage(),
+                };
+                i += 1;
+            }
+            "--cores" => {
+                args.cores = value(&argv, i).parse().unwrap_or_else(|_| usage());
+                i += 1;
+            }
+            "--scale" => {
+                args.scale = match value(&argv, i).as_str() {
+                    "test" => Scale::Test,
+                    "bench" => Scale::Bench,
+                    "full" => Scale::Full,
+                    _ => usage(),
+                };
+                i += 1;
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn suites(cores: usize, scale: Scale) -> Vec<Workload> {
+    if cores >= 2 {
+        parallel_suite(cores, scale)
+    } else {
+        spec_suite(scale)
+    }
+}
+
+fn main() {
+    let args = parse();
+    if args.list {
+        println!("single-core (SPEC17-like) kernels:");
+        for w in spec_suite(Scale::Test) {
+            println!("  {}", w.name);
+        }
+        println!("parallel (SPLASH2/PARSEC-like) kernels (use --cores >= 2):");
+        for w in parallel_suite(2, Scale::Test) {
+            println!("  {}", w.name);
+        }
+        return;
+    }
+    let (name, workload) = if let Some(path) = &args.asm_file {
+        let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read `{path}`: {e}");
+            std::process::exit(2);
+        });
+        let program = pinned_loads::isa::parse_asm(&source).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        });
+        let w = Workload {
+            name: path.clone(),
+            programs: vec![program; args.cores.max(1)],
+            init_mem: Vec::new(),
+            init_regs: vec![Vec::new(); args.cores.max(1)],
+        };
+        (path.clone(), w)
+    } else {
+        let Some(name) = args.workload else { usage() };
+        let suite = suites(args.cores, args.scale);
+        let Some(workload) = suite.into_iter().find(|w| w.name == name) else {
+            eprintln!("unknown workload `{name}`; try --list (note: --cores selects the suite)");
+            std::process::exit(2);
+        };
+        (name, workload)
+    };
+
+    let mut cfg = if args.cores >= 2 {
+        MachineConfig::default_multi_core(args.cores)
+    } else {
+        MachineConfig::default_single_core()
+    };
+    cfg.defense = args.scheme;
+    cfg.threat_model = args.threat;
+    cfg.pinned_loads = PinnedLoadsConfig::with_mode(args.pin);
+    cfg.core.conservative_tso = args.conservative_tso;
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
+    }
+
+    let mut machine = Machine::new(&cfg).expect("validated configuration");
+    workload.install(&mut machine);
+    match machine.run(5_000_000_000) {
+        Ok(res) => {
+            println!("workload   {name}");
+            println!("config     {}", cfg.label());
+            println!("cycles     {}", res.cycles);
+            println!("retired    {}", res.total_retired());
+            println!("CPI        {:.4}", res.cpi());
+            if args.show_stats {
+                println!("---- statistics ----");
+                print!("{}", res.stats);
+            }
+        }
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

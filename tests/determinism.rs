@@ -1,0 +1,67 @@
+//! Bit-exact determinism: the same configuration and workload must
+//! produce identical cycle counts, statistics, and results on every run.
+//! The figure harnesses and the paper-comparison in `EXPERIMENTS.md`
+//! depend on this.
+
+use pinned_loads::base::{DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig};
+use pinned_loads::machine::{Machine, RunResult};
+use pinned_loads::workloads::{parallel_suite, spec_suite, Scale, Workload};
+
+fn run_once(cfg: &MachineConfig, w: &Workload) -> RunResult {
+    let mut m = Machine::new(cfg).unwrap();
+    w.install(&mut m);
+    m.run(500_000_000).unwrap()
+}
+
+fn assert_identical(cfg: &MachineConfig, w: &Workload) {
+    let a = run_once(cfg, w);
+    let b = run_once(cfg, w);
+    assert_eq!(a.cycles, b.cycles, "`{}` cycles differ under {}", w.name, cfg.label());
+    assert_eq!(a.retired_per_core, b.retired_per_core, "`{}` retirement differs", w.name);
+    let a_stats: Vec<(String, u64)> = a.stats.iter().map(|(k, v)| (k.to_string(), v)).collect();
+    let b_stats: Vec<(String, u64)> = b.stats.iter().map(|(k, v)| (k.to_string(), v)).collect();
+    assert_eq!(a_stats, b_stats, "`{}` statistics differ under {}", w.name, cfg.label());
+}
+
+#[test]
+fn single_core_runs_are_bit_identical() {
+    let kernels = spec_suite(Scale::Test);
+    let mut cfg = MachineConfig::default_single_core();
+    cfg.defense = DefenseScheme::Fence;
+    cfg.pinned_loads = PinnedLoadsConfig::with_mode(PinMode::Early);
+    for w in kernels.iter().take(4) {
+        assert_identical(&cfg, w);
+    }
+}
+
+#[test]
+fn multicore_runs_are_bit_identical() {
+    let kernels = parallel_suite(4, Scale::Test);
+    for (scheme, mode) in [
+        (DefenseScheme::Unsafe, PinMode::Off),
+        (DefenseScheme::Dom, PinMode::Late),
+        (DefenseScheme::Stt, PinMode::Early),
+    ] {
+        let mut cfg = MachineConfig::default_multi_core(4);
+        cfg.defense = scheme;
+        cfg.pinned_loads = PinnedLoadsConfig::with_mode(mode);
+        // The two most nondeterminism-prone kernels: contended atomics
+        // and false sharing.
+        for w in kernels.iter().filter(|w| {
+            ["lock_counter", "false_sharing"].contains(&w.name.as_str())
+        }) {
+            assert_identical(&cfg, w);
+        }
+    }
+}
+
+#[test]
+fn workload_generation_is_deterministic() {
+    let a = spec_suite(Scale::Bench);
+    let b = spec_suite(Scale::Bench);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.programs, y.programs);
+        assert_eq!(x.init_mem, y.init_mem);
+    }
+}

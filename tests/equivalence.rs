@@ -1,0 +1,202 @@
+//! Architectural equivalence across defenses: security hardware must
+//! change timing only, never results.
+//!
+//! Includes a property-based fuzzer that generates random loop-free
+//! programs (arithmetic, forward branches, loads, stores) and checks that
+//! every defense/pinning configuration computes the identical final
+//! register file and memory image as the unsafe baseline.
+
+use pinned_loads::base::{
+    Addr, CoreId, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, ThreatModel,
+};
+use pinned_loads::isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg};
+use pinned_loads::machine::Machine;
+use pinned_loads::workloads::{spec_suite, Scale};
+use proptest::prelude::*;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i).unwrap()
+}
+
+fn configs() -> Vec<MachineConfig> {
+    let mut out = Vec::new();
+    for scheme in DefenseScheme::ALL {
+        for pin in [PinMode::Off, PinMode::Late, PinMode::Early] {
+            if scheme == DefenseScheme::Unsafe && pin != PinMode::Off {
+                continue;
+            }
+            let mut cfg = MachineConfig::default_single_core();
+            cfg.defense = scheme;
+            cfg.pinned_loads = PinnedLoadsConfig::with_mode(pin);
+            out.push(cfg);
+        }
+    }
+    // Spectre threat model variants too.
+    for scheme in DefenseScheme::PROTECTED {
+        let mut cfg = MachineConfig::default_single_core();
+        cfg.defense = scheme;
+        cfg.threat_model = ThreatModel::Spectre;
+        out.push(cfg);
+    }
+    out
+}
+
+/// Runs `program` and returns (registers 1..8, probed memory words).
+fn observe(cfg: &MachineConfig, program: &Program) -> (Vec<u64>, Vec<u64>) {
+    let mut m = Machine::new(cfg).unwrap();
+    m.load_program(CoreId(0), program.clone());
+    // Seed a small data region the fuzzer's loads/stores land in.
+    for i in 0..64u64 {
+        m.write_mem(Addr::new(0x1_0000 + i * 8), i.wrapping_mul(0x9e37) ^ 0x55);
+    }
+    m.run(100_000_000).unwrap_or_else(|e| panic!("{}: {e}", cfg.label()));
+    let regs = (1..8).map(|i| m.reg(CoreId(0), r(i))).collect();
+    let mem = (0..64).map(|i| m.read_mem(Addr::new(0x1_0000 + i * 8))).collect();
+    (regs, mem)
+}
+
+#[test]
+fn spec_kernels_are_architecturally_equivalent_across_all_configs() {
+    // Two representative kernels (one miss-heavy, one store-heavy).
+    for w in spec_suite(Scale::Test)
+        .into_iter()
+        .filter(|w| ["gather", "write_burst"].contains(&w.name.as_str()))
+    {
+        let mut reference: Option<u64> = None;
+        for cfg in configs() {
+            let mut m = Machine::new(&cfg).unwrap();
+            w.install(&mut m);
+            let res = m.run(500_000_000).unwrap();
+            let fingerprint = res.total_retired() ^ m.reg(CoreId(0), r(20));
+            match reference {
+                None => reference = Some(fingerprint),
+                Some(v) => assert_eq!(
+                    v,
+                    fingerprint,
+                    "kernel `{}` diverged under {}",
+                    w.name,
+                    cfg.label()
+                ),
+            }
+        }
+    }
+}
+
+/// One random instruction for the fuzzer. Branch targets are always
+/// forward (to `skip_to`), so programs are loop-free and must halt.
+#[derive(Debug, Clone)]
+enum FuzzOp {
+    Alu(u8, u8, u8, u8), // op selector, dst, src1, src2
+    AluImm(u8, u8, u8, i8),
+    Load(u8, u8, u8),  // dst, base-selector, offset-slot
+    Store(u8, u8, u8), // src, base-selector, offset-slot
+    SkipIf(u8, u8, u8), // cond selector, reg a, reg b — skips next 2 ops
+}
+
+fn alu_op(sel: u8) -> AluOp {
+    match sel % 7 {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::Mul,
+        3 => AluOp::And,
+        4 => AluOp::Or,
+        5 => AluOp::Xor,
+        _ => AluOp::SltU,
+    }
+}
+
+fn cond(sel: u8) -> BranchCond {
+    match sel % 4 {
+        0 => BranchCond::Eq,
+        1 => BranchCond::Ne,
+        2 => BranchCond::LtU,
+        _ => BranchCond::GeU,
+    }
+}
+
+/// Registers 1..=7 are fuzzed; 8 holds the data-region base.
+fn reg_of(sel: u8) -> Reg {
+    r(1 + sel % 7)
+}
+
+fn build_program(ops: &[FuzzOp]) -> Program {
+    let mut b = ProgramBuilder::new();
+    // r8 = data base; loads/stores index off it, masked in-range.
+    b.addi(r(8), Reg::ZERO, 0x1_0000);
+    let mut pending_skip: Option<(pinned_loads::isa::Label, usize)> = None;
+    for op in ops {
+        // Close an open skip once two ops were emitted under it.
+        if let Some((label, emitted_at)) = pending_skip {
+            if b.len() >= emitted_at + 3 {
+                b.bind(label).unwrap();
+                pending_skip = None;
+            }
+        }
+        match *op {
+            FuzzOp::Alu(sel, d, s1, s2) => {
+                b.alu(alu_op(sel), reg_of(d), reg_of(s1), reg_of(s2));
+            }
+            FuzzOp::AluImm(sel, d, s1, imm) => {
+                b.alu(alu_op(sel), reg_of(d), reg_of(s1), imm as i64);
+            }
+            FuzzOp::Load(d, idx, slot) => {
+                // address = base + ((reg & 7) * 8 | slot-derived offset),
+                // always inside the seeded 64-word region.
+                b.alu(AluOp::And, r(9), reg_of(idx), 7i64);
+                b.alu(AluOp::Shl, r(9), r(9), 3i64);
+                b.alu(AluOp::Add, r(9), r(9), r(8));
+                b.load(reg_of(d), r(9), (slot % 8) as i64 * 64);
+            }
+            FuzzOp::Store(s, idx, slot) => {
+                b.alu(AluOp::And, r(9), reg_of(idx), 7i64);
+                b.alu(AluOp::Shl, r(9), r(9), 3i64);
+                b.alu(AluOp::Add, r(9), r(9), r(8));
+                b.store(reg_of(s), r(9), (slot % 8) as i64 * 64);
+            }
+            FuzzOp::SkipIf(c, a, bb) => {
+                if pending_skip.is_none() {
+                    let label = b.new_label();
+                    b.branch(cond(c), reg_of(a), reg_of(bb), label);
+                    pending_skip = Some((label, b.len()));
+                }
+            }
+        }
+    }
+    if let Some((label, _)) = pending_skip {
+        b.bind(label).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn fuzz_op_strategy() -> impl Strategy<Value = FuzzOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(a, b, c, d)| FuzzOp::Alu(a, b, c, d)),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<i8>())
+            .prop_map(|(a, b, c, d)| FuzzOp::AluImm(a, b, c, d)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| FuzzOp::Load(a, b, c)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| FuzzOp::Store(a, b, c)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| FuzzOp::SkipIf(a, b, c)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random programs produce identical architecture under every
+    /// defense and pinning configuration.
+    #[test]
+    fn random_programs_equivalent_across_defenses(
+        ops in proptest::collection::vec(fuzz_op_strategy(), 8..60)
+    ) {
+        let program = build_program(&ops);
+        let reference = observe(&MachineConfig::default_single_core(), &program);
+        for cfg in configs() {
+            let got = observe(&cfg, &program);
+            prop_assert_eq!(
+                &reference, &got,
+                "program diverged under {}\n{}", cfg.label(), program.listing()
+            );
+        }
+    }
+}

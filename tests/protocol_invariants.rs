@@ -1,0 +1,142 @@
+//! Cross-component invariants of the Pinned Loads protocol, checked on
+//! contended multicore runs.
+
+use pinned_loads::base::{
+    CoreId, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig,
+};
+use pinned_loads::machine::Machine;
+use pinned_loads::workloads::{parallel_suite, Scale};
+
+fn run_suite_with(mode: PinMode, scheme: DefenseScheme) -> Vec<(String, pinned_loads::base::Stats)> {
+    let mut cfg = MachineConfig::default_multi_core(4);
+    cfg.defense = scheme;
+    cfg.pinned_loads = PinnedLoadsConfig::with_mode(mode);
+    parallel_suite(4, Scale::Test)
+        .into_iter()
+        .map(|w| {
+            let mut m = Machine::new(&cfg).unwrap();
+            w.install(&mut m);
+            let res = m
+                .run(500_000_000)
+                .unwrap_or_else(|e| panic!("`{}` under {}: {e}", w.name, cfg.label()));
+            (w.name.clone(), res.stats)
+        })
+        .collect()
+}
+
+/// Every aborted write at the directory corresponds to a writer-side
+/// retry, and Clear broadcasts only follow starred transactions.
+#[test]
+fn defer_abort_and_clear_bookkeeping_balances() {
+    for (name, stats) in run_suite_with(PinMode::Early, DefenseScheme::Fence) {
+        let aborts = stats.get("llc.aborts");
+        let retries = stats.get("wb.writes_retried");
+        assert_eq!(
+            aborts, retries,
+            "`{name}`: every abort must come from a deferred write retry"
+        );
+        let stars = stats.get("llc.getx_star");
+        let clears = stats.get("llc.clears");
+        assert!(
+            clears <= stars,
+            "`{name}`: a Clear broadcast requires a successful starred write \
+             (clears={clears}, stars={stars})"
+        );
+        if retries > 0 {
+            assert!(
+                stats.get("l1.invs_deferred") > 0,
+                "`{name}`: retried writes imply some sharer deferred"
+            );
+        }
+    }
+}
+
+/// Without pinning there must be no defers, no starred requests, and no
+/// CPT activity at all.
+#[test]
+fn baseline_never_uses_pinning_machinery() {
+    for (name, stats) in run_suite_with(PinMode::Off, DefenseScheme::Fence) {
+        for key in [
+            "pin.pins",
+            "l1.invs_deferred",
+            "llc.getx_star",
+            "llc.clears",
+            "pin.inv_stars",
+            "l1.back_invs_deferred",
+            "llc.evictions_retried",
+        ] {
+            assert_eq!(stats.get(key), 0, "`{name}`: unexpected {key} without pinning");
+        }
+    }
+}
+
+/// Pinned loads are never squashed: with Early Pinning active, MCV
+/// squashes can only hit unpinned loads, so total squashes must not
+/// exceed the baseline's (sanity bound: the machinery does not create
+/// squash storms).
+#[test]
+fn pinning_reduces_mcv_squashes() {
+    let base: u64 = run_suite_with(PinMode::Off, DefenseScheme::Dom)
+        .iter()
+        .map(|(_, s)| s.get("squash.mcv_inv"))
+        .sum();
+    let pinned: u64 = run_suite_with(PinMode::Early, DefenseScheme::Dom)
+        .iter()
+        .map(|(_, s)| s.get("squash.mcv_inv"))
+        .sum();
+    assert!(
+        pinned <= base.max(8),
+        "EP should not increase invalidation squashes (base {base}, EP {pinned})"
+    );
+}
+
+/// The CPT never overflows on these workloads with the default 4 entries
+/// (the paper reports < 0.0001 overflows per insert).
+#[test]
+fn cpt_rarely_overflows() {
+    for (name, stats) in run_suite_with(PinMode::Early, DefenseScheme::Fence) {
+        let attempts = stats.get("cpt.insert_attempts");
+        let overflows = stats.get("cpt.overflows");
+        if attempts > 0 {
+            let rate = overflows as f64 / attempts as f64;
+            assert!(
+                rate < 0.05,
+                "`{name}`: CPT overflow rate {rate} is far above the paper's"
+            );
+        }
+    }
+}
+
+/// Architectural results of the whole parallel suite match between the
+/// unsafe machine and a fully pinned Fence machine.
+#[test]
+fn parallel_suite_is_architecturally_stable_under_ep() {
+    let base_cfg = {
+        let mut c = MachineConfig::default_multi_core(4);
+        c.defense = DefenseScheme::Unsafe;
+        c
+    };
+    let ep_cfg = {
+        let mut c = MachineConfig::default_multi_core(4);
+        c.defense = DefenseScheme::Fence;
+        c.pinned_loads = PinnedLoadsConfig::with_mode(PinMode::Early);
+        c
+    };
+    for w in parallel_suite(4, Scale::Test) {
+        let mut a = Machine::new(&base_cfg).unwrap();
+        w.install(&mut a);
+        a.run(500_000_000).unwrap();
+        let mut b = Machine::new(&ep_cfg).unwrap();
+        w.install(&mut b);
+        b.run(500_000_000).unwrap();
+        for c in 0..4 {
+            let reg = pinned_loads::isa::Reg::new(20).unwrap();
+            assert_eq!(
+                a.reg(CoreId(c), reg),
+                b.reg(CoreId(c), reg),
+                "`{}` core {c} accumulator diverged",
+                w.name
+            );
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! TSO litmus tests, run end to end through the pipeline, coherence
+//! protocol, and (where enabled) the pinning machinery.
+//!
+//! The paper's correctness hinges on TSO being preserved: a load's value
+//! must still be valid when it retires, enforced by squashing
+//! performed-but-unretired loads whose line is invalidated or evicted
+//! (Section 2) — or, with Pinned Loads, by denying those invalidations.
+//! These tests check the *forbidden outcomes* never materialize under any
+//! configuration.
+
+use pinned_loads::base::{
+    Addr, CoreId, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig,
+};
+use pinned_loads::isa::{AluOp, BranchCond, ProgramBuilder, Reg};
+use pinned_loads::machine::Machine;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i).unwrap()
+}
+
+fn all_configs(cores: usize) -> Vec<MachineConfig> {
+    let mut out = Vec::new();
+    for scheme in [DefenseScheme::Unsafe, DefenseScheme::Fence, DefenseScheme::Dom, DefenseScheme::Stt]
+    {
+        for pin in [PinMode::Off, PinMode::Late, PinMode::Early] {
+            if scheme == DefenseScheme::Unsafe && pin != PinMode::Off {
+                continue;
+            }
+            let mut cfg = MachineConfig::default_multi_core(cores);
+            cfg.defense = scheme;
+            cfg.pinned_loads = PinnedLoadsConfig::with_mode(pin);
+            out.push(cfg);
+        }
+    }
+    out
+}
+
+/// Message passing (MP): writer does `data = i; flag = i`; reader does
+/// `f = flag; d = data`. TSO forbids observing `d < f` — that would mean
+/// the reader's younger data-load was effectively reordered before its
+/// older flag-load across the writer's ordered stores.
+#[test]
+fn message_passing_forbidden_outcome_never_observed() {
+    const DATA: u64 = 0x1_0000;
+    const FLAG: u64 = 0x2_0000;
+    const ROUNDS: i64 = 300;
+
+    let writer = || {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.addi(r(1), Reg::ZERO, DATA as i64);
+        b.addi(r(2), Reg::ZERO, FLAG as i64);
+        b.addi(r(3), Reg::ZERO, 0);
+        b.addi(r(4), Reg::ZERO, ROUNDS);
+        b.bind(top).unwrap();
+        b.addi(r(3), r(3), 1);
+        b.store(r(3), r(1), 0); // data = i
+        b.store(r(3), r(2), 0); // flag = i   (TSO: ordered after data)
+        b.branch(BranchCond::Ne, r(3), r(4), top);
+        b.build().unwrap()
+    };
+    let reader = || {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        let ok = b.new_label();
+        b.addi(r(1), Reg::ZERO, DATA as i64);
+        b.addi(r(2), Reg::ZERO, FLAG as i64);
+        b.addi(r(4), Reg::ZERO, 2 * ROUNDS);
+        b.addi(r(30), Reg::ZERO, 0); // violation counter
+        b.bind(top).unwrap();
+        b.load(r(10), r(2), 0); // f = flag   (older)
+        b.load(r(11), r(1), 0); // d = data   (younger)
+        b.branch(BranchCond::GeU, r(11), r(10), ok);
+        b.addi(r(30), r(30), 1); // d < f: forbidden under TSO
+        b.bind(ok).unwrap();
+        b.addi(r(4), r(4), -1);
+        b.branch(BranchCond::Ne, r(4), Reg::ZERO, top);
+        b.build().unwrap()
+    };
+
+    for cfg in all_configs(2) {
+        let mut m = Machine::new(&cfg).unwrap();
+        m.load_program(CoreId(0), writer());
+        m.load_program(CoreId(1), reader());
+        m.run(200_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", cfg.label()));
+        assert_eq!(
+            m.reg(CoreId(1), r(30)),
+            0,
+            "TSO violation (d < f observed) under {}",
+            cfg.label()
+        );
+    }
+}
+
+/// Store buffering (SB): both cores store then load the other's
+/// location. TSO *allows* r1 = r2 = 0; the test checks the machine
+/// completes and the stores are both globally visible at the end.
+#[test]
+fn store_buffering_completes_and_drains() {
+    const X: u64 = 0x3_0000;
+    const Y: u64 = 0x4_0000;
+    let prog = |mine: u64, theirs: u64| {
+        let mut b = ProgramBuilder::new();
+        b.addi(r(1), Reg::ZERO, mine as i64);
+        b.addi(r(2), Reg::ZERO, theirs as i64);
+        b.addi(r(3), Reg::ZERO, 1);
+        b.store(r(3), r(1), 0);
+        b.load(r(10), r(2), 0);
+        b.build().unwrap()
+    };
+    for cfg in all_configs(2) {
+        let mut m = Machine::new(&cfg).unwrap();
+        m.load_program(CoreId(0), prog(X, Y));
+        m.load_program(CoreId(1), prog(Y, X));
+        m.run(10_000_000).unwrap();
+        // Both stores must have drained to memory.
+        assert_eq!(m.read_mem(Addr::new(X)), 1, "{}", cfg.label());
+        assert_eq!(m.read_mem(Addr::new(Y)), 1, "{}", cfg.label());
+        // Each loaded value is 0 or 1; both-zero is legal under TSO.
+        for c in 0..2 {
+            assert!(m.reg(CoreId(c), r(10)) <= 1, "{}", cfg.label());
+        }
+    }
+}
+
+/// MFENCE upgrades store buffering to sequential consistency: with a
+/// fence between the store and the load, `r1 = r2 = 0` becomes forbidden.
+#[test]
+fn store_buffering_with_mfence_forbids_both_zero() {
+    const X: u64 = 0x5_0000;
+    const Y: u64 = 0x6_0000;
+    let prog = |mine: u64, theirs: u64| {
+        let mut b = ProgramBuilder::new();
+        b.addi(r(1), Reg::ZERO, mine as i64);
+        b.addi(r(2), Reg::ZERO, theirs as i64);
+        b.addi(r(3), Reg::ZERO, 1);
+        b.store(r(3), r(1), 0);
+        b.mfence();
+        b.load(r(10), r(2), 0);
+        b.build().unwrap()
+    };
+    for cfg in all_configs(2) {
+        let mut m = Machine::new(&cfg).unwrap();
+        m.load_program(CoreId(0), prog(X, Y));
+        m.load_program(CoreId(1), prog(Y, X));
+        m.run(10_000_000).unwrap();
+        let r1 = m.reg(CoreId(0), r(10));
+        let r2 = m.reg(CoreId(1), r(10));
+        assert!(
+            r1 == 1 || r2 == 1,
+            "SC violation with fences: r1={r1} r2={r2} under {}",
+            cfg.label()
+        );
+    }
+}
+
+/// Coherence (single location): concurrent atomic increments from every
+/// core must sum exactly, under every configuration.
+#[test]
+fn single_location_atomics_are_coherent() {
+    const COUNTER: u64 = 0x7_0000;
+    const PER_CORE: i64 = 50;
+    let prog = || {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.addi(r(1), Reg::ZERO, COUNTER as i64);
+        b.addi(r(2), Reg::ZERO, PER_CORE);
+        b.addi(r(3), Reg::ZERO, 1);
+        b.bind(top).unwrap();
+        b.atomic_add(r(4), r(3), r(1), 0);
+        b.addi(r(2), r(2), -1);
+        b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+        b.build().unwrap()
+    };
+    for cfg in all_configs(4) {
+        let mut m = Machine::new(&cfg).unwrap();
+        for c in 0..4 {
+            m.load_program(CoreId(c), prog());
+        }
+        m.run(200_000_000).unwrap();
+        assert_eq!(
+            m.read_mem(Addr::new(COUNTER)),
+            4 * PER_CORE as u64,
+            "lost update under {}",
+            cfg.label()
+        );
+    }
+}
+
+/// Loads observing a remote writer must be monotone: once the reader sees
+/// value v, it never later reads an older value (per-location coherence
+/// order), even across squashes and re-executions.
+#[test]
+fn per_location_reads_are_monotone() {
+    const CELL: u64 = 0x8_0000;
+    let writer = || {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.addi(r(1), Reg::ZERO, CELL as i64);
+        b.addi(r(3), Reg::ZERO, 0);
+        b.addi(r(4), Reg::ZERO, 200);
+        b.bind(top).unwrap();
+        b.addi(r(3), r(3), 1);
+        b.store(r(3), r(1), 0);
+        b.branch(BranchCond::Ne, r(3), r(4), top);
+        b.build().unwrap()
+    };
+    let reader = || {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        let ok = b.new_label();
+        b.addi(r(1), Reg::ZERO, CELL as i64);
+        b.addi(r(4), Reg::ZERO, 400);
+        b.addi(r(9), Reg::ZERO, 0); // last seen
+        b.addi(r(30), Reg::ZERO, 0); // violations
+        b.bind(top).unwrap();
+        b.load(r(10), r(1), 0);
+        b.branch(BranchCond::GeU, r(10), r(9), ok);
+        b.addi(r(30), r(30), 1);
+        b.bind(ok).unwrap();
+        b.alu(AluOp::Add, r(9), r(10), 0i64);
+        b.addi(r(4), r(4), -1);
+        b.branch(BranchCond::Ne, r(4), Reg::ZERO, top);
+        b.build().unwrap()
+    };
+    for cfg in all_configs(2) {
+        let mut m = Machine::new(&cfg).unwrap();
+        m.load_program(CoreId(0), writer());
+        m.load_program(CoreId(1), reader());
+        m.run(200_000_000).unwrap();
+        assert_eq!(
+            m.reg(CoreId(1), r(30)),
+            0,
+            "non-monotone reads under {}",
+            cfg.label()
+        );
+    }
+}
