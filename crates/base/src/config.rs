@@ -450,7 +450,7 @@ impl MachineConfig {
                 return Err(ConfigError::ZeroCache(name));
             }
             let lines = c.size_bytes / crate::addr::LINE_BYTES;
-            if lines % c.ways as u64 != 0 || !(lines / c.ways as u64).is_power_of_two() {
+            if !lines.is_multiple_of(c.ways as u64) || !(lines / c.ways as u64).is_power_of_two() {
                 return Err(ConfigError::BadGeometry(name));
             }
         }

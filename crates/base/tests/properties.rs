@@ -1,7 +1,11 @@
-//! Property-based tests for the foundational types.
+//! Property-based tests for the foundational types, on the in-tree
+//! `pl-test` harness.
 
 use pl_base::{geo_mean, Addr, CircQueue, LineAddr, SimRng};
-use proptest::prelude::*;
+use pl_test::{
+    any_bool, any_u32, any_u64, check, f64_in, just, one_of, prop_assert, prop_assert_eq,
+    prop_assert_ne, u64_in, usize_in, vec_of, Strategy, StrategyExt,
+};
 use std::collections::VecDeque;
 
 /// Operations for model-based testing of the bounded queue.
@@ -15,102 +19,142 @@ enum QueueOp {
 }
 
 fn queue_op() -> impl Strategy<Value = QueueOp> {
-    prop_oneof![
-        any::<u32>().prop_map(QueueOp::Push),
-        Just(QueueOp::PopFront),
-        Just(QueueOp::PopBack),
-        any::<u32>().prop_map(QueueOp::RetainLess),
-        Just(QueueOp::Clear),
-    ]
+    one_of(vec![
+        any_u32().map(QueueOp::Push).boxed(),
+        just(QueueOp::PopFront).boxed(),
+        just(QueueOp::PopBack).boxed(),
+        any_u32().map(QueueOp::RetainLess).boxed(),
+        just(QueueOp::Clear).boxed(),
+    ])
 }
 
-proptest! {
-    /// `CircQueue` behaves exactly like a capacity-checked `VecDeque`.
-    #[test]
-    fn circ_queue_matches_vecdeque_model(
-        cap in 1usize..16,
-        ops in proptest::collection::vec(queue_op(), 0..200),
-    ) {
-        let mut q = CircQueue::new(cap);
-        let mut model: VecDeque<u32> = VecDeque::new();
-        for op in ops {
-            match op {
-                QueueOp::Push(v) => {
-                    let expect = model.len() < cap;
-                    let got = q.push_back(v).is_ok();
-                    prop_assert_eq!(expect, got);
-                    if expect {
-                        model.push_back(v);
+/// `CircQueue` behaves exactly like a capacity-checked `VecDeque`.
+#[test]
+fn circ_queue_matches_vecdeque_model() {
+    check(
+        "circ_queue_matches_vecdeque_model",
+        &(usize_in(1..16), vec_of(queue_op(), 0..200)),
+        |(cap, ops)| {
+            let cap = *cap;
+            let mut q = CircQueue::new(cap);
+            let mut model: VecDeque<u32> = VecDeque::new();
+            for op in ops {
+                match *op {
+                    QueueOp::Push(v) => {
+                        let expect = model.len() < cap;
+                        let got = q.push_back(v).is_ok();
+                        prop_assert_eq!(expect, got);
+                        if expect {
+                            model.push_back(v);
+                        }
+                    }
+                    QueueOp::PopFront => {
+                        prop_assert_eq!(q.pop_front(), model.pop_front());
+                    }
+                    QueueOp::PopBack => {
+                        prop_assert_eq!(q.pop_back(), model.pop_back());
+                    }
+                    QueueOp::RetainLess(bound) => {
+                        q.retain(|&x| x < bound);
+                        model.retain(|&x| x < bound);
+                    }
+                    QueueOp::Clear => {
+                        q.clear();
+                        model.clear();
                     }
                 }
-                QueueOp::PopFront => {
-                    prop_assert_eq!(q.pop_front(), model.pop_front());
-                }
-                QueueOp::PopBack => {
-                    prop_assert_eq!(q.pop_back(), model.pop_back());
-                }
-                QueueOp::RetainLess(bound) => {
-                    q.retain(|&x| x < bound);
-                    model.retain(|&x| x < bound);
-                }
-                QueueOp::Clear => {
-                    q.clear();
-                    model.clear();
-                }
+                prop_assert_eq!(q.len(), model.len());
+                prop_assert_eq!(q.front(), model.front());
+                prop_assert_eq!(q.back(), model.back());
+                prop_assert_eq!(q.is_full(), model.len() == cap);
+                let a: Vec<_> = q.iter().copied().collect();
+                let b: Vec<_> = model.iter().copied().collect();
+                prop_assert_eq!(a, b);
             }
-            prop_assert_eq!(q.len(), model.len());
-            prop_assert_eq!(q.front(), model.front());
-            prop_assert_eq!(q.back(), model.back());
-            prop_assert_eq!(q.is_full(), model.len() == cap);
-            let a: Vec<_> = q.iter().copied().collect();
-            let b: Vec<_> = model.iter().copied().collect();
-            prop_assert_eq!(a, b);
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Line index/tag decomposition is lossless for any bit split.
-    #[test]
-    fn line_addr_index_tag_partition(raw in any::<u64>(), bits in 0u32..20) {
-        let line = Addr::new(raw).line();
-        let rebuilt = (line.tag_bits(bits) << bits) | line.index_bits(bits);
-        prop_assert_eq!(rebuilt, line.raw());
-    }
+/// Line index/tag decomposition is lossless for any bit split.
+#[test]
+fn line_addr_index_tag_partition() {
+    check(
+        "line_addr_index_tag_partition",
+        &(any_u64(), u64_in(0..20)),
+        |&(raw, bits)| {
+            let bits = bits as u32;
+            let line = Addr::new(raw).line();
+            let rebuilt = (line.tag_bits(bits) << bits) | line.index_bits(bits);
+            prop_assert_eq!(rebuilt, line.raw());
+            Ok(())
+        },
+    );
+}
 
-    /// Addresses within one line map to the same line; the next line
-    /// differs.
-    #[test]
-    fn line_membership(raw in any::<u64>()) {
+/// Addresses within one line map to the same line; the next line differs.
+#[test]
+fn line_membership() {
+    check("line_membership", &any_u64(), |&raw| {
         let base = Addr::new(raw & !63);
         for off in [0u64, 1, 31, 63] {
             prop_assert_eq!(base.offset(off).line(), base.line());
         }
         prop_assert_ne!(base.offset(64).line(), base.line());
-    }
+        Ok(())
+    });
+}
 
-    /// `gen_range` stays in bounds for arbitrary nonempty ranges.
-    #[test]
-    fn rng_range_in_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
-        let mut rng = SimRng::new(seed);
-        for _ in 0..50 {
-            let v = rng.gen_range(lo..lo + span);
-            prop_assert!((lo..lo + span).contains(&v));
-        }
-    }
+/// `gen_range` stays in bounds for arbitrary nonempty ranges.
+#[test]
+fn rng_range_in_bounds() {
+    check(
+        "rng_range_in_bounds",
+        &(any_u64(), u64_in(0..1000), u64_in(1..1000)),
+        |&(seed, lo, span)| {
+            let mut rng = SimRng::new(seed);
+            for _ in 0..50 {
+                let v = rng.gen_range(lo..lo + span);
+                prop_assert!((lo..lo + span).contains(&v));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The geometric mean lies between the minimum and maximum.
-    #[test]
-    fn geo_mean_bounded(values in proptest::collection::vec(0.01f64..1000.0, 1..20)) {
-        let g = geo_mean(&values).unwrap();
+/// The geometric mean lies between the minimum and maximum.
+#[test]
+fn geo_mean_bounded() {
+    check("geo_mean_bounded", &vec_of(f64_in(0.01..1000.0), 1..20), |values| {
+        let g = geo_mean(values).unwrap();
         let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = values.iter().cloned().fold(0.0f64, f64::max);
         prop_assert!(g >= min * 0.999 && g <= max * 1.001, "g={g} min={min} max={max}");
-    }
+        Ok(())
+    });
+}
 
-    /// Line hashes are stable and identical across generator instances.
-    #[test]
-    fn line_hash_stable(n in any::<u64>()) {
+/// Line hashes are stable and identical across generator instances.
+#[test]
+fn line_hash_stable() {
+    check("line_hash_stable", &any_u64(), |&n| {
         let a = LineAddr::from_line_number(n).hash64();
         let b = LineAddr::from_line_number(n).hash64();
         prop_assert_eq!(a, b);
-    }
+        Ok(())
+    });
+}
+
+/// The harness's own booleans exercise both branches (sanity check that
+/// ported tests are not starved of one side of a coin flip).
+#[test]
+fn bool_strategy_hits_both_sides() {
+    let seen = [std::cell::Cell::new(false), std::cell::Cell::new(false)];
+    check("bool_strategy_hits_both_sides", &vec_of(any_bool(), 32..33), |flips| {
+        for &f in flips {
+            seen[f as usize].set(true);
+        }
+        Ok(())
+    });
+    assert!(seen[0].get() && seen[1].get());
 }

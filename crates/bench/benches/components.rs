@@ -1,92 +1,84 @@
-//! Criterion microbenchmarks of the simulator's building blocks: cache
-//! lookups, TAGE predictions, CST pin checks, NoC routing, and whole-
-//! machine simulation throughput. These guard the simulator's own
-//! performance (cycles simulated per second), which the figure harnesses
-//! depend on.
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
+//! Microbenchmarks of the simulator's building blocks: cache lookups,
+//! TAGE predictions, CST pin checks, NoC routing, and whole-machine
+//! simulation throughput, on the in-tree `pl_bench::timing` harness.
+//! These guard the simulator's own performance (cycles simulated per
+//! second), which the figure harnesses depend on.
+//!
+//! Run with `cargo bench -p pl-bench --bench components`; writes
+//! `results/bench_components.json`.
 
 use pl_base::{Addr, CacheConfig, CoreId, Cycle, LineAddr, MachineConfig, SimRng};
+use pl_bench::timing::TimingHarness;
 use pl_isa::{Pc, ProgramBuilder, Reg};
 use pl_machine::Machine;
 use pl_mem::{Cache, Mesi, Msg, NodeId, Noc};
 use pl_predictor::BranchPredictor;
 use pl_secure::Cst;
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache(h: &mut TimingHarness) {
     let cfg = CacheConfig { size_bytes: 32 * 1024, ways: 8, hit_latency: 2, mshr_entries: 16 };
-    c.bench_function("cache/lookup_hit", |b| {
-        let mut cache: Cache<Mesi> = Cache::new(&cfg);
-        for i in 0..256u64 {
-            cache.insert(Addr::new(i * 64).line(), Mesi::Shared, |_, _| true).unwrap();
-        }
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) % 256;
-            black_box(cache.get(Addr::new(i * 64).line()).copied())
-        });
+    let mut cache: Cache<Mesi> = Cache::new(&cfg);
+    for i in 0..256u64 {
+        cache.insert(Addr::new(i * 64).line(), Mesi::Shared, |_, _| true).unwrap();
+    }
+    let mut i = 0u64;
+    h.bench("cache/lookup_hit", || {
+        i = (i + 1) % 256;
+        cache.get(Addr::new(i * 64).line()).copied()
     });
-    c.bench_function("cache/insert_evict", |b| {
-        let mut cache: Cache<Mesi> = Cache::new(&cfg);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            black_box(cache.insert(Addr::new(i * 64).line(), Mesi::Exclusive, |_, _| true))
-        });
+
+    let mut cache: Cache<Mesi> = Cache::new(&cfg);
+    let mut i = 0u64;
+    h.bench("cache/insert_evict", || {
+        i += 1;
+        cache.insert(Addr::new(i * 64).line(), Mesi::Exclusive, |_, _| true)
     });
 }
 
-fn bench_predictor(c: &mut Criterion) {
-    c.bench_function("tage/predict_update", |b| {
-        let mut bp = BranchPredictor::new(4096, 16);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let pc = Pc((i % 64) as usize);
-            let taken = (i / 64) % 3 == 0;
-            let (pred, ckpt) = bp.predict_cond(pc);
-            bp.update_cond(pc, taken, pred, &ckpt);
-        });
+fn bench_predictor(h: &mut TimingHarness) {
+    let mut bp = BranchPredictor::new(4096, 16);
+    let mut i = 0u64;
+    h.bench("tage/predict_update", || {
+        i += 1;
+        let pc = Pc((i % 64) as usize);
+        let taken = (i / 64).is_multiple_of(3);
+        let (pred, ckpt) = bp.predict_cond(pc);
+        bp.update_cond(pc, taken, pred, &ckpt);
     });
 }
 
-fn bench_cst(c: &mut Criterion) {
-    c.bench_function("cst/try_pin", |b| {
-        let mut rng = SimRng::new(1);
-        let lines: Vec<LineAddr> =
-            (0..1024).map(|_| Addr::new(rng.next_u64() & 0xfff_ffc0).line()).collect();
-        let mut cst = Cst::finite(40, 2);
-        let live = |_id: u64| -> Option<LineAddr> { None };
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 1) % lines.len();
-            black_box(cst.try_pin(i as u64 % 64, lines[i], i as u64, &live))
-        });
+fn bench_cst(h: &mut TimingHarness) {
+    let mut rng = SimRng::new(1);
+    let lines: Vec<LineAddr> =
+        (0..1024).map(|_| Addr::new(rng.next_u64() & 0xfff_ffc0).line()).collect();
+    let mut cst = Cst::finite(40, 2);
+    let live = |_id: u64| -> Option<LineAddr> { None };
+    let mut i = 0usize;
+    h.bench("cst/try_pin", || {
+        i = (i + 1) % lines.len();
+        cst.try_pin(i as u64 % 64, lines[i], i as u64, &live)
     });
 }
 
-fn bench_noc(c: &mut Criterion) {
-    c.bench_function("noc/send_deliver", |b| {
-        b.iter_batched(
-            || Noc::new(4, 2, 1),
-            |mut noc| {
-                for i in 0..64u64 {
-                    noc.send(
-                        Cycle(i),
-                        NodeId::Core(CoreId((i % 8) as usize)),
-                        NodeId::Slice(((i + 3) % 8) as usize),
-                        Msg::GetS { line: Addr::new(i * 64).line(), requester: CoreId(0) },
-                    );
-                }
-                black_box(noc.deliver(Cycle(1000)))
-            },
-            BatchSize::SmallInput,
-        );
-    });
+fn bench_noc(h: &mut TimingHarness) {
+    h.bench_with_setup(
+        "noc/send_deliver",
+        || Noc::new(4, 2, 1),
+        |mut noc| {
+            for i in 0..64u64 {
+                noc.send(
+                    Cycle(i),
+                    NodeId::Core(CoreId((i % 8) as usize)),
+                    NodeId::Slice(((i + 3) % 8) as usize),
+                    Msg::GetS { line: Addr::new(i * 64).line(), requester: CoreId(0) },
+                );
+            }
+            noc.deliver(Cycle(1000))
+        },
+    );
 }
 
-fn bench_machine_throughput(c: &mut Criterion) {
+fn bench_machine_throughput(h: &mut TimingHarness) {
     // Whole-machine cycles/second on a small arithmetic loop.
     let r = |i: u8| Reg::new(i).unwrap();
     let program = {
@@ -103,23 +95,24 @@ fn bench_machine_throughput(c: &mut Criterion) {
         b.branch(pl_isa::BranchCond::Ne, r(1), Reg::ZERO, top);
         b.build().unwrap()
     };
-    c.bench_function("machine/run_3k_inst_program", |b| {
-        let cfg = MachineConfig::default_single_core();
-        b.iter_batched(
-            || {
-                let mut m = Machine::new(&cfg).unwrap();
-                m.load_program(CoreId(0), program.clone());
-                m
-            },
-            |mut m| black_box(m.run(10_000_000).unwrap()),
-            BatchSize::SmallInput,
-        );
-    });
+    let cfg = MachineConfig::default_single_core();
+    h.bench_with_setup(
+        "machine/run_3k_inst",
+        || {
+            let mut m = Machine::new(&cfg).unwrap();
+            m.load_program(CoreId(0), program.clone());
+            m
+        },
+        |mut m| m.run(10_000_000).unwrap(),
+    );
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_cache, bench_predictor, bench_cst, bench_noc, bench_machine_throughput
+fn main() {
+    let mut h = TimingHarness::new("components");
+    bench_cache(&mut h);
+    bench_predictor(&mut h);
+    bench_cst(&mut h);
+    bench_noc(&mut h);
+    bench_machine_throughput(&mut h);
+    h.finish().expect("write benchmark report");
 }
-criterion_main!(benches);

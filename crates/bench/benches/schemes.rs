@@ -1,48 +1,44 @@
-//! Criterion end-to-end benchmark: simulated-machine wall time per
-//! defense configuration on one representative kernel. The interesting
-//! output is the *relative simulated cycle counts* (reported by the
-//! figure binaries); this bench tracks the host-side cost so regressions
-//! in simulator performance are caught by `cargo bench`.
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
+//! End-to-end benchmark: simulated-machine wall time per defense
+//! configuration on one representative kernel, on the in-tree
+//! `pl_bench::timing` harness. The interesting output is the *relative
+//! simulated cycle counts* (reported by the figure binaries); this bench
+//! tracks the host-side cost so regressions in simulator performance are
+//! caught by `cargo bench`.
+//!
+//! Run with `cargo bench -p pl-bench --bench schemes`; writes
+//! `results/bench_schemes.json`.
 
 use pl_base::{DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig};
+use pl_bench::timing::TimingHarness;
 use pl_machine::Machine;
 use pl_workloads::{spec_suite, Scale};
 
-fn bench_schemes(c: &mut Criterion) {
+fn main() {
     let workload = spec_suite(Scale::Test)
         .into_iter()
         .find(|w| w.name == "hot_reuse")
         .expect("suite contains hot_reuse");
-    let mut group = c.benchmark_group("simulate/hot_reuse");
-    group.sample_size(10);
+    let mut h = TimingHarness::new("schemes");
     for (label, scheme, pin) in [
-        ("unsafe", DefenseScheme::Unsafe, PinMode::Off),
-        ("fence_comp", DefenseScheme::Fence, PinMode::Off),
-        ("fence_lp", DefenseScheme::Fence, PinMode::Late),
-        ("fence_ep", DefenseScheme::Fence, PinMode::Early),
-        ("dom_ep", DefenseScheme::Dom, PinMode::Early),
-        ("stt_ep", DefenseScheme::Stt, PinMode::Early),
+        ("simulate/hot_reuse/unsafe", DefenseScheme::Unsafe, PinMode::Off),
+        ("simulate/hot_reuse/fence_comp", DefenseScheme::Fence, PinMode::Off),
+        ("simulate/hot_reuse/fence_lp", DefenseScheme::Fence, PinMode::Late),
+        ("simulate/hot_reuse/fence_ep", DefenseScheme::Fence, PinMode::Early),
+        ("simulate/hot_reuse/dom_ep", DefenseScheme::Dom, PinMode::Early),
+        ("simulate/hot_reuse/stt_ep", DefenseScheme::Stt, PinMode::Early),
     ] {
         let mut cfg = MachineConfig::default_single_core();
         cfg.defense = scheme;
         cfg.pinned_loads = PinnedLoadsConfig::with_mode(pin);
-        group.bench_function(label, |b| {
-            b.iter_batched(
-                || {
-                    let mut m = Machine::new(&cfg).unwrap();
-                    workload.install(&mut m);
-                    m
-                },
-                |mut m| black_box(m.run(100_000_000).unwrap()),
-                BatchSize::SmallInput,
-            );
-        });
+        h.bench_with_setup(
+            label,
+            || {
+                let mut m = Machine::new(&cfg).unwrap();
+                workload.install(&mut m);
+                m
+            },
+            |mut m| m.run(100_000_000).unwrap(),
+        );
     }
-    group.finish();
+    h.finish().expect("write benchmark report");
 }
-
-criterion_group!(benches, bench_schemes);
-criterion_main!(benches);

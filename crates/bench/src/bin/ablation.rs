@@ -12,71 +12,78 @@
 //!    comparing LP, which leans on the exemption, against EP, which does
 //!    not need it.)
 //!
-//! Run with `cargo run --release -p pl-bench --bin ablation [--scale ...]`.
+//! Run with `cargo run --release -p pl-bench --bin ablation
+//! [--scale ...] [--threads N]`.
 
-use pl_base::{geo_mean, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig};
-use pl_bench::{overhead_pct, print_banner, run_workload, unsafe_cpis};
+use pl_base::{DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig};
+use pl_bench::{geo_overheads, print_banner, sweep_cpis, unsafe_cpis, SweepJob};
 use pl_workloads::{spec_suite, Workload};
 
-fn ep_overhead_with(
-    mutate: impl Fn(&mut MachineConfig),
-    workloads: &[Workload],
-    baselines: &[f64],
-) -> f64 {
+fn ep_config(mutate: impl Fn(&mut MachineConfig)) -> MachineConfig {
     let mut cfg = MachineConfig::default_single_core();
     cfg.defense = DefenseScheme::Fence;
     cfg.pinned_loads = PinnedLoadsConfig::with_mode(PinMode::Early);
     mutate(&mut cfg);
     cfg.validate().expect("ablation config is valid");
-    let normalized: Vec<f64> = workloads
-        .iter()
-        .zip(baselines)
-        .map(|(w, &b)| run_workload(&cfg, w).cpi() / b)
-        .collect();
-    overhead_pct(geo_mean(&normalized).expect("positive CPIs"))
+    cfg
 }
 
 fn main() {
-    let (scale, _) = pl_bench::parse_args();
+    let args = pl_bench::parse_args();
     let base = MachineConfig::default_single_core();
     print_banner("Ablations (Fence+EP, SPEC17-like suite)", &base);
     // Use a store-heavy subset plus a miss-heavy one so both knobs bind.
-    let workloads: Vec<Workload> = spec_suite(scale)
+    let workloads: Vec<Workload> = spec_suite(args.scale)
         .into_iter()
         .filter(|w| ["stream", "write_burst", "stencil_rw", "gather"].contains(&w.name.as_str()))
         .collect();
-    let baselines = unsafe_cpis(&base, &workloads);
+    let baselines = unsafe_cpis(&base, &workloads, args.threads);
 
     println!("\n--- write-buffer entries (Section 5.1.2 pinning bound) ---");
-    for wb in [2usize, 4, 8, 16, 32] {
-        let o = ep_overhead_with(|c| c.core.write_buffer_entries = wb, &workloads, &baselines);
+    let wbs = [2usize, 4, 8, 16, 32];
+    let jobs: Vec<SweepJob> = wbs
+        .iter()
+        .map(|&wb| (ep_config(|c| c.core.write_buffer_entries = wb), None))
+        .collect();
+    let overheads = geo_overheads(&sweep_cpis(&jobs, &workloads, args.threads), &baselines);
+    for (wb, o) in wbs.iter().zip(&overheads) {
         println!("  WB = {wb:>2}   overhead {o:>7.1}%");
     }
 
     println!("\n--- L1 MSHR entries (memory-level parallelism cap) ---");
-    for mshrs in [1usize, 2, 4, 8, 16] {
-        let o = ep_overhead_with(|c| c.mem.l1d.mshr_entries = mshrs, &workloads, &baselines);
+    let mshr_counts = [1usize, 2, 4, 8, 16];
+    let jobs: Vec<SweepJob> = mshr_counts
+        .iter()
+        .map(|&m| (ep_config(|c| c.mem.l1d.mshr_entries = m), None))
+        .collect();
+    let overheads = geo_overheads(&sweep_cpis(&jobs, &workloads, args.threads), &baselines);
+    for (mshrs, o) in mshr_counts.iter().zip(&overheads) {
         println!("  MSHRs = {mshrs:>2}   overhead {o:>7.1}%");
     }
 
     println!("\n--- TSO implementation: aggressive vs conservative (Section 2) ---");
+    let mut points = Vec::new();
     for mode in [PinMode::Off, PinMode::Late, PinMode::Early] {
         for conservative in [false, true] {
+            points.push((mode, conservative));
+        }
+    }
+    let jobs: Vec<SweepJob> = points
+        .iter()
+        .map(|&(mode, conservative)| {
             let mut cfg = base.clone();
             cfg.defense = DefenseScheme::Fence;
             cfg.core.conservative_tso = conservative;
             cfg.pinned_loads = PinnedLoadsConfig::with_mode(mode);
-            let normalized: Vec<f64> = workloads
-                .iter()
-                .zip(&baselines)
-                .map(|(w, &b)| run_workload(&cfg, w).cpi() / b)
-                .collect();
-            println!(
-                "  {mode:?} / {}: overhead {:>7.1}%",
-                if conservative { "conservative" } else { "aggressive " },
-                overhead_pct(geo_mean(&normalized).expect("positive"))
-            );
-        }
+            (cfg, None)
+        })
+        .collect();
+    let overheads = geo_overheads(&sweep_cpis(&jobs, &workloads, args.threads), &baselines);
+    for (&(mode, conservative), o) in points.iter().zip(&overheads) {
+        println!(
+            "  {mode:?} / {}: overhead {o:>7.1}%",
+            if conservative { "conservative" } else { "aggressive " },
+        );
     }
     println!(
         "\nexpected: overhead falls as the write buffer grows (the pin \

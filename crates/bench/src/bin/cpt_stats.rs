@@ -5,54 +5,64 @@
 //! The paper finds the CPT holds one line on average, 4–7 at peak, and
 //! overflows fewer than 0.0001 times per insert attempt.
 //!
-//! Run with `cargo run --release -p pl-bench --bin cpt_stats [--scale ...] [--cores N]`.
+//! Run with `cargo run --release -p pl-bench --bin cpt_stats
+//! [--scale ...] [--cores N] [--threads N]`.
 
 use pl_base::{DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig};
-use pl_bench::{print_banner, run_workload};
+use pl_bench::{print_banner, sweep_results, SweepJob};
 use pl_workloads::parallel_suite;
 
 fn main() {
-    let (scale, cores) = pl_bench::parse_args();
-    let base = MachineConfig::default_multi_core(cores);
+    let args = pl_bench::parse_args();
+    let base = MachineConfig::default_multi_core(args.cores);
     print_banner("Section 9.2.2: CPT occupancy", &base);
-    let workloads = parallel_suite(cores, scale);
+    let workloads = parallel_suite(args.cores, args.scale);
 
+    // For each (scheme, mode): one ideal-CPT job (true occupancy) and one
+    // default-CPT job (overflow behavior). All jobs fan out at once.
+    let mut points = Vec::new();
+    let mut jobs: Vec<SweepJob> = Vec::new();
     for scheme in DefenseScheme::PROTECTED {
         for mode in [PinMode::Late, PinMode::Early] {
-            println!("\n--- {scheme} + {} ---", if mode == PinMode::Late { "LP" } else { "EP" });
-            println!(
-                "{:<16} {:>12} {:>10} {:>14} {:>16}",
-                "benchmark", "mean occ", "peak occ", "inserts", "overflow rate"
-            );
-            for w in &workloads {
-                // Ideal CPT: true occupancy.
-                let mut ideal = base.clone();
-                ideal.defense = scheme;
-                ideal.pinned_loads = PinnedLoadsConfig::with_mode(mode);
-                ideal.pinned_loads.ideal_cpt = true;
-                let res = run_workload(&ideal, w);
-                let occ = res.stats.histogram("cpt.occupancy");
-                let peak = res.stats.histogram("cpt.peak").and_then(|h| h.max()).unwrap_or(0);
+            let mut ideal = base.clone();
+            ideal.defense = scheme;
+            ideal.pinned_loads = PinnedLoadsConfig::with_mode(mode);
+            ideal.pinned_loads.ideal_cpt = true;
+            let mut real = ideal.clone();
+            real.pinned_loads.ideal_cpt = false;
+            points.push((scheme, mode, jobs.len()));
+            jobs.push((ideal, None));
+            jobs.push((real, None));
+        }
+    }
+    let results = sweep_results(&jobs, &workloads, args.threads);
 
-                // Default CPT: overflow behavior.
-                let mut real = ideal.clone();
-                real.pinned_loads.ideal_cpt = false;
-                let res2 = run_workload(&real, w);
-                let attempts = res2.stats.get("cpt.insert_attempts");
-                let overflows = res2.stats.get("cpt.overflows");
-                println!(
-                    "{:<16} {:>12.3} {:>10} {:>14} {:>16}",
-                    w.name,
-                    occ.and_then(|h| h.mean()).unwrap_or(0.0),
-                    peak,
-                    attempts,
-                    if attempts == 0 {
-                        "n/a".to_string()
-                    } else {
-                        format!("{:.6}", overflows as f64 / attempts as f64)
-                    }
-                );
-            }
+    for (scheme, mode, job_idx) in points {
+        println!("\n--- {scheme} + {} ---", if mode == PinMode::Late { "LP" } else { "EP" });
+        println!(
+            "{:<16} {:>12} {:>10} {:>14} {:>16}",
+            "benchmark", "mean occ", "peak occ", "inserts", "overflow rate"
+        );
+        for (wi, w) in workloads.iter().enumerate() {
+            let res = &results[job_idx][wi];
+            let occ = res.stats.histogram("cpt.occupancy");
+            let peak = res.stats.histogram("cpt.peak").and_then(|h| h.max()).unwrap_or(0);
+
+            let res2 = &results[job_idx + 1][wi];
+            let attempts = res2.stats.get("cpt.insert_attempts");
+            let overflows = res2.stats.get("cpt.overflows");
+            println!(
+                "{:<16} {:>12.3} {:>10} {:>14} {:>16}",
+                w.name,
+                occ.and_then(|h| h.mean()).unwrap_or(0.0),
+                peak,
+                attempts,
+                if attempts == 0 {
+                    "n/a".to_string()
+                } else {
+                    format!("{:.6}", overflows as f64 / attempts as f64)
+                }
+            );
         }
     }
     println!(

@@ -6,12 +6,12 @@
 //! default (L1: 12x8, Dir/LLC: 40x2) shows false-positive rates below
 //! 0.4% and overhead within 3.6% of ideal.
 //!
-//! Run with `cargo run --release -p pl-bench --bin cst_sensitivity [--scale ...]`.
+//! Run with `cargo run --release -p pl-bench --bin cst_sensitivity
+//! [--scale ...] [--threads N]`.
 
-use pl_base::{
-    geo_mean, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig,
-};
-use pl_bench::{overhead_pct, print_banner, run_workload, unsafe_cpis};
+use pl_base::{geo_mean, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig};
+use pl_bench::{overhead_pct, print_banner, sweep_results, unsafe_cpis, SweepJob};
+use pl_machine::RunResult;
 use pl_workloads::{spec_suite, Workload};
 
 struct CstPoint {
@@ -49,22 +49,20 @@ fn rate(num: u64, den: u64) -> f64 {
     }
 }
 
-fn sweep(base: &MachineConfig, scheme: DefenseScheme, workloads: &[Workload], baselines: &[f64]) {
+fn report(scheme: DefenseScheme, per_point: &[Vec<RunResult>], baselines: &[f64]) {
     println!("\n--- {scheme} + EP ---");
     println!(
         "{:<20} {:>10} {:>12} {:>12} {:>14}",
         "CST size", "overhead", "L1 fp rate", "dir fp rate", "vs ideal"
     );
     let mut ideal_overhead = None;
-    for p in POINTS {
-        let cfg = config_for(base, scheme, p);
+    for (p, results) in POINTS.iter().zip(per_point) {
         let mut normalized = Vec::new();
         let mut l1_fp = 0u64;
         let mut l1_lookups = 0u64;
         let mut dir_fp = 0u64;
         let mut dir_lookups = 0u64;
-        for (w, &unsafe_cpi) in workloads.iter().zip(baselines) {
-            let res = run_workload(&cfg, w);
+        for (res, &unsafe_cpi) in results.iter().zip(baselines) {
             normalized.push(res.cpi() / unsafe_cpi);
             l1_fp += res.stats.get("pin.cst_l1_false_positives");
             l1_lookups += res.stats.get("pin.cst_l1_lookups");
@@ -88,13 +86,21 @@ fn sweep(base: &MachineConfig, scheme: DefenseScheme, workloads: &[Workload], ba
 }
 
 fn main() {
-    let (scale, _) = pl_bench::parse_args();
+    let args = pl_bench::parse_args();
     let base = MachineConfig::default_single_core();
     print_banner("Section 9.2.1: CST sensitivity", &base);
-    let workloads = spec_suite(scale);
-    let baselines = unsafe_cpis(&base, &workloads);
+    let workloads: Vec<Workload> = spec_suite(args.scale);
+    let baselines = unsafe_cpis(&base, &workloads, args.threads);
+    // All scheme × CST-point jobs fan out in one sweep.
+    let mut jobs: Vec<SweepJob> = Vec::new();
     for scheme in DefenseScheme::PROTECTED {
-        sweep(&base, scheme, &workloads, &baselines);
+        for p in POINTS {
+            jobs.push((config_for(&base, scheme, p), None));
+        }
+    }
+    let results = sweep_results(&jobs, &workloads, args.threads);
+    for (si, scheme) in DefenseScheme::PROTECTED.into_iter().enumerate() {
+        report(scheme, &results[si * POINTS.len()..(si + 1) * POINTS.len()], &baselines);
     }
     println!(
         "\npaper reference: default CST false positives < 0.02% (L1) and \

@@ -6,46 +6,27 @@
 //! (MCV). The stacked difference between successive points attributes the
 //! overhead to each condition; the paper finds MCV dominant.
 //!
-//! Run with `cargo run --release -p pl-bench --bin fig1 [--scale ...] [--cores N]`.
+//! Run with `cargo run --release -p pl-bench --bin fig1
+//! [--scale ...] [--cores N] [--threads N]`.
 
-use pl_base::{geo_mean, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, ThreatModel};
-use pl_bench::{overhead_pct, print_banner, unsafe_cpis};
-use pl_machine::Machine;
+use pl_base::{DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, ThreatModel};
+use pl_bench::{geo_overheads, print_banner, sweep_cpis, unsafe_cpis, SweepJob};
 use pl_secure::VpMask;
 use pl_workloads::{parallel_suite, spec_suite, Scale, Workload};
 
-fn masked_geo_overhead(
-    base: &MachineConfig,
-    workloads: &[Workload],
-    baselines: &[f64],
-    mask: VpMask,
-) -> f64 {
+fn suite_breakdown(name: &str, base: &MachineConfig, workloads: &[Workload], threads: usize) {
+    let baselines = unsafe_cpis(base, workloads, threads);
     let mut cfg = base.clone();
     cfg.defense = DefenseScheme::Fence;
     cfg.threat_model = ThreatModel::Comprehensive;
     cfg.pinned_loads = PinnedLoadsConfig::with_mode(PinMode::Off);
-    let normalized: Vec<f64> = workloads
-        .iter()
-        .zip(baselines)
-        .map(|(w, &unsafe_cpi)| {
-            let mut m = Machine::new(&cfg).expect("valid config");
-            w.install(&mut m);
-            m.set_vp_mask(mask);
-            let res = m
-                .run(pl_bench::RUN_BUDGET)
-                .unwrap_or_else(|e| panic!("`{}` under {mask}: {e}", w.name));
-            res.cpi() / unsafe_cpi
-        })
-        .collect();
-    overhead_pct(geo_mean(&normalized).expect("positive CPIs"))
-}
-
-fn suite_breakdown(name: &str, base: &MachineConfig, workloads: &[Workload]) {
-    let baselines = unsafe_cpis(base, workloads);
+    // One job per cumulative VP mask, the whole set fanned out at once.
+    let jobs: Vec<SweepJob> =
+        VpMask::cumulative().iter().map(|&(_, mask)| (cfg.clone(), Some(mask))).collect();
+    let totals = geo_overheads(&sweep_cpis(&jobs, workloads, threads), &baselines);
     println!("\n--- {name} ---");
     let mut prev = 0.0;
-    for (label, mask) in VpMask::cumulative() {
-        let total = masked_geo_overhead(base, workloads, &baselines, mask);
+    for ((label, _), &total) in VpMask::cumulative().iter().zip(&totals) {
         println!(
             "{label:<12} total {total:>7.1}%   (+{:>6.1}% attributable to this condition)",
             total - prev
@@ -55,15 +36,23 @@ fn suite_breakdown(name: &str, base: &MachineConfig, workloads: &[Workload]) {
 }
 
 fn main() {
-    let (scale, cores) = pl_bench::parse_args();
+    let args = pl_bench::parse_args();
     let single = MachineConfig::default_single_core();
     print_banner("Figure 1: VP-condition overhead breakdown (Fence)", &single);
 
-    suite_breakdown("SPEC17-like (1 core)", &single, &spec_suite(scale));
+    suite_breakdown("SPEC17-like (1 core)", &single, &spec_suite(args.scale), args.threads);
 
-    let multi = MachineConfig::default_multi_core(cores);
-    let par = parallel_suite(cores, if scale == Scale::Full { Scale::Bench } else { scale });
-    suite_breakdown(&format!("SPLASH2/PARSEC-like ({cores} cores)"), &multi, &par);
+    let multi = MachineConfig::default_multi_core(args.cores);
+    let par = parallel_suite(
+        args.cores,
+        if args.scale == Scale::Full { Scale::Bench } else { args.scale },
+    );
+    suite_breakdown(
+        &format!("SPLASH2/PARSEC-like ({} cores)", args.cores),
+        &multi,
+        &par,
+        args.threads,
+    );
 
     println!("\npaper reference: MCV is by far the largest component, then Ctrl Dep.");
 }

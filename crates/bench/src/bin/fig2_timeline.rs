@@ -9,10 +9,10 @@
 //! dependent chain (Fig. 2(g)/(h)), while LP serializes misses
 //! (Fig. 2(c)-(e)).
 //!
-//! Run with `cargo run --release -p pl-bench --bin fig2_timeline`.
+//! Run with `cargo run --release -p pl-bench --bin fig2_timeline [--threads N]`.
 
 use pl_base::{Addr, CoreId, DefenseScheme, MachineConfig, SimRng};
-use pl_bench::{extension_matrix, print_banner, run_workload, unsafe_config};
+use pl_bench::{extension_matrix, print_banner, sweep_results, unsafe_config, SweepJob};
 use pl_isa::{AluOp, BranchCond, ProgramBuilder, Reg};
 use pl_workloads::Workload;
 
@@ -77,25 +77,32 @@ fn dependent_chain(batches: u64) -> Workload {
     }
 }
 
-fn report(name: &str, w: &Workload, base: &MachineConfig) {
-    println!("\n--- {name} loads, cycles per 3-load batch ---");
-    let unsafe_cfg = unsafe_config(base);
-    let unsafe_res = run_workload(&unsafe_cfg, w);
-    let batches = (unsafe_res.retired_per_core[CoreId(0).index()] / 6).max(1);
-    println!("{:<12} {:>8.1}", "Unsafe", unsafe_res.cycles as f64 / batches as f64);
-    for (label, cfg) in extension_matrix(base, DefenseScheme::Fence) {
-        let res = run_workload(&cfg, w);
-        println!("{label:<12} {:>8.1}", res.cycles as f64 / batches as f64);
-    }
-}
-
 fn main() {
-    let (scale, _) = pl_bench::parse_args();
-    let batches = 500 * scale.factor();
+    let args = pl_bench::parse_args();
+    let batches = 500 * args.scale.factor();
     let base = MachineConfig::default_single_core();
     print_banner("Figure 2: load overlap timelines (Fence-based)", &base);
-    report("independent", &independent_loads(batches), &base);
-    report("dependent", &dependent_chain(batches), &base);
+    let workloads = [independent_loads(batches), dependent_chain(batches)];
+
+    // Unsafe plus the four Fence extensions, across both microbenchmarks,
+    // in one fan-out.
+    let mut labels = vec!["Unsafe"];
+    let mut jobs: Vec<SweepJob> = vec![(unsafe_config(&base), None)];
+    for (label, cfg) in extension_matrix(&base, DefenseScheme::Fence) {
+        labels.push(label);
+        jobs.push((cfg, None));
+    }
+    let results = sweep_results(&jobs, &workloads, args.threads);
+
+    for (wi, w) in workloads.iter().enumerate() {
+        println!("\n--- {} loads, cycles per 3-load batch ---", w.name);
+        let unsafe_res = &results[0][wi];
+        let batches = (unsafe_res.retired_per_core[CoreId(0).index()] / 6).max(1);
+        for (ji, label) in labels.iter().enumerate() {
+            let res = &results[ji][wi];
+            println!("{label:<12} {:>8.1}", res.cycles as f64 / batches as f64);
+        }
+    }
     println!(
         "\nreading the figure: for independent loads EP approaches Unsafe \
          (loads overlap, Fig. 2(f)) while Comp serializes them near the ROB \

@@ -1,22 +1,25 @@
 //! Figure 7: normalized CPI of the SPEC17-like suite on every defense
 //! scheme under Comp / LP / EP / Spectre, normalized to Unsafe.
 //!
-//! Run with `cargo run --release -p pl-bench --bin fig7 [--scale test|bench|full]`.
+//! Run with `cargo run --release -p pl-bench --bin fig7
+//! [--scale test|bench|full] [--threads N]`.
 
 use pl_base::{DefenseScheme, MachineConfig};
-use pl_bench::{print_banner, print_scheme_table, scheme_cpi_rows, unsafe_cpis};
+use pl_bench::{print_banner, print_scheme_table, scheme_matrix_rows, unsafe_cpis};
 use pl_workloads::spec_suite;
 
 fn main() {
-    let (scale, _) = pl_bench::parse_args();
+    let args = pl_bench::parse_args();
     let base = MachineConfig::default_single_core();
     print_banner("Figure 7: SPEC17-like suite, normalized CPI", &base);
-    let workloads = spec_suite(scale);
+    let workloads = spec_suite(args.scale);
     let names: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
-    let baselines = unsafe_cpis(&base, &workloads);
-    for scheme in DefenseScheme::PROTECTED {
-        let rows = scheme_cpi_rows(&base, &workloads, scheme, &baselines);
-        print_scheme_table(scheme, &names, &rows);
+    let baselines = unsafe_cpis(&base, &workloads, args.threads);
+    // One fan-out across the full scheme×workload×extension matrix.
+    let schemes = DefenseScheme::PROTECTED;
+    let per_scheme = scheme_matrix_rows(&base, &schemes, &workloads, &baselines, args.threads);
+    for (scheme, rows) in schemes.iter().zip(&per_scheme) {
+        print_scheme_table(*scheme, &names, rows);
     }
     println!(
         "\npaper reference (geo-mean overheads, SPEC17): \

@@ -3,97 +3,64 @@
 //!
 //! Like Figure 1, the attribution comes from running each scheme with the
 //! four cumulative VP masks; LP and EP columns come from the Table 3
-//! extensions. Run with
-//! `cargo run --release -p pl-bench --bin fig9 [--scale ...] [--cores N]`.
+//! extensions. Run with `cargo run --release -p pl-bench --bin fig9
+//! [--scale ...] [--cores N] [--threads N]`.
 
-use pl_base::{
-    geo_mean, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, ThreatModel,
-};
-use pl_bench::{overhead_pct, print_banner, run_workload, unsafe_cpis};
-use pl_machine::Machine;
+use pl_base::{DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, ThreatModel};
+use pl_bench::{geo_overheads, print_banner, sweep_cpis, unsafe_cpis, SweepJob};
 use pl_secure::VpMask;
 use pl_workloads::{parallel_suite, spec_suite, Workload};
 
-fn masked_overhead(
-    base: &MachineConfig,
-    scheme: DefenseScheme,
-    workloads: &[Workload],
-    baselines: &[f64],
-    mask: VpMask,
-) -> f64 {
+fn scheme_config(base: &MachineConfig, scheme: DefenseScheme) -> MachineConfig {
     let mut cfg = base.clone();
     cfg.defense = scheme;
     cfg.threat_model = ThreatModel::Comprehensive;
-    let normalized: Vec<f64> = workloads
-        .iter()
-        .zip(baselines)
-        .map(|(w, &unsafe_cpi)| {
-            let mut m = Machine::new(&cfg).expect("valid config");
-            w.install(&mut m);
-            m.set_vp_mask(mask);
-            let res = m
-                .run(pl_bench::RUN_BUDGET)
-                .unwrap_or_else(|e| panic!("`{}` under {scheme}/{mask}: {e}", w.name));
-            res.cpi() / unsafe_cpi
-        })
-        .collect();
-    overhead_pct(geo_mean(&normalized).expect("positive CPIs"))
+    cfg
 }
 
-fn pinned_overhead(
-    base: &MachineConfig,
-    scheme: DefenseScheme,
-    mode: PinMode,
-    workloads: &[Workload],
-    baselines: &[f64],
-) -> f64 {
-    let mut cfg = base.clone();
-    cfg.defense = scheme;
-    cfg.threat_model = ThreatModel::Comprehensive;
-    cfg.pinned_loads = PinnedLoadsConfig::with_mode(mode);
-    let normalized: Vec<f64> = workloads
-        .iter()
-        .zip(baselines)
-        .map(|(w, &unsafe_cpi)| run_workload(&cfg, w).cpi() / unsafe_cpi)
-        .collect();
-    overhead_pct(geo_mean(&normalized).expect("positive CPIs"))
-}
-
-fn suite_report(
-    suite_name: &str,
-    base: &MachineConfig,
-    workloads: &[Workload],
-) {
-    let baselines = unsafe_cpis(base, workloads);
+fn suite_report(suite_name: &str, base: &MachineConfig, workloads: &[Workload], threads: usize) {
+    let baselines = unsafe_cpis(base, workloads, threads);
+    // Per scheme: four cumulative-mask jobs, then LP and EP. All schemes'
+    // jobs go into one fan-out so the thread pool sees the whole suite.
+    let masks = VpMask::cumulative();
+    let mut jobs: Vec<SweepJob> = Vec::new();
     for scheme in DefenseScheme::PROTECTED {
-        let mut components = Vec::new();
+        let cfg = scheme_config(base, scheme);
+        for &(_, mask) in &masks {
+            jobs.push((cfg.clone(), Some(mask)));
+        }
+        for mode in [PinMode::Late, PinMode::Early] {
+            let mut pinned = cfg.clone();
+            pinned.pinned_loads = PinnedLoadsConfig::with_mode(mode);
+            jobs.push((pinned, None));
+        }
+    }
+    let overheads = geo_overheads(&sweep_cpis(&jobs, workloads, threads), &baselines);
+    let per_scheme = masks.len() + 2;
+    for (si, scheme) in DefenseScheme::PROTECTED.into_iter().enumerate() {
+        let block = &overheads[si * per_scheme..(si + 1) * per_scheme];
+        println!("\n--- {scheme} / {suite_name} ---");
         let mut prev = 0.0;
-        for (label, mask) in VpMask::cumulative() {
-            let total = masked_overhead(base, scheme, workloads, &baselines, mask);
-            components.push((label, total - prev, total));
+        for ((label, _), &total) in masks.iter().zip(block) {
+            println!("  {label:<12} +{:>6.1}%  (cumulative {total:>6.1}%)", total - prev);
             prev = total;
         }
-        let lp = pinned_overhead(base, scheme, PinMode::Late, workloads, &baselines);
-        let ep = pinned_overhead(base, scheme, PinMode::Early, workloads, &baselines);
-        println!("\n--- {scheme} / {suite_name} ---");
-        for (label, delta, total) in &components {
-            println!("  {label:<12} +{delta:>6.1}%  (cumulative {total:>6.1}%)");
-        }
-        println!("  {:<12}  {:>6.1}%", "LP", lp);
-        println!("  {:<12}  {:>6.1}%", "EP", ep);
+        println!("  {:<12}  {:>6.1}%", "LP", block[masks.len()]);
+        println!("  {:<12}  {:>6.1}%", "EP", block[masks.len() + 1]);
     }
 }
 
 fn main() {
-    let (scale, cores) = pl_bench::parse_args();
+    let args = pl_bench::parse_args();
     let single = MachineConfig::default_single_core();
     print_banner("Figure 9: overhead breakdown by squash source, with LP/EP", &single);
-    suite_report("SPEC17-like", &single, &spec_suite(scale));
-    let multi = MachineConfig::default_multi_core(cores);
+    suite_report("SPEC17-like", &single, &spec_suite(args.scale), args.threads);
+    let multi = MachineConfig::default_multi_core(args.cores);
     suite_report(
-        &format!("Parallel ({cores} cores)"),
+        &format!("Parallel ({} cores)", args.cores),
         &multi,
-        &parallel_suite(cores, scale),
+        &parallel_suite(args.cores, args.scale),
+        args.threads,
     );
     println!(
         "\npaper reference: overhead under Comp is dominated by MCV, then Ctrl \

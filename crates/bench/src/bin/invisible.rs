@@ -10,30 +10,43 @@
 //! validation traffic plus retirement stalls — which earlier VPs (LP/EP)
 //! directly reduce.
 //!
-//! Run with `cargo run --release -p pl-bench --bin invisible [--scale ...] [--cores N]`.
+//! Run with `cargo run --release -p pl-bench --bin invisible
+//! [--scale ...] [--cores N] [--threads N]`.
 
 use pl_base::{DefenseScheme, MachineConfig};
 use pl_bench::{print_banner, print_scheme_table, scheme_cpi_rows, unsafe_cpis};
 use pl_workloads::{parallel_suite, spec_suite};
 
 fn main() {
-    let (scale, cores) = pl_bench::parse_args();
+    let args = pl_bench::parse_args();
     let single = MachineConfig::default_single_core();
     print_banner("Extension: invisible speculation (InvisiSpec-class)", &single);
 
-    let workloads = spec_suite(scale);
+    let workloads = spec_suite(args.scale);
     let names: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
-    let baselines = unsafe_cpis(&single, &workloads);
-    let rows = scheme_cpi_rows(&single, &workloads, DefenseScheme::Invisible, &baselines);
+    let baselines = unsafe_cpis(&single, &workloads, args.threads);
+    let rows = scheme_cpi_rows(
+        &single,
+        &workloads,
+        DefenseScheme::Invisible,
+        &baselines,
+        args.threads,
+    );
     println!("\n=== SPEC17-like suite ===");
     print_scheme_table(DefenseScheme::Invisible, &names, &rows);
 
-    let multi = MachineConfig::default_multi_core(cores);
-    let par = parallel_suite(cores, scale);
+    let multi = MachineConfig::default_multi_core(args.cores);
+    let par = parallel_suite(args.cores, args.scale);
     let par_names: Vec<String> = par.iter().map(|w| w.name.clone()).collect();
-    let par_baselines = unsafe_cpis(&multi, &par);
-    let par_rows = scheme_cpi_rows(&multi, &par, DefenseScheme::Invisible, &par_baselines);
-    println!("\n=== Parallel suite ({cores} cores) ===");
+    let par_baselines = unsafe_cpis(&multi, &par, args.threads);
+    let par_rows = scheme_cpi_rows(
+        &multi,
+        &par,
+        DefenseScheme::Invisible,
+        &par_baselines,
+        args.threads,
+    );
+    println!("\n=== Parallel suite ({} cores) ===", args.cores);
     print_scheme_table(DefenseScheme::Invisible, &par_names, &par_rows);
 
     println!(

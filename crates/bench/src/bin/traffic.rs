@@ -6,31 +6,46 @@
 //! paper's worst case is 14.8 retried writes and 0.05 retried evictions
 //! per million instructions.
 //!
-//! Run with `cargo run --release -p pl-bench --bin traffic [--scale ...] [--cores N]`.
+//! Run with `cargo run --release -p pl-bench --bin traffic
+//! [--scale ...] [--cores N] [--threads N]`.
 
 use pl_base::{DefenseScheme, MachineConfig};
-use pl_bench::{extension_matrix, print_banner, run_workload};
+use pl_bench::{extension_matrix, print_banner, sweep_results, SweepJob};
 use pl_workloads::parallel_suite;
 
 fn main() {
-    let (scale, cores) = pl_bench::parse_args();
-    let base = MachineConfig::default_multi_core(cores);
+    let args = pl_bench::parse_args();
+    let base = MachineConfig::default_multi_core(args.cores);
     print_banner("Section 9.1.3: network traffic overhead", &base);
-    let workloads = parallel_suite(cores, scale);
+    let workloads = parallel_suite(args.cores, args.scale);
 
+    // The Comp/LP/EP columns for every scheme, fanned out in one sweep
+    // (the Spectre column is not part of the traffic table).
+    let mut labels = Vec::new();
+    let mut jobs: Vec<SweepJob> = Vec::new();
     for scheme in DefenseScheme::PROTECTED {
+        for (label, cfg) in extension_matrix(&base, scheme) {
+            if label == "Spectre" {
+                continue;
+            }
+            labels.push(label);
+            jobs.push((cfg, None));
+        }
+    }
+    let results = sweep_results(&jobs, &workloads, args.threads);
+    let modes = labels.len() / DefenseScheme::PROTECTED.len();
+
+    for (si, scheme) in DefenseScheme::PROTECTED.into_iter().enumerate() {
         println!("\n--- {scheme} ---");
         println!(
             "{:<16} {:>6} {:>12} {:>16} {:>18}",
             "benchmark", "mode", "noc msgs", "wr retries/Mi", "evict retries/Mi"
         );
-        for w in &workloads {
+        for (wi, w) in workloads.iter().enumerate() {
             let mut comp_msgs = 0u64;
-            for (label, cfg) in extension_matrix(&base, scheme) {
-                if label == "Spectre" {
-                    continue;
-                }
-                let res = run_workload(&cfg, w);
+            for mi in 0..modes {
+                let label = labels[si * modes + mi];
+                let res = &results[si * modes + mi][wi];
                 let insts = res.total_retired().max(1) as f64 / 1.0e6;
                 let msgs = res.stats.get("noc.messages");
                 if label == "Comp" {

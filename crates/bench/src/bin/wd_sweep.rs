@@ -5,19 +5,14 @@
 //! slightly at W_d = 1 (e.g., Fence 51.3% -> 54.7% on SPEC17), making
 //! W_d = 2 the right choice.
 //!
-//! Run with `cargo run --release -p pl-bench --bin wd_sweep [--scale ...] [--cores N]`.
+//! Run with `cargo run --release -p pl-bench --bin wd_sweep
+//! [--scale ...] [--cores N] [--threads N]`.
 
-use pl_base::{geo_mean, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig};
-use pl_bench::{overhead_pct, print_banner, run_workload, unsafe_cpis};
+use pl_base::{DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig};
+use pl_bench::{geo_overheads, print_banner, sweep_cpis, unsafe_cpis, SweepJob};
 use pl_workloads::{parallel_suite, spec_suite, Workload};
 
-fn ep_overhead(
-    base: &MachineConfig,
-    scheme: DefenseScheme,
-    wd: usize,
-    workloads: &[Workload],
-    baselines: &[f64],
-) -> f64 {
+fn ep_config(base: &MachineConfig, scheme: DefenseScheme, wd: usize) -> MachineConfig {
     let mut cfg = base.clone();
     cfg.defense = scheme;
     cfg.pinned_loads = PinnedLoadsConfig::with_mode(PinMode::Early);
@@ -26,21 +21,21 @@ fn ep_overhead(
     // per-core reservation changes. dir_records bounds the per-entry
     // capacity, so it tracks W_d.
     cfg.pinned_loads.cst.dir_records = wd;
-    let normalized: Vec<f64> = workloads
-        .iter()
-        .zip(baselines)
-        .map(|(w, &unsafe_cpi)| run_workload(&cfg, w).cpi() / unsafe_cpi)
-        .collect();
-    overhead_pct(geo_mean(&normalized).expect("positive CPIs"))
+    cfg
 }
 
-fn suite_sweep(name: &str, base: &MachineConfig, workloads: &[Workload]) {
-    let baselines = unsafe_cpis(base, workloads);
+fn suite_sweep(name: &str, base: &MachineConfig, workloads: &[Workload], threads: usize) {
+    let baselines = unsafe_cpis(base, workloads, threads);
+    // Both W_d points for every scheme go into a single fan-out.
+    let jobs: Vec<SweepJob> = DefenseScheme::PROTECTED
+        .into_iter()
+        .flat_map(|scheme| [(ep_config(base, scheme, 2), None), (ep_config(base, scheme, 1), None)])
+        .collect();
+    let overheads = geo_overheads(&sweep_cpis(&jobs, workloads, threads), &baselines);
     println!("\n--- {name} ---");
     println!("{:<8} {:>12} {:>12} {:>10}", "scheme", "Wd=2", "Wd=1", "delta");
-    for scheme in DefenseScheme::PROTECTED {
-        let wd2 = ep_overhead(base, scheme, 2, workloads, &baselines);
-        let wd1 = ep_overhead(base, scheme, 1, workloads, &baselines);
+    for (si, scheme) in DefenseScheme::PROTECTED.into_iter().enumerate() {
+        let (wd2, wd1) = (overheads[si * 2], overheads[si * 2 + 1]);
         println!(
             "{:<8} {:>11.1}% {:>11.1}% {:>+9.1}pp",
             scheme.to_string(),
@@ -52,15 +47,16 @@ fn suite_sweep(name: &str, base: &MachineConfig, workloads: &[Workload]) {
 }
 
 fn main() {
-    let (scale, cores) = pl_bench::parse_args();
+    let args = pl_bench::parse_args();
     let single = MachineConfig::default_single_core();
     print_banner("Section 9.2.3: W_d sweep (EP)", &single);
-    suite_sweep("SPEC17-like", &single, &spec_suite(scale));
-    let multi = MachineConfig::default_multi_core(cores);
+    suite_sweep("SPEC17-like", &single, &spec_suite(args.scale), args.threads);
+    let multi = MachineConfig::default_multi_core(args.cores);
     suite_sweep(
-        &format!("Parallel ({cores} cores)"),
+        &format!("Parallel ({} cores)", args.cores),
         &multi,
-        &parallel_suite(cores, scale),
+        &parallel_suite(args.cores, args.scale),
+        args.threads,
     );
     println!(
         "\npaper reference: Wd=1 increases overhead slightly everywhere \

@@ -1,0 +1,234 @@
+//! A small in-tree timing harness replacing the external `criterion`
+//! dependency for the `benches/` targets.
+//!
+//! Methodology per benchmark: one calibration run picks an iteration
+//! count so a sample lasts roughly [`TimingHarness::TARGET_SAMPLE_MS`],
+//! a warmup sample is discarded, then `k` samples are timed and reported
+//! as median ± standard deviation of per-iteration nanoseconds. Results
+//! are printed as an aligned table and written as JSON under `results/`
+//! so successive runs can be diffed.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One benchmark's timing summary, in per-iteration nanoseconds.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark name, e.g. `cache/lookup_hit`.
+    pub name: String,
+    /// Iterations per timed sample.
+    pub iters: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Median of the per-sample per-iteration times.
+    pub median_ns: f64,
+    /// Mean of the per-sample per-iteration times.
+    pub mean_ns: f64,
+    /// Standard deviation across samples.
+    pub stddev_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+}
+
+/// Collects benchmark timings and writes the JSON report.
+#[derive(Debug)]
+pub struct TimingHarness {
+    suite: String,
+    records: Vec<BenchRecord>,
+}
+
+impl TimingHarness {
+    /// Samples timed per benchmark.
+    pub const SAMPLES: usize = 11;
+    /// Target duration of one sample, used to calibrate iteration count.
+    pub const TARGET_SAMPLE_MS: u64 = 10;
+
+    /// Creates a harness for the named suite (one suite per bench target).
+    pub fn new(suite: &str) -> TimingHarness {
+        println!(
+            "== {suite}: {} samples/bench, ~{}ms/sample, per-iteration ns ==",
+            Self::SAMPLES,
+            Self::TARGET_SAMPLE_MS
+        );
+        println!("{:<28} {:>12} {:>12} {:>10}", "benchmark", "median", "stddev", "iters");
+        TimingHarness { suite: suite.to_string(), records: Vec::new() }
+    }
+
+    /// Times `routine` (no per-iteration setup).
+    pub fn bench<R>(&mut self, name: &str, mut routine: impl FnMut() -> R) {
+        self.run(name, |iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            start.elapsed().as_nanos() as f64
+        });
+    }
+
+    /// Times `routine(setup())` per iteration, excluding `setup` from the
+    /// measurement (the `criterion` `iter_batched` pattern).
+    pub fn bench_with_setup<S, R>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        self.run(name, |iters| {
+            let mut elapsed = 0.0f64;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                elapsed += start.elapsed().as_nanos() as f64;
+            }
+            elapsed
+        });
+    }
+
+    /// Shared driver: `sample(iters)` returns total nanoseconds spent on
+    /// the measured section over `iters` iterations.
+    fn run(&mut self, name: &str, mut sample: impl FnMut(u64) -> f64) {
+        // Calibrate so one sample is about TARGET_SAMPLE_MS.
+        let once_ns = sample(1).max(1.0);
+        let target_ns = (Self::TARGET_SAMPLE_MS * 1_000_000) as f64;
+        let iters = ((target_ns / once_ns) as u64).clamp(1, 10_000_000);
+        // Warmup sample, discarded.
+        sample(iters);
+        let mut per_iter: Vec<f64> = (0..Self::SAMPLES)
+            .map(|_| sample(iters) / iters as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let var = per_iter.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>()
+            / per_iter.len() as f64;
+        let record = BenchRecord {
+            name: name.to_string(),
+            iters,
+            samples: per_iter.len(),
+            median_ns: median,
+            mean_ns: mean,
+            stddev_ns: var.sqrt(),
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+        };
+        println!(
+            "{:<28} {:>12} {:>12} {:>10}",
+            record.name,
+            format_ns(record.median_ns),
+            format_ns(record.stddev_ns),
+            record.iters
+        );
+        self.records.push(record);
+    }
+
+    /// Writes `results/bench_<suite>.json` (honoring `PL_BENCH_OUT` as an
+    /// alternative output directory) and returns the path.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        let dir = match std::env::var("PL_BENCH_OUT") {
+            Ok(d) => PathBuf::from(d),
+            Err(_) => PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results")),
+        };
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("bench_{}.json", self.suite));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{{")?;
+        writeln!(f, "  \"suite\": \"{}\",", escape(&self.suite))?;
+        writeln!(f, "  \"unit\": \"ns_per_iter\",")?;
+        writeln!(f, "  \"benches\": [")?;
+        for (i, r) in self.records.iter().enumerate() {
+            let comma = if i + 1 == self.records.len() { "" } else { "," };
+            writeln!(
+                f,
+                "    {{\"name\": \"{}\", \"iters\": {}, \"samples\": {}, \
+                 \"median_ns\": {:.3}, \"mean_ns\": {:.3}, \"stddev_ns\": {:.3}, \
+                 \"min_ns\": {:.3}, \"max_ns\": {:.3}}}{comma}",
+                escape(&r.name),
+                r.iters,
+                r.samples,
+                r.median_ns,
+                r.mean_ns,
+                r.stddev_ns,
+                r.min_ns,
+                r.max_ns
+            )?;
+        }
+        writeln!(f, "  ]")?;
+        writeln!(f, "}}")?;
+        println!("\nwrote {}", path.display());
+        Ok(path)
+    }
+
+    /// The records collected so far (used by tests).
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.2}us", ns / 1_000.0)
+    } else {
+        format!("{ns:.1}ns")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_sane_record() {
+        let mut h = TimingHarness::new("selftest");
+        let mut acc = 0u64;
+        h.bench("spin", || {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            acc
+        });
+        let r = &h.records()[0];
+        assert_eq!(r.name, "spin");
+        assert!(r.iters >= 1);
+        assert_eq!(r.samples, TimingHarness::SAMPLES);
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+    }
+
+    #[test]
+    fn setup_is_excluded_from_measurement() {
+        let mut h = TimingHarness::new("selftest_setup");
+        h.bench_with_setup(
+            "sum_vec",
+            || vec![1u64; 512],
+            |v| v.iter().sum::<u64>(),
+        );
+        let r = &h.records()[0];
+        // Summing 512 u64s takes well under the ~40us building+freeing
+        // thousands of vectors would; the bound just catches gross
+        // mis-measurement (setup leaking into the timed section).
+        assert!(r.median_ns < 40_000.0, "median {}ns", r.median_ns);
+    }
+
+    #[test]
+    fn json_report_is_written() {
+        let dir = std::env::temp_dir().join("pl_bench_timing_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("PL_BENCH_OUT", &dir);
+        let mut h = TimingHarness::new("jsontest");
+        h.bench("noop", || 1u8);
+        let path = h.finish().unwrap();
+        std::env::remove_var("PL_BENCH_OUT");
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("\"suite\": \"jsontest\""));
+        assert!(body.contains("\"name\": \"noop\""));
+        assert!(body.contains("median_ns"));
+    }
+}

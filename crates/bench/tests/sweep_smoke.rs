@@ -1,0 +1,86 @@
+//! Determinism and exactly-once guarantees of the parallel sweep runner.
+//!
+//! The figure binaries must print the same numbers whatever `--threads`
+//! is, and the Unsafe baseline must be simulated exactly once per
+//! workload per sweep. Both are load-bearing acceptance criteria, so
+//! they get end-to-end coverage here on a small config×workload matrix.
+
+use pl_base::{DefenseScheme, MachineConfig};
+use pl_bench::{
+    extension_matrix, sweep_cpis, unsafe_config, BaselineCache, SweepJob,
+};
+use pl_workloads::{spec_suite, Scale, Workload};
+
+fn small_suite() -> Vec<Workload> {
+    spec_suite(Scale::Test)
+        .into_iter()
+        .filter(|w| ["alu_dense", "hot_reuse", "stream"].contains(&w.name.as_str()))
+        .collect()
+}
+
+/// Bit-level equality, not approximate: the parallel path must not even
+/// reorder floating-point reductions relative to serial.
+fn assert_bits_equal(serial: &[Vec<f64>], parallel: &[Vec<f64>], threads: usize) {
+    assert_eq!(serial.len(), parallel.len(), "job count diverged at {threads} threads");
+    for (s_row, p_row) in serial.iter().zip(parallel) {
+        assert_eq!(s_row.len(), p_row.len(), "row length diverged at {threads} threads");
+        for (s, p) in s_row.iter().zip(p_row) {
+            assert_eq!(
+                s.to_bits(),
+                p.to_bits(),
+                "CPI diverged at {threads} threads: {s} vs {p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let base = MachineConfig::default_single_core();
+    let workloads = small_suite();
+    let jobs: Vec<SweepJob> = extension_matrix(&base, DefenseScheme::Fence)
+        .into_iter()
+        .map(|(_, cfg)| (cfg, None))
+        .collect();
+    let serial = sweep_cpis(&jobs, &workloads, 1);
+    for threads in [2, 4, 8, 16] {
+        let parallel = sweep_cpis(&jobs, &workloads, threads);
+        assert_bits_equal(&serial, &parallel, threads);
+    }
+}
+
+#[test]
+fn baseline_runs_exactly_once_per_workload() {
+    let base = MachineConfig::default_single_core();
+    let workloads = small_suite();
+    let cache = BaselineCache::new(&base);
+    cache.prime(&workloads, 4);
+    assert_eq!(cache.baseline_runs(), workloads.len());
+    // A whole extension matrix of normalized queries must not re-run any
+    // baseline (the bug this cache replaced: one baseline re-simulation
+    // per defended configuration).
+    for (_, cfg) in extension_matrix(&base, DefenseScheme::Fence) {
+        for w in &workloads {
+            let n = cache.normalized_cpi(&cfg, w);
+            assert!(n.is_finite() && n > 0.0);
+        }
+    }
+    assert_eq!(cache.baseline_runs(), workloads.len());
+    // And the baseline normalizes to exactly 1.0 against itself.
+    let w = &workloads[0];
+    let n = cache.normalized_cpi(&unsafe_config(&base), w);
+    assert!((n - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn priming_across_thread_counts_is_deterministic() {
+    let base = MachineConfig::default_single_core();
+    let workloads = small_suite();
+    let serial = BaselineCache::new(&base);
+    serial.prime(&workloads, 1);
+    let parallel = BaselineCache::new(&base);
+    parallel.prime(&workloads, 4);
+    for w in &workloads {
+        assert_eq!(serial.cpi(w).to_bits(), parallel.cpi(w).to_bits(), "{}", w.name);
+    }
+}

@@ -690,7 +690,7 @@ impl Core {
     /// Advances the core by one cycle.
     pub fn tick(&mut self, now: Cycle, image: &mut Memory) {
         self.stats.incr("cycles");
-        if now.raw() % 32 == 0 {
+        if now.raw().is_multiple_of(32) {
             self.stats.sample("occ.rob", self.rob.len() as u64);
             self.stats.sample("occ.lq", self.lq.len() as u64);
             self.stats.sample("occ.wb", self.wb.len() as u64);

@@ -285,7 +285,7 @@ impl Machine {
             } else if self.now.since(last_progress) > WATCHDOG_CYCLES {
                 return Err(RunError::Deadlock { cycle: self.now.raw(), retired });
             }
-            if self.now.raw() % CPT_SAMPLE_PERIOD == 0 {
+            if self.now.raw().is_multiple_of(CPT_SAMPLE_PERIOD) {
                 for core in &self.cores {
                     cpt_stats.sample("cpt.occupancy", core.governor().cpt().occupancy() as u64);
                 }

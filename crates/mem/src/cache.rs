@@ -219,10 +219,8 @@ impl<T> Cache<T> {
         // Evict LRU among evictable ways.
         let mut victim: Option<usize> = None;
         for (i, w) in set.iter().enumerate() {
-            if evictable(w.line, &w.meta) {
-                if victim.map_or(true, |v| w.lru < set[v].lru) {
-                    victim = Some(i);
-                }
+            if evictable(w.line, &w.meta) && victim.is_none_or(|v| w.lru < set[v].lru) {
+                victim = Some(i);
             }
         }
         match victim {

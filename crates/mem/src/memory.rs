@@ -72,7 +72,7 @@ mod tests {
     fn default_is_zero() {
         let m = Memory::new();
         assert_eq!(m.read(Addr::new(0)), 0);
-        assert_eq!(m.read(Addr::new(u64::MAX & !7)), 0);
+        assert_eq!(m.read(Addr::new(!7u64)), 0);
     }
 
     #[test]

@@ -1,133 +1,164 @@
-//! Property-based tests for the memory-hierarchy structures.
+//! Property-based tests for the memory-hierarchy structures, on the
+//! in-tree `pl-test` harness.
 
 use pl_base::{Addr, CacheConfig, CoreId, Cycle, SimRng};
 use pl_mem::{Cache, Memory, Msg, NodeId, Noc, WriteBuffer};
-use proptest::prelude::*;
+use pl_test::{
+    any_u32, any_u64, check, check_with, prop_assert, prop_assert_eq, u64_in, usize_in, vec_of,
+    Config,
+};
 use std::collections::HashMap;
 
-proptest! {
-    /// The functional memory behaves like a word-indexed map.
-    #[test]
-    fn memory_matches_hashmap_model(
-        ops in proptest::collection::vec((any::<u32>(), any::<u64>()), 0..200)
-    ) {
-        let mut mem = Memory::new();
-        let mut model: HashMap<u64, u64> = HashMap::new();
-        for (addr_raw, value) in ops {
-            let addr = Addr::new(addr_raw as u64);
-            mem.write(addr, value);
-            model.insert(addr.raw() >> 3, value);
-            for (&w, &v) in &model {
-                prop_assert_eq!(mem.read(Addr::new(w << 3)), v);
+/// The functional memory behaves like a word-indexed map.
+#[test]
+fn memory_matches_hashmap_model() {
+    // Quadratic model re-check per op; keep the sweep modest.
+    let cfg = Config::with_cases(48);
+    check_with(
+        &cfg,
+        "memory_matches_hashmap_model",
+        &vec_of((any_u32(), any_u64()), 0..200),
+        |ops| {
+            let mut mem = Memory::new();
+            let mut model: HashMap<u64, u64> = HashMap::new();
+            for &(addr_raw, value) in ops {
+                let addr = Addr::new(addr_raw as u64);
+                mem.write(addr, value);
+                model.insert(addr.raw() >> 3, value);
+                for (&w, &v) in &model {
+                    prop_assert_eq!(mem.read(Addr::new(w << 3)), v);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// A cache never holds more lines per set than its associativity, and
-    /// a line just inserted (with everything evictable) is always present.
-    #[test]
-    fn cache_respects_associativity(
-        seed in any::<u64>(),
-        ways in 1usize..8,
-        inserts in 1usize..200,
-    ) {
-        let sets = 4usize;
-        let cfg = CacheConfig {
-            size_bytes: (ways * sets * 64) as u64,
-            ways,
-            hit_latency: 1,
-            mshr_entries: 4,
-        };
-        let mut cache: Cache<u32> = Cache::new(&cfg);
-        let mut rng = SimRng::new(seed);
-        for i in 0..inserts {
-            let line = Addr::new(rng.gen_range(0..64) * 64).line();
-            cache.insert(line, i as u32, |_, _| true).unwrap();
-            prop_assert!(cache.peek(line).is_some());
-            for s in 0..sets {
-                let probe = Addr::new((s * 64) as u64).line();
-                prop_assert!(cache.set_occupancy(probe) <= ways);
+/// A cache never holds more lines per set than its associativity, and a
+/// line just inserted (with everything evictable) is always present.
+#[test]
+fn cache_respects_associativity() {
+    check(
+        "cache_respects_associativity",
+        &(any_u64(), usize_in(1..8), usize_in(1..200)),
+        |&(seed, ways, inserts)| {
+            let sets = 4usize;
+            let cfg = CacheConfig {
+                size_bytes: (ways * sets * 64) as u64,
+                ways,
+                hit_latency: 1,
+                mshr_entries: 4,
+            };
+            let mut cache: Cache<u32> = Cache::new(&cfg);
+            let mut rng = SimRng::new(seed);
+            for i in 0..inserts {
+                let line = Addr::new(rng.gen_range(0..64) * 64).line();
+                cache.insert(line, i as u32, |_, _| true).unwrap();
+                prop_assert!(cache.peek(line).is_some());
+                for s in 0..sets {
+                    let probe = Addr::new((s * 64) as u64).line();
+                    prop_assert!(cache.set_occupancy(probe) <= ways);
+                }
+                prop_assert!(cache.occupancy() <= ways * sets);
             }
-            prop_assert!(cache.occupancy() <= ways * sets);
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// LRU: after touching a resident line, it survives the next
-    /// eviction in its set (the other resident line is chosen instead),
-    /// for any pair of distinct lines in a 1-set cache.
-    #[test]
-    fn cache_touch_protects_from_next_eviction(n0 in 0u64..100, delta in 1u64..100) {
-        let cfg = CacheConfig { size_bytes: 2 * 64, ways: 2, hit_latency: 1, mshr_entries: 1 };
-        let mut cache: Cache<u32> = Cache::new(&cfg);
-        // One set, two ways: every line collides.
-        let s0 = Addr::new(n0 * 64).line();
-        let s1 = Addr::new((n0 + delta) * 64).line();
-        let incoming = Addr::new((n0 + delta + 1) * 64).line();
-        cache.insert(s0, 0, |_, _| true).unwrap();
-        cache.insert(s1, 1, |_, _| true).unwrap();
-        cache.touch(s0);
-        let evicted = cache.insert(incoming, 2, |_, _| true).unwrap();
-        prop_assert_eq!(evicted.map(|(l, _)| l), Some(s1));
-        prop_assert!(cache.peek(s0).is_some());
-    }
+/// LRU: after touching a resident line, it survives the next eviction in
+/// its set (the other resident line is chosen instead), for any pair of
+/// distinct lines in a 1-set cache.
+#[test]
+fn cache_touch_protects_from_next_eviction() {
+    check(
+        "cache_touch_protects_from_next_eviction",
+        &(u64_in(0..100), u64_in(1..100)),
+        |&(n0, delta)| {
+            let cfg = CacheConfig { size_bytes: 2 * 64, ways: 2, hit_latency: 1, mshr_entries: 1 };
+            let mut cache: Cache<u32> = Cache::new(&cfg);
+            // One set, two ways: every line collides.
+            let s0 = Addr::new(n0 * 64).line();
+            let s1 = Addr::new((n0 + delta) * 64).line();
+            let incoming = Addr::new((n0 + delta + 1) * 64).line();
+            cache.insert(s0, 0, |_, _| true).unwrap();
+            cache.insert(s1, 1, |_, _| true).unwrap();
+            cache.touch(s0);
+            let evicted = cache.insert(incoming, 2, |_, _| true).unwrap();
+            prop_assert_eq!(evicted.map(|(l, _)| l), Some(s1));
+            prop_assert!(cache.peek(s0).is_some());
+            Ok(())
+        },
+    );
+}
 
-    /// The write buffer forwards the youngest matching store and respects
-    /// capacity.
-    #[test]
-    fn write_buffer_forwarding_model(
-        cap in 1usize..8,
-        stores in proptest::collection::vec((0u64..16, any::<u64>()), 0..20),
-    ) {
-        let mut wb = WriteBuffer::new(cap);
-        let mut model: Vec<(u64, u64)> = Vec::new();
-        for (word, value) in stores {
-            let addr = Addr::new(word * 8);
-            if wb.push(addr, value).is_ok() {
-                model.push((word, value));
+/// The write buffer forwards the youngest matching store and respects
+/// capacity.
+#[test]
+fn write_buffer_forwarding_model() {
+    check(
+        "write_buffer_forwarding_model",
+        &(usize_in(1..8), vec_of((u64_in(0..16), any_u64()), 0..20)),
+        |(cap, stores)| {
+            let mut wb = WriteBuffer::new(*cap);
+            let mut model: Vec<(u64, u64)> = Vec::new();
+            for &(word, value) in stores {
+                let addr = Addr::new(word * 8);
+                if wb.push(addr, value).is_ok() {
+                    model.push((word, value));
+                }
+                prop_assert!(wb.len() <= *cap);
+                for probe in 0..16u64 {
+                    let expect =
+                        model.iter().rev().find(|&&(w, _)| w == probe).map(|&(_, v)| v);
+                    prop_assert_eq!(wb.forward(Addr::new(probe * 8)), expect);
+                }
             }
-            prop_assert!(wb.len() <= cap);
-            for probe in 0..16u64 {
-                let expect = model.iter().rev().find(|&&(w, _)| w == probe).map(|&(_, v)| v);
-                prop_assert_eq!(wb.forward(Addr::new(probe * 8)), expect);
-            }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// NoC delivery: every message arrives exactly once, never earlier
-    /// than its latency, and per-pair FIFO order holds.
-    #[test]
-    fn noc_delivers_everything_in_pair_order(
-        sends in proptest::collection::vec((0u64..50, 0usize..8, 0usize..8, 0u64..1000), 0..60)
-    ) {
-        let mut noc = Noc::new(4, 2, 1);
-        let mut sent = Vec::new();
-        let mut sorted_sends = sends;
-        sorted_sends.sort_by_key(|&(t, ..)| t);
-        for (t, src, dst, lraw) in sorted_sends {
-            let msg = Msg::GetS { line: Addr::new(lraw * 64).line(), requester: CoreId(src) };
-            noc.send(Cycle(t), NodeId::Core(CoreId(src)), NodeId::Slice(dst), msg);
-            sent.push((src, dst, msg));
-        }
-        let delivered = noc.deliver(Cycle(10_000));
-        prop_assert_eq!(delivered.len(), sent.len());
-        // Per-pair order preserved.
-        for src in 0..8 {
-            for dst in 0..8 {
-                let sent_pair: Vec<_> = sent
-                    .iter()
-                    .filter(|&&(s, d, _)| s == src && d == dst)
-                    .map(|&(_, _, m)| m)
-                    .collect();
-                let recv_pair: Vec<_> = delivered
-                    .iter()
-                    .filter(|&&(s, d, _)| {
-                        s == NodeId::Core(CoreId(src)) && d == NodeId::Slice(dst)
-                    })
-                    .map(|&(_, _, m)| m)
-                    .collect();
-                prop_assert_eq!(sent_pair, recv_pair);
+/// NoC delivery: every message arrives exactly once, never earlier than
+/// its latency, and per-pair FIFO order holds.
+#[test]
+fn noc_delivers_everything_in_pair_order() {
+    check(
+        "noc_delivers_everything_in_pair_order",
+        &vec_of((u64_in(0..50), usize_in(0..8), usize_in(0..8), u64_in(0..1000)), 0..60),
+        |sends| {
+            let mut noc = Noc::new(4, 2, 1);
+            let mut sent = Vec::new();
+            let mut sorted_sends = sends.clone();
+            sorted_sends.sort_by_key(|&(t, ..)| t);
+            for (t, src, dst, lraw) in sorted_sends {
+                let msg =
+                    Msg::GetS { line: Addr::new(lraw * 64).line(), requester: CoreId(src) };
+                noc.send(Cycle(t), NodeId::Core(CoreId(src)), NodeId::Slice(dst), msg);
+                sent.push((src, dst, msg));
             }
-        }
-        prop_assert_eq!(noc.in_flight(), 0);
-    }
+            let delivered = noc.deliver(Cycle(10_000));
+            prop_assert_eq!(delivered.len(), sent.len());
+            // Per-pair order preserved.
+            for src in 0..8 {
+                for dst in 0..8 {
+                    let sent_pair: Vec<_> = sent
+                        .iter()
+                        .filter(|&&(s, d, _)| s == src && d == dst)
+                        .map(|&(_, _, m)| m)
+                        .collect();
+                    let recv_pair: Vec<_> = delivered
+                        .iter()
+                        .filter(|&&(s, d, _)| {
+                            s == NodeId::Core(CoreId(src)) && d == NodeId::Slice(dst)
+                        })
+                        .map(|&(_, _, m)| m)
+                        .collect();
+                    prop_assert_eq!(sent_pair, recv_pair);
+                }
+            }
+            prop_assert_eq!(noc.in_flight(), 0);
+            Ok(())
+        },
+    );
 }

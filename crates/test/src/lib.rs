@@ -1,0 +1,175 @@
+//! A minimal, dependency-free property-testing harness.
+//!
+//! The workspace's build environments have no network access, so external
+//! frameworks such as `proptest` cannot be fetched. This crate provides
+//! the subset those tests actually need, built on the deterministic
+//! [`pl_base::SimRng`] generator the simulator already ships:
+//!
+//! * a [`Strategy`] trait plus combinators ([`vec_of`], [`one_of`],
+//!   tuples, [`StrategyExt::map`]) for describing random inputs,
+//! * automatic **shrinking** of failing inputs, implemented at the level
+//!   of the recorded random-choice stream (so it works through `map` and
+//!   arbitrary user constructors with zero per-type code),
+//! * **fixed-seed regression replay**: every failure prints a case seed
+//!   that can be replayed exactly via the `PL_TEST_SEED` environment
+//!   variable or pinned forever in [`Config::regressions`].
+//!
+//! # Writing a property
+//!
+//! ```
+//! use pl_test::{any_u32, prop_assert_eq, vec_of};
+//!
+//! pl_test::check(
+//!     "reverse_twice_is_identity",
+//!     &vec_of(any_u32(), 0..20),
+//!     |v| {
+//!         let mut w = v.clone();
+//!         w.reverse();
+//!         w.reverse();
+//!         prop_assert_eq!(&w, v);
+//!         Ok(())
+//!     },
+//! );
+//! ```
+//!
+//! Properties return [`PropResult`]; the `prop_assert!`-family macros
+//! early-return an `Err` carrying a rendered message, which the runner
+//! uses to drive shrinking and final reporting.
+//!
+//! # Environment variables
+//!
+//! * `PL_TEST_CASES` — override the number of random cases per property.
+//! * `PL_TEST_SEED` — replay a single case seed (hex `0x…` or decimal)
+//!   instead of running the random sweep.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod runner;
+mod source;
+mod strategy;
+
+pub use runner::{check, check_with, Config};
+pub use source::Source;
+pub use strategy::{
+    any_bool, any_i8, any_u32, any_u64, any_u8, f64_in, just, one_of, u64_in, usize_in, vec_of,
+    OneOf, Strategy, StrategyExt,
+};
+
+/// A property failure: the rendered assertion message.
+#[derive(Debug, Clone)]
+pub struct PropFail {
+    message: String,
+}
+
+impl PropFail {
+    /// Creates a failure from a rendered message.
+    pub fn new(message: impl Into<String>) -> PropFail {
+        PropFail { message: message.into() }
+    }
+
+    /// The rendered assertion message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for PropFail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// What a property returns: `Ok(())` on success, a rendered failure
+/// otherwise. Use the `prop_assert!` macros rather than constructing
+/// [`PropFail`] by hand.
+pub type PropResult = Result<(), PropFail>;
+
+/// Asserts a condition inside a property, early-returning a [`PropFail`]
+/// with either the stringified condition or a custom formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::PropFail::new(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::PropFail::new(format!($($arg)+)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property (both must be
+/// `Debug`), early-returning a [`PropFail`] showing both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::PropFail::new(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::PropFail::new(format!(
+                "{}\n  left: {:?}\n right: {:?} ({}:{})",
+                format!($($arg)+),
+                left,
+                right,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Asserts two expressions differ inside a property; the negated twin of
+/// [`prop_assert_eq!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::core::result::Result::Err($crate::PropFail::new(format!(
+                "assertion failed: `{} != {}`\n  both: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                left,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::core::result::Result::Err($crate::PropFail::new(format!(
+                "{}\n  both: {:?} ({}:{})",
+                format!($($arg)+),
+                left,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}

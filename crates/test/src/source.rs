@@ -1,0 +1,120 @@
+//! The recorded random-choice stream values are generated from.
+//!
+//! Every random decision a [`crate::Strategy`] makes is one `u64` drawn
+//! from a [`Source`]. In generation mode the draws come from a seeded
+//! [`SimRng`] and are recorded; in replay mode they come from a saved
+//! stream (padded with zeros once exhausted). Shrinking then operates on
+//! the stream itself — deleting and reducing entries — and re-runs the
+//! strategy, which keeps shrinking fully generic over value types.
+
+use pl_base::SimRng;
+
+/// A recorded stream of random choices backing value generation.
+#[derive(Debug)]
+pub struct Source {
+    stream: Vec<u64>,
+    pos: usize,
+    rng: Option<SimRng>,
+}
+
+impl Source {
+    /// A generating source: draws from a PRNG seeded with `seed` and
+    /// records every choice.
+    pub fn from_seed(seed: u64) -> Source {
+        Source { stream: Vec::new(), pos: 0, rng: Some(SimRng::new(seed)) }
+    }
+
+    /// A replaying source: draws replay `stream` in order and yield zero
+    /// once it is exhausted, so regeneration is deterministic.
+    pub fn replay(stream: Vec<u64>) -> Source {
+        Source { stream, pos: 0, rng: None }
+    }
+
+    /// Draws the next raw 64-bit choice.
+    pub fn next_u64(&mut self) -> u64 {
+        let v = if self.pos < self.stream.len() {
+            self.stream[self.pos]
+        } else {
+            let v = match &mut self.rng {
+                Some(rng) => rng.next_u64(),
+                None => 0,
+            };
+            self.stream.push(v);
+            v
+        };
+        self.pos += 1;
+        v
+    }
+
+    /// Draws a value in `[lo, hi)` via modulo reduction.
+    ///
+    /// Modulo (rather than rejection sampling) keeps the mapping from
+    /// recorded choice to value monotone-ish, so shrinking a choice
+    /// toward zero shrinks the value toward `lo`. The bias is far below
+    /// what property tests can detect for the spans used here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn next_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "next_in requires a nonempty range");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// The number of choices consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// Consumes the source, returning the recorded choices actually used.
+    pub fn into_choices(mut self) -> Vec<u64> {
+        self.stream.truncate(self.pos);
+        self.stream
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_records_choices() {
+        let mut s = Source::from_seed(7);
+        let a = s.next_u64();
+        let b = s.next_u64();
+        let choices = s.into_choices();
+        assert_eq!(choices, vec![a, b]);
+    }
+
+    #[test]
+    fn replay_reproduces_then_pads_zero() {
+        let mut s = Source::replay(vec![10, 20]);
+        assert_eq!(s.next_u64(), 10);
+        assert_eq!(s.next_u64(), 20);
+        assert_eq!(s.next_u64(), 0);
+        assert_eq!(s.next_u64(), 0);
+    }
+
+    #[test]
+    fn next_in_stays_in_bounds_and_shrinks_with_choice() {
+        let mut s = Source::replay(vec![0, 5, 1003]);
+        assert_eq!(s.next_in(10, 20), 10);
+        assert_eq!(s.next_in(10, 20), 15);
+        assert_eq!(s.next_in(10, 20), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn next_in_rejects_empty_range() {
+        Source::from_seed(0).next_in(5, 5);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Source::from_seed(42);
+        let mut b = Source::from_seed(42);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

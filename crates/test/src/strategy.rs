@@ -1,0 +1,235 @@
+//! Strategies: how property inputs are generated.
+//!
+//! A [`Strategy`] turns draws from a [`Source`] into a value. The trait
+//! is deliberately object-safe (only [`Strategy::generate`]) so that
+//! heterogeneous alternatives can be boxed for [`one_of`]; the adapter
+//! methods live on the blanket [`StrategyExt`] extension trait.
+
+use crate::source::Source;
+
+/// Generates values of one type from a recorded choice stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws choices from `src` and produces a value.
+    fn generate(&self, src: &mut Source) -> Self::Value;
+}
+
+/// Adapter methods for every [`Strategy`].
+pub trait StrategyExt: Strategy + Sized {
+    /// Applies `f` to every generated value.
+    fn map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Boxes the strategy for use in [`one_of`].
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<S: Strategy + Sized> StrategyExt for S {}
+
+/// See [`StrategyExt::map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, src: &mut Source) -> U {
+        (self.f)(self.inner.generate(src))
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, src: &mut Source) -> V {
+        (**self).generate(src)
+    }
+}
+
+struct FnStrategy<F>(F);
+
+impl<V, F: Fn(&mut Source) -> V> Strategy for FnStrategy<F> {
+    type Value = V;
+    fn generate(&self, src: &mut Source) -> V {
+        (self.0)(src)
+    }
+}
+
+/// Any `u64`, uniform over the full range.
+pub fn any_u64() -> impl Strategy<Value = u64> {
+    FnStrategy(|src: &mut Source| src.next_u64())
+}
+
+/// Any `u32`, uniform over the full range.
+pub fn any_u32() -> impl Strategy<Value = u32> {
+    FnStrategy(|src: &mut Source| src.next_u64() as u32)
+}
+
+/// Any `u8`, uniform over the full range.
+pub fn any_u8() -> impl Strategy<Value = u8> {
+    FnStrategy(|src: &mut Source| src.next_u64() as u8)
+}
+
+/// Any `i8`, uniform over the full range.
+pub fn any_i8() -> impl Strategy<Value = i8> {
+    FnStrategy(|src: &mut Source| src.next_u64() as u8 as i8)
+}
+
+/// `true` or `false` with equal probability; shrinks toward `false`.
+pub fn any_bool() -> impl Strategy<Value = bool> {
+    FnStrategy(|src: &mut Source| src.next_in(0, 2) == 1)
+}
+
+/// A `u64` in `[range.start, range.end)`; shrinks toward the start.
+pub fn u64_in(range: std::ops::Range<u64>) -> impl Strategy<Value = u64> {
+    FnStrategy(move |src: &mut Source| src.next_in(range.start, range.end))
+}
+
+/// A `usize` in `[range.start, range.end)`; shrinks toward the start.
+pub fn usize_in(range: std::ops::Range<usize>) -> impl Strategy<Value = usize> {
+    FnStrategy(move |src: &mut Source| src.next_in(range.start as u64, range.end as u64) as usize)
+}
+
+/// An `f64` in `[range.start, range.end)`; shrinks toward the start.
+pub fn f64_in(range: std::ops::Range<f64>) -> impl Strategy<Value = f64> {
+    FnStrategy(move |src: &mut Source| {
+        let frac = (src.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + frac * (range.end - range.start)
+    })
+}
+
+/// Always the same value; consumes no choices, so it shrinks to itself.
+pub fn just<V: Clone>(value: V) -> impl Strategy<Value = V> {
+    FnStrategy(move |_: &mut Source| value.clone())
+}
+
+/// A `Vec` of values from `elem` with a length drawn from `len`.
+///
+/// The length is drawn first, so shrinking the leading choice shortens
+/// the vector (dropping trailing elements), and deleting stream blocks
+/// effectively deletes or rewrites elements.
+pub fn vec_of<S: Strategy>(
+    elem: S,
+    len: std::ops::Range<usize>,
+) -> impl Strategy<Value = Vec<S::Value>> {
+    FnStrategy(move |src: &mut Source| {
+        let n = src.next_in(len.start as u64, len.end as u64) as usize;
+        (0..n).map(|_| elem.generate(src)).collect()
+    })
+}
+
+/// Picks one of several alternative strategies per value.
+///
+/// The selector choice shrinks toward zero, so list the simplest
+/// alternative first.
+pub struct OneOf<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+/// One value from one of `options`, chosen uniformly.
+///
+/// # Panics
+///
+/// Panics if `options` is empty.
+pub fn one_of<V>(options: Vec<Box<dyn Strategy<Value = V>>>) -> OneOf<V> {
+    assert!(!options.is_empty(), "one_of requires at least one alternative");
+    OneOf { options }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, src: &mut Source) -> V {
+        let i = src.next_in(0, self.options.len() as u64) as usize;
+        self.options[i].generate(src)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, src: &mut Source) -> Self::Value {
+                ($(self.$idx.generate(src),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut src = Source::from_seed(1);
+        for _ in 0..200 {
+            assert!((3..9).contains(&u64_in(3..9).generate(&mut src)));
+            assert!((1..16).contains(&usize_in(1..16).generate(&mut src)));
+            let f = f64_in(0.5..2.0).generate(&mut src);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_respects_length_range() {
+        let strat = vec_of(any_u8(), 2..7);
+        let mut src = Source::from_seed(3);
+        for _ in 0..100 {
+            let v = strat.generate(&mut src);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let strat = u64_in(0..10).map(|x| x * 2);
+        let mut src = Source::from_seed(5);
+        for _ in 0..50 {
+            let v = strat.generate(&mut src);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn one_of_covers_all_alternatives() {
+        let strat = one_of(vec![just(1u8).boxed(), just(2u8).boxed(), just(3u8).boxed()]);
+        let mut src = Source::from_seed(9);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strat.generate(&mut src) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let strat = (u64_in(0..4), any_bool(), usize_in(1..3));
+        let mut src = Source::from_seed(11);
+        let (a, _b, c) = strat.generate(&mut src);
+        assert!(a < 4);
+        assert!((1..3).contains(&c));
+    }
+
+    #[test]
+    fn replay_regenerates_identical_values() {
+        let strat = vec_of((any_u32(), any_bool()), 0..20);
+        let mut gen_src = Source::from_seed(77);
+        let v1 = strat.generate(&mut gen_src);
+        let mut replay_src = Source::replay(gen_src.into_choices());
+        let v2 = strat.generate(&mut replay_src);
+        assert_eq!(v1, v2);
+    }
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything must pass before merging.
+#
+# Hermetic by construction — the workspace has no external registry
+# dependencies, so this works offline. See README.md "Hermetic builds".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings
+echo "tier-1: OK"

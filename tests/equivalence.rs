@@ -1,10 +1,11 @@
 //! Architectural equivalence across defenses: security hardware must
 //! change timing only, never results.
 //!
-//! Includes a property-based fuzzer that generates random loop-free
-//! programs (arithmetic, forward branches, loads, stores) and checks that
-//! every defense/pinning configuration computes the identical final
-//! register file and memory image as the unsafe baseline.
+//! Includes a property-based fuzzer (on the in-tree `pl-test` harness)
+//! that generates random loop-free programs (arithmetic, forward
+//! branches, loads, stores) and checks that every defense/pinning
+//! configuration computes the identical final register file and memory
+//! image as the unsafe baseline.
 
 use pinned_loads::base::{
     Addr, CoreId, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, ThreatModel,
@@ -12,7 +13,9 @@ use pinned_loads::base::{
 use pinned_loads::isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg};
 use pinned_loads::machine::Machine;
 use pinned_loads::workloads::{spec_suite, Scale};
-use proptest::prelude::*;
+use pl_test::{
+    any_i8, any_u8, check_with, one_of, prop_assert_eq, Config, Strategy, StrategyExt,
+};
 
 fn r(i: u8) -> Reg {
     Reg::new(i).unwrap()
@@ -88,8 +91,8 @@ fn spec_kernels_are_architecturally_equivalent_across_all_configs() {
 enum FuzzOp {
     Alu(u8, u8, u8, u8), // op selector, dst, src1, src2
     AluImm(u8, u8, u8, i8),
-    Load(u8, u8, u8),  // dst, base-selector, offset-slot
-    Store(u8, u8, u8), // src, base-selector, offset-slot
+    Load(u8, u8, u8),   // dst, base-selector, offset-slot
+    Store(u8, u8, u8),  // src, base-selector, offset-slot
     SkipIf(u8, u8, u8), // cond selector, reg a, reg b — skips next 2 ops
 }
 
@@ -169,34 +172,84 @@ fn build_program(ops: &[FuzzOp]) -> Program {
 }
 
 fn fuzz_op_strategy() -> impl Strategy<Value = FuzzOp> {
-    prop_oneof![
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(a, b, c, d)| FuzzOp::Alu(a, b, c, d)),
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<i8>())
-            .prop_map(|(a, b, c, d)| FuzzOp::AluImm(a, b, c, d)),
-        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| FuzzOp::Load(a, b, c)),
-        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| FuzzOp::Store(a, b, c)),
-        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| FuzzOp::SkipIf(a, b, c)),
-    ]
+    one_of(vec![
+        (any_u8(), any_u8(), any_u8(), any_u8())
+            .map(|(a, b, c, d)| FuzzOp::Alu(a, b, c, d))
+            .boxed(),
+        (any_u8(), any_u8(), any_u8(), any_i8())
+            .map(|(a, b, c, d)| FuzzOp::AluImm(a, b, c, d))
+            .boxed(),
+        (any_u8(), any_u8(), any_u8()).map(|(a, b, c)| FuzzOp::Load(a, b, c)).boxed(),
+        (any_u8(), any_u8(), any_u8()).map(|(a, b, c)| FuzzOp::Store(a, b, c)).boxed(),
+        (any_u8(), any_u8(), any_u8()).map(|(a, b, c)| FuzzOp::SkipIf(a, b, c)).boxed(),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// Random programs produce identical architecture under every
-    /// defense and pinning configuration.
-    #[test]
-    fn random_programs_equivalent_across_defenses(
-        ops in proptest::collection::vec(fuzz_op_strategy(), 8..60)
-    ) {
-        let program = build_program(&ops);
-        let reference = observe(&MachineConfig::default_single_core(), &program);
-        for cfg in configs() {
-            let got = observe(&cfg, &program);
-            prop_assert_eq!(
-                &reference, &got,
-                "program diverged under {}\n{}", cfg.label(), program.listing()
-            );
-        }
+/// Asserts that `ops` computes identical architecture under every defense
+/// and pinning configuration. Shared by the fuzzer and the pinned
+/// regression cases below.
+fn assert_ops_equivalent(ops: &[FuzzOp]) -> pl_test::PropResult {
+    let program = build_program(ops);
+    let reference = observe(&MachineConfig::default_single_core(), &program);
+    for cfg in configs() {
+        let got = observe(&cfg, &program);
+        prop_assert_eq!(
+            &reference,
+            &got,
+            "program diverged under {}\n{}",
+            cfg.label(),
+            program.listing()
+        );
     }
+    Ok(())
+}
+
+/// Random programs produce identical architecture under every defense and
+/// pinning configuration.
+#[test]
+fn random_programs_equivalent_across_defenses() {
+    check_with(
+        &Config::with_cases(24),
+        "random_programs_equivalent_across_defenses",
+        &pl_test::vec_of(fuzz_op_strategy(), 8..60),
+        |ops| assert_ops_equivalent(ops),
+    );
+}
+
+// Historical counterexamples, originally shrunk by proptest and kept in
+// `tests/equivalence.proptest-regressions`; pinned here as permanent
+// deterministic cases so the bugs they exposed stay covered.
+
+/// Regression: load/store interleaving with a trailing unclosed skip
+/// (seed cc195160…).
+#[test]
+fn regression_load_store_skip_tail() {
+    let ops = [
+        FuzzOp::Load(161, 0, 0),
+        FuzzOp::Store(0, 105, 130),
+        FuzzOp::AluImm(47, 84, 100, 93),
+        FuzzOp::Load(115, 14, 42),
+        FuzzOp::AluImm(56, 55, 147, 21),
+        FuzzOp::Store(222, 138, 199),
+        FuzzOp::AluImm(133, 144, 201, 78),
+        FuzzOp::SkipIf(158, 113, 112),
+    ];
+    assert_ops_equivalent(&ops).unwrap_or_else(|f| panic!("{f}"));
+}
+
+/// Regression: store-first program with a skip guarding ALU/store/load
+/// ops (seed ccbb2e22…).
+#[test]
+fn regression_store_first_guarded_block() {
+    let ops = [
+        FuzzOp::Store(0, 0, 23),
+        FuzzOp::AluImm(60, 51, 94, 80),
+        FuzzOp::SkipIf(138, 113, 176),
+        FuzzOp::Alu(65, 94, 101, 78),
+        FuzzOp::Alu(105, 236, 64, 66),
+        FuzzOp::Store(58, 96, 127),
+        FuzzOp::Load(14, 156, 247),
+        FuzzOp::AluImm(78, 201, 185, -54),
+    ];
+    assert_ops_equivalent(&ops).unwrap_or_else(|f| panic!("{f}"));
 }
