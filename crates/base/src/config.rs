@@ -359,6 +359,62 @@ impl PinnedLoadsConfig {
     }
 }
 
+/// Cycle-level event-tracing configuration.
+///
+/// Tracing is off by default; when enabled, every traced component keeps
+/// a bounded drop-oldest ring buffer of `buffer_capacity` events, so
+/// memory stays bounded on arbitrarily long runs.
+///
+/// # Examples
+///
+/// ```
+/// use pl_base::TraceConfig;
+/// let t = TraceConfig::default();
+/// assert!(!t.enabled);
+/// let on = TraceConfig::enabled();
+/// assert!(on.enabled && on.buffer_capacity > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Record events into per-component ring buffers.
+    pub enabled: bool,
+    /// Events retained per component before drop-oldest kicks in.
+    pub buffer_capacity: usize,
+}
+
+impl TraceConfig {
+    /// The default ring-buffer capacity per traced component.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// Tracing switched on with the default buffer capacity.
+    pub fn enabled() -> TraceConfig {
+        TraceConfig {
+            enabled: true,
+            buffer_capacity: TraceConfig::DEFAULT_CAPACITY,
+        }
+    }
+
+    /// The per-component ring capacity implied by this config: zero when
+    /// disabled, so components can build disabled tracers from it
+    /// directly.
+    pub fn capacity(&self) -> usize {
+        if self.enabled {
+            self.buffer_capacity
+        } else {
+            0
+        }
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            enabled: false,
+            buffer_capacity: TraceConfig::DEFAULT_CAPACITY,
+        }
+    }
+}
+
 /// Complete configuration of a simulated machine.
 ///
 /// Use [`MachineConfig::default_single_core`] or
@@ -390,6 +446,8 @@ pub struct MachineConfig {
     pub threat_model: ThreatModel,
     /// Pinned Loads extension configuration.
     pub pinned_loads: PinnedLoadsConfig,
+    /// Cycle-level event tracing (off by default).
+    pub trace: TraceConfig,
     /// Random seed driving every stochastic element of a run (address
     /// layout randomization in workloads, etc.). Same seed, same result.
     pub seed: u64,
@@ -405,6 +463,7 @@ impl MachineConfig {
             defense: DefenseScheme::Unsafe,
             threat_model: ThreatModel::Comprehensive,
             pinned_loads: PinnedLoadsConfig::with_mode(PinMode::Off),
+            trace: TraceConfig::default(),
             seed: 0xA5105,
         }
     }
@@ -436,8 +495,7 @@ impl MachineConfig {
         {
             return Err(ConfigError::ZeroQueue);
         }
-        if self.core.issue_width == 0 || self.core.fetch_width == 0 || self.core.commit_width == 0
-        {
+        if self.core.issue_width == 0 || self.core.fetch_width == 0 || self.core.commit_width == 0 {
             return Err(ConfigError::ZeroWidth);
         }
         if self.core.sq_entries > self.core.rob_entries
@@ -461,12 +519,17 @@ impl MachineConfig {
             return Err(ConfigError::ZeroWd);
         }
         if self.pinned_loads.mode != PinMode::Off && self.pinned_loads.lq_id_tag_bits < 8 {
-            return Err(ConfigError::LqTagTooNarrow(self.pinned_loads.lq_id_tag_bits));
+            return Err(ConfigError::LqTagTooNarrow(
+                self.pinned_loads.lq_id_tag_bits,
+            ));
         }
         if self.pinned_loads.mode != PinMode::Off && self.threat_model == ThreatModel::Spectre {
             // Pinning accelerates the MCV condition, which the Spectre
             // model does not track; combining them is a configuration bug.
             return Err(ConfigError::PinningUnderSpectre);
+        }
+        if self.trace.enabled && self.trace.buffer_capacity == 0 {
+            return Err(ConfigError::ZeroTraceBuffer);
         }
         Ok(())
     }
@@ -527,6 +590,8 @@ pub enum ConfigError {
     LqTagTooNarrow(u32),
     /// Pinned Loads enabled under the Spectre threat model.
     PinningUnderSpectre,
+    /// Tracing enabled with a zero-event ring buffer.
+    ZeroTraceBuffer,
 }
 
 impl fmt::Display for ConfigError {
@@ -544,10 +609,22 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroWd => write!(f, "early pinning requires W_d of at least one"),
             ConfigError::LqTagTooNarrow(bits) => {
-                write!(f, "extended LQ ID tag of {bits} bits is too narrow (minimum 8)")
+                write!(
+                    f,
+                    "extended LQ ID tag of {bits} bits is too narrow (minimum 8)"
+                )
             }
             ConfigError::PinningUnderSpectre => {
-                write!(f, "pinned loads is meaningless under the Spectre threat model")
+                write!(
+                    f,
+                    "pinned loads is meaningless under the Spectre threat model"
+                )
+            }
+            ConfigError::ZeroTraceBuffer => {
+                write!(
+                    f,
+                    "tracing is enabled but the event buffer capacity is zero"
+                )
             }
         }
     }
@@ -612,7 +689,10 @@ mod tests {
     fn validate_rejects_bad_geometry() {
         let mut cfg = MachineConfig::default_single_core();
         cfg.mem.l1d.size_bytes = 3000;
-        assert!(matches!(cfg.validate(), Err(ConfigError::BadGeometry("l1d"))));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadGeometry("l1d"))
+        ));
     }
 
     #[test]
@@ -638,6 +718,23 @@ mod tests {
         cfg.threat_model = ThreatModel::Spectre;
         cfg.pinned_loads = PinnedLoadsConfig::with_mode(PinMode::Late);
         assert_eq!(cfg.validate(), Err(ConfigError::PinningUnderSpectre));
+    }
+
+    #[test]
+    fn validate_rejects_zero_trace_buffer() {
+        let mut cfg = MachineConfig::default_single_core();
+        cfg.trace = TraceConfig {
+            enabled: true,
+            buffer_capacity: 0,
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroTraceBuffer));
+        cfg.trace = TraceConfig::enabled();
+        cfg.validate().unwrap();
+        assert_eq!(TraceConfig::default().capacity(), 0);
+        assert_eq!(
+            TraceConfig::enabled().capacity(),
+            TraceConfig::DEFAULT_CAPACITY
+        );
     }
 
     #[test]

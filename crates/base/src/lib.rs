@@ -30,7 +30,7 @@ pub mod stats;
 pub use addr::{Addr, LineAddr, LINE_BYTES, LINE_SHIFT};
 pub use config::{
     CacheConfig, ConfigError, CoreConfig, CptConfig, CstConfig, DefenseScheme, MachineConfig,
-    MemConfig, PinMode, PinnedLoadsConfig, ThreatModel,
+    MemConfig, PinMode, PinnedLoadsConfig, ThreatModel, TraceConfig,
 };
 pub use queue::CircQueue;
 pub use rng::SimRng;

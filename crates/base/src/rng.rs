@@ -67,7 +67,10 @@ impl SimRng {
     ///
     /// Panics if the range is empty.
     pub fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
-        assert!(range.start < range.end, "gen_range requires a nonempty range");
+        assert!(
+            range.start < range.end,
+            "gen_range requires a nonempty range"
+        );
         let span = range.end - range.start;
         // Lemire's method: rejection-sample the biased zone.
         let mut x = self.next_u64();

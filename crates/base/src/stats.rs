@@ -37,11 +37,19 @@ impl Stats {
     }
 
     /// Adds `delta` to the counter `name`, creating it at zero if needed.
+    ///
+    /// The existing-key path is allocation-free: simulator hot loops call
+    /// this with the same `&'static str` names millions of times, and
+    /// only the first touch of a name pays for the `String` key.
     pub fn add(&mut self, name: &str, delta: u64) {
         if delta == 0 {
             return;
         }
-        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+            return;
+        }
+        self.counters.insert(name.to_string(), delta);
     }
 
     /// Adds one to the counter `name`.
@@ -55,11 +63,16 @@ impl Stats {
     }
 
     /// Records `value` into histogram `name`, creating it if needed.
+    ///
+    /// Like [`Stats::add`], the existing-key path allocates nothing.
     pub fn sample(&mut self, name: &str, value: u64) {
-        self.histograms
-            .entry(name.to_string())
-            .or_default()
-            .record(value);
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(value);
+            return;
+        }
+        let mut h = Histogram::new();
+        h.record(value);
+        self.histograms.insert(name.to_string(), h);
     }
 
     /// Returns the histogram `name` if any samples were recorded.
@@ -253,7 +266,10 @@ mod tests {
         s.add("squash.branch", 2);
         s.add("squashx", 99);
         s.add("z", 1);
-        let names: Vec<_> = s.iter_prefix("squash.").map(|(k, _)| k.to_string()).collect();
+        let names: Vec<_> = s
+            .iter_prefix("squash.")
+            .map(|(k, _)| k.to_string())
+            .collect();
         assert_eq!(names, vec!["squash.branch", "squash.mcv"]);
     }
 

@@ -125,13 +125,20 @@ fn rng_range_in_bounds() {
 /// The geometric mean lies between the minimum and maximum.
 #[test]
 fn geo_mean_bounded() {
-    check("geo_mean_bounded", &vec_of(f64_in(0.01..1000.0), 1..20), |values| {
-        let g = geo_mean(values).unwrap();
-        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = values.iter().cloned().fold(0.0f64, f64::max);
-        prop_assert!(g >= min * 0.999 && g <= max * 1.001, "g={g} min={min} max={max}");
-        Ok(())
-    });
+    check(
+        "geo_mean_bounded",
+        &vec_of(f64_in(0.01..1000.0), 1..20),
+        |values| {
+            let g = geo_mean(values).unwrap();
+            let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = values.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!(
+                g >= min * 0.999 && g <= max * 1.001,
+                "g={g} min={min} max={max}"
+            );
+            Ok(())
+        },
+    );
 }
 
 /// Line hashes are stable and identical across generator instances.
@@ -150,11 +157,15 @@ fn line_hash_stable() {
 #[test]
 fn bool_strategy_hits_both_sides() {
     let seen = [std::cell::Cell::new(false), std::cell::Cell::new(false)];
-    check("bool_strategy_hits_both_sides", &vec_of(any_bool(), 32..33), |flips| {
-        for &f in flips {
-            seen[f as usize].set(true);
-        }
-        Ok(())
-    });
+    check(
+        "bool_strategy_hits_both_sides",
+        &vec_of(any_bool(), 32..33),
+        |flips| {
+            for &f in flips {
+                seen[f as usize].set(true);
+            }
+            Ok(())
+        },
+    );
     assert!(seen[0].get() && seen[1].get());
 }

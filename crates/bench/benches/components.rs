@@ -7,19 +7,26 @@
 //! Run with `cargo bench -p pl-bench --bench components`; writes
 //! `results/bench_components.json`.
 
-use pl_base::{Addr, CacheConfig, CoreId, Cycle, LineAddr, MachineConfig, SimRng};
+use pl_base::{Addr, CacheConfig, CoreId, Cycle, LineAddr, MachineConfig, SimRng, Stats};
 use pl_bench::timing::TimingHarness;
 use pl_isa::{Pc, ProgramBuilder, Reg};
 use pl_machine::Machine;
-use pl_mem::{Cache, Mesi, Msg, NodeId, Noc};
+use pl_mem::{Cache, Mesi, Msg, Noc, NodeId};
 use pl_predictor::BranchPredictor;
 use pl_secure::Cst;
 
 fn bench_cache(h: &mut TimingHarness) {
-    let cfg = CacheConfig { size_bytes: 32 * 1024, ways: 8, hit_latency: 2, mshr_entries: 16 };
+    let cfg = CacheConfig {
+        size_bytes: 32 * 1024,
+        ways: 8,
+        hit_latency: 2,
+        mshr_entries: 16,
+    };
     let mut cache: Cache<Mesi> = Cache::new(&cfg);
     for i in 0..256u64 {
-        cache.insert(Addr::new(i * 64).line(), Mesi::Shared, |_, _| true).unwrap();
+        cache
+            .insert(Addr::new(i * 64).line(), Mesi::Shared, |_, _| true)
+            .unwrap();
     }
     let mut i = 0u64;
     h.bench("cache/lookup_hit", || {
@@ -32,6 +39,35 @@ fn bench_cache(h: &mut TimingHarness) {
     h.bench("cache/insert_evict", || {
         i += 1;
         cache.insert(Addr::new(i * 64).line(), Mesi::Exclusive, |_, _| true)
+    });
+}
+
+fn bench_stats(h: &mut TimingHarness) {
+    // The simulator's hottest bookkeeping calls: `Stats::add` and
+    // `Stats::sample` on keys that already exist. These used to allocate
+    // a `String` per call (`name.to_string()` before every map lookup);
+    // the existing-key fast path makes them allocation-free, which these
+    // benchmarks guard (compare `results/bench_components.json` across
+    // runs to see the delta).
+    let mut s = Stats::new();
+    s.add("core.cycles", 0);
+    h.bench("stats/add_existing", || s.add("core.cycles", 1));
+
+    let mut s = Stats::new();
+    s.sample("occ.rob", 0);
+    let mut i = 0u64;
+    h.bench("stats/sample_existing", || {
+        i = (i + 1) % 192;
+        s.sample("occ.rob", i);
+    });
+
+    // First-insertion path for contrast (still pays the allocation).
+    let mut s = Stats::new();
+    let keys: Vec<String> = (0..1024).map(|i| format!("k{i}")).collect();
+    let mut i = 0usize;
+    h.bench("stats/add_mixed_keys", || {
+        i = (i + 1) % keys.len();
+        s.add(&keys[i], 1);
     });
 }
 
@@ -49,8 +85,9 @@ fn bench_predictor(h: &mut TimingHarness) {
 
 fn bench_cst(h: &mut TimingHarness) {
     let mut rng = SimRng::new(1);
-    let lines: Vec<LineAddr> =
-        (0..1024).map(|_| Addr::new(rng.next_u64() & 0xfff_ffc0).line()).collect();
+    let lines: Vec<LineAddr> = (0..1024)
+        .map(|_| Addr::new(rng.next_u64() & 0xfff_ffc0).line())
+        .collect();
     let mut cst = Cst::finite(40, 2);
     let live = |_id: u64| -> Option<LineAddr> { None };
     let mut i = 0usize;
@@ -70,7 +107,10 @@ fn bench_noc(h: &mut TimingHarness) {
                     Cycle(i),
                     NodeId::Core(CoreId((i % 8) as usize)),
                     NodeId::Slice(((i + 3) % 8) as usize),
-                    Msg::GetS { line: Addr::new(i * 64).line(), requester: CoreId(0) },
+                    Msg::GetS {
+                        line: Addr::new(i * 64).line(),
+                        requester: CoreId(0),
+                    },
                 );
             }
             noc.deliver(Cycle(1000))
@@ -110,6 +150,7 @@ fn bench_machine_throughput(h: &mut TimingHarness) {
 fn main() {
     let mut h = TimingHarness::new("components");
     bench_cache(&mut h);
+    bench_stats(&mut h);
     bench_predictor(&mut h);
     bench_cst(&mut h);
     bench_noc(&mut h);

@@ -20,12 +20,36 @@ fn main() {
         .expect("suite contains hot_reuse");
     let mut h = TimingHarness::new("schemes");
     for (label, scheme, pin) in [
-        ("simulate/hot_reuse/unsafe", DefenseScheme::Unsafe, PinMode::Off),
-        ("simulate/hot_reuse/fence_comp", DefenseScheme::Fence, PinMode::Off),
-        ("simulate/hot_reuse/fence_lp", DefenseScheme::Fence, PinMode::Late),
-        ("simulate/hot_reuse/fence_ep", DefenseScheme::Fence, PinMode::Early),
-        ("simulate/hot_reuse/dom_ep", DefenseScheme::Dom, PinMode::Early),
-        ("simulate/hot_reuse/stt_ep", DefenseScheme::Stt, PinMode::Early),
+        (
+            "simulate/hot_reuse/unsafe",
+            DefenseScheme::Unsafe,
+            PinMode::Off,
+        ),
+        (
+            "simulate/hot_reuse/fence_comp",
+            DefenseScheme::Fence,
+            PinMode::Off,
+        ),
+        (
+            "simulate/hot_reuse/fence_lp",
+            DefenseScheme::Fence,
+            PinMode::Late,
+        ),
+        (
+            "simulate/hot_reuse/fence_ep",
+            DefenseScheme::Fence,
+            PinMode::Early,
+        ),
+        (
+            "simulate/hot_reuse/dom_ep",
+            DefenseScheme::Dom,
+            PinMode::Early,
+        ),
+        (
+            "simulate/hot_reuse/stt_ep",
+            DefenseScheme::Stt,
+            PinMode::Early,
+        ),
     ] {
         let mut cfg = MachineConfig::default_single_core();
         cfg.defense = scheme;

@@ -82,7 +82,11 @@ fn main() {
     for (&(mode, conservative), o) in points.iter().zip(&overheads) {
         println!(
             "  {mode:?} / {}: overhead {o:>7.1}%",
-            if conservative { "conservative" } else { "aggressive " },
+            if conservative {
+                "conservative"
+            } else {
+                "aggressive "
+            },
         );
     }
     println!(

@@ -38,7 +38,10 @@ fn main() {
     let results = sweep_results(&jobs, &workloads, args.threads);
 
     for (scheme, mode, job_idx) in points {
-        println!("\n--- {scheme} + {} ---", if mode == PinMode::Late { "LP" } else { "EP" });
+        println!(
+            "\n--- {scheme} + {} ---",
+            if mode == PinMode::Late { "LP" } else { "EP" }
+        );
         println!(
             "{:<16} {:>12} {:>10} {:>14} {:>16}",
             "benchmark", "mean occ", "peak occ", "inserts", "overflow rate"
@@ -46,7 +49,11 @@ fn main() {
         for (wi, w) in workloads.iter().enumerate() {
             let res = &results[job_idx][wi];
             let occ = res.stats.histogram("cpt.occupancy");
-            let peak = res.stats.histogram("cpt.peak").and_then(|h| h.max()).unwrap_or(0);
+            let peak = res
+                .stats
+                .histogram("cpt.peak")
+                .and_then(|h| h.max())
+                .unwrap_or(0);
 
             let res2 = &results[job_idx + 1][wi];
             let attempts = res2.stats.get("cpt.insert_attempts");

@@ -22,11 +22,36 @@ struct CstPoint {
 }
 
 const POINTS: &[CstPoint] = &[
-    CstPoint { label: "ideal", ideal: true, l1: (12, 8), dir: (40, 2) },
-    CstPoint { label: "default 12x8/40x2", ideal: false, l1: (12, 8), dir: (40, 2) },
-    CstPoint { label: "half 6x8/20x2", ideal: false, l1: (6, 8), dir: (20, 2) },
-    CstPoint { label: "quarter 3x8/10x2", ideal: false, l1: (3, 8), dir: (10, 2) },
-    CstPoint { label: "tiny 2x4/4x2", ideal: false, l1: (2, 4), dir: (4, 2) },
+    CstPoint {
+        label: "ideal",
+        ideal: true,
+        l1: (12, 8),
+        dir: (40, 2),
+    },
+    CstPoint {
+        label: "default 12x8/40x2",
+        ideal: false,
+        l1: (12, 8),
+        dir: (40, 2),
+    },
+    CstPoint {
+        label: "half 6x8/20x2",
+        ideal: false,
+        l1: (6, 8),
+        dir: (20, 2),
+    },
+    CstPoint {
+        label: "quarter 3x8/10x2",
+        ideal: false,
+        l1: (3, 8),
+        dir: (10, 2),
+    },
+    CstPoint {
+        label: "tiny 2x4/4x2",
+        ideal: false,
+        l1: (2, 4),
+        dir: (4, 2),
+    },
 ];
 
 fn config_for(base: &MachineConfig, scheme: DefenseScheme, p: &CstPoint) -> MachineConfig {
@@ -100,7 +125,11 @@ fn main() {
     }
     let results = sweep_results(&jobs, &workloads, args.threads);
     for (si, scheme) in DefenseScheme::PROTECTED.into_iter().enumerate() {
-        report(scheme, &results[si * POINTS.len()..(si + 1) * POINTS.len()], &baselines);
+        report(
+            scheme,
+            &results[si * POINTS.len()..(si + 1) * POINTS.len()],
+            &baselines,
+        );
     }
     println!(
         "\npaper reference: default CST false positives < 0.02% (L1) and \

@@ -21,8 +21,10 @@ fn suite_breakdown(name: &str, base: &MachineConfig, workloads: &[Workload], thr
     cfg.threat_model = ThreatModel::Comprehensive;
     cfg.pinned_loads = PinnedLoadsConfig::with_mode(PinMode::Off);
     // One job per cumulative VP mask, the whole set fanned out at once.
-    let jobs: Vec<SweepJob> =
-        VpMask::cumulative().iter().map(|&(_, mask)| (cfg.clone(), Some(mask))).collect();
+    let jobs: Vec<SweepJob> = VpMask::cumulative()
+        .iter()
+        .map(|&(_, mask)| (cfg.clone(), Some(mask)))
+        .collect();
     let totals = geo_overheads(&sweep_cpis(&jobs, workloads, threads), &baselines);
     println!("\n--- {name} ---");
     let mut prev = 0.0;
@@ -40,12 +42,21 @@ fn main() {
     let single = MachineConfig::default_single_core();
     print_banner("Figure 1: VP-condition overhead breakdown (Fence)", &single);
 
-    suite_breakdown("SPEC17-like (1 core)", &single, &spec_suite(args.scale), args.threads);
+    suite_breakdown(
+        "SPEC17-like (1 core)",
+        &single,
+        &spec_suite(args.scale),
+        args.threads,
+    );
 
     let multi = MachineConfig::default_multi_core(args.cores);
     let par = parallel_suite(
         args.cores,
-        if args.scale == Scale::Full { Scale::Bench } else { args.scale },
+        if args.scale == Scale::Full {
+            Scale::Bench
+        } else {
+            args.scale
+        },
     );
     suite_breakdown(
         &format!("SPLASH2/PARSEC-like ({} cores)", args.cores),

@@ -9,10 +9,20 @@
 //! dependent chain (Fig. 2(g)/(h)), while LP serializes misses
 //! (Fig. 2(c)-(e)).
 //!
+//! Alongside the aggregate table, it re-runs a tiny batch of each
+//! microbenchmark with event tracing enabled and renders Konata-style
+//! pipeviews from the *real* pipeline events (dispatch/issue/complete/
+//! retire/squash), plus a Chrome-trace JSON per configuration under
+//! `results/` for chrome://tracing / Perfetto.
+//!
 //! Run with `cargo run --release -p pl-bench --bin fig2_timeline [--threads N]`.
 
-use pl_base::{Addr, CoreId, DefenseScheme, MachineConfig, SimRng};
-use pl_bench::{extension_matrix, print_banner, sweep_results, unsafe_config, SweepJob};
+use std::path::PathBuf;
+
+use pl_base::{Addr, CoreId, DefenseScheme, MachineConfig, SimRng, TraceConfig};
+use pl_bench::{
+    extension_matrix, print_banner, run_workload, sweep_results, unsafe_config, SweepJob,
+};
 use pl_isa::{AluOp, BranchCond, ProgramBuilder, Reg};
 use pl_workloads::Workload;
 
@@ -109,4 +119,49 @@ fn main() {
          head (Fig. 2(b)); for the dependent chain even EP cannot overlap \
          ld2/ld3 with ld1 (Fig. 2(g)/(h))."
     );
+
+    render_traced_timelines(&base);
+}
+
+/// Re-runs three batches of each microbenchmark with tracing on and
+/// renders the timelines from real pipeline events: a pipeview per
+/// configuration (the quantitative Figure 2) plus a Chrome-trace JSON
+/// export under `results/`.
+fn render_traced_timelines(base: &MachineConfig) {
+    let out_dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
+    let _ = std::fs::create_dir_all(&out_dir);
+
+    let mut configs: Vec<(&str, MachineConfig)> = vec![("Unsafe", unsafe_config(base))];
+    for (label, cfg) in extension_matrix(base, DefenseScheme::Fence) {
+        configs.push((label, cfg));
+    }
+    for (wi, workload) in [independent_loads(3), dependent_chain(3)]
+        .iter()
+        .enumerate()
+    {
+        println!(
+            "\n--- {} loads, traced pipeview (3 batches; D=dispatch I=issue \
+             C=complete R=retire x=squash) ---",
+            workload.name
+        );
+        for (label, cfg) in &configs {
+            let mut cfg = cfg.clone();
+            cfg.trace = TraceConfig::enabled();
+            let res = run_workload(&cfg, workload);
+            let log = res.trace.expect("tracing was enabled");
+            println!(
+                "\n[{label}] core 0, {} events, {} cycles:",
+                log.records.len(),
+                res.cycles
+            );
+            print!("{}", log.pipeview(0, 64));
+            if wi == 0 {
+                let path = out_dir.join(format!("fig2_trace_{}.json", label.to_lowercase()));
+                match std::fs::write(&path, log.chrome_trace()) {
+                    Ok(()) => println!("  chrome-trace: {}", path.display()),
+                    Err(e) => eprintln!("  chrome-trace export failed: {e}"),
+                }
+            }
+        }
+    }
 }

@@ -42,7 +42,10 @@ fn suite_report(suite_name: &str, base: &MachineConfig, workloads: &[Workload], 
         println!("\n--- {scheme} / {suite_name} ---");
         let mut prev = 0.0;
         for ((label, _), &total) in masks.iter().zip(block) {
-            println!("  {label:<12} +{:>6.1}%  (cumulative {total:>6.1}%)", total - prev);
+            println!(
+                "  {label:<12} +{:>6.1}%  (cumulative {total:>6.1}%)",
+                total - prev
+            );
             prev = total;
         }
         println!("  {:<12}  {:>6.1}%", "LP", block[masks.len()]);
@@ -53,8 +56,16 @@ fn suite_report(suite_name: &str, base: &MachineConfig, workloads: &[Workload], 
 fn main() {
     let args = pl_bench::parse_args();
     let single = MachineConfig::default_single_core();
-    print_banner("Figure 9: overhead breakdown by squash source, with LP/EP", &single);
-    suite_report("SPEC17-like", &single, &spec_suite(args.scale), args.threads);
+    print_banner(
+        "Figure 9: overhead breakdown by squash source, with LP/EP",
+        &single,
+    );
+    suite_report(
+        "SPEC17-like",
+        &single,
+        &spec_suite(args.scale),
+        args.threads,
+    );
     let multi = MachineConfig::default_multi_core(args.cores);
     suite_report(
         &format!("Parallel ({} cores)", args.cores),

@@ -20,7 +20,10 @@ use pl_workloads::{parallel_suite, spec_suite};
 fn main() {
     let args = pl_bench::parse_args();
     let single = MachineConfig::default_single_core();
-    print_banner("Extension: invisible speculation (InvisiSpec-class)", &single);
+    print_banner(
+        "Extension: invisible speculation (InvisiSpec-class)",
+        &single,
+    );
 
     let workloads = spec_suite(args.scale);
     let names: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();

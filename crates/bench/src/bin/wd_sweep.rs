@@ -29,11 +29,19 @@ fn suite_sweep(name: &str, base: &MachineConfig, workloads: &[Workload], threads
     // Both W_d points for every scheme go into a single fan-out.
     let jobs: Vec<SweepJob> = DefenseScheme::PROTECTED
         .into_iter()
-        .flat_map(|scheme| [(ep_config(base, scheme, 2), None), (ep_config(base, scheme, 1), None)])
+        .flat_map(|scheme| {
+            [
+                (ep_config(base, scheme, 2), None),
+                (ep_config(base, scheme, 1), None),
+            ]
+        })
         .collect();
     let overheads = geo_overheads(&sweep_cpis(&jobs, workloads, threads), &baselines);
     println!("\n--- {name} ---");
-    println!("{:<8} {:>12} {:>12} {:>10}", "scheme", "Wd=2", "Wd=1", "delta");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10}",
+        "scheme", "Wd=2", "Wd=1", "delta"
+    );
     for (si, scheme) in DefenseScheme::PROTECTED.into_iter().enumerate() {
         let (wd2, wd1) = (overheads[si * 2], overheads[si * 2 + 1]);
         println!(
@@ -50,7 +58,12 @@ fn main() {
     let args = pl_bench::parse_args();
     let single = MachineConfig::default_single_core();
     print_banner("Section 9.2.3: W_d sweep (EP)", &single);
-    suite_sweep("SPEC17-like", &single, &spec_suite(args.scale), args.threads);
+    suite_sweep(
+        "SPEC17-like",
+        &single,
+        &spec_suite(args.scale),
+        args.threads,
+    );
     let multi = MachineConfig::default_multi_core(args.cores);
     suite_sweep(
         &format!("Parallel ({} cores)", args.cores),

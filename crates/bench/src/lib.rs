@@ -118,7 +118,11 @@ pub fn sweep_results(
     });
     let mut flat = flat.into_iter();
     (0..jobs.len())
-        .map(|_| (0..workloads.len()).map(|_| flat.next().expect("full matrix")).collect())
+        .map(|_| {
+            (0..workloads.len())
+                .map(|_| flat.next().expect("full matrix"))
+                .collect()
+        })
         .collect()
 }
 
@@ -159,7 +163,10 @@ impl BaselineCache {
     pub fn prime(&self, workloads: &[Workload], threads: usize) {
         let missing: Vec<&Workload> = {
             let cache = self.cpis.lock().expect("baseline cache lock");
-            workloads.iter().filter(|w| !cache.contains_key(&w.name)).collect()
+            workloads
+                .iter()
+                .filter(|w| !cache.contains_key(&w.name))
+                .collect()
         };
         let fresh = sweep::par_map(threads, &missing, |_, w| {
             self.runs.fetch_add(1, Ordering::Relaxed);
@@ -174,7 +181,12 @@ impl BaselineCache {
     /// The baseline CPI for `workload`, simulating it (once) on a cache
     /// miss.
     pub fn cpi(&self, workload: &Workload) -> f64 {
-        if let Some(&cpi) = self.cpis.lock().expect("baseline cache lock").get(&workload.name) {
+        if let Some(&cpi) = self
+            .cpis
+            .lock()
+            .expect("baseline cache lock")
+            .get(&workload.name)
+        {
             return cpi;
         }
         self.runs.fetch_add(1, Ordering::Relaxed);
@@ -238,14 +250,22 @@ pub fn scheme_matrix_rows(
 ) -> Vec<Vec<Vec<f64>>> {
     let jobs: Vec<SweepJob> = schemes
         .iter()
-        .flat_map(|&s| extension_matrix(base, s).into_iter().map(|(_, cfg)| (cfg, None)))
+        .flat_map(|&s| {
+            extension_matrix(base, s)
+                .into_iter()
+                .map(|(_, cfg)| (cfg, None))
+        })
         .collect();
     let cols = jobs.len() / schemes.len().max(1);
     let per_job = sweep_cpis(&jobs, workloads, threads);
     (0..schemes.len())
         .map(|si| {
             (0..workloads.len())
-                .map(|w| (0..cols).map(|c| per_job[si * cols + c][w] / baselines[w]).collect())
+                .map(|w| {
+                    (0..cols)
+                        .map(|c| per_job[si * cols + c][w] / baselines[w])
+                        .collect()
+                })
                 .collect()
         })
         .collect()
@@ -257,8 +277,7 @@ pub fn geo_overheads(cpis_per_job: &[Vec<f64>], baselines: &[f64]) -> Vec<f64> {
     cpis_per_job
         .iter()
         .map(|cpis| {
-            let normalized: Vec<f64> =
-                cpis.iter().zip(baselines).map(|(c, b)| c / b).collect();
+            let normalized: Vec<f64> = cpis.iter().zip(baselines).map(|(c, b)| c / b).collect();
             overhead_pct(geo_mean(&normalized).expect("positive CPIs"))
         })
         .collect()
@@ -308,11 +327,7 @@ pub fn overhead_pct(normalized_cpi: f64) -> f64 {
 
 /// Prints a full normalized-CPI table for one scheme, with a trailing
 /// geometric-mean row, and returns the geo-mean values.
-pub fn print_scheme_table(
-    scheme: DefenseScheme,
-    names: &[String],
-    rows: &[Vec<f64>],
-) -> Vec<f64> {
+pub fn print_scheme_table(scheme: DefenseScheme, names: &[String], rows: &[Vec<f64>]) -> Vec<f64> {
     println!("\n--- {scheme} (normalized CPI vs Unsafe) ---");
     println!("{}", format_header(&["Comp", "LP", "EP", "Spectre"]));
     for (name, row) in names.iter().zip(rows) {
@@ -347,7 +362,11 @@ pub struct BenchArgs {
 /// worker threads; defaults to `PL_SWEEP_THREADS` or the machine's
 /// available parallelism). Unknown flags abort with a usage message.
 pub fn parse_args() -> BenchArgs {
-    let mut parsed = BenchArgs { scale: Scale::Bench, cores: 8, threads: sweep::default_threads() };
+    let mut parsed = BenchArgs {
+        scale: Scale::Bench,
+        cores: 8,
+        threads: sweep::default_threads(),
+    };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -366,13 +385,10 @@ pub fn parse_args() -> BenchArgs {
             }
             "--cores" => {
                 i += 1;
-                parsed.cores = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--cores requires a number");
-                        std::process::exit(2);
-                    });
+                parsed.cores = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--cores requires a number");
+                    std::process::exit(2);
+                });
             }
             "--threads" => {
                 i += 1;

@@ -22,7 +22,9 @@ pub fn default_threads() -> usize {
             .parse::<usize>()
             .unwrap_or_else(|_| panic!("PL_SWEEP_THREADS={raw} is not a thread count"))
             .max(1),
-        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     }
 }
 
@@ -87,7 +89,9 @@ mod tests {
         let items: Vec<u64> = (0..37).collect();
         let serial = par_map(1, &items, |_, &x| x.wrapping_mul(0x9e37).rotate_left(7));
         for threads in [2, 3, 8, 64] {
-            let parallel = par_map(threads, &items, |_, &x| x.wrapping_mul(0x9e37).rotate_left(7));
+            let parallel = par_map(threads, &items, |_, &x| {
+                x.wrapping_mul(0x9e37).rotate_left(7)
+            });
             assert_eq!(serial, parallel, "diverged at {threads} threads");
         }
     }

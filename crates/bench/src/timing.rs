@@ -9,7 +9,7 @@
 //! so successive runs can be diffed.
 
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// One benchmark's timing summary, in per-iteration nanoseconds.
@@ -53,8 +53,14 @@ impl TimingHarness {
             Self::SAMPLES,
             Self::TARGET_SAMPLE_MS
         );
-        println!("{:<28} {:>12} {:>12} {:>10}", "benchmark", "median", "stddev", "iters");
-        TimingHarness { suite: suite.to_string(), records: Vec::new() }
+        println!(
+            "{:<28} {:>12} {:>12} {:>10}",
+            "benchmark", "median", "stddev", "iters"
+        );
+        TimingHarness {
+            suite: suite.to_string(),
+            records: Vec::new(),
+        }
     }
 
     /// Times `routine` (no per-iteration setup).
@@ -103,7 +109,10 @@ impl TimingHarness {
         per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
         let median = per_iter[per_iter.len() / 2];
         let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
-        let var = per_iter.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>()
+        let var = per_iter
+            .iter()
+            .map(|t| (t - mean) * (t - mean))
+            .sum::<f64>()
             / per_iter.len() as f64;
         let record = BenchRecord {
             name: name.to_string(),
@@ -127,12 +136,24 @@ impl TimingHarness {
 
     /// Writes `results/bench_<suite>.json` (honoring `PL_BENCH_OUT` as an
     /// alternative output directory) and returns the path.
+    ///
+    /// This is the *only* place the harness consults the environment; it
+    /// resolves the directory once and delegates to
+    /// [`TimingHarness::finish_in`]. Tests and embedders that need a
+    /// specific output directory call `finish_in` directly instead of
+    /// mutating the process-global environment.
     pub fn finish(self) -> std::io::Result<PathBuf> {
         let dir = match std::env::var("PL_BENCH_OUT") {
             Ok(d) => PathBuf::from(d),
             Err(_) => PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results")),
         };
-        std::fs::create_dir_all(&dir)?;
+        self.finish_in(&dir)
+    }
+
+    /// Writes `bench_<suite>.json` into `dir` (created if missing) and
+    /// returns the path. Environment-independent.
+    pub fn finish_in(self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("bench_{}.json", self.suite));
         let mut f = std::fs::File::create(&path)?;
         writeln!(f, "{{")?;
@@ -205,11 +226,7 @@ mod tests {
     #[test]
     fn setup_is_excluded_from_measurement() {
         let mut h = TimingHarness::new("selftest_setup");
-        h.bench_with_setup(
-            "sum_vec",
-            || vec![1u64; 512],
-            |v| v.iter().sum::<u64>(),
-        );
+        h.bench_with_setup("sum_vec", || vec![1u64; 512], |v| v.iter().sum::<u64>());
         let r = &h.records()[0];
         // Summing 512 u64s takes well under the ~40us building+freeing
         // thousands of vectors would; the bound just catches gross
@@ -219,13 +236,14 @@ mod tests {
 
     #[test]
     fn json_report_is_written() {
+        // `finish_in` takes the directory as a parameter, so the test
+        // never mutates the process-global environment (tests run
+        // concurrently; `env::set_var` here raced other harness users).
         let dir = std::env::temp_dir().join("pl_bench_timing_test");
         let _ = std::fs::remove_dir_all(&dir);
-        std::env::set_var("PL_BENCH_OUT", &dir);
         let mut h = TimingHarness::new("jsontest");
         h.bench("noop", || 1u8);
-        let path = h.finish().unwrap();
-        std::env::remove_var("PL_BENCH_OUT");
+        let path = h.finish_in(&dir).unwrap();
         let body = std::fs::read_to_string(path).unwrap();
         assert!(body.contains("\"suite\": \"jsontest\""));
         assert!(body.contains("\"name\": \"noop\""));

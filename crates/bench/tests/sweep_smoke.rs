@@ -5,9 +5,10 @@
 //! workload per sweep. Both are load-bearing acceptance criteria, so
 //! they get end-to-end coverage here on a small config×workload matrix.
 
-use pl_base::{DefenseScheme, MachineConfig};
+use pl_base::{DefenseScheme, MachineConfig, TraceConfig};
 use pl_bench::{
-    extension_matrix, sweep_cpis, unsafe_config, BaselineCache, SweepJob,
+    extension_matrix, run_workload, sweep_cpis, sweep_results, unsafe_config, BaselineCache,
+    SweepJob,
 };
 use pl_workloads::{spec_suite, Scale, Workload};
 
@@ -21,9 +22,17 @@ fn small_suite() -> Vec<Workload> {
 /// Bit-level equality, not approximate: the parallel path must not even
 /// reorder floating-point reductions relative to serial.
 fn assert_bits_equal(serial: &[Vec<f64>], parallel: &[Vec<f64>], threads: usize) {
-    assert_eq!(serial.len(), parallel.len(), "job count diverged at {threads} threads");
+    assert_eq!(
+        serial.len(),
+        parallel.len(),
+        "job count diverged at {threads} threads"
+    );
     for (s_row, p_row) in serial.iter().zip(parallel) {
-        assert_eq!(s_row.len(), p_row.len(), "row length diverged at {threads} threads");
+        assert_eq!(
+            s_row.len(),
+            p_row.len(),
+            "row length diverged at {threads} threads"
+        );
         for (s, p) in s_row.iter().zip(p_row) {
             assert_eq!(
                 s.to_bits(),
@@ -73,6 +82,77 @@ fn baseline_runs_exactly_once_per_workload() {
 }
 
 #[test]
+fn traced_sweep_is_bit_identical_across_threads() {
+    // The merged event log is part of the RunResult; like the CPIs it
+    // must not depend on how the sweep was scheduled. TraceLog equality
+    // is structural (every record, in order), so this is bit-level.
+    let mut base = MachineConfig::default_single_core();
+    base.trace = TraceConfig::enabled();
+    let workloads: Vec<Workload> = small_suite().into_iter().take(2).collect();
+    let jobs: Vec<SweepJob> = vec![
+        (unsafe_config(&base), None),
+        (
+            extension_matrix(&base, DefenseScheme::Fence).remove(2).1,
+            None,
+        ), // EP
+    ];
+    let serial = sweep_results(&jobs, &workloads, 1);
+    for threads in [2, 8] {
+        let parallel = sweep_results(&jobs, &workloads, threads);
+        for (s_row, p_row) in serial.iter().zip(&parallel) {
+            for (s, p) in s_row.iter().zip(p_row) {
+                let s_log = s.trace.as_ref().expect("traced run");
+                let p_log = p.trace.as_ref().expect("traced run");
+                assert!(!s_log.records.is_empty(), "traced run produced events");
+                assert_eq!(s_log, p_log, "trace diverged at {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn chrome_trace_export_is_parseable_with_monotonic_timestamps() {
+    use std::collections::HashMap;
+
+    let mut cfg = unsafe_config(&MachineConfig::default_single_core());
+    cfg.trace = TraceConfig::enabled();
+    let w = small_suite().remove(0);
+    let res = run_workload(&cfg, &w);
+    let log = res.trace.expect("traced run");
+    let text = log.chrome_trace();
+
+    let root = pl_trace::json::parse(&text).expect("exporter emits valid JSON");
+    let events = root
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array present");
+    assert!(!events.is_empty());
+
+    // Per (pid, tid) track, "X" event timestamps must be monotonically
+    // non-decreasing — the contract chrome://tracing relies on.
+    let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
+    let mut durable = 0usize;
+    for e in events {
+        let ph = e.get("ph").and_then(|v| v.as_str()).expect("event has ph");
+        if ph != "X" {
+            continue;
+        }
+        durable += 1;
+        let pid = e.get("pid").and_then(|v| v.as_f64()).expect("pid") as u64;
+        let tid = e.get("tid").and_then(|v| v.as_f64()).expect("tid") as u64;
+        let ts = e.get("ts").and_then(|v| v.as_f64()).expect("ts");
+        if let Some(&prev) = last_ts.get(&(pid, tid)) {
+            assert!(
+                ts >= prev,
+                "track ({pid},{tid}) went backwards: {prev} -> {ts}"
+            );
+        }
+        last_ts.insert((pid, tid), ts);
+    }
+    assert!(durable > 0, "export contains duration events");
+}
+
+#[test]
 fn priming_across_thread_counts_is_deterministic() {
     let base = MachineConfig::default_single_core();
     let workloads = small_suite();
@@ -81,6 +161,11 @@ fn priming_across_thread_counts_is_deterministic() {
     let parallel = BaselineCache::new(&base);
     parallel.prime(&workloads, 4);
     for w in &workloads {
-        assert_eq!(serial.cpi(w).to_bits(), parallel.cpi(w).to_bits(), "{}", w.name);
+        assert_eq!(
+            serial.cpi(w).to_bits(),
+            parallel.cpi(w).to_bits(),
+            "{}",
+            w.name
+        );
     }
 }

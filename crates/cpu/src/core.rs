@@ -19,10 +19,13 @@ use std::sync::Arc;
 
 use pl_base::{Addr, CoreId, Cycle, LineAddr, MachineConfig, PinMode, SeqNum, Stats};
 use pl_isa::{Inst, Operand, Pc, Program, Reg};
-use pl_mem::{home_slice, Cache, DataGrant, Memory, Mesi, MshrFile, Msg, NodeId, WbState, WriteBuffer};
+use pl_mem::{
+    home_slice, Cache, DataGrant, Memory, Mesi, Msg, MshrFile, NodeId, WbState, WriteBuffer,
+};
 use pl_predictor::BranchPredictor;
 use pl_secure::scheme::LoadContext;
 use pl_secure::{IssuePolicy, PinGovernor, PinState, TaintTracker, VpMask, VpStatus};
+use pl_trace::{EventKind, TraceSource, Tracer};
 
 use crate::dyninst::{DynInst, LqEntry, PredInfo, SqEntry, Stage};
 
@@ -123,6 +126,9 @@ pub struct Core {
     /// VP-condition aggregates, recomputed once per cycle.
     aggr: Aggregates,
     outbox: Vec<(NodeId, Msg)>,
+    /// Pipeline event tracer; disabled (zero-cost) unless
+    /// `cfg.trace.enabled` is set.
+    tracer: Tracer,
     stats: Stats,
     halted: bool,
     retired: u64,
@@ -136,8 +142,14 @@ impl Core {
     /// Panics if the configuration is invalid; call
     /// [`MachineConfig::validate`] first.
     pub fn new(id: CoreId, cfg: &MachineConfig, program: Arc<Program>) -> Core {
-        cfg.validate().expect("core requires a valid machine configuration");
+        cfg.validate()
+            .expect("core requires a valid machine configuration");
         let vp_mask = VpMask::from(cfg.threat_model);
+        let trace_cap = cfg.trace.capacity();
+        let mut l1 = Cache::new(&cfg.mem.l1d);
+        l1.enable_trace(TraceSource::CoreL1(id.0), trace_cap);
+        let mut governor = PinGovernor::new(cfg);
+        governor.enable_trace(id.0, trace_cap);
         Core {
             id,
             cfg: cfg.clone(),
@@ -157,16 +169,17 @@ impl Core {
             sq: Vec::new(),
             wb: WriteBuffer::new(cfg.core.write_buffer_entries),
             wb_needs_unblock: false,
-            l1: Cache::new(&cfg.mem.l1d),
+            l1,
             mshrs: MshrFile::new(cfg.mem.l1d.mshr_entries),
             pending_installs: Vec::new(),
             read_retries: Vec::new(),
-            governor: PinGovernor::new(cfg),
+            governor,
             taint: TaintTracker::new(),
             atomic: AtomicTxn::default(),
             arch_call_stack: Vec::new(),
             aggr: Aggregates::default(),
             outbox: Vec::new(),
+            tracer: Tracer::new(TraceSource::Core(id.0), trace_cap),
             stats: Stats::new(),
             halted: false,
             retired: 0,
@@ -213,6 +226,13 @@ impl Core {
     /// The pinning governor (pin statistics, CPT state).
     pub fn governor(&self) -> &PinGovernor {
         &self.governor
+    }
+
+    /// The tracers owned by this core, in canonical merge order:
+    /// pipeline, private L1, pin governor. All are disabled (and empty)
+    /// unless the machine configuration enabled tracing.
+    pub fn tracers(&self) -> [&Tracer; 3] {
+        [&self.tracer, self.l1.tracer(), self.governor.tracer()]
     }
 
     /// Sets an architectural register before the program starts, used by
@@ -264,7 +284,11 @@ impl Core {
             );
         }
         if self.atomic.active {
-            let _ = write!(s, " atomic=[{} retry={}]", self.atomic.line, self.atomic.waiting_retry);
+            let _ = write!(
+                s,
+                " atomic=[{} retry={}]",
+                self.atomic.line, self.atomic.waiting_retry
+            );
         }
         let mshr_lines: Vec<String> = self.mshrs.lines().map(|l| l.to_string()).collect();
         if !mshr_lines.is_empty() {
@@ -296,20 +320,34 @@ impl Core {
     /// Processes one message delivered by the interconnect.
     pub fn handle_msg(&mut self, msg: Msg, now: Cycle, image: &mut Memory) {
         match msg {
-            Msg::Data { line, grant, acks_expected } => {
-                self.on_data(line, grant, acks_expected, now, image)
-            }
+            Msg::Data {
+                line,
+                grant,
+                acks_expected,
+            } => self.on_data(line, grant, acks_expected, now, image),
             Msg::OwnerData { line, grant, .. } => self.on_owner_data(line, grant, now, image),
-            Msg::Inv { line, requester, star } => self.on_inv(line, requester, star, now),
+            Msg::Inv {
+                line,
+                requester,
+                star,
+            } => self.on_inv(line, requester, star, now),
             Msg::FwdGetS { line, requester } => self.on_fwd_gets(line, requester),
-            Msg::FwdGetX { line, requester, star } => self.on_fwd_getx(line, requester, star, now),
+            Msg::FwdGetX {
+                line,
+                requester,
+                star,
+            } => self.on_fwd_getx(line, requester, star, now),
             Msg::BackInv { line, slice } => self.on_back_inv(line, slice, now),
             Msg::Clear { line } => self.governor.on_clear(line),
             Msg::Nack { line, was_write } => self.on_nack(line, was_write, now),
             Msg::InvAck { line, .. } => self.on_inv_ack(line, false, now, image),
             Msg::InvDefer { line, .. } => self.on_inv_ack(line, true, now, image),
             other => {
-                debug_assert!(false, "core {} received unexpected message {other}", self.id);
+                debug_assert!(
+                    false,
+                    "core {} received unexpected message {other}",
+                    self.id
+                );
             }
         }
     }
@@ -423,7 +461,12 @@ impl Core {
             )
         } else {
             let Some(head) = self.wb.head() else { return };
-            (head.have_data, head.acks_pending, head.saw_defer, self.wb_needs_unblock)
+            (
+                head.have_data,
+                head.acks_pending,
+                head.saw_defer,
+                self.wb_needs_unblock,
+            )
         };
         // For the FwdGetX path a defer arrives without data; treat the
         // defer itself as terminal once no acks remain.
@@ -438,8 +481,15 @@ impl Core {
         if saw_defer {
             // A sharer pinned the line: abort at the directory, retry with
             // GetX* after a backoff (Figure 5a).
-            self.send(self.home(line), Msg::Abort { line, from: self.id });
+            self.send(
+                self.home(line),
+                Msg::Abort {
+                    line,
+                    from: self.id,
+                },
+            );
             self.stats.incr("wb.writes_retried");
+            self.tracer.emit(EventKind::WriteAborted { line });
             if is_atomic {
                 self.atomic.use_star = true;
                 self.atomic.have_data = false;
@@ -473,12 +523,25 @@ impl Core {
             // Section 5.1.1: the cache is not invalidated, the load is not
             // squashed, and a Defer is sent to the writer.
             self.stats.incr("l1.invs_deferred");
-            self.send(NodeId::Core(requester), Msg::InvDefer { line, from: self.id });
+            self.tracer.emit(EventKind::InvDeferred { line });
+            self.send(
+                NodeId::Core(requester),
+                Msg::InvDefer {
+                    line,
+                    from: self.id,
+                },
+            );
             return;
         }
         self.squash_tso_loads(line, "squash.mcv_inv", now);
         self.l1.invalidate(line);
-        self.send(NodeId::Core(requester), Msg::InvAck { line, from: self.id });
+        self.send(
+            NodeId::Core(requester),
+            Msg::InvAck {
+                line,
+                from: self.id,
+            },
+        );
     }
 
     fn on_fwd_gets(&mut self, line: LineAddr, requester: CoreId) {
@@ -492,8 +555,22 @@ impl Core {
             }
             None => false,
         };
-        self.send(NodeId::Core(requester), Msg::OwnerData { line, grant: DataGrant::Shared, from: self.id });
-        self.send(self.home(line), Msg::CopyBack { line, from: self.id, dirty });
+        self.send(
+            NodeId::Core(requester),
+            Msg::OwnerData {
+                line,
+                grant: DataGrant::Shared,
+                from: self.id,
+            },
+        );
+        self.send(
+            self.home(line),
+            Msg::CopyBack {
+                line,
+                from: self.id,
+                dirty,
+            },
+        );
     }
 
     fn on_fwd_getx(&mut self, line: LineAddr, requester: CoreId, star: bool, now: Cycle) {
@@ -502,26 +579,51 @@ impl Core {
         }
         if self.governor.is_line_pinned(line) {
             self.stats.incr("l1.invs_deferred");
-            self.send(NodeId::Core(requester), Msg::InvDefer { line, from: self.id });
+            self.tracer.emit(EventKind::InvDeferred { line });
+            self.send(
+                NodeId::Core(requester),
+                Msg::InvDefer {
+                    line,
+                    from: self.id,
+                },
+            );
             return;
         }
         self.squash_tso_loads(line, "squash.mcv_inv", now);
         self.l1.invalidate(line);
         self.send(
             NodeId::Core(requester),
-            Msg::OwnerData { line, grant: DataGrant::Modified, from: self.id },
+            Msg::OwnerData {
+                line,
+                grant: DataGrant::Modified,
+                from: self.id,
+            },
         );
     }
 
     fn on_back_inv(&mut self, line: LineAddr, slice: usize, now: Cycle) {
         if self.governor.is_line_pinned(line) {
             self.stats.incr("l1.back_invs_deferred");
-            self.send(NodeId::Slice(slice), Msg::BackInvDefer { line, from: self.id });
+            self.tracer.emit(EventKind::InvDeferred { line });
+            self.send(
+                NodeId::Slice(slice),
+                Msg::BackInvDefer {
+                    line,
+                    from: self.id,
+                },
+            );
             return;
         }
         self.squash_tso_loads(line, "squash.mcv_evict", now);
         let dirty = self.l1.invalidate(line) == Some(Mesi::Modified);
-        self.send(NodeId::Slice(slice), Msg::BackInvAck { line, from: self.id, dirty });
+        self.send(
+            NodeId::Slice(slice),
+            Msg::BackInvAck {
+                line,
+                from: self.id,
+                dirty,
+            },
+        );
     }
 
     fn on_nack(&mut self, line: LineAddr, was_write: bool, now: Cycle) {
@@ -574,10 +676,18 @@ impl Core {
         });
         if let Some(v) = victim {
             let seq = v.seq;
-            debug_assert_eq!(v.pin, PinState::Unpinned, "pending loads have not performed");
-            let pc = self.rob_entry(seq).map(|e| e.pc).expect("squashed load is in the ROB");
+            debug_assert_eq!(
+                v.pin,
+                PinState::Unpinned,
+                "pending loads have not performed"
+            );
+            let pc = self
+                .rob_entry(seq)
+                .map(|e| e.pc)
+                .expect("squashed load is in the ROB");
             self.stats.incr(counter);
-            self.squash_from(seq, pc, now);
+            let cause = counter.strip_prefix("squash.").unwrap_or(counter);
+            self.squash_from(seq, pc, cause, now);
         }
     }
 
@@ -615,7 +725,9 @@ impl Core {
     /// denial. Returns `false` if every victim in the set is pinned.
     fn try_install(&mut self, line: LineAddr, state: Mesi, now: Cycle) -> bool {
         let governor = &self.governor;
-        let result = self.l1.insert(line, state, |victim, _| !governor.is_line_pinned(victim));
+        let result = self
+            .l1
+            .insert(line, state, |victim, _| !governor.is_line_pinned(victim));
         match result {
             Ok(None) => true,
             Ok(Some((victim, victim_state))) => {
@@ -624,9 +736,15 @@ impl Core {
                 self.squash_tso_loads(victim, "squash.mcv_evict", now);
                 self.stats.incr("l1.evictions");
                 let msg = if victim_state == Mesi::Modified {
-                    Msg::PutM { line: victim, from: self.id }
+                    Msg::PutM {
+                        line: victim,
+                        from: self.id,
+                    }
                 } else {
-                    Msg::PutS { line: victim, from: self.id }
+                    Msg::PutS {
+                        line: victim,
+                        from: self.id,
+                    }
                 };
                 self.send(self.home(victim), msg);
                 true
@@ -660,7 +778,13 @@ impl Core {
                 image.write(head.addr, head.value);
                 self.stats.incr("wb.merges");
                 if needs_unblock {
-                    self.send(self.home(line), Msg::Unblock { line, from: self.id });
+                    self.send(
+                        self.home(line),
+                        Msg::Unblock {
+                            line,
+                            from: self.id,
+                        },
+                    );
                 }
                 self.wb_needs_unblock = false;
                 self.promote_pending_pins(line);
@@ -668,7 +792,13 @@ impl Core {
             InstallAction::AtomicFinish { needs_unblock } => {
                 self.finish_atomic(now, image);
                 if needs_unblock {
-                    self.send(self.home(line), Msg::Unblock { line, from: self.id });
+                    self.send(
+                        self.home(line),
+                        Msg::Unblock {
+                            line,
+                            from: self.id,
+                        },
+                    );
                 }
             }
         }
@@ -695,6 +825,11 @@ impl Core {
             self.stats.sample("occ.lq", self.lq.len() as u64);
             self.stats.sample("occ.wb", self.wb.len() as u64);
         }
+        if self.tracer.enabled() {
+            self.tracer.set_now(now);
+            self.l1.tracer_mut().set_now(now);
+            self.governor.tracer_mut().set_now(now);
+        }
         self.retry_pending_installs(now, image);
         self.retry_reads(now);
         self.commit(now, image);
@@ -705,6 +840,7 @@ impl Core {
             self.propagate_taint();
         }
         self.pin_pass(now);
+        self.trace_vp_conditions();
         self.complete_executing(now, image);
         self.issue(now, image);
         self.dispatch(now);
@@ -713,8 +849,10 @@ impl Core {
 
     fn retry_pending_installs(&mut self, now: Cycle, image: &mut Memory) {
         let due: Vec<PendingInstall> = {
-            let (due, rest): (Vec<_>, Vec<_>) =
-                self.pending_installs.drain(..).partition(|p| p.retry_at <= now);
+            let (due, rest): (Vec<_>, Vec<_>) = self
+                .pending_installs
+                .drain(..)
+                .partition(|p| p.retry_at <= now);
             self.pending_installs = rest;
             due
         };
@@ -735,7 +873,13 @@ impl Core {
         });
         for line in due {
             if self.mshrs.contains(line) {
-                self.send(self.home(line), Msg::GetS { line, requester: self.id });
+                self.send(
+                    self.home(line),
+                    Msg::GetS {
+                        line,
+                        requester: self.id,
+                    },
+                );
             }
         }
     }
@@ -758,8 +902,10 @@ impl Core {
             if matches!(inst, Inst::Store { .. }) {
                 let entry = self.sq.first().expect("retiring store has an SQ entry");
                 debug_assert_eq!(entry.seq, seq);
-                let (addr, data) =
-                    (entry.addr.expect("resolved store"), entry.data.expect("resolved store"));
+                let (addr, data) = (
+                    entry.addr.expect("resolved store"),
+                    entry.data.expect("resolved store"),
+                );
                 if self.wb.push(addr, data).is_err() {
                     self.stats.incr("stall.wb_full");
                     break;
@@ -801,8 +947,13 @@ impl Core {
             self.taint.clear(seq);
             self.rob.pop_front();
             self.retired += 1;
+            self.tracer.emit(EventKind::Retire {
+                seq,
+                pc: pc.0 as u64,
+            });
             self.stats.incr("retired");
-            self.stats.sample("rob.commit_latency", now.since(head_dispatched));
+            self.stats
+                .sample("rob.commit_latency", now.since(head_dispatched));
             if self.halted {
                 break;
             }
@@ -831,7 +982,11 @@ impl Core {
                 } else {
                     self.send(
                         self.home(line),
-                        Msg::GetX { line, requester: self.id, star: use_star },
+                        Msg::GetX {
+                            line,
+                            requester: self.id,
+                            star: use_star,
+                        },
                     );
                     let head = self.wb.head_mut().expect("head still present");
                     head.state = WbState::Requested;
@@ -865,7 +1020,11 @@ impl Core {
                 let line = self.atomic.line;
                 self.send(
                     self.home(line),
-                    Msg::GetX { line, requester: self.id, star: self.atomic.use_star },
+                    Msg::GetX {
+                        line,
+                        requester: self.id,
+                        star: self.atomic.use_star,
+                    },
                 );
             }
             return;
@@ -905,7 +1064,14 @@ impl Core {
                 waiting_retry: false,
                 retry_at: Cycle::ZERO,
             };
-            self.send(self.home(line), Msg::GetX { line, requester: self.id, star: false });
+            self.send(
+                self.home(line),
+                Msg::GetX {
+                    line,
+                    requester: self.id,
+                    star: false,
+                },
+            );
         }
     }
 
@@ -1055,14 +1221,18 @@ impl Core {
                 }
                 PinMode::Late => {
                     let e = &self.lq[i];
-                    if e.performed() && !e.forwarded && self.l1.peek(line).is_some_and(|s| s.readable())
+                    if e.performed()
+                        && !e.forwarded
+                        && self.l1.peek(line).is_some_and(|s| s.readable())
                     {
                         self.lq[i].pin = PinState::Pinned;
                         self.governor.record_pin(line);
                         continue;
                     }
                     if e.waiting_fill {
+                        let seq = e.seq;
                         self.lq[i].pin = PinState::Pending;
+                        self.tracer.emit(EventKind::PinPending { seq, line });
                         break;
                     }
                     // Not yet issued: the issue stage will send it out
@@ -1089,9 +1259,15 @@ impl Core {
                 let addr_known = if e.inst.is_atomic() {
                     e.completed()
                 } else if e.inst.is_load() {
-                    self.lq.iter().find(|l| l.seq == e.seq).is_some_and(|l| l.addr.is_some())
+                    self.lq
+                        .iter()
+                        .find(|l| l.seq == e.seq)
+                        .is_some_and(|l| l.addr.is_some())
                 } else {
-                    self.sq.iter().find(|s| s.seq == e.seq).is_some_and(|s| s.addr.is_some())
+                    self.sq
+                        .iter()
+                        .find(|s| s.seq == e.seq)
+                        .is_some_and(|s| s.addr.is_some())
                 };
                 if !addr_known {
                     if a.oldest_unknown_mem_addr.is_none() {
@@ -1140,14 +1316,51 @@ impl Core {
         status
     }
 
+    /// Trace-only LQ scan: attributes each load's VP progress to the
+    /// first still-blocking condition and emits `VpBlocked` on every
+    /// blocker transition and `VpClear` once the VP is reached. Runs only
+    /// with tracing enabled; the simulated pipeline never reads the
+    /// attribution fields.
+    fn trace_vp_conditions(&mut self) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let aggr = self.aggr;
+        for i in 0..self.lq.len() {
+            let status = self.vp_status_for(i, &aggr);
+            let blocker = self.vp_mask.blocking_condition(status);
+            let seq = self.lq[i].seq;
+            match blocker {
+                Some(b) => {
+                    if self.lq[i].vp_blocker != Some(b) {
+                        self.lq[i].vp_blocker = Some(b);
+                        self.tracer.emit(EventKind::VpBlocked { seq, blocker: b });
+                    }
+                    // A cleared load can re-block (e.g. a younger check
+                    // after a partial squash); let a later clear re-fire.
+                    self.lq[i].vp_clear_traced = false;
+                }
+                None => {
+                    if !self.lq[i].vp_clear_traced {
+                        self.lq[i].vp_clear_traced = true;
+                        let last = self.lq[i].vp_blocker.unwrap_or("none");
+                        self.tracer.emit(EventKind::VpClear { seq, blocker: last });
+                    }
+                }
+            }
+        }
+    }
+
     // ---- execute completion ----
 
     fn complete_executing(&mut self, now: Cycle, _image: &mut Memory) {
         let mut resolutions: Vec<SeqNum> = Vec::new();
+        let tracer = &mut self.tracer;
         for e in self.rob.iter_mut() {
             if let Stage::Executing { done_at } = e.stage {
                 if done_at <= now {
                     e.stage = Stage::Completed;
+                    tracer.emit(EventKind::Complete { seq: e.seq });
                     if e.inst.is_control() || matches!(e.inst, Inst::Store { .. }) {
                         resolutions.push(e.seq);
                     }
@@ -1171,9 +1384,17 @@ impl Core {
         let e = self.rob_entry(seq).expect("resolving control in ROB");
         let pc = e.pc;
         let inst = e.inst;
-        let pred = e.pred.clone().expect("control instructions carry predictions");
+        let pred = e
+            .pred
+            .clone()
+            .expect("control instructions carry predictions");
         let (actual_taken, actual_target) = match inst {
-            Inst::Branch { cond, src1, src2, target } => {
+            Inst::Branch {
+                cond,
+                src1,
+                src2,
+                target,
+            } => {
                 let a = self.operand_value(seq, src1);
                 let b = self.operand_value(seq, src2);
                 let taken = cond.eval(a, b);
@@ -1185,14 +1406,19 @@ impl Core {
         };
         let mispredicted = pred.target != actual_target;
         if inst.is_cond_branch() {
-            self.bp.update_cond(pc, actual_taken, pred.taken, &pred.checkpoint);
+            self.bp
+                .update_cond(pc, actual_taken, pred.taken, &pred.checkpoint);
         }
         self.bp.update_target(pc, actual_target);
         if mispredicted {
             self.stats.incr("squash.branch");
             self.bp.recover(
                 &pred.checkpoint,
-                if inst.is_cond_branch() { Some(actual_taken) } else { None },
+                if inst.is_cond_branch() {
+                    Some(actual_taken)
+                } else {
+                    None
+                },
             );
             if inst == Inst::Ret {
                 // Re-apply the ret's own pop on the restored RAS.
@@ -1201,13 +1427,15 @@ impl Core {
             if matches!(inst, Inst::Call { .. }) {
                 self.bp.push_return(pc.next());
             }
-            self.squash_from(seq.next(), actual_target, now);
+            self.squash_from(seq.next(), actual_target, "branch", now);
             self.fetch_stalled_until = now + self.cfg.core.mispredict_penalty;
         }
     }
 
     fn resolve_store(&mut self, seq: SeqNum, now: Cycle) {
-        let Some(entry) = self.sq.iter().find(|s| s.seq == seq) else { return };
+        let Some(entry) = self.sq.iter().find(|s| s.seq == seq) else {
+            return;
+        };
         let Some(addr) = entry.addr else { return };
         let word = addr.raw() >> 3;
         // Memory-order violation: a younger load already performed against
@@ -1227,7 +1455,7 @@ impl Core {
             debug_assert_eq!(v.pin, PinState::Unpinned, "pinned loads are never squashed");
             let pc = self.rob_entry(vseq).expect("victim load is in ROB").pc;
             self.stats.incr("squash.alias");
-            self.squash_from(vseq, pc, now);
+            self.squash_from(vseq, pc, "alias", now);
             self.fetch_stalled_until = now + 3;
         }
     }
@@ -1248,7 +1476,10 @@ impl Core {
                 _ => {}
             }
         }
-        stack.last().copied().unwrap_or_else(|| Pc(self.program.len()))
+        stack
+            .last()
+            .copied()
+            .unwrap_or_else(|| Pc(self.program.len()))
     }
 
     // ---- issue ----
@@ -1288,7 +1519,9 @@ impl Core {
                     // Driven by step_atomic at the head.
                 }
                 Inst::Alu { op, src1, src2, .. } => {
-                    let Some(a) = self.try_operand(seq, src1) else { continue };
+                    let Some(a) = self.try_operand(seq, src1) else {
+                        continue;
+                    };
                     let b = match src2 {
                         Operand::Reg(r) => match self.try_operand(seq, r) {
                             Some(v) => v,
@@ -1326,7 +1559,9 @@ impl Core {
                     if self.lq[lq_idx].addr.is_some() {
                         continue;
                     }
-                    let Some(b) = self.try_operand(seq, base) else { continue };
+                    let Some(b) = self.try_operand(seq, base) else {
+                        continue;
+                    };
                     let offset = match inst {
                         Inst::Load { offset, .. } => offset,
                         _ => unreachable!(),
@@ -1410,9 +1645,14 @@ impl Core {
             let l1_hit = self.l1.peek(line).is_some_and(|s| s.readable());
             let tainted = self.policy.tracks_taint()
                 && self.rob_entry(seq).is_some_and(|d| {
-                    self.taint.any_tainted(d.srcs.iter().filter_map(|&(_, p)| p))
+                    self.taint
+                        .any_tainted(d.srcs.iter().filter_map(|&(_, p)| p))
                 });
-            let ctx = LoadContext { vp_reached, l1_hit, address_tainted: tainted };
+            let ctx = LoadContext {
+                vp_reached,
+                l1_hit,
+                address_tainted: tainted,
+            };
             if let Err(block) = self.policy.may_issue(ctx) {
                 let key = match block {
                     pl_secure::scheme::IssueBlock::WaitVp => "stall.vp",
@@ -1467,10 +1707,13 @@ impl Core {
                         + 2 * self.cfg.mem.hop_latency
                         + self.cfg.mem.dram_latency
                 };
+                self.tracer.emit(EventKind::IssueLoad { seq, line, l1_hit });
                 self.perform_load(i, v, false, None, now, false);
                 self.lq[i].invisible = true;
                 if let Some(d) = self.rob_entry_mut(seq) {
-                    d.stage = Stage::Executing { done_at: now + latency };
+                    d.stage = Stage::Executing {
+                        done_at: now + latency,
+                    };
                 }
                 self.stats.incr("loads.invisible");
                 ports -= 1;
@@ -1480,12 +1723,22 @@ impl Core {
                 self.l1.touch(line);
                 let v = image.read(addr);
                 self.stats.incr("l1.hits");
+                self.tracer.emit(EventKind::IssueLoad {
+                    seq,
+                    line,
+                    l1_hit: true,
+                });
                 self.perform_load(i, v, false, None, now, !vp_reached);
                 ports -= 1;
             } else {
                 match self.mshrs.allocate(line, seq, false) {
                     Ok(primary) => {
                         self.stats.incr("l1.misses");
+                        self.tracer.emit(EventKind::IssueLoad {
+                            seq,
+                            line,
+                            l1_hit: false,
+                        });
                         self.lq[i].waiting_fill = true;
                         if self.governor.mode() == PinMode::Late
                             && self.lq[i].pin == PinState::Unpinned
@@ -1503,9 +1756,16 @@ impl Core {
                             && self.pin_eligible_base(i, &aggr)
                         {
                             self.lq[i].pin = PinState::Pending;
+                            self.tracer.emit(EventKind::PinPending { seq, line });
                         }
                         if primary {
-                            self.send(self.home(line), Msg::GetS { line, requester: self.id });
+                            self.send(
+                                self.home(line),
+                                Msg::GetS {
+                                    line,
+                                    requester: self.id,
+                                },
+                            );
                             self.prefetch_after(line);
                         }
                         ports -= 1;
@@ -1536,7 +1796,13 @@ impl Core {
                     self.stats.incr("l1.misses");
                     self.lq[i].exposing = true;
                     if primary {
-                        self.send(self.home(line), Msg::GetS { line, requester: self.id });
+                        self.send(
+                            self.home(line),
+                            Msg::GetS {
+                                line,
+                                requester: self.id,
+                            },
+                        );
                         self.prefetch_after(line);
                     }
                 }
@@ -1561,7 +1827,7 @@ impl Core {
         } else {
             let pc = self.rob_entry(seq).expect("load in ROB").pc;
             self.stats.incr("squash.validation");
-            self.squash_from(seq, pc, now);
+            self.squash_from(seq, pc, "validation", now);
         }
     }
 
@@ -1575,13 +1841,18 @@ impl Core {
                 return; // leave headroom for demand misses
             }
             let next = LineAddr::from_line_number(line.raw().wrapping_add(d as u64));
-            if self.l1.peek(next).is_some() || self.mshrs.contains(next) || self.wb.has_line(next)
-            {
+            if self.l1.peek(next).is_some() || self.mshrs.contains(next) || self.wb.has_line(next) {
                 continue;
             }
             if self.mshrs.allocate(next, SeqNum(u64::MAX), false) == Ok(true) {
                 self.stats.incr("l1.prefetches");
-                self.send(self.home(next), Msg::GetS { line: next, requester: self.id });
+                self.send(
+                    self.home(next),
+                    Msg::GetS {
+                        line: next,
+                        requester: self.id,
+                    },
+                );
             }
         }
     }
@@ -1613,15 +1884,21 @@ impl Core {
         if self.policy.tracks_taint() && pre_vp {
             self.taint.mark(seq);
         }
+        self.tracer
+            .emit(EventKind::LoadPerformed { seq, forwarded });
         if let Some(d) = self.rob_entry_mut(seq) {
             d.result = Some(value);
-            d.stage = Stage::Executing { done_at: now + hit_latency };
+            d.stage = Stage::Executing {
+                done_at: now + hit_latency,
+            };
         }
     }
 
     /// Performs a load that was waiting on a fill that just installed.
     fn perform_waiting_load(&mut self, seq: SeqNum, now: Cycle, image: &mut Memory) {
-        let Some(i) = self.lq.iter().position(|l| l.seq == seq) else { return };
+        let Some(i) = self.lq.iter().position(|l| l.seq == seq) else {
+            return;
+        };
         if self.lq[i].exposing {
             // InvisiSpec exposure fill arrived: validate the bound value.
             self.validate_exposed(i, now, image);
@@ -1670,8 +1947,12 @@ impl Core {
 
     /// Returns `true` once every source operand of `seq` is ready.
     fn operands_ready(&self, seq: SeqNum) -> bool {
-        let Some(e) = self.rob_entry(seq) else { return false };
-        e.srcs.iter().all(|&(r, _)| self.try_operand(seq, r).is_some())
+        let Some(e) = self.rob_entry(seq) else {
+            return false;
+        };
+        e.srcs
+            .iter()
+            .all(|&(r, _)| self.try_operand(seq, r).is_some())
     }
 
     /// The current value of `reg` as seen by instruction `seq`, or `None`
@@ -1696,7 +1977,8 @@ impl Core {
     /// Like [`Core::try_operand`] but panics if unready; used at
     /// resolution time when readiness was already established.
     fn operand_value(&self, seq: SeqNum, reg: Reg) -> u64 {
-        self.try_operand(seq, reg).expect("operand ready at resolution")
+        self.try_operand(seq, reg)
+            .expect("operand ready at resolution")
     }
 
     // ---- dispatch & fetch ----
@@ -1707,7 +1989,9 @@ impl Core {
                 self.stats.incr("stall.rob_full");
                 break;
             }
-            let Some(front) = self.fetch_buf.front() else { break };
+            let Some(front) = self.fetch_buf.front() else {
+                break;
+            };
             let inst = front.inst;
             if inst.is_load() && !inst.is_atomic() && self.lq.len() == self.cfg.core.lq_entries {
                 self.stats.incr("stall.lq_full");
@@ -1726,7 +2010,16 @@ impl Core {
                 .inst
                 .use_regs()
                 .iter()
-                .map(|&r| (r, if r.is_zero() { None } else { self.rename[r.index()] }))
+                .map(|&r| {
+                    (
+                        r,
+                        if r.is_zero() {
+                            None
+                        } else {
+                            self.rename[r.index()]
+                        },
+                    )
+                })
                 .collect();
             let prev_map = f.inst.def_reg().map(|r| {
                 let old = self.rename[r.index()];
@@ -1740,6 +2033,10 @@ impl Core {
             if matches!(f.inst, Inst::Store { .. }) {
                 self.sq.push(SqEntry::new(seq));
             }
+            self.tracer.emit(EventKind::Dispatch {
+                seq,
+                pc: f.pc.0 as u64,
+            });
             self.rob.push_back(DynInst {
                 seq,
                 pc: f.pc,
@@ -1786,7 +2083,11 @@ impl Core {
                     _ => unreachable!("is_control covers these"),
                 };
                 next = target;
-                Some(PredInfo { taken, target, checkpoint: ckpt })
+                Some(PredInfo {
+                    taken,
+                    target,
+                    checkpoint: ckpt,
+                })
             } else {
                 None
             };
@@ -1802,8 +2103,13 @@ impl Core {
     // ---- squash ----
 
     /// Squashes every instruction with `seq >= first_bad` and redirects
-    /// fetch to `refetch`.
-    fn squash_from(&mut self, first_bad: SeqNum, refetch: Pc, now: Cycle) {
+    /// fetch to `refetch`. `cause` attributes the squash in the event
+    /// trace ("branch", "alias", "validation", "mcv_inv", "mcv_evict").
+    fn squash_from(&mut self, first_bad: SeqNum, refetch: Pc, cause: &'static str, now: Cycle) {
+        self.tracer.emit(EventKind::Squash {
+            first_bad,
+            source: cause,
+        });
         while let Some(back) = self.rob.back() {
             if back.seq < first_bad {
                 break;
@@ -1815,7 +2121,9 @@ impl Core {
             self.stats.incr("squashed_insts");
         }
         debug_assert!(
-            self.lq.iter().all(|e| e.seq < first_bad || e.pin != PinState::Pinned),
+            self.lq
+                .iter()
+                .all(|e| e.seq < first_bad || e.pin != PinState::Pinned),
             "a pinned load is being squashed"
         );
         self.lq.retain(|e| e.seq < first_bad);

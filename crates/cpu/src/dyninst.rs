@@ -100,6 +100,11 @@ pub struct LqEntry {
     pub invisible: bool,
     /// `true` while the exposure/validation access is in flight.
     pub exposing: bool,
+    /// Last VP condition observed blocking this load, for trace
+    /// attribution. `None` until the tracer's VP scan first sees the load.
+    pub vp_blocker: Option<&'static str>,
+    /// `true` once the tracer has emitted this load's `VpClear` event.
+    pub vp_clear_traced: bool,
 }
 
 impl LqEntry {
@@ -117,6 +122,8 @@ impl LqEntry {
             waiting_fill: false,
             invisible: false,
             exposing: false,
+            vp_blocker: None,
+            vp_clear_traced: false,
         }
     }
 
@@ -151,7 +158,11 @@ pub struct SqEntry {
 impl SqEntry {
     /// Creates an entry for a newly dispatched store.
     pub fn new(seq: SeqNum) -> SqEntry {
-        SqEntry { seq, addr: None, data: None }
+        SqEntry {
+            seq,
+            addr: None,
+            data: None,
+        }
     }
 
     /// Returns `true` once both address and data are known.

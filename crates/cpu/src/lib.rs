@@ -44,7 +44,10 @@ mod tests {
             }
             core.tick(Cycle(c), &mut image);
         }
-        assert!(core.halted(), "program did not halt within {max_cycles} cycles");
+        assert!(
+            core.halted(),
+            "program did not halt within {max_cycles} cycles"
+        );
         (core, image)
     }
 

@@ -24,9 +24,9 @@ use std::fmt;
 
 use crate::builder::{Label, ProgramBuilder};
 use crate::inst::{AluOp, BranchCond, Inst, Operand, Reg};
-use crate::program::Program;
 #[cfg(test)]
 use crate::program::Pc;
+use crate::program::Program;
 
 /// Error produced by [`parse_asm`], carrying the 1-based source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,13 +46,19 @@ impl fmt::Display for AsmError {
 impl Error for AsmError {}
 
 fn err(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError { line, message: message.into() }
+    AsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
     let tok = tok.trim();
     let Some(num) = tok.strip_prefix('x') else {
-        return Err(err(line, format!("expected a register like `x5`, found `{tok}`")));
+        return Err(err(
+            line,
+            format!("expected a register like `x5`, found `{tok}`"),
+        ));
     };
     let idx: u8 = num
         .parse()
@@ -84,7 +90,11 @@ fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i64), AsmError> {
     if !tok.ends_with(')') {
         return Err(err(line, format!("missing `)` in `{tok}`")));
     }
-    let offset = if open == 0 { 0 } else { parse_imm(&tok[..open], line)? };
+    let offset = if open == 0 {
+        0
+    } else {
+        parse_imm(&tok[..open], line)?
+    };
     let base = parse_reg(&tok[open + 1..tok.len() - 1], line)?;
     Ok((base, offset))
 }
@@ -141,7 +151,9 @@ pub fn parse_asm(source: &str) -> Result<Program, AsmError> {
     let mut bound: HashMap<String, usize> = HashMap::new();
 
     let mut get_label = |b: &mut ProgramBuilder, name: &str| -> Label {
-        *labels.entry(name.to_string()).or_insert_with(|| b.new_label())
+        *labels
+            .entry(name.to_string())
+            .or_insert_with(|| b.new_label())
     };
 
     for (i, raw) in source.lines().enumerate() {
@@ -182,7 +194,10 @@ pub fn parse_asm(source: &str) -> Result<Program, AsmError> {
             if ops.len() == n {
                 Ok(())
             } else {
-                Err(err(lineno, format!("`{mnemonic}` takes {n} operands, got {}", ops.len())))
+                Err(err(
+                    lineno,
+                    format!("`{mnemonic}` takes {n} operands, got {}", ops.len()),
+                ))
             }
         };
         match mnemonic {
@@ -282,23 +297,44 @@ pub fn disassemble(program: &Program) -> String {
             let _ = writeln!(out, "L{}:", pc.index());
         }
         let text = match inst {
-            Inst::Alu { op, dst, src1, src2 } => match src2 {
+            Inst::Alu {
+                op,
+                dst,
+                src1,
+                src2,
+            } => match src2 {
                 Operand::Reg(r) => format!("{op} {dst}, {src1}, {r}"),
                 Operand::Imm(v) => format!("{op} {dst}, {src1}, {v}"),
             },
             Inst::Load { dst, base, offset } => format!("ld {dst}, {offset}({base})"),
             Inst::Store { src, base, offset } => format!("st {src}, {offset}({base})"),
-            Inst::Branch { cond, src1, src2, target } => {
+            Inst::Branch {
+                cond,
+                src1,
+                src2,
+                target,
+            } => {
                 format!("{cond} {src1}, {src2}, L{}", target.index())
             }
             Inst::Jump { target } => format!("j L{}", target.index()),
             Inst::Call { target } => format!("call L{}", target.index()),
             Inst::Ret => "ret".to_string(),
             Inst::Mfence => "mfence".to_string(),
-            Inst::AtomicAdd { dst, src, base, offset } => {
+            Inst::AtomicAdd {
+                dst,
+                src,
+                base,
+                offset,
+            } => {
                 format!("amoadd {dst}, {src}, {offset}({base})")
             }
-            Inst::AtomicCas { dst, cmp, src, base, offset } => {
+            Inst::AtomicCas {
+                dst,
+                cmp,
+                src,
+                base,
+                offset,
+            } => {
                 format!("amocas {dst}, {cmp}, {src}, {offset}({base})")
             }
             Inst::Nop => "nop".to_string(),
@@ -326,7 +362,11 @@ mod tests {
         .unwrap();
         assert_eq!(p.len(), 5);
         match p.fetch(Pc(3)) {
-            Inst::Branch { cond: BranchCond::Ne, target, .. } => assert_eq!(target, Pc(1)),
+            Inst::Branch {
+                cond: BranchCond::Ne,
+                target,
+                ..
+            } => assert_eq!(target, Pc(1)),
             other => panic!("expected branch, got {other}"),
         }
     }
@@ -428,11 +468,17 @@ fin:
         let p = parse_asm("    add x1, x2, x3\n    add x1, x2, 7\n").unwrap();
         assert!(matches!(
             p.fetch(Pc(0)),
-            Inst::Alu { src2: Operand::Reg(_), .. }
+            Inst::Alu {
+                src2: Operand::Reg(_),
+                ..
+            }
         ));
         assert!(matches!(
             p.fetch(Pc(1)),
-            Inst::Alu { src2: Operand::Imm(7), .. }
+            Inst::Alu {
+                src2: Operand::Imm(7),
+                ..
+            }
         ));
     }
 }

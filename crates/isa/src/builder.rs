@@ -116,7 +116,12 @@ impl ProgramBuilder {
 
     /// Emits `dst = op(src1, src2)`.
     pub fn alu(&mut self, op: AluOp, dst: Reg, src1: Reg, src2: impl Into<Operand>) -> &mut Self {
-        self.push(Inst::Alu { op, dst, src1, src2: src2.into() })
+        self.push(Inst::Alu {
+            op,
+            dst,
+            src1,
+            src2: src2.into(),
+        })
     }
 
     /// Emits `dst = src + imm` (the idiomatic register-move/constant idiom).
@@ -138,21 +143,30 @@ impl ProgramBuilder {
     pub fn branch(&mut self, cond: BranchCond, src1: Reg, src2: Reg, label: Label) -> &mut Self {
         let at = self.insts.len();
         self.fixups.push((at, label.0));
-        self.push(Inst::Branch { cond, src1, src2, target: Pc(usize::MAX) })
+        self.push(Inst::Branch {
+            cond,
+            src1,
+            src2,
+            target: Pc(usize::MAX),
+        })
     }
 
     /// Emits an unconditional jump to `label`.
     pub fn jump(&mut self, label: Label) -> &mut Self {
         let at = self.insts.len();
         self.fixups.push((at, label.0));
-        self.push(Inst::Jump { target: Pc(usize::MAX) })
+        self.push(Inst::Jump {
+            target: Pc(usize::MAX),
+        })
     }
 
     /// Emits a call to `label`.
     pub fn call(&mut self, label: Label) -> &mut Self {
         let at = self.insts.len();
         self.fixups.push((at, label.0));
-        self.push(Inst::Call { target: Pc(usize::MAX) })
+        self.push(Inst::Call {
+            target: Pc(usize::MAX),
+        })
     }
 
     /// Emits a return.
@@ -167,12 +181,30 @@ impl ProgramBuilder {
 
     /// Emits an atomic fetch-and-add.
     pub fn atomic_add(&mut self, dst: Reg, src: Reg, base: Reg, offset: i64) -> &mut Self {
-        self.push(Inst::AtomicAdd { dst, src, base, offset })
+        self.push(Inst::AtomicAdd {
+            dst,
+            src,
+            base,
+            offset,
+        })
     }
 
     /// Emits an atomic compare-and-swap.
-    pub fn atomic_cas(&mut self, dst: Reg, cmp: Reg, src: Reg, base: Reg, offset: i64) -> &mut Self {
-        self.push(Inst::AtomicCas { dst, cmp, src, base, offset })
+    pub fn atomic_cas(
+        &mut self,
+        dst: Reg,
+        cmp: Reg,
+        src: Reg,
+        base: Reg,
+        offset: i64,
+    ) -> &mut Self {
+        self.push(Inst::AtomicCas {
+            dst,
+            cmp,
+            src,
+            base,
+            offset,
+        })
     }
 
     /// Emits a no-op.
@@ -200,7 +232,9 @@ impl ProgramBuilder {
                 .get(&label_id)
                 .ok_or(BuildError::UnboundLabel(label_id))?;
             match &mut self.insts[at] {
-                Inst::Branch { target: t, .. } | Inst::Jump { target: t } | Inst::Call { target: t } => {
+                Inst::Branch { target: t, .. }
+                | Inst::Jump { target: t }
+                | Inst::Call { target: t } => {
                     *t = target;
                 }
                 other => unreachable!("fixup points at non-control instruction {other}"),
@@ -321,6 +355,8 @@ mod tests {
     #[test]
     fn build_error_display() {
         assert!(BuildError::UnboundLabel(3).to_string().contains("3"));
-        assert!(BuildError::RebondLabel(1).to_string().contains("bound more than once"));
+        assert!(BuildError::RebondLabel(1)
+            .to_string()
+            .contains("bound more than once"));
     }
 }

@@ -65,7 +65,12 @@ pub struct RegError(u8);
 
 impl fmt::Display for RegError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "register index {} is out of range (max {})", self.0, NUM_REGS - 1)
+        write!(
+            f,
+            "register index {} is out of range (max {})",
+            self.0,
+            NUM_REGS - 1
+        )
     }
 }
 
@@ -353,19 +358,29 @@ impl Inst {
             Inst::Branch { src1, src2, .. } => vec![src1, src2],
             Inst::AtomicAdd { src, base, .. } => vec![src, base],
             Inst::AtomicCas { cmp, src, base, .. } => vec![cmp, src, base],
-            Inst::Jump { .. } | Inst::Call { .. } | Inst::Ret | Inst::Mfence | Inst::Nop
+            Inst::Jump { .. }
+            | Inst::Call { .. }
+            | Inst::Ret
+            | Inst::Mfence
+            | Inst::Nop
             | Inst::Halt => vec![],
         }
     }
 
     /// Returns `true` for loads (including the load half of atomics).
     pub fn is_load(&self) -> bool {
-        matches!(self, Inst::Load { .. } | Inst::AtomicAdd { .. } | Inst::AtomicCas { .. })
+        matches!(
+            self,
+            Inst::Load { .. } | Inst::AtomicAdd { .. } | Inst::AtomicCas { .. }
+        )
     }
 
     /// Returns `true` for stores (including the store half of atomics).
     pub fn is_store(&self) -> bool {
-        matches!(self, Inst::Store { .. } | Inst::AtomicAdd { .. } | Inst::AtomicCas { .. })
+        matches!(
+            self,
+            Inst::Store { .. } | Inst::AtomicAdd { .. } | Inst::AtomicCas { .. }
+        )
     }
 
     /// Returns `true` for any memory-accessing instruction.
@@ -425,20 +440,41 @@ impl Inst {
 impl fmt::Display for Inst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            Inst::Alu { op, dst, src1, src2 } => write!(f, "{op} {dst}, {src1}, {src2}"),
+            Inst::Alu {
+                op,
+                dst,
+                src1,
+                src2,
+            } => write!(f, "{op} {dst}, {src1}, {src2}"),
             Inst::Load { dst, base, offset } => write!(f, "ld {dst}, {offset}({base})"),
             Inst::Store { src, base, offset } => write!(f, "st {src}, {offset}({base})"),
-            Inst::Branch { cond, src1, src2, target } => {
+            Inst::Branch {
+                cond,
+                src1,
+                src2,
+                target,
+            } => {
                 write!(f, "{cond} {src1}, {src2}, @{}", target.0)
             }
             Inst::Jump { target } => write!(f, "j @{}", target.0),
             Inst::Call { target } => write!(f, "call @{}", target.0),
             Inst::Ret => f.write_str("ret"),
             Inst::Mfence => f.write_str("mfence"),
-            Inst::AtomicAdd { dst, src, base, offset } => {
+            Inst::AtomicAdd {
+                dst,
+                src,
+                base,
+                offset,
+            } => {
                 write!(f, "amoadd {dst}, {src}, {offset}({base})")
             }
-            Inst::AtomicCas { dst, cmp, src, base, offset } => {
+            Inst::AtomicCas {
+                dst,
+                cmp,
+                src,
+                base,
+                offset,
+            } => {
                 write!(f, "amocas {dst}, {cmp}, {src}, {offset}({base})")
             }
             Inst::Nop => f.write_str("nop"),
@@ -492,36 +528,81 @@ mod tests {
 
     #[test]
     fn def_reg_hides_zero_register() {
-        let write_zero = Inst::Load { dst: Reg::ZERO, base: r(1), offset: 0 };
+        let write_zero = Inst::Load {
+            dst: Reg::ZERO,
+            base: r(1),
+            offset: 0,
+        };
         assert_eq!(write_zero.def_reg(), None);
-        let write_r2 = Inst::Load { dst: r(2), base: r(1), offset: 0 };
+        let write_r2 = Inst::Load {
+            dst: r(2),
+            base: r(1),
+            offset: 0,
+        };
         assert_eq!(write_r2.def_reg(), Some(r(2)));
     }
 
     #[test]
     fn use_regs_per_shape() {
-        let alu_rr = Inst::Alu { op: AluOp::Add, dst: r(3), src1: r(1), src2: Operand::Reg(r(2)) };
+        let alu_rr = Inst::Alu {
+            op: AluOp::Add,
+            dst: r(3),
+            src1: r(1),
+            src2: Operand::Reg(r(2)),
+        };
         assert_eq!(alu_rr.use_regs(), vec![r(1), r(2)]);
-        let alu_ri = Inst::Alu { op: AluOp::Add, dst: r(3), src1: r(1), src2: Operand::Imm(7) };
+        let alu_ri = Inst::Alu {
+            op: AluOp::Add,
+            dst: r(3),
+            src1: r(1),
+            src2: Operand::Imm(7),
+        };
         assert_eq!(alu_ri.use_regs(), vec![r(1)]);
-        let st = Inst::Store { src: r(4), base: r(5), offset: 8 };
+        let st = Inst::Store {
+            src: r(4),
+            base: r(5),
+            offset: 8,
+        };
         assert_eq!(st.use_regs(), vec![r(4), r(5)]);
         assert!(Inst::Ret.use_regs().is_empty());
-        let cas =
-            Inst::AtomicCas { dst: r(1), cmp: r(2), src: r(3), base: r(4), offset: 0 };
+        let cas = Inst::AtomicCas {
+            dst: r(1),
+            cmp: r(2),
+            src: r(3),
+            base: r(4),
+            offset: 0,
+        };
         assert_eq!(cas.use_regs(), vec![r(2), r(3), r(4)]);
     }
 
     #[test]
     fn classification_predicates() {
-        let ld = Inst::Load { dst: r(1), base: r(2), offset: 0 };
-        let st = Inst::Store { src: r(1), base: r(2), offset: 0 };
-        let amo = Inst::AtomicAdd { dst: r(1), src: r(2), base: r(3), offset: 0 };
+        let ld = Inst::Load {
+            dst: r(1),
+            base: r(2),
+            offset: 0,
+        };
+        let st = Inst::Store {
+            src: r(1),
+            base: r(2),
+            offset: 0,
+        };
+        let amo = Inst::AtomicAdd {
+            dst: r(1),
+            src: r(2),
+            base: r(3),
+            offset: 0,
+        };
         assert!(ld.is_load() && !ld.is_store() && ld.is_mem() && !ld.is_fence());
         assert!(!st.is_load() && st.is_store() && st.is_mem());
         assert!(amo.is_load() && amo.is_store() && amo.is_atomic() && amo.is_fence());
         assert!(Inst::Mfence.is_fence() && !Inst::Mfence.is_mem());
-        let br = Inst::Branch { cond: BranchCond::Eq, src1: r(1), src2: r(2), target: Pc(0) };
+        let br = Inst::Branch {
+            cond: BranchCond::Eq,
+            src1: r(1),
+            src2: r(2),
+            target: Pc(0),
+        };
         assert!(br.is_control() && br.is_cond_branch());
         assert!(Inst::Ret.is_control() && !Inst::Ret.is_cond_branch());
         assert_eq!(br.static_target(), Some(Pc(0)));
@@ -532,9 +613,18 @@ mod tests {
 
     #[test]
     fn display_round_trips_key_shapes() {
-        let i = Inst::Alu { op: AluOp::Add, dst: r(1), src1: r(2), src2: Operand::Imm(-4) };
+        let i = Inst::Alu {
+            op: AluOp::Add,
+            dst: r(1),
+            src1: r(2),
+            src2: Operand::Imm(-4),
+        };
         assert_eq!(i.to_string(), "add x1, x2, -4");
-        let l = Inst::Load { dst: r(1), base: r(2), offset: 16 };
+        let l = Inst::Load {
+            dst: r(1),
+            base: r(2),
+            offset: 16,
+        };
         assert_eq!(l.to_string(), "ld x1, 16(x2)");
         assert_eq!(Inst::Halt.to_string(), "halt");
     }

@@ -73,7 +73,10 @@ impl Program {
 
     /// Iterates over `(pc, instruction)` pairs in layout order.
     pub fn iter(&self) -> impl Iterator<Item = (Pc, Inst)> + '_ {
-        self.insts.iter().enumerate().map(|(i, &inst)| (Pc(i), inst))
+        self.insts
+            .iter()
+            .enumerate()
+            .map(|(i, &inst)| (Pc(i), inst))
     }
 
     /// Renders the program as an assembly listing.

@@ -47,6 +47,7 @@ use pl_cpu::Core;
 use pl_isa::{Program, Reg};
 use pl_mem::{LlcSlice, Memory, Msg, Noc, NodeId, PinView};
 use pl_secure::VpMask;
+use pl_trace::{TraceLog, Tracer};
 
 /// Cycles without a single retirement before the watchdog declares a
 /// deadlock.
@@ -55,30 +56,50 @@ const WATCHDOG_CYCLES: u64 = 300_000;
 /// How often the machine samples CPT occupancy (Section 9.2.2).
 const CPT_SAMPLE_PERIOD: u64 = 64;
 
+/// How many trailing trace events a deadlock diagnosis carries.
+const DEADLOCK_TRACE_TAIL: usize = 64;
+
 /// [`PinView`] over the cores' pin governors.
 struct CorePins<'a>(&'a [Core]);
 
 impl PinView for CorePins<'_> {
     fn is_pinned(&self, core: CoreId, line: LineAddr) -> bool {
-        self.0.get(core.index()).is_some_and(|c| c.is_line_pinned(line))
+        self.0
+            .get(core.index())
+            .is_some_and(|c| c.is_line_pinned(line))
     }
     fn is_pinned_by_any(&self, line: LineAddr) -> bool {
         self.0.iter().any(|c| c.is_line_pinned(line))
     }
 }
 
+/// Snapshot attached to [`RunError::Deadlock`]: the machine state dump
+/// plus the tail of the event trace at the moment the watchdog fired.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DeadlockDiagnosis {
+    /// [`Machine::dump_state`] at the watchdog cycle: one line per core
+    /// and slice describing in-flight state.
+    pub state: String,
+    /// The last [`DEADLOCK_TRACE_TAIL`](RunError::Deadlock) trace events
+    /// (rendered), empty when tracing was disabled.
+    pub recent_events: Vec<String>,
+}
+
 /// Error returned by [`Machine::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum RunError {
-    /// No instruction retired for an extended period (300k cycles);
-    /// includes the cycle at which progress stopped and the instructions
-    /// retired so far.
+    /// No instruction retired for an extended period (300k cycles by
+    /// default, see [`Machine::set_watchdog_cycles`]); includes the cycle
+    /// at which progress stopped, the instructions retired so far, and a
+    /// state/trace snapshot.
     Deadlock {
         /// Cycle at which the watchdog fired.
         cycle: u64,
         /// Total instructions retired before the stall.
         retired: u64,
+        /// State dump and recent trace events at the stall.
+        diagnosis: Box<DeadlockDiagnosis>,
     },
     /// The cycle budget was exhausted before every core halted.
     CycleLimit {
@@ -92,11 +113,29 @@ pub enum RunError {
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunError::Deadlock { cycle, retired } => {
-                write!(f, "no retirement progress by cycle {cycle} ({retired} retired)")
+            RunError::Deadlock {
+                cycle,
+                retired,
+                diagnosis,
+            } => {
+                write!(
+                    f,
+                    "no retirement progress by cycle {cycle} ({retired} retired)"
+                )?;
+                if !diagnosis.recent_events.is_empty() {
+                    write!(
+                        f,
+                        "; last {} trace events attached",
+                        diagnosis.recent_events.len()
+                    )?;
+                }
+                Ok(())
             }
             RunError::CycleLimit { limit, retired } => {
-                write!(f, "cycle limit {limit} reached with cores still running ({retired} retired)")
+                write!(
+                    f,
+                    "cycle limit {limit} reached with cores still running ({retired} retired)"
+                )
             }
         }
     }
@@ -113,6 +152,10 @@ pub struct RunResult {
     pub retired_per_core: Vec<u64>,
     /// Merged statistics from every core, slice, and the NoC.
     pub stats: Stats,
+    /// The merged event trace, present when the configuration enabled
+    /// tracing ([`pl_base::TraceConfig`]). Deterministic: the merge
+    /// order is canonical, so identical runs yield identical logs.
+    pub trace: Option<TraceLog>,
 }
 
 impl RunResult {
@@ -136,6 +179,7 @@ pub struct Machine {
     noc: Noc,
     image: Memory,
     now: Cycle,
+    watchdog_cycles: u64,
 }
 
 impl Machine {
@@ -149,11 +193,22 @@ impl Machine {
     /// inconsistent.
     pub fn new(cfg: &MachineConfig) -> Result<Machine, ConfigError> {
         cfg.validate()?;
-        let empty = Arc::new(pl_isa::ProgramBuilder::new().build().expect("empty program builds"));
+        let empty = Arc::new(
+            pl_isa::ProgramBuilder::new()
+                .build()
+                .expect("empty program builds"),
+        );
         let cores = (0..cfg.num_cores)
             .map(|i| Core::new(CoreId(i), cfg, Arc::clone(&empty)))
             .collect();
-        let slices = (0..cfg.mem.llc_slices).map(|i| LlcSlice::new(i, &cfg.mem)).collect();
+        let mut slices: Vec<LlcSlice> = (0..cfg.mem.llc_slices)
+            .map(|i| LlcSlice::new(i, &cfg.mem))
+            .collect();
+        if cfg.trace.enabled {
+            for slice in &mut slices {
+                slice.enable_trace(cfg.trace.buffer_capacity);
+            }
+        }
         Ok(Machine {
             cfg: cfg.clone(),
             cores,
@@ -161,7 +216,15 @@ impl Machine {
             noc: Noc::new(cfg.mem.mesh_cols, cfg.mem.mesh_rows, cfg.mem.hop_latency),
             image: Memory::new(),
             now: Cycle::ZERO,
+            watchdog_cycles: WATCHDOG_CYCLES,
         })
+    }
+
+    /// Overrides the no-retirement watchdog threshold (default 300k
+    /// cycles). Tests use a tight threshold to exercise the deadlock
+    /// diagnosis path quickly.
+    pub fn set_watchdog_cycles(&mut self, cycles: u64) {
+        self.watchdog_cycles = cycles;
     }
 
     /// The machine's configuration.
@@ -175,7 +238,11 @@ impl Machine {
     ///
     /// Panics if `core` is out of range or the machine already ran.
     pub fn load_program(&mut self, core: CoreId, program: Program) {
-        assert_eq!(self.now, Cycle::ZERO, "programs must be loaded before running");
+        assert_eq!(
+            self.now,
+            Cycle::ZERO,
+            "programs must be loaded before running"
+        );
         let program = Arc::new(program);
         self.cores[core.index()] = Core::new(core, &self.cfg, program);
     }
@@ -184,7 +251,11 @@ impl Machine {
     pub fn load_program_all(&mut self, program: Program) {
         let program = Arc::new(program);
         for i in 0..self.cores.len() {
-            assert_eq!(self.now, Cycle::ZERO, "programs must be loaded before running");
+            assert_eq!(
+                self.now,
+                Cycle::ZERO,
+                "programs must be loaded before running"
+            );
             self.cores[i] = Core::new(CoreId(i), &self.cfg, Arc::clone(&program));
         }
     }
@@ -275,15 +346,25 @@ impl Machine {
         let mut cpt_stats = Stats::new();
         while !self.all_quiesced() {
             if self.now.raw() >= max_cycles {
-                return Err(RunError::CycleLimit { limit: max_cycles, retired: self.total_retired() });
+                return Err(RunError::CycleLimit {
+                    limit: max_cycles,
+                    retired: self.total_retired(),
+                });
             }
             self.tick();
             let retired = self.total_retired();
             if retired != last_retired {
                 last_retired = retired;
                 last_progress = self.now;
-            } else if self.now.since(last_progress) > WATCHDOG_CYCLES {
-                return Err(RunError::Deadlock { cycle: self.now.raw(), retired });
+            } else if self.now.since(last_progress) > self.watchdog_cycles {
+                return Err(RunError::Deadlock {
+                    cycle: self.now.raw(),
+                    retired,
+                    diagnosis: Box::new(DeadlockDiagnosis {
+                        state: self.dump_state(),
+                        recent_events: self.trace_log().tail(DEADLOCK_TRACE_TAIL),
+                    }),
+                });
             }
             if self.now.raw().is_multiple_of(CPT_SAMPLE_PERIOD) {
                 for core in &self.cores {
@@ -291,7 +372,27 @@ impl Machine {
                 }
             }
         }
+        // A run shorter than the sample period would otherwise report an
+        // empty occupancy histogram; always record the final state.
+        for core in &self.cores {
+            cpt_stats.sample("cpt.occupancy", core.governor().cpt().occupancy() as u64);
+        }
         Ok(self.result_with(cpt_stats))
+    }
+
+    /// Merges every tracer in the machine (per-core pipeline, L1, and
+    /// pin governor; per-slice directory and LLC cache) into one
+    /// cycle-sorted log. Empty unless the configuration enabled tracing.
+    pub fn trace_log(&self) -> TraceLog {
+        let mut parts: Vec<&Tracer> = Vec::new();
+        for core in &self.cores {
+            parts.extend(core.tracers());
+        }
+        for slice in &self.slices {
+            parts.push(slice.tracer());
+            parts.push(slice.cache_tracer());
+        }
+        TraceLog::merge(parts)
     }
 
     fn total_retired(&self) -> u64 {
@@ -317,7 +418,10 @@ impl Machine {
     /// Total lines currently pinned across all cores; zero after a
     /// completed run (pins release at retirement).
     pub fn pinned_line_count(&self) -> usize {
-        self.cores.iter().map(|c| c.governor().pinned_line_count()).sum()
+        self.cores
+            .iter()
+            .map(|c| c.governor().pinned_line_count())
+            .sum()
     }
 
     fn result_with(&self, extra: Stats) -> RunResult {
@@ -325,7 +429,10 @@ impl Machine {
         for core in &self.cores {
             stats.merge(core.stats());
             stats.merge(core.governor().stats());
-            stats.add("cpt.insert_attempts", core.governor().cpt().insert_attempts());
+            stats.add(
+                "cpt.insert_attempts",
+                core.governor().cpt().insert_attempts(),
+            );
             stats.add("cpt.overflows", core.governor().cpt().overflows());
             stats.sample("cpt.peak", core.governor().cpt().peak_occupancy() as u64);
         }
@@ -338,6 +445,11 @@ impl Machine {
             cycles: self.now.raw(),
             retired_per_core: self.cores.iter().map(Core::retired).collect(),
             stats,
+            trace: if self.cfg.trace.enabled {
+                Some(self.trace_log())
+            } else {
+                None
+            },
         }
     }
 }
@@ -478,7 +590,11 @@ mod tests {
         p.branch(BranchCond::Ne, r(3), Reg::ZERO, top);
         m.load_program_all(p.build().unwrap());
         m.run(20_000_000).unwrap();
-        assert_eq!(m.read_mem(Addr::new(counter)), 100, "4 cores x 25 increments");
+        assert_eq!(
+            m.read_mem(Addr::new(counter)),
+            100,
+            "4 cores x 25 increments"
+        );
     }
 
     fn defended_cfg(scheme: DefenseScheme, mode: PinMode) -> MachineConfig {
@@ -507,7 +623,12 @@ mod tests {
     #[test]
     fn every_defense_and_pin_mode_is_architecturally_identical() {
         let mut reference: Option<u64> = None;
-        for scheme in [DefenseScheme::Unsafe, DefenseScheme::Fence, DefenseScheme::Dom, DefenseScheme::Stt] {
+        for scheme in [
+            DefenseScheme::Unsafe,
+            DefenseScheme::Fence,
+            DefenseScheme::Dom,
+            DefenseScheme::Stt,
+        ] {
             for mode in [PinMode::Off, PinMode::Late, PinMode::Early] {
                 if scheme == DefenseScheme::Unsafe && mode != PinMode::Off {
                     continue;
@@ -517,10 +638,9 @@ mod tests {
                 let final_r1 = m.reg(CoreId(0), r(1));
                 match reference {
                     None => reference = Some(final_r1),
-                    Some(v) => assert_eq!(
-                        v, final_r1,
-                        "{scheme}/{mode:?} diverged architecturally"
-                    ),
+                    Some(v) => {
+                        assert_eq!(v, final_r1, "{scheme}/{mode:?} diverged architecturally")
+                    }
                 }
                 assert!(res.total_retired() > 1000);
             }
@@ -529,9 +649,18 @@ mod tests {
 
     #[test]
     fn fence_comp_is_slower_than_unsafe_and_pinning_recovers() {
-        let (_, unsafe_res) = single(&defended_cfg(DefenseScheme::Unsafe, PinMode::Off), chained_loads_program());
-        let (_, comp) = single(&defended_cfg(DefenseScheme::Fence, PinMode::Off), chained_loads_program());
-        let (_, ep) = single(&defended_cfg(DefenseScheme::Fence, PinMode::Early), chained_loads_program());
+        let (_, unsafe_res) = single(
+            &defended_cfg(DefenseScheme::Unsafe, PinMode::Off),
+            chained_loads_program(),
+        );
+        let (_, comp) = single(
+            &defended_cfg(DefenseScheme::Fence, PinMode::Off),
+            chained_loads_program(),
+        );
+        let (_, ep) = single(
+            &defended_cfg(DefenseScheme::Fence, PinMode::Early),
+            chained_loads_program(),
+        );
         assert!(
             comp.cycles > unsafe_res.cycles,
             "Fence+Comp ({}) must cost more than Unsafe ({})",
@@ -577,6 +706,86 @@ mod tests {
         m.load_program(CoreId(1), prog(y, x));
         let res = m.run(20_000_000).expect("no deadlock");
         assert!(res.total_retired() > 100);
+    }
+
+    #[test]
+    fn short_run_still_samples_cpt_occupancy() {
+        // A run shorter than CPT_SAMPLE_PERIOD must not report an empty
+        // occupancy histogram: the final sample at quiesce guarantees at
+        // least one entry.
+        let cfg = MachineConfig::default_single_core();
+        let mut b = ProgramBuilder::new();
+        b.addi(r(1), Reg::ZERO, 1);
+        let (_, res) = single(&cfg, b);
+        let h = res
+            .stats
+            .histogram("cpt.occupancy")
+            .expect("histogram present");
+        assert!(
+            h.count() >= 1,
+            "short run must sample CPT occupancy at least once"
+        );
+    }
+
+    #[test]
+    fn traced_run_returns_merged_log() {
+        let mut cfg = MachineConfig::default_single_core();
+        cfg.trace = pl_base::TraceConfig::enabled();
+        let mut b = ProgramBuilder::new();
+        b.addi(r(1), Reg::ZERO, 0x2000);
+        b.load(r(2), r(1), 0);
+        let mut m = Machine::new(&cfg).unwrap();
+        m.load_program(CoreId(0), b.build().unwrap());
+        let res = m.run(1_000_000).unwrap();
+        let log = res.trace.expect("tracing enabled yields a log");
+        assert!(!log.records.is_empty());
+        // Untraced runs carry no log.
+        let cfg2 = MachineConfig::default_single_core();
+        let mut b2 = ProgramBuilder::new();
+        b2.addi(r(1), Reg::ZERO, 1);
+        let (_, res2) = single(&cfg2, b2);
+        assert!(res2.trace.is_none());
+    }
+
+    #[test]
+    fn tso_litmus_watchdog_attaches_trace_tail() {
+        // TSO message-passing litmus with an impossibly tight watchdog:
+        // the run must fail as a deadlock whose diagnosis carries both
+        // the state dump and a non-empty trace tail.
+        let mut cfg = MachineConfig::default_multi_core(2);
+        cfg.trace = pl_base::TraceConfig::enabled();
+        let mut m = Machine::new(&cfg).unwrap();
+        let data = 0x9000u64;
+        let flag = 0xa000u64;
+
+        let mut p0 = ProgramBuilder::new();
+        p0.addi(r(1), Reg::ZERO, data as i64);
+        p0.addi(r(2), Reg::ZERO, 42);
+        p0.store(r(2), r(1), 0);
+        p0.addi(r(3), Reg::ZERO, flag as i64);
+        p0.store(r(2), r(3), 0);
+        m.load_program(CoreId(0), p0.build().unwrap());
+
+        let mut p1 = ProgramBuilder::new();
+        let spin = p1.new_label();
+        p1.addi(r(3), Reg::ZERO, flag as i64);
+        p1.bind(spin).unwrap();
+        p1.load(r(4), r(3), 0);
+        p1.branch(BranchCond::Eq, r(4), Reg::ZERO, spin);
+        m.load_program(CoreId(1), p1.build().unwrap());
+
+        m.set_watchdog_cycles(2);
+        let err = m.run(1_000_000).unwrap_err();
+        match err {
+            RunError::Deadlock { diagnosis, .. } => {
+                assert!(!diagnosis.state.is_empty(), "state dump attached");
+                assert!(
+                    !diagnosis.recent_events.is_empty(),
+                    "trace tail attached when tracing is enabled"
+                );
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
     }
 
     #[test]

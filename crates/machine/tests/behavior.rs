@@ -97,8 +97,15 @@ fn dom_is_cheap_on_hits_and_expensive_on_misses() {
         miss_overhead > 2.0,
         "DOM must be expensive on streaming misses (got {miss_overhead:.2}x)"
     );
-    assert!(d_miss.stats.get("stall.dom_miss") > 0, "DOM miss stalls must be recorded");
-    assert_eq!(d_hit.stats.get("stall.vp"), 0, "DOM never records fence stalls");
+    assert!(
+        d_miss.stats.get("stall.dom_miss") > 0,
+        "DOM miss stalls must be recorded"
+    );
+    assert_eq!(
+        d_hit.stats.get("stall.vp"),
+        0,
+        "DOM never records fence stalls"
+    );
 }
 
 #[test]
@@ -122,7 +129,10 @@ fn stt_stalls_only_tainted_addresses() {
     let gather = gather_loop(300);
     let (_, ug) = run(&unsafe_cfg, &gather);
     let (_, sg) = run(&stt, &gather);
-    assert!(sg.stats.get("stall.taint") > 0, "tainted stalls must occur on gathers");
+    assert!(
+        sg.stats.get("stall.taint") > 0,
+        "tainted stalls must occur on gathers"
+    );
     assert!(
         sg.cycles > ug.cycles,
         "STT must slow the gather ({} vs {})",
@@ -147,8 +157,18 @@ fn lp_beats_comp_and_ep_beats_lp_on_streaming_misses() {
     let (_, comp) = run(&cfg_with(DefenseScheme::Fence, PinMode::Off), &misses);
     let (_, lp) = run(&cfg_with(DefenseScheme::Fence, PinMode::Late), &misses);
     let (_, ep) = run(&cfg_with(DefenseScheme::Fence, PinMode::Early), &misses);
-    assert!(lp.cycles < comp.cycles, "LP ({}) < Comp ({})", lp.cycles, comp.cycles);
-    assert!(ep.cycles < lp.cycles, "EP ({}) < LP ({})", ep.cycles, lp.cycles);
+    assert!(
+        lp.cycles < comp.cycles,
+        "LP ({}) < Comp ({})",
+        lp.cycles,
+        comp.cycles
+    );
+    assert!(
+        ep.cycles < lp.cycles,
+        "EP ({}) < LP ({})",
+        ep.cycles,
+        lp.cycles
+    );
     assert!(ep.stats.get("pin.pins") > 0);
     assert!(lp.stats.get("pin.pins") > 0);
 }
@@ -219,7 +239,10 @@ fn next_line_prefetcher_helps_serialized_streams_and_is_accounted() {
     let (_, without) = run(&off, &misses);
     let (_, with) = run(&on, &misses);
     assert_eq!(without.stats.get("l1.prefetches"), 0);
-    assert!(with.stats.get("l1.prefetches") > 100, "prefetches must issue");
+    assert!(
+        with.stats.get("l1.prefetches") > 100,
+        "prefetches must issue"
+    );
     assert!(
         (with.cycles as f64) < 0.7 * without.cycles as f64,
         "prefetching must substantially speed up a serialized stream ({} vs {})",
@@ -239,7 +262,10 @@ fn next_line_prefetcher_helps_serialized_streams_and_is_accounted() {
     u_on.mem.prefetch_degree = 1;
     let (_, u0) = run(&u_off, &misses);
     let (_, u1) = run(&u_on, &misses);
-    assert!(u1.cycles <= u0.cycles + u0.cycles / 10, "prefetching must not hurt unsafe MLP");
+    assert!(
+        u1.cycles <= u0.cycles + u0.cycles / 10,
+        "prefetching must not hurt unsafe MLP"
+    );
 }
 
 #[test]
@@ -263,7 +289,10 @@ fn invisible_speculation_validates_and_outruns_fence() {
         i.cycles,
         u.cycles
     );
-    assert!(i.stats.get("loads.invisible") > 0, "pre-VP loads executed invisibly");
+    assert!(
+        i.stats.get("loads.invisible") > 0,
+        "pre-VP loads executed invisibly"
+    );
     assert_eq!(
         i.stats.get("loads.validated"),
         i.stats.get("loads.invisible") - i.stats.get("squash.validation"),
@@ -301,7 +330,11 @@ fn invisible_validation_catches_remote_writes() {
     reader.branch(BranchCond::Ne, r(3), r(4), spin); // spin until value 1
     m.load_program(CoreId(1), reader.build().unwrap());
     let res = m.run(100_000_000).unwrap();
-    assert_eq!(m.reg(CoreId(1), r(3)), 1, "reader must observe the final committed value");
+    assert_eq!(
+        m.reg(CoreId(1), r(3)),
+        1,
+        "reader must observe the final committed value"
+    );
     assert!(res.total_retired() > 100);
 }
 
@@ -335,7 +368,10 @@ fn conservative_tso_is_correct_and_not_faster() {
 fn pinning_is_accounted_and_drains_to_zero() {
     let misses = miss_loop(200);
     let (m, res) = run(&cfg_with(DefenseScheme::Fence, PinMode::Early), &misses);
-    assert!(res.stats.get("pin.pins") >= 200, "every miss load should pin under EP");
+    assert!(
+        res.stats.get("pin.pins") >= 200,
+        "every miss load should pin under EP"
+    );
     assert_eq!(
         m.pinned_line_count(),
         0,

@@ -1,6 +1,7 @@
 //! A set-associative cache with LRU replacement and deniable evictions.
 
 use pl_base::{CacheConfig, LineAddr};
+use pl_trace::{EventKind, TraceSource, Tracer};
 use std::error::Error;
 use std::fmt;
 
@@ -96,6 +97,7 @@ pub struct Cache<T> {
     index_bits: u32,
     ways: usize,
     tick: u64,
+    tracer: Tracer,
 }
 
 impl<T> Cache<T> {
@@ -107,13 +109,35 @@ impl<T> Cache<T> {
     /// validate the [`CacheConfig`] via `MachineConfig::validate` first.
     pub fn new(cfg: &CacheConfig) -> Cache<T> {
         let sets = cfg.num_sets();
-        assert!(sets.is_power_of_two() && sets > 0, "set count must be a power of two");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "set count must be a power of two"
+        );
         Cache {
             sets: (0..sets).map(|_| Vec::with_capacity(cfg.ways)).collect(),
             index_bits: sets.trailing_zeros(),
             ways: cfg.ways,
             tick: 0,
+            tracer: Tracer::disabled(TraceSource::CoreL1(0)),
         }
+    }
+
+    /// Switches on event tracing for this cache, identified as `source`,
+    /// with a ring buffer of `capacity` events.
+    pub fn enable_trace(&mut self, source: TraceSource, capacity: usize) {
+        self.tracer = Tracer::new(source, capacity);
+    }
+
+    /// This cache's tracer (disabled unless [`Cache::enable_trace`] was
+    /// called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the tracer, used by the owner to stamp the
+    /// current cycle each tick.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// Number of sets.
@@ -139,7 +163,9 @@ impl<T> Cache<T> {
     /// Looks up `line` without updating recency.
     pub fn peek(&self, line: LineAddr) -> Option<&T> {
         let set = &self.sets[self.set_index(line)];
-        set.iter().find(|w| w.valid && w.line == line).map(|w| &w.meta)
+        set.iter()
+            .find(|w| w.valid && w.line == line)
+            .map(|w| &w.meta)
     }
 
     /// Looks up `line`, updating LRU recency on a hit.
@@ -209,11 +235,23 @@ impl<T> Cache<T> {
         }
         // Free way (either an invalidated way or unfilled capacity).
         if let Some(w) = set.iter_mut().find(|w| !w.valid) {
-            *w = Way { line, meta, lru: tick, valid: true };
+            *w = Way {
+                line,
+                meta,
+                lru: tick,
+                valid: true,
+            };
+            self.tracer.emit(EventKind::CacheInstall { line });
             return Ok(None);
         }
         if set.len() < ways {
-            set.push(Way { line, meta, lru: tick, valid: true });
+            set.push(Way {
+                line,
+                meta,
+                lru: tick,
+                valid: true,
+            });
+            self.tracer.emit(EventKind::CacheInstall { line });
             return Ok(None);
         }
         // Evict LRU among evictable ways.
@@ -225,7 +263,19 @@ impl<T> Cache<T> {
         }
         match victim {
             Some(v) => {
-                let old = std::mem::replace(&mut set[v], Way { line, meta, lru: tick, valid: true });
+                let old = std::mem::replace(
+                    &mut set[v],
+                    Way {
+                        line,
+                        meta,
+                        lru: tick,
+                        valid: true,
+                    },
+                );
+                if self.tracer.enabled() {
+                    self.tracer.emit(EventKind::CacheEvict { line: old.line });
+                    self.tracer.emit(EventKind::CacheInstall { line });
+                }
                 Ok(Some((old.line, old.meta)))
             }
             None => {
@@ -233,6 +283,7 @@ impl<T> Cache<T> {
                 for w in set.iter_mut() {
                     w.lru = tick;
                 }
+                self.tracer.emit(EventKind::CacheEvictDenied { line });
                 Err(EvictionDenied)
             }
         }
@@ -248,6 +299,7 @@ impl<T> Cache<T> {
         for w in set.iter_mut() {
             if w.valid && w.line == line {
                 w.valid = false;
+                self.tracer.emit(EventKind::CacheInvalidate { line });
                 return Some(std::mem::take(&mut w.meta));
             }
         }
@@ -259,8 +311,11 @@ impl<T> Cache<T> {
     /// directory when it must evict for an allocation.
     pub fn lru_candidates(&self, line: LineAddr) -> Vec<LineAddr> {
         let set = &self.sets[self.set_index(line)];
-        let mut lines: Vec<(u64, LineAddr)> =
-            set.iter().filter(|w| w.valid).map(|w| (w.lru, w.line)).collect();
+        let mut lines: Vec<(u64, LineAddr)> = set
+            .iter()
+            .filter(|w| w.valid)
+            .map(|w| (w.lru, w.line))
+            .collect();
         lines.sort_unstable();
         lines.into_iter().map(|(_, l)| l).collect()
     }
@@ -274,12 +329,18 @@ impl<T> Cache<T> {
 
     /// Number of valid lines currently resident.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(|s| s.iter().filter(|w| w.valid).count()).sum()
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|w| w.valid).count())
+            .sum()
     }
 
     /// Lines resident in the set that `line` maps to.
     pub fn set_occupancy(&self, line: LineAddr) -> usize {
-        self.sets[self.set_index(line)].iter().filter(|w| w.valid).count()
+        self.sets[self.set_index(line)]
+            .iter()
+            .filter(|w| w.valid)
+            .count()
     }
 }
 

@@ -23,6 +23,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use pl_base::{CoreId, Cycle, LineAddr, MemConfig, Stats};
+use pl_trace::{EventKind, TraceSource, Tracer};
 
 use crate::cache::Cache;
 use crate::msg::{DataGrant, Msg, NodeId};
@@ -61,16 +62,27 @@ struct LlcLine {
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Txn {
     /// Write with invalidations outstanding; waiting for Unblock/Abort.
-    Write { writer: CoreId, star: bool, others: Vec<CoreId> },
+    Write {
+        writer: CoreId,
+        star: bool,
+        others: Vec<CoreId>,
+    },
     /// Read forwarded to the owner; waiting for CopyBack.
     FwdS { owner: CoreId, requester: CoreId },
     /// Write forwarded to the owner; waiting for Unblock/Abort.
-    FwdX { owner: CoreId, writer: CoreId, star: bool },
+    FwdX {
+        owner: CoreId,
+        writer: CoreId,
+        star: bool,
+    },
     /// DRAM fetch in flight.
     Fetch,
     /// Back-invalidations outstanding for an eviction; the payload is the
     /// line whose fill is waiting for this victim's way.
-    Evict { acks_left: usize, for_fill: LineAddr },
+    Evict {
+        acks_left: usize,
+        for_fill: LineAddr,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -106,6 +118,7 @@ pub struct LlcSlice {
     dram_latency: u64,
     outbox: Vec<(NodeId, Msg)>,
     stats: Stats,
+    tracer: Tracer,
 }
 
 impl LlcSlice {
@@ -121,7 +134,25 @@ impl LlcSlice {
             dram_latency: cfg.dram_latency,
             outbox: Vec::new(),
             stats: Stats::new(),
+            tracer: Tracer::disabled(TraceSource::Slice(id)),
         }
+    }
+
+    /// Switches on event tracing for this slice's directory controller and
+    /// data array, each with a ring buffer of `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer = Tracer::new(TraceSource::Slice(self.id), capacity);
+        self.cache.enable_trace(TraceSource::Llc(self.id), capacity);
+    }
+
+    /// The directory controller's tracer (coherence message events).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The data array's tracer (install/evict events).
+    pub fn cache_tracer(&self) -> &Tracer {
+        self.cache.tracer()
     }
 
     /// This slice's index (its tile on the mesh).
@@ -166,6 +197,10 @@ impl LlcSlice {
     }
 
     fn send(&mut self, dst: NodeId, msg: Msg) {
+        self.tracer.emit(EventKind::MsgSend {
+            kind: msg.kind(),
+            line: msg.line(),
+        });
         self.outbox.push((dst, msg));
     }
 
@@ -177,6 +212,8 @@ impl LlcSlice {
     /// Processes timers due at `now` (DRAM completions, allocation
     /// retries).
     pub fn tick(&mut self, now: Cycle, pins: &dyn PinView) {
+        self.tracer.set_now(now);
+        self.cache.tracer_mut().set_now(now);
         while let Some(Reverse((at, _, _))) = self.timers.peek() {
             if *at > now {
                 break;
@@ -190,18 +227,36 @@ impl LlcSlice {
 
     /// Handles one inbound message.
     pub fn handle(&mut self, msg: Msg, now: Cycle, pins: &dyn PinView) {
+        if self.tracer.enabled() {
+            self.tracer.set_now(now);
+            self.cache.tracer_mut().set_now(now);
+            self.tracer.emit(EventKind::MsgRecv {
+                kind: msg.kind(),
+                line: msg.line(),
+            });
+        }
         match msg {
             Msg::GetS { line, requester } => self.on_gets(line, requester, now),
-            Msg::GetX { line, requester, star } => self.on_getx(line, requester, star, now),
+            Msg::GetX {
+                line,
+                requester,
+                star,
+            } => self.on_getx(line, requester, star, now),
             Msg::PutS { line, from } => self.on_puts(line, from),
             Msg::PutM { line, from } => self.on_putm(line, from),
             Msg::Unblock { line, from } => self.on_unblock(line, from),
             Msg::Abort { line, from } => self.on_abort(line, from),
             Msg::CopyBack { line, from, dirty } => self.on_copyback(line, from, dirty),
-            Msg::BackInvAck { line, from, dirty } => self.on_backinv_ack(line, from, dirty, now, pins),
+            Msg::BackInvAck { line, from, dirty } => {
+                self.on_backinv_ack(line, from, dirty, now, pins)
+            }
             Msg::BackInvDefer { line, from } => self.on_backinv_defer(line, from, now),
             other => {
-                debug_assert!(false, "slice {} received unexpected message {other}", self.id);
+                debug_assert!(
+                    false,
+                    "slice {} received unexpected message {other}",
+                    self.id
+                );
             }
         }
     }
@@ -210,17 +265,34 @@ impl LlcSlice {
         self.stats.incr("llc.gets");
         if self.busy.contains_key(&line) {
             self.stats.incr("llc.nacks");
-            self.send(NodeId::Core(requester), Msg::Nack { line, was_write: false });
+            self.send(
+                NodeId::Core(requester),
+                Msg::Nack {
+                    line,
+                    was_write: false,
+                },
+            );
             return;
         }
         match self.cache.get_mut(line).map(|l| l.state.clone()) {
-            None => self.start_fetch(line, FillReq { requester, write: false }, now),
+            None => self.start_fetch(
+                line,
+                FillReq {
+                    requester,
+                    write: false,
+                },
+                now,
+            ),
             Some(DirState::Uncached) => {
                 // Sole copy: grant E so a later write upgrades silently.
                 self.set_state(line, DirState::Owned(requester));
                 self.send(
                     NodeId::Core(requester),
-                    Msg::Data { line, grant: DataGrant::Exclusive, acks_expected: 0 },
+                    Msg::Data {
+                        line,
+                        grant: DataGrant::Exclusive,
+                        acks_expected: 0,
+                    },
                 );
             }
             Some(DirState::Shared(mut sharers)) => {
@@ -230,7 +302,11 @@ impl LlcSlice {
                 self.set_state(line, DirState::Shared(sharers));
                 self.send(
                     NodeId::Core(requester),
-                    Msg::Data { line, grant: DataGrant::Shared, acks_expected: 0 },
+                    Msg::Data {
+                        line,
+                        grant: DataGrant::Shared,
+                        acks_expected: 0,
+                    },
                 );
             }
             Some(DirState::Owned(owner)) if owner == requester => {
@@ -238,7 +314,11 @@ impl LlcSlice {
                 // reordered past a retry); re-grant.
                 self.send(
                     NodeId::Core(requester),
-                    Msg::Data { line, grant: DataGrant::Exclusive, acks_expected: 0 },
+                    Msg::Data {
+                        line,
+                        grant: DataGrant::Exclusive,
+                        acks_expected: 0,
+                    },
                 );
             }
             Some(DirState::Owned(owner)) => {
@@ -255,48 +335,108 @@ impl LlcSlice {
         }
         if self.busy.contains_key(&line) {
             self.stats.incr("llc.nacks");
-            self.send(NodeId::Core(requester), Msg::Nack { line, was_write: true });
+            self.send(
+                NodeId::Core(requester),
+                Msg::Nack {
+                    line,
+                    was_write: true,
+                },
+            );
             return;
         }
         match self.cache.get_mut(line).map(|l| l.state.clone()) {
-            None => self.start_fetch(line, FillReq { requester, write: true }, now),
+            None => self.start_fetch(
+                line,
+                FillReq {
+                    requester,
+                    write: true,
+                },
+                now,
+            ),
             Some(DirState::Uncached) => {
                 self.set_state_dirty(line, DirState::Owned(requester));
                 self.send(
                     NodeId::Core(requester),
-                    Msg::Data { line, grant: DataGrant::Modified, acks_expected: 0 },
+                    Msg::Data {
+                        line,
+                        grant: DataGrant::Modified,
+                        acks_expected: 0,
+                    },
                 );
             }
             Some(DirState::Shared(sharers)) => {
-                let others: Vec<CoreId> =
-                    sharers.iter().copied().filter(|&c| c != requester).collect();
+                let others: Vec<CoreId> = sharers
+                    .iter()
+                    .copied()
+                    .filter(|&c| c != requester)
+                    .collect();
                 if others.is_empty() {
                     self.set_state_dirty(line, DirState::Owned(requester));
                     self.send(
                         NodeId::Core(requester),
-                        Msg::Data { line, grant: DataGrant::Modified, acks_expected: 0 },
+                        Msg::Data {
+                            line,
+                            grant: DataGrant::Modified,
+                            acks_expected: 0,
+                        },
                     );
                 } else {
                     self.send(
                         NodeId::Core(requester),
-                        Msg::Data { line, grant: DataGrant::Modified, acks_expected: others.len() },
+                        Msg::Data {
+                            line,
+                            grant: DataGrant::Modified,
+                            acks_expected: others.len(),
+                        },
                     );
                     for &sharer in &others {
-                        self.send(NodeId::Core(sharer), Msg::Inv { line, requester, star });
+                        self.send(
+                            NodeId::Core(sharer),
+                            Msg::Inv {
+                                line,
+                                requester,
+                                star,
+                            },
+                        );
                     }
-                    self.busy.insert(line, Txn::Write { writer: requester, star, others });
+                    self.busy.insert(
+                        line,
+                        Txn::Write {
+                            writer: requester,
+                            star,
+                            others,
+                        },
+                    );
                 }
             }
             Some(DirState::Owned(owner)) if owner == requester => {
                 self.set_state_dirty(line, DirState::Owned(requester));
                 self.send(
                     NodeId::Core(requester),
-                    Msg::Data { line, grant: DataGrant::Modified, acks_expected: 0 },
+                    Msg::Data {
+                        line,
+                        grant: DataGrant::Modified,
+                        acks_expected: 0,
+                    },
                 );
             }
             Some(DirState::Owned(owner)) => {
-                self.busy.insert(line, Txn::FwdX { owner, writer: requester, star });
-                self.send(NodeId::Core(owner), Msg::FwdGetX { line, requester, star });
+                self.busy.insert(
+                    line,
+                    Txn::FwdX {
+                        owner,
+                        writer: requester,
+                        star,
+                    },
+                );
+                self.send(
+                    NodeId::Core(owner),
+                    Msg::FwdGetX {
+                        line,
+                        requester,
+                        star,
+                    },
+                );
             }
         }
     }
@@ -326,7 +466,11 @@ impl LlcSlice {
 
     fn on_unblock(&mut self, line: LineAddr, from: CoreId) {
         match self.busy.remove(&line) {
-            Some(Txn::Write { writer, star, others }) if writer == from => {
+            Some(Txn::Write {
+                writer,
+                star,
+                others,
+            }) if writer == from => {
                 self.set_state_dirty(line, DirState::Owned(writer));
                 if star {
                     // Figure 5(b): tell every former sharer to clear its CPT.
@@ -336,7 +480,11 @@ impl LlcSlice {
                     self.stats.incr("llc.clears");
                 }
             }
-            Some(Txn::FwdX { owner, writer, star }) if writer == from => {
+            Some(Txn::FwdX {
+                owner,
+                writer,
+                star,
+            }) if writer == from => {
                 self.set_state_dirty(line, DirState::Owned(writer));
                 if star {
                     self.send(NodeId::Core(owner), Msg::Clear { line });
@@ -403,7 +551,11 @@ impl LlcSlice {
                 _ => {}
             }
         }
-        if let Some(Txn::Evict { acks_left, for_fill }) = self.busy.get_mut(&line) {
+        if let Some(Txn::Evict {
+            acks_left,
+            for_fill,
+        }) = self.busy.get_mut(&line)
+        {
             *acks_left -= 1;
             if *acks_left == 0 {
                 let fill = *for_fill;
@@ -443,13 +595,9 @@ impl LlcSlice {
             return; // already placed (stale retry timer)
         }
         // Fast path: a free way or a holder-less victim.
-        let attempt = self.cache.insert(
-            line,
-            LlcLine::default(),
-            |victim, meta| {
-                meta.state == DirState::Uncached && !self.busy.contains_key(&victim)
-            },
-        );
+        let attempt = self.cache.insert(line, LlcLine::default(), |victim, meta| {
+            meta.state == DirState::Uncached && !self.busy.contains_key(&victim)
+        });
         match attempt {
             Ok(evicted) => {
                 if evicted.is_some() {
@@ -462,21 +610,33 @@ impl LlcSlice {
                 // victim that is not busy and not pinned, and back-
                 // invalidate its holders.
                 let candidates = self.cache.lru_candidates(line);
-                let victim = candidates.into_iter().find(|&v| {
-                    !self.busy.contains_key(&v) && !pins.is_pinned_by_any(v)
-                });
+                let victim = candidates
+                    .into_iter()
+                    .find(|&v| !self.busy.contains_key(&v) && !pins.is_pinned_by_any(v));
                 match victim {
                     Some(v) => {
-                        let holders =
-                            self.cache.peek(v).map(|l| l.state.holders()).unwrap_or_default();
+                        let holders = self
+                            .cache
+                            .peek(v)
+                            .map(|l| l.state.holders())
+                            .unwrap_or_default();
                         debug_assert!(!holders.is_empty(), "silent path should have taken this");
                         self.busy.insert(
                             v,
-                            Txn::Evict { acks_left: holders.len(), for_fill: line },
+                            Txn::Evict {
+                                acks_left: holders.len(),
+                                for_fill: line,
+                            },
                         );
                         for h in holders {
                             self.stats.incr("llc.back_invs");
-                            self.send(NodeId::Core(h), Msg::BackInv { line: v, slice: self.id });
+                            self.send(
+                                NodeId::Core(h),
+                                Msg::BackInv {
+                                    line: v,
+                                    slice: self.id,
+                                },
+                            );
                         }
                     }
                     None => {
@@ -502,11 +662,11 @@ impl LlcSlice {
             (DirState::Owned(req.requester), DataGrant::Exclusive)
         };
         let dirty = req.write;
-        let inserted = self.cache.insert(
-            line,
-            LlcLine { state, dirty },
-            |victim, meta| meta.state == DirState::Uncached && !self.busy.contains_key(&victim),
-        );
+        let inserted = self
+            .cache
+            .insert(line, LlcLine { state, dirty }, |victim, meta| {
+                meta.state == DirState::Uncached && !self.busy.contains_key(&victim)
+            });
         match inserted {
             Ok(evicted) => {
                 if evicted.is_some() {
@@ -514,7 +674,11 @@ impl LlcSlice {
                 }
                 self.send(
                     NodeId::Core(req.requester),
-                    Msg::Data { line, grant, acks_expected: 0 },
+                    Msg::Data {
+                        line,
+                        grant,
+                        acks_expected: 0,
+                    },
                 );
             }
             Err(_) => {
@@ -567,7 +731,14 @@ mod tests {
     #[test]
     fn cold_gets_fetches_from_dram_and_grants_e() {
         let mut s = slice();
-        s.handle(Msg::GetS { line: line(1), requester: CoreId(0) }, Cycle(0), &NoPins);
+        s.handle(
+            Msg::GetS {
+                line: line(1),
+                requester: CoreId(0),
+            },
+            Cycle(0),
+            &NoPins,
+        );
         assert!(s.is_busy(line(1)));
         assert_eq!(s.stats().get("llc.dram_fetches"), 1);
         let out = run_dram(&mut s, 200);
@@ -575,7 +746,11 @@ mod tests {
             out,
             vec![(
                 NodeId::Core(CoreId(0)),
-                Msg::Data { line: line(1), grant: DataGrant::Exclusive, acks_expected: 0 }
+                Msg::Data {
+                    line: line(1),
+                    grant: DataGrant::Exclusive,
+                    acks_expected: 0
+                }
             )]
         );
         assert_eq!(s.dir_state(line(1)), Some(DirState::Owned(CoreId(0))));
@@ -585,16 +760,44 @@ mod tests {
     #[test]
     fn second_reader_triggers_fwd_gets() {
         let mut s = slice();
-        s.handle(Msg::GetS { line: line(1), requester: CoreId(0) }, Cycle(0), &NoPins);
+        s.handle(
+            Msg::GetS {
+                line: line(1),
+                requester: CoreId(0),
+            },
+            Cycle(0),
+            &NoPins,
+        );
         run_dram(&mut s, 200);
-        s.handle(Msg::GetS { line: line(1), requester: CoreId(1) }, Cycle(300), &NoPins);
+        s.handle(
+            Msg::GetS {
+                line: line(1),
+                requester: CoreId(1),
+            },
+            Cycle(300),
+            &NoPins,
+        );
         let out = s.drain_outbox();
         assert_eq!(
             out,
-            vec![(NodeId::Core(CoreId(0)), Msg::FwdGetS { line: line(1), requester: CoreId(1) })]
+            vec![(
+                NodeId::Core(CoreId(0)),
+                Msg::FwdGetS {
+                    line: line(1),
+                    requester: CoreId(1)
+                }
+            )]
         );
         // Owner copies back; both become sharers.
-        s.handle(Msg::CopyBack { line: line(1), from: CoreId(0), dirty: false }, Cycle(310), &NoPins);
+        s.handle(
+            Msg::CopyBack {
+                line: line(1),
+                from: CoreId(0),
+                dirty: false,
+            },
+            Cycle(310),
+            &NoPins,
+        );
         assert_eq!(
             s.dir_state(line(1)),
             Some(DirState::Shared(vec![CoreId(0), CoreId(1)]))
@@ -603,11 +806,33 @@ mod tests {
 
     fn make_shared_by_two(s: &mut LlcSlice) -> LineAddr {
         let l = line(1);
-        s.handle(Msg::GetS { line: l, requester: CoreId(0) }, Cycle(0), &NoPins);
+        s.handle(
+            Msg::GetS {
+                line: l,
+                requester: CoreId(0),
+            },
+            Cycle(0),
+            &NoPins,
+        );
         run_dram(s, 200);
-        s.handle(Msg::GetS { line: l, requester: CoreId(1) }, Cycle(300), &NoPins);
+        s.handle(
+            Msg::GetS {
+                line: l,
+                requester: CoreId(1),
+            },
+            Cycle(300),
+            &NoPins,
+        );
         s.drain_outbox();
-        s.handle(Msg::CopyBack { line: l, from: CoreId(0), dirty: false }, Cycle(310), &NoPins);
+        s.handle(
+            Msg::CopyBack {
+                line: l,
+                from: CoreId(0),
+                dirty: false,
+            },
+            Cycle(310),
+            &NoPins,
+        );
         l
     }
 
@@ -615,29 +840,69 @@ mod tests {
     fn write_to_shared_line_invalidates_and_unblocks() {
         let mut s = slice();
         let l = make_shared_by_two(&mut s);
-        s.handle(Msg::GetX { line: l, requester: CoreId(2), star: false }, Cycle(400), &NoPins);
+        s.handle(
+            Msg::GetX {
+                line: l,
+                requester: CoreId(2),
+                star: false,
+            },
+            Cycle(400),
+            &NoPins,
+        );
         let out = s.drain_outbox();
         assert!(out.contains(&(
             NodeId::Core(CoreId(2)),
-            Msg::Data { line: l, grant: DataGrant::Modified, acks_expected: 2 }
+            Msg::Data {
+                line: l,
+                grant: DataGrant::Modified,
+                acks_expected: 2
+            }
         )));
         assert!(out.contains(&(
             NodeId::Core(CoreId(0)),
-            Msg::Inv { line: l, requester: CoreId(2), star: false }
+            Msg::Inv {
+                line: l,
+                requester: CoreId(2),
+                star: false
+            }
         )));
         assert!(out.contains(&(
             NodeId::Core(CoreId(1)),
-            Msg::Inv { line: l, requester: CoreId(2), star: false }
+            Msg::Inv {
+                line: l,
+                requester: CoreId(2),
+                star: false
+            }
         )));
         assert!(s.is_busy(l));
         // Other requests are nacked while busy (transient state).
-        s.handle(Msg::GetS { line: l, requester: CoreId(3) }, Cycle(401), &NoPins);
+        s.handle(
+            Msg::GetS {
+                line: l,
+                requester: CoreId(3),
+            },
+            Cycle(401),
+            &NoPins,
+        );
         assert_eq!(
             s.drain_outbox(),
-            vec![(NodeId::Core(CoreId(3)), Msg::Nack { line: l, was_write: false })]
+            vec![(
+                NodeId::Core(CoreId(3)),
+                Msg::Nack {
+                    line: l,
+                    was_write: false
+                }
+            )]
         );
         // Writer completes.
-        s.handle(Msg::Unblock { line: l, from: CoreId(2) }, Cycle(410), &NoPins);
+        s.handle(
+            Msg::Unblock {
+                line: l,
+                from: CoreId(2),
+            },
+            Cycle(410),
+            &NoPins,
+        );
         assert_eq!(s.dir_state(l), Some(DirState::Owned(CoreId(2))));
         assert!(!s.is_busy(l));
     }
@@ -646,11 +911,29 @@ mod tests {
     fn abort_leaves_sharers_unchanged() {
         let mut s = slice();
         let l = make_shared_by_two(&mut s);
-        s.handle(Msg::GetX { line: l, requester: CoreId(2), star: false }, Cycle(400), &NoPins);
+        s.handle(
+            Msg::GetX {
+                line: l,
+                requester: CoreId(2),
+                star: false,
+            },
+            Cycle(400),
+            &NoPins,
+        );
         s.drain_outbox();
-        s.handle(Msg::Abort { line: l, from: CoreId(2) }, Cycle(405), &NoPins);
+        s.handle(
+            Msg::Abort {
+                line: l,
+                from: CoreId(2),
+            },
+            Cycle(405),
+            &NoPins,
+        );
         assert!(!s.is_busy(l));
-        assert_eq!(s.dir_state(l), Some(DirState::Shared(vec![CoreId(0), CoreId(1)])));
+        assert_eq!(
+            s.dir_state(l),
+            Some(DirState::Shared(vec![CoreId(0), CoreId(1)]))
+        );
         assert_eq!(s.stats().get("llc.aborts"), 1);
     }
 
@@ -658,14 +941,32 @@ mod tests {
     fn starred_unblock_broadcasts_clear() {
         let mut s = slice();
         let l = make_shared_by_two(&mut s);
-        s.handle(Msg::GetX { line: l, requester: CoreId(2), star: true }, Cycle(400), &NoPins);
+        s.handle(
+            Msg::GetX {
+                line: l,
+                requester: CoreId(2),
+                star: true,
+            },
+            Cycle(400),
+            &NoPins,
+        );
         let out = s.drain_outbox();
         assert!(out
             .iter()
             .any(|(_, m)| matches!(m, Msg::Inv { star: true, .. })));
-        s.handle(Msg::Unblock { line: l, from: CoreId(2) }, Cycle(410), &NoPins);
+        s.handle(
+            Msg::Unblock {
+                line: l,
+                from: CoreId(2),
+            },
+            Cycle(410),
+            &NoPins,
+        );
         let out = s.drain_outbox();
-        let clears: Vec<_> = out.iter().filter(|(_, m)| matches!(m, Msg::Clear { .. })).collect();
+        let clears: Vec<_> = out
+            .iter()
+            .filter(|(_, m)| matches!(m, Msg::Clear { .. }))
+            .collect();
         assert_eq!(clears.len(), 2, "both former sharers receive Clear");
         assert_eq!(s.stats().get("llc.clears"), 1);
     }
@@ -674,16 +975,35 @@ mod tests {
     fn upgrade_with_sole_sharer_completes_immediately() {
         let mut s = slice();
         let l = line(2);
-        s.handle(Msg::GetS { line: l, requester: CoreId(0) }, Cycle(0), &NoPins);
+        s.handle(
+            Msg::GetS {
+                line: l,
+                requester: CoreId(0),
+            },
+            Cycle(0),
+            &NoPins,
+        );
         run_dram(&mut s, 200);
         // Owner requests write permission (it holds E; treat as GetX).
-        s.handle(Msg::GetX { line: l, requester: CoreId(0), star: false }, Cycle(300), &NoPins);
+        s.handle(
+            Msg::GetX {
+                line: l,
+                requester: CoreId(0),
+                star: false,
+            },
+            Cycle(300),
+            &NoPins,
+        );
         let out = s.drain_outbox();
         assert_eq!(
             out,
             vec![(
                 NodeId::Core(CoreId(0)),
-                Msg::Data { line: l, grant: DataGrant::Modified, acks_expected: 0 }
+                Msg::Data {
+                    line: l,
+                    grant: DataGrant::Modified,
+                    acks_expected: 0
+                }
             )]
         );
         assert!(!s.is_busy(l));
@@ -693,18 +1013,45 @@ mod tests {
     fn write_to_owned_line_forwards_to_owner() {
         let mut s = slice();
         let l = line(3);
-        s.handle(Msg::GetX { line: l, requester: CoreId(0), star: false }, Cycle(0), &NoPins);
+        s.handle(
+            Msg::GetX {
+                line: l,
+                requester: CoreId(0),
+                star: false,
+            },
+            Cycle(0),
+            &NoPins,
+        );
         run_dram(&mut s, 200);
-        s.handle(Msg::GetX { line: l, requester: CoreId(1), star: false }, Cycle(300), &NoPins);
+        s.handle(
+            Msg::GetX {
+                line: l,
+                requester: CoreId(1),
+                star: false,
+            },
+            Cycle(300),
+            &NoPins,
+        );
         let out = s.drain_outbox();
         assert_eq!(
             out,
             vec![(
                 NodeId::Core(CoreId(0)),
-                Msg::FwdGetX { line: l, requester: CoreId(1), star: false }
+                Msg::FwdGetX {
+                    line: l,
+                    requester: CoreId(1),
+                    star: false
+                }
             )]
         );
-        s.handle(Msg::Unblock { line: l, from: CoreId(1) }, Cycle(320), &NoPins);
+        s.handle(
+            Msg::Unblock {
+                line: l,
+                from: CoreId(1),
+            },
+            Cycle(320),
+            &NoPins,
+        );
         assert_eq!(s.dir_state(l), Some(DirState::Owned(CoreId(1))));
     }
 
@@ -712,15 +1059,44 @@ mod tests {
     fn puts_and_putm_update_state() {
         let mut s = slice();
         let l = make_shared_by_two(&mut s);
-        s.handle(Msg::PutS { line: l, from: CoreId(0) }, Cycle(500), &NoPins);
+        s.handle(
+            Msg::PutS {
+                line: l,
+                from: CoreId(0),
+            },
+            Cycle(500),
+            &NoPins,
+        );
         assert_eq!(s.dir_state(l), Some(DirState::Shared(vec![CoreId(1)])));
-        s.handle(Msg::PutS { line: l, from: CoreId(1) }, Cycle(501), &NoPins);
+        s.handle(
+            Msg::PutS {
+                line: l,
+                from: CoreId(1),
+            },
+            Cycle(501),
+            &NoPins,
+        );
         assert_eq!(s.dir_state(l), Some(DirState::Uncached));
 
         let l2 = line(9);
-        s.handle(Msg::GetX { line: l2, requester: CoreId(0), star: false }, Cycle(600), &NoPins);
+        s.handle(
+            Msg::GetX {
+                line: l2,
+                requester: CoreId(0),
+                star: false,
+            },
+            Cycle(600),
+            &NoPins,
+        );
         run_dram(&mut s, 800);
-        s.handle(Msg::PutM { line: l2, from: CoreId(0) }, Cycle(900), &NoPins);
+        s.handle(
+            Msg::PutM {
+                line: l2,
+                from: CoreId(0),
+            },
+            Cycle(900),
+            &NoPins,
+        );
         assert_eq!(s.dir_state(l2), Some(DirState::Uncached));
     }
 }

@@ -30,16 +30,16 @@
 pub mod cache;
 pub mod dir;
 pub mod memory;
-pub mod mshr;
 pub mod msg;
+pub mod mshr;
 pub mod noc;
 pub mod write_buffer;
 
 pub use cache::{Cache, EvictionDenied, Mesi};
 pub use dir::{DirState, LlcSlice};
 pub use memory::Memory;
-pub use mshr::{MshrError, MshrFile};
 pub use msg::{DataGrant, Msg, NodeId};
+pub use mshr::{MshrError, MshrFile};
 pub use noc::Noc;
 pub use write_buffer::{WbEntry, WbState, WriteBuffer};
 

@@ -45,7 +45,10 @@ impl Memory {
 
     /// Reads the 64-bit word containing `addr`.
     pub fn read(&self, addr: Addr) -> u64 {
-        self.words.get(&Self::word_index(addr)).copied().unwrap_or(0)
+        self.words
+            .get(&Self::word_index(addr))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Writes the 64-bit word containing `addr`.

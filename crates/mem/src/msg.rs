@@ -261,33 +261,94 @@ impl Msg {
     pub fn is_dir_request(&self) -> bool {
         matches!(self, Msg::GetS { .. } | Msg::GetX { .. })
     }
+
+    /// A short static name for this message kind, with the starred retry
+    /// forms spelled `GetX*`/`Inv*`/`FwdGetX*`. Used by the event tracer.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::GetS { .. } => "GetS",
+            Msg::GetX { star: false, .. } => "GetX",
+            Msg::GetX { star: true, .. } => "GetX*",
+            Msg::PutS { .. } => "PutS",
+            Msg::PutM { .. } => "PutM",
+            Msg::Unblock { .. } => "Unblock",
+            Msg::Abort { .. } => "Abort",
+            Msg::Data { .. } => "Data",
+            Msg::Inv { star: false, .. } => "Inv",
+            Msg::Inv { star: true, .. } => "Inv*",
+            Msg::FwdGetS { .. } => "FwdGetS",
+            Msg::FwdGetX { star: false, .. } => "FwdGetX",
+            Msg::FwdGetX { star: true, .. } => "FwdGetX*",
+            Msg::BackInv { .. } => "BackInv",
+            Msg::Clear { .. } => "Clear",
+            Msg::Nack { .. } => "Nack",
+            Msg::InvAck { .. } => "InvAck",
+            Msg::InvDefer { .. } => "InvDefer",
+            Msg::OwnerData { .. } => "OwnerData",
+            Msg::CopyBack { .. } => "CopyBack",
+            Msg::BackInvAck { .. } => "BackInvAck",
+            Msg::BackInvDefer { .. } => "BackInvDefer",
+        }
+    }
 }
 
 impl fmt::Display for Msg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Msg::GetS { line, requester } => write!(f, "GetS({line}) from {requester}"),
-            Msg::GetX { line, requester, star } => {
-                write!(f, "GetX{}({line}) from {requester}", if *star { "*" } else { "" })
+            Msg::GetX {
+                line,
+                requester,
+                star,
+            } => {
+                write!(
+                    f,
+                    "GetX{}({line}) from {requester}",
+                    if *star { "*" } else { "" }
+                )
             }
             Msg::PutS { line, from } => write!(f, "PutS({line}) from {from}"),
             Msg::PutM { line, from } => write!(f, "PutM({line}) from {from}"),
             Msg::Unblock { line, from } => write!(f, "Unblock({line}) from {from}"),
             Msg::Abort { line, from } => write!(f, "Abort({line}) from {from}"),
-            Msg::Data { line, grant, acks_expected } => {
+            Msg::Data {
+                line,
+                grant,
+                acks_expected,
+            } => {
                 write!(f, "Data({line}, {grant}, acks={acks_expected})")
             }
-            Msg::Inv { line, requester, star } => {
-                write!(f, "Inv{}({line}) for {requester}", if *star { "*" } else { "" })
+            Msg::Inv {
+                line,
+                requester,
+                star,
+            } => {
+                write!(
+                    f,
+                    "Inv{}({line}) for {requester}",
+                    if *star { "*" } else { "" }
+                )
             }
             Msg::FwdGetS { line, requester } => write!(f, "FwdGetS({line}) for {requester}"),
-            Msg::FwdGetX { line, requester, star } => {
-                write!(f, "FwdGetX{}({line}) for {requester}", if *star { "*" } else { "" })
+            Msg::FwdGetX {
+                line,
+                requester,
+                star,
+            } => {
+                write!(
+                    f,
+                    "FwdGetX{}({line}) for {requester}",
+                    if *star { "*" } else { "" }
+                )
             }
             Msg::BackInv { line, slice } => write!(f, "BackInv({line}) from slice{slice}"),
             Msg::Clear { line } => write!(f, "Clear({line})"),
             Msg::Nack { line, was_write } => {
-                write!(f, "Nack({line}, {})", if *was_write { "write" } else { "read" })
+                write!(
+                    f,
+                    "Nack({line}, {})",
+                    if *was_write { "write" } else { "read" }
+                )
             }
             Msg::InvAck { line, from } => write!(f, "InvAck({line}) from {from}"),
             Msg::InvDefer { line, from } => write!(f, "InvDefer({line}) from {from}"),
@@ -315,46 +376,138 @@ mod tests {
         let l = Addr::new(0x80).line();
         let c = CoreId(1);
         let msgs = [
-            Msg::GetS { line: l, requester: c },
-            Msg::GetX { line: l, requester: c, star: true },
+            Msg::GetS {
+                line: l,
+                requester: c,
+            },
+            Msg::GetX {
+                line: l,
+                requester: c,
+                star: true,
+            },
             Msg::PutS { line: l, from: c },
             Msg::PutM { line: l, from: c },
             Msg::Unblock { line: l, from: c },
             Msg::Abort { line: l, from: c },
-            Msg::Data { line: l, grant: DataGrant::Shared, acks_expected: 0 },
-            Msg::Inv { line: l, requester: c, star: false },
-            Msg::FwdGetS { line: l, requester: c },
-            Msg::FwdGetX { line: l, requester: c, star: false },
+            Msg::Data {
+                line: l,
+                grant: DataGrant::Shared,
+                acks_expected: 0,
+            },
+            Msg::Inv {
+                line: l,
+                requester: c,
+                star: false,
+            },
+            Msg::FwdGetS {
+                line: l,
+                requester: c,
+            },
+            Msg::FwdGetX {
+                line: l,
+                requester: c,
+                star: false,
+            },
             Msg::BackInv { line: l, slice: 0 },
             Msg::Clear { line: l },
-            Msg::Nack { line: l, was_write: false },
+            Msg::Nack {
+                line: l,
+                was_write: false,
+            },
             Msg::InvAck { line: l, from: c },
             Msg::InvDefer { line: l, from: c },
-            Msg::OwnerData { line: l, grant: DataGrant::Modified, from: c },
-            Msg::CopyBack { line: l, from: c, dirty: true },
-            Msg::BackInvAck { line: l, from: c, dirty: false },
+            Msg::OwnerData {
+                line: l,
+                grant: DataGrant::Modified,
+                from: c,
+            },
+            Msg::CopyBack {
+                line: l,
+                from: c,
+                dirty: true,
+            },
+            Msg::BackInvAck {
+                line: l,
+                from: c,
+                dirty: false,
+            },
             Msg::BackInvDefer { line: l, from: c },
         ];
         for m in msgs {
             assert_eq!(m.line(), l);
             assert!(!m.to_string().is_empty());
+            // Every Display form leads with the kind name.
+            assert!(m.to_string().starts_with(m.kind().trim_end_matches('*')));
         }
+    }
+
+    #[test]
+    fn kind_marks_starred_forms() {
+        let l = Addr::new(0).line();
+        assert_eq!(
+            Msg::GetX {
+                line: l,
+                requester: CoreId(0),
+                star: true
+            }
+            .kind(),
+            "GetX*"
+        );
+        assert_eq!(
+            Msg::Inv {
+                line: l,
+                requester: CoreId(0),
+                star: false
+            }
+            .kind(),
+            "Inv"
+        );
+        assert_eq!(
+            Msg::FwdGetX {
+                line: l,
+                requester: CoreId(0),
+                star: true
+            }
+            .kind(),
+            "FwdGetX*"
+        );
     }
 
     #[test]
     fn dir_request_classification() {
         let l = Addr::new(0).line();
-        assert!(Msg::GetS { line: l, requester: CoreId(0) }.is_dir_request());
-        assert!(Msg::GetX { line: l, requester: CoreId(0), star: false }.is_dir_request());
-        assert!(!Msg::Nack { line: l, was_write: true }.is_dir_request());
+        assert!(Msg::GetS {
+            line: l,
+            requester: CoreId(0)
+        }
+        .is_dir_request());
+        assert!(Msg::GetX {
+            line: l,
+            requester: CoreId(0),
+            star: false
+        }
+        .is_dir_request());
+        assert!(!Msg::Nack {
+            line: l,
+            was_write: true
+        }
+        .is_dir_request());
     }
 
     #[test]
     fn starred_messages_display_star() {
         let l = Addr::new(0).line();
-        let m = Msg::GetX { line: l, requester: CoreId(2), star: true };
+        let m = Msg::GetX {
+            line: l,
+            requester: CoreId(2),
+            star: true,
+        };
         assert!(m.to_string().contains("GetX*"));
-        let i = Msg::Inv { line: l, requester: CoreId(2), star: true };
+        let i = Msg::Inv {
+            line: l,
+            requester: CoreId(2),
+            star: true,
+        };
         assert!(i.to_string().contains("Inv*"));
     }
 

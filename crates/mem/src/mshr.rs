@@ -62,7 +62,10 @@ impl MshrFile {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> MshrFile {
         assert!(capacity > 0, "MSHR capacity must be nonzero");
-        MshrFile { entries: HashMap::new(), capacity }
+        MshrFile {
+            entries: HashMap::new(),
+            capacity,
+        }
     }
 
     /// Registers `waiter` as missing on `line`.
@@ -93,7 +96,11 @@ impl MshrFile {
         }
         self.entries.insert(
             line,
-            MshrEntry { waiters: vec![waiter], write_intent, pinned: false },
+            MshrEntry {
+                waiters: vec![waiter],
+                write_intent,
+                pinned: false,
+            },
         );
         Ok(true)
     }
@@ -120,7 +127,10 @@ impl MshrFile {
     /// waiting sequence numbers in arrival order. Returns an empty vector
     /// if no entry exists.
     pub fn complete(&mut self, line: LineAddr) -> Vec<SeqNum> {
-        self.entries.remove(&line).map(|e| e.waiters).unwrap_or_default()
+        self.entries
+            .remove(&line)
+            .map(|e| e.waiters)
+            .unwrap_or_default()
     }
 
     /// Removes `waiter` from every entry (it was squashed). Entries whose

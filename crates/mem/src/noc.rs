@@ -117,7 +117,13 @@ impl Noc {
         self.hops_traversed += self.hops(src, dst);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Reverse(InFlight { deliver_at, seq, src, dst, msg }));
+        self.queue.push(Reverse(InFlight {
+            deliver_at,
+            seq,
+            src,
+            dst,
+            msg,
+        }));
     }
 
     /// Returns every message whose delivery time is `<= now`, in delivery
@@ -156,7 +162,10 @@ mod tests {
     use pl_base::{Addr, CoreId};
 
     fn gets(core: usize) -> Msg {
-        Msg::GetS { line: Addr::new(0x40).line(), requester: CoreId(core) }
+        Msg::GetS {
+            line: Addr::new(0x40).line(),
+            requester: CoreId(core),
+        }
     }
 
     #[test]
@@ -177,7 +186,12 @@ mod tests {
     #[test]
     fn delivery_respects_latency() {
         let mut noc = Noc::new(4, 2, 1);
-        noc.send(Cycle(10), NodeId::Core(CoreId(0)), NodeId::Slice(7), gets(0));
+        noc.send(
+            Cycle(10),
+            NodeId::Core(CoreId(0)),
+            NodeId::Slice(7),
+            gets(0),
+        );
         assert!(noc.deliver(Cycle(14)).is_empty());
         let out = noc.deliver(Cycle(15));
         assert_eq!(out.len(), 1);

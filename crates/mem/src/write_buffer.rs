@@ -94,7 +94,9 @@ impl WriteBuffer {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> WriteBuffer {
-        WriteBuffer { entries: CircQueue::new(capacity) }
+        WriteBuffer {
+            entries: CircQueue::new(capacity),
+        }
     }
 
     /// Appends a retired store.

@@ -2,7 +2,7 @@
 //! Pinned Loads defer/starvation paths driven with a scripted `PinView`.
 
 use pl_base::{Addr, CoreId, Cycle, LineAddr, MemConfig};
-use pl_mem::{DataGrant, DirState, LlcSlice, Msg, NodeId, NoPins, PinView};
+use pl_mem::{DataGrant, DirState, LlcSlice, Msg, NoPins, NodeId, PinView};
 
 fn line(n: u64) -> LineAddr {
     Addr::new(n * 64).line()
@@ -30,16 +30,34 @@ impl PinView for ScriptedPins {
 }
 
 fn share_with(s: &mut LlcSlice, l: LineAddr, cores: &[usize], t0: u64) {
-    s.handle(Msg::GetS { line: l, requester: CoreId(cores[0]) }, Cycle(t0), &NoPins);
+    s.handle(
+        Msg::GetS {
+            line: l,
+            requester: CoreId(cores[0]),
+        },
+        Cycle(t0),
+        &NoPins,
+    );
     drain_dram(s, t0 + 200);
     for (k, &c) in cores.iter().enumerate().skip(1) {
-        s.handle(Msg::GetS { line: l, requester: CoreId(c) }, Cycle(t0 + 300 + k as u64), &NoPins);
+        s.handle(
+            Msg::GetS {
+                line: l,
+                requester: CoreId(c),
+            },
+            Cycle(t0 + 300 + k as u64),
+            &NoPins,
+        );
         s.drain_outbox();
         // The owner (first reader) copies back on the first forward; later
         // readers are served from the now-Shared state directly.
         if k == 1 {
             s.handle(
-                Msg::CopyBack { line: l, from: CoreId(cores[0]), dirty: false },
+                Msg::CopyBack {
+                    line: l,
+                    from: CoreId(cores[0]),
+                    dirty: false,
+                },
                 Cycle(t0 + 301 + k as u64),
                 &NoPins,
             );
@@ -56,15 +74,40 @@ fn three_sharers_all_receive_invs_and_the_writer_collects() {
         s.dir_state(l),
         Some(DirState::Shared(vec![CoreId(0), CoreId(1), CoreId(2)]))
     );
-    s.handle(Msg::GetX { line: l, requester: CoreId(3), star: false }, Cycle(600), &NoPins);
+    s.handle(
+        Msg::GetX {
+            line: l,
+            requester: CoreId(3),
+            star: false,
+        },
+        Cycle(600),
+        &NoPins,
+    );
     let out = s.drain_outbox();
-    let invs: Vec<_> = out.iter().filter(|(_, m)| matches!(m, Msg::Inv { .. })).collect();
+    let invs: Vec<_> = out
+        .iter()
+        .filter(|(_, m)| matches!(m, Msg::Inv { .. }))
+        .collect();
     assert_eq!(invs.len(), 3);
     assert!(out.iter().any(|(dst, m)| matches!(
         (dst, m),
-        (NodeId::Core(CoreId(3)), Msg::Data { grant: DataGrant::Modified, acks_expected: 3, .. })
+        (
+            NodeId::Core(CoreId(3)),
+            Msg::Data {
+                grant: DataGrant::Modified,
+                acks_expected: 3,
+                ..
+            }
+        )
     )));
-    s.handle(Msg::Unblock { line: l, from: CoreId(3) }, Cycle(610), &NoPins);
+    s.handle(
+        Msg::Unblock {
+            line: l,
+            from: CoreId(3),
+        },
+        Cycle(610),
+        &NoPins,
+    );
     assert_eq!(s.dir_state(l), Some(DirState::Owned(CoreId(3))));
 }
 
@@ -73,12 +116,46 @@ fn nack_tags_distinguish_read_and_write_rejections() {
     let mut s = LlcSlice::new(0, &MemConfig::default());
     let l = line(2);
     // Enter a busy state via a cold fetch.
-    s.handle(Msg::GetS { line: l, requester: CoreId(0) }, Cycle(0), &NoPins);
-    s.handle(Msg::GetS { line: l, requester: CoreId(1) }, Cycle(1), &NoPins);
-    s.handle(Msg::GetX { line: l, requester: CoreId(2), star: false }, Cycle(2), &NoPins);
+    s.handle(
+        Msg::GetS {
+            line: l,
+            requester: CoreId(0),
+        },
+        Cycle(0),
+        &NoPins,
+    );
+    s.handle(
+        Msg::GetS {
+            line: l,
+            requester: CoreId(1),
+        },
+        Cycle(1),
+        &NoPins,
+    );
+    s.handle(
+        Msg::GetX {
+            line: l,
+            requester: CoreId(2),
+            star: false,
+        },
+        Cycle(2),
+        &NoPins,
+    );
     let out = s.drain_outbox();
-    assert!(out.contains(&(NodeId::Core(CoreId(1)), Msg::Nack { line: l, was_write: false })));
-    assert!(out.contains(&(NodeId::Core(CoreId(2)), Msg::Nack { line: l, was_write: true })));
+    assert!(out.contains(&(
+        NodeId::Core(CoreId(1)),
+        Msg::Nack {
+            line: l,
+            was_write: false
+        }
+    )));
+    assert!(out.contains(&(
+        NodeId::Core(CoreId(2)),
+        Msg::Nack {
+            line: l,
+            was_write: true
+        }
+    )));
 }
 
 #[test]
@@ -92,18 +169,39 @@ fn eviction_avoids_pinned_victims() {
     let (a, b, c) = (line(1), line(2), line(3));
     let pins = ScriptedPins(vec![(CoreId(0), a)]);
 
-    s.handle(Msg::GetS { line: a, requester: CoreId(0) }, Cycle(0), &pins);
+    s.handle(
+        Msg::GetS {
+            line: a,
+            requester: CoreId(0),
+        },
+        Cycle(0),
+        &pins,
+    );
     for t in 0..=200 {
         s.tick(Cycle(t), &pins);
     }
     s.drain_outbox();
-    s.handle(Msg::GetS { line: b, requester: CoreId(1) }, Cycle(300), &pins);
+    s.handle(
+        Msg::GetS {
+            line: b,
+            requester: CoreId(1),
+        },
+        Cycle(300),
+        &pins,
+    );
     for t in 300..=500 {
         s.tick(Cycle(t), &pins);
     }
     s.drain_outbox();
     // Third line: must evict, and the victim must be `b` (a is pinned).
-    s.handle(Msg::GetS { line: c, requester: CoreId(2) }, Cycle(600), &pins);
+    s.handle(
+        Msg::GetS {
+            line: c,
+            requester: CoreId(2),
+        },
+        Cycle(600),
+        &pins,
+    );
     let mut out = Vec::new();
     for t in 600..=900 {
         s.tick(Cycle(t), &pins);
@@ -112,10 +210,12 @@ fn eviction_avoids_pinned_victims() {
         let acks: Vec<Msg> = out
             .iter()
             .filter_map(|(dst, m)| match (dst, m) {
-                (NodeId::Core(CoreId(1)), Msg::BackInv { line, slice }) => {
-                    Some(Msg::BackInvAck { line: *line, from: CoreId(1), dirty: false })
-                        .filter(|_| *slice == 0)
-                }
+                (NodeId::Core(CoreId(1)), Msg::BackInv { line, slice }) => Some(Msg::BackInvAck {
+                    line: *line,
+                    from: CoreId(1),
+                    dirty: false,
+                })
+                .filter(|_| *slice == 0),
                 _ => None,
             })
             .collect();
@@ -127,7 +227,10 @@ fn eviction_avoids_pinned_victims() {
     // a must survive; c must be resident; b must be gone.
     assert!(s.dir_state(a).is_some(), "pinned line was evicted");
     assert!(s.dir_state(c).is_some(), "fill never placed");
-    assert!(s.dir_state(b).is_none(), "unpinned victim should have been evicted");
+    assert!(
+        s.dir_state(b).is_none(),
+        "unpinned victim should have been evicted"
+    );
     assert!(out
         .iter()
         .any(|(dst, m)| matches!((dst, m), (NodeId::Core(CoreId(2)), Msg::Data { .. }))));
@@ -140,7 +243,14 @@ fn back_inv_defer_cancels_the_eviction_and_retries() {
     cfg.llc_slice.ways = 1;
     let mut s = LlcSlice::new(0, &cfg);
     let (a, b) = (line(1), line(2));
-    s.handle(Msg::GetS { line: a, requester: CoreId(0) }, Cycle(0), &NoPins);
+    s.handle(
+        Msg::GetS {
+            line: a,
+            requester: CoreId(0),
+        },
+        Cycle(0),
+        &NoPins,
+    );
     for t in 0..=200 {
         s.tick(Cycle(t), &NoPins);
     }
@@ -148,7 +258,14 @@ fn back_inv_defer_cancels_the_eviction_and_retries() {
     // Core 0 pins `a` *after* the victim query would pass: scripted view
     // says unpinned, but the core defers the back-invalidation (the race
     // of Section 5.1.3).
-    s.handle(Msg::GetS { line: b, requester: CoreId(1) }, Cycle(300), &NoPins);
+    s.handle(
+        Msg::GetS {
+            line: b,
+            requester: CoreId(1),
+        },
+        Cycle(300),
+        &NoPins,
+    );
     let mut deferred = false;
     for t in 300..=700 {
         s.tick(Cycle(t), &NoPins);
@@ -157,14 +274,21 @@ fn back_inv_defer_cancels_the_eviction_and_retries() {
                 if !deferred {
                     // First attempt: defer (the line just got pinned).
                     s.handle(
-                        Msg::BackInvDefer { line, from: CoreId(0) },
+                        Msg::BackInvDefer {
+                            line,
+                            from: CoreId(0),
+                        },
                         Cycle(t),
                         &NoPins,
                     );
                     deferred = true;
                 } else {
                     s.handle(
-                        Msg::BackInvAck { line, from: CoreId(0), dirty: false },
+                        Msg::BackInvAck {
+                            line,
+                            from: CoreId(0),
+                            dirty: false,
+                        },
                         Cycle(t),
                         &NoPins,
                     );
@@ -175,7 +299,10 @@ fn back_inv_defer_cancels_the_eviction_and_retries() {
     }
     assert!(deferred, "the defer path never triggered");
     assert_eq!(s.stats().get("llc.evictions_retried"), 1);
-    assert!(s.dir_state(b).is_some(), "fill must eventually place after the retry");
+    assert!(
+        s.dir_state(b).is_some(),
+        "fill must eventually place after the retry"
+    );
 }
 
 #[test]
@@ -183,21 +310,57 @@ fn getx_star_inv_star_round_trips() {
     let mut s = LlcSlice::new(0, &MemConfig::default());
     let l = line(7);
     share_with(&mut s, l, &[0, 1], 0);
-    s.handle(Msg::GetX { line: l, requester: CoreId(2), star: true }, Cycle(600), &NoPins);
+    s.handle(
+        Msg::GetX {
+            line: l,
+            requester: CoreId(2),
+            star: true,
+        },
+        Cycle(600),
+        &NoPins,
+    );
     let out = s.drain_outbox();
     assert!(out.iter().all(|(_, m)| match m {
         Msg::Inv { star, .. } => *star,
         _ => true,
     }));
     // One sharer defers -> writer aborts -> state unchanged.
-    s.handle(Msg::Abort { line: l, from: CoreId(2) }, Cycle(610), &NoPins);
-    assert_eq!(s.dir_state(l), Some(DirState::Shared(vec![CoreId(0), CoreId(1)])));
+    s.handle(
+        Msg::Abort {
+            line: l,
+            from: CoreId(2),
+        },
+        Cycle(610),
+        &NoPins,
+    );
+    assert_eq!(
+        s.dir_state(l),
+        Some(DirState::Shared(vec![CoreId(0), CoreId(1)]))
+    );
     // Retry succeeds -> Unblock -> Clear broadcast to former sharers.
-    s.handle(Msg::GetX { line: l, requester: CoreId(2), star: true }, Cycle(700), &NoPins);
+    s.handle(
+        Msg::GetX {
+            line: l,
+            requester: CoreId(2),
+            star: true,
+        },
+        Cycle(700),
+        &NoPins,
+    );
     s.drain_outbox();
-    s.handle(Msg::Unblock { line: l, from: CoreId(2) }, Cycle(710), &NoPins);
+    s.handle(
+        Msg::Unblock {
+            line: l,
+            from: CoreId(2),
+        },
+        Cycle(710),
+        &NoPins,
+    );
     let out = s.drain_outbox();
-    let clears = out.iter().filter(|(_, m)| matches!(m, Msg::Clear { .. })).count();
+    let clears = out
+        .iter()
+        .filter(|(_, m)| matches!(m, Msg::Clear { .. }))
+        .count();
     assert_eq!(clears, 2);
     assert_eq!(s.dir_state(l), Some(DirState::Owned(CoreId(2))));
 }

@@ -2,7 +2,7 @@
 //! in-tree `pl-test` harness.
 
 use pl_base::{Addr, CacheConfig, CoreId, Cycle, SimRng};
-use pl_mem::{Cache, Memory, Msg, NodeId, Noc, WriteBuffer};
+use pl_mem::{Cache, Memory, Msg, Noc, NodeId, WriteBuffer};
 use pl_test::{
     any_u32, any_u64, check, check_with, prop_assert, prop_assert_eq, u64_in, usize_in, vec_of,
     Config,
@@ -75,7 +75,12 @@ fn cache_touch_protects_from_next_eviction() {
         "cache_touch_protects_from_next_eviction",
         &(u64_in(0..100), u64_in(1..100)),
         |&(n0, delta)| {
-            let cfg = CacheConfig { size_bytes: 2 * 64, ways: 2, hit_latency: 1, mshr_entries: 1 };
+            let cfg = CacheConfig {
+                size_bytes: 2 * 64,
+                ways: 2,
+                hit_latency: 1,
+                mshr_entries: 1,
+            };
             let mut cache: Cache<u32> = Cache::new(&cfg);
             // One set, two ways: every line collides.
             let s0 = Addr::new(n0 * 64).line();
@@ -109,8 +114,11 @@ fn write_buffer_forwarding_model() {
                 }
                 prop_assert!(wb.len() <= *cap);
                 for probe in 0..16u64 {
-                    let expect =
-                        model.iter().rev().find(|&&(w, _)| w == probe).map(|&(_, v)| v);
+                    let expect = model
+                        .iter()
+                        .rev()
+                        .find(|&&(w, _)| w == probe)
+                        .map(|&(_, v)| v);
                     prop_assert_eq!(wb.forward(Addr::new(probe * 8)), expect);
                 }
             }
@@ -125,15 +133,25 @@ fn write_buffer_forwarding_model() {
 fn noc_delivers_everything_in_pair_order() {
     check(
         "noc_delivers_everything_in_pair_order",
-        &vec_of((u64_in(0..50), usize_in(0..8), usize_in(0..8), u64_in(0..1000)), 0..60),
+        &vec_of(
+            (
+                u64_in(0..50),
+                usize_in(0..8),
+                usize_in(0..8),
+                u64_in(0..1000),
+            ),
+            0..60,
+        ),
         |sends| {
             let mut noc = Noc::new(4, 2, 1);
             let mut sent = Vec::new();
             let mut sorted_sends = sends.clone();
             sorted_sends.sort_by_key(|&(t, ..)| t);
             for (t, src, dst, lraw) in sorted_sends {
-                let msg =
-                    Msg::GetS { line: Addr::new(lraw * 64).line(), requester: CoreId(src) };
+                let msg = Msg::GetS {
+                    line: Addr::new(lraw * 64).line(),
+                    requester: CoreId(src),
+                };
                 noc.send(Cycle(t), NodeId::Core(CoreId(src)), NodeId::Slice(dst), msg);
                 sent.push((src, dst, msg));
             }

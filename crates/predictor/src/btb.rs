@@ -30,8 +30,13 @@ impl Btb {
     ///
     /// Panics if `entries` is zero or not a power of two.
     pub fn new(entries: usize) -> Btb {
-        assert!(entries.is_power_of_two(), "BTB entry count must be a power of two");
-        Btb { entries: vec![None; entries] }
+        assert!(
+            entries.is_power_of_two(),
+            "BTB entry count must be a power of two"
+        );
+        Btb {
+            entries: vec![None; entries],
+        }
     }
 
     fn slot(&self, pc: Pc) -> usize {

@@ -136,7 +136,10 @@ impl BranchPredictor {
 
     /// Captures the current speculative state.
     pub fn checkpoint(&self) -> Checkpoint {
-        Checkpoint { ghr: self.ghr, ras: self.ras.clone() }
+        Checkpoint {
+            ghr: self.ghr,
+            ras: self.ras.clone(),
+        }
     }
 
     /// Restores speculative state after a squash, rewinding the global
@@ -184,7 +187,10 @@ mod tests {
             }
             bp.update_cond(pc, taken, pred, &ckpt);
         }
-        assert!(correct_late > 250, "only {correct_late}/300 correct on alternating");
+        assert!(
+            correct_late > 250,
+            "only {correct_late}/300 correct on alternating"
+        );
     }
 
     #[test]

@@ -50,8 +50,14 @@ impl LoopPredictor {
     ///
     /// Panics if `entries` is zero or not a power of two.
     pub fn new(entries: usize) -> LoopPredictor {
-        assert!(entries.is_power_of_two(), "loop predictor size must be a power of two");
-        LoopPredictor { entries: vec![LoopEntry::default(); entries], confidence_threshold: 3 }
+        assert!(
+            entries.is_power_of_two(),
+            "loop predictor size must be a power of two"
+        );
+        LoopPredictor {
+            entries: vec![LoopEntry::default(); entries],
+            confidence_threshold: 3,
+        }
     }
 
     fn slot(&self, pc: Pc) -> usize {
@@ -78,7 +84,13 @@ impl LoopPredictor {
             // Allocate only when we observe a loop exit, which anchors the
             // traversal boundary.
             if !taken {
-                *e = LoopEntry { tag: pc.0 as u64, trip: 0, current: 0, confidence: 0, valid: true };
+                *e = LoopEntry {
+                    tag: pc.0 as u64,
+                    trip: 0,
+                    current: 0,
+                    confidence: 0,
+                    valid: true,
+                };
             }
             return;
         }

@@ -41,7 +41,11 @@ impl Ras {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Ras {
         assert!(capacity > 0, "RAS capacity must be nonzero");
-        Ras { slots: vec![None; capacity], top: 0, depth: 0 }
+        Ras {
+            slots: vec![None; capacity],
+            top: 0,
+            depth: 0,
+        }
     }
 
     /// Number of slots.

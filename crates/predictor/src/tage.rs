@@ -49,7 +49,11 @@ impl TaggedTable {
 
     /// Folds the low `hist_len` bits of the history into `bits` bits.
     fn fold(mut hist: u64, hist_len: u32, bits: u32) -> u64 {
-        let mask = if hist_len >= 64 { u64::MAX } else { (1u64 << hist_len) - 1 };
+        let mask = if hist_len >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << hist_len) - 1
+        };
         hist &= mask;
         let mut folded = 0u64;
         while hist != 0 {
@@ -110,10 +114,16 @@ impl Tage {
         for (i, table) in self.tables.iter().enumerate().rev() {
             let e = &table.entries[table.index(pc, ghr)];
             if e.valid && e.tag == table.tag(pc, ghr) {
-                return TagePrediction { taken: e.ctr >= 0, provider: Some(i) };
+                return TagePrediction {
+                    taken: e.ctr >= 0,
+                    provider: Some(i),
+                };
             }
         }
-        TagePrediction { taken: self.bimodal[self.bimodal_index(pc)] >= 2, provider: None }
+        TagePrediction {
+            taken: self.bimodal[self.bimodal_index(pc)] >= 2,
+            provider: None,
+        }
     }
 
     /// Trains the predictor with the resolved outcome.
@@ -138,7 +148,11 @@ impl Tage {
             Some(i) => {
                 let idx = self.tables[i].index(pc, ghr);
                 let e = &mut self.tables[i].entries[idx];
-                e.ctr = if taken { (e.ctr + 1).min(3) } else { (e.ctr - 1).max(-4) };
+                e.ctr = if taken {
+                    (e.ctr + 1).min(3)
+                } else {
+                    (e.ctr - 1).max(-4)
+                };
                 let correct = predicted == taken;
                 if correct {
                     e.useful = (e.useful + 1).min(3);
@@ -149,7 +163,11 @@ impl Tage {
             None => {
                 let idx = self.bimodal_index(pc);
                 let c = &mut self.bimodal[idx];
-                *c = if taken { (*c + 1).min(3) } else { c.saturating_sub(1) };
+                *c = if taken {
+                    (*c + 1).min(3)
+                } else {
+                    c.saturating_sub(1)
+                };
             }
         }
 
@@ -166,7 +184,10 @@ impl Tage {
         }
         // Cheap deterministic pseudo-randomness for victim choice among
         // candidate tables, as real TAGE uses an LFSR.
-        self.alloc_seed = self.alloc_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.alloc_seed = self
+            .alloc_seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1);
         let preferred = start + (self.alloc_seed >> 60) as usize % (self.tables.len() - start);
 
         // Try preferred first, then every longer table in order; steal only
@@ -179,7 +200,12 @@ impl Tage {
             let tag = self.tables[i].tag(pc, ghr);
             let e = &mut self.tables[i].entries[idx];
             if !e.valid || e.useful == 0 {
-                *e = TaggedEntry { tag, ctr: if taken { 0 } else { -1 }, useful: 0, valid: true };
+                *e = TaggedEntry {
+                    tag,
+                    ctr: if taken { 0 } else { -1 },
+                    useful: 0,
+                    valid: true,
+                };
                 return;
             }
             e.useful -= 1;

@@ -66,7 +66,9 @@ fn incompressible_randomness_stays_near_chance() {
     let mut state = 0x12345678u64;
     let outcomes: Vec<bool> = (0..4000)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 63 == 1
         })
         .collect();
@@ -82,7 +84,11 @@ fn distinct_branches_do_not_destructively_interfere() {
     let mut correct = 0;
     let trials = 2000;
     for i in 0..trials {
-        let (pc, taken) = if i % 2 == 0 { (pc_a, true) } else { (pc_b, false) };
+        let (pc, taken) = if i % 2 == 0 {
+            (pc_a, true)
+        } else {
+            (pc_b, false)
+        };
         let (pred, ckpt) = bp.predict_cond(pc);
         if i >= trials / 2 && pred == taken {
             correct += 1;

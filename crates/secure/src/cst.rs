@@ -90,7 +90,10 @@ impl Cst {
     ///
     /// Panics if either dimension is zero.
     pub fn finite(entries: usize, records_per_entry: usize) -> Cst {
-        assert!(entries > 0 && records_per_entry > 0, "CST dimensions must be nonzero");
+        assert!(
+            entries > 0 && records_per_entry > 0,
+            "CST dimensions must be nonzero"
+        );
         Cst {
             table: Table::Finite(vec![Vec::new(); entries]),
             records_per_entry,
@@ -147,7 +150,10 @@ impl Cst {
             };
         }
         if entry.len() < m {
-            entry.push(Record { line_hash: h, lq_id });
+            entry.push(Record {
+                line_hash: h,
+                lq_id,
+            });
             CstOutcome::NewRecord
         } else {
             CstOutcome::NoSpace
@@ -223,9 +229,15 @@ mod tests {
         let lq = FakeLq::new();
         let mut cst = Cst::finite(8, 2);
         lq.set(1, line(5));
-        assert_eq!(cst.try_pin(3, line(5), 1, &lq.live()), CstOutcome::NewRecord);
+        assert_eq!(
+            cst.try_pin(3, line(5), 1, &lq.live()),
+            CstOutcome::NewRecord
+        );
         lq.set(2, line(5));
-        assert_eq!(cst.try_pin(3, line(5), 2, &lq.live()), CstOutcome::AlreadyPinned);
+        assert_eq!(
+            cst.try_pin(3, line(5), 2, &lq.live()),
+            CstOutcome::AlreadyPinned
+        );
         assert_eq!(cst.records_for(3), 1);
     }
 
@@ -250,7 +262,10 @@ mod tests {
         // Load 1 retires: its LQ slot is reused or freed.
         lq.unset(1);
         lq.set(2, line(2));
-        assert_eq!(cst.try_pin(4, line(2), 2, &lq.live()), CstOutcome::NewRecord);
+        assert_eq!(
+            cst.try_pin(4, line(2), 2, &lq.live()),
+            CstOutcome::NewRecord
+        );
     }
 
     #[test]
@@ -267,7 +282,10 @@ mod tests {
         lq.set(1, base);
         assert!(cst.try_pin(0, base, 1, &lq.live()).allowed());
         lq.set(2, collider);
-        assert_eq!(cst.try_pin(0, collider, 2, &lq.live()), CstOutcome::HashCollision);
+        assert_eq!(
+            cst.try_pin(0, collider, 2, &lq.live()),
+            CstOutcome::HashCollision
+        );
     }
 
     #[test]
@@ -278,7 +296,10 @@ mod tests {
         lq.set(1, line(1));
         lq.set(2, line(2));
         assert!(finite.try_pin(10, line(1), 1, &lq.live()).allowed());
-        assert_eq!(finite.try_pin(11, line(2), 2, &lq.live()), CstOutcome::NoSpace);
+        assert_eq!(
+            finite.try_pin(11, line(2), 2, &lq.live()),
+            CstOutcome::NoSpace
+        );
         assert!(ideal.try_pin(10, line(1), 1, &lq.live()).allowed());
         assert!(ideal.try_pin(11, line(2), 2, &lq.live()).allowed());
     }

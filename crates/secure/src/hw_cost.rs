@@ -59,7 +59,9 @@ fn model(bytes: u64) -> StructureCost {
 /// assert_eq!(c.bytes, 444); // matches the paper's Section 9.2.4
 /// ```
 pub fn l1_cst_cost(cfg: &CstConfig) -> StructureCost {
-    model(bits_to_bytes(cfg.l1_entries as u64 * cfg.l1_records as u64 * RECORD_BITS))
+    model(bits_to_bytes(
+        cfg.l1_entries as u64 * cfg.l1_records as u64 * RECORD_BITS,
+    ))
 }
 
 /// Storage cost of the directory/LLC CST.
@@ -72,7 +74,9 @@ pub fn l1_cst_cost(cfg: &CstConfig) -> StructureCost {
 /// assert_eq!(dir_cst_cost(&CstConfig::default()).bytes, 370);
 /// ```
 pub fn dir_cst_cost(cfg: &CstConfig) -> StructureCost {
-    model(bits_to_bytes(cfg.dir_entries as u64 * cfg.dir_records as u64 * RECORD_BITS))
+    model(bits_to_bytes(
+        cfg.dir_entries as u64 * cfg.dir_records as u64 * RECORD_BITS,
+    ))
 }
 
 /// Storage cost of the Cannot-Pin Table: each entry holds a full line
@@ -136,7 +140,10 @@ mod tests {
     fn lq_tag_extension() {
         // 62 entries round to 64 -> 6 baseline bits; 24-bit tags add 18
         // bits per entry = 139.5 -> 140 bytes.
-        assert_eq!(lq_tag_extension_bytes(62, 24), (62 * 18f64 as usize).div_ceil(8) as u64);
+        assert_eq!(
+            lq_tag_extension_bytes(62, 24),
+            (62 * 18f64 as usize).div_ceil(8) as u64
+        );
         assert_eq!(lq_tag_extension_bytes(62, 6), 0);
     }
 

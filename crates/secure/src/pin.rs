@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 
 use pl_base::{LineAddr, MachineConfig, PinMode, Stats};
+use pl_trace::{EventKind, TraceSource, Tracer};
 
 use crate::cpt::Cpt;
 use crate::cst::{Cst, CstOutcome};
@@ -47,6 +48,18 @@ pub enum PinBlock {
     CstFull,
 }
 
+impl PinBlock {
+    /// A short stable name for trace and report output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PinBlock::CptLine => "cpt_line",
+            PinBlock::CptBlocked => "cpt_blocked",
+            PinBlock::Wraparound => "wraparound",
+            PinBlock::CstFull => "cst_full",
+        }
+    }
+}
+
 /// Per-core pinning state machine support.
 #[derive(Debug)]
 pub struct PinGovernor {
@@ -70,6 +83,7 @@ pub struct PinGovernor {
     l1_set_lines: HashMap<u64, usize>,
     dir_key_lines: HashMap<u64, usize>,
     stats: Stats,
+    tracer: Tracer,
 }
 
 impl PinGovernor {
@@ -78,7 +92,10 @@ impl PinGovernor {
         let pl = &cfg.pinned_loads;
         let (l1_cst, dir_cst) = if pl.mode == PinMode::Early {
             if pl.ideal_cst {
-                (Some(Cst::ideal(cfg.mem.l1d.ways)), Some(Cst::ideal(pl.cst.wd)))
+                (
+                    Some(Cst::ideal(cfg.mem.l1d.ways)),
+                    Some(Cst::ideal(pl.cst.wd)),
+                )
             } else {
                 (
                     Some(Cst::finite(pl.cst.l1_entries, pl.cst.l1_records)),
@@ -92,20 +109,48 @@ impl PinGovernor {
             mode: pl.mode,
             l1_cst,
             dir_cst,
-            cpt: if pl.ideal_cpt { Cpt::ideal() } else { Cpt::new(pl.cpt.entries) },
+            cpt: if pl.ideal_cpt {
+                Cpt::ideal()
+            } else {
+                Cpt::new(pl.cpt.entries)
+            },
             l1_index_bits: cfg.mem.l1d.index_bits(),
             llc_index_bits: cfg.mem.llc_slice.index_bits(),
             num_slices: cfg.mem.llc_slices,
             l1_ways: cfg.mem.l1d.ways,
             wd: pl.cst.wd,
             next_lq_id: 0,
-            lq_id_tag_bits: if pl.lq_id_tag_bits == 0 { 24 } else { pl.lq_id_tag_bits },
+            lq_id_tag_bits: if pl.lq_id_tag_bits == 0 {
+                24
+            } else {
+                pl.lq_id_tag_bits
+            },
             draining_wraparound: false,
             pin_counts: HashMap::new(),
             l1_set_lines: HashMap::new(),
             dir_key_lines: HashMap::new(),
             stats: Stats::new(),
+            tracer: Tracer::disabled(TraceSource::Pin(0)),
         }
+    }
+
+    /// Switches on event tracing for this governor as core `core`'s pin
+    /// unit, with a ring buffer of `capacity` events.
+    pub fn enable_trace(&mut self, core: usize, capacity: usize) {
+        self.tracer = Tracer::new(TraceSource::Pin(core), capacity);
+    }
+
+    /// This governor's tracer (disabled unless
+    /// [`PinGovernor::enable_trace`] was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the tracer, used by the pipeline to stamp the
+    /// cycle each tick and to emit pin events decided outside the
+    /// governor (e.g. Late Pinning denials).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// Which pinning design is active.
@@ -175,17 +220,22 @@ impl PinGovernor {
     /// # Panics
     ///
     /// Panics if the governor was not configured for Early Pinning.
-    pub fn try_pin_early<F>(
-        &mut self,
-        line: LineAddr,
-        lq_id: u64,
-        live: &F,
-    ) -> Result<(), PinBlock>
+    pub fn try_pin_early<F>(&mut self, line: LineAddr, lq_id: u64, live: &F) -> Result<(), PinBlock>
     where
         F: Fn(u64) -> Option<LineAddr>,
     {
-        assert_eq!(self.mode, PinMode::Early, "try_pin_early requires Early Pinning");
-        self.can_attempt_pin(line)?;
+        assert_eq!(
+            self.mode,
+            PinMode::Early,
+            "try_pin_early requires Early Pinning"
+        );
+        if let Err(block) = self.can_attempt_pin(line) {
+            self.tracer.emit(EventKind::PinDenied {
+                line,
+                why: block.as_str(),
+            });
+            return Err(block);
+        }
 
         let dir_key = self.dir_key(line);
         let l1_key = self.l1_key(line);
@@ -203,6 +253,10 @@ impl PinGovernor {
             if truly_covered || true_lines < self.wd {
                 self.stats.incr("pin.cst_dir_false_positives");
             }
+            self.tracer.emit(EventKind::PinDenied {
+                line,
+                why: "cst_full",
+            });
             return Err(PinBlock::CstFull);
         }
 
@@ -218,6 +272,10 @@ impl PinGovernor {
             }
             // The dir CST record inserted above goes stale; it will be
             // expunged lazily, which only underestimates capacity (safe).
+            self.tracer.emit(EventKind::PinDenied {
+                line,
+                why: "cst_full",
+            });
             return Err(PinBlock::CstFull);
         }
 
@@ -240,6 +298,7 @@ impl PinGovernor {
         if *count == 1 {
             *self.l1_set_lines.entry(self.l1_key(line)).or_insert(0) += 1;
             *self.dir_key_lines.entry(self.dir_key(line)).or_insert(0) += 1;
+            self.tracer.emit(EventKind::PinAcquired { line });
         }
     }
 
@@ -252,6 +311,7 @@ impl PinGovernor {
         *count -= 1;
         if *count == 0 {
             self.pin_counts.remove(&line);
+            self.tracer.emit(EventKind::PinReleased { line });
             let (l1_key, dir_key) = (self.l1_key(line), self.dir_key(line));
             Self::dec(&mut self.l1_set_lines, l1_key);
             Self::dec(&mut self.dir_key_lines, dir_key);
@@ -292,12 +352,19 @@ impl PinGovernor {
     /// Returns `false` on CPT overflow (the core stops pinning).
     pub fn on_inv_star(&mut self, line: LineAddr) -> bool {
         self.stats.incr("pin.inv_stars");
-        self.cpt.insert(line)
+        let inserted = self.cpt.insert(line);
+        self.tracer.emit(if inserted {
+            EventKind::CptInsert { line }
+        } else {
+            EventKind::CptOverflow { line }
+        });
+        inserted
     }
 
     /// A `Clear` arrived: the starving write succeeded.
     pub fn on_clear(&mut self, line: LineAddr) {
         self.cpt.remove(line);
+        self.tracer.emit(EventKind::CptClear { line });
     }
 
     fn l1_key(&self, line: LineAddr) -> u64 {
@@ -380,7 +447,10 @@ mod tests {
             g.try_pin_early(l, i as u64, &lq.live()).unwrap();
         }
         lq.set(9, same[2]);
-        assert_eq!(g.try_pin_early(same[2], 9, &lq.live()), Err(PinBlock::CstFull));
+        assert_eq!(
+            g.try_pin_early(same[2], 9, &lq.live()),
+            Err(PinBlock::CstFull)
+        );
         // Not a false positive: capacity truly exhausted.
         assert_eq!(g.stats().get("pin.cst_dir_false_positives"), 0);
     }
@@ -393,7 +463,10 @@ mod tests {
         assert_eq!(g.can_attempt_pin(line(3)), Err(PinBlock::CptLine));
         assert!(g.can_attempt_pin(line(4)).is_ok());
         lq.set(0, line(3));
-        assert_eq!(g.try_pin_early(line(3), 0, &lq.live()), Err(PinBlock::CptLine));
+        assert_eq!(
+            g.try_pin_early(line(3), 0, &lq.live()),
+            Err(PinBlock::CptLine)
+        );
         g.on_clear(line(3));
         assert!(g.can_attempt_pin(line(3)).is_ok());
     }

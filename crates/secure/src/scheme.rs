@@ -131,10 +131,16 @@ impl IssuePolicy {
 mod tests {
     use super::*;
 
-    const FREE: LoadContext =
-        LoadContext { vp_reached: true, l1_hit: false, address_tainted: false };
-    const BLOCKED: LoadContext =
-        LoadContext { vp_reached: false, l1_hit: false, address_tainted: true };
+    const FREE: LoadContext = LoadContext {
+        vp_reached: true,
+        l1_hit: false,
+        address_tainted: false,
+    };
+    const BLOCKED: LoadContext = LoadContext {
+        vp_reached: false,
+        l1_hit: false,
+        address_tainted: true,
+    };
 
     #[test]
     fn unsafe_always_issues() {
@@ -149,15 +155,27 @@ mod tests {
         assert!(p.may_issue(FREE).is_ok());
         assert_eq!(p.may_issue(BLOCKED), Err(IssueBlock::WaitVp));
         // Hitting in L1 does not help Fence.
-        let hit = LoadContext { vp_reached: false, l1_hit: true, address_tainted: false };
+        let hit = LoadContext {
+            vp_reached: false,
+            l1_hit: true,
+            address_tainted: false,
+        };
         assert!(p.may_issue(hit).is_err());
     }
 
     #[test]
     fn dom_allows_prevp_hits_only() {
         let p = IssuePolicy::new(DefenseScheme::Dom);
-        let hit = LoadContext { vp_reached: false, l1_hit: true, address_tainted: false };
-        let miss = LoadContext { vp_reached: false, l1_hit: false, address_tainted: false };
+        let hit = LoadContext {
+            vp_reached: false,
+            l1_hit: true,
+            address_tainted: false,
+        };
+        let miss = LoadContext {
+            vp_reached: false,
+            l1_hit: false,
+            address_tainted: false,
+        };
         assert!(p.may_issue(hit).is_ok());
         assert_eq!(p.may_issue(miss), Err(IssueBlock::WaitMissVp));
         assert!(p.may_issue(FREE).is_ok());
@@ -167,12 +185,21 @@ mod tests {
     fn stt_blocks_tainted_prevp_loads() {
         let p = IssuePolicy::new(DefenseScheme::Stt);
         assert!(p.tracks_taint());
-        let untainted_spec =
-            LoadContext { vp_reached: false, l1_hit: false, address_tainted: false };
-        assert!(p.may_issue(untainted_spec).is_ok(), "untainted loads issue speculatively");
+        let untainted_spec = LoadContext {
+            vp_reached: false,
+            l1_hit: false,
+            address_tainted: false,
+        };
+        assert!(
+            p.may_issue(untainted_spec).is_ok(),
+            "untainted loads issue speculatively"
+        );
         assert_eq!(p.may_issue(BLOCKED), Err(IssueBlock::WaitTaint));
-        let tainted_at_vp =
-            LoadContext { vp_reached: true, l1_hit: false, address_tainted: true };
+        let tainted_at_vp = LoadContext {
+            vp_reached: true,
+            l1_hit: false,
+            address_tainted: true,
+        };
         assert!(p.may_issue(tainted_at_vp).is_ok());
     }
 

@@ -40,21 +40,55 @@ pub struct VpMask {
 impl VpMask {
     /// The Spectre threat model: control-flow squashes only.
     pub fn spectre() -> VpMask {
-        VpMask { ctrl: true, alias: false, exception: false, mcv: false }
+        VpMask {
+            ctrl: true,
+            alias: false,
+            exception: false,
+            mcv: false,
+        }
     }
 
     /// The Comprehensive threat model: every squash source.
     pub fn comprehensive() -> VpMask {
-        VpMask { ctrl: true, alias: true, exception: true, mcv: true }
+        VpMask {
+            ctrl: true,
+            alias: true,
+            exception: true,
+            mcv: true,
+        }
     }
 
     /// The four cumulative release points of Figure 1, in order:
     /// `Ctrl Dep`, `+ Alias Dep`, `+ Exception`, `+ MCV`.
     pub fn cumulative() -> [(&'static str, VpMask); 4] {
         [
-            ("Ctrl Dep.", VpMask { ctrl: true, alias: false, exception: false, mcv: false }),
-            ("Alias Dep.", VpMask { ctrl: true, alias: true, exception: false, mcv: false }),
-            ("Exception", VpMask { ctrl: true, alias: true, exception: true, mcv: false }),
+            (
+                "Ctrl Dep.",
+                VpMask {
+                    ctrl: true,
+                    alias: false,
+                    exception: false,
+                    mcv: false,
+                },
+            ),
+            (
+                "Alias Dep.",
+                VpMask {
+                    ctrl: true,
+                    alias: true,
+                    exception: false,
+                    mcv: false,
+                },
+            ),
+            (
+                "Exception",
+                VpMask {
+                    ctrl: true,
+                    alias: true,
+                    exception: true,
+                    mcv: false,
+                },
+            ),
             ("MCV", VpMask::comprehensive()),
         ]
     }
@@ -126,7 +160,12 @@ pub struct VpStatus {
 impl VpStatus {
     /// A status with every condition cleared.
     pub fn all_clear() -> VpStatus {
-        VpStatus { ctrl_clear: true, alias_clear: true, exception_clear: true, mcv_clear: true }
+        VpStatus {
+            ctrl_clear: true,
+            alias_clear: true,
+            exception_clear: true,
+            mcv_clear: true,
+        }
     }
 
     /// Returns `true` if every condition *except* MCV is cleared — the
@@ -145,14 +184,22 @@ mod tests {
     #[test]
     fn spectre_only_requires_ctrl() {
         let m = VpMask::spectre();
-        assert!(m.reached(VpStatus { ctrl_clear: true, ..VpStatus::default() }));
+        assert!(m.reached(VpStatus {
+            ctrl_clear: true,
+            ..VpStatus::default()
+        }));
         assert!(!m.reached(VpStatus::default()));
     }
 
     #[test]
     fn comprehensive_requires_all() {
         let m = VpMask::comprehensive();
-        assert!(!m.reached(VpStatus { ctrl_clear: true, alias_clear: true, exception_clear: true, mcv_clear: false }));
+        assert!(!m.reached(VpStatus {
+            ctrl_clear: true,
+            alias_clear: true,
+            exception_clear: true,
+            mcv_clear: false
+        }));
         assert!(m.reached(VpStatus::all_clear()));
     }
 
@@ -176,7 +223,10 @@ mod tests {
         let m = VpMask::comprehensive();
         assert_eq!(m.blocking_condition(VpStatus::default()), Some("ctrl"));
         assert_eq!(
-            m.blocking_condition(VpStatus { ctrl_clear: true, ..VpStatus::default() }),
+            m.blocking_condition(VpStatus {
+                ctrl_clear: true,
+                ..VpStatus::default()
+            }),
             Some("alias")
         );
         assert_eq!(
@@ -201,7 +251,12 @@ mod tests {
 
     #[test]
     fn clear_except_mcv() {
-        let s = VpStatus { ctrl_clear: true, alias_clear: true, exception_clear: true, mcv_clear: false };
+        let s = VpStatus {
+            ctrl_clear: true,
+            alias_clear: true,
+            exception_clear: true,
+            mcv_clear: false,
+        };
         assert!(s.clear_except_mcv());
         assert!(!VpStatus::default().clear_except_mcv());
     }
@@ -209,7 +264,10 @@ mod tests {
     #[test]
     fn from_threat_model() {
         assert_eq!(VpMask::from(ThreatModel::Spectre), VpMask::spectre());
-        assert_eq!(VpMask::from(ThreatModel::Comprehensive), VpMask::comprehensive());
+        assert_eq!(
+            VpMask::from(ThreatModel::Comprehensive),
+            VpMask::comprehensive()
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ fn line(n: u64) -> LineAddr {
 fn cst_never_exceeds_capacity_per_key() {
     check(
         "cst_never_exceeds_capacity_per_key",
-        &(usize_in(1..4), vec_of((u64_in(0..4), u64_in(0..30), any_bool()), 0..150)),
+        &(
+            usize_in(1..4),
+            vec_of((u64_in(0..4), u64_in(0..30), any_bool()), 0..150),
+        ),
         |(records, ops)| {
             let records = *records;
             let mut lq: HashMap<u64, LineAddr> = HashMap::new();
@@ -109,18 +112,22 @@ fn cpt_tracks_model() {
 /// re-derivation clears the consumer.
 #[test]
 fn taint_chains_clear_exactly() {
-    check("taint_chains_clear_exactly", &usize_in(1..20), |&chain_len| {
-        use pl_base::SeqNum;
-        let mut t = TaintTracker::new();
-        t.mark(SeqNum(0));
-        for i in 1..=chain_len as u64 {
-            prop_assert!(t.derive(SeqNum(i), [SeqNum(i - 1)]));
-        }
-        t.clear(SeqNum(0));
-        for i in 1..=chain_len as u64 {
-            prop_assert!(!t.derive(SeqNum(i), [SeqNum(i - 1)]));
-        }
-        prop_assert!(t.is_empty());
-        Ok(())
-    });
+    check(
+        "taint_chains_clear_exactly",
+        &usize_in(1..20),
+        |&chain_len| {
+            use pl_base::SeqNum;
+            let mut t = TaintTracker::new();
+            t.mark(SeqNum(0));
+            for i in 1..=chain_len as u64 {
+                prop_assert!(t.derive(SeqNum(i), [SeqNum(i - 1)]));
+            }
+            t.clear(SeqNum(0));
+            for i in 1..=chain_len as u64 {
+                prop_assert!(!t.derive(SeqNum(i), [SeqNum(i - 1)]));
+            }
+            prop_assert!(t.is_empty());
+            Ok(())
+        },
+    );
 }

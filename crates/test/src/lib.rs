@@ -65,7 +65,9 @@ pub struct PropFail {
 impl PropFail {
     /// Creates a failure from a rendered message.
     pub fn new(message: impl Into<String>) -> PropFail {
-        PropFail { message: message.into() }
+        PropFail {
+            message: message.into(),
+        }
     }
 
     /// The rendered assertion message.

@@ -33,7 +33,10 @@ impl Default for Config {
 impl Config {
     /// A default configuration running `cases` random cases.
     pub fn with_cases(cases: u32) -> Config {
-        Config { cases: env_u64("PL_TEST_CASES").map(|n| n as u32).unwrap_or(cases), ..Config::default() }
+        Config {
+            cases: env_u64("PL_TEST_CASES").map(|n| n as u32).unwrap_or(cases),
+            ..Config::default()
+        }
     }
 
     /// Adds regression seeds replayed before the random sweep.
@@ -262,7 +265,10 @@ mod tests {
         }));
         let msg = *result.unwrap_err().downcast::<String>().unwrap();
         assert!(msg.contains("PL_TEST_SEED="), "missing replay seed: {msg}");
-        assert!(msg.contains("minimal input"), "missing minimal input: {msg}");
+        assert!(
+            msg.contains("minimal input"),
+            "missing minimal input: {msg}"
+        );
     }
 
     #[test]
@@ -287,7 +293,10 @@ mod tests {
             .map(|s| s.parse().unwrap())
             .collect();
         assert!(elems.len() <= 4, "shrinker left a large vector: {elems:?}");
-        assert!(elems.iter().any(|&x| x >= 1000), "lost the counterexample: {elems:?}");
+        assert!(
+            elems.iter().any(|&x| x >= 1000),
+            "lost the counterexample: {elems:?}"
+        );
     }
 
     #[test]
@@ -299,13 +308,20 @@ mod tests {
             });
         }));
         let msg = *result.unwrap_err().downcast::<String>().unwrap();
-        assert!(msg.contains("property panicked"), "panic not converted: {msg}");
+        assert!(
+            msg.contains("property panicked"),
+            "panic not converted: {msg}"
+        );
     }
 
     #[test]
     fn regression_seeds_run_first() {
         // A property failing only on a specific regression seed's value.
-        let cfg = Config { cases: 0, ..Config::default() }.with_regressions(&[0xdead_beef]);
+        let cfg = Config {
+            cases: 0,
+            ..Config::default()
+        }
+        .with_regressions(&[0xdead_beef]);
         let mut src = Source::from_seed(0xdead_beef);
         let bad = any_u32().generate(&mut src);
         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -315,13 +331,19 @@ mod tests {
             });
         }));
         let msg = *result.unwrap_err().downcast::<String>().unwrap();
-        assert!(msg.contains("regression case"), "not a regression run: {msg}");
+        assert!(
+            msg.contains("regression case"),
+            "not a regression run: {msg}"
+        );
     }
 
     #[test]
     fn same_name_same_cases() {
         // Determinism: two sweeps of the same property see identical values.
-        let cfg = Config { cases: 16, ..Config::default() };
+        let cfg = Config {
+            cases: 16,
+            ..Config::default()
+        };
         let sweep = |name: &str| {
             let seen: RefCell<Vec<u32>> = RefCell::new(Vec::new());
             check_with(&cfg, name, &any_u32(), |&x| {
@@ -334,7 +356,10 @@ mod tests {
         let second = sweep("determinism_probe");
         assert_eq!(first, second);
         let other = sweep("a_different_name");
-        assert_ne!(first, other, "different properties should see different cases");
+        assert_ne!(
+            first, other,
+            "different properties should see different cases"
+        );
     }
 
     #[test]

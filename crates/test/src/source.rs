@@ -21,13 +21,21 @@ impl Source {
     /// A generating source: draws from a PRNG seeded with `seed` and
     /// records every choice.
     pub fn from_seed(seed: u64) -> Source {
-        Source { stream: Vec::new(), pos: 0, rng: Some(SimRng::new(seed)) }
+        Source {
+            stream: Vec::new(),
+            pos: 0,
+            rng: Some(SimRng::new(seed)),
+        }
     }
 
     /// A replaying source: draws replay `stream` in order and yield zero
     /// once it is exhausted, so regeneration is deterministic.
     pub fn replay(stream: Vec<u64>) -> Source {
-        Source { stream, pos: 0, rng: None }
+        Source {
+            stream,
+            pos: 0,
+            rng: None,
+        }
     }
 
     /// Draws the next raw 64-bit choice.

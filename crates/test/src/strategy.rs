@@ -140,7 +140,10 @@ pub struct OneOf<V> {
 ///
 /// Panics if `options` is empty.
 pub fn one_of<V>(options: Vec<Box<dyn Strategy<Value = V>>>) -> OneOf<V> {
-    assert!(!options.is_empty(), "one_of requires at least one alternative");
+    assert!(
+        !options.is_empty(),
+        "one_of requires at least one alternative"
+    );
     OneOf { options }
 }
 
@@ -205,7 +208,11 @@ mod tests {
 
     #[test]
     fn one_of_covers_all_alternatives() {
-        let strat = one_of(vec![just(1u8).boxed(), just(2u8).boxed(), just(3u8).boxed()]);
+        let strat = one_of(vec![
+            just(1u8).boxed(),
+            just(2u8).boxed(),
+            just(3u8).boxed(),
+        ]);
         let mut src = Source::from_seed(9);
         let mut seen = [false; 4];
         for _ in 0..100 {

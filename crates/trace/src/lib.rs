@@ -1,0 +1,947 @@
+//! Cycle-level event tracing for the Pinned Loads simulator.
+//!
+//! Every traced component (core pipeline, L1, pin governor, LLC slice)
+//! owns a [`Tracer`]: a bounded ring buffer of [`EventKind`]s stamped with
+//! the cycle at which they occurred. Tracing is off by default and the hot
+//! paths pay only an `enabled` flag test per emission site; when enabled,
+//! events are recorded drop-oldest so memory use is bounded regardless of
+//! run length.
+//!
+//! At the end of a run the machine merges every tracer into a single
+//! [`TraceLog`] — deterministically: tracers are concatenated in a fixed
+//! source order and stable-sorted by cycle, so the same run produces the
+//! same byte-identical log regardless of sweep threading.
+//!
+//! Two exporters are provided:
+//!
+//! * [`TraceLog::chrome_trace`] — Chrome-trace/Perfetto JSON with one
+//!   process per core and LLC slice and one thread track per pipeline
+//!   stage (load it at `chrome://tracing` or <https://ui.perfetto.dev>),
+//! * [`TraceLog::pipeview`] — a Konata-style text pipeline view, one row
+//!   per dynamic instruction with `D`/`I`/`C`/`R`/`x` stage letters.
+//!
+//! The [`json`] module contains a minimal JSON parser used by the test
+//! suites to validate exporter output without external dependencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use pl_base::{Cycle, LineAddr, SeqNum};
+//! use pl_trace::{EventKind, TraceLog, TraceSource, Tracer};
+//!
+//! let mut t = Tracer::new(TraceSource::Core(0), 1024);
+//! t.set_now(Cycle(5));
+//! t.emit(EventKind::Dispatch { seq: SeqNum(1), pc: 0x40 });
+//! t.set_now(Cycle(9));
+//! t.emit(EventKind::Retire { seq: SeqNum(1), pc: 0x40 });
+//!
+//! let log = TraceLog::merge([&t]);
+//! assert_eq!(log.records.len(), 2);
+//! let json = log.chrome_trace();
+//! assert!(json.contains("\"traceEvents\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use pl_base::{Cycle, LineAddr, SeqNum};
+use std::collections::VecDeque;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// The component a trace event originated from.
+///
+/// The variant order here is the canonical merge order used by
+/// [`TraceLog::merge`]: events from the same cycle are ordered by source,
+/// which keeps merged logs deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceSource {
+    /// The out-of-order pipeline of core *n*.
+    Core(usize),
+    /// The private L1 data cache of core *n*.
+    CoreL1(usize),
+    /// The pin governor (CST/CPT bookkeeping) of core *n*.
+    Pin(usize),
+    /// The directory controller of LLC slice *n*.
+    Slice(usize),
+    /// The data array of LLC slice *n*.
+    Llc(usize),
+}
+
+impl TraceSource {
+    /// A dense ordering key used to keep merged logs deterministic.
+    fn order_key(self) -> (u8, usize) {
+        match self {
+            TraceSource::Core(i) => (0, i),
+            TraceSource::CoreL1(i) => (1, i),
+            TraceSource::Pin(i) => (2, i),
+            TraceSource::Slice(i) => (3, i),
+            TraceSource::Llc(i) => (4, i),
+        }
+    }
+
+    /// The Chrome-trace process ID this source renders under: one process
+    /// per core (pid = core + 1) and one per LLC slice (pid = 1001 + slice).
+    pub fn pid(self) -> u64 {
+        match self {
+            TraceSource::Core(i) | TraceSource::CoreL1(i) | TraceSource::Pin(i) => i as u64 + 1,
+            TraceSource::Slice(i) | TraceSource::Llc(i) => i as u64 + 1001,
+        }
+    }
+
+    /// The Chrome-trace process name ("core3", "slice1").
+    pub fn process_name(self) -> String {
+        match self {
+            TraceSource::Core(i) | TraceSource::CoreL1(i) | TraceSource::Pin(i) => {
+                format!("core{i}")
+            }
+            TraceSource::Slice(i) | TraceSource::Llc(i) => format!("slice{i}"),
+        }
+    }
+}
+
+impl fmt::Display for TraceSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceSource::Core(i) => write!(f, "core{i}"),
+            TraceSource::CoreL1(i) => write!(f, "core{i}.l1"),
+            TraceSource::Pin(i) => write!(f, "core{i}.pin"),
+            TraceSource::Slice(i) => write!(f, "slice{i}"),
+            TraceSource::Llc(i) => write!(f, "slice{i}.llc"),
+        }
+    }
+}
+
+/// One traced micro-architectural event.
+///
+/// Payloads are kept `Copy` and allocation-free so that emitting an event
+/// never touches the heap beyond the pre-sized ring buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An instruction entered the ROB.
+    Dispatch {
+        /// Sequence number assigned at rename.
+        seq: SeqNum,
+        /// Fetch program counter.
+        pc: u64,
+    },
+    /// A load issued to the memory system.
+    IssueLoad {
+        /// The load's sequence number.
+        seq: SeqNum,
+        /// The accessed cache line.
+        line: LineAddr,
+        /// `true` if the access hit in the L1.
+        l1_hit: bool,
+    },
+    /// A load bound its value (from cache, memory, or store forwarding).
+    LoadPerformed {
+        /// The load's sequence number.
+        seq: SeqNum,
+        /// `true` if the value came from an older in-flight store.
+        forwarded: bool,
+    },
+    /// A non-load instruction finished executing.
+    Complete {
+        /// The instruction's sequence number.
+        seq: SeqNum,
+    },
+    /// An instruction retired from the head of the ROB.
+    Retire {
+        /// The instruction's sequence number.
+        seq: SeqNum,
+        /// The instruction's program counter.
+        pc: u64,
+    },
+    /// A load became blocked short of its Visibility Point.
+    VpBlocked {
+        /// The load's sequence number.
+        seq: SeqNum,
+        /// The first still-blocking condition ("ctrl", "alias",
+        /// "exception", "mcv") in the paper's attribution order.
+        blocker: &'static str,
+    },
+    /// A load's last VP condition cleared: it reached its Visibility Point.
+    VpClear {
+        /// The load's sequence number.
+        seq: SeqNum,
+        /// The condition that cleared last.
+        blocker: &'static str,
+    },
+    /// The pipeline squashed from `first_bad` onward.
+    Squash {
+        /// Oldest squashed sequence number.
+        first_bad: SeqNum,
+        /// The squash source: "branch", "alias", "validation",
+        /// "mcv_inv", or "mcv_evict".
+        source: &'static str,
+    },
+    /// A line was pinned in the L1 (MCV-proof under TSO).
+    PinAcquired {
+        /// The pinned line.
+        line: LineAddr,
+    },
+    /// A Late Pinning load was marked pin-on-arrival while its miss is
+    /// outstanding.
+    PinPending {
+        /// The load's sequence number.
+        seq: SeqNum,
+        /// The line that will pin when data arrives.
+        line: LineAddr,
+    },
+    /// An Early Pinning attempt was denied.
+    PinDenied {
+        /// The line that could not be pinned.
+        line: LineAddr,
+        /// Why: "cpt_line", "cpt_blocked", "wraparound", or "cst_full".
+        why: &'static str,
+    },
+    /// The last pinned load on a line retired or squashed; the pin is
+    /// released.
+    PinReleased {
+        /// The unpinned line.
+        line: LineAddr,
+    },
+    /// An invalidation (or back-invalidation) was deferred because the
+    /// line is pinned.
+    InvDeferred {
+        /// The pinned line that deferred the request.
+        line: LineAddr,
+    },
+    /// A write saw a deferred invalidation and sent `Abort` to retry.
+    WriteAborted {
+        /// The written line.
+        line: LineAddr,
+    },
+    /// A line entered the Cannot-Pin Table.
+    CptInsert {
+        /// The inserted line.
+        line: LineAddr,
+    },
+    /// A `Clear` message removed a line from the Cannot-Pin Table.
+    CptClear {
+        /// The removed line.
+        line: LineAddr,
+    },
+    /// The Cannot-Pin Table overflowed and could not record a line.
+    CptOverflow {
+        /// The line that could not be recorded.
+        line: LineAddr,
+    },
+    /// A line was installed into a cache.
+    CacheInstall {
+        /// The installed line.
+        line: LineAddr,
+    },
+    /// A line was evicted from a cache.
+    CacheEvict {
+        /// The evicted line.
+        line: LineAddr,
+    },
+    /// An eviction was denied because every candidate way is pinned or
+    /// reserved.
+    CacheEvictDenied {
+        /// The line whose installation was denied.
+        line: LineAddr,
+    },
+    /// A line was invalidated in a cache.
+    CacheInvalidate {
+        /// The invalidated line.
+        line: LineAddr,
+    },
+    /// A coherence message was sent.
+    MsgSend {
+        /// Message kind ("GetS", "Inv*", "Clear", ...).
+        kind: &'static str,
+        /// The line the message concerns.
+        line: LineAddr,
+    },
+    /// A coherence message was received and handled.
+    MsgRecv {
+        /// Message kind ("GetS", "Inv*", "Clear", ...).
+        kind: &'static str,
+        /// The line the message concerns.
+        line: LineAddr,
+    },
+}
+
+impl EventKind {
+    /// A short stable name for this event, used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Dispatch { .. } => "dispatch",
+            EventKind::IssueLoad { .. } => "issue_load",
+            EventKind::LoadPerformed { .. } => "load_performed",
+            EventKind::Complete { .. } => "complete",
+            EventKind::Retire { .. } => "retire",
+            EventKind::VpBlocked { .. } => "vp_blocked",
+            EventKind::VpClear { .. } => "vp_clear",
+            EventKind::Squash { .. } => "squash",
+            EventKind::PinAcquired { .. } => "pin_acquired",
+            EventKind::PinPending { .. } => "pin_pending",
+            EventKind::PinDenied { .. } => "pin_denied",
+            EventKind::PinReleased { .. } => "pin_released",
+            EventKind::InvDeferred { .. } => "inv_deferred",
+            EventKind::WriteAborted { .. } => "write_aborted",
+            EventKind::CptInsert { .. } => "cpt_insert",
+            EventKind::CptClear { .. } => "cpt_clear",
+            EventKind::CptOverflow { .. } => "cpt_overflow",
+            EventKind::CacheInstall { .. } => "cache_install",
+            EventKind::CacheEvict { .. } => "cache_evict",
+            EventKind::CacheEvictDenied { .. } => "cache_evict_denied",
+            EventKind::CacheInvalidate { .. } => "cache_invalidate",
+            EventKind::MsgSend { .. } => "msg_send",
+            EventKind::MsgRecv { .. } => "msg_recv",
+        }
+    }
+
+    /// The stage track this event renders on in the Chrome-trace export:
+    /// `(tid, thread name)`, unique within one process.
+    pub fn track(self) -> (u64, &'static str) {
+        match self {
+            EventKind::Dispatch { .. } => (0, "dispatch"),
+            EventKind::IssueLoad { .. } => (1, "issue"),
+            EventKind::LoadPerformed { .. } | EventKind::Complete { .. } => (2, "execute"),
+            EventKind::Retire { .. } => (3, "retire"),
+            EventKind::VpBlocked { .. } | EventKind::VpClear { .. } => (4, "vp"),
+            EventKind::Squash { .. } => (5, "squash"),
+            EventKind::PinAcquired { .. }
+            | EventKind::PinPending { .. }
+            | EventKind::PinDenied { .. }
+            | EventKind::PinReleased { .. }
+            | EventKind::CptInsert { .. }
+            | EventKind::CptClear { .. }
+            | EventKind::CptOverflow { .. } => (6, "pin"),
+            EventKind::InvDeferred { .. } | EventKind::WriteAborted { .. } => (7, "tso"),
+            EventKind::CacheInstall { .. }
+            | EventKind::CacheEvict { .. }
+            | EventKind::CacheEvictDenied { .. }
+            | EventKind::CacheInvalidate { .. } => (8, "cache"),
+            EventKind::MsgSend { .. } | EventKind::MsgRecv { .. } => (9, "coherence"),
+        }
+    }
+
+    /// Writes this event's payload as a Chrome-trace `args` JSON object.
+    fn write_args(self, out: &mut String) {
+        match self {
+            EventKind::Dispatch { seq, pc } | EventKind::Retire { seq, pc } => {
+                let _ = write!(out, "{{\"seq\":{},\"pc\":\"{:#x}\"}}", seq.0, pc);
+            }
+            EventKind::IssueLoad { seq, line, l1_hit } => {
+                let _ = write!(
+                    out,
+                    "{{\"seq\":{},\"line\":\"{:#x}\",\"l1_hit\":{}}}",
+                    seq.0,
+                    line.base().raw(),
+                    l1_hit
+                );
+            }
+            EventKind::LoadPerformed { seq, forwarded } => {
+                let _ = write!(out, "{{\"seq\":{},\"forwarded\":{}}}", seq.0, forwarded);
+            }
+            EventKind::Complete { seq } => {
+                let _ = write!(out, "{{\"seq\":{}}}", seq.0);
+            }
+            EventKind::VpBlocked { seq, blocker } | EventKind::VpClear { seq, blocker } => {
+                let _ = write!(out, "{{\"seq\":{},\"blocker\":\"{blocker}\"}}", seq.0);
+            }
+            EventKind::Squash { first_bad, source } => {
+                let _ = write!(
+                    out,
+                    "{{\"first_bad\":{},\"source\":\"{source}\"}}",
+                    first_bad.0
+                );
+            }
+            EventKind::PinPending { seq, line } => {
+                let _ = write!(
+                    out,
+                    "{{\"seq\":{},\"line\":\"{:#x}\"}}",
+                    seq.0,
+                    line.base().raw()
+                );
+            }
+            EventKind::PinDenied { line, why } => {
+                let _ = write!(
+                    out,
+                    "{{\"line\":\"{:#x}\",\"why\":\"{why}\"}}",
+                    line.base().raw()
+                );
+            }
+            EventKind::MsgSend { kind, line } | EventKind::MsgRecv { kind, line } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"{kind}\",\"line\":\"{:#x}\"}}",
+                    line.base().raw()
+                );
+            }
+            EventKind::PinAcquired { line }
+            | EventKind::PinReleased { line }
+            | EventKind::InvDeferred { line }
+            | EventKind::WriteAborted { line }
+            | EventKind::CptInsert { line }
+            | EventKind::CptClear { line }
+            | EventKind::CptOverflow { line }
+            | EventKind::CacheInstall { line }
+            | EventKind::CacheEvict { line }
+            | EventKind::CacheEvictDenied { line }
+            | EventKind::CacheInvalidate { line } => {
+                let _ = write!(out, "{{\"line\":\"{:#x}\"}}", line.base().raw());
+            }
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EventKind::Dispatch { seq, pc } => write!(f, "dispatch {seq} pc={pc:#x}"),
+            EventKind::IssueLoad { seq, line, l1_hit } => {
+                write!(
+                    f,
+                    "issue_load {seq} {line} {}",
+                    if l1_hit { "hit" } else { "miss" }
+                )
+            }
+            EventKind::LoadPerformed { seq, forwarded } => {
+                write!(
+                    f,
+                    "load_performed {seq}{}",
+                    if forwarded { " (forwarded)" } else { "" }
+                )
+            }
+            EventKind::Complete { seq } => write!(f, "complete {seq}"),
+            EventKind::Retire { seq, pc } => write!(f, "retire {seq} pc={pc:#x}"),
+            EventKind::VpBlocked { seq, blocker } => write!(f, "vp_blocked {seq} on {blocker}"),
+            EventKind::VpClear { seq, blocker } => {
+                write!(f, "vp_clear {seq} (last blocker {blocker})")
+            }
+            EventKind::Squash { first_bad, source } => {
+                write!(f, "squash from {first_bad} ({source})")
+            }
+            EventKind::PinAcquired { line } => write!(f, "pin_acquired {line}"),
+            EventKind::PinPending { seq, line } => write!(f, "pin_pending {seq} {line}"),
+            EventKind::PinDenied { line, why } => write!(f, "pin_denied {line} ({why})"),
+            EventKind::PinReleased { line } => write!(f, "pin_released {line}"),
+            EventKind::InvDeferred { line } => write!(f, "inv_deferred {line}"),
+            EventKind::WriteAborted { line } => write!(f, "write_aborted {line}"),
+            EventKind::CptInsert { line } => write!(f, "cpt_insert {line}"),
+            EventKind::CptClear { line } => write!(f, "cpt_clear {line}"),
+            EventKind::CptOverflow { line } => write!(f, "cpt_overflow {line}"),
+            EventKind::CacheInstall { line } => write!(f, "cache_install {line}"),
+            EventKind::CacheEvict { line } => write!(f, "cache_evict {line}"),
+            EventKind::CacheEvictDenied { line } => write!(f, "cache_evict_denied {line}"),
+            EventKind::CacheInvalidate { line } => write!(f, "cache_invalidate {line}"),
+            EventKind::MsgSend { kind, line } => write!(f, "send {kind} {line}"),
+            EventKind::MsgRecv { kind, line } => write!(f, "recv {kind} {line}"),
+        }
+    }
+}
+
+/// One event with its cycle stamp and originating component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// The cycle at which the event occurred.
+    pub cycle: u64,
+    /// The component that emitted it.
+    pub source: TraceSource,
+    /// The event itself.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>8}] {}: {}", self.cycle, self.source, self.kind)
+    }
+}
+
+/// A bounded ring buffer of trace events owned by one component.
+///
+/// A disabled tracer ([`Tracer::disabled`]) never allocates and reduces
+/// every emission to a branch on a `bool`; hot call sites with any setup
+/// cost additionally guard on [`Tracer::enabled`].
+///
+/// The current cycle is pushed in once per tick via [`Tracer::set_now`],
+/// so emission sites deep in the pipeline need no cycle parameter.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    enabled: bool,
+    now: u64,
+    source: TraceSource,
+    cap: usize,
+    buf: VecDeque<(u64, EventKind)>,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Creates an enabled tracer holding at most `capacity` events
+    /// (drop-oldest beyond that). A zero capacity is treated as disabled.
+    pub fn new(source: TraceSource, capacity: usize) -> Tracer {
+        Tracer {
+            enabled: capacity > 0,
+            now: 0,
+            source,
+            cap: capacity,
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Creates a disabled tracer: every emission is a no-op and no memory
+    /// is held.
+    pub fn disabled(source: TraceSource) -> Tracer {
+        Tracer {
+            enabled: false,
+            now: 0,
+            source,
+            cap: 0,
+            buf: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Returns `true` if this tracer records events. Call sites that must
+    /// compute anything before emitting should guard on this.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The component this tracer belongs to.
+    pub fn source(&self) -> TraceSource {
+        self.source
+    }
+
+    /// Stamps subsequent emissions with `now`. Called once per tick.
+    #[inline]
+    pub fn set_now(&mut self, now: Cycle) {
+        if self.enabled {
+            self.now = now.raw();
+        }
+    }
+
+    /// Records `kind` at the current cycle, dropping the oldest event if
+    /// the buffer is full. A no-op when disabled.
+    #[inline]
+    pub fn emit(&mut self, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back((self.now, kind));
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of events lost to ring-buffer overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Copies the buffered events out as stamped records, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.buf
+            .iter()
+            .map(|&(cycle, kind)| TraceRecord {
+                cycle,
+                source: self.source,
+                kind,
+            })
+            .collect()
+    }
+}
+
+/// A merged, cycle-ordered log of every tracer in a machine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceLog {
+    /// All records, sorted by cycle then by source order.
+    pub records: Vec<TraceRecord>,
+    /// Total events lost to ring-buffer overflow across all tracers.
+    pub dropped: u64,
+}
+
+impl TraceLog {
+    /// Merges tracers into one log.
+    ///
+    /// Records are concatenated in the canonical [`TraceSource`] order and
+    /// stable-sorted by cycle, so the result is deterministic for a given
+    /// run regardless of iteration or thread interleaving outside the
+    /// simulator.
+    pub fn merge<'a, I>(tracers: I) -> TraceLog
+    where
+        I: IntoIterator<Item = &'a Tracer>,
+    {
+        let mut parts: Vec<&Tracer> = tracers.into_iter().collect();
+        parts.sort_by_key(|t| t.source().order_key());
+        let mut records = Vec::with_capacity(parts.iter().map(|t| t.len()).sum());
+        let mut dropped = 0;
+        for t in parts {
+            records.extend(t.records());
+            dropped += t.dropped();
+        }
+        records.sort_by_key(|r| r.cycle);
+        TraceLog { records, dropped }
+    }
+
+    /// The last `n` records formatted as text, oldest first. Used to
+    /// attach a recent-history tail to deadlock diagnostics.
+    pub fn tail(&self, n: usize) -> Vec<String> {
+        let start = self.records.len().saturating_sub(n);
+        self.records[start..]
+            .iter()
+            .map(|r| r.to_string())
+            .collect()
+    }
+
+    /// Exports the log as Chrome-trace ("trace event format") JSON.
+    ///
+    /// Each core renders as one process (pid = core + 1) with one thread
+    /// track per pipeline stage (dispatch, issue, execute, retire, vp,
+    /// squash, pin, tso, cache, coherence); each LLC slice renders as a
+    /// process at pid = slice + 1001. Every event is a 1-cycle `"X"` span
+    /// with `ts` equal to its cycle, so timestamps are non-decreasing per
+    /// track by construction.
+    pub fn chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(64 + self.records.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        let mut first = true;
+        let mut seen_tracks: Vec<(u64, u64)> = Vec::new();
+        let mut seen_pids: Vec<u64> = Vec::new();
+        for r in &self.records {
+            let pid = r.source.pid();
+            let (tid, tname) = r.kind.track();
+            if !seen_pids.contains(&pid) {
+                seen_pids.push(pid);
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    json::escape(&r.source.process_name())
+                );
+            }
+            if !seen_tracks.contains(&(pid, tid)) {
+                seen_tracks.push((pid, tid));
+                out.push(',');
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                     \"args\":{{\"name\":\"{tname}\"}}}}"
+                );
+            }
+            out.push(',');
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":1,\"pid\":{pid},\
+                 \"tid\":{tid},\"args\":",
+                r.kind.name(),
+                r.cycle
+            );
+            r.kind.write_args(&mut out);
+            out.push('}');
+        }
+        let _ = write!(
+            out,
+            "],\"otherData\":{{\"droppedEvents\":{}}}}}",
+            self.dropped
+        );
+        out
+    }
+
+    /// Renders a Konata-style text pipeline view for one core.
+    ///
+    /// One row per dynamic instruction observed in the trace, oldest
+    /// first; the time axis is bucketed down to at most `width` columns.
+    /// Stage letters: `D` dispatched, `I` issued to memory, `C`
+    /// completed/performed, `R` retired, `x` squashed, `.` not in the
+    /// pipeline.
+    pub fn pipeview(&self, core: usize, width: usize) -> String {
+        #[derive(Default, Clone)]
+        struct Row {
+            pc: u64,
+            dispatch: Option<u64>,
+            issue: Option<u64>,
+            complete: Option<u64>,
+            retire: Option<u64>,
+            squashed_at: Option<u64>,
+        }
+        let width = width.max(8);
+        let mut rows: Vec<(SeqNum, Row)> = Vec::new();
+        fn row(rows: &mut Vec<(SeqNum, Row)>, seq: SeqNum) -> &mut Row {
+            if let Some(pos) = rows.iter().position(|(s, _)| *s == seq) {
+                return &mut rows[pos].1;
+            }
+            rows.push((seq, Row::default()));
+            &mut rows.last_mut().unwrap().1
+        }
+        for r in &self.records {
+            if r.source != TraceSource::Core(core) {
+                continue;
+            }
+            match r.kind {
+                EventKind::Dispatch { seq, pc } => {
+                    let e = row(&mut rows, seq);
+                    e.pc = pc;
+                    e.dispatch = Some(r.cycle);
+                }
+                EventKind::IssueLoad { seq, .. } => {
+                    row(&mut rows, seq).issue.get_or_insert(r.cycle);
+                }
+                EventKind::LoadPerformed { seq, .. } | EventKind::Complete { seq } => {
+                    row(&mut rows, seq).complete.get_or_insert(r.cycle);
+                }
+                EventKind::Retire { seq, .. } => {
+                    row(&mut rows, seq).retire = Some(r.cycle);
+                }
+                EventKind::Squash { first_bad, .. } => {
+                    for (seq, e) in rows.iter_mut() {
+                        if *seq >= first_bad && e.retire.is_none() && e.squashed_at.is_none() {
+                            e.squashed_at = Some(r.cycle);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        rows.sort_by_key(|(seq, _)| *seq);
+        let lo = rows
+            .iter()
+            .filter_map(|(_, e)| e.dispatch)
+            .min()
+            .unwrap_or(0);
+        let hi = rows
+            .iter()
+            .flat_map(|(_, e)| [e.dispatch, e.issue, e.complete, e.retire, e.squashed_at])
+            .flatten()
+            .max()
+            .unwrap_or(lo);
+        let span = hi.saturating_sub(lo) + 1;
+        let bucket = span.div_ceil(width as u64).max(1);
+        let cols = span.div_ceil(bucket) as usize;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "pipeview core{core}: cycles {lo}..{hi} ({bucket} cycle(s)/column)"
+        );
+        for (seq, e) in &rows {
+            let Some(dispatch) = e.dispatch else { continue };
+            let mut lane = String::with_capacity(cols);
+            for c in 0..cols {
+                // A column covers [start, end]; pick the most advanced
+                // stage the instruction reached by the column's end.
+                let end = lo + (c as u64 + 1) * bucket - 1;
+                let start = lo + c as u64 * bucket;
+                let ch = if e.squashed_at.is_some_and(|s| start > s) {
+                    ' '
+                } else if e.squashed_at.is_some_and(|s| s <= end) {
+                    'x'
+                } else if e.retire.is_some_and(|t| start > t) {
+                    ' '
+                } else if e.retire.is_some_and(|t| t <= end) {
+                    'R'
+                } else if e.complete.is_some_and(|t| t <= end) {
+                    'C'
+                } else if e.issue.is_some_and(|t| t <= end) {
+                    'I'
+                } else if dispatch <= end {
+                    'D'
+                } else {
+                    '.'
+                };
+                lane.push(ch);
+            }
+            let _ = writeln!(
+                out,
+                "{:>6} pc={:#08x} |{lane}|",
+                format!("#{}", seq.0),
+                e.pc
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_line_number(n)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled(TraceSource::Core(0));
+        t.set_now(Cycle(10));
+        t.emit(EventKind::Complete { seq: SeqNum(1) });
+        assert!(!t.enabled());
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_disabled() {
+        let t = Tracer::new(TraceSource::Core(0), 0);
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut t = Tracer::new(TraceSource::Core(0), 3);
+        for i in 0..5 {
+            t.set_now(Cycle(i));
+            t.emit(EventKind::Complete { seq: SeqNum(i) });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let recs = t.records();
+        assert_eq!(recs[0].cycle, 2);
+        assert_eq!(recs[2].cycle, 4);
+    }
+
+    #[test]
+    fn merge_is_cycle_sorted_and_source_stable() {
+        let mut a = Tracer::new(TraceSource::Slice(0), 16);
+        let mut b = Tracer::new(TraceSource::Core(0), 16);
+        a.set_now(Cycle(5));
+        a.emit(EventKind::MsgRecv {
+            kind: "GetS",
+            line: line(1),
+        });
+        b.set_now(Cycle(5));
+        b.emit(EventKind::Complete { seq: SeqNum(9) });
+        b.set_now(Cycle(3));
+        b.emit(EventKind::Complete { seq: SeqNum(8) });
+        // Pass tracers in "wrong" order: merge must canonicalize.
+        let log = TraceLog::merge([&a, &b]);
+        assert_eq!(log.records.len(), 3);
+        assert_eq!(log.records[0].cycle, 3);
+        // Same cycle: core sorts before slice regardless of argument order.
+        assert_eq!(log.records[1].source, TraceSource::Core(0));
+        assert_eq!(log.records[2].source, TraceSource::Slice(0));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_monotonic_tracks() {
+        let mut t = Tracer::new(TraceSource::Core(2), 64);
+        t.set_now(Cycle(1));
+        t.emit(EventKind::Dispatch {
+            seq: SeqNum(1),
+            pc: 0x40,
+        });
+        t.emit(EventKind::IssueLoad {
+            seq: SeqNum(1),
+            line: line(7),
+            l1_hit: false,
+        });
+        t.set_now(Cycle(4));
+        t.emit(EventKind::LoadPerformed {
+            seq: SeqNum(1),
+            forwarded: false,
+        });
+        t.set_now(Cycle(6));
+        t.emit(EventKind::Retire {
+            seq: SeqNum(1),
+            pc: 0x40,
+        });
+        let log = TraceLog::merge([&t]);
+        let text = log.chrome_trace();
+        let v = json::parse(&text).expect("chrome trace must parse");
+        let events = v.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        // 4 real events + process metadata + per-track metadata.
+        assert!(events.len() >= 4);
+        let mut last_ts: std::collections::BTreeMap<(u64, u64), f64> = Default::default();
+        for e in events {
+            if e.get("ph").and_then(|p| p.as_str()) != Some("X") {
+                continue;
+            }
+            let pid = e.get("pid").and_then(|p| p.as_f64()).unwrap() as u64;
+            let tid = e.get("tid").and_then(|p| p.as_f64()).unwrap() as u64;
+            let ts = e.get("ts").and_then(|p| p.as_f64()).unwrap();
+            let prev = last_ts.insert((pid, tid), ts);
+            assert!(prev.is_none_or(|p| p <= ts), "ts regressed on a track");
+        }
+    }
+
+    #[test]
+    fn pipeview_renders_stage_letters() {
+        let mut t = Tracer::new(TraceSource::Core(0), 64);
+        t.set_now(Cycle(0));
+        t.emit(EventKind::Dispatch {
+            seq: SeqNum(1),
+            pc: 0x100,
+        });
+        t.set_now(Cycle(2));
+        t.emit(EventKind::IssueLoad {
+            seq: SeqNum(1),
+            line: line(3),
+            l1_hit: true,
+        });
+        t.set_now(Cycle(5));
+        t.emit(EventKind::LoadPerformed {
+            seq: SeqNum(1),
+            forwarded: false,
+        });
+        t.set_now(Cycle(8));
+        t.emit(EventKind::Retire {
+            seq: SeqNum(1),
+            pc: 0x100,
+        });
+        t.emit(EventKind::Dispatch {
+            seq: SeqNum(2),
+            pc: 0x108,
+        });
+        t.set_now(Cycle(10));
+        t.emit(EventKind::Squash {
+            first_bad: SeqNum(2),
+            source: "branch",
+        });
+        let log = TraceLog::merge([&t]);
+        let view = log.pipeview(0, 40);
+        assert!(view.contains("pipeview core0"));
+        for ch in ['D', 'I', 'C', 'R', 'x'] {
+            assert!(view.contains(ch), "missing stage letter {ch} in:\n{view}");
+        }
+    }
+
+    #[test]
+    fn tail_returns_last_records() {
+        let mut t = Tracer::new(TraceSource::Core(0), 16);
+        for i in 0..5 {
+            t.set_now(Cycle(i));
+            t.emit(EventKind::Complete { seq: SeqNum(i) });
+        }
+        let log = TraceLog::merge([&t]);
+        let tail = log.tail(2);
+        assert_eq!(tail.len(), 2);
+        assert!(tail[1].contains("complete #4"));
+    }
+
+    #[test]
+    fn record_display_is_stable() {
+        let r = TraceRecord {
+            cycle: 42,
+            source: TraceSource::Pin(1),
+            kind: EventKind::PinAcquired { line: line(2) },
+        };
+        let s = r.to_string();
+        assert!(s.contains("42"));
+        assert!(s.contains("core1.pin"));
+        assert!(s.contains("pin_acquired"));
+    }
+}

@@ -197,7 +197,10 @@ mod tests {
 
     #[test]
     fn suites_have_distinct_names() {
-        let names: Vec<String> = spec_suite(Scale::Test).into_iter().map(|w| w.name).collect();
+        let names: Vec<String> = spec_suite(Scale::Test)
+            .into_iter()
+            .map(|w| w.name)
+            .collect();
         let unique: std::collections::HashSet<&String> = names.iter().collect();
         assert_eq!(unique.len(), names.len());
     }

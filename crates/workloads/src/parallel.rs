@@ -41,13 +41,7 @@ pub fn parallel_suite(cores: usize, scale: Scale) -> Vec<Workload> {
 
 /// Emits a sense-reversing barrier. Uses registers r21–r27; `one_reg`
 /// must already hold the constant 1.
-fn emit_barrier(
-    b: &mut ProgramBuilder,
-    count_addr: u64,
-    gen_addr: u64,
-    n: usize,
-    one_reg: Reg,
-) {
+fn emit_barrier(b: &mut ProgramBuilder, count_addr: u64, gen_addr: u64, n: usize, one_reg: Reg) {
     let spin: Label = b.new_label();
     let done: Label = b.new_label();
     let last: Label = b.new_label();
@@ -380,8 +374,7 @@ fn par_chase(cores: usize, f: u64) -> Workload {
     let mut heads = Vec::new();
     for c in 0..cores {
         let mut rng = SimRng::new(0xCAFE + c as u64);
-        let (mem, head) =
-            build_linked_list(LIST_BASE + c as u64 * LIST_SPACE, 1024, 64, &mut rng);
+        let (mem, head) = build_linked_list(LIST_BASE + c as u64 * LIST_SPACE, 1024, 64, &mut rng);
         init_mem.extend(mem);
         heads.push(head);
     }
@@ -409,7 +402,12 @@ fn par_chase(cores: usize, f: u64) -> Workload {
             b.build().expect("kernel builds")
         })
         .collect();
-    Workload { name: "par_chase".into(), programs, init_mem, init_regs: vec![vec![]; cores] }
+    Workload {
+        name: "par_chase".into(),
+        programs,
+        init_mem,
+        init_regs: vec![vec![]; cores],
+    }
 }
 
 /// Work distribution through a compare-and-swap ticket counter (like
@@ -573,8 +571,16 @@ fn tree_readers(cores: usize, f: u64) -> Workload {
     rng.shuffle(&mut perm);
     for k in 0..NODES {
         let node = TREE + perm[k as usize] * 64;
-        let left = if 2 * k + 1 < NODES { TREE + perm[(2 * k + 1) as usize] * 64 } else { 0 };
-        let right = if 2 * k + 2 < NODES { TREE + perm[(2 * k + 2) as usize] * 64 } else { 0 };
+        let left = if 2 * k + 1 < NODES {
+            TREE + perm[(2 * k + 1) as usize] * 64
+        } else {
+            0
+        };
+        let right = if 2 * k + 2 < NODES {
+            TREE + perm[(2 * k + 2) as usize] * 64
+        } else {
+            0
+        };
         init_mem.push((Addr::new(node), left));
         init_mem.push((Addr::new(node + 8), right));
     }
@@ -606,7 +612,12 @@ fn tree_readers(cores: usize, f: u64) -> Workload {
             b.build().expect("kernel builds")
         })
         .collect();
-    Workload { name: "tree_readers".into(), programs, init_mem, init_regs: vec![vec![]; cores] }
+    Workload {
+        name: "tree_readers".into(),
+        programs,
+        init_mem,
+        init_regs: vec![vec![]; cores],
+    }
 }
 
 #[cfg(test)]

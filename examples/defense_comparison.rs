@@ -5,9 +5,7 @@
 //! cargo run --release --example defense_comparison
 //! ```
 
-use pinned_loads::base::{
-    DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, ThreatModel,
-};
+use pinned_loads::base::{DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, ThreatModel};
 use pinned_loads::machine::Machine;
 use pinned_loads::workloads::{spec_suite, Scale, Workload};
 

@@ -11,9 +11,7 @@
 //! cargo run --release --example multicore_sharing
 //! ```
 
-use pinned_loads::base::{
-    Addr, CoreId, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig,
-};
+use pinned_loads::base::{Addr, CoreId, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig};
 use pinned_loads::isa::{AluOp, BranchCond, ProgramBuilder, Reg};
 use pinned_loads::machine::Machine;
 
@@ -62,8 +60,14 @@ fn main() {
         println!("--- Fence + {pin:?} ---");
         println!("  cycles              {}", res.cycles);
         println!("  loads pinned        {}", res.stats.get("pin.pins"));
-        println!("  invs deferred       {}", res.stats.get("l1.invs_deferred"));
-        println!("  writes retried      {}", res.stats.get("wb.writes_retried"));
+        println!(
+            "  invs deferred       {}",
+            res.stats.get("l1.invs_deferred")
+        );
+        println!(
+            "  writes retried      {}",
+            res.stats.get("wb.writes_retried")
+        );
         println!("  GetX* sent          {}", res.stats.get("llc.getx_star"));
         println!("  CPT inserts (Inv*)  {}", res.stats.get("pin.inv_stars"));
         println!("  Clear broadcasts    {}", res.stats.get("llc.clears"));

@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use pinned_loads::base::{
-    Addr, CoreId, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig,
-};
+use pinned_loads::base::{Addr, CoreId, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig};
 use pinned_loads::isa::{BranchCond, ProgramBuilder, Reg};
 use pinned_loads::machine::Machine;
 
@@ -50,18 +48,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         m.load_program(CoreId(0), program.clone());
         seed_table(&mut m);
         let res = m.run(50_000_000)?;
-        assert_eq!(m.reg(CoreId(0), r2), 512, "architectural result must not change");
-        results.push((label, res.cycles));
-        println!(
-            "{label} {:>8} cycles   CPI {:.2}",
-            res.cycles,
-            res.cpi()
+        assert_eq!(
+            m.reg(CoreId(0), r2),
+            512,
+            "architectural result must not change"
         );
+        results.push((label, res.cycles));
+        println!("{label} {:>8} cycles   CPI {:.2}", res.cycles, res.cpi());
     }
     let unsafe_cycles = results[0].1 as f64;
     println!("\noverheads vs Unsafe:");
     for (label, cycles) in &results[1..] {
-        println!("  {label} +{:.1}%", (*cycles as f64 / unsafe_cycles - 1.0) * 100.0);
+        println!(
+            "  {label} +{:.1}%",
+            (*cycles as f64 / unsafe_cycles - 1.0) * 100.0
+        );
     }
     println!("\nEvery configuration computed the same sum (512) — defenses change");
     println!("timing, never architecture. EP recovers most of Fence's overhead.");

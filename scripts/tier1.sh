@@ -9,4 +9,5 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check
 echo "tier-1: OK"

@@ -8,9 +8,7 @@
 //! plsim --asm kernel.s --scheme stt --pin ep --stats
 //! ```
 
-use pinned_loads::base::{
-    DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, ThreatModel,
-};
+use pinned_loads::base::{DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, ThreatModel};
 use pinned_loads::machine::Machine;
 use pinned_loads::workloads::{parallel_suite, spec_suite, Scale, Workload};
 

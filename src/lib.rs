@@ -13,6 +13,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`base`] | `pl-base` | addresses, cycles, configuration (Table 1), stats, RNG |
+//! | [`trace`] | `pl-trace` | cycle-level event tracing, Chrome-trace / pipeview exporters |
 //! | [`isa`] | `pl-isa` | the RISC-style ISA and program builder |
 //! | [`predictor`] | `pl-predictor` | TAGE + loop predictor, BTB, RAS |
 //! | [`mem`] | `pl-mem` | caches, MSHRs, write buffer, NoC, directory MESI with the Defer/Abort + GetX*/Inv*/Clear extensions |
@@ -57,4 +58,5 @@ pub use pl_machine as machine;
 pub use pl_mem as mem;
 pub use pl_predictor as predictor;
 pub use pl_secure as secure;
+pub use pl_trace as trace;
 pub use pl_workloads as workloads;

@@ -16,11 +16,27 @@ fn run_once(cfg: &MachineConfig, w: &Workload) -> RunResult {
 fn assert_identical(cfg: &MachineConfig, w: &Workload) {
     let a = run_once(cfg, w);
     let b = run_once(cfg, w);
-    assert_eq!(a.cycles, b.cycles, "`{}` cycles differ under {}", w.name, cfg.label());
-    assert_eq!(a.retired_per_core, b.retired_per_core, "`{}` retirement differs", w.name);
+    assert_eq!(
+        a.cycles,
+        b.cycles,
+        "`{}` cycles differ under {}",
+        w.name,
+        cfg.label()
+    );
+    assert_eq!(
+        a.retired_per_core, b.retired_per_core,
+        "`{}` retirement differs",
+        w.name
+    );
     let a_stats: Vec<(String, u64)> = a.stats.iter().map(|(k, v)| (k.to_string(), v)).collect();
     let b_stats: Vec<(String, u64)> = b.stats.iter().map(|(k, v)| (k.to_string(), v)).collect();
-    assert_eq!(a_stats, b_stats, "`{}` statistics differ under {}", w.name, cfg.label());
+    assert_eq!(
+        a_stats,
+        b_stats,
+        "`{}` statistics differ under {}",
+        w.name,
+        cfg.label()
+    );
 }
 
 #[test]
@@ -47,9 +63,10 @@ fn multicore_runs_are_bit_identical() {
         cfg.pinned_loads = PinnedLoadsConfig::with_mode(mode);
         // The two most nondeterminism-prone kernels: contended atomics
         // and false sharing.
-        for w in kernels.iter().filter(|w| {
-            ["lock_counter", "false_sharing"].contains(&w.name.as_str())
-        }) {
+        for w in kernels
+            .iter()
+            .filter(|w| ["lock_counter", "false_sharing"].contains(&w.name.as_str()))
+        {
             assert_identical(&cfg, w);
         }
     }

@@ -13,9 +13,7 @@ use pinned_loads::base::{
 use pinned_loads::isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg};
 use pinned_loads::machine::Machine;
 use pinned_loads::workloads::{spec_suite, Scale};
-use pl_test::{
-    any_i8, any_u8, check_with, one_of, prop_assert_eq, Config, Strategy, StrategyExt,
-};
+use pl_test::{any_i8, any_u8, check_with, one_of, prop_assert_eq, Config, Strategy, StrategyExt};
 
 fn r(i: u8) -> Reg {
     Reg::new(i).unwrap()
@@ -52,9 +50,12 @@ fn observe(cfg: &MachineConfig, program: &Program) -> (Vec<u64>, Vec<u64>) {
     for i in 0..64u64 {
         m.write_mem(Addr::new(0x1_0000 + i * 8), i.wrapping_mul(0x9e37) ^ 0x55);
     }
-    m.run(100_000_000).unwrap_or_else(|e| panic!("{}: {e}", cfg.label()));
+    m.run(100_000_000)
+        .unwrap_or_else(|e| panic!("{}: {e}", cfg.label()));
     let regs = (1..8).map(|i| m.reg(CoreId(0), r(i))).collect();
-    let mem = (0..64).map(|i| m.read_mem(Addr::new(0x1_0000 + i * 8))).collect();
+    let mem = (0..64)
+        .map(|i| m.read_mem(Addr::new(0x1_0000 + i * 8)))
+        .collect();
     (regs, mem)
 }
 
@@ -179,9 +180,15 @@ fn fuzz_op_strategy() -> impl Strategy<Value = FuzzOp> {
         (any_u8(), any_u8(), any_u8(), any_i8())
             .map(|(a, b, c, d)| FuzzOp::AluImm(a, b, c, d))
             .boxed(),
-        (any_u8(), any_u8(), any_u8()).map(|(a, b, c)| FuzzOp::Load(a, b, c)).boxed(),
-        (any_u8(), any_u8(), any_u8()).map(|(a, b, c)| FuzzOp::Store(a, b, c)).boxed(),
-        (any_u8(), any_u8(), any_u8()).map(|(a, b, c)| FuzzOp::SkipIf(a, b, c)).boxed(),
+        (any_u8(), any_u8(), any_u8())
+            .map(|(a, b, c)| FuzzOp::Load(a, b, c))
+            .boxed(),
+        (any_u8(), any_u8(), any_u8())
+            .map(|(a, b, c)| FuzzOp::Store(a, b, c))
+            .boxed(),
+        (any_u8(), any_u8(), any_u8())
+            .map(|(a, b, c)| FuzzOp::SkipIf(a, b, c))
+            .boxed(),
     ])
 }
 

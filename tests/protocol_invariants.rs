@@ -1,13 +1,14 @@
 //! Cross-component invariants of the Pinned Loads protocol, checked on
 //! contended multicore runs.
 
-use pinned_loads::base::{
-    CoreId, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig,
-};
+use pinned_loads::base::{CoreId, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig};
 use pinned_loads::machine::Machine;
 use pinned_loads::workloads::{parallel_suite, Scale};
 
-fn run_suite_with(mode: PinMode, scheme: DefenseScheme) -> Vec<(String, pinned_loads::base::Stats)> {
+fn run_suite_with(
+    mode: PinMode,
+    scheme: DefenseScheme,
+) -> Vec<(String, pinned_loads::base::Stats)> {
     let mut cfg = MachineConfig::default_multi_core(4);
     cfg.defense = scheme;
     cfg.pinned_loads = PinnedLoadsConfig::with_mode(mode);
@@ -65,7 +66,11 @@ fn baseline_never_uses_pinning_machinery() {
             "l1.back_invs_deferred",
             "llc.evictions_retried",
         ] {
-            assert_eq!(stats.get(key), 0, "`{name}`: unexpected {key} without pinning");
+            assert_eq!(
+                stats.get(key),
+                0,
+                "`{name}`: unexpected {key} without pinning"
+            );
         }
     }
 }

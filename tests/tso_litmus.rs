@@ -8,9 +8,7 @@
 //! These tests check the *forbidden outcomes* never materialize under any
 //! configuration.
 
-use pinned_loads::base::{
-    Addr, CoreId, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig,
-};
+use pinned_loads::base::{Addr, CoreId, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig};
 use pinned_loads::isa::{AluOp, BranchCond, ProgramBuilder, Reg};
 use pinned_loads::machine::Machine;
 
@@ -20,8 +18,12 @@ fn r(i: u8) -> Reg {
 
 fn all_configs(cores: usize) -> Vec<MachineConfig> {
     let mut out = Vec::new();
-    for scheme in [DefenseScheme::Unsafe, DefenseScheme::Fence, DefenseScheme::Dom, DefenseScheme::Stt]
-    {
+    for scheme in [
+        DefenseScheme::Unsafe,
+        DefenseScheme::Fence,
+        DefenseScheme::Dom,
+        DefenseScheme::Stt,
+    ] {
         for pin in [PinMode::Off, PinMode::Late, PinMode::Early] {
             if scheme == DefenseScheme::Unsafe && pin != PinMode::Off {
                 continue;
