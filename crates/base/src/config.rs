@@ -448,6 +448,11 @@ pub struct MachineConfig {
     pub pinned_loads: PinnedLoadsConfig,
     /// Cycle-level event tracing (off by default).
     pub trace: TraceConfig,
+    /// Idle-cycle fast-forward: when every component reports a quiet tick,
+    /// the machine jumps directly to the next scheduled event, replaying
+    /// the skipped cycles' statistics in bulk. Architecturally invisible
+    /// (bit-identical stats, traces, and retirement order); on by default.
+    pub fast_forward: bool,
     /// Random seed driving every stochastic element of a run (address
     /// layout randomization in workloads, etc.). Same seed, same result.
     pub seed: u64,
@@ -464,6 +469,7 @@ impl MachineConfig {
             threat_model: ThreatModel::Comprehensive,
             pinned_loads: PinnedLoadsConfig::with_mode(PinMode::Off),
             trace: TraceConfig::default(),
+            fast_forward: true,
             seed: 0xA5105,
         }
     }

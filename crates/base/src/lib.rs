@@ -34,7 +34,7 @@ pub use config::{
 };
 pub use queue::CircQueue;
 pub use rng::SimRng;
-pub use stats::{Histogram, Stats};
+pub use stats::{HistId, Histogram, StatId, Stats};
 
 /// Identifier of a simulated core.
 ///

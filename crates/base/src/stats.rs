@@ -5,14 +5,43 @@
 //! read these to produce the paper's tables: squash counts by cause drive
 //! Figures 1 and 9, retried writes drive Section 9.1.3, CST false positives
 //! drive Section 9.2.1, and CPT occupancy drives Section 9.2.2.
+//!
+//! # Hot-path interning
+//!
+//! The simulator's cycle kernel bumps the same handful of counters
+//! millions of times per run. Components intern each name once at
+//! construction ([`Stats::counter_id`] / [`Stats::hist_id`]) and then
+//! update through the returned dense ids ([`Stats::add_id`],
+//! [`Stats::sample_id`]) — a bounds-checked `Vec` index instead of a
+//! string-keyed `BTreeMap` walk. The string API remains for cold paths
+//! (tests, exporters, one-shot counters) and both views address the same
+//! storage: interleaved id and string updates observe each other.
 
 use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Handle to an interned counter, returned by [`Stats::counter_id`].
+///
+/// Ids are dense indices into the owning [`Stats`] and are only
+/// meaningful for the registry that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatId(u32);
+
+/// Handle to an interned histogram, returned by [`Stats::hist_id`].
+///
+/// A separate namespace from [`StatId`]: counter and histogram names do
+/// not collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistId(u32);
 
 /// A registry of named monotonic counters and histograms.
 ///
 /// Counter names are dotted paths like `"squash.mcv"` or
 /// `"l1.misses"`. Reading a counter that was never written returns zero, so
-/// report code never needs to special-case missing activity.
+/// report code never needs to special-case missing activity. Interned
+/// names whose counters are still zero (and histograms with no samples)
+/// are invisible to iteration, `Display`, and `histogram` — exactly as if
+/// they had never been touched.
 ///
 /// # Examples
 ///
@@ -23,11 +52,18 @@ use std::collections::BTreeMap;
 /// s.incr("squash.mcv");
 /// assert_eq!(s.get("squash.mcv"), 4);
 /// assert_eq!(s.get("never.touched"), 0);
+///
+/// // Hot paths intern once, then update by id.
+/// let id = s.counter_id("squash.mcv");
+/// s.incr_id(id);
+/// assert_eq!(s.get("squash.mcv"), 5);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Stats {
-    counters: BTreeMap<String, u64>,
-    histograms: BTreeMap<String, Histogram>,
+    counter_index: BTreeMap<String, u32>,
+    counters: Vec<u64>,
+    hist_index: BTreeMap<String, u32>,
+    histograms: Vec<Histogram>,
 }
 
 impl Stats {
@@ -36,20 +72,75 @@ impl Stats {
         Stats::default()
     }
 
+    /// Interns counter `name`, returning its dense id.
+    ///
+    /// Idempotent: the same name always maps to the same id. Interning
+    /// alone does not make the counter visible — it stays at zero until
+    /// written.
+    pub fn counter_id(&mut self, name: &str) -> StatId {
+        if let Some(&id) = self.counter_index.get(name) {
+            return StatId(id);
+        }
+        let id = u32::try_from(self.counters.len()).expect("fewer than 2^32 counters");
+        self.counters.push(0);
+        self.counter_index.insert(name.to_string(), id);
+        StatId(id)
+    }
+
+    /// Interns histogram `name`, returning its dense id.
+    ///
+    /// Idempotent, and invisible until the first sample is recorded.
+    pub fn hist_id(&mut self, name: &str) -> HistId {
+        if let Some(&id) = self.hist_index.get(name) {
+            return HistId(id);
+        }
+        let id = u32::try_from(self.histograms.len()).expect("fewer than 2^32 histograms");
+        self.histograms.push(Histogram::new());
+        self.hist_index.insert(name.to_string(), id);
+        HistId(id)
+    }
+
+    /// Adds `delta` to the interned counter `id`.
+    #[inline]
+    pub fn add_id(&mut self, id: StatId, delta: u64) {
+        self.counters[id.0 as usize] += delta;
+    }
+
+    /// Adds one to the interned counter `id`.
+    #[inline]
+    pub fn incr_id(&mut self, id: StatId) {
+        self.counters[id.0 as usize] += 1;
+    }
+
+    /// Returns the value of the interned counter `id`.
+    #[inline]
+    pub fn get_id(&self, id: StatId) -> u64 {
+        self.counters[id.0 as usize]
+    }
+
+    /// Records `value` into the interned histogram `id`.
+    #[inline]
+    pub fn sample_id(&mut self, id: HistId, value: u64) {
+        self.histograms[id.0 as usize].record(value);
+    }
+
+    /// Records `value` into the interned histogram `id` `n` times, exactly
+    /// as if [`Stats::sample_id`] had been called `n` times.
+    #[inline]
+    pub fn sample_n_id(&mut self, id: HistId, value: u64, n: u64) {
+        self.histograms[id.0 as usize].record_n(value, n);
+    }
+
     /// Adds `delta` to the counter `name`, creating it at zero if needed.
     ///
-    /// The existing-key path is allocation-free: simulator hot loops call
-    /// this with the same `&'static str` names millions of times, and
-    /// only the first touch of a name pays for the `String` key.
+    /// Cold-path shim over the interned storage; hot loops should intern
+    /// once via [`Stats::counter_id`] and use [`Stats::add_id`].
     pub fn add(&mut self, name: &str, delta: u64) {
         if delta == 0 {
             return;
         }
-        if let Some(c) = self.counters.get_mut(name) {
-            *c += delta;
-            return;
-        }
-        self.counters.insert(name.to_string(), delta);
+        let id = self.counter_id(name);
+        self.add_id(id, delta);
     }
 
     /// Adds one to the counter `name`.
@@ -59,30 +150,32 @@ impl Stats {
 
     /// Returns the value of counter `name`, or zero if never written.
     pub fn get(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counter_index
+            .get(name)
+            .map_or(0, |&id| self.counters[id as usize])
     }
 
     /// Records `value` into histogram `name`, creating it if needed.
-    ///
-    /// Like [`Stats::add`], the existing-key path allocates nothing.
     pub fn sample(&mut self, name: &str, value: u64) {
-        if let Some(h) = self.histograms.get_mut(name) {
-            h.record(value);
-            return;
-        }
-        let mut h = Histogram::new();
-        h.record(value);
-        self.histograms.insert(name.to_string(), h);
+        let id = self.hist_id(name);
+        self.sample_id(id, value);
     }
 
     /// Returns the histogram `name` if any samples were recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
+        self.hist_index
+            .get(name)
+            .map(|&id| &self.histograms[id as usize])
+            .filter(|h| h.count() > 0)
     }
 
-    /// Iterates over `(name, value)` pairs in lexicographic name order.
+    /// Iterates over `(name, value)` pairs in lexicographic name order,
+    /// skipping counters that are still zero (interned but never written).
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+        self.counter_index
+            .iter()
+            .map(|(k, &id)| (k.as_str(), self.counters[id as usize]))
+            .filter(|&(_, v)| v != 0)
     }
 
     /// Iterates over counters whose name starts with `prefix`.
@@ -99,40 +192,80 @@ impl Stats {
     /// assert_eq!(squashes, 3);
     /// ```
     pub fn iter_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a str, u64)> {
-        self.counters
-            .range(prefix.to_string()..)
+        self.counter_index
+            .range::<str, _>((Bound::Included(prefix), Bound::Unbounded))
             .take_while(move |(k, _)| k.starts_with(prefix))
-            .map(|(k, &v)| (k.as_str(), v))
+            .map(|(k, &id)| (k.as_str(), self.counters[id as usize]))
+            .filter(|&(_, v)| v != 0)
+    }
+
+    /// Iterates over `(name, histogram)` pairs in lexicographic name
+    /// order, skipping histograms with no samples.
+    pub fn iter_histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.hist_index
+            .iter()
+            .map(|(k, &id)| (k.as_str(), &self.histograms[id as usize]))
+            .filter(|(_, h)| h.count() > 0)
     }
 
     /// Merges another registry into this one, summing counters and pooling
     /// histogram samples. Used to aggregate per-core statistics.
     pub fn merge(&mut self, other: &Stats) {
-        for (k, &v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+        for (name, v) in other.iter() {
+            self.add(name, v);
         }
-        for (k, h) in &other.histograms {
-            self.histograms.entry(k.clone()).or_default().merge(h);
+        for (name, h) in other.iter_histograms() {
+            let id = self.hist_id(name);
+            self.histograms[id.0 as usize].merge(h);
         }
     }
 
-    /// Removes every counter and histogram.
+    /// Resets every counter to zero and every histogram to empty.
+    ///
+    /// Interned ids remain valid (the name table is kept); the registry
+    /// simply reports no activity until written again.
     pub fn clear(&mut self) {
-        self.counters.clear();
-        self.histograms.clear();
+        self.counters.fill(0);
+        self.histograms.fill(Histogram::new());
+    }
+
+    /// Raw counter storage, indexed by [`StatId`]. Used by the machine's
+    /// fast-forward path to snapshot and replay per-tick deltas; ordinary
+    /// readers should go through names or ids.
+    pub fn counter_values(&self) -> &[u64] {
+        &self.counters
+    }
+
+    /// Applies `delta[i] * n` to every counter, where `delta` is the
+    /// element-wise difference of two [`Stats::counter_values`] snapshots
+    /// of this registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `before` and `after` are not equal-length prefixes of the
+    /// current counter table (counters are only ever appended).
+    pub fn replay_counter_delta(&mut self, before: &[u64], after: &[u64], n: u64) {
+        assert_eq!(before.len(), after.len(), "snapshots from the same point");
+        assert!(after.len() <= self.counters.len(), "snapshot of this table");
+        for (i, (&b, &a)) in before.iter().zip(after).enumerate() {
+            self.counters[i] += (a - b) * n;
+        }
     }
 }
 
 impl std::fmt::Display for Stats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.counters.is_empty() && self.histograms.is_empty() {
-            return write!(f, "(no statistics recorded)");
-        }
-        for (k, v) in &self.counters {
+        let mut any = false;
+        for (k, v) in self.iter() {
+            any = true;
             writeln!(f, "{k} = {v}")?;
         }
-        for (k, h) in &self.histograms {
+        for (k, h) in self.iter_histograms() {
+            any = true;
             writeln!(f, "{k}: {h}")?;
+        }
+        if !any {
+            write!(f, "(no statistics recorded)")?;
         }
         Ok(())
     }
@@ -167,8 +300,18 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
-        self.count += 1;
-        self.sum += value;
+        self.record_n(value, 1);
+    }
+
+    /// Records `value` as `n` identical samples — bit-identical to calling
+    /// [`Histogram::record`] `n` times (all fields use the same u64
+    /// arithmetic either way). `n == 0` is a no-op.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count += n;
+        self.sum += value * n;
         self.min = Some(self.min.map_or(value, |m| m.min(value)));
         self.max = Some(self.max.map_or(value, |m| m.max(value)));
     }
@@ -260,6 +403,45 @@ mod tests {
     }
 
     #[test]
+    fn interned_but_unwritten_names_stay_invisible() {
+        let mut s = Stats::new();
+        let c = s.counter_id("ghost.counter");
+        let h = s.hist_id("ghost.hist");
+        assert_eq!(s.iter().count(), 0);
+        assert!(s.histogram("ghost.hist").is_none());
+        assert_eq!(s.to_string(), "(no statistics recorded)");
+        s.incr_id(c);
+        s.sample_id(h, 9);
+        assert_eq!(s.get("ghost.counter"), 1);
+        assert_eq!(s.histogram("ghost.hist").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn id_and_string_views_share_storage() {
+        let mut s = Stats::new();
+        let id = s.counter_id("x");
+        s.incr_id(id);
+        s.add("x", 2);
+        assert_eq!(s.get_id(id), 3);
+        assert_eq!(s.counter_id("x"), id);
+        let h = s.hist_id("h");
+        s.sample("h", 5);
+        s.sample_id(h, 7);
+        let hist = s.histogram("h").unwrap();
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.sum(), 12);
+    }
+
+    #[test]
+    fn counter_and_histogram_namespaces_are_separate() {
+        let mut s = Stats::new();
+        s.add("same.name", 4);
+        s.sample("same.name", 10);
+        assert_eq!(s.get("same.name"), 4);
+        assert_eq!(s.histogram("same.name").unwrap().sum(), 10);
+    }
+
+    #[test]
     fn prefix_iteration() {
         let mut s = Stats::new();
         s.add("squash.mcv", 1);
@@ -288,6 +470,34 @@ mod tests {
         let h = a.histogram("h").unwrap();
         assert_eq!(h.count(), 2);
         assert_eq!(h.max(), Some(20));
+    }
+
+    #[test]
+    fn replay_counter_delta_multiplies() {
+        let mut s = Stats::new();
+        let a = s.counter_id("a");
+        let b = s.counter_id("b");
+        s.incr_id(a);
+        let before = s.counter_values().to_vec();
+        s.add_id(a, 2);
+        s.incr_id(b);
+        let after = s.counter_values().to_vec();
+        s.replay_counter_delta(&before, &after, 10);
+        assert_eq!(s.get("a"), 1 + 2 + 2 * 10);
+        assert_eq!(s.get("b"), 1 + 10);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..7 {
+            a.record(13);
+        }
+        b.record_n(13, 7);
+        assert_eq!(a, b);
+        b.record_n(99, 0);
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -330,12 +540,16 @@ mod tests {
     }
 
     #[test]
-    fn clear_resets() {
+    fn clear_resets_but_keeps_ids_valid() {
         let mut s = Stats::new();
-        s.add("a", 1);
+        let id = s.counter_id("a");
+        s.incr_id(id);
         s.sample("h", 1);
         s.clear();
         assert_eq!(s.get("a"), 0);
         assert!(s.histogram("h").is_none());
+        assert_eq!(s.iter().count(), 0);
+        s.incr_id(id);
+        assert_eq!(s.get("a"), 1);
     }
 }

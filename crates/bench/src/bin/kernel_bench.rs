@@ -1,0 +1,252 @@
+//! Kernel-throughput benchmark: simulated kilocycles per wall-clock
+//! second over the Figure 1 sweep.
+//!
+//! Every figure in the paper is a sweep of schemes × pin modes over all
+//! workloads, so end-to-end reproduction time is dominated by
+//! `Machine::tick` throughput. This binary records that throughput so
+//! the perf trajectory across PRs is visible: it runs the same jobs as
+//! `fig1` (the Unsafe baseline plus Fence under each cumulative VP mask,
+//! on both the single-core and parallel suites), times each run, and
+//! writes `results/BENCH_kernel.json`.
+//!
+//! Measurement is serial by design — one machine runs at a time, so the
+//! number is per-core kernel throughput, not sweep parallelism. Each job
+//! is repeated `--reps` times and the fastest repetition is kept.
+//!
+//! Run with `cargo run --release -p pl-bench --bin kernel_bench
+//! [--scale test|bench|full] [--cores N] [--reps N] [--smoke]
+//! [--out results/BENCH_kernel.json]`.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use pl_base::{DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, ThreatModel};
+use pl_bench::print_banner;
+use pl_machine::Machine;
+use pl_secure::VpMask;
+use pl_workloads::{parallel_suite, spec_suite, Scale, Workload};
+
+struct JobResult {
+    name: String,
+    runs: usize,
+    cycles: u64,
+    wall_ns: u128,
+}
+
+impl JobResult {
+    fn kilocycles_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        (self.cycles as f64 / 1_000.0) / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+/// Times one configuration over a workload suite: total simulated cycles
+/// and total wall nanoseconds spent inside `Machine::run` (construction
+/// and workload installation are excluded).
+fn time_job(
+    name: &str,
+    cfg: &MachineConfig,
+    mask: Option<VpMask>,
+    workloads: &[Workload],
+    reps: usize,
+) -> JobResult {
+    let mut best: Option<(u64, u128)> = None;
+    for _ in 0..reps {
+        let mut cycles = 0u64;
+        let mut wall_ns = 0u128;
+        for w in workloads {
+            let mut machine = Machine::new(cfg).expect("benchmark configurations are valid");
+            w.install(&mut machine);
+            if let Some(mask) = mask {
+                machine.set_vp_mask(mask);
+            }
+            let start = Instant::now();
+            let res = machine
+                .run(pl_bench::RUN_BUDGET)
+                .unwrap_or_else(|e| panic!("workload `{}` on {name}: {e}", w.name));
+            wall_ns += start.elapsed().as_nanos();
+            cycles += res.cycles;
+        }
+        // Keep the fastest repetition: same cycle count every time
+        // (deterministic), so min wall time is the cleanest estimate.
+        best = match best {
+            Some((c, ns)) if ns <= wall_ns => Some((c, ns)),
+            _ => Some((cycles, wall_ns)),
+        };
+    }
+    let (cycles, wall_ns) = best.expect("at least one repetition");
+    let r = JobResult {
+        name: name.to_string(),
+        runs: workloads.len(),
+        cycles,
+        wall_ns,
+    };
+    println!(
+        "{:<28} {:>12} cycles {:>9.1} ms {:>10.0} kc/s",
+        r.name,
+        r.cycles,
+        r.wall_ns as f64 / 1e6,
+        r.kilocycles_per_sec()
+    );
+    r
+}
+
+/// The Figure 1 job list for one suite: Unsafe, then Fence under each
+/// cumulative VP mask.
+fn suite_jobs(prefix: &str, base: &MachineConfig) -> Vec<(String, MachineConfig, Option<VpMask>)> {
+    let mut unsafe_cfg = base.clone();
+    unsafe_cfg.defense = DefenseScheme::Unsafe;
+    unsafe_cfg.pinned_loads = PinnedLoadsConfig::with_mode(PinMode::Off);
+    let mut fence = base.clone();
+    fence.defense = DefenseScheme::Fence;
+    fence.threat_model = ThreatModel::Comprehensive;
+    fence.pinned_loads = PinnedLoadsConfig::with_mode(PinMode::Off);
+    let mut jobs = vec![(format!("{prefix}/Unsafe"), unsafe_cfg, None)];
+    for (label, mask) in VpMask::cumulative() {
+        jobs.push((format!("{prefix}/Fence+{label}"), fence.clone(), Some(mask)));
+    }
+    jobs
+}
+
+fn write_json(path: &PathBuf, scale: Scale, reps: usize, results: &[JobResult]) {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create results directory");
+    }
+    let mut f = std::fs::File::create(path).expect("create report file");
+    let total_cycles: u64 = results.iter().map(|r| r.cycles).sum();
+    let total_ns: u128 = results.iter().map(|r| r.wall_ns).sum();
+    let total_kcps = if total_ns == 0 {
+        0.0
+    } else {
+        (total_cycles as f64 / 1_000.0) / (total_ns as f64 / 1e9)
+    };
+    writeln!(f, "{{").unwrap();
+    writeln!(f, "  \"bench\": \"kernel_throughput\",").unwrap();
+    writeln!(f, "  \"unit\": \"kilocycles_per_sec\",").unwrap();
+    writeln!(f, "  \"scale\": \"{scale:?}\",").unwrap();
+    writeln!(f, "  \"reps\": {reps},").unwrap();
+    writeln!(f, "  \"jobs\": [").unwrap();
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"name\": \"{}\", \"workloads\": {}, \"cycles\": {}, \
+             \"wall_ms\": {:.3}, \"kilocycles_per_sec\": {:.1}}}{comma}",
+            r.name,
+            r.runs,
+            r.cycles,
+            r.wall_ns as f64 / 1e6,
+            r.kilocycles_per_sec()
+        )
+        .unwrap();
+    }
+    writeln!(f, "  ],").unwrap();
+    writeln!(
+        f,
+        "  \"total\": {{\"cycles\": {total_cycles}, \"wall_ms\": {:.3}, \
+         \"kilocycles_per_sec\": {total_kcps:.1}}}",
+        total_ns as f64 / 1e6
+    )
+    .unwrap();
+    writeln!(f, "}}").unwrap();
+    println!("\nwrote {}", path.display());
+}
+
+fn main() {
+    let mut scale = Scale::Test;
+    let mut cores = 8usize;
+    let mut reps = 3usize;
+    let mut smoke = false;
+    let mut out = PathBuf::from("results/BENCH_kernel.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("bench") => Scale::Bench,
+                    Some("full") => Scale::Full,
+                    other => {
+                        eprintln!("unknown scale {other:?}; use test|bench|full");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--cores" => {
+                i += 1;
+                cores = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--cores requires a number");
+                    std::process::exit(2);
+                });
+            }
+            "--reps" => {
+                i += 1;
+                reps = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&r: &usize| r >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--reps requires a number >= 1");
+                        std::process::exit(2);
+                    });
+            }
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(args.get(i).unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other}; supported: --scale test|bench|full, \
+                     --cores N, --reps N, --smoke, --out PATH"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let single = MachineConfig::default_single_core();
+    print_banner("Kernel throughput (fig1 sweep, serial)", &single);
+    println!(
+        "{:<28} {:>19} {:>12} {:>15}",
+        "job", "simulated", "wall", "throughput"
+    );
+
+    let mut spec = spec_suite(scale);
+    let mut results = Vec::new();
+    if smoke {
+        // CI smoke: one workload, one configuration, one repetition — just
+        // proves the binary runs end to end and writes a parseable report.
+        spec.truncate(1);
+        for (name, cfg, mask) in suite_jobs("spec", &single).into_iter().take(1) {
+            results.push(time_job(&name, &cfg, mask, &spec, 1));
+        }
+    } else {
+        for (name, cfg, mask) in suite_jobs("spec", &single) {
+            results.push(time_job(&name, &cfg, mask, &spec, reps));
+        }
+        let multi = MachineConfig::default_multi_core(cores);
+        let par = parallel_suite(
+            cores,
+            if scale == Scale::Full {
+                Scale::Bench
+            } else {
+                scale
+            },
+        );
+        for (name, cfg, mask) in suite_jobs("par", &multi) {
+            results.push(time_job(&name, &cfg, mask, &par, reps));
+        }
+    }
+
+    write_json(&out, scale, if smoke { 1 } else { reps }, &results);
+}

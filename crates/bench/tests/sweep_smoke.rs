@@ -59,6 +59,30 @@ fn parallel_sweep_is_bit_identical_to_serial() {
 }
 
 #[test]
+fn fast_forward_sweeps_stay_bit_identical_across_threads() {
+    // Fast-forwarding idle cycles must not perturb sweep numbers — not
+    // against a single-stepped run, and not under parallel scheduling.
+    // This is the regression fence for the idle-cycle fast-forward: a
+    // drift anywhere in the replayed stats shows up as a CPI bit flip.
+    let workloads = small_suite();
+    let jobs = |ff: bool| -> Vec<SweepJob> {
+        let mut base = MachineConfig::default_single_core();
+        base.fast_forward = ff;
+        extension_matrix(&base, DefenseScheme::Fence)
+            .into_iter()
+            .map(|(_, cfg)| (cfg, None))
+            .collect()
+    };
+    let single_stepped = sweep_cpis(&jobs(false), &workloads, 1);
+    let ff_serial = sweep_cpis(&jobs(true), &workloads, 1);
+    assert_bits_equal(&single_stepped, &ff_serial, 1);
+    for threads in [4, 8] {
+        let ff_parallel = sweep_cpis(&jobs(true), &workloads, threads);
+        assert_bits_equal(&single_stepped, &ff_parallel, threads);
+    }
+}
+
+#[test]
 fn baseline_runs_exactly_once_per_workload() {
     let base = MachineConfig::default_single_core();
     let workloads = small_suite();

@@ -17,7 +17,9 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use pl_base::{Addr, CoreId, Cycle, LineAddr, MachineConfig, PinMode, SeqNum, Stats};
+use pl_base::{
+    Addr, CoreId, Cycle, HistId, LineAddr, MachineConfig, PinMode, SeqNum, StatId, Stats,
+};
 use pl_isa::{Inst, Operand, Pc, Program, Reg};
 use pl_mem::{
     home_slice, Cache, DataGrant, Memory, Mesi, Msg, MshrFile, NodeId, WbState, WriteBuffer,
@@ -27,7 +29,7 @@ use pl_secure::scheme::LoadContext;
 use pl_secure::{IssuePolicy, PinGovernor, PinState, TaintTracker, VpMask, VpStatus};
 use pl_trace::{EventKind, TraceSource, Tracer};
 
-use crate::dyninst::{DynInst, LqEntry, PredInfo, SqEntry, Stage};
+use crate::dyninst::{DynInst, LqEntry, PredInfo, SqEntry, SrcList, Stage};
 
 /// Delay before retrying a nacked coherence request.
 const NACK_RETRY_DELAY: u64 = 5;
@@ -37,6 +39,10 @@ const DEFER_RETRY_DELAY: u64 = 12;
 const INSTALL_RETRY_DELAY: u64 = 6;
 /// Fetch-buffer capacity in instructions.
 const FETCH_BUF_CAP: usize = 16;
+/// How often the core samples ROB/LQ/write-buffer occupancy. Public so
+/// the machine's idle-cycle fast-forward can replay the samples a skipped
+/// window would have taken.
+pub const OCC_SAMPLE_PERIOD: u64 = 32;
 
 #[derive(Debug, Clone)]
 struct Fetched {
@@ -88,6 +94,99 @@ struct Aggregates {
     oldest_active_fence: Option<SeqNum>,
 }
 
+/// Pre-interned [`StatId`]/[`HistId`] handles for every statistic the
+/// per-cycle pipeline touches, resolved once at construction so the hot
+/// path never performs a string lookup. The string API remains available
+/// as the cold-path shim for tests, exporters, and one-off events.
+#[derive(Debug, Clone, Copy)]
+struct CoreStatIds {
+    cycles: StatId,
+    retired: StatId,
+    atomics: StatId,
+    squashes: StatId,
+    squashed_insts: StatId,
+    wb_writes_retried: StatId,
+    wb_merges: StatId,
+    l1_invs_deferred: StatId,
+    l1_back_invs_deferred: StatId,
+    l1_nacks: StatId,
+    l1_evictions: StatId,
+    l1_evictions_denied: StatId,
+    l1_hits: StatId,
+    l1_misses: StatId,
+    l1_prefetches: StatId,
+    loads_performed: StatId,
+    loads_forwarded: StatId,
+    loads_invisible: StatId,
+    loads_validated: StatId,
+    squash_branch: StatId,
+    squash_alias: StatId,
+    squash_validation: StatId,
+    squash_mcv_inv: StatId,
+    squash_mcv_evict: StatId,
+    stall_wb_full: StatId,
+    stall_validation: StatId,
+    stall_vp: StatId,
+    stall_dom_miss: StatId,
+    stall_taint: StatId,
+    stall_store_data: StatId,
+    stall_mshr_full: StatId,
+    stall_rob_full: StatId,
+    stall_lq_full: StatId,
+    stall_sq_full: StatId,
+    pin_ep_denied: StatId,
+    occ_rob: HistId,
+    occ_lq: HistId,
+    occ_wb: HistId,
+    rob_commit_latency: HistId,
+}
+
+impl CoreStatIds {
+    fn intern(stats: &mut Stats) -> CoreStatIds {
+        CoreStatIds {
+            cycles: stats.counter_id("cycles"),
+            retired: stats.counter_id("retired"),
+            atomics: stats.counter_id("atomics"),
+            squashes: stats.counter_id("squashes"),
+            squashed_insts: stats.counter_id("squashed_insts"),
+            wb_writes_retried: stats.counter_id("wb.writes_retried"),
+            wb_merges: stats.counter_id("wb.merges"),
+            l1_invs_deferred: stats.counter_id("l1.invs_deferred"),
+            l1_back_invs_deferred: stats.counter_id("l1.back_invs_deferred"),
+            l1_nacks: stats.counter_id("l1.nacks"),
+            l1_evictions: stats.counter_id("l1.evictions"),
+            l1_evictions_denied: stats.counter_id("l1.evictions_denied"),
+            l1_hits: stats.counter_id("l1.hits"),
+            l1_misses: stats.counter_id("l1.misses"),
+            l1_prefetches: stats.counter_id("l1.prefetches"),
+            loads_performed: stats.counter_id("loads.performed"),
+            loads_forwarded: stats.counter_id("loads.forwarded"),
+            loads_invisible: stats.counter_id("loads.invisible"),
+            loads_validated: stats.counter_id("loads.validated"),
+            squash_branch: stats.counter_id("squash.branch"),
+            squash_alias: stats.counter_id("squash.alias"),
+            squash_validation: stats.counter_id("squash.validation"),
+            squash_mcv_inv: stats.counter_id("squash.mcv_inv"),
+            squash_mcv_evict: stats.counter_id("squash.mcv_evict"),
+            stall_wb_full: stats.counter_id("stall.wb_full"),
+            stall_validation: stats.counter_id("stall.validation"),
+            stall_vp: stats.counter_id("stall.vp"),
+            stall_dom_miss: stats.counter_id("stall.dom_miss"),
+            stall_taint: stats.counter_id("stall.taint"),
+            stall_store_data: stats.counter_id("stall.store_data"),
+            stall_mshr_full: stats.counter_id("stall.mshr_full"),
+            stall_rob_full: stats.counter_id("stall.rob_full"),
+            stall_lq_full: stats.counter_id("stall.lq_full"),
+            stall_sq_full: stats.counter_id("stall.sq_full"),
+            pin_ep_denied: stats.counter_id("pin.ep_denied"),
+            occ_rob: stats.hist_id("occ.rob"),
+            occ_lq: stats.hist_id("occ.lq"),
+            occ_wb: stats.hist_id("occ.wb"),
+            rob_commit_latency: stats.hist_id("rob.commit_latency"),
+        }
+    }
+}
+
 /// One simulated out-of-order core with its private L1.
 #[derive(Debug)]
 pub struct Core {
@@ -130,8 +229,15 @@ pub struct Core {
     /// `cfg.trace.enabled` is set.
     tracer: Tracer,
     stats: Stats,
+    ids: CoreStatIds,
     halted: bool,
     retired: u64,
+
+    /// Reusable per-tick scratch buffers: drained and refilled each cycle
+    /// so the steady-state tick allocates nothing.
+    scratch_installs: Vec<PendingInstall>,
+    scratch_lines: Vec<LineAddr>,
+    scratch_seqs: Vec<SeqNum>,
 }
 
 impl Core {
@@ -150,6 +256,8 @@ impl Core {
         l1.enable_trace(TraceSource::CoreL1(id.0), trace_cap);
         let mut governor = PinGovernor::new(cfg);
         governor.enable_trace(id.0, trace_cap);
+        let mut stats = Stats::new();
+        let ids = CoreStatIds::intern(&mut stats);
         Core {
             id,
             cfg: cfg.clone(),
@@ -180,9 +288,13 @@ impl Core {
             aggr: Aggregates::default(),
             outbox: Vec::new(),
             tracer: Tracer::new(TraceSource::Core(id.0), trace_cap),
-            stats: Stats::new(),
+            stats,
+            ids,
             halted: false,
             retired: 0,
+            scratch_installs: Vec::new(),
+            scratch_lines: Vec::new(),
+            scratch_seqs: Vec::new(),
         }
     }
 
@@ -290,9 +402,17 @@ impl Core {
                 self.atomic.line, self.atomic.waiting_retry
             );
         }
-        let mshr_lines: Vec<String> = self.mshrs.lines().map(|l| l.to_string()).collect();
-        if !mshr_lines.is_empty() {
-            let _ = write!(s, " mshrs=[{}]", mshr_lines.join(", "));
+        // Sort for a deterministic dump: MSHRs live in a hash map, and a
+        // diagnosis must not depend on its iteration order.
+        let mut mshr_lines: Vec<_> = self.mshrs.lines().collect();
+        mshr_lines.sort_unstable();
+        let mut sep = " mshrs=[";
+        for l in mshr_lines {
+            let _ = write!(s, "{sep}{l}");
+            sep = ", ";
+        }
+        if sep == ", " {
+            s.push(']');
         }
         if !self.pending_installs.is_empty() {
             let _ = write!(s, " pending_installs={}", self.pending_installs.len());
@@ -303,6 +423,12 @@ impl Core {
     /// Removes and returns all outbound coherence messages.
     pub fn drain_outbox(&mut self) -> Vec<(NodeId, Msg)> {
         std::mem::take(&mut self.outbox)
+    }
+
+    /// Drains all outbound coherence messages into `out`, preserving both
+    /// buffers' capacity (the steady-state routing path).
+    pub fn drain_outbox_into(&mut self, out: &mut Vec<(NodeId, Msg)>) {
+        out.append(&mut self.outbox);
     }
 
     fn home(&self, line: LineAddr) -> NodeId {
@@ -488,7 +614,7 @@ impl Core {
                     from: self.id,
                 },
             );
-            self.stats.incr("wb.writes_retried");
+            self.stats.incr_id(self.ids.wb_writes_retried);
             self.tracer.emit(EventKind::WriteAborted { line });
             if is_atomic {
                 self.atomic.use_star = true;
@@ -522,7 +648,7 @@ impl Core {
         if self.governor.is_line_pinned(line) {
             // Section 5.1.1: the cache is not invalidated, the load is not
             // squashed, and a Defer is sent to the writer.
-            self.stats.incr("l1.invs_deferred");
+            self.stats.incr_id(self.ids.l1_invs_deferred);
             self.tracer.emit(EventKind::InvDeferred { line });
             self.send(
                 NodeId::Core(requester),
@@ -533,7 +659,7 @@ impl Core {
             );
             return;
         }
-        self.squash_tso_loads(line, "squash.mcv_inv", now);
+        self.squash_tso_loads(line, self.ids.squash_mcv_inv, "mcv_inv", now);
         self.l1.invalidate(line);
         self.send(
             NodeId::Core(requester),
@@ -578,7 +704,7 @@ impl Core {
             self.governor.on_inv_star(line);
         }
         if self.governor.is_line_pinned(line) {
-            self.stats.incr("l1.invs_deferred");
+            self.stats.incr_id(self.ids.l1_invs_deferred);
             self.tracer.emit(EventKind::InvDeferred { line });
             self.send(
                 NodeId::Core(requester),
@@ -589,7 +715,7 @@ impl Core {
             );
             return;
         }
-        self.squash_tso_loads(line, "squash.mcv_inv", now);
+        self.squash_tso_loads(line, self.ids.squash_mcv_inv, "mcv_inv", now);
         self.l1.invalidate(line);
         self.send(
             NodeId::Core(requester),
@@ -603,7 +729,7 @@ impl Core {
 
     fn on_back_inv(&mut self, line: LineAddr, slice: usize, now: Cycle) {
         if self.governor.is_line_pinned(line) {
-            self.stats.incr("l1.back_invs_deferred");
+            self.stats.incr_id(self.ids.l1_back_invs_deferred);
             self.tracer.emit(EventKind::InvDeferred { line });
             self.send(
                 NodeId::Slice(slice),
@@ -614,7 +740,7 @@ impl Core {
             );
             return;
         }
-        self.squash_tso_loads(line, "squash.mcv_evict", now);
+        self.squash_tso_loads(line, self.ids.squash_mcv_evict, "mcv_evict", now);
         let dirty = self.l1.invalidate(line) == Some(Mesi::Modified);
         self.send(
             NodeId::Slice(slice),
@@ -627,7 +753,7 @@ impl Core {
     }
 
     fn on_nack(&mut self, line: LineAddr, was_write: bool, now: Cycle) {
-        self.stats.incr("l1.nacks");
+        self.stats.incr_id(self.ids.l1_nacks);
         if was_write {
             // The rejected request was our GetX (write-buffer head or
             // atomic); the tag prevents misattributing a nacked *read* on
@@ -656,8 +782,15 @@ impl Core {
 
     /// TSO conservative squash: any performed-but-unretired load on `line`
     /// that is not the oldest load in the ROB is squashed, along with its
-    /// successors (Section 2).
-    fn squash_tso_loads(&mut self, line: LineAddr, counter: &'static str, now: Cycle) {
+    /// successors (Section 2). `counter` attributes the squash in the
+    /// statistics and `cause` in the event trace.
+    fn squash_tso_loads(
+        &mut self,
+        line: LineAddr,
+        counter: StatId,
+        cause: &'static str,
+        now: Cycle,
+    ) {
         // The aggressive implementation never squashes the oldest load in
         // the ROB (it cannot have been reordered); the conservative one
         // squashes any matching performed load (Section 2).
@@ -685,8 +818,7 @@ impl Core {
                 .rob_entry(seq)
                 .map(|e| e.pc)
                 .expect("squashed load is in the ROB");
-            self.stats.incr(counter);
-            let cause = counter.strip_prefix("squash.").unwrap_or(counter);
+            self.stats.incr_id(counter);
             self.squash_from(seq, pc, cause, now);
         }
     }
@@ -733,8 +865,8 @@ impl Core {
             Ok(Some((victim, victim_state))) => {
                 // Evicting a line with performed unretired loads squashes
                 // them (conservative TSO), and the directory must be told.
-                self.squash_tso_loads(victim, "squash.mcv_evict", now);
-                self.stats.incr("l1.evictions");
+                self.squash_tso_loads(victim, self.ids.squash_mcv_evict, "mcv_evict", now);
+                self.stats.incr_id(self.ids.l1_evictions);
                 let msg = if victim_state == Mesi::Modified {
                     Msg::PutM {
                         line: victim,
@@ -750,7 +882,7 @@ impl Core {
                 true
             }
             Err(_) => {
-                self.stats.incr("l1.evictions_denied");
+                self.stats.incr_id(self.ids.l1_evictions_denied);
                 false
             }
         }
@@ -776,7 +908,7 @@ impl Core {
             InstallAction::WriteMerge { needs_unblock } => {
                 let head = self.wb.pop().expect("write merge requires a head entry");
                 image.write(head.addr, head.value);
-                self.stats.incr("wb.merges");
+                self.stats.incr_id(self.ids.wb_merges);
                 if needs_unblock {
                     self.send(
                         self.home(line),
@@ -817,52 +949,144 @@ impl Core {
     // The pipeline tick
     // ------------------------------------------------------------------
 
-    /// Advances the core by one cycle.
-    pub fn tick(&mut self, now: Cycle, image: &mut Memory) {
-        self.stats.incr("cycles");
-        if now.raw().is_multiple_of(32) {
-            self.stats.sample("occ.rob", self.rob.len() as u64);
-            self.stats.sample("occ.lq", self.lq.len() as u64);
-            self.stats.sample("occ.wb", self.wb.len() as u64);
+    /// Advances the core by one cycle. Returns `true` if any pipeline
+    /// state changed ("active"), `false` for a *quiet* tick whose only
+    /// effects are time-independent statistics (the per-cycle counter,
+    /// stall counters, occupancy samples). The machine's idle-cycle
+    /// fast-forward relies on a quiet tick repeating identically until
+    /// [`Core::next_timed_event`] or an inbound message.
+    pub fn tick(&mut self, now: Cycle, image: &mut Memory) -> bool {
+        self.stats.incr_id(self.ids.cycles);
+        if now.raw().is_multiple_of(OCC_SAMPLE_PERIOD) {
+            self.stats
+                .sample_id(self.ids.occ_rob, self.rob.len() as u64);
+            self.stats.sample_id(self.ids.occ_lq, self.lq.len() as u64);
+            self.stats.sample_id(self.ids.occ_wb, self.wb.len() as u64);
         }
         if self.tracer.enabled() {
             self.tracer.set_now(now);
             self.l1.tracer_mut().set_now(now);
             self.governor.tracer_mut().set_now(now);
         }
-        self.retry_pending_installs(now, image);
-        self.retry_reads(now);
-        self.commit(now, image);
-        self.drain_write_buffer(now, image);
-        self.step_atomic(now, image);
+        let mut active = self.retry_pending_installs(now, image);
+        active |= self.retry_reads(now);
+        active |= self.commit(now, image);
+        active |= self.drain_write_buffer(now, image);
+        active |= self.step_atomic(now, image);
         self.aggr = self.aggregates();
         if self.policy.tracks_taint() {
-            self.propagate_taint();
+            active |= self.propagate_taint();
         }
-        self.pin_pass(now);
-        self.trace_vp_conditions();
-        self.complete_executing(now, image);
-        self.issue(now, image);
-        self.dispatch(now);
-        self.fetch(now);
+        active |= self.pin_pass(now);
+        active |= self.trace_vp_conditions();
+        active |= self.complete_executing(now, image);
+        active |= self.issue(now, image);
+        active |= self.dispatch(now);
+        active |= self.fetch(now);
+        active
     }
 
-    fn retry_pending_installs(&mut self, now: Cycle, image: &mut Memory) {
-        let due: Vec<PendingInstall> = {
-            let (due, rest): (Vec<_>, Vec<_>) = self
-                .pending_installs
-                .drain(..)
-                .partition(|p| p.retry_at <= now);
-            self.pending_installs = rest;
-            due
+    /// The earliest future cycle at which this core has self-scheduled
+    /// work: execution completions, retry timers, the fetch-stall window.
+    /// `None` means the core stays quiet until an inbound message (or
+    /// some other core-visible state change) arrives. Candidates may be
+    /// conservative — earlier than strictly necessary — because the
+    /// machine only uses them to bound idle-cycle fast-forward skips.
+    pub fn next_timed_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        let mut consider = |c: Cycle| {
+            next = Some(match next {
+                Some(n) if n <= c => n,
+                _ => c,
+            });
         };
-        for p in due {
+        for e in &self.rob {
+            if let Stage::Executing { done_at } = e.stage {
+                consider(done_at);
+            }
+        }
+        for p in &self.pending_installs {
+            consider(p.retry_at);
+        }
+        for &(at, _) in &self.read_retries {
+            consider(at);
+        }
+        if let Some(h) = self.wb.head() {
+            if h.state == WbState::WaitingRetry {
+                consider(h.retry_at);
+            }
+        }
+        if self.atomic.active && self.atomic.waiting_retry {
+            consider(self.atomic.retry_at);
+        }
+        // Fetch wakes on its own only when the stall window expires while
+        // there is buffer space; a full buffer waits on dispatch instead.
+        if !self.fetch_halted
+            && self.fetch_buf.len() < FETCH_BUF_CAP
+            && now < self.fetch_stalled_until
+        {
+            consider(self.fetch_stalled_until);
+        }
+        next
+    }
+
+    /// Applies `ticks` quiet-tick statistic deltas and `occ_samples`
+    /// occupancy-histogram samples in one shot — the machine's
+    /// fast-forward replay. `*_before`/`*_after` are
+    /// [`Stats::counter_values`] snapshots (core pipeline and pin
+    /// governor) bracketing one representative quiet tick.
+    pub fn replay_quiet_ticks(
+        &mut self,
+        core_before: &[u64],
+        core_after: &[u64],
+        gov_before: &[u64],
+        gov_after: &[u64],
+        ticks: u64,
+        occ_samples: u64,
+    ) {
+        self.stats
+            .replay_counter_delta(core_before, core_after, ticks);
+        self.governor
+            .stats_mut()
+            .replay_counter_delta(gov_before, gov_after, ticks);
+        if occ_samples > 0 {
+            self.stats
+                .sample_n_id(self.ids.occ_rob, self.rob.len() as u64, occ_samples);
+            self.stats
+                .sample_n_id(self.ids.occ_lq, self.lq.len() as u64, occ_samples);
+            self.stats
+                .sample_n_id(self.ids.occ_wb, self.wb.len() as u64, occ_samples);
+        }
+    }
+
+    fn retry_pending_installs(&mut self, now: Cycle, image: &mut Memory) -> bool {
+        if self.pending_installs.is_empty() {
+            return false;
+        }
+        let mut due = std::mem::take(&mut self.scratch_installs);
+        due.clear();
+        self.pending_installs.retain(|p| {
+            if p.retry_at <= now {
+                due.push(*p);
+                false
+            } else {
+                true
+            }
+        });
+        let any = !due.is_empty();
+        for p in due.drain(..) {
             self.install_or_queue(p.line, p.state, p.action, now, image);
         }
+        self.scratch_installs = due;
+        any
     }
 
-    fn retry_reads(&mut self, now: Cycle) {
-        let mut due = Vec::new();
+    fn retry_reads(&mut self, now: Cycle) -> bool {
+        if self.read_retries.is_empty() {
+            return false;
+        }
+        let mut due = std::mem::take(&mut self.scratch_lines);
+        due.clear();
         self.read_retries.retain(|&(at, line)| {
             if at <= now {
                 due.push(line);
@@ -871,7 +1095,8 @@ impl Core {
                 true
             }
         });
-        for line in due {
+        let any = !due.is_empty();
+        for line in due.drain(..) {
             if self.mshrs.contains(line) {
                 self.send(
                     self.home(line),
@@ -882,11 +1107,16 @@ impl Core {
                 );
             }
         }
+        self.scratch_lines = due;
+        any
     }
 
     // ---- commit ----
 
-    fn commit(&mut self, now: Cycle, _image: &mut Memory) {
+    fn commit(&mut self, now: Cycle, _image: &mut Memory) -> bool {
+        // Every stall path breaks *before* mutating, so "anything retired"
+        // is exactly "anything changed".
+        let retired_before = self.retired;
         for _ in 0..self.cfg.core.commit_width {
             let Some(head) = self.rob.front() else { break };
             if !head.completed() {
@@ -907,7 +1137,7 @@ impl Core {
                     entry.data.expect("resolved store"),
                 );
                 if self.wb.push(addr, data).is_err() {
-                    self.stats.incr("stall.wb_full");
+                    self.stats.incr_id(self.ids.stall_wb_full);
                     break;
                 }
                 self.sq.remove(0);
@@ -918,7 +1148,7 @@ impl Core {
                 if entry.invisible {
                     // InvisiSpec: the exposed validation access has not
                     // completed; the load cannot leave the pipeline yet.
-                    self.stats.incr("stall.validation");
+                    self.stats.incr_id(self.ids.stall_validation);
                     break;
                 }
                 if entry.pin == PinState::Pinned {
@@ -951,19 +1181,22 @@ impl Core {
                 seq,
                 pc: pc.0 as u64,
             });
-            self.stats.incr("retired");
+            self.stats.incr_id(self.ids.retired);
             self.stats
-                .sample("rob.commit_latency", now.since(head_dispatched));
+                .sample_id(self.ids.rob_commit_latency, now.since(head_dispatched));
             if self.halted {
                 break;
             }
         }
+        self.retired != retired_before
     }
 
     // ---- write buffer drain ----
 
-    fn drain_write_buffer(&mut self, now: Cycle, image: &mut Memory) {
-        let Some(head) = self.wb.head() else { return };
+    fn drain_write_buffer(&mut self, now: Cycle, image: &mut Memory) -> bool {
+        let Some(head) = self.wb.head() else {
+            return false;
+        };
         match head.state {
             WbState::Idle => {
                 let line = head.line();
@@ -977,7 +1210,7 @@ impl Core {
                     }
                     image.write(addr, value);
                     self.wb.pop();
-                    self.stats.incr("wb.merges");
+                    self.stats.incr_id(self.ids.wb_merges);
                     self.promote_pending_pins(line);
                 } else {
                     self.send(
@@ -995,11 +1228,16 @@ impl Core {
                     head.acks_pending = 0;
                     self.wb_needs_unblock = false;
                 }
+                // Both Idle branches mutate (merge or request send).
+                true
             }
-            WbState::Requested => {}
+            WbState::Requested => false,
             WbState::WaitingRetry => {
                 if now >= head.retry_at {
                     self.wb.head_mut().expect("head still present").state = WbState::Idle;
+                    true
+                } else {
+                    false
                 }
             }
         }
@@ -1007,10 +1245,12 @@ impl Core {
 
     // ---- atomic execution at the ROB head ----
 
-    fn step_atomic(&mut self, now: Cycle, image: &mut Memory) {
-        let Some(head) = self.rob.front() else { return };
+    fn step_atomic(&mut self, now: Cycle, image: &mut Memory) -> bool {
+        let Some(head) = self.rob.front() else {
+            return false;
+        };
         if !head.inst.is_atomic() || head.completed() {
-            return;
+            return false;
         }
         if self.atomic.active {
             if self.atomic.waiting_retry && now >= self.atomic.retry_at {
@@ -1026,17 +1266,18 @@ impl Core {
                         star: self.atomic.use_star,
                     },
                 );
+                return true;
             }
-            return;
+            return false;
         }
         // Atomics execute only at the head, with the write buffer drained,
         // to provide their LOCK fence semantics.
         if !self.wb.is_empty() {
-            return;
+            return false;
         }
         let seq = self.rob.front().expect("head checked").seq;
         if !self.operands_ready(seq) {
-            return;
+            return false;
         }
         let (base, offset) = self
             .rob
@@ -1073,6 +1314,7 @@ impl Core {
                 },
             );
         }
+        true
     }
 
     fn finish_atomic(&mut self, now: Cycle, image: &mut Memory) {
@@ -1108,12 +1350,13 @@ impl Core {
         head.result = Some(old);
         head.stage = Stage::Completed;
         self.atomic = AtomicTxn::default();
-        self.stats.incr("atomics");
+        self.stats.incr_id(self.ids.atomics);
     }
 
     // ---- taint propagation (STT) ----
 
-    fn propagate_taint(&mut self) {
+    fn propagate_taint(&mut self) -> bool {
+        let mut changed = false;
         // Walk in program order: producers precede consumers, so one pass
         // reaches a fixed point.
         {
@@ -1124,7 +1367,9 @@ impl Core {
                     // A load's own taint is managed at perform/VP time.
                     continue;
                 }
-                taint.derive(e.seq, e.srcs.iter().filter_map(|&(_, p)| p));
+                changed |= taint
+                    .derive_changed(e.seq, e.srcs.iter().filter_map(|&(_, p)| p))
+                    .1;
             }
         }
         // Untaint loads that have reached their VP.
@@ -1135,9 +1380,11 @@ impl Core {
                 let status = self.vp_status_for(i, &aggr);
                 if self.vp_mask.reached(status) {
                     self.taint.clear(e.seq);
+                    changed = true;
                 }
             }
         }
+        changed
     }
 
     // ---- pinning ----
@@ -1146,7 +1393,11 @@ impl Core {
     /// buffer or still in the SQ) — the Section 5.1.2 deadlock-avoidance
     /// count.
     fn older_incomplete_stores(&self, seq: SeqNum) -> usize {
-        self.wb.len() + self.sq.iter().filter(|s| s.seq < seq).count()
+        // The SQ is sorted by seq (dispatch appends in program order), so
+        // the count of older stores is a partition point, not a scan.
+        let older = self.sq.partition_point(|s| s.seq < seq);
+        debug_assert_eq!(older, self.sq.iter().filter(|s| s.seq < seq).count());
+        self.wb.len() + older
     }
 
     /// Non-ordering pin-eligibility conditions for LQ entry `i`.
@@ -1172,10 +1423,11 @@ impl Core {
         })
     }
 
-    fn pin_pass(&mut self, _now: Cycle) {
+    fn pin_pass(&mut self, _now: Cycle) -> bool {
         if self.governor.mode() == PinMode::Off {
-            return;
+            return false;
         }
+        let mut active = false;
         let aggr = self.aggr;
         for i in 0..self.lq.len() {
             let e = &self.lq[i];
@@ -1212,11 +1464,15 @@ impl Core {
                             .and_then(|x| x.line())
                     };
                     let governor = &mut self.governor;
+                    // try_pin_early mutates governor statistics either way;
+                    // treat any attempt as activity so EP-denied windows
+                    // are never fast-forwarded over.
+                    active = true;
                     if governor.try_pin_early(line, lq_id, &live).is_ok() {
                         self.lq[i].pin = PinState::Pinned;
                         continue;
                     }
-                    self.stats.incr("pin.ep_denied");
+                    self.stats.incr_id(self.ids.pin_ep_denied);
                     break;
                 }
                 PinMode::Late => {
@@ -1227,12 +1483,14 @@ impl Core {
                     {
                         self.lq[i].pin = PinState::Pinned;
                         self.governor.record_pin(line);
+                        active = true;
                         continue;
                     }
                     if e.waiting_fill {
                         let seq = e.seq;
                         self.lq[i].pin = PinState::Pending;
                         self.tracer.emit(EventKind::PinPending { seq, line });
+                        active = true;
                         break;
                     }
                     // Not yet issued: the issue stage will send it out
@@ -1242,6 +1500,7 @@ impl Core {
                 PinMode::Off => unreachable!("checked above"),
             }
         }
+        active
     }
 
     // ---- VP status ----
@@ -1259,15 +1518,11 @@ impl Core {
                 let addr_known = if e.inst.is_atomic() {
                     e.completed()
                 } else if e.inst.is_load() {
-                    self.lq
-                        .iter()
-                        .find(|l| l.seq == e.seq)
-                        .is_some_and(|l| l.addr.is_some())
+                    self.lq_index(e.seq)
+                        .is_some_and(|i| self.lq[i].addr.is_some())
                 } else {
-                    self.sq
-                        .iter()
-                        .find(|s| s.seq == e.seq)
-                        .is_some_and(|s| s.addr.is_some())
+                    self.sq_index(e.seq)
+                        .is_some_and(|i| self.sq[i].addr.is_some())
                 };
                 if !addr_known {
                     if a.oldest_unknown_mem_addr.is_none() {
@@ -1321,10 +1576,11 @@ impl Core {
     /// blocker transition and `VpClear` once the VP is reached. Runs only
     /// with tracing enabled; the simulated pipeline never reads the
     /// attribution fields.
-    fn trace_vp_conditions(&mut self) {
+    fn trace_vp_conditions(&mut self) -> bool {
         if !self.tracer.enabled() {
-            return;
+            return false;
         }
+        let mut active = false;
         let aggr = self.aggr;
         for i in 0..self.lq.len() {
             let status = self.vp_status_for(i, &aggr);
@@ -1335,39 +1591,50 @@ impl Core {
                     if self.lq[i].vp_blocker != Some(b) {
                         self.lq[i].vp_blocker = Some(b);
                         self.tracer.emit(EventKind::VpBlocked { seq, blocker: b });
+                        active = true;
                     }
                     // A cleared load can re-block (e.g. a younger check
                     // after a partial squash); let a later clear re-fire.
-                    self.lq[i].vp_clear_traced = false;
+                    if self.lq[i].vp_clear_traced {
+                        self.lq[i].vp_clear_traced = false;
+                        active = true;
+                    }
                 }
                 None => {
                     if !self.lq[i].vp_clear_traced {
                         self.lq[i].vp_clear_traced = true;
                         let last = self.lq[i].vp_blocker.unwrap_or("none");
                         self.tracer.emit(EventKind::VpClear { seq, blocker: last });
+                        active = true;
                     }
                 }
             }
         }
+        active
     }
 
     // ---- execute completion ----
 
-    fn complete_executing(&mut self, now: Cycle, _image: &mut Memory) {
-        let mut resolutions: Vec<SeqNum> = Vec::new();
-        let tracer = &mut self.tracer;
-        for e in self.rob.iter_mut() {
-            if let Stage::Executing { done_at } = e.stage {
-                if done_at <= now {
-                    e.stage = Stage::Completed;
-                    tracer.emit(EventKind::Complete { seq: e.seq });
-                    if e.inst.is_control() || matches!(e.inst, Inst::Store { .. }) {
-                        resolutions.push(e.seq);
+    fn complete_executing(&mut self, now: Cycle, _image: &mut Memory) -> bool {
+        let mut active = false;
+        let mut resolutions = std::mem::take(&mut self.scratch_seqs);
+        resolutions.clear();
+        {
+            let tracer = &mut self.tracer;
+            for e in self.rob.iter_mut() {
+                if let Stage::Executing { done_at } = e.stage {
+                    if done_at <= now {
+                        e.stage = Stage::Completed;
+                        active = true;
+                        tracer.emit(EventKind::Complete { seq: e.seq });
+                        if e.inst.is_control() || matches!(e.inst, Inst::Store { .. }) {
+                            resolutions.push(e.seq);
+                        }
                     }
                 }
             }
         }
-        for seq in resolutions {
+        for &seq in &resolutions {
             if self.rob_entry(seq).is_none() {
                 continue; // squashed by an earlier resolution this cycle
             }
@@ -1378,6 +1645,9 @@ impl Core {
                 self.resolve_store(seq, now);
             }
         }
+        resolutions.clear();
+        self.scratch_seqs = resolutions;
+        active
     }
 
     fn resolve_control(&mut self, seq: SeqNum, now: Cycle) {
@@ -1411,7 +1681,7 @@ impl Core {
         }
         self.bp.update_target(pc, actual_target);
         if mispredicted {
-            self.stats.incr("squash.branch");
+            self.stats.incr_id(self.ids.squash_branch);
             self.bp.recover(
                 &pred.checkpoint,
                 if inst.is_cond_branch() {
@@ -1433,7 +1703,7 @@ impl Core {
     }
 
     fn resolve_store(&mut self, seq: SeqNum, now: Cycle) {
-        let Some(entry) = self.sq.iter().find(|s| s.seq == seq) else {
+        let Some(entry) = self.sq_index(seq).map(|i| &self.sq[i]) else {
             return;
         };
         let Some(addr) = entry.addr else { return };
@@ -1454,7 +1724,7 @@ impl Core {
             let vseq = v.seq;
             debug_assert_eq!(v.pin, PinState::Unpinned, "pinned loads are never squashed");
             let pc = self.rob_entry(vseq).expect("victim load is in ROB").pc;
-            self.stats.incr("squash.alias");
+            self.stats.incr_id(self.ids.squash_alias);
             self.squash_from(vseq, pc, "alias", now);
             self.fetch_stalled_until = now + 3;
         }
@@ -1484,7 +1754,8 @@ impl Core {
 
     // ---- issue ----
 
-    fn issue(&mut self, now: Cycle, image: &mut Memory) {
+    fn issue(&mut self, now: Cycle, image: &mut Memory) -> bool {
+        let mut active = false;
         let mut budget = self.cfg.core.issue_width;
         // Non-memory and address-generation issue. A store's address
         // resolution can trigger an alias squash that shrinks the ROB, so
@@ -1502,17 +1773,20 @@ impl Core {
             match inst {
                 Inst::Nop => {
                     self.rob[idx].stage = Stage::Completed;
+                    active = true;
                 }
                 Inst::Halt => {
                     // Halt completes only at the head so that everything
                     // older retires first.
                     if idx == 0 {
                         self.rob[idx].stage = Stage::Completed;
+                        active = true;
                     }
                 }
                 Inst::Mfence => {
                     if idx == 0 && self.wb.is_empty() {
                         self.rob[idx].stage = Stage::Completed;
+                        active = true;
                     }
                 }
                 Inst::AtomicAdd { .. } | Inst::AtomicCas { .. } => {
@@ -1537,6 +1811,7 @@ impl Core {
                     self.rob[idx].result = Some(op.apply(a, b));
                     self.rob[idx].stage = Stage::Executing { done_at: now + lat };
                     budget -= 1;
+                    active = true;
                 }
                 Inst::Branch { src1, src2, .. } => {
                     if self.try_operand(seq, src1).is_none()
@@ -1546,16 +1821,19 @@ impl Core {
                     }
                     self.rob[idx].stage = Stage::Executing { done_at: now + 1 };
                     budget -= 1;
+                    active = true;
                 }
                 Inst::Jump { .. } | Inst::Call { .. } | Inst::Ret => {
                     self.rob[idx].stage = Stage::Executing { done_at: now + 1 };
                     budget -= 1;
+                    active = true;
                 }
                 Inst::Load { base, .. } => {
                     // Address generation; the memory access itself is
                     // gated separately below.
-                    let lq_idx = self.lq.iter().position(|l| l.seq == seq);
-                    let Some(lq_idx) = lq_idx else { continue };
+                    let Some(lq_idx) = self.lq_index(seq) else {
+                        continue;
+                    };
                     if self.lq[lq_idx].addr.is_some() {
                         continue;
                     }
@@ -1568,14 +1846,16 @@ impl Core {
                     };
                     self.lq[lq_idx].addr = Some(Addr::new(b.wrapping_add(offset as u64)));
                     budget -= 1;
+                    active = true;
                 }
                 Inst::Store { src, base, offset } => {
                     // Address generation and data capture are independent
                     // micro-ops, as in real LSUs: the address (which drives
                     // alias resolution and younger loads' VP conditions)
                     // must not wait for the data.
-                    let sq_idx = self.sq.iter().position(|s| s.seq == seq);
-                    let Some(sq_idx) = sq_idx else { continue };
+                    let Some(sq_idx) = self.sq_index(seq) else {
+                        continue;
+                    };
                     let mut progressed = false;
                     if self.sq[sq_idx].addr.is_none() {
                         if let Some(b) = self.try_operand(seq, base) {
@@ -1586,7 +1866,7 @@ impl Core {
                     }
                     // `resolve_store` squashes only younger instructions,
                     // never this store; re-find it defensively.
-                    if let Some(sq_idx) = self.sq.iter().position(|s| s.seq == seq) {
+                    if let Some(sq_idx) = self.sq_index(seq) {
                         if self.sq[sq_idx].data.is_none() && self.sq[sq_idx].addr.is_some() {
                             if let Some(d) = self.try_operand(seq, src) {
                                 self.sq[sq_idx].data = Some(d);
@@ -1597,22 +1877,26 @@ impl Core {
                             if let Some(e) = self.rob_entry_mut(seq) {
                                 if e.stage == Stage::Dispatched {
                                     e.stage = Stage::Executing { done_at: now + 1 };
+                                    active = true;
                                 }
                             }
                         }
                     }
                     if progressed {
                         budget -= 1;
+                        active = true;
                     }
                 }
             }
         }
-        self.issue_loads(now, image);
+        active |= self.issue_loads(now, image);
+        active
     }
 
     /// The load-issue pass: applies the defense scheme's policy, performs
     /// store-to-load forwarding, and accesses the L1.
-    fn issue_loads(&mut self, now: Cycle, image: &mut Memory) {
+    fn issue_loads(&mut self, now: Cycle, image: &mut Memory) -> bool {
+        let mut active = false;
         let mut ports = 3usize; // L1-D read ports (Table 1)
         let aggr = self.aggr;
         for i in 0..self.lq.len() {
@@ -1625,7 +1909,7 @@ impl Core {
                 // the second, visible access to validate the early value.
                 let status = self.vp_status_for(i, &aggr);
                 if self.vp_mask.reached(status) {
-                    self.expose_load(i, now, image);
+                    active |= self.expose_load(i, now, image);
                     ports -= 1;
                 }
                 continue;
@@ -1655,11 +1939,11 @@ impl Core {
             };
             if let Err(block) = self.policy.may_issue(ctx) {
                 let key = match block {
-                    pl_secure::scheme::IssueBlock::WaitVp => "stall.vp",
-                    pl_secure::scheme::IssueBlock::WaitMissVp => "stall.dom_miss",
-                    pl_secure::scheme::IssueBlock::WaitTaint => "stall.taint",
+                    pl_secure::scheme::IssueBlock::WaitVp => self.ids.stall_vp,
+                    pl_secure::scheme::IssueBlock::WaitMissVp => self.ids.stall_dom_miss,
+                    pl_secure::scheme::IssueBlock::WaitTaint => self.ids.stall_taint,
                 };
-                self.stats.incr(key);
+                self.stats.incr_id(key);
                 continue;
             }
             // Store-to-load forwarding from older SQ entries.
@@ -1676,10 +1960,11 @@ impl Core {
                     Some(v) => {
                         self.perform_load(i, v, true, Some(from), now, !vp_reached);
                         ports -= 1;
+                        active = true;
                     }
                     None => {
                         // Matching older store without data: wait.
-                        self.stats.incr("stall.store_data");
+                        self.stats.incr_id(self.ids.stall_store_data);
                     }
                 }
                 continue;
@@ -1688,6 +1973,7 @@ impl Core {
             if let Some(v) = self.wb.forward(addr) {
                 self.perform_load(i, v, true, None, now, !vp_reached);
                 ports -= 1;
+                active = true;
                 continue;
             }
             if self.policy.issues_invisibly() && !vp_reached {
@@ -1715,14 +2001,15 @@ impl Core {
                         done_at: now + latency,
                     };
                 }
-                self.stats.incr("loads.invisible");
+                self.stats.incr_id(self.ids.loads_invisible);
                 ports -= 1;
+                active = true;
                 continue;
             }
             if l1_hit {
                 self.l1.touch(line);
                 let v = image.read(addr);
-                self.stats.incr("l1.hits");
+                self.stats.incr_id(self.ids.l1_hits);
                 self.tracer.emit(EventKind::IssueLoad {
                     seq,
                     line,
@@ -1730,10 +2017,11 @@ impl Core {
                 });
                 self.perform_load(i, v, false, None, now, !vp_reached);
                 ports -= 1;
+                active = true;
             } else {
                 match self.mshrs.allocate(line, seq, false) {
                     Ok(primary) => {
-                        self.stats.incr("l1.misses");
+                        self.stats.incr_id(self.ids.l1_misses);
                         self.tracer.emit(EventKind::IssueLoad {
                             seq,
                             line,
@@ -1769,31 +2057,34 @@ impl Core {
                             self.prefetch_after(line);
                         }
                         ports -= 1;
+                        active = true;
                     }
                     Err(_) => {
-                        self.stats.incr("stall.mshr_full");
+                        self.stats.incr_id(self.ids.stall_mshr_full);
                     }
                 }
             }
         }
+        active
     }
 
     /// Issues the InvisiSpec exposure access for LQ entry `i`: an L1 hit
     /// validates immediately; a miss fetches the line and validates on
     /// arrival.
-    fn expose_load(&mut self, i: usize, now: Cycle, image: &mut Memory) {
+    fn expose_load(&mut self, i: usize, now: Cycle, image: &mut Memory) -> bool {
         let e = &self.lq[i];
         let addr = e.addr.expect("performed load has an address");
         let seq = e.seq;
         let line = addr.line();
         if self.l1.peek(line).is_some_and(|s| s.readable()) {
             self.l1.touch(line);
-            self.stats.incr("l1.hits");
+            self.stats.incr_id(self.ids.l1_hits);
             self.validate_exposed(i, now, image);
+            true
         } else {
             match self.mshrs.allocate(line, seq, false) {
                 Ok(primary) => {
-                    self.stats.incr("l1.misses");
+                    self.stats.incr_id(self.ids.l1_misses);
                     self.lq[i].exposing = true;
                     if primary {
                         self.send(
@@ -1805,8 +2096,12 @@ impl Core {
                         );
                         self.prefetch_after(line);
                     }
+                    true
                 }
-                Err(_) => self.stats.incr("stall.mshr_full"),
+                Err(_) => {
+                    self.stats.incr_id(self.ids.stall_mshr_full);
+                    false
+                }
             }
         }
     }
@@ -1823,10 +2118,10 @@ impl Core {
         if current == bound {
             self.lq[i].invisible = false;
             self.lq[i].exposing = false;
-            self.stats.incr("loads.validated");
+            self.stats.incr_id(self.ids.loads_validated);
         } else {
             let pc = self.rob_entry(seq).expect("load in ROB").pc;
-            self.stats.incr("squash.validation");
+            self.stats.incr_id(self.ids.squash_validation);
             self.squash_from(seq, pc, "validation", now);
         }
     }
@@ -1845,7 +2140,7 @@ impl Core {
                 continue;
             }
             if self.mshrs.allocate(next, SeqNum(u64::MAX), false) == Ok(true) {
-                self.stats.incr("l1.prefetches");
+                self.stats.incr_id(self.ids.l1_prefetches);
                 self.send(
                     self.home(next),
                     Msg::GetS {
@@ -1877,9 +2172,9 @@ impl Core {
         e.forwarded_from = forwarded_from;
         e.waiting_fill = false;
         let seq = e.seq;
-        self.stats.incr("loads.performed");
+        self.stats.incr_id(self.ids.loads_performed);
         if forwarded {
-            self.stats.incr("loads.forwarded");
+            self.stats.incr_id(self.ids.loads_forwarded);
         }
         if self.policy.tracks_taint() && pre_vp {
             self.taint.mark(seq);
@@ -1896,7 +2191,7 @@ impl Core {
 
     /// Performs a load that was waiting on a fill that just installed.
     fn perform_waiting_load(&mut self, seq: SeqNum, now: Cycle, image: &mut Memory) {
-        let Some(i) = self.lq.iter().position(|l| l.seq == seq) else {
+        let Some(i) = self.lq_index(seq) else {
             return;
         };
         if self.lq[i].exposing {
@@ -1983,10 +2278,11 @@ impl Core {
 
     // ---- dispatch & fetch ----
 
-    fn dispatch(&mut self, now: Cycle) {
+    fn dispatch(&mut self, now: Cycle) -> bool {
+        let mut active = false;
         for _ in 0..self.cfg.core.fetch_width {
             if self.rob.len() == self.cfg.core.rob_entries {
-                self.stats.incr("stall.rob_full");
+                self.stats.incr_id(self.ids.stall_rob_full);
                 break;
             }
             let Some(front) = self.fetch_buf.front() else {
@@ -1994,11 +2290,11 @@ impl Core {
             };
             let inst = front.inst;
             if inst.is_load() && !inst.is_atomic() && self.lq.len() == self.cfg.core.lq_entries {
-                self.stats.incr("stall.lq_full");
+                self.stats.incr_id(self.ids.stall_lq_full);
                 break;
             }
             if matches!(inst, Inst::Store { .. }) && self.sq.len() == self.cfg.core.sq_entries {
-                self.stats.incr("stall.sq_full");
+                self.stats.incr_id(self.ids.stall_sq_full);
                 break;
             }
             let f = self.fetch_buf.pop_front().expect("front checked");
@@ -2006,21 +2302,18 @@ impl Core {
             self.next_seq = seq.next();
             // Record source operands and their producers from the
             // current rename map.
-            let srcs: Vec<(Reg, Option<SeqNum>)> = f
-                .inst
-                .use_regs()
-                .iter()
-                .map(|&r| {
-                    (
-                        r,
-                        if r.is_zero() {
-                            None
-                        } else {
-                            self.rename[r.index()]
-                        },
-                    )
-                })
-                .collect();
+            let (use_regs, n_uses) = f.inst.use_regs_fixed();
+            let mut srcs = SrcList::new();
+            for &r in &use_regs[..n_uses] {
+                srcs.push(
+                    r,
+                    if r.is_zero() {
+                        None
+                    } else {
+                        self.rename[r.index()]
+                    },
+                );
+            }
             let prev_map = f.inst.def_reg().map(|r| {
                 let old = self.rename[r.index()];
                 self.rename[r.index()] = Some(seq);
@@ -2048,13 +2341,16 @@ impl Core {
                 srcs,
                 dispatched_at: now,
             });
+            active = true;
         }
+        active
     }
 
-    fn fetch(&mut self, now: Cycle) {
+    fn fetch(&mut self, now: Cycle) -> bool {
         if self.fetch_halted || now < self.fetch_stalled_until {
-            return;
+            return false;
         }
+        let mut active = false;
         for _ in 0..self.cfg.core.fetch_width {
             if self.fetch_buf.len() >= FETCH_BUF_CAP {
                 break;
@@ -2093,11 +2389,13 @@ impl Core {
             };
             self.fetch_buf.push_back(Fetched { pc, inst, pred });
             self.fetch_pc = next;
+            active = true;
             if inst == Inst::Halt {
                 self.fetch_halted = true;
                 break;
             }
         }
+        active
     }
 
     // ---- squash ----
@@ -2118,7 +2416,7 @@ impl Core {
             if let Some((reg, old)) = e.prev_map {
                 self.rename[reg.index()] = old;
             }
-            self.stats.incr("squashed_insts");
+            self.stats.incr_id(self.ids.squashed_insts);
         }
         debug_assert!(
             self.lq
@@ -2135,10 +2433,26 @@ impl Core {
         self.fetch_pc = refetch;
         self.fetch_halted = false;
         self.fetch_stalled_until = now + 1;
-        self.stats.incr("squashes");
+        self.stats.incr_id(self.ids.squashes);
     }
 
-    // ---- ROB lookup ----
+    // ---- LQ/SQ/ROB lookup ----
+
+    /// Index of the LQ entry for `seq`, if any. The LQ is sorted by seq
+    /// (dispatch appends in program order; squash and retire preserve
+    /// order), so this is a binary search rather than a scan.
+    fn lq_index(&self, seq: SeqNum) -> Option<usize> {
+        let found = self.lq.binary_search_by_key(&seq, |e| e.seq).ok();
+        debug_assert_eq!(found, self.lq.iter().position(|e| e.seq == seq));
+        found
+    }
+
+    /// Index of the SQ entry for `seq`, if any. Sorted like the LQ.
+    fn sq_index(&self, seq: SeqNum) -> Option<usize> {
+        let found = self.sq.binary_search_by_key(&seq, |e| e.seq).ok();
+        debug_assert_eq!(found, self.sq.iter().position(|e| e.seq == seq));
+        found
+    }
 
     fn rob_entry(&self, seq: SeqNum) -> Option<&DynInst> {
         let head = self.rob.front()?.seq;

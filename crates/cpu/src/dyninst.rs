@@ -31,6 +31,43 @@ pub struct PredInfo {
     pub checkpoint: Checkpoint,
 }
 
+/// Fixed-capacity source-operand list: each `(register, producer)` pair
+/// records a source and the in-flight instruction that produces it
+/// (`None` when the value was already architectural at dispatch).
+///
+/// No instruction shape has more than three sources, so the list is
+/// inline — dispatching an instruction allocates nothing. Derefs to a
+/// slice, so call sites iterate it like the `Vec` it replaced.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SrcList {
+    items: [(Reg, Option<SeqNum>); 3],
+    len: u8,
+}
+
+impl SrcList {
+    /// Creates an empty list.
+    pub fn new() -> SrcList {
+        SrcList::default()
+    }
+
+    /// Appends a source pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list already holds three sources.
+    pub fn push(&mut self, reg: Reg, producer: Option<SeqNum>) {
+        self.items[self.len as usize] = (reg, producer);
+        self.len += 1;
+    }
+}
+
+impl std::ops::Deref for SrcList {
+    type Target = [(Reg, Option<SeqNum>)];
+    fn deref(&self) -> &[(Reg, Option<SeqNum>)] {
+        &self.items[..self.len as usize]
+    }
+}
+
 /// One reorder-buffer entry.
 #[derive(Debug, Clone)]
 pub struct DynInst {
@@ -51,7 +88,7 @@ pub struct DynInst {
     /// Source operands with their producers at rename time (used for
     /// operand reads and STT taint propagation). A `None` producer means
     /// the value was already architectural at dispatch.
-    pub srcs: Vec<(Reg, Option<SeqNum>)>,
+    pub srcs: SrcList,
     /// Cycle the entry was dispatched (for occupancy statistics).
     pub dispatched_at: Cycle,
 }
@@ -208,6 +245,19 @@ mod tests {
     }
 
     #[test]
+    fn src_list_pushes_and_derefs() {
+        let mut s = SrcList::new();
+        assert!(s.is_empty());
+        let r1 = Reg::new(1).unwrap();
+        let r2 = Reg::new(2).unwrap();
+        s.push(r1, None);
+        s.push(r2, Some(SeqNum(4)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], (r1, None));
+        assert_eq!(s.iter().filter_map(|&(_, p)| p).count(), 1);
+    }
+
+    #[test]
     fn stage_predicates() {
         let mut d = DynInst {
             seq: SeqNum(0),
@@ -217,7 +267,7 @@ mod tests {
             result: None,
             pred: None,
             prev_map: None,
-            srcs: Vec::new(),
+            srcs: SrcList::new(),
             dispatched_at: Cycle(0),
         };
         assert!(!d.completed() && !d.executing());

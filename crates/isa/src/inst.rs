@@ -348,22 +348,31 @@ impl Inst {
     /// The architectural source registers, in operand order. The zero
     /// register is included (it reads as zero but carries no dependence).
     pub fn use_regs(&self) -> Vec<Reg> {
+        let (regs, n) = self.use_regs_fixed();
+        regs[..n].to_vec()
+    }
+
+    /// Allocation-free variant of [`Inst::use_regs`]: the sources in
+    /// operand order in a fixed array, plus how many are valid. No shape
+    /// uses more than three sources (`AtomicCas`: cmp, src, base).
+    pub fn use_regs_fixed(&self) -> ([Reg; 3], usize) {
+        let z = Reg::ZERO;
         match *self {
             Inst::Alu { src1, src2, .. } => match src2 {
-                Operand::Reg(r) => vec![src1, r],
-                Operand::Imm(_) => vec![src1],
+                Operand::Reg(r) => ([src1, r, z], 2),
+                Operand::Imm(_) => ([src1, z, z], 1),
             },
-            Inst::Load { base, .. } => vec![base],
-            Inst::Store { src, base, .. } => vec![src, base],
-            Inst::Branch { src1, src2, .. } => vec![src1, src2],
-            Inst::AtomicAdd { src, base, .. } => vec![src, base],
-            Inst::AtomicCas { cmp, src, base, .. } => vec![cmp, src, base],
+            Inst::Load { base, .. } => ([base, z, z], 1),
+            Inst::Store { src, base, .. } => ([src, base, z], 2),
+            Inst::Branch { src1, src2, .. } => ([src1, src2, z], 2),
+            Inst::AtomicAdd { src, base, .. } => ([src, base, z], 2),
+            Inst::AtomicCas { cmp, src, base, .. } => ([cmp, src, base], 3),
             Inst::Jump { .. }
             | Inst::Call { .. }
             | Inst::Ret
             | Inst::Mfence
             | Inst::Nop
-            | Inst::Halt => vec![],
+            | Inst::Halt => ([z, z, z], 0),
         }
     }
 

@@ -42,8 +42,8 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
-use pl_base::{Addr, ConfigError, CoreId, Cycle, LineAddr, MachineConfig, Stats};
-use pl_cpu::Core;
+use pl_base::{Addr, ConfigError, CoreId, Cycle, HistId, LineAddr, MachineConfig, Stats};
+use pl_cpu::{Core, OCC_SAMPLE_PERIOD};
 use pl_isa::{Program, Reg};
 use pl_mem::{LlcSlice, Memory, Msg, Noc, NodeId, PinView};
 use pl_secure::VpMask;
@@ -58,6 +58,12 @@ const CPT_SAMPLE_PERIOD: u64 = 64;
 
 /// How many trailing trace events a deadlock diagnosis carries.
 const DEADLOCK_TRACE_TAIL: usize = 64;
+
+/// Number of multiples of `m` in the half-open range `[lo, hi)`.
+fn multiples_in(m: u64, lo: u64, hi: u64) -> u64 {
+    let below = |n: u64| if n == 0 { 0 } else { (n - 1) / m + 1 };
+    below(hi).saturating_sub(below(lo))
+}
 
 /// [`PinView`] over the cores' pin governors.
 struct CorePins<'a>(&'a [Core]);
@@ -180,6 +186,10 @@ pub struct Machine {
     image: Memory,
     now: Cycle,
     watchdog_cycles: u64,
+    /// Reused per-tick buffers so the steady-state tick allocates nothing.
+    deliver_buf: Vec<(NodeId, NodeId, Msg)>,
+    slice_bound: Vec<(usize, Msg)>,
+    outbox_buf: Vec<(NodeId, Msg)>,
 }
 
 impl Machine {
@@ -217,6 +227,9 @@ impl Machine {
             image: Memory::new(),
             now: Cycle::ZERO,
             watchdog_cycles: WATCHDOG_CYCLES,
+            deliver_buf: Vec::new(),
+            slice_bound: Vec::new(),
+            outbox_buf: Vec::new(),
         })
     }
 
@@ -288,45 +301,60 @@ impl Machine {
         self.image.read(addr)
     }
 
-    /// Advances the machine one cycle.
-    pub fn tick(&mut self) {
+    /// Advances the machine one cycle. Returns `true` if anything in the
+    /// machine made progress: a message was delivered, a slice timer
+    /// fired, or a core's pipeline changed state. A `false` ("quiet")
+    /// tick repeats identically every cycle until the next scheduled
+    /// event, which is what licenses idle-cycle fast-forward.
+    pub fn tick(&mut self) -> bool {
         let now = self.now;
         // 1. Deliver due messages: core-bound first (they may generate
         //    responses), then slice-bound under a pin view of the cores.
-        let delivered = self.noc.deliver(now);
-        let mut slice_bound: Vec<(usize, Msg)> = Vec::new();
-        for (_, dst, msg) in delivered {
+        let mut delivered = std::mem::take(&mut self.deliver_buf);
+        delivered.clear();
+        self.noc.deliver_into(now, &mut delivered);
+        let mut active = !delivered.is_empty();
+        let mut slice_bound = std::mem::take(&mut self.slice_bound);
+        slice_bound.clear();
+        for (_, dst, msg) in delivered.drain(..) {
             match dst {
                 NodeId::Core(c) => self.cores[c.index()].handle_msg(msg, now, &mut self.image),
                 NodeId::Slice(s) => slice_bound.push((s, msg)),
             }
         }
+        self.deliver_buf = delivered;
         {
             let pins = CorePins(&self.cores);
-            for (s, msg) in slice_bound {
+            for (s, msg) in slice_bound.drain(..) {
                 self.slices[s].handle(msg, now, &pins);
             }
             // 2. Tick slices (DRAM completions, allocation retries).
             for slice in &mut self.slices {
-                slice.tick(now, &pins);
+                active |= slice.tick(now, &pins);
             }
         }
+        self.slice_bound = slice_bound;
         // 3. Tick cores.
         for core in &mut self.cores {
-            core.tick(now, &mut self.image);
+            active |= core.tick(now, &mut self.image);
         }
         // 4. Route outboxes through the mesh.
+        let mut outbox = std::mem::take(&mut self.outbox_buf);
         for i in 0..self.cores.len() {
-            for (dst, msg) in self.cores[i].drain_outbox() {
+            self.cores[i].drain_outbox_into(&mut outbox);
+            for (dst, msg) in outbox.drain(..) {
                 self.noc.send(now, NodeId::Core(CoreId(i)), dst, msg);
             }
         }
         for i in 0..self.slices.len() {
-            for (dst, msg) in self.slices[i].drain_outbox() {
+            self.slices[i].drain_outbox_into(&mut outbox);
+            for (dst, msg) in outbox.drain(..) {
                 self.noc.send(now, NodeId::Slice(i), dst, msg);
             }
         }
+        self.outbox_buf = outbox;
         self.now += 1;
+        active
     }
 
     fn all_quiesced(&self) -> bool {
@@ -344,6 +372,7 @@ impl Machine {
         let mut last_retired = self.total_retired();
         let mut last_progress = self.now;
         let mut cpt_stats = Stats::new();
+        let cpt_occ = cpt_stats.hist_id("cpt.occupancy");
         while !self.all_quiesced() {
             if self.now.raw() >= max_cycles {
                 return Err(RunError::CycleLimit {
@@ -351,33 +380,161 @@ impl Machine {
                     retired: self.total_retired(),
                 });
             }
-            self.tick();
-            let retired = self.total_retired();
-            if retired != last_retired {
-                last_retired = retired;
-                last_progress = self.now;
-            } else if self.now.since(last_progress) > self.watchdog_cycles {
-                return Err(RunError::Deadlock {
-                    cycle: self.now.raw(),
-                    retired,
-                    diagnosis: Box::new(DeadlockDiagnosis {
-                        state: self.dump_state(),
-                        recent_events: self.trace_log().tail(DEADLOCK_TRACE_TAIL),
-                    }),
-                });
-            }
-            if self.now.raw().is_multiple_of(CPT_SAMPLE_PERIOD) {
-                for core in &self.cores {
-                    cpt_stats.sample("cpt.occupancy", core.governor().cpt().occupancy() as u64);
-                }
+            let active = self.tick();
+            self.post_tick(
+                &mut last_retired,
+                &mut last_progress,
+                &mut cpt_stats,
+                cpt_occ,
+            )?;
+            if !active && self.cfg.fast_forward {
+                self.fast_forward(
+                    max_cycles,
+                    &mut last_retired,
+                    &mut last_progress,
+                    &mut cpt_stats,
+                    cpt_occ,
+                )?;
             }
         }
         // A run shorter than the sample period would otherwise report an
         // empty occupancy histogram; always record the final state.
         for core in &self.cores {
-            cpt_stats.sample("cpt.occupancy", core.governor().cpt().occupancy() as u64);
+            cpt_stats.sample_id(cpt_occ, core.governor().cpt().occupancy() as u64);
         }
         Ok(self.result_with(cpt_stats))
+    }
+
+    /// Per-tick run-loop bookkeeping: progress/watchdog tracking and the
+    /// periodic CPT occupancy sample.
+    fn post_tick(
+        &self,
+        last_retired: &mut u64,
+        last_progress: &mut Cycle,
+        cpt_stats: &mut Stats,
+        cpt_occ: HistId,
+    ) -> Result<(), RunError> {
+        let retired = self.total_retired();
+        if retired != *last_retired {
+            *last_retired = retired;
+            *last_progress = self.now;
+        } else if self.now.since(*last_progress) > self.watchdog_cycles {
+            return Err(self.deadlock_error(retired));
+        }
+        if self.now.raw().is_multiple_of(CPT_SAMPLE_PERIOD) {
+            for core in &self.cores {
+                cpt_stats.sample_id(cpt_occ, core.governor().cpt().occupancy() as u64);
+            }
+        }
+        Ok(())
+    }
+
+    fn deadlock_error(&self, retired: u64) -> RunError {
+        RunError::Deadlock {
+            cycle: self.now.raw(),
+            retired,
+            diagnosis: Box::new(DeadlockDiagnosis {
+                state: self.dump_state(),
+                recent_events: self.trace_log().tail(DEADLOCK_TRACE_TAIL),
+            }),
+        }
+    }
+
+    /// Idle-cycle fast-forward. Called right after a *quiet* tick (no
+    /// message delivered, no timer fired, no pipeline change): the machine
+    /// is frozen except for time-independent statistics, so every cycle
+    /// until the next scheduled event repeats identically. This jumps
+    /// `now` to that event, replaying the skipped cycles' statistics in
+    /// bulk, and is bit-identical to single-stepping:
+    ///
+    /// - the jump target is capped at the next NoC delivery, core timed
+    ///   event, slice timer, the watchdog's fire cycle, and `max_cycles`,
+    ///   so no event, error, or limit can land inside the window;
+    /// - one *capture* tick runs first with normal bookkeeping; its
+    ///   per-core counter deltas are what each skipped cycle would add,
+    ///   and they are replayed `skip` times (quiet ticks never touch
+    ///   histograms except the periodic occupancy samples, replayed by
+    ///   count below);
+    /// - if the capture tick turns out active (conservative activity
+    ///   detection), the skip is abandoned — one normal tick happened;
+    /// - quiet ticks emit no trace events, so traces are untouched.
+    fn fast_forward(
+        &mut self,
+        max_cycles: u64,
+        last_retired: &mut u64,
+        last_progress: &mut Cycle,
+        cpt_stats: &mut Stats,
+        cpt_occ: HistId,
+    ) -> Result<(), RunError> {
+        let now = self.now;
+        // Watchdog fire cycle: post_tick faults once now - last_progress
+        // exceeds the threshold.
+        let mut target = (last_progress.raw() + self.watchdog_cycles + 1).min(max_cycles);
+        if let Some(c) = self.noc.next_delivery() {
+            target = target.min(c.raw());
+        }
+        for core in &self.cores {
+            if let Some(c) = core.next_timed_event(now) {
+                target = target.min(c.raw());
+            }
+        }
+        for slice in &self.slices {
+            if let Some(c) = slice.next_timer() {
+                target = target.min(c.raw());
+            }
+        }
+        if target <= now.raw() + 1 {
+            return Ok(()); // nothing to skip
+        }
+        let core_before: Vec<Vec<u64>> = self
+            .cores
+            .iter()
+            .map(|c| c.stats().counter_values().to_vec())
+            .collect();
+        let gov_before: Vec<Vec<u64>> = self
+            .cores
+            .iter()
+            .map(|c| c.governor().stats().counter_values().to_vec())
+            .collect();
+        let active = self.tick();
+        self.post_tick(last_retired, last_progress, cpt_stats, cpt_occ)?;
+        if active {
+            return Ok(());
+        }
+        // Skipped cycles: [self.now, target). Their `now` values drive the
+        // cores' occupancy samples; the post-tick values (`c + 1`) drive
+        // the CPT samples.
+        let skip = target - self.now.raw();
+        let occ_samples = multiples_in(OCC_SAMPLE_PERIOD, self.now.raw(), target);
+        let cpt_samples = multiples_in(CPT_SAMPLE_PERIOD, self.now.raw() + 1, target + 1);
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let core_after = core.stats().counter_values().to_vec();
+            let gov_after = core.governor().stats().counter_values().to_vec();
+            core.replay_quiet_ticks(
+                &core_before[i],
+                &core_after,
+                &gov_before[i],
+                &gov_after,
+                skip,
+                occ_samples,
+            );
+        }
+        if cpt_samples > 0 {
+            for core in &self.cores {
+                cpt_stats.sample_n_id(
+                    cpt_occ,
+                    core.governor().cpt().occupancy() as u64,
+                    cpt_samples,
+                );
+            }
+        }
+        self.now = Cycle(target);
+        // The watchdog check post_tick would have made on each skipped
+        // cycle (retirements are frozen, so only the threshold matters).
+        if self.now.since(*last_progress) > self.watchdog_cycles {
+            return Err(self.deadlock_error(*last_retired));
+        }
+        Ok(())
     }
 
     /// Merges every tracer in the machine (per-core pipeline, L1, and

@@ -310,14 +310,20 @@ impl<T> Cache<T> {
     /// recently used first — the victim-candidate order used by the
     /// directory when it must evict for an allocation.
     pub fn lru_candidates(&self, line: LineAddr) -> Vec<LineAddr> {
+        let mut out = Vec::new();
+        self.lru_candidates_into(line, &mut out);
+        out.into_iter().map(|(_, l)| l).collect()
+    }
+
+    /// Fills `out` with the valid `(lru, line)` pairs of the set that
+    /// `line` maps to, least recently used first. The caller owns and
+    /// reuses the buffer, so the directory's victim search allocates
+    /// nothing in steady state.
+    pub fn lru_candidates_into(&self, line: LineAddr, out: &mut Vec<(u64, LineAddr)>) {
+        out.clear();
         let set = &self.sets[self.set_index(line)];
-        let mut lines: Vec<(u64, LineAddr)> = set
-            .iter()
-            .filter(|w| w.valid)
-            .map(|w| (w.lru, w.line))
-            .collect();
-        lines.sort_unstable();
-        lines.into_iter().map(|(_, l)| l).collect()
+        out.extend(set.iter().filter(|w| w.valid).map(|w| (w.lru, w.line)));
+        out.sort_unstable();
     }
 
     /// Iterates over all valid `(line, meta)` pairs.

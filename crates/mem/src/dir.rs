@@ -119,6 +119,8 @@ pub struct LlcSlice {
     outbox: Vec<(NodeId, Msg)>,
     stats: Stats,
     tracer: Tracer,
+    /// Reused victim-candidate buffer for [`LlcSlice::try_place`].
+    lru_scratch: Vec<(u64, LineAddr)>,
 }
 
 impl LlcSlice {
@@ -135,6 +137,7 @@ impl LlcSlice {
             outbox: Vec::new(),
             stats: Stats::new(),
             tracer: Tracer::disabled(TraceSource::Slice(id)),
+            lru_scratch: Vec::new(),
         }
     }
 
@@ -181,10 +184,16 @@ impl LlcSlice {
     pub fn debug_summary(&self) -> String {
         use std::fmt::Write as _;
         let mut s = format!("slice{}:", self.id);
-        for (line, txn) in &self.busy {
+        // Sort for a deterministic dump: both tables are hash maps, and a
+        // diagnosis must not depend on their iteration order.
+        let mut busy: Vec<_> = self.busy.iter().collect();
+        busy.sort_unstable_by_key(|(line, _)| **line);
+        for (line, txn) in busy {
             let _ = write!(s, " busy[{line} {txn:?}]");
         }
-        for line in self.waiting_fills.keys() {
+        let mut fills: Vec<_> = self.waiting_fills.keys().collect();
+        fills.sort_unstable();
+        for line in fills {
             let _ = write!(s, " fill_wait[{line}]");
         }
         let _ = write!(s, " timers={}", self.timers.len());
@@ -194,6 +203,12 @@ impl LlcSlice {
     /// Removes and returns all outbound messages.
     pub fn drain_outbox(&mut self) -> Vec<(NodeId, Msg)> {
         std::mem::take(&mut self.outbox)
+    }
+
+    /// Moves all outbound messages into a caller-owned buffer, keeping the
+    /// outbox's allocation for reuse.
+    pub fn drain_outbox_into(&mut self, out: &mut Vec<(NodeId, Msg)>) {
+        out.append(&mut self.outbox);
     }
 
     fn send(&mut self, dst: NodeId, msg: Msg) {
@@ -210,19 +225,29 @@ impl LlcSlice {
     }
 
     /// Processes timers due at `now` (DRAM completions, allocation
-    /// retries).
-    pub fn tick(&mut self, now: Cycle, pins: &dyn PinView) {
+    /// retries). Returns `true` if any timer fired — the slice is
+    /// otherwise quiet this cycle (it only reacts to messages and timers).
+    pub fn tick(&mut self, now: Cycle, pins: &dyn PinView) -> bool {
         self.tracer.set_now(now);
         self.cache.tracer_mut().set_now(now);
+        let mut fired = false;
         while let Some(Reverse((at, _, _))) = self.timers.peek() {
             if *at > now {
                 break;
             }
             let Reverse((_, _, timer)) = self.timers.pop().expect("peeked timer exists");
+            fired = true;
             match timer {
                 Timer::DramDone(line) | Timer::RetryFill(line) => self.try_place(line, now, pins),
             }
         }
+        fired
+    }
+
+    /// The earliest pending timer, if any — a bound for the machine's
+    /// idle-cycle fast-forward.
+    pub fn next_timer(&self) -> Option<Cycle> {
+        self.timers.peek().map(|Reverse((at, _, _))| *at)
     }
 
     /// Handles one inbound message.
@@ -609,10 +634,13 @@ impl LlcSlice {
                 // Every silent candidate was vetoed: pick a shared/owned
                 // victim that is not busy and not pinned, and back-
                 // invalidate its holders.
-                let candidates = self.cache.lru_candidates(line);
+                let mut candidates = std::mem::take(&mut self.lru_scratch);
+                self.cache.lru_candidates_into(line, &mut candidates);
                 let victim = candidates
-                    .into_iter()
+                    .iter()
+                    .map(|&(_, v)| v)
                     .find(|&v| !self.busy.contains_key(&v) && !pins.is_pinned_by_any(v));
+                self.lru_scratch = candidates;
                 match victim {
                     Some(v) => {
                         let holders = self

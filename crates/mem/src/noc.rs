@@ -130,6 +130,13 @@ impl Noc {
     /// order (ties broken by send order, preserving per-pair FIFO).
     pub fn deliver(&mut self, now: Cycle) -> Vec<(NodeId, NodeId, Msg)> {
         let mut out = Vec::new();
+        self.deliver_into(now, &mut out);
+        out
+    }
+
+    /// Like [`Noc::deliver`], but appends into a caller-owned buffer so the
+    /// machine's per-tick delivery allocates nothing in steady state.
+    pub fn deliver_into(&mut self, now: Cycle, out: &mut Vec<(NodeId, NodeId, Msg)>) {
         while let Some(Reverse(head)) = self.queue.peek() {
             if head.deliver_at > now {
                 break;
@@ -137,7 +144,12 @@ impl Noc {
             let Reverse(m) = self.queue.pop().expect("peeked entry exists");
             out.push((m.src, m.dst, m.msg));
         }
-        out
+    }
+
+    /// Delivery time of the earliest in-flight message, if any — a bound
+    /// for the machine's idle-cycle fast-forward.
+    pub fn next_delivery(&self) -> Option<Cycle> {
+        self.queue.peek().map(|Reverse(m)| m.deliver_at)
     }
 
     /// Number of messages still in flight.

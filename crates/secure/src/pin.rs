@@ -163,6 +163,12 @@ impl PinGovernor {
         &self.stats
     }
 
+    /// Mutable statistics access, used by the machine's idle-cycle
+    /// fast-forward to replay quiet-tick counter deltas in bulk.
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
     /// The Cannot-Pin Table, exposed for the Section 9.2.2 study.
     pub fn cpt(&self) -> &Cpt {
         &self.cpt

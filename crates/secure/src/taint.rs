@@ -63,13 +63,24 @@ impl TaintTracker {
     /// Derives a consumer's taint from its sources and records it.
     /// Returns the derived taint.
     pub fn derive<I: IntoIterator<Item = SeqNum>>(&mut self, consumer: SeqNum, sources: I) -> bool {
+        self.derive_changed(consumer, sources).0
+    }
+
+    /// Like [`TaintTracker::derive`], but also reports whether the
+    /// tracked set actually changed — the pipeline's idle-cycle detection
+    /// treats an unchanged recomputation as inactivity.
+    pub fn derive_changed<I: IntoIterator<Item = SeqNum>>(
+        &mut self,
+        consumer: SeqNum,
+        sources: I,
+    ) -> (bool, bool) {
         let t = self.any_tainted(sources);
-        if t {
-            self.tainted.insert(consumer);
+        let changed = if t {
+            self.tainted.insert(consumer)
         } else {
-            self.tainted.remove(&consumer);
-        }
-        t
+            self.tainted.remove(&consumer)
+        };
+        (t, changed)
     }
 
     /// Removes all taints with sequence numbers `>= from` (a squash).

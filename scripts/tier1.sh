@@ -9,5 +9,10 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
+# Perf lints are advisory (warn, not deny): surface regressions in the
+# simulator kernel's hot loops without blocking unrelated changes.
+cargo clippy --workspace --all-targets -- -W clippy::perf
 cargo fmt --check
+# Kernel-throughput smoke: the bench binary must still run end to end.
+cargo run --release -q -p pl-bench --bin kernel_bench -- --smoke --out /dev/null
 echo "tier-1: OK"

@@ -1,0 +1,180 @@
+//! Idle-cycle fast-forward must be architecturally and statistically
+//! invisible: a run with `cfg.fast_forward` on must be bit-identical to
+//! the same run single-stepped — same cycle count, same per-core
+//! retirement, same exported counters and histograms, same event trace,
+//! and the same errors (deadlock watchdog, cycle limit) at the same
+//! cycles.
+
+use pinned_loads::base::{
+    CoreId, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, TraceConfig,
+};
+use pinned_loads::isa::{BranchCond, ProgramBuilder, Reg};
+use pinned_loads::machine::{Machine, RunError, RunResult};
+use pinned_loads::workloads::{parallel_suite, spec_suite, Scale, Workload};
+
+fn r(i: u8) -> Reg {
+    Reg::new(i).unwrap()
+}
+
+fn configs() -> Vec<MachineConfig> {
+    let mut out = Vec::new();
+    for (scheme, pin) in [
+        (DefenseScheme::Unsafe, PinMode::Off),
+        (DefenseScheme::Fence, PinMode::Off),
+        (DefenseScheme::Dom, PinMode::Late),
+        (DefenseScheme::Stt, PinMode::Early),
+    ] {
+        let mut cfg = MachineConfig::default_single_core();
+        cfg.defense = scheme;
+        cfg.pinned_loads = PinnedLoadsConfig::with_mode(pin);
+        out.push(cfg);
+    }
+    out
+}
+
+/// One run of `w` under `cfg` with the given fast-forward setting,
+/// reduced to a comparable fingerprint: (cycles, retired/core, full
+/// stats text including histograms, trace log).
+fn fingerprint(
+    mut cfg: MachineConfig,
+    w: &Workload,
+    fast_forward: bool,
+) -> (u64, Vec<u64>, String) {
+    cfg.fast_forward = fast_forward;
+    let mut m = Machine::new(&cfg).unwrap();
+    w.install(&mut m);
+    let res: RunResult = m
+        .run(500_000_000)
+        .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name, cfg.label()));
+    (res.cycles, res.retired_per_core, res.stats.to_string())
+}
+
+#[test]
+fn fast_forward_is_bit_identical_on_spec_kernels() {
+    // Kernels chosen to exercise the idle windows fast-forward targets:
+    // miss-heavy (long DRAM waits), pointer-chasing (serialized misses),
+    // and store-heavy (write-buffer stalls).
+    for w in spec_suite(Scale::Test)
+        .into_iter()
+        .filter(|w| ["gather", "chase_cold", "write_burst"].contains(&w.name.as_str()))
+    {
+        for cfg in configs() {
+            let slow = fingerprint(cfg.clone(), &w, false);
+            let fast = fingerprint(cfg.clone(), &w, true);
+            assert_eq!(
+                slow,
+                fast,
+                "kernel `{}` diverged under {} with fast-forward",
+                w.name,
+                cfg.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_forward_is_bit_identical_on_a_parallel_kernel() {
+    let suite = parallel_suite(4, Scale::Test);
+    let w = &suite[0];
+    for cfg_base in configs() {
+        let mut cfg = MachineConfig::default_multi_core(4);
+        cfg.defense = cfg_base.defense;
+        cfg.pinned_loads = cfg_base.pinned_loads.clone();
+        let slow = fingerprint(cfg.clone(), w, false);
+        let fast = fingerprint(cfg.clone(), w, true);
+        assert_eq!(
+            slow,
+            fast,
+            "parallel kernel `{}` diverged under {} with fast-forward",
+            w.name,
+            cfg.label()
+        );
+    }
+}
+
+#[test]
+fn fast_forward_preserves_event_traces() {
+    let mut cfg = MachineConfig::default_single_core();
+    cfg.defense = DefenseScheme::Dom;
+    cfg.trace = TraceConfig::enabled();
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    b.addi(r(1), Reg::ZERO, 0x4000);
+    b.addi(r(2), Reg::ZERO, 32);
+    b.bind(top).unwrap();
+    b.load(r(3), r(1), 0); // cold misses: long quiet DRAM waits
+    b.addi(r(1), r(1), 0x1000);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+    let program = b.build().unwrap();
+
+    let run = |ff: bool| {
+        let mut cfg = cfg.clone();
+        cfg.fast_forward = ff;
+        let mut m = Machine::new(&cfg).unwrap();
+        m.load_program(CoreId(0), program.clone());
+        let res = m.run(10_000_000).unwrap();
+        (res.cycles, res.trace.expect("tracing enabled"))
+    };
+    let (slow_cycles, slow_trace) = run(false);
+    let (fast_cycles, fast_trace) = run(true);
+    assert_eq!(slow_cycles, fast_cycles);
+    assert_eq!(slow_trace, fast_trace, "trace logs diverged");
+}
+
+#[test]
+fn fast_forward_reports_identical_deadlocks() {
+    // A spin loop that never sees its flag, under a watchdog too tight to
+    // tolerate the miss latency: the run must fail at the same cycle with
+    // the same retirement count and the same diagnosis either way.
+    let run = |ff: bool| {
+        let mut cfg = MachineConfig::default_multi_core(2);
+        cfg.trace = TraceConfig::enabled();
+        cfg.fast_forward = ff;
+        let mut m = Machine::new(&cfg).unwrap();
+        let mut p1 = ProgramBuilder::new();
+        let spin = p1.new_label();
+        p1.addi(r(3), Reg::ZERO, 0xa000);
+        p1.bind(spin).unwrap();
+        p1.load(r(4), r(3), 0);
+        p1.branch(BranchCond::Eq, r(4), Reg::ZERO, spin);
+        m.load_program(CoreId(1), p1.build().unwrap());
+        m.set_watchdog_cycles(20);
+        match m.run(1_000_000) {
+            Err(RunError::Deadlock {
+                cycle,
+                retired,
+                diagnosis,
+            }) => (
+                cycle,
+                retired,
+                diagnosis.state.clone(),
+                diagnosis.recent_events.clone(),
+            ),
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn fast_forward_reports_identical_cycle_limits() {
+    let run = |ff: bool| {
+        let mut cfg = MachineConfig::default_single_core();
+        cfg.fast_forward = ff;
+        let mut b = ProgramBuilder::new();
+        let spin = b.new_label();
+        b.addi(r(1), Reg::ZERO, 0x8000);
+        b.bind(spin).unwrap();
+        b.load(r(2), r(1), 0); // periodic misses leave idle gaps
+        b.addi(r(1), r(1), 0x1000);
+        b.jump(spin);
+        let mut m = Machine::new(&cfg).unwrap();
+        m.load_program(CoreId(0), b.build().unwrap());
+        match m.run(50_000) {
+            Err(RunError::CycleLimit { limit, retired }) => (limit, retired),
+            other => panic!("expected CycleLimit, got {other:?}"),
+        }
+    };
+    assert_eq!(run(false), run(true));
+}

@@ -1,0 +1,181 @@
+//! The interned stats API (`StatId`/`HistId`) must be observationally
+//! identical to the string-keyed API: any interleaving of the two against
+//! the same logical counter/histogram names exports the same values, the
+//! same text, and the same iteration contents as a pure string-keyed
+//! reference.
+//!
+//! This is the contract the simulator kernel relies on: hot paths resolve
+//! names to ids once at construction and use `add_id`/`sample_id`
+//! thereafter, while cold paths (tests, debug helpers, workload setup)
+//! still go through `add`/`sample` by name.
+
+use pinned_loads::base::{HistId, StatId, Stats};
+use pl_test::{any_bool, check_with, one_of, u64_in, usize_in, Config, Strategy, StrategyExt};
+
+/// A single randomized update against a small pool of logical names.
+/// `by_id` selects which API the candidate uses; the reference always
+/// uses the string API.
+#[derive(Clone, Debug)]
+enum StatOp {
+    Add {
+        name: usize,
+        delta: u64,
+        by_id: bool,
+    },
+    Incr {
+        name: usize,
+        by_id: bool,
+    },
+    Sample {
+        name: usize,
+        value: u64,
+        by_id: bool,
+    },
+    SampleN {
+        name: usize,
+        value: u64,
+        n: u64,
+        by_id: bool,
+    },
+}
+
+const NAMES: [&str; 5] = [
+    "core.cycles",
+    "l1.miss",
+    "pin.acquired",
+    "occ.rob",
+    "noc.hops",
+];
+
+fn op_strategy() -> impl Strategy<Value = StatOp> {
+    let name = || usize_in(0..NAMES.len());
+    one_of(vec![
+        (name(), u64_in(0..1000), any_bool())
+            .map(|(name, delta, by_id)| StatOp::Add { name, delta, by_id })
+            .boxed(),
+        (name(), any_bool())
+            .map(|(name, by_id)| StatOp::Incr { name, by_id })
+            .boxed(),
+        (name(), u64_in(0..100), any_bool())
+            .map(|(name, value, by_id)| StatOp::Sample { name, value, by_id })
+            .boxed(),
+        (name(), u64_in(0..100), u64_in(0..50), any_bool())
+            .map(|(name, value, n, by_id)| StatOp::SampleN {
+                name,
+                value,
+                n,
+                by_id,
+            })
+            .boxed(),
+    ])
+}
+
+/// Applies `ops` to a candidate that mixes the interned and string APIs
+/// (ids resolved lazily, mid-stream, as the kernel does at construction)
+/// and to a string-only reference, then compares every observable.
+fn assert_apis_equivalent(ops: &[StatOp]) -> pl_test::PropResult {
+    let mut candidate = Stats::new();
+    let mut reference = Stats::new();
+    let mut counter_ids: Vec<Option<StatId>> = vec![None; NAMES.len()];
+    let mut hist_ids: Vec<Option<HistId>> = vec![None; NAMES.len()];
+    let mut counter_id = |s: &mut Stats, name: usize| {
+        *counter_ids[name].get_or_insert_with(|| s.counter_id(NAMES[name]))
+    };
+    let mut hist_id =
+        |s: &mut Stats, name: usize| *hist_ids[name].get_or_insert_with(|| s.hist_id(NAMES[name]));
+
+    for op in ops {
+        match *op {
+            StatOp::Add { name, delta, by_id } => {
+                if by_id {
+                    let id = counter_id(&mut candidate, name);
+                    candidate.add_id(id, delta);
+                } else {
+                    candidate.add(NAMES[name], delta);
+                }
+                reference.add(NAMES[name], delta);
+            }
+            StatOp::Incr { name, by_id } => {
+                if by_id {
+                    let id = counter_id(&mut candidate, name);
+                    candidate.incr_id(id);
+                } else {
+                    candidate.incr(NAMES[name]);
+                }
+                reference.incr(NAMES[name]);
+            }
+            StatOp::Sample { name, value, by_id } => {
+                if by_id {
+                    let id = hist_id(&mut candidate, name);
+                    candidate.sample_id(id, value);
+                } else {
+                    candidate.sample(NAMES[name], value);
+                }
+                reference.sample(NAMES[name], value);
+            }
+            StatOp::SampleN {
+                name,
+                value,
+                n,
+                by_id,
+            } => {
+                if by_id {
+                    let id = hist_id(&mut candidate, name);
+                    candidate.sample_n_id(id, value, n);
+                } else {
+                    for _ in 0..n {
+                        candidate.sample(NAMES[name], value);
+                    }
+                }
+                for _ in 0..n {
+                    reference.sample(NAMES[name], value);
+                }
+            }
+        }
+    }
+
+    // Every observable surface must agree: per-name reads, full iteration
+    // (zero-filtered), and the rendered export.
+    for name in NAMES {
+        pl_test::prop_assert_eq!(candidate.get(name), reference.get(name), "counter {name}");
+    }
+    let collect = |s: &Stats| {
+        s.iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect::<Vec<_>>()
+    };
+    pl_test::prop_assert_eq!(collect(&candidate), collect(&reference));
+    pl_test::prop_assert_eq!(candidate.to_string(), reference.to_string());
+    Ok(())
+}
+
+/// Random interleavings of id-based and string-based updates export
+/// identically to a string-only reference.
+#[test]
+fn interned_and_string_apis_are_interchangeable() {
+    check_with(
+        &Config::with_cases(200),
+        "interned_and_string_apis_are_interchangeable",
+        &pl_test::vec_of(op_strategy(), 1..80),
+        |ops| assert_apis_equivalent(ops),
+    );
+}
+
+/// Resolving an id for an already-touched name (and vice versa) binds to
+/// the same slot: no aliasing, no duplicate rows in the export.
+#[test]
+fn late_interning_binds_to_existing_names() {
+    let mut s = Stats::new();
+    s.add("x.count", 3);
+    let id = s.counter_id("x.count");
+    s.add_id(id, 4);
+    assert_eq!(s.get("x.count"), 7);
+    assert_eq!(s.get_id(id), 7);
+    assert_eq!(s.iter().count(), 1);
+
+    s.sample("x.lat", 10);
+    let h = s.hist_id("x.lat");
+    s.sample_n_id(h, 10, 2);
+    assert_eq!(s.histogram("x.lat").unwrap().count(), 3);
+    assert_eq!(s.iter_histograms().count(), 1);
+}
