@@ -456,6 +456,8 @@ pub struct MachineConfig {
     /// Random seed driving every stochastic element of a run (address
     /// layout randomization in workloads, etc.). Same seed, same result.
     pub seed: u64,
+    /// Runtime invariant checking and fault injection (off by default).
+    pub verify: crate::verify::VerifyConfig,
 }
 
 impl MachineConfig {
@@ -471,6 +473,7 @@ impl MachineConfig {
             trace: TraceConfig::default(),
             fast_forward: true,
             seed: 0xA5105,
+            verify: crate::verify::VerifyConfig::default(),
         }
     }
 
@@ -534,8 +537,27 @@ impl MachineConfig {
             // model does not track; combining them is a configuration bug.
             return Err(ConfigError::PinningUnderSpectre);
         }
+        if self.pinned_loads.mode != PinMode::Off && self.defense == DefenseScheme::Invisible {
+            // Pinning requires that a load past its VP conditions can no
+            // longer be squashed by an older instruction. Invisible
+            // speculation adds a squash source *at* the VP (exposure
+            // validation mismatch), so an already-pinned younger load
+            // could be squashed — the combination is unsound.
+            return Err(ConfigError::PinningUnderInvisible);
+        }
         if self.trace.enabled && self.trace.buffer_capacity == 0 {
             return Err(ConfigError::ZeroTraceBuffer);
+        }
+        if self.verify.enabled && self.verify.snapshot_period == 0 {
+            return Err(ConfigError::ZeroSnapshotPeriod);
+        }
+        if !self.verify.enabled
+            && (self.verify.mutation != crate::verify::Mutation::None
+                || self.verify.fault_delay > 0)
+        {
+            // Mutations and fault injection exist to exercise the checker;
+            // perturbing a run nobody is watching is a configuration bug.
+            return Err(ConfigError::VerifyKnobsWithoutChecker);
         }
         Ok(())
     }
@@ -596,8 +618,15 @@ pub enum ConfigError {
     LqTagTooNarrow(u32),
     /// Pinned Loads enabled under the Spectre threat model.
     PinningUnderSpectre,
+    /// Pinned Loads combined with invisible speculation, whose exposure
+    /// validation can squash already-pinned loads.
+    PinningUnderInvisible,
     /// Tracing enabled with a zero-event ring buffer.
     ZeroTraceBuffer,
+    /// Invariant checking enabled with a zero snapshot period.
+    ZeroSnapshotPeriod,
+    /// A mutation or fault-injection knob set while checking is disabled.
+    VerifyKnobsWithoutChecker,
 }
 
 impl fmt::Display for ConfigError {
@@ -626,10 +655,29 @@ impl fmt::Display for ConfigError {
                     "pinned loads is meaningless under the Spectre threat model"
                 )
             }
+            ConfigError::PinningUnderInvisible => {
+                write!(
+                    f,
+                    "pinned loads cannot be combined with invisible speculation: \
+                     exposure validation may squash a pinned load"
+                )
+            }
             ConfigError::ZeroTraceBuffer => {
                 write!(
                     f,
                     "tracing is enabled but the event buffer capacity is zero"
+                )
+            }
+            ConfigError::ZeroSnapshotPeriod => {
+                write!(
+                    f,
+                    "invariant checking is enabled but the snapshot period is zero"
+                )
+            }
+            ConfigError::VerifyKnobsWithoutChecker => {
+                write!(
+                    f,
+                    "fault injection or a mutation is configured but invariant checking is disabled"
                 )
             }
         }
@@ -741,6 +789,24 @@ mod tests {
             TraceConfig::enabled().capacity(),
             TraceConfig::DEFAULT_CAPACITY
         );
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_verify_knobs() {
+        use crate::verify::{Mutation, VerifyConfig};
+        let mut cfg = MachineConfig::default_single_core();
+        cfg.verify = VerifyConfig::enabled();
+        cfg.verify.snapshot_period = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroSnapshotPeriod));
+        cfg.verify = VerifyConfig::default();
+        cfg.verify.mutation = Mutation::DropClear;
+        assert_eq!(cfg.validate(), Err(ConfigError::VerifyKnobsWithoutChecker));
+        cfg.verify = VerifyConfig::default();
+        cfg.verify.fault_delay = 4;
+        assert_eq!(cfg.validate(), Err(ConfigError::VerifyKnobsWithoutChecker));
+        cfg.verify = VerifyConfig::enabled();
+        cfg.verify.fault_delay = 4;
+        cfg.validate().unwrap();
     }
 
     #[test]

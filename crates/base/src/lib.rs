@@ -26,6 +26,7 @@ pub mod config;
 pub mod queue;
 pub mod rng;
 pub mod stats;
+pub mod verify;
 
 pub use addr::{Addr, LineAddr, LINE_BYTES, LINE_SHIFT};
 pub use config::{
@@ -35,6 +36,10 @@ pub use config::{
 pub use queue::CircQueue;
 pub use rng::SimRng;
 pub use stats::{HistId, Histogram, StatId, Stats};
+pub use verify::{
+    CheckEvent, CheckObserver, CheckSink, CoreSnapshot, InvalidateCause, LineMode, MachineSnapshot,
+    Mutation, VerifyConfig,
+};
 
 /// Identifier of a simulated core.
 ///

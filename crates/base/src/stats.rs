@@ -134,13 +134,14 @@ impl Stats {
     /// Adds `delta` to the counter `name`, creating it at zero if needed.
     ///
     /// Cold-path shim over the interned storage; hot loops should intern
-    /// once via [`Stats::counter_id`] and use [`Stats::add_id`].
+    /// once via [`Stats::counter_id`] and use [`Stats::add_id`]. A zero
+    /// delta interns the name (so strict lookups recognize it) but leaves
+    /// the counter invisible to iteration, like any unwritten counter.
     pub fn add(&mut self, name: &str, delta: u64) {
-        if delta == 0 {
-            return;
-        }
         let id = self.counter_id(name);
-        self.add_id(id, delta);
+        if delta != 0 {
+            self.add_id(id, delta);
+        }
     }
 
     /// Adds one to the counter `name`.
@@ -149,10 +150,50 @@ impl Stats {
     }
 
     /// Returns the value of counter `name`, or zero if never written.
+    ///
+    /// Prefer [`Stats::get_known`] in assertions: `get` cannot distinguish
+    /// "this counter is zero" from "this counter name does not exist", so
+    /// a typo'd name makes an assertion pass vacuously.
     pub fn get(&self, name: &str) -> u64 {
         self.counter_index
             .get(name)
             .map_or(0, |&id| self.counters[id as usize])
+    }
+
+    /// Returns the value of counter `name`, or `None` if the name was
+    /// never interned by any component.
+    pub fn try_get(&self, name: &str) -> Option<u64> {
+        self.counter_index
+            .get(name)
+            .map(|&id| self.counters[id as usize])
+    }
+
+    /// Strict lookup for assertions: returns the value of counter `name`,
+    /// panicking if the name was never interned.
+    ///
+    /// A counter that exists but was never incremented still reads as
+    /// zero; only a name no component registered is an error. Use this in
+    /// tests so a typo'd counter name fails loudly instead of comparing
+    /// zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a registered counter.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pl_base::Stats;
+    /// let mut s = Stats::new();
+    /// s.add("llc.aborts", 0);
+    /// assert_eq!(s.get_known("llc.aborts"), 0);
+    /// ```
+    #[track_caller]
+    pub fn get_known(&self, name: &str) -> u64 {
+        match self.try_get(name) {
+            Some(v) => v,
+            None => panic!("unknown counter `{name}`: no component registered it"),
+        }
     }
 
     /// Records `value` into histogram `name`, creating it if needed.
@@ -210,9 +251,16 @@ impl Stats {
 
     /// Merges another registry into this one, summing counters and pooling
     /// histogram samples. Used to aggregate per-core statistics.
+    ///
+    /// Every name interned in `other` is interned here too, even if its
+    /// value is still zero, so strict lookups ([`Stats::get_known`]) keep
+    /// working on merged registries.
     pub fn merge(&mut self, other: &Stats) {
-        for (name, v) in other.iter() {
-            self.add(name, v);
+        for (name, &id) in &other.counter_index {
+            self.add(name, other.counters[id as usize]);
+        }
+        for name in other.hist_index.keys() {
+            self.hist_id(name);
         }
         for (name, h) in other.iter_histograms() {
             let id = self.hist_id(name);
@@ -470,6 +518,46 @@ mod tests {
         let h = a.histogram("h").unwrap();
         assert_eq!(h.count(), 2);
         assert_eq!(h.max(), Some(20));
+    }
+
+    #[test]
+    fn strict_lookup_distinguishes_zero_from_unknown() {
+        let mut s = Stats::new();
+        s.counter_id("known.zero");
+        assert_eq!(s.try_get("known.zero"), Some(0));
+        assert_eq!(s.get_known("known.zero"), 0);
+        assert_eq!(s.try_get("never.interned"), None);
+        assert_eq!(s.get("never.interned"), 0);
+        s.add("known.zero", 2);
+        assert_eq!(s.get_known("known.zero"), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown counter")]
+    fn get_known_panics_on_unknown_name() {
+        Stats::new().get_known("no.such.counter");
+    }
+
+    #[test]
+    fn add_zero_interns_for_strict_lookup() {
+        let mut s = Stats::new();
+        s.add("ghost", 0);
+        assert_eq!(s.iter().count(), 0, "zero counters stay invisible");
+        assert_eq!(s.get_known("ghost"), 0, "but the name is registered");
+    }
+
+    #[test]
+    fn merge_preserves_interned_names() {
+        let mut a = Stats::new();
+        let mut b = Stats::new();
+        b.counter_id("zero.but.known");
+        b.hist_id("empty.but.known");
+        b.add("written", 4);
+        a.merge(&b);
+        assert_eq!(a.get_known("zero.but.known"), 0);
+        assert_eq!(a.get_known("written"), 4);
+        assert!(a.histogram("empty.but.known").is_none());
+        assert_eq!(a.iter().count(), 1, "zero counters stay invisible");
     }
 
     #[test]

@@ -17,8 +17,10 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use pl_base::verify::{VP_ALIAS, VP_CTRL, VP_EXCEPTION};
 use pl_base::{
-    Addr, CoreId, Cycle, HistId, LineAddr, MachineConfig, PinMode, SeqNum, StatId, Stats,
+    Addr, CheckEvent, CheckSink, CoreId, CoreSnapshot, Cycle, HistId, InvalidateCause, LineAddr,
+    LineMode, MachineConfig, Mutation, PinMode, SeqNum, StatId, Stats,
 };
 use pl_isa::{Inst, Operand, Pc, Program, Reg};
 use pl_mem::{
@@ -228,6 +230,12 @@ pub struct Core {
     /// Pipeline event tracer; disabled (zero-cost) unless
     /// `cfg.trace.enabled` is set.
     tracer: Tracer,
+    /// Invariant-check event sink; disabled (zero-cost) unless
+    /// `cfg.verify.enabled` is set.
+    check: CheckSink,
+    /// Armed single-shot protocol mutation (checker regression tests).
+    mutation: Mutation,
+    mutation_armed: bool,
     stats: Stats,
     ids: CoreStatIds,
     halted: bool,
@@ -258,6 +266,9 @@ impl Core {
         governor.enable_trace(id.0, trace_cap);
         let mut stats = Stats::new();
         let ids = CoreStatIds::intern(&mut stats);
+        // Interned up front so strict lookups see it even when it (as it
+        // should) stays zero.
+        stats.add("protocol.ack_underflows", 0);
         Core {
             id,
             cfg: cfg.clone(),
@@ -288,6 +299,9 @@ impl Core {
             aggr: Aggregates::default(),
             outbox: Vec::new(),
             tracer: Tracer::new(TraceSource::Core(id.0), trace_cap),
+            check: CheckSink::new(cfg.verify.enabled),
+            mutation: cfg.verify.mutation,
+            mutation_armed: cfg.verify.mutation == Mutation::IgnorePinOnInv,
             stats,
             ids,
             halted: false,
@@ -464,7 +478,7 @@ impl Core {
                 star,
             } => self.on_fwd_getx(line, requester, star, now),
             Msg::BackInv { line, slice } => self.on_back_inv(line, slice, now),
-            Msg::Clear { line } => self.governor.on_clear(line),
+            Msg::Clear { line } => self.on_clear_msg(line),
             Msg::Nack { line, was_write } => self.on_nack(line, was_write, now),
             Msg::InvAck { line, .. } => self.on_inv_ack(line, false, now, image),
             Msg::InvDefer { line, .. } => self.on_inv_ack(line, true, now, image),
@@ -555,16 +569,28 @@ impl Core {
                 if defer {
                     self.atomic.saw_defer = true;
                 }
-                self.atomic.acks_pending = self.atomic.acks_pending.saturating_sub(1);
+                if self.atomic.acks_pending > 0 {
+                    self.atomic.acks_pending -= 1;
+                } else if self.atomic.have_data {
+                    self.record_ack_underflow(line);
+                }
                 self.try_finish_write(true, now, image);
             }
             Some(false) => {
-                {
+                let underflow = {
                     let head = self.wb.head_mut().expect("matched write txn has a head");
                     if defer {
                         head.saw_defer = true;
                     }
-                    head.acks_pending = head.acks_pending.saturating_sub(1);
+                    if head.acks_pending > 0 {
+                        head.acks_pending -= 1;
+                        false
+                    } else {
+                        head.have_data
+                    }
+                };
+                if underflow {
+                    self.record_ack_underflow(line);
                 }
                 self.try_finish_write(false, now, image);
             }
@@ -572,6 +598,29 @@ impl Core {
                 // Stale response from an aborted attempt; drop it.
             }
         }
+    }
+
+    /// An InvAck/InvDefer arrived *after* this transaction's Data had
+    /// already set (and the acks drained) the expected count. A
+    /// zero-count ack *before* Data is different — it is a stale response
+    /// from an aborted earlier attempt on the same line, which
+    /// `write_txn_matches` cannot distinguish, and same-round acks can
+    /// never beat the Data (mesh triangle inequality) — so only the
+    /// post-Data case is a protocol violation. The old `saturating_sub`
+    /// silently swallowed both; the stale case is still tolerated, while
+    /// the genuine underflow now panics in debug builds and is counted
+    /// and reported to the checker in release builds.
+    fn record_ack_underflow(&mut self, line: LineAddr) {
+        self.check.emit(CheckEvent::AckUnderflow {
+            core: self.id,
+            line,
+        });
+        self.stats.incr("protocol.ack_underflows");
+        debug_assert!(
+            false,
+            "core {}: InvAck underflow on {line} (more acks than expected)",
+            self.id
+        );
     }
 
     /// Checks whether the current write transaction (write-buffer head or
@@ -616,6 +665,10 @@ impl Core {
             );
             self.stats.incr_id(self.ids.wb_writes_retried);
             self.tracer.emit(EventKind::WriteAborted { line });
+            self.check.emit(CheckEvent::WriteAborted {
+                core: self.id,
+                line,
+            });
             if is_atomic {
                 self.atomic.use_star = true;
                 self.atomic.have_data = false;
@@ -642,10 +695,12 @@ impl Core {
     }
 
     fn on_inv(&mut self, line: LineAddr, requester: CoreId, star: bool, now: Cycle) {
-        if star {
-            self.governor.on_inv_star(line);
+        if star && self.governor.on_inv_star(line) {
+            self.emit_cpt_inserted(line);
         }
-        if self.governor.is_line_pinned(line) {
+        let pinned = self.governor.is_line_pinned(line);
+        let ignore_pin = pinned && self.take_ignore_pin_mutation();
+        if pinned && !ignore_pin {
             // Section 5.1.1: the cache is not invalidated, the load is not
             // squashed, and a Defer is sent to the writer.
             self.stats.incr_id(self.ids.l1_invs_deferred);
@@ -659,8 +714,18 @@ impl Core {
             );
             return;
         }
-        self.squash_tso_loads(line, self.ids.squash_mcv_inv, "mcv_inv", now);
+        if !ignore_pin {
+            // The mutation path deliberately skips the squash too: the
+            // pinned load keeps its stale value, which is exactly the bug
+            // the checker must flag.
+            self.squash_tso_loads(line, self.ids.squash_mcv_inv, "mcv_inv", now);
+        }
         self.l1.invalidate(line);
+        self.check.emit(CheckEvent::L1Invalidated {
+            core: self.id,
+            line,
+            cause: InvalidateCause::Inv,
+        });
         self.send(
             NodeId::Core(requester),
             Msg::InvAck {
@@ -668,6 +733,39 @@ impl Core {
                 from: self.id,
             },
         );
+    }
+
+    /// Consumes the armed `IgnorePinOnInv` mutation, if any. Fires at
+    /// most once per run.
+    fn take_ignore_pin_mutation(&mut self) -> bool {
+        if self.mutation_armed && self.mutation == Mutation::IgnorePinOnInv {
+            self.mutation_armed = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reports a CPT insert (an `Inv*` arrived) to the checker.
+    fn emit_cpt_inserted(&mut self, line: LineAddr) {
+        self.check.emit(CheckEvent::CptInserted {
+            core: self.id,
+            line,
+            occupancy: self.governor.cpt().occupancy(),
+        });
+    }
+
+    /// Handles an inbound `Clear`: the starred write that forbade pinning
+    /// this line has committed, so the CPT entry (if one was recorded —
+    /// an overflowed CPT legally has none) is released.
+    fn on_clear_msg(&mut self, line: LineAddr) {
+        if self.governor.on_clear(line) {
+            self.check.emit(CheckEvent::CptRemoved {
+                core: self.id,
+                line,
+                occupancy: self.governor.cpt().occupancy(),
+            });
+        }
     }
 
     fn on_fwd_gets(&mut self, line: LineAddr, requester: CoreId) {
@@ -700,8 +798,8 @@ impl Core {
     }
 
     fn on_fwd_getx(&mut self, line: LineAddr, requester: CoreId, star: bool, now: Cycle) {
-        if star {
-            self.governor.on_inv_star(line);
+        if star && self.governor.on_inv_star(line) {
+            self.emit_cpt_inserted(line);
         }
         if self.governor.is_line_pinned(line) {
             self.stats.incr_id(self.ids.l1_invs_deferred);
@@ -717,6 +815,11 @@ impl Core {
         }
         self.squash_tso_loads(line, self.ids.squash_mcv_inv, "mcv_inv", now);
         self.l1.invalidate(line);
+        self.check.emit(CheckEvent::L1Invalidated {
+            core: self.id,
+            line,
+            cause: InvalidateCause::FwdGetX,
+        });
         self.send(
             NodeId::Core(requester),
             Msg::OwnerData {
@@ -742,6 +845,11 @@ impl Core {
         }
         self.squash_tso_loads(line, self.ids.squash_mcv_evict, "mcv_evict", now);
         let dirty = self.l1.invalidate(line) == Some(Mesi::Modified);
+        self.check.emit(CheckEvent::L1Invalidated {
+            core: self.id,
+            line,
+            cause: InvalidateCause::BackInv,
+        });
         self.send(
             NodeId::Slice(slice),
             Msg::BackInvAck {
@@ -867,6 +975,11 @@ impl Core {
                 // them (conservative TSO), and the directory must be told.
                 self.squash_tso_loads(victim, self.ids.squash_mcv_evict, "mcv_evict", now);
                 self.stats.incr_id(self.ids.l1_evictions);
+                self.check.emit(CheckEvent::L1Invalidated {
+                    core: self.id,
+                    line: victim,
+                    cause: InvalidateCause::Evict,
+                });
                 let msg = if victim_state == Mesi::Modified {
                     Msg::PutM {
                         line: victim,
@@ -909,6 +1022,10 @@ impl Core {
                 let head = self.wb.pop().expect("write merge requires a head entry");
                 image.write(head.addr, head.value);
                 self.stats.incr_id(self.ids.wb_merges);
+                self.check.emit(CheckEvent::WriteFinished {
+                    core: self.id,
+                    line,
+                });
                 if needs_unblock {
                     self.send(
                         self.home(line),
@@ -940,7 +1057,12 @@ impl Core {
         for e in &mut self.lq {
             if e.pin == PinState::Pending && e.line() == Some(line) {
                 e.pin = PinState::Pinned;
-                self.governor.record_pin(line);
+                if self.governor.record_pin(line) {
+                    self.check.emit(CheckEvent::PinAcquired {
+                        core: self.id,
+                        line,
+                    });
+                }
             }
         }
     }
@@ -974,6 +1096,7 @@ impl Core {
         active |= self.drain_write_buffer(now, image);
         active |= self.step_atomic(now, image);
         self.aggr = self.aggregates();
+        self.check_vp_progress();
         if self.policy.tracks_taint() {
             active |= self.propagate_taint();
         }
@@ -1153,7 +1276,22 @@ impl Core {
                 }
                 if entry.pin == PinState::Pinned {
                     let line = entry.line().expect("pinned load has an address");
-                    self.governor.record_unpin(line);
+                    if self.governor.record_unpin(line) {
+                        self.check.emit(CheckEvent::PinReleased {
+                            core: self.id,
+                            line,
+                        });
+                    }
+                }
+                if self.check.enabled() {
+                    if let (Some(addr), Some(value)) = (entry.addr, entry.value) {
+                        self.check.emit(CheckEvent::LoadRetired {
+                            core: self.id,
+                            seq: seq.0,
+                            addr,
+                            value,
+                        });
+                    }
                 }
                 self.lq.remove(0);
             }
@@ -1211,6 +1349,10 @@ impl Core {
                     image.write(addr, value);
                     self.wb.pop();
                     self.stats.incr_id(self.ids.wb_merges);
+                    self.check.emit(CheckEvent::WriteFinished {
+                        core: self.id,
+                        line,
+                    });
                     self.promote_pending_pins(line);
                 } else {
                     self.send(
@@ -1351,6 +1493,10 @@ impl Core {
         head.stage = Stage::Completed;
         self.atomic = AtomicTxn::default();
         self.stats.incr_id(self.ids.atomics);
+        self.check.emit(CheckEvent::WriteFinished {
+            core: self.id,
+            line,
+        });
     }
 
     // ---- taint propagation (STT) ----
@@ -1468,12 +1614,22 @@ impl Core {
                     // treat any attempt as activity so EP-denied windows
                     // are never fast-forwarded over.
                     active = true;
-                    if governor.try_pin_early(line, lq_id, &live).is_ok() {
-                        self.lq[i].pin = PinState::Pinned;
-                        continue;
+                    match governor.try_pin_early(line, lq_id, &live) {
+                        Ok(newly_pinned) => {
+                            self.lq[i].pin = PinState::Pinned;
+                            if newly_pinned {
+                                self.check.emit(CheckEvent::PinAcquired {
+                                    core: self.id,
+                                    line,
+                                });
+                            }
+                            continue;
+                        }
+                        Err(_) => {
+                            self.stats.incr_id(self.ids.pin_ep_denied);
+                            break;
+                        }
                     }
-                    self.stats.incr_id(self.ids.pin_ep_denied);
-                    break;
                 }
                 PinMode::Late => {
                     let e = &self.lq[i];
@@ -1482,7 +1638,12 @@ impl Core {
                         && self.l1.peek(line).is_some_and(|s| s.readable())
                     {
                         self.lq[i].pin = PinState::Pinned;
-                        self.governor.record_pin(line);
+                        if self.governor.record_pin(line) {
+                            self.check.emit(CheckEvent::PinAcquired {
+                                core: self.id,
+                                line,
+                            });
+                        }
                         active = true;
                         continue;
                     }
@@ -1611,6 +1772,76 @@ impl Core {
             }
         }
         active
+    }
+
+    /// Checker-only LQ scan mirroring [`Core::vp_status_base`]: reports
+    /// each load's base VP-condition bits (control, alias, exception —
+    /// the conditions that may only latch, never regress, within a load's
+    /// lifetime) so the checker can assert monotone progress. MCV and pin
+    /// eligibility legitimately re-block and are excluded. Never
+    /// contributes to `tick`'s activity result: with the checker on or
+    /// off, cycles, statistics, and traces must stay bit-identical.
+    fn check_vp_progress(&mut self) {
+        if !self.check.enabled() {
+            return;
+        }
+        let aggr = self.aggr;
+        for i in 0..self.lq.len() {
+            let status = self.vp_status_base(i, &aggr);
+            let mut bits = 0u8;
+            if status.ctrl_clear {
+                bits |= VP_CTRL;
+            }
+            if status.alias_clear {
+                bits |= VP_ALIAS;
+            }
+            if status.exception_clear {
+                bits |= VP_EXCEPTION;
+            }
+            if self.lq[i].vp_bits != bits {
+                self.lq[i].vp_bits = bits;
+                self.check.emit(CheckEvent::VpProgress {
+                    core: self.id,
+                    seq: self.lq[i].seq.0,
+                    bits,
+                });
+            }
+        }
+    }
+
+    /// Moves buffered check events into `out`, preserving order.
+    pub fn drain_check_events(&mut self, out: &mut Vec<CheckEvent>) {
+        self.check.drain_into(out);
+    }
+
+    /// Captures this core's coherence-visible state for the checker's
+    /// periodic whole-machine scan (SWMR, pin/L1 agreement, CST/CPT
+    /// occupancy bounds).
+    pub fn check_snapshot(&self) -> CoreSnapshot {
+        let l1_lines = self
+            .l1
+            .iter()
+            .filter_map(|(line, &m)| {
+                let mode = match m {
+                    Mesi::Invalid => return None,
+                    Mesi::Shared => LineMode::Shared,
+                    Mesi::Exclusive => LineMode::Exclusive,
+                    Mesi::Modified => LineMode::Modified,
+                };
+                Some((line, mode))
+            })
+            .collect();
+        let mut pinned_lines: Vec<_> = self.governor.pinned_lines().collect();
+        pinned_lines.sort_unstable();
+        CoreSnapshot {
+            core: self.id,
+            l1_lines,
+            pinned_lines,
+            cpt_occupancy: self.governor.cpt().occupancy(),
+            cpt_capacity: self.governor.cpt().capacity(),
+            cst_l1: self.governor.cst_l1_usage(),
+            cst_dir: self.governor.cst_dir_usage(),
+        }
     }
 
     // ---- execute completion ----
@@ -1901,6 +2132,12 @@ impl Core {
         let aggr = self.aggr;
         for i in 0..self.lq.len() {
             if ports == 0 {
+                break;
+            }
+            // An exposure on a previous iteration may have squashed part
+            // of the LQ (a validation mismatch, or an MCV on the line its
+            // fill evicted); the squashed suffix is gone, so stop.
+            if i >= self.lq.len() {
                 break;
             }
             let e = &self.lq[i];
@@ -2407,6 +2644,10 @@ impl Core {
         self.tracer.emit(EventKind::Squash {
             first_bad,
             source: cause,
+        });
+        self.check.emit(CheckEvent::Squashed {
+            core: self.id,
+            first_bad: first_bad.0,
         });
         while let Some(back) = self.rob.back() {
             if back.seq < first_bad {

@@ -137,6 +137,9 @@ pub struct LqEntry {
     pub invisible: bool,
     /// `true` while the exposure/validation access is in flight.
     pub exposing: bool,
+    /// Base VP-condition bits (`pl_base::verify::VP_*`) last reported to
+    /// the invariant checker; stays zero when the checker is off.
+    pub vp_bits: u8,
     /// Last VP condition observed blocking this load, for trace
     /// attribution. `None` until the tracer's VP scan first sees the load.
     pub vp_blocker: Option<&'static str>,
@@ -159,6 +162,7 @@ impl LqEntry {
             waiting_fill: false,
             invisible: false,
             exposing: false,
+            vp_bits: 0,
             vp_blocker: None,
             vp_clear_traced: false,
         }

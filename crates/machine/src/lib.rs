@@ -42,7 +42,10 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
-use pl_base::{Addr, ConfigError, CoreId, Cycle, HistId, LineAddr, MachineConfig, Stats};
+use pl_base::{
+    Addr, CheckEvent, CheckObserver, ConfigError, CoreId, Cycle, HistId, LineAddr, MachineConfig,
+    MachineSnapshot, Stats,
+};
 use pl_cpu::{Core, OCC_SAMPLE_PERIOD};
 use pl_isa::{Program, Reg};
 use pl_mem::{LlcSlice, Memory, Msg, Noc, NodeId, PinView};
@@ -176,6 +179,21 @@ impl RunResult {
     }
 }
 
+/// Holder for the attached invariant-check observer. Trait objects have
+/// no useful `Debug`, so the slot renders as presence/absence and lets
+/// [`Machine`] keep its derived `Debug`.
+#[derive(Default)]
+struct ObserverSlot(Option<Box<dyn CheckObserver>>);
+
+impl fmt::Debug for ObserverSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Some(_) => f.write_str("ObserverSlot(attached)"),
+            None => f.write_str("ObserverSlot(none)"),
+        }
+    }
+}
+
 /// A complete simulated multicore machine.
 #[derive(Debug)]
 pub struct Machine {
@@ -190,6 +208,12 @@ pub struct Machine {
     deliver_buf: Vec<(NodeId, NodeId, Msg)>,
     slice_bound: Vec<(usize, Msg)>,
     outbox_buf: Vec<(NodeId, Msg)>,
+    /// Invariant-check observer plus its reused event buffer and the
+    /// next snapshot cycle (a watermark, because fast-forward jumps
+    /// `now` past arbitrary multiples of the period).
+    check_observer: ObserverSlot,
+    check_buf: Vec<CheckEvent>,
+    next_snapshot: u64,
 }
 
 impl Machine {
@@ -219,18 +243,43 @@ impl Machine {
                 slice.enable_trace(cfg.trace.buffer_capacity);
             }
         }
+        if cfg.verify.enabled {
+            for slice in &mut slices {
+                slice.enable_verify(&cfg.verify);
+            }
+        }
+        let mut noc = Noc::new(cfg.mem.mesh_cols, cfg.mem.mesh_rows, cfg.mem.hop_latency);
+        if cfg.verify.fault_delay > 0 {
+            noc.enable_faults(cfg.verify.fault_seed, cfg.verify.fault_delay);
+        }
         Ok(Machine {
             cfg: cfg.clone(),
             cores,
             slices,
-            noc: Noc::new(cfg.mem.mesh_cols, cfg.mem.mesh_rows, cfg.mem.hop_latency),
+            noc,
             image: Memory::new(),
             now: Cycle::ZERO,
             watchdog_cycles: WATCHDOG_CYCLES,
             deliver_buf: Vec::new(),
             slice_bound: Vec::new(),
             outbox_buf: Vec::new(),
+            check_observer: ObserverSlot(None),
+            check_buf: Vec::new(),
+            next_snapshot: cfg.verify.snapshot_period.max(1),
         })
+    }
+
+    /// Attaches the invariant-check observer that receives the event
+    /// stream and periodic snapshots. Only meaningful when
+    /// `cfg.verify.enabled` is set — without it the components never
+    /// record events.
+    pub fn set_check_observer(&mut self, observer: Box<dyn CheckObserver>) {
+        self.check_observer = ObserverSlot(Some(observer));
+    }
+
+    /// Detaches and returns the check observer, if one was attached.
+    pub fn take_check_observer(&mut self) -> Option<Box<dyn CheckObserver>> {
+        self.check_observer.0.take()
     }
 
     /// Overrides the no-retirement watchdog threshold (default 300k
@@ -353,8 +402,56 @@ impl Machine {
             }
         }
         self.outbox_buf = outbox;
+        if self.cfg.verify.enabled {
+            self.drain_checks(now);
+        }
         self.now += 1;
         active
+    }
+
+    /// Drains every component's buffered check events (so the sinks never
+    /// grow unbounded, observer or not) and feeds the observer the event
+    /// batch plus, on the snapshot cadence, a whole-machine snapshot.
+    fn drain_checks(&mut self, now: Cycle) {
+        let mut buf = std::mem::take(&mut self.check_buf);
+        buf.clear();
+        for core in &mut self.cores {
+            core.drain_check_events(&mut buf);
+        }
+        for slice in &mut self.slices {
+            slice.drain_check_events(&mut buf);
+        }
+        let mut observer = self.check_observer.0.take();
+        if let Some(obs) = observer.as_mut() {
+            if !buf.is_empty() {
+                obs.on_events(now, &buf);
+            }
+            if now.raw() >= self.next_snapshot {
+                let period = self.cfg.verify.snapshot_period.max(1);
+                while self.next_snapshot <= now.raw() {
+                    self.next_snapshot += period;
+                }
+                let snapshot = self.check_snapshot();
+                obs.on_snapshot(now, &snapshot);
+            }
+        }
+        self.check_observer = ObserverSlot(observer);
+        self.check_buf = buf;
+    }
+
+    /// Captures every core's coherence-visible state for the checker's
+    /// whole-machine invariants (SWMR, pin/L1 agreement, CST/CPT bounds).
+    pub fn check_snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            cores: self.cores.iter().map(Core::check_snapshot).collect(),
+        }
+    }
+
+    /// The final memory image as a canonical sorted word dump — the
+    /// committed architectural state the cross-scheme differential oracle
+    /// compares.
+    pub fn memory_words(&self) -> Vec<(u64, u64)> {
+        self.image.words_sorted()
     }
 
     fn all_quiesced(&self) -> bool {
@@ -402,6 +499,17 @@ impl Machine {
         for core in &self.cores {
             cpt_stats.sample_id(cpt_occ, core.governor().cpt().occupancy() as u64);
         }
+        // Hand the observer the quiesced end state: a final snapshot (so
+        // end-of-run invariants see the drained machine even off the
+        // cadence) and the run-end notification that closes liveness
+        // obligations (deferred writes, starred-commit pairing).
+        let mut observer = self.check_observer.0.take();
+        if let Some(obs) = observer.as_mut() {
+            let snapshot = self.check_snapshot();
+            obs.on_snapshot(self.now, &snapshot);
+            obs.on_run_end(self.now);
+        }
+        self.check_observer = ObserverSlot(observer);
         Ok(self.result_with(cpt_stats))
     }
 
@@ -674,7 +782,7 @@ mod tests {
         b.alu(pl_isa::AluOp::Add, r(4), r(3), 1i64);
         let (m, res) = single(&cfg, b);
         assert_eq!(m.reg(CoreId(0), r(4)), 6);
-        assert!(res.stats.get("loads.forwarded") >= 1);
+        assert!(res.stats.get_known("loads.forwarded") >= 1);
     }
 
     #[test]

@@ -98,11 +98,11 @@ fn dom_is_cheap_on_hits_and_expensive_on_misses() {
         "DOM must be expensive on streaming misses (got {miss_overhead:.2}x)"
     );
     assert!(
-        d_miss.stats.get("stall.dom_miss") > 0,
+        d_miss.stats.get_known("stall.dom_miss") > 0,
         "DOM miss stalls must be recorded"
     );
     assert_eq!(
-        d_hit.stats.get("stall.vp"),
+        d_hit.stats.get_known("stall.vp"),
         0,
         "DOM never records fence stalls"
     );
@@ -123,14 +123,14 @@ fn stt_stalls_only_tainted_addresses() {
         s.cycles,
         u.cycles
     );
-    assert_eq!(s.stats.get("stall.taint"), 0);
+    assert_eq!(s.stats.get_known("stall.taint"), 0);
 
     // Gather: the dependent load's address is tainted.
     let gather = gather_loop(300);
     let (_, ug) = run(&unsafe_cfg, &gather);
     let (_, sg) = run(&stt, &gather);
     assert!(
-        sg.stats.get("stall.taint") > 0,
+        sg.stats.get_known("stall.taint") > 0,
         "tainted stalls must occur on gathers"
     );
     assert!(
@@ -169,8 +169,8 @@ fn lp_beats_comp_and_ep_beats_lp_on_streaming_misses() {
         ep.cycles,
         lp.cycles
     );
-    assert!(ep.stats.get("pin.pins") > 0);
-    assert!(lp.stats.get("pin.pins") > 0);
+    assert!(ep.stats.get_known("pin.pins") > 0);
+    assert!(lp.stats.get_known("pin.pins") > 0);
 }
 
 #[test]
@@ -238,9 +238,9 @@ fn next_line_prefetcher_helps_serialized_streams_and_is_accounted() {
     on.mem.prefetch_degree = 1;
     let (_, without) = run(&off, &misses);
     let (_, with) = run(&on, &misses);
-    assert_eq!(without.stats.get("l1.prefetches"), 0);
+    assert_eq!(without.stats.get_known("l1.prefetches"), 0);
     assert!(
-        with.stats.get("l1.prefetches") > 100,
+        with.stats.get_known("l1.prefetches") > 100,
         "prefetches must issue"
     );
     assert!(
@@ -250,7 +250,7 @@ fn next_line_prefetcher_helps_serialized_streams_and_is_accounted() {
         without.cycles
     );
     assert!(
-        with.stats.get("l1.misses") < without.stats.get("l1.misses"),
+        with.stats.get_known("l1.misses") < without.stats.get_known("l1.misses"),
         "demand misses must drop"
     );
 
@@ -290,12 +290,12 @@ fn invisible_speculation_validates_and_outruns_fence() {
         u.cycles
     );
     assert!(
-        i.stats.get("loads.invisible") > 0,
+        i.stats.get_known("loads.invisible") > 0,
         "pre-VP loads executed invisibly"
     );
     assert_eq!(
-        i.stats.get("loads.validated"),
-        i.stats.get("loads.invisible") - i.stats.get("squash.validation"),
+        i.stats.get_known("loads.validated"),
+        i.stats.get_known("loads.invisible") - i.stats.get_known("squash.validation"),
         "every invisible load is validated or squashed"
     );
 }
@@ -369,7 +369,7 @@ fn pinning_is_accounted_and_drains_to_zero() {
     let misses = miss_loop(200);
     let (m, res) = run(&cfg_with(DefenseScheme::Fence, PinMode::Early), &misses);
     assert!(
-        res.stats.get("pin.pins") >= 200,
+        res.stats.get_known("pin.pins") >= 200,
         "every miss load should pin under EP"
     );
     assert_eq!(

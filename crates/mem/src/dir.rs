@@ -22,7 +22,9 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use pl_base::{CoreId, Cycle, LineAddr, MemConfig, Stats};
+use pl_base::{
+    CheckEvent, CheckSink, CoreId, Cycle, LineAddr, MemConfig, Mutation, Stats, VerifyConfig,
+};
 use pl_trace::{EventKind, TraceSource, Tracer};
 
 use crate::cache::Cache;
@@ -121,11 +123,34 @@ pub struct LlcSlice {
     tracer: Tracer,
     /// Reused victim-candidate buffer for [`LlcSlice::try_place`].
     lru_scratch: Vec<(u64, LineAddr)>,
+    check: CheckSink,
+    /// Armed single-shot protocol mutation (checker regression tests).
+    mutation: Mutation,
+    mutation_armed: bool,
 }
 
 impl LlcSlice {
     /// Creates slice `id` with the geometry from `cfg`.
     pub fn new(id: usize, cfg: &MemConfig) -> LlcSlice {
+        // Pre-register every counter this slice can ever bump, so strict
+        // lookups (`Stats::get_known`) see them even on runs where the
+        // protocol path never fires (zero counters are not printed).
+        let mut stats = Stats::new();
+        for name in [
+            "llc.gets",
+            "llc.getx",
+            "llc.getx_star",
+            "llc.nacks",
+            "llc.clears",
+            "llc.aborts",
+            "llc.evictions",
+            "llc.evictions_retried",
+            "llc.evictions_denied",
+            "llc.back_invs",
+            "llc.dram_fetches",
+        ] {
+            stats.add(name, 0);
+        }
         LlcSlice {
             id,
             cache: Cache::new(&cfg.llc_slice),
@@ -135,10 +160,26 @@ impl LlcSlice {
             timer_seq: 0,
             dram_latency: cfg.dram_latency,
             outbox: Vec::new(),
-            stats: Stats::new(),
+            stats,
             tracer: Tracer::disabled(TraceSource::Slice(id)),
             lru_scratch: Vec::new(),
+            check: CheckSink::disabled(),
+            mutation: Mutation::None,
+            mutation_armed: false,
         }
+    }
+
+    /// Switches on invariant-check event recording (and arms the
+    /// directory-side mutation, if configured) per `cfg`.
+    pub fn enable_verify(&mut self, cfg: &VerifyConfig) {
+        self.check = CheckSink::new(cfg.enabled);
+        self.mutation = cfg.mutation;
+        self.mutation_armed = cfg.mutation == Mutation::DropClear;
+    }
+
+    /// Moves buffered check events into `out`, preserving order.
+    pub fn drain_check_events(&mut self, out: &mut Vec<CheckEvent>) {
+        self.check.drain_into(out);
     }
 
     /// Switches on event tracing for this slice's directory controller and
@@ -498,11 +539,22 @@ impl LlcSlice {
             }) if writer == from => {
                 self.set_state_dirty(line, DirState::Owned(writer));
                 if star {
-                    // Figure 5(b): tell every former sharer to clear its CPT.
-                    for sharer in others {
-                        self.send(NodeId::Core(sharer), Msg::Clear { line });
+                    self.check.emit(CheckEvent::StarredCommit {
+                        line,
+                        sharers: others.len(),
+                    });
+                    if self.take_drop_clear_mutation() {
+                        // Mutation test: swallow the whole Clear broadcast
+                        // once, leaking the sharers' CPT entries.
+                    } else {
+                        // Figure 5(b): tell every former sharer to clear
+                        // its CPT.
+                        for sharer in others {
+                            self.check.emit(CheckEvent::ClearSent { line, to: sharer });
+                            self.send(NodeId::Core(sharer), Msg::Clear { line });
+                        }
+                        self.stats.incr("llc.clears");
                     }
-                    self.stats.incr("llc.clears");
                 }
             }
             Some(Txn::FwdX {
@@ -512,8 +564,15 @@ impl LlcSlice {
             }) if writer == from => {
                 self.set_state_dirty(line, DirState::Owned(writer));
                 if star {
-                    self.send(NodeId::Core(owner), Msg::Clear { line });
-                    self.stats.incr("llc.clears");
+                    self.check
+                        .emit(CheckEvent::StarredCommit { line, sharers: 1 });
+                    if self.take_drop_clear_mutation() {
+                        // Mutation test: swallow the Clear once.
+                    } else {
+                        self.check.emit(CheckEvent::ClearSent { line, to: owner });
+                        self.send(NodeId::Core(owner), Msg::Clear { line });
+                        self.stats.incr("llc.clears");
+                    }
                 }
             }
             other => {
@@ -532,12 +591,25 @@ impl LlcSlice {
             Some(Txn::Write { writer, .. }) if *writer == from => {
                 self.busy.remove(&line);
                 self.stats.incr("llc.aborts");
+                self.check.emit(CheckEvent::DirAbort { line, from });
             }
             Some(Txn::FwdX { writer, .. }) if *writer == from => {
                 self.busy.remove(&line);
                 self.stats.incr("llc.aborts");
+                self.check.emit(CheckEvent::DirAbort { line, from });
             }
             _ => {}
+        }
+    }
+
+    /// Consumes the armed `DropClear` mutation, if any. Fires at most
+    /// once per run.
+    fn take_drop_clear_mutation(&mut self) -> bool {
+        if self.mutation_armed && self.mutation == Mutation::DropClear {
+            self.mutation_armed = false;
+            true
+        } else {
+            false
         }
     }
 
@@ -768,7 +840,7 @@ mod tests {
             &NoPins,
         );
         assert!(s.is_busy(line(1)));
-        assert_eq!(s.stats().get("llc.dram_fetches"), 1);
+        assert_eq!(s.stats().get_known("llc.dram_fetches"), 1);
         let out = run_dram(&mut s, 200);
         assert_eq!(
             out,
@@ -962,7 +1034,7 @@ mod tests {
             s.dir_state(l),
             Some(DirState::Shared(vec![CoreId(0), CoreId(1)]))
         );
-        assert_eq!(s.stats().get("llc.aborts"), 1);
+        assert_eq!(s.stats().get_known("llc.aborts"), 1);
     }
 
     #[test]
@@ -996,7 +1068,7 @@ mod tests {
             .filter(|(_, m)| matches!(m, Msg::Clear { .. }))
             .collect();
         assert_eq!(clears.len(), 2, "both former sharers receive Clear");
-        assert_eq!(s.stats().get("llc.clears"), 1);
+        assert_eq!(s.stats().get_known("llc.clears"), 1);
     }
 
     #[test]

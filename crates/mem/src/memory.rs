@@ -65,6 +65,17 @@ impl Memory {
     pub fn nonzero_words(&self) -> usize {
         self.words.len()
     }
+
+    /// Every nonzero word as `(word_index, value)`, sorted by index.
+    ///
+    /// This is the canonical final-memory image used by the `pl-verify`
+    /// differential oracle: two runs are architecturally equivalent only
+    /// if these dumps are identical.
+    pub fn words_sorted(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self.words.iter().map(|(&k, &v)| (k, v)).collect();
+        out.sort_unstable();
+        out
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +106,18 @@ mod tests {
         assert_eq!(m.read(Addr::new(0x100)), 5);
         assert_eq!(m.read(Addr::new(0x107)), 5);
         assert_eq!(m.read(Addr::new(0x108)), 0);
+    }
+
+    #[test]
+    fn words_sorted_is_a_canonical_dump() {
+        let mut m = Memory::new();
+        m.write(Addr::new(0x200), 3);
+        m.write(Addr::new(0x100), 1);
+        m.write(Addr::new(0x108), 2);
+        assert_eq!(
+            m.words_sorted(),
+            vec![(0x100 >> 3, 1), (0x108 >> 3, 2), (0x200 >> 3, 3)]
+        );
     }
 
     #[test]

@@ -11,9 +11,9 @@
 //! protocols rely on.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
-use pl_base::Cycle;
+use pl_base::{Cycle, SimRng};
 
 use crate::msg::{Msg, NodeId};
 
@@ -68,6 +68,27 @@ pub struct Noc {
     next_seq: u64,
     messages_sent: u64,
     hops_traversed: u64,
+    faults: Option<FaultInjector>,
+}
+
+/// Seeded delivery-timing perturbation for `pl-verify` stress runs.
+///
+/// Only *directory-bound* messages are delayed: from any node's point of
+/// view, a late-arriving request at the home slice is indistinguishable
+/// from a busy directory, so every perturbed schedule is one the protocol
+/// must already handle (the Nack/busy-state machinery absorbs it).
+/// Responses and forwarded requests headed to cores are left untouched —
+/// the mesh's triangle-inequality timing (data always beats the
+/// invalidation that follows it) is an implicit protocol assumption, and
+/// violating it would inject *illegal* schedules and false alarms.
+///
+/// Per-`(src, dst)` FIFO order is preserved by clamping each jittered
+/// delivery to the latest delivery already scheduled for that pair.
+#[derive(Debug, Clone)]
+struct FaultInjector {
+    rng: SimRng,
+    max_extra_delay: u64,
+    last_slice_delivery: HashMap<(NodeId, NodeId), Cycle>,
 }
 
 impl Noc {
@@ -87,7 +108,19 @@ impl Noc {
             next_seq: 0,
             messages_sent: 0,
             hops_traversed: 0,
+            faults: None,
         }
+    }
+
+    /// Enables seeded fault injection: every directory-bound message gets
+    /// an extra delay in `0..=max_extra_delay` cycles, preserving
+    /// per-pair FIFO order. Same seed, same perturbation.
+    pub fn enable_faults(&mut self, seed: u64, max_extra_delay: u64) {
+        self.faults = Some(FaultInjector {
+            rng: SimRng::new(seed),
+            max_extra_delay,
+            last_slice_delivery: HashMap::new(),
+        });
     }
 
     fn tile(&self, node: NodeId) -> (usize, usize) {
@@ -112,7 +145,20 @@ impl Noc {
 
     /// Enqueues a message sent at `now`.
     pub fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId, msg: Msg) {
-        let deliver_at = now + self.latency(src, dst);
+        let mut deliver_at = now + self.latency(src, dst);
+        if let Some(f) = &mut self.faults {
+            if matches!(dst, NodeId::Slice(_)) {
+                deliver_at += f.rng.gen_range(0..f.max_extra_delay + 1);
+                let last = f
+                    .last_slice_delivery
+                    .entry((src, dst))
+                    .or_insert(deliver_at);
+                // Never deliver before an earlier message on the same
+                // pair: directory protocols rely on per-pair FIFO.
+                deliver_at = deliver_at.max(*last);
+                *last = deliver_at;
+            }
+        }
         self.messages_sent += 1;
         self.hops_traversed += self.hops(src, dst);
         let seq = self.next_seq;
@@ -230,6 +276,56 @@ mod tests {
         noc.send(Cycle(0), NodeId::Core(CoreId(1)), NodeId::Slice(1), gets(1));
         assert_eq!(noc.messages_sent(), 2);
         assert_eq!(noc.hops_traversed(), 4);
+    }
+
+    #[test]
+    fn fault_injection_preserves_per_pair_fifo() {
+        let mut noc = Noc::new(4, 2, 1);
+        noc.enable_faults(0xFA017, 7);
+        let src = NodeId::Core(CoreId(0));
+        let dst = NodeId::Slice(3);
+        for i in 0..32 {
+            noc.send(Cycle(i), src, dst, gets(i as usize));
+        }
+        let out = noc.deliver(Cycle(1000));
+        assert_eq!(out.len(), 32);
+        for (i, (_, _, msg)) in out.iter().enumerate() {
+            assert_eq!(*msg, gets(i), "slice-bound FIFO broken at {i}");
+        }
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_spares_core_bound_messages() {
+        let run = || {
+            let mut noc = Noc::new(4, 2, 1);
+            noc.enable_faults(42, 5);
+            noc.send(Cycle(0), NodeId::Core(CoreId(0)), NodeId::Slice(7), gets(0));
+            noc.send(
+                Cycle(0),
+                NodeId::Slice(7),
+                NodeId::Core(CoreId(0)),
+                Msg::Nack {
+                    line: Addr::new(0x40).line(),
+                    was_write: false,
+                },
+            );
+            noc.next_delivery().unwrap()
+        };
+        assert_eq!(run(), run(), "same seed, same schedule");
+        // The core-bound Nack is never jittered: it arrives exactly at the
+        // mesh latency even with faults on.
+        let mut noc = Noc::new(4, 2, 1);
+        noc.enable_faults(42, 50);
+        noc.send(
+            Cycle(0),
+            NodeId::Slice(7),
+            NodeId::Core(CoreId(0)),
+            Msg::Nack {
+                line: Addr::new(0x40).line(),
+                was_write: false,
+            },
+        );
+        assert_eq!(noc.next_delivery(), Some(Cycle(5)));
     }
 
     #[test]

@@ -298,7 +298,7 @@ fn back_inv_defer_cancels_the_eviction_and_retries() {
         }
     }
     assert!(deferred, "the defer path never triggered");
-    assert_eq!(s.stats().get("llc.evictions_retried"), 1);
+    assert_eq!(s.stats().get_known("llc.evictions_retried"), 1);
     assert!(
         s.dir_state(b).is_some(),
         "fill must eventually place after the retry"

@@ -88,8 +88,11 @@ impl Cpt {
     }
 
     /// Removes `line` (a `Clear` arrived). Unblocks pinning once the
-    /// table drains to half capacity.
-    pub fn remove(&mut self, line: LineAddr) {
+    /// table drains to half capacity. Returns `true` if the line was
+    /// present (a `Clear` for a line the CPT never recorded — e.g. after
+    /// an overflow — is legal and returns `false`).
+    pub fn remove(&mut self, line: LineAddr) -> bool {
+        let before = self.lines.len();
         self.lines.retain(|&l| l != line);
         if self.blocked {
             if let Some(cap) = self.capacity {
@@ -98,6 +101,7 @@ impl Cpt {
                 }
             }
         }
+        self.lines.len() != before
     }
 
     /// Returns `true` if `line` is currently un-pinnable.
@@ -114,6 +118,11 @@ impl Cpt {
     /// Current number of recorded lines.
     pub fn occupancy(&self) -> usize {
         self.lines.len()
+    }
+
+    /// Table capacity, or `None` for the ideal (unbounded) CPT.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Highest occupancy ever observed (Section 9.2.2 reports 4–7 for an

@@ -184,6 +184,23 @@ impl Cst {
         self.records_per_entry
     }
 
+    /// Total records currently stored across all entries (including
+    /// stale records not yet lazily expunged).
+    pub fn total_records(&self) -> usize {
+        match &self.table {
+            Table::Finite(entries) => entries.iter().map(Vec::len).sum(),
+            Table::Ideal(map) => map.values().map(Vec::len).sum(),
+        }
+    }
+
+    /// Total record capacity, or `None` for the ideal (unbounded) table.
+    pub fn capacity(&self) -> Option<usize> {
+        match &self.table {
+            Table::Finite(entries) => Some(entries.len() * self.records_per_entry),
+            Table::Ideal(_) => None,
+        }
+    }
+
     fn entry_mut(&mut self, key: u64) -> &mut Vec<Record> {
         match &mut self.table {
             Table::Finite(entries) => {

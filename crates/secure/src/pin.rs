@@ -129,7 +129,27 @@ impl PinGovernor {
             pin_counts: HashMap::new(),
             l1_set_lines: HashMap::new(),
             dir_key_lines: HashMap::new(),
-            stats: Stats::new(),
+            // Pre-register every pin counter so strict lookups
+            // (`Stats::get_known`) see them even on runs (or modes)
+            // where pinning never fires; zero counters are not printed.
+            stats: {
+                let mut s = Stats::new();
+                for name in [
+                    "pin.pins",
+                    "pin.inv_stars",
+                    "pin.wraparounds",
+                    "pin.cst_l1_lookups",
+                    "pin.cst_l1_denied",
+                    "pin.cst_l1_false_positives",
+                    "pin.cst_dir_lookups",
+                    "pin.cst_dir_denied",
+                    "pin.cst_dir_false_positives",
+                    "pin.cst_hash_collisions",
+                ] {
+                    s.add(name, 0);
+                }
+                s
+            },
             tracer: Tracer::disabled(TraceSource::Pin(0)),
         }
     }
@@ -226,7 +246,16 @@ impl PinGovernor {
     /// # Panics
     ///
     /// Panics if the governor was not configured for Early Pinning.
-    pub fn try_pin_early<F>(&mut self, line: LineAddr, lq_id: u64, live: &F) -> Result<(), PinBlock>
+    ///
+    /// On success, returns `true` if the line transitioned from unpinned
+    /// to pinned (so the caller can report the protection acquisition),
+    /// `false` if another load already had it pinned.
+    pub fn try_pin_early<F>(
+        &mut self,
+        line: LineAddr,
+        lq_id: u64,
+        live: &F,
+    ) -> Result<bool, PinBlock>
     where
         F: Fn(u64) -> Option<LineAddr>,
     {
@@ -291,13 +320,13 @@ impl PinGovernor {
             self.stats.incr("pin.cst_hash_collisions");
         }
 
-        self.record_pin(line);
-        Ok(())
+        Ok(self.record_pin(line))
     }
 
     /// Late Pinning (or the data-arrival step of any design): records that
-    /// `line` is now pinned by one more load.
-    pub fn record_pin(&mut self, line: LineAddr) {
+    /// `line` is now pinned by one more load. Returns `true` when the line
+    /// transitioned from unpinned to pinned.
+    pub fn record_pin(&mut self, line: LineAddr) -> bool {
         self.stats.incr("pin.pins");
         let count = self.pin_counts.entry(line).or_insert(0);
         *count += 1;
@@ -305,14 +334,18 @@ impl PinGovernor {
             *self.l1_set_lines.entry(self.l1_key(line)).or_insert(0) += 1;
             *self.dir_key_lines.entry(self.dir_key(line)).or_insert(0) += 1;
             self.tracer.emit(EventKind::PinAcquired { line });
+            true
+        } else {
+            false
         }
     }
 
-    /// A pinned load retired: releases one pin on `line`.
-    pub fn record_unpin(&mut self, line: LineAddr) {
+    /// A pinned load retired: releases one pin on `line`. Returns `true`
+    /// when the line's last pin was released (protection dropped).
+    pub fn record_unpin(&mut self, line: LineAddr) -> bool {
         let Some(count) = self.pin_counts.get_mut(&line) else {
             debug_assert!(false, "unpin of a line with no pins: {line}");
-            return;
+            return false;
         };
         *count -= 1;
         if *count == 0 {
@@ -332,6 +365,9 @@ impl PinGovernor {
                 }
                 self.draining_wraparound = false;
             }
+            true
+        } else {
+            false
         }
     }
 
@@ -367,10 +403,34 @@ impl PinGovernor {
         inserted
     }
 
-    /// A `Clear` arrived: the starving write succeeded.
-    pub fn on_clear(&mut self, line: LineAddr) {
-        self.cpt.remove(line);
+    /// A `Clear` arrived: the starving write succeeded. Returns `true` if
+    /// the line was actually recorded (it may be absent after a CPT
+    /// overflow swallowed the insert).
+    pub fn on_clear(&mut self, line: LineAddr) -> bool {
+        let removed = self.cpt.remove(line);
         self.tracer.emit(EventKind::CptClear { line });
+        removed
+    }
+
+    /// L1 CST usage as `(total_records, capacity)`, when a finite L1 CST
+    /// exists (Early Pinning without `ideal_cst`). For occupancy-bound
+    /// invariant checks.
+    pub fn cst_l1_usage(&self) -> Option<(usize, usize)> {
+        let cst = self.l1_cst.as_ref()?;
+        Some((cst.total_records(), cst.capacity()?))
+    }
+
+    /// Directory/LLC CST usage as `(total_records, capacity)`, when a
+    /// finite directory CST exists.
+    pub fn cst_dir_usage(&self) -> Option<(usize, usize)> {
+        let cst = self.dir_cst.as_ref()?;
+        Some((cst.total_records(), cst.capacity()?))
+    }
+
+    /// Every line currently pinned by this core, unordered — the ground
+    /// truth the checker cross-validates its event model against.
+    pub fn pinned_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.pin_counts.keys().copied()
     }
 
     fn l1_key(&self, line: LineAddr) -> u64 {
@@ -458,7 +518,7 @@ mod tests {
             Err(PinBlock::CstFull)
         );
         // Not a false positive: capacity truly exhausted.
-        assert_eq!(g.stats().get("pin.cst_dir_false_positives"), 0);
+        assert_eq!(g.stats().get_known("pin.cst_dir_false_positives"), 0);
     }
 
     #[test]
@@ -506,7 +566,7 @@ mod tests {
         g.record_unpin(line(1));
         assert!(!g.wraparound_draining());
         assert!(g.can_attempt_pin(line(2)).is_ok());
-        assert_eq!(g.stats().get("pin.wraparounds"), 1);
+        assert_eq!(g.stats().get_known("pin.wraparounds"), 1);
     }
 
     #[test]

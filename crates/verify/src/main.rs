@@ -1,0 +1,199 @@
+//! `pl-verify` — run the protocol invariant checker and the
+//! cross-scheme differential oracle over the workload suites.
+//!
+//! ```text
+//! pl-verify [--smoke] [--seed <u64>] [--faults <cycles>]
+//! ```
+//!
+//! * `--smoke` — the quick tier-1 gate: a subset of kernels through the
+//!   checker, two differential passes, one seeded fault-injection run.
+//! * default (no `--smoke`) — the full sweep: every parallel and SPEC
+//!   kernel checked under Late and Early Pinning, differentially
+//!   verified across all six schemes, plus a fault-injection seed sweep.
+//! * `--seed` / `--faults` — override the fault-injection seed and the
+//!   maximum extra directory-message delay (cycles).
+//!
+//! Exits 0 when every invariant holds and all schemes agree, 1
+//! otherwise, 2 on a usage error.
+
+use std::process::ExitCode;
+
+use pl_base::{DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig};
+use pl_verify::{differential_check, faulted, run_checked, scheme_configs};
+use pl_workloads::{parallel_suite, spec_suite, Scale, Workload};
+
+const MAX_CYCLES: u64 = 500_000_000;
+const CORES: usize = 4;
+
+fn defended(cores: usize, scheme: DefenseScheme, mode: PinMode) -> MachineConfig {
+    let mut cfg = if cores == 1 {
+        MachineConfig::default_single_core()
+    } else {
+        MachineConfig::default_multi_core(cores)
+    };
+    cfg.defense = scheme;
+    cfg.pinned_loads = PinnedLoadsConfig::with_mode(mode);
+    cfg
+}
+
+/// Runs every workload under every config through the checker; returns
+/// the number of failing (workload, config) pairs.
+fn check_pass(tag: &str, workloads: &[Workload], cfgs: &[(usize, MachineConfig)]) -> u64 {
+    let mut failures = 0;
+    for (cores, cfg) in cfgs {
+        for w in workloads.iter().filter(|w| w.programs.len() <= *cores) {
+            match run_checked(cfg, w, MAX_CYCLES) {
+                Ok((_, report)) if report.ok() => {}
+                Ok((_, report)) => {
+                    failures += 1;
+                    eprintln!("[{tag}] `{}` under {}:\n{report}", w.name, cfg.label());
+                }
+                Err(e) => {
+                    failures += 1;
+                    eprintln!(
+                        "[{tag}] `{}` under {}: run failed: {e}",
+                        w.name,
+                        cfg.label()
+                    );
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Differentially verifies every workload across the six schemes;
+/// returns the number of diverging workloads.
+fn diff_pass(tag: &str, workloads: &[Workload], cores: usize) -> u64 {
+    let cfgs = scheme_configs(cores);
+    let mut failures = 0;
+    for w in workloads {
+        match differential_check(w, &cfgs, MAX_CYCLES) {
+            Ok(report) if report.ok() => {}
+            Ok(report) => {
+                failures += 1;
+                eprintln!("[{tag}] {report}");
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("[{tag}] `{}`: run failed: {e}", w.name);
+            }
+        }
+    }
+    failures
+}
+
+/// Fault-injected checker runs under Early Pinning; returns failures.
+fn fault_pass(tag: &str, workloads: &[Workload], seeds: &[u64], delay: u64) -> u64 {
+    let mut failures = 0;
+    for &seed in seeds {
+        let cfg = faulted(
+            defended(CORES, DefenseScheme::Fence, PinMode::Early),
+            seed,
+            delay,
+        );
+        for w in workloads {
+            match run_checked(&cfg, w, MAX_CYCLES) {
+                Ok((_, report)) if report.ok() => {}
+                Ok((_, report)) => {
+                    failures += 1;
+                    eprintln!(
+                        "[{tag}] `{}` seed {seed:#x} delay {delay}:\n{report}",
+                        w.name
+                    );
+                }
+                Err(e) => {
+                    failures += 1;
+                    eprintln!(
+                        "[{tag}] `{}` seed {seed:#x} delay {delay}: run failed: {e}",
+                        w.name
+                    );
+                }
+            }
+        }
+    }
+    failures
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: pl-verify [--smoke] [--seed <u64>] [--faults <cycles>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut seed: u64 = 0xFA017;
+    let mut delay: u64 = 3;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => match args.next().map(|v| parse_u64(&v)) {
+                Some(Some(v)) => seed = v,
+                _ => return usage(),
+            },
+            "--faults" => match args.next().map(|v| parse_u64(&v)) {
+                Some(Some(v)) => delay = v,
+                _ => return usage(),
+            },
+            "--help" | "-h" => {
+                println!("pl-verify: invariant checker + differential oracle runner");
+                println!("  --smoke           quick tier-1 subset");
+                println!("  --seed <u64>      fault-injection RNG seed (default 0xfa017)");
+                println!("  --faults <cycles> max extra directory-message delay (default 3)");
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let parallel = parallel_suite(CORES, Scale::Test);
+    let spec = spec_suite(Scale::Test);
+    let mut failures = 0;
+
+    if smoke {
+        let cfgs = vec![
+            (CORES, defended(CORES, DefenseScheme::Fence, PinMode::Early)),
+            (1, defended(1, DefenseScheme::Fence, PinMode::Early)),
+        ];
+        failures += check_pass("check", &parallel[..4], &cfgs);
+        failures += check_pass("check", &spec[..2], &cfgs[1..]);
+        failures += diff_pass("diff", &parallel[..1], CORES);
+        failures += diff_pass("diff", &spec[..1], 1);
+        failures += fault_pass("fault", &parallel[..1], &[seed], delay);
+        println!(
+            "pl-verify --smoke: {} ({} failure(s))",
+            if failures == 0 { "OK" } else { "FAILED" },
+            failures
+        );
+    } else {
+        let cfgs = vec![
+            (CORES, defended(CORES, DefenseScheme::Fence, PinMode::Early)),
+            (CORES, defended(CORES, DefenseScheme::Fence, PinMode::Late)),
+            (1, defended(1, DefenseScheme::Fence, PinMode::Early)),
+        ];
+        failures += check_pass("check", &parallel, &cfgs);
+        failures += check_pass("check", &spec, &cfgs[2..]);
+        failures += diff_pass("diff", &parallel, CORES);
+        failures += diff_pass("diff", &spec, 1);
+        failures += fault_pass("fault", &parallel[..4], &[seed, 1, 2, 3], delay);
+        println!(
+            "pl-verify: {} ({} failure(s))",
+            if failures == 0 { "OK" } else { "FAILED" },
+            failures
+        );
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}

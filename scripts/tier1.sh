@@ -15,4 +15,10 @@ cargo clippy --workspace --all-targets -- -W clippy::perf
 cargo fmt --check
 # Kernel-throughput smoke: the bench binary must still run end to end.
 cargo run --release -q -p pl-bench --bin kernel_bench -- --smoke --out /dev/null
+# Runtime invariant checker + differential oracle + fault injection.
+cargo run --release -q -p pl-verify -- --smoke
+# Invariant-heavy sweeps once more at release speed with debug
+# assertions live (the `checked` profile), so internal debug_assert!s
+# in the pipeline/protocol run against the full scheme matrix.
+cargo test -q --profile checked --test protocol_invariants --test verify_checker
 echo "tier-1: OK"

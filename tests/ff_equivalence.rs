@@ -6,7 +6,7 @@
 //! cycles.
 
 use pinned_loads::base::{
-    CoreId, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, TraceConfig,
+    CoreId, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, TraceConfig, VerifyConfig,
 };
 use pinned_loads::isa::{BranchCond, ProgramBuilder, Reg};
 use pinned_loads::machine::{Machine, RunError, RunResult};
@@ -120,6 +120,79 @@ fn fast_forward_preserves_event_traces() {
     let (fast_cycles, fast_trace) = run(true);
     assert_eq!(slow_cycles, fast_cycles);
     assert_eq!(slow_trace, fast_trace, "trace logs diverged");
+}
+
+/// The invariant checker must be as invisible as fast-forward: a run
+/// with `verify.enabled` and an attached observer is bit-identical to
+/// the same run without it — same cycles, same retirement, same
+/// counters and histograms (the checker only *observes*; it never
+/// perturbs scheduling or stats).
+#[test]
+fn invariant_checker_is_bit_invisible() {
+    let suite = parallel_suite(4, Scale::Test);
+    let pw = &suite[2]; // prod_cons: heavy Defer/Abort + starred traffic
+    for cfg_base in configs() {
+        let mut cfg = MachineConfig::default_multi_core(4);
+        cfg.defense = cfg_base.defense;
+        cfg.pinned_loads = cfg_base.pinned_loads.clone();
+        let off = fingerprint(cfg.clone(), pw, true);
+        let on = {
+            let mut cfg = cfg.clone();
+            cfg.fast_forward = true;
+            cfg.verify.enabled = true;
+            let mut m = Machine::new(&cfg).unwrap();
+            pw.install(&mut m);
+            m.set_check_observer(Box::new(pl_verify::Checker::new()));
+            let res = m
+                .run(500_000_000)
+                .unwrap_or_else(|e| panic!("{} under {}: {e}", pw.name, cfg.label()));
+            (res.cycles, res.retired_per_core, res.stats.to_string())
+        };
+        assert_eq!(
+            off,
+            on,
+            "`{}` diverged under {} with the checker attached",
+            pw.name,
+            cfg.label()
+        );
+    }
+}
+
+/// Checker-on runs also preserve event traces exactly (trace and check
+/// sinks are independent observers of the same schedule).
+#[test]
+fn invariant_checker_preserves_event_traces() {
+    let mut cfg = MachineConfig::default_single_core();
+    cfg.defense = DefenseScheme::Dom;
+    cfg.trace = TraceConfig::enabled();
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    b.addi(r(1), Reg::ZERO, 0x4000);
+    b.addi(r(2), Reg::ZERO, 32);
+    b.bind(top).unwrap();
+    b.load(r(3), r(1), 0);
+    b.addi(r(1), r(1), 0x1000);
+    b.addi(r(2), r(2), -1);
+    b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+    let program = b.build().unwrap();
+
+    let run = |verify: bool| {
+        let mut cfg = cfg.clone();
+        if verify {
+            cfg.verify = VerifyConfig::enabled();
+        }
+        let mut m = Machine::new(&cfg).unwrap();
+        m.load_program(CoreId(0), program.clone());
+        if verify {
+            m.set_check_observer(Box::new(pl_verify::Checker::new()));
+        }
+        let res = m.run(10_000_000).unwrap();
+        (res.cycles, res.trace.expect("tracing enabled"))
+    };
+    let (off_cycles, off_trace) = run(false);
+    let (on_cycles, on_trace) = run(true);
+    assert_eq!(off_cycles, on_cycles);
+    assert_eq!(off_trace, on_trace, "trace logs diverged");
 }
 
 #[test]

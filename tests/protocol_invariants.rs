@@ -1,21 +1,58 @@
 //! Cross-component invariants of the Pinned Loads protocol, checked on
-//! contended multicore runs.
+//! contended multicore runs across the full scheme × pin-mode matrix
+//! (plus a single-core configuration where the starvation machinery
+//! must stay completely idle).
+//!
+//! All counter lookups use the strict [`Stats::get_known`], so a renamed
+//! or never-registered counter fails the test instead of silently
+//! reading zero.
 
-use pinned_loads::base::{CoreId, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig};
+use pinned_loads::base::{CoreId, DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, Stats};
 use pinned_loads::machine::Machine;
-use pinned_loads::workloads::{parallel_suite, Scale};
+use pinned_loads::workloads::{parallel_suite, spec_suite, Scale};
 
-fn run_suite_with(
-    mode: PinMode,
-    scheme: DefenseScheme,
-) -> Vec<(String, pinned_loads::base::Stats)> {
+/// Every scheme × pin-mode combination that validates, over `cores`
+/// cores.
+fn matrix(cores: usize) -> Vec<MachineConfig> {
+    let mut out = Vec::new();
+    for scheme in [
+        DefenseScheme::Unsafe,
+        DefenseScheme::Fence,
+        DefenseScheme::Dom,
+        DefenseScheme::Stt,
+        DefenseScheme::Invisible,
+    ] {
+        for mode in [PinMode::Off, PinMode::Late, PinMode::Early] {
+            let mut cfg = if cores == 1 {
+                MachineConfig::default_single_core()
+            } else {
+                MachineConfig::default_multi_core(cores)
+            };
+            cfg.defense = scheme;
+            cfg.pinned_loads = PinnedLoadsConfig::with_mode(mode);
+            if cfg.validate().is_ok() {
+                out.push(cfg);
+            }
+        }
+    }
+    out
+}
+
+fn run_suite_with(mode: PinMode, scheme: DefenseScheme) -> Vec<(String, Stats)> {
     let mut cfg = MachineConfig::default_multi_core(4);
     cfg.defense = scheme;
     cfg.pinned_loads = PinnedLoadsConfig::with_mode(mode);
+    run_parallel_kernels(&cfg, None)
+}
+
+/// Runs the parallel suite (optionally restricted to `names`) under
+/// `cfg` and returns each kernel's stats.
+fn run_parallel_kernels(cfg: &MachineConfig, names: Option<&[&str]>) -> Vec<(String, Stats)> {
     parallel_suite(4, Scale::Test)
         .into_iter()
+        .filter(|w| names.is_none_or(|ns| ns.contains(&w.name.as_str())))
         .map(|w| {
-            let mut m = Machine::new(&cfg).unwrap();
+            let mut m = Machine::new(cfg).unwrap();
             w.install(&mut m);
             let res = m
                 .run(500_000_000)
@@ -25,38 +62,31 @@ fn run_suite_with(
         .collect()
 }
 
-/// Every aborted write at the directory corresponds to a writer-side
-/// retry, and Clear broadcasts only follow starred transactions.
-#[test]
-fn defer_abort_and_clear_bookkeeping_balances() {
-    for (name, stats) in run_suite_with(PinMode::Early, DefenseScheme::Fence) {
-        let aborts = stats.get("llc.aborts");
-        let retries = stats.get("wb.writes_retried");
-        assert_eq!(
-            aborts, retries,
-            "`{name}`: every abort must come from a deferred write retry"
-        );
-        let stars = stats.get("llc.getx_star");
-        let clears = stats.get("llc.clears");
+/// The bookkeeping relations that must hold under *every* valid scheme
+/// × pin-mode combination: aborts pair with writer retries, Clears only
+/// follow starred writes, retries imply defers, and with pinning off
+/// the entire starvation machinery stays untouched.
+fn assert_bookkeeping(label: &str, mode: PinMode, name: &str, stats: &Stats) {
+    let aborts = stats.get_known("llc.aborts");
+    let retries = stats.get_known("wb.writes_retried");
+    assert_eq!(
+        aborts, retries,
+        "`{name}` under {label}: every abort must come from a deferred write retry"
+    );
+    let stars = stats.get_known("llc.getx_star");
+    let clears = stats.get_known("llc.clears");
+    assert!(
+        clears <= stars,
+        "`{name}` under {label}: a Clear broadcast requires a successful starred \
+         write (clears={clears}, stars={stars})"
+    );
+    if retries > 0 {
         assert!(
-            clears <= stars,
-            "`{name}`: a Clear broadcast requires a successful starred write \
-             (clears={clears}, stars={stars})"
+            stats.get_known("l1.invs_deferred") > 0,
+            "`{name}` under {label}: retried writes imply some sharer deferred"
         );
-        if retries > 0 {
-            assert!(
-                stats.get("l1.invs_deferred") > 0,
-                "`{name}`: retried writes imply some sharer deferred"
-            );
-        }
     }
-}
-
-/// Without pinning there must be no defers, no starred requests, and no
-/// CPT activity at all.
-#[test]
-fn baseline_never_uses_pinning_machinery() {
-    for (name, stats) in run_suite_with(PinMode::Off, DefenseScheme::Fence) {
+    if mode == PinMode::Off {
         for key in [
             "pin.pins",
             "l1.invs_deferred",
@@ -67,11 +97,79 @@ fn baseline_never_uses_pinning_machinery() {
             "llc.evictions_retried",
         ] {
             assert_eq!(
-                stats.get(key),
+                stats.get_known(key),
                 0,
-                "`{name}`: unexpected {key} without pinning"
+                "`{name}` under {label}: unexpected {key} without pinning"
             );
         }
+    }
+}
+
+/// Contended kernels that exercise Defer/Abort and the starred retry
+/// under Early Pinning, keeping the full-matrix sweep affordable.
+const CONTENDED: &[&str] = &["prod_cons", "false_sharing", "migratory"];
+
+/// The bookkeeping relations hold across the full scheme × mode matrix.
+#[test]
+fn bookkeeping_balances_across_scheme_matrix() {
+    for cfg in matrix(4) {
+        for (name, stats) in run_parallel_kernels(&cfg, Some(CONTENDED)) {
+            assert_bookkeeping(&cfg.label(), cfg.pinned_loads.mode, &name, &stats);
+        }
+    }
+}
+
+/// On a single core there are no sharers: the starvation protocol
+/// (Inv*, Defer/Abort, starred retries, Clear broadcasts) must never
+/// fire, under any scheme × mode combination.
+#[test]
+fn single_core_never_uses_starvation_protocol() {
+    for cfg in matrix(1) {
+        for w in spec_suite(Scale::Test)
+            .into_iter()
+            .filter(|w| ["stream", "gather", "write_burst"].contains(&w.name.as_str()))
+        {
+            let mut m = Machine::new(&cfg).unwrap();
+            w.install(&mut m);
+            let res = m
+                .run(500_000_000)
+                .unwrap_or_else(|e| panic!("`{}` under {}: {e}", w.name, cfg.label()));
+            for key in [
+                "llc.getx_star",
+                "llc.clears",
+                "llc.aborts",
+                "pin.inv_stars",
+                "l1.invs_deferred",
+                "wb.writes_retried",
+            ] {
+                assert_eq!(
+                    res.stats.get_known(key),
+                    0,
+                    "`{}` under {}: {key} fired with one core",
+                    w.name,
+                    cfg.label()
+                );
+            }
+        }
+    }
+}
+
+/// Every aborted write at the directory corresponds to a writer-side
+/// retry, across the whole parallel suite (deep sweep of the single
+/// combination the old test pinned).
+#[test]
+fn defer_abort_and_clear_bookkeeping_balances() {
+    for (name, stats) in run_suite_with(PinMode::Early, DefenseScheme::Fence) {
+        assert_bookkeeping("Fence+EP", PinMode::Early, &name, &stats);
+    }
+}
+
+/// Without pinning there must be no defers, no starred requests, and no
+/// CPT activity at all.
+#[test]
+fn baseline_never_uses_pinning_machinery() {
+    for (name, stats) in run_suite_with(PinMode::Off, DefenseScheme::Fence) {
+        assert_bookkeeping("Fence+Comp", PinMode::Off, &name, &stats);
     }
 }
 
@@ -83,11 +181,11 @@ fn baseline_never_uses_pinning_machinery() {
 fn pinning_reduces_mcv_squashes() {
     let base: u64 = run_suite_with(PinMode::Off, DefenseScheme::Dom)
         .iter()
-        .map(|(_, s)| s.get("squash.mcv_inv"))
+        .map(|(_, s)| s.get_known("squash.mcv_inv"))
         .sum();
     let pinned: u64 = run_suite_with(PinMode::Early, DefenseScheme::Dom)
         .iter()
-        .map(|(_, s)| s.get("squash.mcv_inv"))
+        .map(|(_, s)| s.get_known("squash.mcv_inv"))
         .sum();
     assert!(
         pinned <= base.max(8),
@@ -100,8 +198,8 @@ fn pinning_reduces_mcv_squashes() {
 #[test]
 fn cpt_rarely_overflows() {
     for (name, stats) in run_suite_with(PinMode::Early, DefenseScheme::Fence) {
-        let attempts = stats.get("cpt.insert_attempts");
-        let overflows = stats.get("cpt.overflows");
+        let attempts = stats.get_known("cpt.insert_attempts");
+        let overflows = stats.get_known("cpt.overflows");
         if attempts > 0 {
             let rate = overflows as f64 / attempts as f64;
             assert!(

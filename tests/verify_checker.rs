@@ -1,0 +1,199 @@
+//! Integration tests for `pl-verify`: the live invariant checker, the
+//! cross-scheme differential oracle, seeded fault injection, and the
+//! mutation tests proving the checker actually catches broken
+//! invariants (a checker that never fires is worse than none).
+
+use pinned_loads::base::{DefenseScheme, MachineConfig, Mutation, PinMode, PinnedLoadsConfig};
+use pinned_loads::workloads::{parallel_suite, spec_suite, Scale};
+use pl_test::{u64_in, Config};
+use pl_verify::{differential_check, faulted, run_checked, scheme_configs};
+
+const MAX_CYCLES: u64 = 500_000_000;
+
+fn ep_cfg(cores: usize) -> MachineConfig {
+    let mut cfg = if cores == 1 {
+        MachineConfig::default_single_core()
+    } else {
+        MachineConfig::default_multi_core(cores)
+    };
+    cfg.defense = DefenseScheme::Fence;
+    cfg.pinned_loads = PinnedLoadsConfig::with_mode(PinMode::Early);
+    cfg
+}
+
+/// The live checker finds no violations on contended kernels under any
+/// of the six evaluated schemes.
+#[test]
+fn checker_holds_across_schemes_on_contended_kernels() {
+    let kernels = ["prod_cons", "false_sharing", "migratory"];
+    for cfg in scheme_configs(4) {
+        for w in parallel_suite(4, Scale::Test)
+            .iter()
+            .filter(|w| kernels.contains(&w.name.as_str()))
+        {
+            let (_, report) = run_checked(&cfg, w, MAX_CYCLES)
+                .unwrap_or_else(|e| panic!("`{}` under {}: {e}", w.name, cfg.label()));
+            assert!(report.ok(), "`{}` under {}: {report}", w.name, cfg.label());
+            assert!(report.events > 0 || cfg.pinned_loads.mode == PinMode::Off);
+        }
+    }
+}
+
+/// The checker also holds on a single-core machine, where snapshots
+/// still exercise SWMR and the pin model but the starvation protocol
+/// stays idle.
+#[test]
+fn checker_holds_on_single_core() {
+    for cfg in scheme_configs(1) {
+        for w in spec_suite(Scale::Test).iter().take(3) {
+            let (_, report) = run_checked(&cfg, w, MAX_CYCLES)
+                .unwrap_or_else(|e| panic!("`{}` under {}: {e}", w.name, cfg.label()));
+            assert!(report.ok(), "`{}` under {}: {report}", w.name, cfg.label());
+        }
+    }
+}
+
+/// Defenses may change timing, never results: every parallel kernel
+/// commits bit-identical architectural state under all six schemes.
+#[test]
+fn differential_oracle_passes_parallel_suite() {
+    let cfgs = scheme_configs(4);
+    for w in parallel_suite(4, Scale::Test) {
+        let report = differential_check(&w, &cfgs, MAX_CYCLES)
+            .unwrap_or_else(|e| panic!("`{}`: {e}", w.name));
+        assert!(report.ok(), "{report}");
+    }
+}
+
+/// Single-core runs additionally compare the full register file and the
+/// retired-load value stream.
+#[test]
+fn differential_oracle_passes_spec_kernels() {
+    let cfgs = scheme_configs(1);
+    for w in spec_suite(Scale::Test).iter().take(4) {
+        let report = differential_check(w, &cfgs, MAX_CYCLES)
+            .unwrap_or_else(|e| panic!("`{}`: {e}", w.name));
+        assert!(report.ok(), "{report}");
+    }
+}
+
+/// Seeded fault injection: delaying directory-bound NoC messages is
+/// protocol-legal, so under any seed the checker must stay quiet and
+/// the architectural results must match the unperturbed run. Driven by
+/// the `pl-test` generators; failures print a `PL_TEST_SEED` for exact
+/// replay.
+#[test]
+fn fault_injection_preserves_invariants_and_results() {
+    let suite = parallel_suite(4, Scale::Test);
+    let w = suite
+        .iter()
+        .find(|w| w.name == "prod_cons")
+        .expect("kernel exists");
+    let (_, base_report) = run_checked(&ep_cfg(4), w, MAX_CYCLES).unwrap();
+    assert!(base_report.ok(), "{base_report}");
+    pl_test::check_with(
+        &Config::with_cases(6),
+        "faulted_delivery_is_invisible",
+        &(u64_in(0..u64::MAX), u64_in(1..5)),
+        |&(seed, delay)| {
+            let cfg = faulted(ep_cfg(4), seed, delay);
+            let (_, report) = run_checked(&cfg, w, MAX_CYCLES)
+                .map_err(|e| pl_test::PropFail::new(format!("run failed: {e}")))?;
+            pl_test::prop_assert!(report.ok(), "seed {seed:#x} delay {delay}: {report}");
+            // Timing (cycles, spin iterations) may shift; committed
+            // architectural state may not.
+            let diff = differential_check(w, &[ep_cfg(4), cfg], MAX_CYCLES)
+                .map_err(|e| pl_test::PropFail::new(format!("diff failed: {e}")))?;
+            pl_test::prop_assert!(diff.ok(), "seed {seed:#x} delay {delay}: {diff}");
+            Ok(())
+        },
+    );
+}
+
+/// Mutation test: a directory that silently drops a Clear broadcast
+/// must be caught via the starred-transaction/Clear pairing invariant.
+/// The unmutated run proves the test is not vacuous (starred commits
+/// actually happen), then the mutated run must produce the violation.
+#[test]
+fn checker_catches_dropped_clear_broadcast() {
+    let suite = parallel_suite(4, Scale::Test);
+    let w = suite
+        .iter()
+        .find(|w| w.name == "prod_cons")
+        .expect("kernel exists");
+
+    let (res, report) = run_checked(&ep_cfg(4), w, MAX_CYCLES).unwrap();
+    assert!(report.ok(), "clean run must be clean: {report}");
+    assert!(
+        res.stats.get_known("llc.getx_star") > 0,
+        "vacuous: no starred writes means DropClear has nothing to drop"
+    );
+
+    let mut cfg = ep_cfg(4);
+    cfg.verify.enabled = true;
+    cfg.verify.mutation = Mutation::DropClear;
+    let (res, report) = run_checked(&cfg, w, MAX_CYCLES).unwrap();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "starred-clear-pairing"),
+        "DropClear went undetected: {report}"
+    );
+    // The mutated directory really did skip the broadcast.
+    assert!(
+        res.stats.get_known("llc.getx_star") > res.stats.get_known("llc.clears"),
+        "mutation did not suppress any Clear"
+    );
+}
+
+/// Mutation test: a core that invalidates a pinned line instead of
+/// deferring must be caught via the pinned-line-invalidated invariant
+/// (Section 3.2: pinned lines survive until unpin).
+#[test]
+fn checker_catches_ignored_pin_on_invalidation() {
+    let suite = parallel_suite(4, Scale::Test);
+    let w = suite
+        .iter()
+        .find(|w| w.name == "prod_cons")
+        .expect("kernel exists");
+
+    let (res, report) = run_checked(&ep_cfg(4), w, MAX_CYCLES).unwrap();
+    assert!(report.ok(), "clean run must be clean: {report}");
+    assert!(
+        res.stats.get_known("l1.invs_deferred") > 0,
+        "vacuous: no Inv ever hit a pinned line, the mutation cannot fire"
+    );
+
+    let mut cfg = ep_cfg(4);
+    cfg.verify.enabled = true;
+    cfg.verify.mutation = Mutation::IgnorePinOnInv;
+    let (_, report) = run_checked(&cfg, w, MAX_CYCLES).unwrap();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "pinned-line-invalidated"),
+        "IgnorePinOnInv went undetected: {report}"
+    );
+}
+
+/// The strict stats lookup itself: a protocol counter that never fired
+/// is still known (pre-registered by its component), while a typo'd
+/// name panics instead of silently reading zero.
+#[test]
+fn strict_stats_lookup_rejects_unknown_names() {
+    let suite = parallel_suite(4, Scale::Test);
+    let w = &suite[0];
+    let mut cfg = MachineConfig::default_multi_core(4);
+    cfg.defense = DefenseScheme::Unsafe;
+    let mut m = pinned_loads::machine::Machine::new(&cfg).unwrap();
+    w.install(&mut m);
+    let res = m.run(MAX_CYCLES).unwrap();
+    // Known-but-zero: the unsafe machine never defers an invalidation.
+    assert_eq!(res.stats.get_known("l1.invs_deferred"), 0);
+    assert_eq!(res.stats.try_get("llc.getx_staar"), None);
+    let stats = res.stats;
+    let panic = std::panic::catch_unwind(move || stats.get_known("llc.getx_staar"));
+    assert!(panic.is_err(), "typo'd counter name must panic");
+}
