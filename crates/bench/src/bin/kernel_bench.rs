@@ -15,7 +15,17 @@
 //!
 //! Run with `cargo run --release -p pl-bench --bin kernel_bench
 //! [--scale test|bench|full] [--cores N] [--reps N] [--smoke]
+//! [--baseline results/BENCH_kernel_baseline.json]
 //! [--out results/BENCH_kernel.json]`.
+//!
+//! `--baseline` turns the run into a throughput-regression guard: after
+//! measuring, every `par/*` job present in both this run and the given
+//! baseline report is compared, and the process exits 1 if any drops
+//! more than 20% below its baseline kc/s. Tier-1 points it at the
+//! committed pre-event-driven baseline, making the guard a hard floor:
+//! shared-machine noise cannot trip it (current throughput is several
+//! multiples of the floor), while any change that leaves the multicore
+//! path slower than the old tick-everything loop fails the gate.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -155,11 +165,82 @@ fn write_json(path: &PathBuf, scale: Scale, reps: usize, results: &[JobResult]) 
     println!("\nwrote {}", path.display());
 }
 
+/// Reads `(job name, kc/s)` pairs back out of a report this binary
+/// wrote earlier. Hand-rolled to match the hand-rolled writer: each job
+/// is one line carrying both a `"name"` and a `"kilocycles_per_sec"`
+/// field (the `"total"` line has no name and is skipped).
+fn read_baseline(path: &PathBuf) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
+    let mut jobs = Vec::new();
+    for line in text.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_at + 9..];
+        let Some(name_end) = rest.find('"') else {
+            continue;
+        };
+        let Some(kcps_at) = line.find("\"kilocycles_per_sec\": ") else {
+            continue;
+        };
+        let num = line[kcps_at + 22..]
+            .trim_end()
+            .trim_end_matches(['}', ','])
+            .trim();
+        if let Ok(kcps) = num.parse::<f64>() {
+            jobs.push((rest[..name_end].to_string(), kcps));
+        }
+    }
+    jobs
+}
+
+/// The `--baseline` regression guard: fails (exit 1) if any `par/*` job
+/// measured in this run fell more than 20% below the same-named job in
+/// the baseline report.
+fn guard_against(baseline_path: &PathBuf, results: &[JobResult]) {
+    let baseline = read_baseline(baseline_path);
+    assert!(
+        !baseline.is_empty(),
+        "baseline {} contains no jobs",
+        baseline_path.display()
+    );
+    let mut checked = 0;
+    let mut failed = false;
+    for r in results.iter().filter(|r| r.name.starts_with("par/")) {
+        let Some((_, base_kcps)) = baseline.iter().find(|(n, _)| *n == r.name) else {
+            continue;
+        };
+        checked += 1;
+        let floor = base_kcps * 0.8;
+        let got = r.kilocycles_per_sec();
+        if got < floor {
+            eprintln!(
+                "THROUGHPUT REGRESSION: {} at {got:.0} kc/s is more than 20% below \
+                 the committed baseline {base_kcps:.0} kc/s ({})",
+                r.name,
+                baseline_path.display()
+            );
+            failed = true;
+        }
+    }
+    assert!(
+        checked > 0,
+        "baseline {} shares no par/* jobs with this run; guard checked nothing",
+        baseline_path.display()
+    );
+    if failed {
+        std::process::exit(1);
+    }
+    println!("throughput guard: {checked} par job(s) within 20% of baseline — OK");
+}
+
 fn main() {
     let mut scale = Scale::Test;
     let mut cores = 8usize;
     let mut reps = 3usize;
     let mut smoke = false;
+    let mut baseline: Option<PathBuf> = None;
     let mut out = PathBuf::from("results/BENCH_kernel.json");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -196,6 +277,13 @@ fn main() {
                     });
             }
             "--smoke" => smoke = true,
+            "--baseline" => {
+                i += 1;
+                baseline = Some(PathBuf::from(args.get(i).unwrap_or_else(|| {
+                    eprintln!("--baseline requires a path");
+                    std::process::exit(2);
+                })));
+            }
             "--out" => {
                 i += 1;
                 out = PathBuf::from(args.get(i).unwrap_or_else(|| {
@@ -206,7 +294,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown flag {other}; supported: --scale test|bench|full, \
-                     --cores N, --reps N, --smoke, --out PATH"
+                     --cores N, --reps N, --smoke, --baseline PATH, --out PATH"
                 );
                 std::process::exit(2);
             }
@@ -224,11 +312,20 @@ fn main() {
     let mut spec = spec_suite(scale);
     let mut results = Vec::new();
     if smoke {
-        // CI smoke: one workload, one configuration, one repetition — just
-        // proves the binary runs end to end and writes a parseable report.
+        // CI smoke: one workload and one configuration per suite, one
+        // repetition — proves both the single-core and the multicore
+        // (event-calendar + directory + NoC) paths run end to end and
+        // write a parseable report, and gives `--baseline` a par job
+        // to guard.
         spec.truncate(1);
         for (name, cfg, mask) in suite_jobs("spec", &single).into_iter().take(1) {
             results.push(time_job(&name, &cfg, mask, &spec, 1));
+        }
+        let multi = MachineConfig::default_multi_core(cores);
+        let mut par = parallel_suite(cores, scale);
+        par.truncate(1);
+        for (name, cfg, mask) in suite_jobs("par", &multi).into_iter().take(1) {
+            results.push(time_job(&name, &cfg, mask, &par, 1));
         }
     } else {
         for (name, cfg, mask) in suite_jobs("spec", &single) {
@@ -249,4 +346,7 @@ fn main() {
     }
 
     write_json(&out, scale, if smoke { 1 } else { reps }, &results);
+    if let Some(baseline_path) = baseline {
+        guard_against(&baseline_path, &results);
+    }
 }

@@ -14,7 +14,8 @@
 //! coherence messages: the machine delivers inbound messages via
 //! [`Core::handle_msg`] and drains [`Core::drain_outbox`] into the NoC.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 use pl_base::verify::{VP_ALIAS, VP_CTRL, VP_EXCEPTION};
@@ -88,7 +89,7 @@ struct AtomicTxn {
 
 /// Per-cycle aggregates over the ROB used to evaluate VP conditions in
 /// O(1) per load.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct Aggregates {
     oldest_unresolved_ctrl: Option<SeqNum>,
     oldest_unknown_store_addr: Option<SeqNum>,
@@ -246,7 +247,69 @@ pub struct Core {
     scratch_installs: Vec<PendingInstall>,
     scratch_lines: Vec<LineAddr>,
     scratch_seqs: Vec<SeqNum>,
+    scratch_due: Vec<(Cycle, SeqNum)>,
+
+    /// Pending `Executing` completions as a `(done_at, seq)` min-heap,
+    /// pushed on every transition into `Executing`. May hold stale
+    /// entries (squashed, or re-issued after a squash reused the seq);
+    /// `complete_executing` drops anything that no longer matches a
+    /// live `Executing { done_at }` entry exactly.
+    exec_heap: BinaryHeap<Reverse<(Cycle, SeqNum)>>,
+    /// Seq-ascending indices over the ROB backing O(1) [`Core::aggregates`]:
+    /// every control / fence / memory / store instruction currently in
+    /// flight, minus a lazily-dropped resolved prefix. Pushed at dispatch,
+    /// back-purged on squash; a front entry is popped once its condition
+    /// (completion, address resolution) permanently clears.
+    agg_ctrl: VecDeque<SeqNum>,
+    agg_fence: VecDeque<SeqNum>,
+    agg_mem: VecDeque<SeqNum>,
+    agg_store: VecDeque<SeqNum>,
+    /// One byte per ROB entry, kept in lockstep with `rob` (pushed at
+    /// dispatch, popped at retire/squash), so the non-memory issue pass
+    /// can find its candidates without touching the ~50x larger
+    /// `DynInst` entries. Values: [`ISSUE_SKIP`] — the pass will never
+    /// act on the entry again (left `Dispatched`, or `issue_done`);
+    /// [`ISSUE_CHECK`] — re-examine every cycle (unexamined, woken,
+    /// head-gated, or blocked with no identifiable producer);
+    /// [`ISSUE_PARKED`] — blocked on `issue_blocked_on` and linked into
+    /// that producer's waiter chain, which flips the flag back to
+    /// [`ISSUE_CHECK`] when the producer completes.
+    issue_flags: VecDeque<u8>,
+    /// Seq-sorted queue of exactly the [`ISSUE_CHECK`] entries: the
+    /// candidates the non-memory issue pass visits, in program order.
+    /// Maintained incrementally at every flag transition (dispatch and
+    /// wake insert; the pass itself drops entries it demotes; squash
+    /// back-purges), so the pass never scans the ROB or even the flag
+    /// mirror — its cost is proportional to the handful of entries that
+    /// can actually make progress.
+    issue_queue: VecDeque<SeqNum>,
+    /// One byte per LQ entry, kept in lockstep with `lq` (pushed at
+    /// dispatch, popped at retire, truncated with the squash `retain`),
+    /// marking entries the load-issue pass must examine. Demoted to
+    /// [`LQ_SKIP`] lazily by the scan itself when it re-confirms a
+    /// skip condition whose every exit is hooked (no address yet, fill
+    /// in flight, or performed and not awaiting exposure); promoted
+    /// back to [`LQ_VISIT`] at those exits (address generation, a fill
+    /// arriving into a store-data wait). Entries that must re-poll
+    /// every cycle — VP-blocked, fence-blocked, store-data waits, or
+    /// exposure-eligible invisible loads — simply stay `LQ_VISIT`.
+    lq_flags: VecDeque<u8>,
 }
+
+/// `lq_flags` value: the load-issue pass would provably no-op (and emit
+/// no stall statistics) on this entry; skip without reading it.
+const LQ_SKIP: u8 = 0;
+/// `lq_flags` value: the load-issue pass must examine this entry.
+const LQ_VISIT: u8 = 1;
+
+/// `issue_flags` value: entry needs no further attention from the
+/// non-memory issue pass.
+const ISSUE_SKIP: u8 = 0;
+/// `issue_flags` value: entry must be examined every cycle.
+const ISSUE_CHECK: u8 = 1;
+/// `issue_flags` value: entry waits on `issue_blocked_on`; examine only
+/// after a completion.
+const ISSUE_PARKED: u8 = 2;
 
 impl Core {
     /// Creates a core running `program` under the given configuration.
@@ -309,6 +372,15 @@ impl Core {
             scratch_installs: Vec::new(),
             scratch_lines: Vec::new(),
             scratch_seqs: Vec::new(),
+            scratch_due: Vec::new(),
+            exec_heap: BinaryHeap::with_capacity(cfg.core.rob_entries),
+            agg_ctrl: VecDeque::with_capacity(cfg.core.rob_entries),
+            agg_fence: VecDeque::with_capacity(cfg.core.rob_entries),
+            agg_mem: VecDeque::with_capacity(cfg.core.rob_entries),
+            agg_store: VecDeque::with_capacity(cfg.core.rob_entries),
+            issue_flags: VecDeque::with_capacity(cfg.core.rob_entries),
+            issue_queue: VecDeque::with_capacity(cfg.core.rob_entries),
+            lq_flags: VecDeque::with_capacity(cfg.core.lq_entries),
         }
     }
 
@@ -1109,6 +1181,19 @@ impl Core {
         active
     }
 
+    /// Re-synchronizes the tracers' clock without ticking. The naive run
+    /// loop ticks every core every cycle, so a message handled at cycle
+    /// `c` stamps trace events with the clock the previous tick left
+    /// (`c - 1`); the event-driven loop calls this when waking a parked
+    /// core so the stamps match exactly.
+    pub fn sync_trace_now(&mut self, now: Cycle) {
+        if self.tracer.enabled() {
+            self.tracer.set_now(now);
+            self.l1.tracer_mut().set_now(now);
+            self.governor.tracer_mut().set_now(now);
+        }
+    }
+
     /// The earliest future cycle at which this core has self-scheduled
     /// work: execution completions, retry timers, the fetch-stall window.
     /// `None` means the core stays quiet until an inbound message (or
@@ -1123,10 +1208,11 @@ impl Core {
                 _ => c,
             });
         };
-        for e in &self.rob {
-            if let Stage::Executing { done_at } = e.stage {
-                consider(done_at);
-            }
+        // Min over pending completions. Stale heap entries only make the
+        // bound conservatively early, which is allowed; every live
+        // `Executing` entry is present, so it is never late.
+        if let Some(&Reverse((done_at, _))) = self.exec_heap.peek() {
+            consider(done_at);
         }
         for p in &self.pending_installs {
             consider(p.retry_at);
@@ -1294,6 +1380,7 @@ impl Core {
                     }
                 }
                 self.lq.remove(0);
+                self.lq_flags.pop_front();
             }
             match inst {
                 Inst::Call { .. } => self.arch_call_stack.push(pc.next()),
@@ -1314,6 +1401,7 @@ impl Core {
             }
             self.taint.clear(seq);
             self.rob.pop_front();
+            self.issue_flags.pop_front();
             self.retired += 1;
             self.tracer.emit(EventKind::Retire {
                 seq,
@@ -1491,6 +1579,7 @@ impl Core {
         let head = self.rob.front_mut().expect("head still present");
         head.result = Some(old);
         head.stage = Stage::Completed;
+        self.wake_waiters(seq);
         self.atomic = AtomicTxn::default();
         self.stats.incr_id(self.ids.atomics);
         self.check.emit(CheckEvent::WriteFinished {
@@ -1666,7 +1755,70 @@ impl Core {
 
     // ---- VP status ----
 
-    fn aggregates(&self) -> Aggregates {
+    fn aggregates(&mut self) -> Aggregates {
+        // Each term is the oldest still-unresolved instruction of its
+        // class. The `agg_*` deques hold the seq-ascending class members;
+        // a front entry is popped once its condition clears, which is
+        // permanent (completion and address resolution never revert for
+        // a given dynamic instruction, and squashes purge the deques
+        // eagerly), so the surviving front IS the oldest match.
+        while let Some(&seq) = self.agg_ctrl.front() {
+            match self.rob_entry(seq) {
+                Some(e) if !e.completed() => break,
+                _ => self.agg_ctrl.pop_front(),
+            };
+        }
+        while let Some(&seq) = self.agg_fence.front() {
+            match self.rob_entry(seq) {
+                Some(e) if !e.completed() => break,
+                _ => self.agg_fence.pop_front(),
+            };
+        }
+        while let Some(&seq) = self.agg_mem.front() {
+            if !self.agg_addr_known(seq) {
+                break;
+            }
+            self.agg_mem.pop_front();
+        }
+        while let Some(&seq) = self.agg_store.front() {
+            if !self.agg_addr_known(seq) {
+                break;
+            }
+            self.agg_store.pop_front();
+        }
+        let a = Aggregates {
+            oldest_unresolved_ctrl: self.agg_ctrl.front().copied(),
+            oldest_active_fence: self.agg_fence.front().copied(),
+            oldest_unknown_mem_addr: self.agg_mem.front().copied(),
+            oldest_unknown_store_addr: self.agg_store.front().copied(),
+        };
+        debug_assert_eq!(a, self.aggregates_reference());
+        a
+    }
+
+    /// Whether the memory instruction `seq` may leave the `agg_mem` /
+    /// `agg_store` deques: retired, or its address is resolved. Returning
+    /// `false` keeps it (matching the reference scan, which treats a
+    /// mem instruction with a missing queue entry as address-unknown).
+    fn agg_addr_known(&self, seq: SeqNum) -> bool {
+        let Some(e) = self.rob_entry(seq) else {
+            return true; // retired
+        };
+        if e.inst.is_atomic() {
+            e.completed()
+        } else if e.inst.is_load() {
+            self.lq_index(seq)
+                .is_some_and(|i| self.lq[i].addr.is_some())
+        } else {
+            self.sq_index(seq)
+                .is_some_and(|i| self.sq[i].addr.is_some())
+        }
+    }
+
+    /// The original full-ROB scan, kept as the debug-build oracle for the
+    /// deque-backed [`Core::aggregates`] (via `debug_assert_eq!`; release
+    /// builds never call it).
+    fn aggregates_reference(&self) -> Aggregates {
         let mut a = Aggregates::default();
         for e in &self.rob {
             if e.inst.is_control() && !e.completed() && a.oldest_unresolved_ctrl.is_none() {
@@ -1847,24 +1999,46 @@ impl Core {
     // ---- execute completion ----
 
     fn complete_executing(&mut self, now: Cycle, _image: &mut Memory) -> bool {
+        if self.exec_heap.peek().is_none_or(|&Reverse((d, _))| d > now) {
+            return false;
+        }
         let mut active = false;
         let mut resolutions = std::mem::take(&mut self.scratch_seqs);
         resolutions.clear();
-        {
-            let tracer = &mut self.tracer;
-            for e in self.rob.iter_mut() {
-                if let Stage::Executing { done_at } = e.stage {
-                    if done_at <= now {
-                        e.stage = Stage::Completed;
-                        active = true;
-                        tracer.emit(EventKind::Complete { seq: e.seq });
-                        if e.inst.is_control() || matches!(e.inst, Inst::Store { .. }) {
-                            resolutions.push(e.seq);
-                        }
-                    }
-                }
+        let mut due = std::mem::take(&mut self.scratch_due);
+        due.clear();
+        while let Some(&Reverse((d, seq))) = self.exec_heap.peek() {
+            if d > now {
+                break;
             }
+            self.exec_heap.pop();
+            due.push((d, seq));
         }
+        // Flip in ROB (= seq) order, exactly like the scan this replaces.
+        // The heap can hold stale pairs — the instruction was squashed, or
+        // the seq was reused and re-issued with a different latency — and
+        // duplicates of one pair; flipping only on an exact live match
+        // (and at most once, since the first flip leaves `Completed`)
+        // drops them all.
+        due.sort_unstable_by_key(|&(_, seq)| seq);
+        for &(d, seq) in &due {
+            let tracer = &mut self.tracer;
+            let Some(e) = rob_entry_mut_in(&mut self.rob, seq) else {
+                continue;
+            };
+            if e.stage != (Stage::Executing { done_at: d }) {
+                continue;
+            }
+            e.stage = Stage::Completed;
+            active = true;
+            tracer.emit(EventKind::Complete { seq });
+            if e.inst.is_control() || matches!(e.inst, Inst::Store { .. }) {
+                resolutions.push(seq);
+            }
+            self.wake_waiters(seq);
+        }
+        due.clear();
+        self.scratch_due = due;
         for &seq in &resolutions {
             if self.rob_entry(seq).is_none() {
                 continue; // squashed by an earlier resolution this cycle
@@ -1988,136 +2162,225 @@ impl Core {
     fn issue(&mut self, now: Cycle, image: &mut Memory) -> bool {
         let mut active = false;
         let mut budget = self.cfg.core.issue_width;
-        // Non-memory and address-generation issue. A store's address
-        // resolution can trigger an alias squash that shrinks the ROB, so
-        // the bound is re-read every iteration.
-        let mut i = 0;
-        while i < self.rob.len() && budget > 0 {
-            let idx = i;
-            i += 1;
-            let e = &self.rob[idx];
-            if e.stage != Stage::Dispatched {
-                continue;
-            }
-            let seq = e.seq;
-            let inst = e.inst;
-            match inst {
-                Inst::Nop => {
-                    self.rob[idx].stage = Stage::Completed;
-                    active = true;
+        // Non-memory and address-generation issue. Candidates come from
+        // `issue_queue`: the program-order sequence numbers of exactly
+        // the `ISSUE_CHECK` entries, maintained incrementally at
+        // dispatch, wake, squash, and at each visit below — so the pass
+        // touches only entries that can possibly make progress, with no
+        // per-tick collection scan. Parked entries never appear here —
+        // their producer's completion flips them back to `ISSUE_CHECK`
+        // via its waiter chain, so a blocked arm is re-run exactly when
+        // its operands may have become ready.
+        debug_assert!(self.issue_flags_consistent());
+        let head = self.rob.front().map_or(SeqNum(0), |e| e.seq);
+        let mut qi = 0usize;
+        // Unexamined candidates past the issue width stay queued and
+        // are revisited next cycle, exactly as a full scan would
+        // revisit them.
+        while qi < self.issue_queue.len() && budget > 0 {
+            let seq = self.issue_queue[qi];
+            // A queued (`ISSUE_CHECK`) entry cannot have retired —
+            // completion demotes the flag and dequeues first — so its
+            // ROB slot is the seq offset from the head, which is stable
+            // for the whole pass (no retirement here, and squashes only
+            // remove younger entries).
+            let idx = (seq.0 - head.0) as usize;
+            'entry: {
+                let e = &self.rob[idx];
+                debug_assert_eq!(e.seq, seq);
+                if e.stage != Stage::Dispatched || e.issue_done {
+                    // Progressed through another path since the flag was
+                    // set; drop the entry from future scans.
+                    self.issue_flags[idx] = ISSUE_SKIP;
+                    break 'entry;
                 }
-                Inst::Halt => {
-                    // Halt completes only at the head so that everything
-                    // older retires first.
-                    if idx == 0 {
+                if let Some(p) = e.issue_blocked_on {
+                    // Defensive: a queued entry's recorded blocker has
+                    // completed or retired (that is what woke it). Should
+                    // it still be in flight, the arm re-run would be a
+                    // guaranteed no-op — skip it.
+                    if self.rob_entry(p).is_some_and(|d| !d.completed()) {
+                        break 'entry;
+                    }
+                }
+                let inst = e.inst;
+                match inst {
+                    Inst::Nop => {
+                        // No result register, so nothing can be parked on
+                        // this entry — completion needs no waiter wake.
+                        debug_assert!(self.rob[idx].first_waiter.is_none());
                         self.rob[idx].stage = Stage::Completed;
+                        self.issue_flags[idx] = ISSUE_SKIP;
                         active = true;
                     }
-                }
-                Inst::Mfence => {
-                    if idx == 0 && self.wb.is_empty() {
-                        self.rob[idx].stage = Stage::Completed;
-                        active = true;
-                    }
-                }
-                Inst::AtomicAdd { .. } | Inst::AtomicCas { .. } => {
-                    // Driven by step_atomic at the head.
-                }
-                Inst::Alu { op, src1, src2, .. } => {
-                    let Some(a) = self.try_operand(seq, src1) else {
-                        continue;
-                    };
-                    let b = match src2 {
-                        Operand::Reg(r) => match self.try_operand(seq, r) {
-                            Some(v) => v,
-                            None => continue,
-                        },
-                        Operand::Imm(v) => v as u64,
-                    };
-                    let lat = if op.is_long_latency() {
-                        self.cfg.core.mul_latency
-                    } else {
-                        self.cfg.core.alu_latency
-                    };
-                    self.rob[idx].result = Some(op.apply(a, b));
-                    self.rob[idx].stage = Stage::Executing { done_at: now + lat };
-                    budget -= 1;
-                    active = true;
-                }
-                Inst::Branch { src1, src2, .. } => {
-                    if self.try_operand(seq, src1).is_none()
-                        || self.try_operand(seq, src2).is_none()
-                    {
-                        continue;
-                    }
-                    self.rob[idx].stage = Stage::Executing { done_at: now + 1 };
-                    budget -= 1;
-                    active = true;
-                }
-                Inst::Jump { .. } | Inst::Call { .. } | Inst::Ret => {
-                    self.rob[idx].stage = Stage::Executing { done_at: now + 1 };
-                    budget -= 1;
-                    active = true;
-                }
-                Inst::Load { base, .. } => {
-                    // Address generation; the memory access itself is
-                    // gated separately below.
-                    let Some(lq_idx) = self.lq_index(seq) else {
-                        continue;
-                    };
-                    if self.lq[lq_idx].addr.is_some() {
-                        continue;
-                    }
-                    let Some(b) = self.try_operand(seq, base) else {
-                        continue;
-                    };
-                    let offset = match inst {
-                        Inst::Load { offset, .. } => offset,
-                        _ => unreachable!(),
-                    };
-                    self.lq[lq_idx].addr = Some(Addr::new(b.wrapping_add(offset as u64)));
-                    budget -= 1;
-                    active = true;
-                }
-                Inst::Store { src, base, offset } => {
-                    // Address generation and data capture are independent
-                    // micro-ops, as in real LSUs: the address (which drives
-                    // alias resolution and younger loads' VP conditions)
-                    // must not wait for the data.
-                    let Some(sq_idx) = self.sq_index(seq) else {
-                        continue;
-                    };
-                    let mut progressed = false;
-                    if self.sq[sq_idx].addr.is_none() {
-                        if let Some(b) = self.try_operand(seq, base) {
-                            self.sq[sq_idx].addr = Some(Addr::new(b.wrapping_add(offset as u64)));
-                            self.resolve_store(seq, now);
-                            progressed = true;
+                    Inst::Halt => {
+                        // Halt completes only at the head so that everything
+                        // older retires first.
+                        if idx == 0 {
+                            debug_assert!(self.rob[idx].first_waiter.is_none());
+                            self.rob[idx].stage = Stage::Completed;
+                            self.issue_flags[idx] = ISSUE_SKIP;
+                            active = true;
                         }
                     }
-                    // `resolve_store` squashes only younger instructions,
-                    // never this store; re-find it defensively.
-                    if let Some(sq_idx) = self.sq_index(seq) {
-                        if self.sq[sq_idx].data.is_none() && self.sq[sq_idx].addr.is_some() {
-                            if let Some(d) = self.try_operand(seq, src) {
-                                self.sq[sq_idx].data = Some(d);
-                                progressed = true;
+                    Inst::Mfence => {
+                        if idx == 0 && self.wb.is_empty() {
+                            debug_assert!(self.rob[idx].first_waiter.is_none());
+                            self.rob[idx].stage = Stage::Completed;
+                            self.issue_flags[idx] = ISSUE_SKIP;
+                            active = true;
+                        }
+                    }
+                    Inst::AtomicAdd { .. } | Inst::AtomicCas { .. } => {
+                        // Driven by step_atomic at the head.
+                    }
+                    Inst::Alu { op, src1, src2, .. } => {
+                        let a = match self.operand_or_blocker(seq, src1) {
+                            Ok(v) => v,
+                            Err(b) => {
+                                self.record_issue_block(idx, b);
+                                break 'entry;
                             }
-                        }
-                        if self.sq[sq_idx].resolved() {
-                            if let Some(e) = self.rob_entry_mut(seq) {
-                                if e.stage == Stage::Dispatched {
-                                    e.stage = Stage::Executing { done_at: now + 1 };
-                                    active = true;
+                        };
+                        let b = match src2 {
+                            Operand::Reg(r) => match self.operand_or_blocker(seq, r) {
+                                Ok(v) => v,
+                                Err(b) => {
+                                    self.record_issue_block(idx, b);
+                                    break 'entry;
                                 }
-                            }
-                        }
-                    }
-                    if progressed {
+                            },
+                            Operand::Imm(v) => v as u64,
+                        };
+                        let lat = if op.is_long_latency() {
+                            self.cfg.core.mul_latency
+                        } else {
+                            self.cfg.core.alu_latency
+                        };
+                        self.rob[idx].result = Some(op.apply(a, b));
+                        self.rob[idx].stage = Stage::Executing { done_at: now + lat };
+                        self.issue_flags[idx] = ISSUE_SKIP;
+                        self.exec_heap.push(Reverse((now + lat, seq)));
                         budget -= 1;
                         active = true;
                     }
+                    Inst::Branch { src1, src2, .. } => {
+                        let blocked = match self.operand_or_blocker(seq, src1) {
+                            Err(b) => Some(b),
+                            Ok(_) => self.operand_or_blocker(seq, src2).err(),
+                        };
+                        if let Some(b) = blocked {
+                            self.record_issue_block(idx, b);
+                            break 'entry;
+                        }
+                        self.rob[idx].stage = Stage::Executing { done_at: now + 1 };
+                        self.issue_flags[idx] = ISSUE_SKIP;
+                        self.exec_heap.push(Reverse((now + 1, seq)));
+                        budget -= 1;
+                        active = true;
+                    }
+                    Inst::Jump { .. } | Inst::Call { .. } | Inst::Ret => {
+                        self.rob[idx].stage = Stage::Executing { done_at: now + 1 };
+                        self.issue_flags[idx] = ISSUE_SKIP;
+                        self.exec_heap.push(Reverse((now + 1, seq)));
+                        budget -= 1;
+                        active = true;
+                    }
+                    Inst::Load { base, .. } => {
+                        // Address generation; the memory access itself is
+                        // gated separately below.
+                        let Some(lq_idx) = self.lq_index(seq) else {
+                            break 'entry;
+                        };
+                        if self.lq[lq_idx].addr.is_some() {
+                            // Addresses are never un-resolved (a mispredicted
+                            // load is squashed outright), so this pass is done
+                            // with the entry; issue_loads takes it from here.
+                            self.rob[idx].issue_done = true;
+                            self.issue_flags[idx] = ISSUE_SKIP;
+                            break 'entry;
+                        }
+                        let b = match self.operand_or_blocker(seq, base) {
+                            Ok(v) => v,
+                            Err(bl) => {
+                                self.record_issue_block(idx, bl);
+                                break 'entry;
+                            }
+                        };
+                        let offset = match inst {
+                            Inst::Load { offset, .. } => offset,
+                            _ => unreachable!(),
+                        };
+                        self.lq[lq_idx].addr = Some(Addr::new(b.wrapping_add(offset as u64)));
+                        self.lq_promote(lq_idx);
+                        self.rob[idx].issue_done = true;
+                        self.issue_flags[idx] = ISSUE_SKIP;
+                        budget -= 1;
+                        active = true;
+                    }
+                    Inst::Store { src, base, offset } => {
+                        // Address generation and data capture are independent
+                        // micro-ops, as in real LSUs: the address (which drives
+                        // alias resolution and younger loads' VP conditions)
+                        // must not wait for the data.
+                        let Some(sq_idx) = self.sq_index(seq) else {
+                            break 'entry;
+                        };
+                        let mut progressed = false;
+                        if self.sq[sq_idx].addr.is_none() {
+                            match self.operand_or_blocker(seq, base) {
+                                Ok(b) => {
+                                    self.sq[sq_idx].addr =
+                                        Some(Addr::new(b.wrapping_add(offset as u64)));
+                                    self.resolve_store(seq, now);
+                                    progressed = true;
+                                }
+                                // Data capture below also needs the address,
+                                // so the whole arm is blocked on `base`.
+                                Err(bl) => self.record_issue_block(idx, bl),
+                            }
+                        }
+                        // `resolve_store` squashes only younger instructions,
+                        // never this store; re-find it defensively.
+                        if let Some(sq_idx) = self.sq_index(seq) {
+                            if self.sq[sq_idx].data.is_none() && self.sq[sq_idx].addr.is_some() {
+                                match self.operand_or_blocker(seq, src) {
+                                    Ok(d) => {
+                                        self.sq[sq_idx].data = Some(d);
+                                        progressed = true;
+                                    }
+                                    Err(bl) => self.record_issue_block(idx, bl),
+                                }
+                            }
+                            if self.sq[sq_idx].resolved() {
+                                if let Some(e) = self.rob_entry_mut(seq) {
+                                    if e.stage == Stage::Dispatched {
+                                        e.stage = Stage::Executing { done_at: now + 1 };
+                                        self.issue_flags[idx] = ISSUE_SKIP;
+                                        self.exec_heap.push(Reverse((now + 1, seq)));
+                                        active = true;
+                                    }
+                                }
+                            }
+                        }
+                        if progressed {
+                            budget -= 1;
+                            active = true;
+                        }
+                    }
                 }
+            }
+            // A store's alias squash above back-purges the queue's
+            // younger suffix; the visited store itself is never
+            // squashed, but re-read the slot defensively before
+            // deciding keep-vs-dequeue.
+            if self.issue_queue.get(qi).copied() != Some(seq) {
+                continue;
+            }
+            if self.issue_flags[idx] == ISSUE_CHECK {
+                qi += 1;
+            } else {
+                self.issue_queue.remove(qi);
             }
         }
         active |= self.issue_loads(now, image);
@@ -2130,177 +2393,213 @@ impl Core {
         let mut active = false;
         let mut ports = 3usize; // L1-D read ports (Table 1)
         let aggr = self.aggr;
-        for i in 0..self.lq.len() {
+        // Candidates come from the LQ flag mirror (see `lq_flags`): the
+        // scan walks one byte per LQ entry and reads an actual entry
+        // only when its flag says the visit could do something. A
+        // skipped entry is one this scan would provably no-op on, so
+        // visiting the flagged subset is equivalent to the full scan.
+        // Unlike the ROB pass there is no candidate queue: in lock-heavy
+        // parallel code a large fraction of the LQ stays `LQ_VISIT`
+        // (fence- and VP-blocked loads emit stall statistics every
+        // cycle), so indirection would cost more than the byte scan.
+        debug_assert!(self.lq_flags_consistent());
+        let mut i = 0usize;
+        // Visits can squash an LQ suffix (validation mismatch); the
+        // bound is re-read every iteration, so a truncated tail is
+        // simply never reached.
+        while i < self.lq.len() {
             if ports == 0 {
                 break;
             }
-            // An exposure on a previous iteration may have squashed part
-            // of the LQ (a validation mismatch, or an MCV on the line its
-            // fill evicted); the squashed suffix is gone, so stop.
-            if i >= self.lq.len() {
-                break;
+            if self.lq_flags[i] != LQ_VISIT {
+                i += 1;
+                continue;
             }
-            let e = &self.lq[i];
-            if e.invisible && e.performed() && !e.exposing {
-                // InvisiSpec exposure: once the load reaches its VP, issue
-                // the second, visible access to validate the early value.
+            'load: {
+                let e = &self.lq[i];
+                let seq = e.seq;
+                if e.invisible && e.performed() && !e.exposing {
+                    // InvisiSpec exposure: once the load reaches its VP, issue
+                    // the second, visible access to validate the early value.
+                    let status = self.vp_status_for(i, &aggr);
+                    if self.vp_mask.reached(status) {
+                        active |= self.expose_load(i, now, image);
+                        ports -= 1;
+                    }
+                    break 'load;
+                }
+                if e.performed() || e.waiting_fill {
+                    // Terminal for this scan until an explicitly hooked event
+                    // (fill arrival, exposure outcome) re-promotes the flag.
+                    self.lq_flags[i] = LQ_SKIP;
+                    break 'load;
+                }
+                let Some(addr) = e.addr else {
+                    // Address generation re-promotes.
+                    self.lq_flags[i] = LQ_SKIP;
+                    break 'load;
+                };
+                // Loads younger than an active fence must not issue.
+                if aggr.oldest_active_fence.is_some_and(|f| f < seq) {
+                    break 'load;
+                }
+                let line = addr.line();
                 let status = self.vp_status_for(i, &aggr);
-                if self.vp_mask.reached(status) {
-                    active |= self.expose_load(i, now, image);
-                    ports -= 1;
-                }
-                continue;
-            }
-            if e.performed() || e.waiting_fill {
-                continue;
-            }
-            let Some(addr) = e.addr else { continue };
-            let seq = e.seq;
-            // Loads younger than an active fence must not issue.
-            if aggr.oldest_active_fence.is_some_and(|f| f < seq) {
-                continue;
-            }
-            let line = addr.line();
-            let status = self.vp_status_for(i, &aggr);
-            let vp_reached = self.vp_mask.reached(status);
-            let l1_hit = self.l1.peek(line).is_some_and(|s| s.readable());
-            let tainted = self.policy.tracks_taint()
-                && self.rob_entry(seq).is_some_and(|d| {
-                    self.taint
-                        .any_tainted(d.srcs.iter().filter_map(|&(_, p)| p))
-                });
-            let ctx = LoadContext {
-                vp_reached,
-                l1_hit,
-                address_tainted: tainted,
-            };
-            if let Err(block) = self.policy.may_issue(ctx) {
-                let key = match block {
-                    pl_secure::scheme::IssueBlock::WaitVp => self.ids.stall_vp,
-                    pl_secure::scheme::IssueBlock::WaitMissVp => self.ids.stall_dom_miss,
-                    pl_secure::scheme::IssueBlock::WaitTaint => self.ids.stall_taint,
+                let vp_reached = self.vp_mask.reached(status);
+                let tainted = self.policy.tracks_taint()
+                    && self.rob_entry(seq).is_some_and(|d| {
+                        self.taint
+                            .any_tainted(d.srcs.iter().filter_map(|&(_, p)| p))
+                    });
+                // Only Delay-On-Miss consults residency to *decide*; for
+                // every other scheme the probe is deferred past the issue
+                // decision, so a blocked load polling here each cycle
+                // never touches the L1 set.
+                let mut l1_hit =
+                    self.policy.consults_l1() && self.l1.peek(line).is_some_and(|s| s.readable());
+                let ctx = LoadContext {
+                    vp_reached,
+                    l1_hit,
+                    address_tainted: tainted,
                 };
-                self.stats.incr_id(key);
-                continue;
-            }
-            // Store-to-load forwarding from older SQ entries.
-            let word = addr.raw() >> 3;
-            let fwd = self
-                .sq
-                .iter()
-                .rev()
-                .filter(|s| s.seq < seq)
-                .find(|s| s.addr.is_some_and(|a| a.raw() >> 3 == word));
-            if let Some(store) = fwd {
-                let from = store.seq;
-                match store.data {
-                    Some(v) => {
-                        self.perform_load(i, v, true, Some(from), now, !vp_reached);
-                        ports -= 1;
-                        active = true;
-                    }
-                    None => {
-                        // Matching older store without data: wait.
-                        self.stats.incr_id(self.ids.stall_store_data);
-                    }
-                }
-                continue;
-            }
-            // Write-buffer forwarding (retired but unmerged own stores).
-            if let Some(v) = self.wb.forward(addr) {
-                self.perform_load(i, v, true, None, now, !vp_reached);
-                ports -= 1;
-                active = true;
-                continue;
-            }
-            if self.policy.issues_invisibly() && !vp_reached {
-                // Invisible speculation: bind the value without changing
-                // cache state; validate at the VP (exposure). The access
-                // still pays a realistic latency — the L1 hit time when
-                // the line is resident, otherwise a memory round trip.
-                // Without consulting the directory we cannot tell LLC
-                // from DRAM residency, so the miss case is charged the
-                // full DRAM latency: conservative for the invisible
-                // scheme (it can only look worse, never unfairly better).
-                let v = image.read(addr);
-                let latency = if l1_hit {
-                    self.cfg.mem.l1d.hit_latency
-                } else {
-                    self.cfg.mem.llc_slice.hit_latency
-                        + 2 * self.cfg.mem.hop_latency
-                        + self.cfg.mem.dram_latency
-                };
-                self.tracer.emit(EventKind::IssueLoad { seq, line, l1_hit });
-                self.perform_load(i, v, false, None, now, false);
-                self.lq[i].invisible = true;
-                if let Some(d) = self.rob_entry_mut(seq) {
-                    d.stage = Stage::Executing {
-                        done_at: now + latency,
+                if let Err(block) = self.policy.may_issue(ctx) {
+                    let key = match block {
+                        pl_secure::scheme::IssueBlock::WaitVp => self.ids.stall_vp,
+                        pl_secure::scheme::IssueBlock::WaitMissVp => self.ids.stall_dom_miss,
+                        pl_secure::scheme::IssueBlock::WaitTaint => self.ids.stall_taint,
                     };
+                    self.stats.incr_id(key);
+                    break 'load;
                 }
-                self.stats.incr_id(self.ids.loads_invisible);
-                ports -= 1;
-                active = true;
-                continue;
-            }
-            if l1_hit {
-                self.l1.touch(line);
-                let v = image.read(addr);
-                self.stats.incr_id(self.ids.l1_hits);
-                self.tracer.emit(EventKind::IssueLoad {
-                    seq,
-                    line,
-                    l1_hit: true,
-                });
-                self.perform_load(i, v, false, None, now, !vp_reached);
-                ports -= 1;
-                active = true;
-            } else {
-                match self.mshrs.allocate(line, seq, false) {
-                    Ok(primary) => {
-                        self.stats.incr_id(self.ids.l1_misses);
-                        self.tracer.emit(EventKind::IssueLoad {
-                            seq,
-                            line,
-                            l1_hit: false,
-                        });
-                        self.lq[i].waiting_fill = true;
-                        if self.governor.mode() == PinMode::Late
-                            && self.lq[i].pin == PinState::Unpinned
-                            && status.mcv_clear
-                            && !status.clear_except_mcv()
-                        {
-                            // unreachable in practice; placeholder branch
+                if !self.policy.consults_l1() {
+                    l1_hit = self.l1.peek(line).is_some_and(|s| s.readable());
+                }
+                // Store-to-load forwarding from older SQ entries.
+                let word = addr.raw() >> 3;
+                let fwd = self
+                    .sq
+                    .iter()
+                    .rev()
+                    .filter(|s| s.seq < seq)
+                    .find(|s| s.addr.is_some_and(|a| a.raw() >> 3 == word));
+                if let Some(store) = fwd {
+                    let from = store.seq;
+                    match store.data {
+                        Some(v) => {
+                            self.perform_load(i, v, true, Some(from), now, !vp_reached);
+                            ports -= 1;
+                            active = true;
                         }
-                        // Late Pinning: if this load issued under pin
-                        // eligibility (not merely as the oldest load),
-                        // mark it pin-pending so arrival pins it.
-                        if self.governor.mode() == PinMode::Late
-                            && status.clear_except_mcv()
-                            && self.pin_order_ok(i)
-                            && self.pin_eligible_base(i, &aggr)
-                        {
-                            self.lq[i].pin = PinState::Pending;
-                            self.tracer.emit(EventKind::PinPending { seq, line });
+                        None => {
+                            // Matching older store without data: wait.
+                            self.stats.incr_id(self.ids.stall_store_data);
                         }
-                        if primary {
-                            self.send(
-                                self.home(line),
-                                Msg::GetS {
-                                    line,
-                                    requester: self.id,
-                                },
-                            );
-                            self.prefetch_after(line);
-                        }
-                        ports -= 1;
-                        active = true;
                     }
-                    Err(_) => {
-                        self.stats.incr_id(self.ids.stall_mshr_full);
+                    break 'load;
+                }
+                // Write-buffer forwarding (retired but unmerged own stores).
+                if let Some(v) = self.wb.forward(addr) {
+                    self.perform_load(i, v, true, None, now, !vp_reached);
+                    ports -= 1;
+                    active = true;
+                    break 'load;
+                }
+                if self.policy.issues_invisibly() && !vp_reached {
+                    // Invisible speculation: bind the value without changing
+                    // cache state; validate at the VP (exposure). The access
+                    // still pays a realistic latency — the L1 hit time when
+                    // the line is resident, otherwise a memory round trip.
+                    // Without consulting the directory we cannot tell LLC
+                    // from DRAM residency, so the miss case is charged the
+                    // full DRAM latency: conservative for the invisible
+                    // scheme (it can only look worse, never unfairly better).
+                    let v = image.read(addr);
+                    let latency = if l1_hit {
+                        self.cfg.mem.l1d.hit_latency
+                    } else {
+                        self.cfg.mem.llc_slice.hit_latency
+                            + 2 * self.cfg.mem.hop_latency
+                            + self.cfg.mem.dram_latency
+                    };
+                    self.tracer.emit(EventKind::IssueLoad { seq, line, l1_hit });
+                    self.perform_load(i, v, false, None, now, false);
+                    self.lq[i].invisible = true;
+                    if let Some(d) = self.rob_entry_mut(seq) {
+                        // Override the L1-hit deadline `perform_load` set
+                        // with the invisible access's latency. The heap
+                        // entry `perform_load` pushed carries the old
+                        // deadline and is discarded as stale, so the new
+                        // deadline needs its own entry.
+                        d.stage = Stage::Executing {
+                            done_at: now + latency,
+                        };
+                        self.exec_heap.push(Reverse((now + latency, seq)));
+                    }
+                    self.stats.incr_id(self.ids.loads_invisible);
+                    ports -= 1;
+                    active = true;
+                    break 'load;
+                }
+                if l1_hit {
+                    self.l1.touch(line);
+                    let v = image.read(addr);
+                    self.stats.incr_id(self.ids.l1_hits);
+                    self.tracer.emit(EventKind::IssueLoad {
+                        seq,
+                        line,
+                        l1_hit: true,
+                    });
+                    self.perform_load(i, v, false, None, now, !vp_reached);
+                    ports -= 1;
+                    active = true;
+                } else {
+                    match self.mshrs.allocate(line, seq, false) {
+                        Ok(primary) => {
+                            self.stats.incr_id(self.ids.l1_misses);
+                            self.tracer.emit(EventKind::IssueLoad {
+                                seq,
+                                line,
+                                l1_hit: false,
+                            });
+                            self.lq[i].waiting_fill = true;
+                            if self.governor.mode() == PinMode::Late
+                                && self.lq[i].pin == PinState::Unpinned
+                                && status.mcv_clear
+                                && !status.clear_except_mcv()
+                            {
+                                // unreachable in practice; placeholder branch
+                            }
+                            // Late Pinning: if this load issued under pin
+                            // eligibility (not merely as the oldest load),
+                            // mark it pin-pending so arrival pins it.
+                            if self.governor.mode() == PinMode::Late
+                                && status.clear_except_mcv()
+                                && self.pin_order_ok(i)
+                                && self.pin_eligible_base(i, &aggr)
+                            {
+                                self.lq[i].pin = PinState::Pending;
+                                self.tracer.emit(EventKind::PinPending { seq, line });
+                            }
+                            if primary {
+                                self.send(
+                                    self.home(line),
+                                    Msg::GetS {
+                                        line,
+                                        requester: self.id,
+                                    },
+                                );
+                                self.prefetch_after(line);
+                            }
+                            ports -= 1;
+                            active = true;
+                        }
+                        Err(_) => {
+                            self.stats.incr_id(self.ids.stall_mshr_full);
+                        }
                     }
                 }
             }
+            i += 1;
         }
         active
     }
@@ -2423,6 +2722,7 @@ impl Core {
             d.stage = Stage::Executing {
                 done_at: now + hit_latency,
             };
+            self.exec_heap.push(Reverse((now + hit_latency, seq)));
         }
     }
 
@@ -2440,6 +2740,9 @@ impl Core {
             return;
         }
         self.lq[i].waiting_fill = false;
+        // Even if forwarding below finds a store still missing its data,
+        // the load re-enters the issue pass's per-cycle retry.
+        self.lq_promote(i);
         let addr = self.lq[i].addr.expect("waiting load has an address");
         let word = addr.raw() >> 3;
         // An older store may have resolved while the fill was in flight;
@@ -2506,6 +2809,154 @@ impl Core {
         }
     }
 
+    /// Memoizes an issue-arm operand failure: the entry is parked (and
+    /// skipped by the issue pass) until the recorded blocking producer
+    /// completes and wakes it.
+    fn record_issue_block(&mut self, idx: usize, blocker: Option<SeqNum>) {
+        self.rob[idx].issue_blocked_on = blocker;
+        if let Some(p) = blocker {
+            let head = self.rob.front().expect("blocked entry in ROB").seq;
+            if p >= head {
+                // The ROB is seq-dense, so the producer sits at a fixed
+                // offset from the head.
+                let pidx = (p.0 - head.0) as usize;
+                if !self.rob[pidx].completed() {
+                    // Park until the producer completes: link this entry
+                    // into the producer's waiter chain, whose walk at
+                    // completion flips the flag back to `ISSUE_CHECK`.
+                    let seq = self.rob[idx].seq;
+                    debug_assert!(self.rob[idx].next_waiter.is_none());
+                    let prev = self.rob[pidx].first_waiter.replace(seq);
+                    self.rob[idx].next_waiter = prev;
+                    self.issue_flags[idx] = ISSUE_PARKED;
+                    return;
+                }
+            }
+        }
+        // No identifiable in-flight producer (retired, or completed with
+        // no result): re-examine every cycle — the unmemoized behaviour.
+        self.issue_flags[idx] = ISSUE_CHECK;
+    }
+
+    /// Wakes every issue-pass waiter parked on `pseq`, which has just
+    /// completed: clears the chain and flips each waiter's flag back to
+    /// [`ISSUE_CHECK`] so the next issue pass re-runs its arm.
+    fn wake_waiters(&mut self, pseq: SeqNum) {
+        let Some(front) = self.rob.front() else {
+            return;
+        };
+        let head = front.seq;
+        debug_assert!(pseq >= head);
+        let pidx = (pseq.0 - head.0) as usize;
+        let mut w = self.rob[pidx].first_waiter.take();
+        while let Some(ws) = w {
+            let widx = (ws.0 - head.0) as usize;
+            let waiter = &mut self.rob[widx];
+            debug_assert_eq!(waiter.seq, ws);
+            debug_assert_eq!(waiter.issue_blocked_on, Some(pseq));
+            w = waiter.next_waiter.take();
+            self.issue_flags[widx] = ISSUE_CHECK;
+            let pos = self.issue_queue.partition_point(|&s| s < ws);
+            debug_assert_ne!(self.issue_queue.get(pos).copied(), Some(ws));
+            self.issue_queue.insert(pos, ws);
+        }
+    }
+
+    /// Removes `wseq` (whose chain link is `wnext`) from `pseq`'s waiter
+    /// chain; called while squashing `wseq`. The producer is older than
+    /// its waiter, so it is still in the ROB when the waiter is popped.
+    fn unlink_waiter(&mut self, pseq: SeqNum, wseq: SeqNum, wnext: Option<SeqNum>) {
+        let head = self.rob.front().expect("producer outlives waiter").seq;
+        let pidx = (pseq.0 - head.0) as usize;
+        if self.rob[pidx].first_waiter == Some(wseq) {
+            self.rob[pidx].first_waiter = wnext;
+            return;
+        }
+        let mut c = self.rob[pidx].first_waiter;
+        while let Some(cs) = c {
+            let cidx = (cs.0 - head.0) as usize;
+            if self.rob[cidx].next_waiter == Some(wseq) {
+                self.rob[cidx].next_waiter = wnext;
+                return;
+            }
+            c = self.rob[cidx].next_waiter;
+        }
+        debug_assert!(false, "parked entry missing from its producer's chain");
+    }
+
+    /// Promotes LQ entry `i` for examination by the load-issue scan.
+    fn lq_promote(&mut self, i: usize) {
+        self.lq_flags[i] = LQ_VISIT;
+    }
+
+    /// Debug oracle: every `LQ_SKIP` entry must satisfy a skip condition
+    /// of the load-issue scan (no stats, no side effects), so skipping it
+    /// is indistinguishable from visiting it. `LQ_VISIT` may be stale the
+    /// other way (a visit that no-ops and demotes) — that is harmless.
+    fn lq_flags_consistent(&self) -> bool {
+        self.lq_flags.len() == self.lq.len()
+            && self.lq.iter().zip(self.lq_flags.iter()).all(|(e, &f)| {
+                f == LQ_VISIT
+                    || e.addr.is_none()
+                    || e.waiting_fill
+                    || (e.performed() && (!e.invisible || e.exposing))
+            })
+    }
+
+    /// Debug oracle: checks the flag mirror against the ROB. `ISSUE_SKIP`
+    /// exactly covers entries the issue pass can never act on again, and
+    /// a parked entry always names a live, incomplete producer (its wake
+    /// fires when that producer completes). Also checks that
+    /// `issue_queue` holds exactly the `ISSUE_CHECK` seqs, in program
+    /// order (the ROB is seq-sorted, so element-wise equality covers
+    /// membership and sortedness at once).
+    fn issue_flags_consistent(&self) -> bool {
+        self.issue_flags.len() == self.rob.len()
+            && self.rob.iter().zip(self.issue_flags.iter()).all(|(e, &f)| {
+                if e.stage != Stage::Dispatched || e.issue_done {
+                    f == ISSUE_SKIP
+                } else if f == ISSUE_PARKED {
+                    e.issue_blocked_on
+                        .is_some_and(|p| self.rob_entry(p).is_some_and(|d| !d.completed()))
+                } else {
+                    f == ISSUE_CHECK
+                }
+            })
+            && self.issue_queue.iter().copied().eq(self
+                .rob
+                .iter()
+                .zip(self.issue_flags.iter())
+                .filter(|&(_, &f)| f == ISSUE_CHECK)
+                .map(|(e, _)| e.seq))
+    }
+
+    /// Like [`Core::try_operand`], but a failure also reports which
+    /// in-flight producer is blocking (`Err(Some(p))`), so the issue
+    /// pass can memoize the entry and skip it until `p` completes.
+    /// `Err(None)` means blocked with no identifiable producer (defensive
+    /// — should not occur); the caller then re-checks every cycle, which
+    /// is exactly the unmemoized behaviour.
+    fn operand_or_blocker(&self, seq: SeqNum, reg: Reg) -> Result<u64, Option<SeqNum>> {
+        if reg.is_zero() {
+            return Ok(0);
+        }
+        let Some(e) = self.rob_entry(seq) else {
+            return Err(None);
+        };
+        let Some(producer) = e.srcs.iter().find(|&&(r, _)| r == reg).map(|&(_, p)| p) else {
+            return Err(None);
+        };
+        match producer {
+            Some(p) => match self.rob_entry(p) {
+                Some(prod) if prod.completed() => prod.result.ok_or(Some(p)),
+                Some(_) => Err(Some(p)),
+                // Producer committed: its value is architectural.
+                None => Ok(self.regfile[reg.index()]),
+            },
+            None => Ok(self.regfile[reg.index()]),
+        }
+    }
+
     /// Like [`Core::try_operand`] but panics if unready; used at
     /// resolution time when readiness was already established.
     fn operand_value(&self, seq: SeqNum, reg: Reg) -> u64 {
@@ -2559,6 +3010,9 @@ impl Core {
             if f.inst.is_load() && !f.inst.is_atomic() {
                 let lq_id = self.governor.alloc_lq_id();
                 self.lq.push(LqEntry::new(seq, lq_id));
+                // No address yet: the load-issue pass would skip it;
+                // address generation promotes the flag.
+                self.lq_flags.push_back(LQ_SKIP);
             }
             if matches!(f.inst, Inst::Store { .. }) {
                 self.sq.push(SqEntry::new(seq));
@@ -2577,7 +3031,33 @@ impl Core {
                 prev_map,
                 srcs,
                 dispatched_at: now,
+                // Atomics never progress in the issue pass (step_atomic
+                // drives them at the head), so skip them from the start.
+                issue_done: f.inst.is_atomic(),
+                issue_blocked_on: None,
+                first_waiter: None,
+                next_waiter: None,
             });
+            if f.inst.is_atomic() {
+                self.issue_flags.push_back(ISSUE_SKIP);
+            } else {
+                self.issue_flags.push_back(ISSUE_CHECK);
+                // New entries carry the highest seq, so program order
+                // is preserved by appending.
+                self.issue_queue.push_back(seq);
+            }
+            if f.inst.is_control() {
+                self.agg_ctrl.push_back(seq);
+            }
+            if f.inst.is_fence() {
+                self.agg_fence.push_back(seq);
+            }
+            if f.inst.is_mem() {
+                self.agg_mem.push_back(seq);
+            }
+            if f.inst.is_store() {
+                self.agg_store.push_back(seq);
+            }
             active = true;
         }
         active
@@ -2654,6 +3134,14 @@ impl Core {
                 break;
             }
             let e = self.rob.pop_back().expect("back checked");
+            let f = self.issue_flags.pop_back().expect("mirror in lockstep");
+            if f == ISSUE_PARKED {
+                // Keep the waiter chains free of dead links: the chain
+                // walk at wake and the dense-offset lookups rely on
+                // every linked waiter being live.
+                let p = e.issue_blocked_on.expect("parked entries name a producer");
+                self.unlink_waiter(p, e.seq, e.next_waiter);
+            }
             if let Some((reg, old)) = e.prev_map {
                 self.rename[reg.index()] = old;
             }
@@ -2666,7 +3154,28 @@ impl Core {
             "a pinned load is being squashed"
         );
         self.lq.retain(|e| e.seq < first_bad);
+        // The LQ is seq-sorted, so the retain removed a suffix; the
+        // flag mirror shrinks in lockstep.
+        self.lq_flags.truncate(self.lq.len());
         self.sq.retain(|e| e.seq < first_bad);
+        // Back-purge the sorted candidate queue: a squash rewinds
+        // `next_seq`, so a reused seq must never alias a stale entry.
+        while self.issue_queue.back().is_some_and(|&s| s >= first_bad) {
+            self.issue_queue.pop_back();
+        }
+        // Purge the aggregate deques eagerly: squash rewinds `next_seq`,
+        // so a reused seq must never alias a stale entry. (`exec_heap`
+        // and the issue memos are instead guarded at use.)
+        for q in [
+            &mut self.agg_ctrl,
+            &mut self.agg_fence,
+            &mut self.agg_mem,
+            &mut self.agg_store,
+        ] {
+            while q.back().is_some_and(|&s| s >= first_bad) {
+                q.pop_back();
+            }
+        }
         self.mshrs.squash_younger(first_bad);
         self.taint.squash_younger(first_bad);
         self.next_seq = first_bad;
@@ -2714,4 +3223,14 @@ impl Core {
         let idx = (seq.0 - head.0) as usize;
         self.rob.get_mut(idx)
     }
+}
+
+/// Dense-seq ROB lookup usable while another field of `Core` is borrowed.
+fn rob_entry_mut_in(rob: &mut VecDeque<DynInst>, seq: SeqNum) -> Option<&mut DynInst> {
+    let head = rob.front()?.seq;
+    if seq < head {
+        return None;
+    }
+    let idx = (seq.0 - head.0) as usize;
+    rob.get_mut(idx)
 }

@@ -91,6 +91,26 @@ pub struct DynInst {
     pub srcs: SrcList,
     /// Cycle the entry was dispatched (for occupancy statistics).
     pub dispatched_at: Cycle,
+    /// Issue-pass memo: this entry will make no further progress in the
+    /// non-memory issue pass (load address generated, atomic driven by
+    /// the commit-side state machine). Purely an iteration-skip hint;
+    /// never consulted by architectural logic.
+    pub issue_done: bool,
+    /// Issue-pass memo: the in-flight producer that last blocked this
+    /// entry's operands. The issue pass skips the entry while that
+    /// producer is still in the ROB and incomplete — a re-run of the
+    /// arm is guaranteed to be a no-op until then.
+    pub issue_blocked_on: Option<SeqNum>,
+    /// Head of this entry's issue-pass waiter chain: the most recently
+    /// parked instruction blocked on this entry's result. The chain is
+    /// walked (and cleared) when this entry completes, waking each
+    /// waiter for re-examination. Intrusive and allocation-free; links
+    /// are always live because a waiter cannot retire before its
+    /// producer, and squash unlinks eagerly.
+    pub first_waiter: Option<SeqNum>,
+    /// Next link in the waiter chain this entry is parked on
+    /// (single-membership: an entry waits on at most one producer).
+    pub next_waiter: Option<SeqNum>,
 }
 
 impl DynInst {
@@ -273,6 +293,10 @@ mod tests {
             prev_map: None,
             srcs: SrcList::new(),
             dispatched_at: Cycle(0),
+            issue_done: false,
+            issue_blocked_on: None,
+            first_waiter: None,
+            next_waiter: None,
         };
         assert!(!d.completed() && !d.executing());
         d.stage = Stage::Executing { done_at: Cycle(3) };

@@ -179,6 +179,41 @@ impl RunResult {
     }
 }
 
+/// Per-core scheduler state for the event-driven run loop.
+///
+/// A core moves `Active -> Quiet` when a tick makes no progress,
+/// `Quiet -> Parked` after one more *capture* tick (bracketed by counter
+/// snapshots, so the per-quiet-cycle statistics delta is known), and
+/// back to `Active` when a message arrives or its next timed event comes
+/// due. While parked the core is not ticked at all; the skipped cycles'
+/// statistics are replayed in bulk at wake-up from the captured delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum ParkState {
+    /// Ticking normally.
+    #[default]
+    Active,
+    /// Last tick was quiet; the next predicted-quiet tick is captured.
+    Quiet,
+    /// Not ticked; statistics owed since the capture tick.
+    Parked,
+}
+
+#[derive(Debug, Default)]
+struct CoreSched {
+    state: ParkState,
+    /// Cycle of the capture tick (the core's last executed tick).
+    since: Cycle,
+    /// Earliest self-scheduled activity; `None` means the core is idle
+    /// until a message arrives (or forever, if it halted).
+    wake: Option<Cycle>,
+    /// Counter snapshots bracketing the capture tick; their difference
+    /// is what every skipped quiet cycle would have added.
+    core_before: Vec<u64>,
+    core_after: Vec<u64>,
+    gov_before: Vec<u64>,
+    gov_after: Vec<u64>,
+}
+
 /// Holder for the attached invariant-check observer. Trait objects have
 /// no useful `Debug`, so the slot renders as presence/absence and lets
 /// [`Machine`] keep its derived `Debug`.
@@ -214,6 +249,12 @@ pub struct Machine {
     check_observer: ObserverSlot,
     check_buf: Vec<CheckEvent>,
     next_snapshot: u64,
+    /// Event calendar for the scheduled run loop: per-core park state
+    /// and each slice's cached next timer (re-armed whenever the slice
+    /// handles a message or ticks).
+    sched: Vec<CoreSched>,
+    slice_next: Vec<Option<Cycle>>,
+    slice_touched: Vec<bool>,
 }
 
 impl Machine {
@@ -248,7 +289,13 @@ impl Machine {
                 slice.enable_verify(&cfg.verify);
             }
         }
-        let mut noc = Noc::new(cfg.mem.mesh_cols, cfg.mem.mesh_rows, cfg.mem.hop_latency);
+        let mut noc = Noc::with_nodes(
+            cfg.mem.mesh_cols,
+            cfg.mem.mesh_rows,
+            cfg.mem.hop_latency,
+            cfg.num_cores,
+            cfg.mem.llc_slices,
+        );
         if cfg.verify.fault_delay > 0 {
             noc.enable_faults(cfg.verify.fault_seed, cfg.verify.fault_delay);
         }
@@ -266,6 +313,9 @@ impl Machine {
             check_observer: ObserverSlot(None),
             check_buf: Vec::new(),
             next_snapshot: cfg.verify.snapshot_period.max(1),
+            sched: (0..cfg.num_cores).map(|_| CoreSched::default()).collect(),
+            slice_next: vec![None; cfg.mem.llc_slices],
+            slice_touched: vec![false; cfg.mem.llc_slices],
         })
     }
 
@@ -460,12 +510,27 @@ impl Machine {
 
     /// Runs until every core halts and drains, up to `max_cycles`.
     ///
+    /// With `cfg.fast_forward` set (the default) this uses the
+    /// event-driven scheduled loop ([`Machine::run_scheduled`]); without
+    /// it, the naive reference loop that ticks every component every
+    /// cycle. Both are bit-identical — cycles, stats, traces, deadlock
+    /// diagnoses — which `tests/ff_equivalence.rs` locks in.
+    ///
     /// # Errors
     ///
     /// Returns [`RunError::Deadlock`] if no instruction retires for an
     /// extended period, or [`RunError::CycleLimit`] if the budget runs
     /// out.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunResult, RunError> {
+        if self.cfg.fast_forward {
+            self.run_scheduled(max_cycles)
+        } else {
+            self.run_naive(max_cycles)
+        }
+    }
+
+    /// The reference run loop: every component ticks every cycle.
+    fn run_naive(&mut self, max_cycles: u64) -> Result<RunResult, RunError> {
         let mut last_retired = self.total_retired();
         let mut last_progress = self.now;
         let mut cpt_stats = Stats::new();
@@ -477,23 +542,67 @@ impl Machine {
                     retired: self.total_retired(),
                 });
             }
-            let active = self.tick();
+            self.tick();
             self.post_tick(
                 &mut last_retired,
                 &mut last_progress,
                 &mut cpt_stats,
                 cpt_occ,
             )?;
-            if !active && self.cfg.fast_forward {
-                self.fast_forward(
+        }
+        Ok(self.finish_run(cpt_stats, cpt_occ))
+    }
+
+    /// The event-driven run loop: per-core parking with lazy statistics
+    /// replay, a slice timer calendar, and a whole-machine time jump when
+    /// every core is parked. See [`Machine::tick_scheduled`] for the
+    /// bit-identity argument.
+    fn run_scheduled(&mut self, max_cycles: u64) -> Result<RunResult, RunError> {
+        let mut last_retired = self.total_retired();
+        let mut last_progress = self.now;
+        let mut cpt_stats = Stats::new();
+        let cpt_occ = cpt_stats.hist_id("cpt.occupancy");
+        // (Re-)arm the calendar: all cores active, slice timers polled
+        // fresh, so a run after external `tick()` calls stays correct.
+        for sched in &mut self.sched {
+            sched.state = ParkState::Active;
+            sched.wake = None;
+        }
+        for (s, slot) in self.slice_next.iter_mut().enumerate() {
+            *slot = self.slices[s].next_timer();
+        }
+        while !self.all_quiesced() {
+            if self.now.raw() >= max_cycles {
+                self.flush_parked();
+                return Err(RunError::CycleLimit {
+                    limit: max_cycles,
+                    retired: self.total_retired(),
+                });
+            }
+            let active = self.tick_scheduled();
+            self.post_tick(
+                &mut last_retired,
+                &mut last_progress,
+                &mut cpt_stats,
+                cpt_occ,
+            )?;
+            if !active && self.sched.iter().all(|s| s.state == ParkState::Parked) {
+                self.jump_ahead(
                     max_cycles,
-                    &mut last_retired,
-                    &mut last_progress,
+                    &last_retired,
+                    &last_progress,
                     &mut cpt_stats,
                     cpt_occ,
                 )?;
             }
         }
+        self.flush_parked();
+        Ok(self.finish_run(cpt_stats, cpt_occ))
+    }
+
+    /// Shared run-loop epilogue: the final CPT occupancy sample, the
+    /// observer's end-of-run snapshot, and result assembly.
+    fn finish_run(&mut self, mut cpt_stats: Stats, cpt_occ: HistId) -> RunResult {
         // A run shorter than the sample period would otherwise report an
         // empty occupancy histogram; always record the final state.
         for core in &self.cores {
@@ -510,7 +619,7 @@ impl Machine {
             obs.on_run_end(self.now);
         }
         self.check_observer = ObserverSlot(observer);
-        Ok(self.result_with(cpt_stats))
+        self.result_with(cpt_stats)
     }
 
     /// Per-tick run-loop bookkeeping: progress/watchdog tracking and the
@@ -548,85 +657,250 @@ impl Machine {
         }
     }
 
-    /// Idle-cycle fast-forward. Called right after a *quiet* tick (no
-    /// message delivered, no timer fired, no pipeline change): the machine
-    /// is frozen except for time-independent statistics, so every cycle
-    /// until the next scheduled event repeats identically. This jumps
-    /// `now` to that event, replaying the skipped cycles' statistics in
-    /// bulk, and is bit-identical to single-stepping:
+    /// One cycle of the event-driven loop. Bit-identical to [`Machine::tick`]
+    /// in everything observable (stats, traces, message order, state), but
+    /// skips components with nothing scheduled:
     ///
-    /// - the jump target is capped at the next NoC delivery, core timed
-    ///   event, slice timer, the watchdog's fire cycle, and `max_cycles`,
-    ///   so no event, error, or limit can land inside the window;
-    /// - one *capture* tick runs first with normal bookkeeping; its
-    ///   per-core counter deltas are what each skipped cycle would add,
-    ///   and they are replayed `skip` times (quiet ticks never touch
-    ///   histograms except the periodic occupancy samples, replayed by
-    ///   count below);
-    /// - if the capture tick turns out active (conservative activity
-    ///   detection), the skip is abandoned — one normal tick happened;
-    /// - quiet ticks emit no trace events, so traces are untouched.
-    fn fast_forward(
+    /// - **Cores** park after two consecutive quiet ticks. The second — the
+    ///   *capture* tick — is bracketed by counter snapshots, so the per-cycle
+    ///   statistics delta of the frozen pipeline is known. A parked core is
+    ///   not ticked at all; the delta (and the 1-in-32 occupancy samples, at
+    ///   frozen queue lengths) is replayed in bulk at wake-up. A core wakes
+    ///   when a message is addressed to it — the replay runs *before*
+    ///   `handle_msg`, so the samples see pre-message lengths exactly as
+    ///   single-stepping would — or when its conservative
+    ///   [`Core::next_timed_event`] bound comes due. A too-early bound just
+    ///   causes a quiet wake tick followed by re-parking; correctness never
+    ///   depends on the bound being tight, only on it never being late.
+    /// - **Slices** are pure message reactors between timer firings, so a
+    ///   slice ticks only when its cached next-timer deadline (re-armed
+    ///   after every `handle`/`tick`, which are the only points that can
+    ///   arm a timer — always in the future) is due. Quiet slice ticks
+    ///   touch nothing, so no replay is needed.
+    /// - **NoC** delivery is consulted only when its earliest in-flight
+    ///   deadline (conservative-early, never late) is due.
+    ///
+    /// Outboxes and check-event drains still run for every component every
+    /// executed cycle: parked components cannot produce either, so this
+    /// costs nothing and keeps the ordering trivially identical.
+    fn tick_scheduled(&mut self) -> bool {
+        let now = self.now;
+        // 1. Deliver due messages; a message to a parked core wakes it
+        //    (statistics replay first, then the handler, then a normal
+        //    tick below — the naive per-cycle order).
+        let mut delivered = std::mem::take(&mut self.deliver_buf);
+        delivered.clear();
+        if self.noc.next_delivery().is_some_and(|c| c <= now) {
+            self.noc.deliver_into(now, &mut delivered);
+        }
+        let mut active = !delivered.is_empty();
+        let mut slice_bound = std::mem::take(&mut self.slice_bound);
+        slice_bound.clear();
+        for (_, dst, msg) in delivered.drain(..) {
+            match dst {
+                NodeId::Core(c) => {
+                    let i = c.index();
+                    if self.sched[i].state == ParkState::Parked {
+                        self.replay_parked(i, now);
+                        // The naive loop's previous (quiet) tick would
+                        // have left the trace clock at `now - 1`.
+                        self.cores[i].sync_trace_now(Cycle(now.raw() - 1));
+                    }
+                    self.sched[i].state = ParkState::Active;
+                    self.cores[i].handle_msg(msg, now, &mut self.image);
+                }
+                NodeId::Slice(s) => slice_bound.push((s, msg)),
+            }
+        }
+        self.deliver_buf = delivered;
+        {
+            let pins = CorePins(&self.cores);
+            let touched = &mut self.slice_touched;
+            touched.iter_mut().for_each(|t| *t = false);
+            for (s, msg) in slice_bound.drain(..) {
+                self.slices[s].handle(msg, now, &pins);
+                touched[s] = true;
+            }
+            // 2. Tick only slices whose timer calendar says so; re-arm
+            //    the calendar for every slice touched this cycle.
+            for (s, t) in touched.iter_mut().enumerate() {
+                if self.slice_next[s].is_some_and(|c| c <= now) {
+                    active |= self.slices[s].tick(now, &pins);
+                    *t = true;
+                }
+                if *t {
+                    self.slice_next[s] = self.slices[s].next_timer();
+                }
+            }
+        }
+        self.slice_bound = slice_bound;
+        // 3. Tick cores through the park state machine.
+        for i in 0..self.cores.len() {
+            match self.sched[i].state {
+                ParkState::Parked => {
+                    if self.sched[i].wake.is_some_and(|c| c <= now) {
+                        self.replay_parked(i, now);
+                        let a = self.cores[i].tick(now, &mut self.image);
+                        active |= a;
+                        self.sched[i].state = if a {
+                            ParkState::Active
+                        } else {
+                            ParkState::Quiet
+                        };
+                    }
+                }
+                ParkState::Active => {
+                    let a = self.cores[i].tick(now, &mut self.image);
+                    active |= a;
+                    self.sched[i].state = if a {
+                        ParkState::Active
+                    } else {
+                        ParkState::Quiet
+                    };
+                }
+                ParkState::Quiet => {
+                    let next_ev = self.cores[i].next_timed_event(now);
+                    if next_ev.is_some_and(|c| c <= now) {
+                        // Something is due right now; tick normally.
+                        let a = self.cores[i].tick(now, &mut self.image);
+                        active |= a;
+                        self.sched[i].state = if a {
+                            ParkState::Active
+                        } else {
+                            ParkState::Quiet
+                        };
+                    } else {
+                        // Predicted-quiet capture tick.
+                        let sched = &mut self.sched[i];
+                        let core = &mut self.cores[i];
+                        sched.core_before.clear();
+                        sched
+                            .core_before
+                            .extend_from_slice(core.stats().counter_values());
+                        sched.gov_before.clear();
+                        sched
+                            .gov_before
+                            .extend_from_slice(core.governor().stats().counter_values());
+                        let a = core.tick(now, &mut self.image);
+                        active |= a;
+                        if a {
+                            // The conservative bound missed activity; no
+                            // harm — a normal tick just happened.
+                            sched.state = ParkState::Active;
+                        } else {
+                            sched.core_after.clear();
+                            sched
+                                .core_after
+                                .extend_from_slice(core.stats().counter_values());
+                            sched.gov_after.clear();
+                            sched
+                                .gov_after
+                                .extend_from_slice(core.governor().stats().counter_values());
+                            sched.state = ParkState::Parked;
+                            sched.since = now;
+                            sched.wake = next_ev;
+                        }
+                    }
+                }
+            }
+        }
+        // 4. Route outboxes through the mesh (empty for parked cores).
+        let mut outbox = std::mem::take(&mut self.outbox_buf);
+        for i in 0..self.cores.len() {
+            self.cores[i].drain_outbox_into(&mut outbox);
+            for (dst, msg) in outbox.drain(..) {
+                self.noc.send(now, NodeId::Core(CoreId(i)), dst, msg);
+            }
+        }
+        for i in 0..self.slices.len() {
+            self.slices[i].drain_outbox_into(&mut outbox);
+            for (dst, msg) in outbox.drain(..) {
+                self.noc.send(now, NodeId::Slice(i), dst, msg);
+            }
+        }
+        self.outbox_buf = outbox;
+        if self.cfg.verify.enabled {
+            self.drain_checks(now);
+        }
+        self.now += 1;
+        active
+    }
+
+    /// Pays core `i`'s owed statistics for the quiet cycles it skipped
+    /// while parked — `since + 1 ..= now - 1`, where `since` is the
+    /// capture tick and `now` is the cycle about to execute (or, from
+    /// [`Machine::flush_parked`], one past the last executed cycle).
+    /// Leaves the core `Active`.
+    fn replay_parked(&mut self, i: usize, now: Cycle) {
+        let sched = &mut self.sched[i];
+        debug_assert_eq!(sched.state, ParkState::Parked);
+        let ticks = now.raw() - sched.since.raw() - 1;
+        if ticks > 0 {
+            let occ_samples = multiples_in(OCC_SAMPLE_PERIOD, sched.since.raw() + 1, now.raw());
+            self.cores[i].replay_quiet_ticks(
+                &sched.core_before,
+                &sched.core_after,
+                &sched.gov_before,
+                &sched.gov_after,
+                ticks,
+                occ_samples,
+            );
+        }
+        let sched = &mut self.sched[i];
+        sched.state = ParkState::Active;
+        sched.wake = None;
+    }
+
+    /// Replays every still-parked core up to `self.now` so merged
+    /// statistics match the naive loop. Called before assembling results
+    /// or reporting a cycle-limit error.
+    fn flush_parked(&mut self) {
+        let now = self.now;
+        for i in 0..self.cores.len() {
+            if self.sched[i].state == ParkState::Parked {
+                self.replay_parked(i, now);
+            }
+        }
+    }
+
+    /// Whole-machine time jump, legal only when every core is parked: no
+    /// core will tick until its wake bound, no slice until its timer, and
+    /// no delivery until the NoC's earliest deadline, so the skipped
+    /// machine cycles execute nothing at all. Jumps `now` to the earliest
+    /// of those bounds (capped by the watchdog fire cycle and
+    /// `max_cycles`). Per-core statistics need no attention here — the
+    /// parked spans already cover the jumped cycles and are replayed at
+    /// wake — but the machine-level CPT samples post_tick would have taken
+    /// are replayed by count at the cores' frozen occupancies.
+    fn jump_ahead(
         &mut self,
         max_cycles: u64,
-        last_retired: &mut u64,
-        last_progress: &mut Cycle,
+        last_retired: &u64,
+        last_progress: &Cycle,
         cpt_stats: &mut Stats,
         cpt_occ: HistId,
     ) -> Result<(), RunError> {
-        let now = self.now;
+        let now = self.now.raw();
         // Watchdog fire cycle: post_tick faults once now - last_progress
         // exceeds the threshold.
         let mut target = (last_progress.raw() + self.watchdog_cycles + 1).min(max_cycles);
         if let Some(c) = self.noc.next_delivery() {
             target = target.min(c.raw());
         }
-        for core in &self.cores {
-            if let Some(c) = core.next_timed_event(now) {
+        for sched in &self.sched {
+            if let Some(c) = sched.wake {
                 target = target.min(c.raw());
             }
         }
-        for slice in &self.slices {
-            if let Some(c) = slice.next_timer() {
-                target = target.min(c.raw());
-            }
+        for c in self.slice_next.iter().flatten() {
+            target = target.min(c.raw());
         }
-        if target <= now.raw() + 1 {
-            return Ok(()); // nothing to skip
+        if target <= now {
+            return Ok(()); // an event is due immediately
         }
-        let core_before: Vec<Vec<u64>> = self
-            .cores
-            .iter()
-            .map(|c| c.stats().counter_values().to_vec())
-            .collect();
-        let gov_before: Vec<Vec<u64>> = self
-            .cores
-            .iter()
-            .map(|c| c.governor().stats().counter_values().to_vec())
-            .collect();
-        let active = self.tick();
-        self.post_tick(last_retired, last_progress, cpt_stats, cpt_occ)?;
-        if active {
-            return Ok(());
-        }
-        // Skipped cycles: [self.now, target). Their `now` values drive the
-        // cores' occupancy samples; the post-tick values (`c + 1`) drive
-        // the CPT samples.
-        let skip = target - self.now.raw();
-        let occ_samples = multiples_in(OCC_SAMPLE_PERIOD, self.now.raw(), target);
-        let cpt_samples = multiples_in(CPT_SAMPLE_PERIOD, self.now.raw() + 1, target + 1);
-        for (i, core) in self.cores.iter_mut().enumerate() {
-            let core_after = core.stats().counter_values().to_vec();
-            let gov_after = core.governor().stats().counter_values().to_vec();
-            core.replay_quiet_ticks(
-                &core_before[i],
-                &core_after,
-                &gov_before[i],
-                &gov_after,
-                skip,
-                occ_samples,
-            );
-        }
+        // Skipped machine cycles: [now, target). Their post-tick values
+        // (`c + 1`) drive the CPT sample cadence.
+        let cpt_samples = multiples_in(CPT_SAMPLE_PERIOD, now + 1, target + 1);
         if cpt_samples > 0 {
             for core in &self.cores {
                 cpt_stats.sample_n_id(

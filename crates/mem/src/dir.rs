@@ -20,41 +20,131 @@
 //! other requests to the line" (Section 5.1.1).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
+use std::fmt;
 
 use pl_base::{
-    CheckEvent, CheckSink, CoreId, Cycle, LineAddr, MemConfig, Mutation, Stats, VerifyConfig,
+    CheckEvent, CheckSink, CoreId, Cycle, LineAddr, MemConfig, Mutation, StatId, Stats,
+    VerifyConfig,
 };
 use pl_trace::{EventKind, TraceSource, Tracer};
 
 use crate::cache::Cache;
+use crate::line_table::LineTable;
 use crate::msg::{DataGrant, Msg, NodeId};
 use crate::PinView;
 
+/// A dense bitmap of cores sharing a line.
+///
+/// Replaces the directory's old `Vec<CoreId>` sharer lists: membership
+/// tests, inserts, and removals are single bit operations, a line's
+/// metadata is `Copy` (no per-line heap allocation), and iteration order
+/// is always ascending core id — a canonical order, so nothing
+/// downstream can depend on insertion history.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharerSet(u64);
+
+impl SharerSet {
+    /// Largest core index a sharer bitmap can track.
+    pub const MAX_CORES: usize = 64;
+
+    /// The empty set.
+    pub fn new() -> SharerSet {
+        SharerSet(0)
+    }
+
+    /// A set holding the given cores.
+    pub fn of(cores: &[CoreId]) -> SharerSet {
+        let mut s = SharerSet::new();
+        for &c in cores {
+            s.insert(c);
+        }
+        s
+    }
+
+    fn bit(core: CoreId) -> u64 {
+        assert!(
+            core.index() < Self::MAX_CORES,
+            "sharer bitmap supports at most {} cores",
+            Self::MAX_CORES
+        );
+        1u64 << core.index()
+    }
+
+    /// Adds `core` to the set (idempotent).
+    pub fn insert(&mut self, core: CoreId) {
+        self.0 |= Self::bit(core);
+    }
+
+    /// Removes `core` from the set (idempotent).
+    pub fn remove(&mut self, core: CoreId) {
+        self.0 &= !Self::bit(core);
+    }
+
+    /// Returns `true` if `core` is in the set.
+    pub fn contains(&self, core: CoreId) -> bool {
+        self.0 & Self::bit(core) != 0
+    }
+
+    /// Number of sharers.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` if no core shares the line.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// This set minus `core`.
+    pub fn without(&self, core: CoreId) -> SharerSet {
+        SharerSet(self.0 & !Self::bit(core))
+    }
+
+    /// Sharers in ascending core-id order.
+    pub fn iter(&self) -> impl Iterator<Item = CoreId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            Some(CoreId(i))
+        })
+    }
+}
+
+impl fmt::Debug for SharerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
 /// Directory-visible state of a line resident in the LLC.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DirState {
     /// In the LLC, no L1 copies.
     #[default]
     Uncached,
-    /// Read-only copies at the listed cores.
-    Shared(Vec<CoreId>),
+    /// Read-only copies at the cores in the bitmap.
+    Shared(SharerSet),
     /// A single L1 holds the line in E or M.
     Owned(CoreId),
 }
 
 impl DirState {
-    /// Cores holding a copy.
-    pub fn holders(&self) -> Vec<CoreId> {
-        match self {
-            DirState::Uncached => Vec::new(),
-            DirState::Shared(s) => s.clone(),
-            DirState::Owned(o) => vec![*o],
+    /// Cores holding a copy, in ascending core-id order.
+    pub fn holders(&self) -> SharerSet {
+        match *self {
+            DirState::Uncached => SharerSet::new(),
+            DirState::Shared(s) => s,
+            DirState::Owned(o) => SharerSet::of(&[o]),
         }
     }
 }
 
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 struct LlcLine {
     state: DirState,
     dirty: bool,
@@ -67,7 +157,7 @@ enum Txn {
     Write {
         writer: CoreId,
         star: bool,
-        others: Vec<CoreId>,
+        others: SharerSet,
     },
     /// Read forwarded to the owner; waiting for CopyBack.
     FwdS { owner: CoreId, requester: CoreId },
@@ -104,6 +194,53 @@ struct FillReq {
 /// pinned. Pinned loads retire in bounded time, so this always terminates.
 const RETRY_FILL_DELAY: u64 = 20;
 
+/// Pre-allocated capacity of the per-slice transaction tables. Sized for
+/// the worst case of every core's MSHRs plus eviction transactions all
+/// homed at one slice; the tables can grow past it, but in practice
+/// never do, so the hot path allocates nothing.
+const TXN_TABLE_CAPACITY: usize = 256;
+
+/// Interned ids for every counter the slice bumps on the message path.
+/// The directory handles a few messages per machine cycle on parallel
+/// workloads, so these go through [`Stats::incr_id`] (a vector index)
+/// rather than the string-keyed map walk.
+#[derive(Debug, Clone, Copy)]
+struct SliceStatIds {
+    gets: StatId,
+    getx: StatId,
+    getx_star: StatId,
+    nacks: StatId,
+    clears: StatId,
+    aborts: StatId,
+    evictions: StatId,
+    evictions_retried: StatId,
+    evictions_denied: StatId,
+    back_invs: StatId,
+    dram_fetches: StatId,
+}
+
+impl SliceStatIds {
+    /// Interns every slice counter in `stats`. Interning alone keeps the
+    /// counters at zero (invisible until written), but makes them known
+    /// to strict lookups (`Stats::get_known`) even on runs where the
+    /// protocol path never fires.
+    fn intern(stats: &mut Stats) -> SliceStatIds {
+        SliceStatIds {
+            gets: stats.counter_id("llc.gets"),
+            getx: stats.counter_id("llc.getx"),
+            getx_star: stats.counter_id("llc.getx_star"),
+            nacks: stats.counter_id("llc.nacks"),
+            clears: stats.counter_id("llc.clears"),
+            aborts: stats.counter_id("llc.aborts"),
+            evictions: stats.counter_id("llc.evictions"),
+            evictions_retried: stats.counter_id("llc.evictions_retried"),
+            evictions_denied: stats.counter_id("llc.evictions_denied"),
+            back_invs: stats.counter_id("llc.back_invs"),
+            dram_fetches: stats.counter_id("llc.dram_fetches"),
+        }
+    }
+}
+
 /// One LLC slice plus directory bank.
 ///
 /// Drive it by feeding network messages to [`LlcSlice::handle`] and
@@ -113,13 +250,14 @@ const RETRY_FILL_DELAY: u64 = 20;
 pub struct LlcSlice {
     id: usize,
     cache: Cache<LlcLine>,
-    busy: HashMap<LineAddr, Txn>,
-    waiting_fills: HashMap<LineAddr, FillReq>,
+    busy: LineTable<Txn>,
+    waiting_fills: LineTable<FillReq>,
     timers: BinaryHeap<Reverse<(Cycle, u64, Timer)>>,
     timer_seq: u64,
     dram_latency: u64,
     outbox: Vec<(NodeId, Msg)>,
     stats: Stats,
+    stat_ids: SliceStatIds,
     tracer: Tracer,
     /// Reused victim-candidate buffer for [`LlcSlice::try_place`].
     lru_scratch: Vec<(u64, LineAddr)>,
@@ -132,35 +270,19 @@ pub struct LlcSlice {
 impl LlcSlice {
     /// Creates slice `id` with the geometry from `cfg`.
     pub fn new(id: usize, cfg: &MemConfig) -> LlcSlice {
-        // Pre-register every counter this slice can ever bump, so strict
-        // lookups (`Stats::get_known`) see them even on runs where the
-        // protocol path never fires (zero counters are not printed).
         let mut stats = Stats::new();
-        for name in [
-            "llc.gets",
-            "llc.getx",
-            "llc.getx_star",
-            "llc.nacks",
-            "llc.clears",
-            "llc.aborts",
-            "llc.evictions",
-            "llc.evictions_retried",
-            "llc.evictions_denied",
-            "llc.back_invs",
-            "llc.dram_fetches",
-        ] {
-            stats.add(name, 0);
-        }
+        let stat_ids = SliceStatIds::intern(&mut stats);
         LlcSlice {
             id,
             cache: Cache::new(&cfg.llc_slice),
-            busy: HashMap::new(),
-            waiting_fills: HashMap::new(),
+            busy: LineTable::with_capacity(TXN_TABLE_CAPACITY),
+            waiting_fills: LineTable::with_capacity(TXN_TABLE_CAPACITY),
             timers: BinaryHeap::new(),
             timer_seq: 0,
             dram_latency: cfg.dram_latency,
             outbox: Vec::new(),
             stats,
+            stat_ids,
             tracer: Tracer::disabled(TraceSource::Slice(id)),
             lru_scratch: Vec::new(),
             check: CheckSink::disabled(),
@@ -212,12 +334,12 @@ impl LlcSlice {
     /// The directory state of `line`, if resident. Exposed for tests and
     /// for the machine's invariant checks.
     pub fn dir_state(&self, line: LineAddr) -> Option<DirState> {
-        self.cache.peek(line).map(|l| l.state.clone())
+        self.cache.peek(line).map(|l| l.state)
     }
 
     /// Returns `true` if a transaction is in flight for `line`.
     pub fn is_busy(&self, line: LineAddr) -> bool {
-        self.busy.contains_key(&line)
+        self.busy.contains_key(line)
     }
 
     /// One-line description of in-flight transactions for deadlock
@@ -225,10 +347,11 @@ impl LlcSlice {
     pub fn debug_summary(&self) -> String {
         use std::fmt::Write as _;
         let mut s = format!("slice{}:", self.id);
-        // Sort for a deterministic dump: both tables are hash maps, and a
-        // diagnosis must not depend on their iteration order.
+        // Sort by line for a canonical dump: the tables iterate in
+        // deterministic insertion order, but a diagnosis reads better
+        // (and diffs cleaner) keyed by address.
         let mut busy: Vec<_> = self.busy.iter().collect();
-        busy.sort_unstable_by_key(|(line, _)| **line);
+        busy.sort_unstable_by_key(|&(line, _)| line);
         for (line, txn) in busy {
             let _ = write!(s, " busy[{line} {txn:?}]");
         }
@@ -328,9 +451,9 @@ impl LlcSlice {
     }
 
     fn on_gets(&mut self, line: LineAddr, requester: CoreId, now: Cycle) {
-        self.stats.incr("llc.gets");
-        if self.busy.contains_key(&line) {
-            self.stats.incr("llc.nacks");
+        self.stats.incr_id(self.stat_ids.gets);
+        if self.busy.contains_key(line) {
+            self.stats.incr_id(self.stat_ids.nacks);
             self.send(
                 NodeId::Core(requester),
                 Msg::Nack {
@@ -340,7 +463,7 @@ impl LlcSlice {
             );
             return;
         }
-        match self.cache.get_mut(line).map(|l| l.state.clone()) {
+        match self.cache.get_mut(line).map(|l| l.state) {
             None => self.start_fetch(
                 line,
                 FillReq {
@@ -362,9 +485,7 @@ impl LlcSlice {
                 );
             }
             Some(DirState::Shared(mut sharers)) => {
-                if !sharers.contains(&requester) {
-                    sharers.push(requester);
-                }
+                sharers.insert(requester);
                 self.set_state(line, DirState::Shared(sharers));
                 self.send(
                     NodeId::Core(requester),
@@ -395,12 +516,12 @@ impl LlcSlice {
     }
 
     fn on_getx(&mut self, line: LineAddr, requester: CoreId, star: bool, now: Cycle) {
-        self.stats.incr("llc.getx");
+        self.stats.incr_id(self.stat_ids.getx);
         if star {
-            self.stats.incr("llc.getx_star");
+            self.stats.incr_id(self.stat_ids.getx_star);
         }
-        if self.busy.contains_key(&line) {
-            self.stats.incr("llc.nacks");
+        if self.busy.contains_key(line) {
+            self.stats.incr_id(self.stat_ids.nacks);
             self.send(
                 NodeId::Core(requester),
                 Msg::Nack {
@@ -410,7 +531,7 @@ impl LlcSlice {
             );
             return;
         }
-        match self.cache.get_mut(line).map(|l| l.state.clone()) {
+        match self.cache.get_mut(line).map(|l| l.state) {
             None => self.start_fetch(
                 line,
                 FillReq {
@@ -431,11 +552,7 @@ impl LlcSlice {
                 );
             }
             Some(DirState::Shared(sharers)) => {
-                let others: Vec<CoreId> = sharers
-                    .iter()
-                    .copied()
-                    .filter(|&c| c != requester)
-                    .collect();
+                let others = sharers.without(requester);
                 if others.is_empty() {
                     self.set_state_dirty(line, DirState::Owned(requester));
                     self.send(
@@ -455,7 +572,7 @@ impl LlcSlice {
                             acks_expected: others.len(),
                         },
                     );
-                    for &sharer in &others {
+                    for sharer in others.iter() {
                         self.send(
                             NodeId::Core(sharer),
                             Msg::Inv {
@@ -510,7 +627,7 @@ impl LlcSlice {
     fn on_puts(&mut self, line: LineAddr, from: CoreId) {
         if let Some(l) = self.cache.get_mut(line) {
             if let DirState::Shared(sharers) = &mut l.state {
-                sharers.retain(|&c| c != from);
+                sharers.remove(from);
                 if sharers.is_empty() {
                     l.state = DirState::Uncached;
                 }
@@ -531,7 +648,7 @@ impl LlcSlice {
     }
 
     fn on_unblock(&mut self, line: LineAddr, from: CoreId) {
-        match self.busy.remove(&line) {
+        match self.busy.remove(line) {
             Some(Txn::Write {
                 writer,
                 star,
@@ -549,11 +666,11 @@ impl LlcSlice {
                     } else {
                         // Figure 5(b): tell every former sharer to clear
                         // its CPT.
-                        for sharer in others {
+                        for sharer in others.iter() {
                             self.check.emit(CheckEvent::ClearSent { line, to: sharer });
                             self.send(NodeId::Core(sharer), Msg::Clear { line });
                         }
-                        self.stats.incr("llc.clears");
+                        self.stats.incr_id(self.stat_ids.clears);
                     }
                 }
             }
@@ -571,7 +688,7 @@ impl LlcSlice {
                     } else {
                         self.check.emit(CheckEvent::ClearSent { line, to: owner });
                         self.send(NodeId::Core(owner), Msg::Clear { line });
-                        self.stats.incr("llc.clears");
+                        self.stats.incr_id(self.stat_ids.clears);
                     }
                 }
             }
@@ -587,15 +704,15 @@ impl LlcSlice {
     fn on_abort(&mut self, line: LineAddr, from: CoreId) {
         // Figure 3(b)/5(a): exit the transient state without changing the
         // sharer bits.
-        match self.busy.get(&line) {
+        match self.busy.get(line) {
             Some(Txn::Write { writer, .. }) if *writer == from => {
-                self.busy.remove(&line);
-                self.stats.incr("llc.aborts");
+                self.busy.remove(line);
+                self.stats.incr_id(self.stat_ids.aborts);
                 self.check.emit(CheckEvent::DirAbort { line, from });
             }
             Some(Txn::FwdX { writer, .. }) if *writer == from => {
-                self.busy.remove(&line);
-                self.stats.incr("llc.aborts");
+                self.busy.remove(line);
+                self.stats.incr_id(self.stat_ids.aborts);
                 self.check.emit(CheckEvent::DirAbort { line, from });
             }
             _ => {}
@@ -614,11 +731,11 @@ impl LlcSlice {
     }
 
     fn on_copyback(&mut self, line: LineAddr, from: CoreId, dirty: bool) {
-        if let Some(Txn::FwdS { owner, requester }) = self.busy.get(&line).cloned() {
+        if let Some(Txn::FwdS { owner, requester }) = self.busy.get(line).cloned() {
             if owner == from {
-                self.busy.remove(&line);
+                self.busy.remove(line);
                 if let Some(l) = self.cache.get_mut(line) {
-                    l.state = DirState::Shared(vec![owner, requester]);
+                    l.state = DirState::Shared(SharerSet::of(&[owner, requester]));
                     l.dirty |= dirty;
                 }
             }
@@ -639,7 +756,7 @@ impl LlcSlice {
             l.dirty |= dirty;
             match &mut l.state {
                 DirState::Shared(s) => {
-                    s.retain(|&c| c != from);
+                    s.remove(from);
                     if s.is_empty() {
                         l.state = DirState::Uncached;
                     }
@@ -651,15 +768,15 @@ impl LlcSlice {
         if let Some(Txn::Evict {
             acks_left,
             for_fill,
-        }) = self.busy.get_mut(&line)
+        }) = self.busy.get_mut(line)
         {
             *acks_left -= 1;
             if *acks_left == 0 {
                 let fill = *for_fill;
-                self.busy.remove(&line);
+                self.busy.remove(line);
                 // Victim fully invalidated: free the way and place the fill.
                 self.cache.invalidate(line);
-                self.stats.incr("llc.evictions");
+                self.stats.incr_id(self.stat_ids.evictions);
                 self.place_fill(fill, now, pins);
             }
         }
@@ -667,19 +784,19 @@ impl LlcSlice {
 
     fn on_backinv_defer(&mut self, line: LineAddr, from: CoreId, now: Cycle) {
         let _ = from;
-        if let Some(Txn::Evict { for_fill, .. }) = self.busy.get(&line).cloned() {
+        if let Some(Txn::Evict { for_fill, .. }) = self.busy.get(line).cloned() {
             // A core pinned the victim between selection and delivery:
             // cancel the eviction, refresh the victim's recency, retry the
             // allocation later (Section 5.1.3).
-            self.busy.remove(&line);
+            self.busy.remove(line);
             self.cache.touch(line);
-            self.stats.incr("llc.evictions_retried");
+            self.stats.incr_id(self.stat_ids.evictions_retried);
             self.arm_timer(now + RETRY_FILL_DELAY, Timer::RetryFill(for_fill));
         }
     }
 
     fn start_fetch(&mut self, line: LineAddr, req: FillReq, now: Cycle) {
-        self.stats.incr("llc.dram_fetches");
+        self.stats.incr_id(self.stat_ids.dram_fetches);
         self.busy.insert(line, Txn::Fetch);
         self.waiting_fills.insert(line, req);
         self.arm_timer(now + self.dram_latency, Timer::DramDone(line));
@@ -688,17 +805,17 @@ impl LlcSlice {
     /// Attempts to place a fetched line into the cache, possibly starting
     /// an eviction transaction for a victim.
     fn try_place(&mut self, line: LineAddr, now: Cycle, pins: &dyn PinView) {
-        if !self.waiting_fills.contains_key(&line) {
+        if !self.waiting_fills.contains_key(line) {
             return; // already placed (stale retry timer)
         }
         // Fast path: a free way or a holder-less victim.
         let attempt = self.cache.insert(line, LlcLine::default(), |victim, meta| {
-            meta.state == DirState::Uncached && !self.busy.contains_key(&victim)
+            meta.state == DirState::Uncached && !self.busy.contains_key(victim)
         });
         match attempt {
             Ok(evicted) => {
                 if evicted.is_some() {
-                    self.stats.incr("llc.evictions");
+                    self.stats.incr_id(self.stat_ids.evictions);
                 }
                 self.place_fill(line, now, pins);
             }
@@ -711,7 +828,7 @@ impl LlcSlice {
                 let victim = candidates
                     .iter()
                     .map(|&(_, v)| v)
-                    .find(|&v| !self.busy.contains_key(&v) && !pins.is_pinned_by_any(v));
+                    .find(|&v| !self.busy.contains_key(v) && !pins.is_pinned_by_any(v));
                 self.lru_scratch = candidates;
                 match victim {
                     Some(v) => {
@@ -728,8 +845,8 @@ impl LlcSlice {
                                 for_fill: line,
                             },
                         );
-                        for h in holders {
-                            self.stats.incr("llc.back_invs");
+                        for h in holders.iter() {
+                            self.stats.incr_id(self.stat_ids.back_invs);
                             self.send(
                                 NodeId::Core(h),
                                 Msg::BackInv {
@@ -741,7 +858,7 @@ impl LlcSlice {
                     }
                     None => {
                         // All ways pinned or busy: retry after pins drain.
-                        self.stats.incr("llc.evictions_denied");
+                        self.stats.incr_id(self.stat_ids.evictions_denied);
                         self.arm_timer(now + RETRY_FILL_DELAY, Timer::RetryFill(line));
                     }
                 }
@@ -752,10 +869,10 @@ impl LlcSlice {
     /// Installs a fill whose way is guaranteed free and answers the
     /// requester.
     fn place_fill(&mut self, line: LineAddr, _now: Cycle, _pins: &dyn PinView) {
-        let Some(req) = self.waiting_fills.remove(&line) else {
+        let Some(req) = self.waiting_fills.remove(line) else {
             return;
         };
-        self.busy.remove(&line); // clear the Fetch marker
+        self.busy.remove(line); // clear the Fetch marker
         let (state, grant) = if req.write {
             (DirState::Owned(req.requester), DataGrant::Modified)
         } else {
@@ -765,12 +882,12 @@ impl LlcSlice {
         let inserted = self
             .cache
             .insert(line, LlcLine { state, dirty }, |victim, meta| {
-                meta.state == DirState::Uncached && !self.busy.contains_key(&victim)
+                meta.state == DirState::Uncached && !self.busy.contains_key(victim)
             });
         match inserted {
             Ok(evicted) => {
                 if evicted.is_some() {
-                    self.stats.incr("llc.evictions");
+                    self.stats.incr_id(self.stat_ids.evictions);
                 }
                 self.send(
                     NodeId::Core(req.requester),
@@ -900,7 +1017,7 @@ mod tests {
         );
         assert_eq!(
             s.dir_state(line(1)),
-            Some(DirState::Shared(vec![CoreId(0), CoreId(1)]))
+            Some(DirState::Shared(SharerSet::of(&[CoreId(0), CoreId(1)])))
         );
     }
 
@@ -1032,7 +1149,7 @@ mod tests {
         assert!(!s.is_busy(l));
         assert_eq!(
             s.dir_state(l),
-            Some(DirState::Shared(vec![CoreId(0), CoreId(1)]))
+            Some(DirState::Shared(SharerSet::of(&[CoreId(0), CoreId(1)])))
         );
         assert_eq!(s.stats().get_known("llc.aborts"), 1);
     }
@@ -1167,7 +1284,10 @@ mod tests {
             Cycle(500),
             &NoPins,
         );
-        assert_eq!(s.dir_state(l), Some(DirState::Shared(vec![CoreId(1)])));
+        assert_eq!(
+            s.dir_state(l),
+            Some(DirState::Shared(SharerSet::of(&[CoreId(1)])))
+        );
         s.handle(
             Msg::PutS {
                 line: l,

@@ -29,6 +29,7 @@
 
 pub mod cache;
 pub mod dir;
+mod line_table;
 pub mod memory;
 pub mod msg;
 pub mod mshr;
@@ -36,7 +37,7 @@ pub mod noc;
 pub mod write_buffer;
 
 pub use cache::{Cache, EvictionDenied, Mesi};
-pub use dir::{DirState, LlcSlice};
+pub use dir::{DirState, LlcSlice, SharerSet};
 pub use memory::Memory;
 pub use msg::{DataGrant, Msg, NodeId};
 pub use mshr::{MshrError, MshrFile};

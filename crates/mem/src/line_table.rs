@@ -1,0 +1,154 @@
+//! A small deterministic map keyed by [`LineAddr`].
+//!
+//! The directory's transaction tables and the L1's MSHR file hold a
+//! handful of entries at a time, but the simulator iterates them on hot
+//! and observable paths (squashes, deadlock dumps, fill wakeups). A
+//! `HashMap` there has two problems: iteration order is nondeterministic
+//! (any escape into stats, dumps, or the differential oracle breaks
+//! run-to-run reproducibility), and every insert risks a rehash in the
+//! middle of the simulation kernel. `LineTable` is a plain vector in
+//! **insertion order**: lookups are a linear scan (cheap at these sizes,
+//! and cache-friendly versus hashing), iteration order is exactly the
+//! order entries were created, and the backing storage is allocated once
+//! up front.
+
+use pl_base::LineAddr;
+
+/// Insertion-ordered map from [`LineAddr`] to `T` with pre-allocated,
+/// linearly-scanned storage.
+#[derive(Debug, Clone)]
+pub(crate) struct LineTable<T> {
+    entries: Vec<(LineAddr, T)>,
+}
+
+impl<T> LineTable<T> {
+    /// Creates a table with room for `capacity` entries before any
+    /// reallocation.
+    pub fn with_capacity(capacity: usize) -> LineTable<T> {
+        LineTable {
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn contains_key(&self, line: LineAddr) -> bool {
+        self.entries.iter().any(|&(l, _)| l == line)
+    }
+
+    pub fn get(&self, line: LineAddr) -> Option<&T> {
+        self.entries
+            .iter()
+            .find(|&&(l, _)| l == line)
+            .map(|(_, v)| v)
+    }
+
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut T> {
+        self.entries
+            .iter_mut()
+            .find(|&&mut (l, _)| l == line)
+            .map(|(_, v)| v)
+    }
+
+    /// Inserts `value` under `line`, returning the previous value if the
+    /// key was present (which keeps its original position, like a
+    /// `HashMap` insert but with stable order).
+    pub fn insert(&mut self, line: LineAddr, value: T) -> Option<T> {
+        if let Some(slot) = self.get_mut(line) {
+            return Some(std::mem::replace(slot, value));
+        }
+        self.entries.push((line, value));
+        None
+    }
+
+    /// Removes and returns the entry for `line`. Later entries keep their
+    /// relative order, so iteration order stays the insertion order of
+    /// the surviving entries.
+    pub fn remove(&mut self, line: LineAddr) -> Option<T> {
+        let pos = self.entries.iter().position(|&(l, _)| l == line)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &T)> {
+        self.entries.iter().map(|(l, v)| (*l, v))
+    }
+
+    /// Keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.entries.iter().map(|&(l, _)| l)
+    }
+
+    /// Values in insertion order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.entries.iter_mut().map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_base::Addr;
+
+    fn line(n: u64) -> LineAddr {
+        Addr::new(n * 64).line()
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut t = LineTable::with_capacity(4);
+        assert!(t.is_empty());
+        assert_eq!(t.insert(line(1), "a"), None);
+        assert_eq!(t.insert(line(2), "b"), None);
+        assert_eq!(t.insert(line(1), "c"), Some("a"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(line(1)), Some(&"c"));
+        assert!(t.contains_key(line(2)));
+        assert_eq!(t.remove(line(1)), Some("c"));
+        assert_eq!(t.remove(line(1)), None);
+        assert_eq!(t.get(line(1)), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_insertion_ordered() {
+        let mut t = LineTable::with_capacity(4);
+        for n in [7, 3, 9, 1] {
+            t.insert(line(n), n);
+        }
+        let keys: Vec<_> = t.keys().collect();
+        assert_eq!(keys, vec![line(7), line(3), line(9), line(1)]);
+        // Removal preserves the relative order of survivors.
+        t.remove(line(3));
+        let keys: Vec<_> = t.keys().collect();
+        assert_eq!(keys, vec![line(7), line(9), line(1)]);
+        // Re-inserting an existing key keeps its position.
+        t.insert(line(9), 99);
+        let pairs: Vec<_> = t.iter().map(|(l, v)| (l, *v)).collect();
+        assert_eq!(pairs, vec![(line(7), 7), (line(9), 99), (line(1), 1)]);
+    }
+
+    #[test]
+    fn order_is_a_function_of_operations_not_hashes() {
+        // Unlike a HashMap, two tables built by the same operation
+        // sequence iterate identically — and the order is the documented
+        // insertion order, so it cannot vary across runs or platforms.
+        let build = || {
+            let mut t = LineTable::with_capacity(8);
+            for n in [12, 4, 8, 2, 6] {
+                t.insert(line(n), ());
+            }
+            t.remove(line(8));
+            t.insert(line(20), ());
+            t.keys().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+        assert_eq!(build(), vec![line(12), line(4), line(2), line(6), line(20)]);
+    }
+}

@@ -121,6 +121,44 @@ mod tests {
     }
 
     #[test]
+    fn dump_is_independent_of_insertion_order() {
+        // The backing store is a HashMap, whose iteration order depends
+        // on insertion history. `words_sorted` is the only way contents
+        // escape to observable places (the differential oracle, final-
+        // state dumps), so it must be a function of the contents alone:
+        // permuting the write order — including overwrites and
+        // delete/re-insert cycles, which perturb bucket layout — must
+        // yield the identical dump.
+        let writes: [(u64, u64); 6] = [
+            (0x100, 1),
+            (0x208, 2),
+            (0x310, 3),
+            (0x418, 4),
+            (0x520, 5),
+            (0x628, 6),
+        ];
+        let build = |order: &[usize]| {
+            let mut m = Memory::new();
+            for &i in order {
+                let (a, v) = writes[i];
+                m.write(Addr::new(a), v * 100); // interim value, overwritten
+                m.write(Addr::new(a), 0); // delete, perturbing buckets
+                m.write(Addr::new(a), v);
+            }
+            m.words_sorted()
+        };
+        let forward = build(&[0, 1, 2, 3, 4, 5]);
+        let reverse = build(&[5, 4, 3, 2, 1, 0]);
+        let shuffled = build(&[3, 0, 5, 1, 4, 2]);
+        assert_eq!(forward, reverse);
+        assert_eq!(forward, shuffled);
+        assert_eq!(
+            forward,
+            writes.iter().map(|&(a, v)| (a >> 3, v)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn writing_zero_keeps_map_sparse() {
         let mut m = Memory::new();
         m.write(Addr::new(8), 1);

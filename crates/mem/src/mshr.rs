@@ -5,9 +5,10 @@
 //! file back-pressures the load/store unit.
 
 use pl_base::{LineAddr, SeqNum};
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+
+use crate::line_table::LineTable;
 
 /// Error returned by [`MshrFile::allocate`] when all entries are in use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +51,10 @@ struct MshrEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MshrFile {
-    entries: HashMap<LineAddr, MshrEntry>,
+    /// Outstanding misses in allocation order ([`LineTable`] keeps
+    /// iteration deterministic and the storage pre-allocated at the
+    /// file's capacity).
+    entries: LineTable<MshrEntry>,
     capacity: usize,
 }
 
@@ -63,7 +67,7 @@ impl MshrFile {
     pub fn new(capacity: usize) -> MshrFile {
         assert!(capacity > 0, "MSHR capacity must be nonzero");
         MshrFile {
-            entries: HashMap::new(),
+            entries: LineTable::with_capacity(capacity),
             capacity,
         }
     }
@@ -84,7 +88,7 @@ impl MshrFile {
         waiter: SeqNum,
         write_intent: bool,
     ) -> Result<bool, MshrError> {
-        if let Some(e) = self.entries.get_mut(&line) {
+        if let Some(e) = self.entries.get_mut(line) {
             if !e.waiters.contains(&waiter) {
                 e.waiters.push(waiter);
             }
@@ -107,20 +111,20 @@ impl MshrFile {
 
     /// Returns `true` if `line` has an outstanding miss.
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.entries.contains_key(&line)
+        self.entries.contains_key(line)
     }
 
     /// Marks the entry for `line` as pinned (Early Pinning pins the MSHR
     /// before the data arrives, Section 6.1.2).
     pub fn set_pinned(&mut self, line: LineAddr) {
-        if let Some(e) = self.entries.get_mut(&line) {
+        if let Some(e) = self.entries.get_mut(line) {
             e.pinned = true;
         }
     }
 
     /// Returns `true` if the entry for `line` is marked pinned.
     pub fn is_pinned(&self, line: LineAddr) -> bool {
-        self.entries.get(&line).is_some_and(|e| e.pinned)
+        self.entries.get(line).is_some_and(|e| e.pinned)
     }
 
     /// Completes the miss on `line`, freeing the entry and returning the
@@ -128,7 +132,7 @@ impl MshrFile {
     /// if no entry exists.
     pub fn complete(&mut self, line: LineAddr) -> Vec<SeqNum> {
         self.entries
-            .remove(&line)
+            .remove(line)
             .map(|e| e.waiters)
             .unwrap_or_default()
     }
@@ -167,7 +171,7 @@ impl MshrFile {
 
     /// Iterates over the lines with outstanding misses.
     pub fn lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.entries.keys().copied()
+        self.entries.keys()
     }
 }
 
@@ -244,8 +248,24 @@ mod tests {
         let mut m = MshrFile::new(4);
         m.allocate(line(1), SeqNum(1), false).unwrap();
         m.allocate(line(2), SeqNum(2), false).unwrap();
-        let mut ls: Vec<_> = m.lines().collect();
-        ls.sort();
+        let ls: Vec<_> = m.lines().collect();
         assert_eq!(ls, vec![line(1), line(2)]);
+    }
+
+    #[test]
+    fn iteration_is_allocation_ordered_not_address_ordered() {
+        // The MSHR file's iteration order feeds observable paths (debug
+        // summaries, fill bookkeeping), so it must be a deterministic
+        // function of the allocation sequence — never of a hash.
+        let mut m = MshrFile::new(8);
+        for n in [9, 2, 7, 4] {
+            m.allocate(line(n), SeqNum(n), false).unwrap();
+        }
+        let ls: Vec<_> = m.lines().collect();
+        assert_eq!(ls, vec![line(9), line(2), line(7), line(4)]);
+        m.complete(line(7));
+        m.allocate(line(1), SeqNum(1), false).unwrap();
+        let ls: Vec<_> = m.lines().collect();
+        assert_eq!(ls, vec![line(9), line(2), line(4), line(1)]);
     }
 }

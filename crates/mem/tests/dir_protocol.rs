@@ -2,7 +2,7 @@
 //! Pinned Loads defer/starvation paths driven with a scripted `PinView`.
 
 use pl_base::{Addr, CoreId, Cycle, LineAddr, MemConfig};
-use pl_mem::{DataGrant, DirState, LlcSlice, Msg, NoPins, NodeId, PinView};
+use pl_mem::{DataGrant, DirState, LlcSlice, Msg, NoPins, NodeId, PinView, SharerSet};
 
 fn line(n: u64) -> LineAddr {
     Addr::new(n * 64).line()
@@ -72,7 +72,11 @@ fn three_sharers_all_receive_invs_and_the_writer_collects() {
     share_with(&mut s, l, &[0, 1, 2], 0);
     assert_eq!(
         s.dir_state(l),
-        Some(DirState::Shared(vec![CoreId(0), CoreId(1), CoreId(2)]))
+        Some(DirState::Shared(SharerSet::of(&[
+            CoreId(0),
+            CoreId(1),
+            CoreId(2)
+        ])))
     );
     s.handle(
         Msg::GetX {
@@ -335,7 +339,7 @@ fn getx_star_inv_star_round_trips() {
     );
     assert_eq!(
         s.dir_state(l),
-        Some(DirState::Shared(vec![CoreId(0), CoreId(1)]))
+        Some(DirState::Shared(SharerSet::of(&[CoreId(0), CoreId(1)])))
     );
     // Retry succeeds -> Unblock -> Clear broadcast to former sharers.
     s.handle(

@@ -125,6 +125,14 @@ impl IssuePolicy {
     pub fn tracks_taint(&self) -> bool {
         self.scheme == DefenseScheme::Stt
     }
+
+    /// Returns `true` if [`IssuePolicy::may_issue`] reads
+    /// [`LoadContext::l1_hit`] (only Delay-On-Miss probes the cache to
+    /// decide). Callers with an expensive residency probe can skip it for
+    /// every other scheme until the issue decision has passed.
+    pub fn consults_l1(&self) -> bool {
+        self.scheme == DefenseScheme::Dom
+    }
 }
 
 #[cfg(test)]

@@ -517,7 +517,9 @@ pub fn faulted(mut cfg: MachineConfig, seed: u64, delay: u64) -> MachineConfig {
 /// The six evaluated configurations (Section 7): the unsafe baseline,
 /// the three prior defenses, and Pinned Loads in both designs (Late and
 /// Early Pinning, on the Fence scheme as in the paper's headline
-/// figures). Every config validates for `cores >= 1`.
+/// figures), plus reference-loop twins of the two extremes with
+/// per-component event skipping disabled. Every config validates for
+/// `cores >= 1`.
 pub fn scheme_configs(cores: usize) -> Vec<MachineConfig> {
     let mk = |scheme: DefenseScheme, mode: PinMode| {
         let mut c = if cores == 1 {
@@ -530,14 +532,28 @@ pub fn scheme_configs(cores: usize) -> Vec<MachineConfig> {
         c.validate().expect("scheme config must validate");
         c
     };
-    vec![
+    let mut out = vec![
         mk(DefenseScheme::Unsafe, PinMode::Off),
         mk(DefenseScheme::Fence, PinMode::Off),
         mk(DefenseScheme::Dom, PinMode::Off),
         mk(DefenseScheme::Stt, PinMode::Off),
         mk(DefenseScheme::Fence, PinMode::Late),
         mk(DefenseScheme::Fence, PinMode::Early),
-    ]
+    ];
+    // Reference-loop twins: the same machine with the event calendar off,
+    // so every component ticks every cycle. Their presence makes each
+    // differential run also an oracle for per-component event skipping:
+    // if the calendar ever skips a component that had pending work, the
+    // committed state here diverges from the scheduled runs above.
+    for (scheme, mode) in [
+        (DefenseScheme::Unsafe, PinMode::Off),
+        (DefenseScheme::Fence, PinMode::Early),
+    ] {
+        let mut c = mk(scheme, mode);
+        c.fast_forward = false;
+        out.push(c);
+    }
+    out
 }
 
 /// One scheme's captured architectural outcome, for differential
@@ -916,7 +932,7 @@ mod tests {
     #[test]
     fn scheme_configs_cover_the_paper_matrix() {
         let cfgs = scheme_configs(4);
-        assert_eq!(cfgs.len(), 6);
+        assert_eq!(cfgs.len(), 8);
         let labels: Vec<String> = cfgs.iter().map(|c| c.label()).collect();
         assert!(labels.contains(&"Unsafe".to_string()));
         assert!(labels.iter().any(|l| l.ends_with("+LP")));
@@ -924,6 +940,10 @@ mod tests {
         for c in &cfgs {
             assert_eq!(c.num_cores, 4);
         }
+        // The reference-loop twins (event skipping off) ride along so
+        // the differential oracle always compares scheduled vs naive.
+        assert_eq!(cfgs.iter().filter(|c| !c.fast_forward).count(), 2);
+        assert!(cfgs[..6].iter().all(|c| c.fast_forward));
         assert_eq!(scheme_configs(1)[0].num_cores, 1);
     }
 }

@@ -13,8 +13,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 # simulator kernel's hot loops without blocking unrelated changes.
 cargo clippy --workspace --all-targets -- -W clippy::perf
 cargo fmt --check
-# Kernel-throughput smoke: the bench binary must still run end to end.
-cargo run --release -q -p pl-bench --bin kernel_bench -- --smoke --out /dev/null
+# Kernel-throughput smoke: one spec and one par job end to end, plus the
+# regression guard — fails if any par job drops >20% below the committed
+# pre-event-driven baseline (a noise-immune floor: the event-driven
+# machine must never be slower than the old tick-everything loop).
+cargo run --release -q -p pl-bench --bin kernel_bench -- --smoke \
+  --baseline results/BENCH_kernel_baseline.json --out /dev/null
 # Runtime invariant checker + differential oracle + fault injection.
 cargo run --release -q -p pl-verify -- --smoke
 # Invariant-heavy sweeps once more at release speed with debug

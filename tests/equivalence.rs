@@ -73,7 +73,9 @@ fn spec_kernels_are_architecturally_equivalent_across_all_configs() {
         for cfg in configs() {
             let mut m = Machine::new(&cfg).unwrap();
             w.install(&mut m);
-            let res = m.run(500_000_000).unwrap();
+            let res = m
+                .run(500_000_000)
+                .unwrap_or_else(|e| panic!("kernel `{}` under {}: {e}", w.name, cfg.label()));
             let fingerprint = res.total_retired() ^ m.reg(CoreId(0), r(20));
             match reference {
                 None => reference = Some(fingerprint),

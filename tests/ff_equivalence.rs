@@ -73,22 +73,52 @@ fn fast_forward_is_bit_identical_on_spec_kernels() {
 }
 
 #[test]
-fn fast_forward_is_bit_identical_on_a_parallel_kernel() {
-    let suite = parallel_suite(4, Scale::Test);
-    let w = &suite[0];
-    for cfg_base in configs() {
-        let mut cfg = MachineConfig::default_multi_core(4);
-        cfg.defense = cfg_base.defense;
-        cfg.pinned_loads = cfg_base.pinned_loads.clone();
-        let slow = fingerprint(cfg.clone(), w, false);
-        let fast = fingerprint(cfg.clone(), w, true);
-        assert_eq!(
-            slow,
-            fast,
-            "parallel kernel `{}` diverged under {} with fast-forward",
-            w.name,
-            cfg.label()
-        );
+fn fast_forward_is_bit_identical_across_the_parallel_matrix() {
+    // Full scheme × core-count matrix. Core counts below, at, and above
+    // the mesh row width exercise different NoC shapes and batching
+    // patterns; the pinned configs (Dom+Late, Stt+Early) additionally
+    // exercise the periodic CPT- and occupancy-sampling paths, whose
+    // samples land on fixed cycle numbers and must be replayed exactly
+    // over any fast-forwarded window. The fingerprint includes the full
+    // stats text with histograms, so a single missed or doubled sample
+    // fails the comparison.
+    for cores in [2usize, 4, 8] {
+        let suite = parallel_suite(cores, Scale::Test);
+        // suite[0]: lock-contended counter (spin + CAS traffic);
+        // suite[2]: prod_cons (Defer/Abort + starred-write traffic).
+        for w in [&suite[0], &suite[2]] {
+            for cfg_base in configs() {
+                let mut cfg = MachineConfig::default_multi_core(cores);
+                cfg.defense = cfg_base.defense;
+                cfg.pinned_loads = cfg_base.pinned_loads.clone();
+                let slow = fingerprint(cfg.clone(), w, false);
+                let fast = fingerprint(cfg.clone(), w, true);
+                assert_eq!(
+                    slow,
+                    fast,
+                    "parallel kernel `{}` on {cores} cores diverged under {} \
+                     with fast-forward",
+                    w.name,
+                    cfg.label()
+                );
+                // The comparison above only proves sampling is *consistent*;
+                // prove it actually ran so the matrix covers it.
+                assert!(
+                    slow.2.contains("occ.rob"),
+                    "occupancy sampling missing from `{}` on {cores} cores under {}",
+                    w.name,
+                    cfg.label()
+                );
+                if cfg.pinned_loads.mode != PinMode::Off {
+                    assert!(
+                        slow.2.contains("cpt.peak"),
+                        "CPT sampling missing from `{}` on {cores} cores under {}",
+                        w.name,
+                        cfg.label()
+                    );
+                }
+            }
+        }
     }
 }
 
