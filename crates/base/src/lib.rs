@@ -23,6 +23,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod digest;
 pub mod queue;
 pub mod rng;
 pub mod stats;

@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod serve;
 pub mod sweep;
 pub mod timing;
 
@@ -83,7 +84,23 @@ pub fn run_workload(cfg: &MachineConfig, workload: &Workload) -> RunResult {
 
 /// Like [`run_workload`], with an optional VP-mask override applied
 /// before the run (the Figure 1/9 attribution experiments).
+///
+/// When the `PL_SWEEP_SERVER` environment variable names a running
+/// [`serve::serve`] instance, untraced jobs are routed through it — and
+/// therefore through its content-addressed result cache, so repeated
+/// sweeps of the same `(workload, config, seed)` triple simulate once.
+/// Traced jobs always run locally because traces don't travel over the
+/// wire.
 pub fn run_masked(cfg: &MachineConfig, mask: Option<VpMask>, workload: &Workload) -> RunResult {
+    if !cfg.trace.enabled {
+        if let Ok(addr) = std::env::var("PL_SWEEP_SERVER") {
+            if !addr.is_empty() {
+                return serve::remote_run(&addr, cfg, mask, workload).unwrap_or_else(|e| {
+                    panic!("PL_SWEEP_SERVER={addr}: workload `{}`: {e}", workload.name)
+                });
+            }
+        }
+    }
     let mut machine = Machine::new(cfg).expect("benchmark configurations are valid");
     workload.install(&mut machine);
     if let Some(mask) = mask {

@@ -191,7 +191,7 @@ impl CoreStatIds {
 }
 
 /// One simulated out-of-order core with its private L1.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Core {
     id: CoreId,
     cfg: MachineConfig,

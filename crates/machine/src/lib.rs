@@ -179,6 +179,88 @@ impl RunResult {
     }
 }
 
+/// Outcome of [`Machine::run_until`]: either the workload finished (all
+/// cores quiesced) or the pause bound was reached with the machine in a
+/// resumable state.
+#[derive(Debug)]
+pub enum StepOutcome {
+    /// Every core halted and drained; the run is complete.
+    Done(RunResult),
+    /// The pause bound was reached. Call [`Machine::run_until`] (or
+    /// [`Machine::run`]) again to continue, or [`Machine::snapshot`] to
+    /// checkpoint. Statistics owed by parked cores have been flushed, so
+    /// the machine state is exactly what the naive loop would hold.
+    Paused,
+}
+
+/// Run-loop bookkeeping that must survive a pause for a resumed run to be
+/// bit-identical to an uninterrupted one: watchdog progress anchors and
+/// the machine-level CPT occupancy samples accumulated so far.
+#[derive(Debug, Clone)]
+struct RunState {
+    last_retired: u64,
+    last_progress: Cycle,
+    cpt_stats: Stats,
+    cpt_occ: HistId,
+}
+
+impl RunState {
+    fn new(retired: u64, now: Cycle) -> RunState {
+        let mut cpt_stats = Stats::new();
+        let cpt_occ = cpt_stats.hist_id("cpt.occupancy");
+        RunState {
+            last_retired: retired,
+            last_progress: now,
+            cpt_stats,
+            cpt_occ,
+        }
+    }
+}
+
+/// A resumable deep copy of a paused [`Machine`], produced by
+/// [`Machine::snapshot`] and consumed by [`Machine::restore`].
+///
+/// The checkpoint captures everything a resumed run's observable behavior
+/// depends on: configuration, every core (pipeline, LSQ, ROB, L1, MSHRs,
+/// write buffer, predictor, taint tracker, pin governor, tracer,
+/// statistics), every LLC/directory slice (cache, transaction tables,
+/// timers), the NoC (in-flight messages, fault state), the functional
+/// memory image, the current cycle, the watchdog threshold and progress
+/// anchors, and the machine-level CPT sample accumulator.
+///
+/// Two things are deliberately *not* captured, and both are documented
+/// exclusions rather than oversights: the invariant-check observer (a
+/// trait object owned by the caller — hand it across a restore with
+/// [`Machine::take_check_observer`] / [`Machine::set_check_observer`]),
+/// and the event-driven scheduler calendar (rebuilt conservatively on the
+/// next run, which the fast-forward bit-identity argument already covers:
+/// re-deriving park state only re-executes quiet ticks whose statistics
+/// deltas are identical to the replayed ones).
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    cfg: MachineConfig,
+    cores: Vec<Core>,
+    slices: Vec<LlcSlice>,
+    noc: Noc,
+    image: Memory,
+    now: Cycle,
+    watchdog_cycles: u64,
+    next_snapshot: u64,
+    run_state: Option<RunState>,
+}
+
+impl Checkpoint {
+    /// The cycle at which this checkpoint was taken.
+    pub fn cycle(&self) -> u64 {
+        self.now.raw()
+    }
+
+    /// The configuration of the machine that produced this checkpoint.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+}
+
 /// Per-core scheduler state for the event-driven run loop.
 ///
 /// A core moves `Active -> Quiet` when a tick makes no progress,
@@ -255,6 +337,10 @@ pub struct Machine {
     sched: Vec<CoreSched>,
     slice_next: Vec<Option<Cycle>>,
     slice_touched: Vec<bool>,
+    /// Run-loop bookkeeping carried across a [`Machine::run_until`] pause
+    /// (and through [`Machine::snapshot`]); `None` when no run is
+    /// suspended.
+    run_state: Option<RunState>,
 }
 
 impl Machine {
@@ -316,7 +402,64 @@ impl Machine {
             sched: (0..cfg.num_cores).map(|_| CoreSched::default()).collect(),
             slice_next: vec![None; cfg.mem.llc_slices],
             slice_touched: vec![false; cfg.mem.llc_slices],
+            run_state: None,
         })
+    }
+
+    /// Deep-copies the machine into a resumable [`Checkpoint`].
+    ///
+    /// Safe to call whenever the machine is not inside a `run` call —
+    /// after construction, between [`Machine::tick`]s, or after
+    /// [`Machine::run_until`] returned [`StepOutcome::Paused`]. Any
+    /// statistics still owed by parked cores are flushed first, so the
+    /// captured state is exactly what the naive per-cycle loop would
+    /// hold at this cycle.
+    pub fn snapshot(&mut self) -> Checkpoint {
+        self.flush_parked();
+        Checkpoint {
+            cfg: self.cfg.clone(),
+            cores: self.cores.clone(),
+            slices: self.slices.clone(),
+            noc: self.noc.clone(),
+            image: self.image.clone(),
+            now: self.now,
+            watchdog_cycles: self.watchdog_cycles,
+            next_snapshot: self.next_snapshot,
+            run_state: self.run_state.clone(),
+        }
+    }
+
+    /// Builds a fresh machine from a checkpoint. Continuing the run with
+    /// [`Machine::run`] / [`Machine::run_until`] produces results
+    /// bit-identical to the machine the checkpoint was taken from — and
+    /// therefore to an uninterrupted run, which
+    /// `tests/ff_equivalence.rs` locks in across schemes, core counts,
+    /// and fast-forward settings.
+    ///
+    /// The invariant-check observer is not part of the checkpoint; if
+    /// one was attached, re-attach it with
+    /// [`Machine::set_check_observer`].
+    pub fn restore(cp: &Checkpoint) -> Machine {
+        let cfg = cp.cfg.clone();
+        Machine {
+            cores: cp.cores.clone(),
+            slices: cp.slices.clone(),
+            noc: cp.noc.clone(),
+            image: cp.image.clone(),
+            now: cp.now,
+            watchdog_cycles: cp.watchdog_cycles,
+            deliver_buf: Vec::new(),
+            slice_bound: Vec::new(),
+            outbox_buf: Vec::new(),
+            check_observer: ObserverSlot(None),
+            check_buf: Vec::new(),
+            next_snapshot: cp.next_snapshot,
+            sched: (0..cfg.num_cores).map(|_| CoreSched::default()).collect(),
+            slice_next: vec![None; cfg.mem.llc_slices],
+            slice_touched: vec![false; cfg.mem.llc_slices],
+            run_state: cp.run_state.clone(),
+            cfg,
+        }
     }
 
     /// Attaches the invariant-check observer that receives the event
@@ -342,6 +485,11 @@ impl Machine {
     /// The machine's configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// The current simulated cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
     }
 
     /// Replaces the program on `core`.
@@ -522,19 +670,55 @@ impl Machine {
     /// extended period, or [`RunError::CycleLimit`] if the budget runs
     /// out.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunResult, RunError> {
-        if self.cfg.fast_forward {
-            self.run_scheduled(max_cycles)
-        } else {
-            self.run_naive(max_cycles)
+        match self.run_until(max_cycles, u64::MAX)? {
+            StepOutcome::Done(result) => Ok(result),
+            StepOutcome::Paused => unreachable!("pause bound u64::MAX never reached"),
         }
     }
 
+    /// Runs like [`Machine::run`] but additionally pauses — returning
+    /// [`StepOutcome::Paused`] with the machine resumable in place — once
+    /// `self.now` reaches `pause_at`. The bound is a *lower* bound: the
+    /// fast-forward time jump may overshoot it (pausing at the first loop
+    /// iteration past the jump), which is harmless because resumption is
+    /// bit-identical wherever it lands.
+    ///
+    /// Watchdog anchors and accumulated machine-level samples persist in
+    /// the machine across pauses (and travel with
+    /// [`Machine::snapshot`]), so a run chopped into arbitrary
+    /// `run_until` segments retires the same instructions in the same
+    /// cycles with the same statistics as one uninterrupted `run`. They
+    /// are cleared when a run completes or fails, so a subsequent run
+    /// starts fresh.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::run`].
+    pub fn run_until(&mut self, max_cycles: u64, pause_at: u64) -> Result<StepOutcome, RunError> {
+        let outcome = if self.cfg.fast_forward {
+            self.run_scheduled(max_cycles, pause_at)
+        } else {
+            self.run_naive(max_cycles, pause_at)
+        };
+        if !matches!(outcome, Ok(StepOutcome::Paused)) {
+            self.run_state = None;
+        }
+        outcome
+    }
+
+    /// Takes the suspended run state, or starts a fresh one anchored at
+    /// the current cycle.
+    fn take_run_state(&mut self) -> RunState {
+        let retired = self.total_retired();
+        let now = self.now;
+        self.run_state
+            .take()
+            .unwrap_or_else(|| RunState::new(retired, now))
+    }
+
     /// The reference run loop: every component ticks every cycle.
-    fn run_naive(&mut self, max_cycles: u64) -> Result<RunResult, RunError> {
-        let mut last_retired = self.total_retired();
-        let mut last_progress = self.now;
-        let mut cpt_stats = Stats::new();
-        let cpt_occ = cpt_stats.hist_id("cpt.occupancy");
+    fn run_naive(&mut self, max_cycles: u64, pause_at: u64) -> Result<StepOutcome, RunError> {
+        let mut rs = self.take_run_state();
         while !self.all_quiesced() {
             if self.now.raw() >= max_cycles {
                 return Err(RunError::CycleLimit {
@@ -542,28 +726,33 @@ impl Machine {
                     retired: self.total_retired(),
                 });
             }
+            if self.now.raw() >= pause_at {
+                self.run_state = Some(rs);
+                return Ok(StepOutcome::Paused);
+            }
             self.tick();
             self.post_tick(
-                &mut last_retired,
-                &mut last_progress,
-                &mut cpt_stats,
-                cpt_occ,
+                &mut rs.last_retired,
+                &mut rs.last_progress,
+                &mut rs.cpt_stats,
+                rs.cpt_occ,
             )?;
         }
-        Ok(self.finish_run(cpt_stats, cpt_occ))
+        Ok(StepOutcome::Done(self.finish_run(rs.cpt_stats, rs.cpt_occ)))
     }
 
     /// The event-driven run loop: per-core parking with lazy statistics
     /// replay, a slice timer calendar, and a whole-machine time jump when
     /// every core is parked. See [`Machine::tick_scheduled`] for the
-    /// bit-identity argument.
-    fn run_scheduled(&mut self, max_cycles: u64) -> Result<RunResult, RunError> {
-        let mut last_retired = self.total_retired();
-        let mut last_progress = self.now;
-        let mut cpt_stats = Stats::new();
-        let cpt_occ = cpt_stats.hist_id("cpt.occupancy");
+    /// bit-identity argument; pausing preserves it because flushing a
+    /// parked core's owed statistics is equivalent to replaying them, and
+    /// the re-armed calendar merely re-executes quiet ticks whose deltas
+    /// are identical.
+    fn run_scheduled(&mut self, max_cycles: u64, pause_at: u64) -> Result<StepOutcome, RunError> {
+        let mut rs = self.take_run_state();
         // (Re-)arm the calendar: all cores active, slice timers polled
-        // fresh, so a run after external `tick()` calls stays correct.
+        // fresh, so a run after external `tick()` calls (or a pause or
+        // restore) stays correct.
         for sched in &mut self.sched {
             sched.state = ParkState::Active;
             sched.wake = None;
@@ -579,25 +768,30 @@ impl Machine {
                     retired: self.total_retired(),
                 });
             }
+            if self.now.raw() >= pause_at {
+                self.flush_parked();
+                self.run_state = Some(rs);
+                return Ok(StepOutcome::Paused);
+            }
             let active = self.tick_scheduled();
             self.post_tick(
-                &mut last_retired,
-                &mut last_progress,
-                &mut cpt_stats,
-                cpt_occ,
+                &mut rs.last_retired,
+                &mut rs.last_progress,
+                &mut rs.cpt_stats,
+                rs.cpt_occ,
             )?;
             if !active && self.sched.iter().all(|s| s.state == ParkState::Parked) {
                 self.jump_ahead(
                     max_cycles,
-                    &last_retired,
-                    &last_progress,
-                    &mut cpt_stats,
-                    cpt_occ,
+                    &rs.last_retired,
+                    &rs.last_progress,
+                    &mut rs.cpt_stats,
+                    rs.cpt_occ,
                 )?;
             }
         }
         self.flush_parked();
-        Ok(self.finish_run(cpt_stats, cpt_occ))
+        Ok(StepOutcome::Done(self.finish_run(rs.cpt_stats, rs.cpt_occ)))
     }
 
     /// Shared run-loop epilogue: the final CPT occupancy sample, the
@@ -1325,6 +1519,95 @@ mod tests {
             }
             other => panic!("expected Deadlock, got {other:?}"),
         }
+    }
+
+    fn fingerprint(m: &Machine, res: &RunResult) -> (u64, Vec<u64>, String, Vec<(u64, u64)>) {
+        (
+            res.cycles,
+            res.retired_per_core.clone(),
+            res.stats.to_string(),
+            m.memory_words(),
+        )
+    }
+
+    fn run_chopped(cfg: &MachineConfig, chunk: u64) -> (Machine, RunResult) {
+        let mut m = Machine::new(cfg).unwrap();
+        m.load_program(CoreId(0), chained_loads_program().build().unwrap());
+        let mut pause = chunk;
+        loop {
+            match m.run_until(5_000_000, pause).unwrap() {
+                StepOutcome::Done(res) => return (m, res),
+                StepOutcome::Paused => pause = m.now.raw() + chunk,
+            }
+        }
+    }
+
+    #[test]
+    fn paused_run_is_bit_identical_to_uninterrupted() {
+        for ff in [true, false] {
+            let mut cfg = defended_cfg(DefenseScheme::Fence, PinMode::Early);
+            cfg.fast_forward = ff;
+            let (m_ref, ref_res) = single(&cfg, chained_loads_program());
+            for chunk in [1, 97, 10_000] {
+                let (m, res) = run_chopped(&cfg, chunk);
+                assert_eq!(
+                    fingerprint(&m, &res),
+                    fingerprint(&m_ref, &ref_res),
+                    "chunk={chunk} ff={ff} diverged from uninterrupted run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        for ff in [true, false] {
+            let mut cfg = defended_cfg(DefenseScheme::Dom, PinMode::Late);
+            cfg.fast_forward = ff;
+            let (m_ref, ref_res) = single(&cfg, chained_loads_program());
+            // Pause mid-run, checkpoint, resume in a *fresh* machine.
+            let mut m = Machine::new(&cfg).unwrap();
+            m.load_program(CoreId(0), chained_loads_program().build().unwrap());
+            let outcome = m.run_until(5_000_000, ref_res.cycles / 2).unwrap();
+            assert!(matches!(outcome, StepOutcome::Paused));
+            let cp = m.snapshot();
+            assert!(cp.cycle() >= ref_res.cycles / 2);
+            drop(m);
+            let mut resumed = Machine::restore(&cp);
+            let res = resumed.run(5_000_000).unwrap();
+            assert_eq!(
+                fingerprint(&resumed, &res),
+                fingerprint(&m_ref, &ref_res),
+                "ff={ff}: restored run diverged from uninterrupted run"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_survives_repeated_kills() {
+        // Take a checkpoint every pause, "kill" the machine, and restore
+        // from the latest checkpoint — the end result must still match.
+        let cfg = defended_cfg(DefenseScheme::Stt, PinMode::Early);
+        let (m_ref, ref_res) = single(&cfg, chained_loads_program());
+        let mut m = Machine::new(&cfg).unwrap();
+        m.load_program(CoreId(0), chained_loads_program().build().unwrap());
+        let chunk = (ref_res.cycles / 5).max(1);
+        let mut pause = chunk;
+        let final_res = loop {
+            match m.run_until(5_000_000, pause).unwrap() {
+                StepOutcome::Done(res) => break res,
+                StepOutcome::Paused => {
+                    let cp = m.snapshot();
+                    m = Machine::restore(&cp); // the old machine "dies"
+                    pause = m.now.raw() + chunk;
+                }
+            }
+        };
+        assert_eq!(
+            fingerprint(&m, &final_res),
+            fingerprint(&m_ref, &ref_res),
+            "kill/restore every chunk diverged from uninterrupted run"
+        );
     }
 
     #[test]

@@ -246,7 +246,7 @@ impl SliceStatIds {
 /// Drive it by feeding network messages to [`LlcSlice::handle`] and
 /// calling [`LlcSlice::tick`] every cycle; collect outbound messages with
 /// [`LlcSlice::drain_outbox`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LlcSlice {
     id: usize,
     cache: Cache<LlcLine>,

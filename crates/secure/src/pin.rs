@@ -61,7 +61,7 @@ impl PinBlock {
 }
 
 /// Per-core pinning state machine support.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PinGovernor {
     mode: PinMode,
     l1_cst: Option<Cst>,

@@ -1,14 +1,20 @@
 //! `plsim` — run any bundled kernel on any configuration from the
-//! command line.
+//! command line, or talk to a long-running simulation server.
 //!
 //! ```sh
 //! plsim --list
 //! plsim --workload stream --scheme fence --pin ep
 //! plsim --workload migratory --cores 8 --scheme dom --pin lp --scale bench --stats
 //! plsim --asm kernel.s --scheme stt --pin ep --stats
+//!
+//! # simulation-as-a-service: repeats are served from the result cache
+//! plsim serve --addr 127.0.0.1:7171 --cache-dir /tmp/plcache &
+//! plsim submit --server 127.0.0.1:7171 --workload stream --scheme fence --pin ep
+//! plsim shutdown --server 127.0.0.1:7171
 //! ```
 
 use pinned_loads::base::{DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, ThreatModel};
+use pinned_loads::bench::serve;
 use pinned_loads::machine::Machine;
 use pinned_loads::workloads::{parallel_suite, spec_suite, Scale, Workload};
 
@@ -24,14 +30,23 @@ struct Args {
     conservative_tso: bool,
     show_stats: bool,
     list: bool,
+    // Server-related options.
+    server: Option<String>,
+    addr: String,
+    threads: Option<usize>,
+    cache_dir: String,
+    port_file: Option<String>,
+    checkpoint_period: Option<u64>,
+    kill_after_checkpoints: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: plsim --workload NAME [options]\n\
+        "usage: plsim [submit|serve|shutdown] [options]\n\
          \n\
-         options:\n\
+         run locally (default command):\n\
            --list                     list available kernels and exit\n\
+           --workload NAME            run a bundled kernel\n\
            --asm FILE                 assemble and run FILE instead of a bundled kernel\n\
            --scheme unsafe|fence|dom|stt|invisible (default unsafe)\n\
            --pin off|lp|ep                 (default off)\n\
@@ -39,12 +54,29 @@ fn usage() -> ! {
            --cores N                       (default 1; >=2 selects the parallel suite)\n\
            --scale test|bench|full         (default bench)\n\
            --conservative-tso              squash even the oldest load\n\
-           --stats                         dump all statistics counters"
+           --stats                         dump all statistics counters\n\
+         \n\
+         serve — run the job server (content-addressed result cache):\n\
+           --addr HOST:PORT                bind address (default 127.0.0.1:0)\n\
+           --threads N                     simulation workers (default: sweep threads)\n\
+           --cache-dir DIR                 result cache directory (default plcache)\n\
+           --port-file FILE                write the bound address here once listening\n\
+           --checkpoint-period N           cycles between job checkpoints\n\
+         \n\
+         submit — run a job on a server (same workload/config flags as local):\n\
+           --server HOST:PORT              server address (or PL_SWEEP_SERVER)\n\
+           --kill-after-checkpoints N      fault injection: kill the worker after N\n\
+                                           checkpoints; the job resumes from the last one\n\
+           --checkpoint-period N           cycles between checkpoints for this job\n\
+         prints the result JSON on stdout; cached/digest metadata goes to stderr\n\
+         \n\
+         shutdown — stop a server:\n\
+           --server HOST:PORT              server address (or PL_SWEEP_SERVER)"
     );
     std::process::exit(2);
 }
 
-fn parse() -> Args {
+fn parse(argv: &[String]) -> Args {
     let mut args = Args {
         workload: None,
         asm_file: None,
@@ -56,8 +88,16 @@ fn parse() -> Args {
         conservative_tso: false,
         show_stats: false,
         list: false,
+        server: std::env::var("PL_SWEEP_SERVER")
+            .ok()
+            .filter(|s| !s.is_empty()),
+        addr: "127.0.0.1:0".to_string(),
+        threads: None,
+        cache_dir: "plcache".to_string(),
+        port_file: None,
+        checkpoint_period: None,
+        kill_after_checkpoints: None,
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let value = |argv: &[String], i: usize| -> String {
         argv.get(i + 1).cloned().unwrap_or_else(|| usage())
@@ -68,15 +108,15 @@ fn parse() -> Args {
             "--stats" => args.show_stats = true,
             "--conservative-tso" => args.conservative_tso = true,
             "--workload" => {
-                args.workload = Some(value(&argv, i));
+                args.workload = Some(value(argv, i));
                 i += 1;
             }
             "--asm" => {
-                args.asm_file = Some(value(&argv, i));
+                args.asm_file = Some(value(argv, i));
                 i += 1;
             }
             "--scheme" => {
-                args.scheme = match value(&argv, i).as_str() {
+                args.scheme = match value(argv, i).as_str() {
                     "unsafe" => DefenseScheme::Unsafe,
                     "fence" => DefenseScheme::Fence,
                     "dom" => DefenseScheme::Dom,
@@ -87,7 +127,7 @@ fn parse() -> Args {
                 i += 1;
             }
             "--pin" => {
-                args.pin = match value(&argv, i).as_str() {
+                args.pin = match value(argv, i).as_str() {
                     "off" => PinMode::Off,
                     "lp" => PinMode::Late,
                     "ep" => PinMode::Early,
@@ -96,7 +136,7 @@ fn parse() -> Args {
                 i += 1;
             }
             "--threat" => {
-                args.threat = match value(&argv, i).as_str() {
+                args.threat = match value(argv, i).as_str() {
                     "comp" => ThreatModel::Comprehensive,
                     "spectre" => ThreatModel::Spectre,
                     _ => usage(),
@@ -104,16 +144,45 @@ fn parse() -> Args {
                 i += 1;
             }
             "--cores" => {
-                args.cores = value(&argv, i).parse().unwrap_or_else(|_| usage());
+                args.cores = value(argv, i).parse().unwrap_or_else(|_| usage());
                 i += 1;
             }
             "--scale" => {
-                args.scale = match value(&argv, i).as_str() {
+                args.scale = match value(argv, i).as_str() {
                     "test" => Scale::Test,
                     "bench" => Scale::Bench,
                     "full" => Scale::Full,
                     _ => usage(),
                 };
+                i += 1;
+            }
+            "--server" => {
+                args.server = Some(value(argv, i));
+                i += 1;
+            }
+            "--addr" => {
+                args.addr = value(argv, i);
+                i += 1;
+            }
+            "--threads" => {
+                args.threads = Some(value(argv, i).parse().unwrap_or_else(|_| usage()));
+                i += 1;
+            }
+            "--cache-dir" => {
+                args.cache_dir = value(argv, i);
+                i += 1;
+            }
+            "--port-file" => {
+                args.port_file = Some(value(argv, i));
+                i += 1;
+            }
+            "--checkpoint-period" => {
+                args.checkpoint_period = Some(value(argv, i).parse().unwrap_or_else(|_| usage()));
+                i += 1;
+            }
+            "--kill-after-checkpoints" => {
+                args.kill_after_checkpoints =
+                    Some(value(argv, i).parse().unwrap_or_else(|_| usage()));
                 i += 1;
             }
             _ => usage(),
@@ -123,28 +192,83 @@ fn parse() -> Args {
     args
 }
 
-fn suites(cores: usize, scale: Scale) -> Vec<Workload> {
-    if cores >= 2 {
-        parallel_suite(cores, scale)
-    } else {
-        spec_suite(scale)
+/// Which workload-source flags the user combined, validated up front.
+///
+/// `--asm` and `--workload` name two different program sources; silently
+/// preferring one would run something other than what the user asked
+/// for, so combining them is a usage error that names both flags.
+fn workload_flag_conflict(workload: &Option<String>, asm_file: &Option<String>) -> Option<String> {
+    match (workload, asm_file) {
+        (Some(w), Some(a)) => Some(format!(
+            "--workload {w} and --asm {a} both name a program source; pass exactly one"
+        )),
+        _ => None,
     }
 }
 
-fn main() {
-    let args = parse();
-    if args.list {
-        println!("single-core (SPEC17-like) kernels:");
-        for w in spec_suite(Scale::Test) {
-            println!("  {}", w.name);
-        }
-        println!("parallel (SPLASH2/PARSEC-like) kernels (use --cores >= 2):");
-        for w in parallel_suite(2, Scale::Test) {
-            println!("  {}", w.name);
-        }
-        return;
+/// Finds `name` in the suite selected by `cores`, or explains precisely
+/// why it isn't there. The old behavior silently switched suites on
+/// `--cores >= 2` and then reported the spec kernel as unknown; now the
+/// error names both the kernel and the `--cores` flag that deselected
+/// its suite.
+fn resolve_workload(name: &str, cores: usize, scale: Scale) -> Result<Workload, String> {
+    let (selected, other_has_it, selected_label, other_label, fix) = if cores >= 2 {
+        (
+            parallel_suite(cores, scale),
+            spec_suite(Scale::Test).iter().any(|w| w.name == name),
+            "parallel (SPLASH2/PARSEC-like)",
+            "single-core (SPEC17-like)",
+            "drop --cores (or use --cores 1)",
+        )
+    } else {
+        (
+            spec_suite(scale),
+            parallel_suite(2, Scale::Test)
+                .iter()
+                .any(|w| w.name == name),
+            "single-core (SPEC17-like)",
+            "parallel (SPLASH2/PARSEC-like)",
+            "pass --cores 2 or more",
+        )
+    };
+    if let Some(w) = selected.into_iter().find(|w| w.name == name) {
+        return Ok(w);
     }
-    let (name, workload) = if let Some(path) = &args.asm_file {
+    if other_has_it {
+        Err(format!(
+            "--workload {name} names a kernel in the {other_label} suite, but --cores \
+             selected the {selected_label} suite; {fix}"
+        ))
+    } else {
+        Err(format!(
+            "unknown workload `{name}`; try --list (note: --cores selects the suite)"
+        ))
+    }
+}
+
+fn build_config(args: &Args) -> MachineConfig {
+    let mut cfg = if args.cores >= 2 {
+        MachineConfig::default_multi_core(args.cores)
+    } else {
+        MachineConfig::default_single_core()
+    };
+    cfg.defense = args.scheme;
+    cfg.threat_model = args.threat;
+    cfg.pinned_loads = PinnedLoadsConfig::with_mode(args.pin);
+    cfg.core.conservative_tso = args.conservative_tso;
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
+    }
+    cfg
+}
+
+fn build_workload(args: &Args) -> (String, Workload) {
+    if let Some(conflict) = workload_flag_conflict(&args.workload, &args.asm_file) {
+        eprintln!("{conflict}");
+        std::process::exit(2);
+    }
+    if let Some(path) = &args.asm_file {
         let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read `{path}`: {e}");
             std::process::exit(2);
@@ -161,29 +285,102 @@ fn main() {
         };
         (path.clone(), w)
     } else {
-        let Some(name) = args.workload else { usage() };
-        let suite = suites(args.cores, args.scale);
-        let Some(workload) = suite.into_iter().find(|w| w.name == name) else {
-            eprintln!("unknown workload `{name}`; try --list (note: --cores selects the suite)");
-            std::process::exit(2);
-        };
-        (name, workload)
-    };
-
-    let mut cfg = if args.cores >= 2 {
-        MachineConfig::default_multi_core(args.cores)
-    } else {
-        MachineConfig::default_single_core()
-    };
-    cfg.defense = args.scheme;
-    cfg.threat_model = args.threat;
-    cfg.pinned_loads = PinnedLoadsConfig::with_mode(args.pin);
-    cfg.core.conservative_tso = args.conservative_tso;
-    if let Err(e) = cfg.validate() {
-        eprintln!("invalid configuration: {e}");
-        std::process::exit(2);
+        let Some(name) = &args.workload else { usage() };
+        match resolve_workload(name, args.cores, args.scale) {
+            Ok(w) => (name.clone(), w),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
     }
+}
 
+fn server_addr(args: &Args) -> String {
+    args.server.clone().unwrap_or_else(|| {
+        eprintln!("no server address: pass --server HOST:PORT or set PL_SWEEP_SERVER");
+        std::process::exit(2);
+    })
+}
+
+fn cmd_serve(args: &Args) {
+    let opts = serve::ServeOptions {
+        addr: args.addr.clone(),
+        threads: args
+            .threads
+            .unwrap_or_else(pinned_loads::bench::sweep::default_threads),
+        cache_dir: args.cache_dir.clone().into(),
+        checkpoint_period: args
+            .checkpoint_period
+            .unwrap_or(serve::DEFAULT_CHECKPOINT_PERIOD),
+        port_file: args.port_file.clone().map(Into::into),
+    };
+    if let Err(e) = serve::serve(&opts) {
+        eprintln!("serve failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn cmd_submit(args: &Args) {
+    let addr = server_addr(args);
+    let (name, workload) = build_workload(args);
+    let cfg = build_config(args);
+    let line = serve::run_request_json(
+        &cfg,
+        None,
+        &workload,
+        args.kill_after_checkpoints,
+        args.checkpoint_period,
+    );
+    let resp = serve::request(&addr, &line).unwrap_or_else(|e| {
+        eprintln!("cannot reach server {addr}: {e}");
+        std::process::exit(1);
+    });
+    match serve::extract_result(&resp) {
+        Ok(result) => {
+            // Result JSON alone on stdout — byte-identical for a cache
+            // hit and the run that populated it — metadata on stderr.
+            println!("{result}");
+            let v = pinned_loads::trace::json::parse(&resp).expect("validated by extract_result");
+            let digest = v.get("digest").and_then(|d| d.as_str()).unwrap_or("?");
+            let resumed = v.get("resumed").and_then(|r| r.as_str()).unwrap_or("0");
+            eprintln!(
+                "workload={name} digest={digest} cached={} resumed={resumed}",
+                serve::response_was_cached(&resp),
+            );
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_shutdown(args: &Args) {
+    let addr = server_addr(args);
+    match serve::request(&addr, "{\"cmd\":\"shutdown\"}") {
+        Ok(resp) => eprintln!("server {addr}: {resp}"),
+        Err(e) => {
+            eprintln!("cannot reach server {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_local(args: &Args) {
+    if args.list {
+        println!("single-core (SPEC17-like) kernels:");
+        for w in spec_suite(Scale::Test) {
+            println!("  {}", w.name);
+        }
+        println!("parallel (SPLASH2/PARSEC-like) kernels (use --cores >= 2):");
+        for w in parallel_suite(2, Scale::Test) {
+            println!("  {}", w.name);
+        }
+        return;
+    }
+    let (name, workload) = build_workload(args);
+    let cfg = build_config(args);
     let mut machine = Machine::new(&cfg).expect("validated configuration");
     workload.install(&mut machine);
     match machine.run(5_000_000_000) {
@@ -202,5 +399,70 @@ fn main() {
             eprintln!("run failed: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&parse(&argv[1..])),
+        Some("submit") => cmd_submit(&parse(&argv[1..])),
+        Some("shutdown") => cmd_shutdown(&parse(&argv[1..])),
+        _ => cmd_local(&parse(&argv)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asm_plus_workload_is_a_named_conflict() {
+        let msg =
+            workload_flag_conflict(&Some("stream".to_string()), &Some("kernel.s".to_string()))
+                .expect("conflict detected");
+        assert!(msg.contains("--workload"), "{msg}");
+        assert!(msg.contains("--asm"), "{msg}");
+        assert!(workload_flag_conflict(&Some("stream".to_string()), &None).is_none());
+        assert!(workload_flag_conflict(&None, &Some("kernel.s".to_string())).is_none());
+        assert!(workload_flag_conflict(&None, &None).is_none());
+    }
+
+    #[test]
+    fn spec_kernel_with_multicore_names_the_cores_flag() {
+        // The old code silently switched to the parallel suite and
+        // called the spec kernel "unknown".
+        let spec_name = &spec_suite(Scale::Test)[0].name.clone();
+        let err = resolve_workload(spec_name, 8, Scale::Test).unwrap_err();
+        assert!(err.contains(spec_name.as_str()), "{err}");
+        assert!(err.contains("--cores"), "{err}");
+        assert!(err.contains("SPEC17"), "{err}");
+    }
+
+    #[test]
+    fn parallel_kernel_without_cores_names_the_cores_flag() {
+        let par_name = &parallel_suite(2, Scale::Test)[0].name.clone();
+        let err = resolve_workload(par_name, 1, Scale::Test).unwrap_err();
+        assert!(err.contains(par_name.as_str()), "{err}");
+        assert!(err.contains("--cores 2"), "{err}");
+    }
+
+    #[test]
+    fn known_kernels_resolve_in_their_suite() {
+        let spec_name = &spec_suite(Scale::Test)[0].name.clone();
+        assert_eq!(
+            resolve_workload(spec_name, 1, Scale::Test).unwrap().name,
+            *spec_name
+        );
+        let par_name = &parallel_suite(4, Scale::Test)[0].name.clone();
+        let w = resolve_workload(par_name, 4, Scale::Test).unwrap();
+        assert_eq!(w.name, *par_name);
+        assert!(w.cores() >= 2);
+    }
+
+    #[test]
+    fn truly_unknown_kernel_suggests_list() {
+        let err = resolve_workload("no_such_kernel", 1, Scale::Test).unwrap_err();
+        assert!(err.contains("--list"), "{err}");
     }
 }

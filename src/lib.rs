@@ -21,6 +21,7 @@
 //! | [`cpu`] | `pl-cpu` | the out-of-order pipeline |
 //! | [`machine`] | `pl-machine` | the assembled multicore machine |
 //! | [`workloads`] | `pl-workloads` | SPEC17-like and SPLASH2/PARSEC-like kernels |
+//! | [`bench`] | `pl-bench` | sweep fan-out, baseline cache, and the `plsim serve` job server with its content-addressed result cache |
 //!
 //! # Quickstart
 //!
@@ -52,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub use pl_base as base;
+pub use pl_bench as bench;
 pub use pl_cpu as cpu;
 pub use pl_isa as isa;
 pub use pl_machine as machine;

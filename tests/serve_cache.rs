@@ -1,0 +1,187 @@
+//! End-to-end tests of `plsim serve`'s job server: the content-addressed
+//! result cache must serve repeats byte-identically, trace-carrying
+//! results must never be cached, and a worker killed mid-job must resume
+//! from its last checkpoint and still produce the exact result an
+//! uninterrupted run would have.
+
+use std::path::{Path, PathBuf};
+use std::thread::JoinHandle;
+
+use pinned_loads::base::{DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, TraceConfig};
+use pinned_loads::bench::serve::{self, ServeOptions};
+use pinned_loads::machine::Machine;
+use pinned_loads::workloads::{spec_suite, Scale, Workload};
+
+fn test_workload() -> Workload {
+    spec_suite(Scale::Test)
+        .into_iter()
+        .find(|w| w.name == "stream")
+        .expect("stream kernel exists")
+}
+
+fn test_config() -> MachineConfig {
+    let mut cfg = MachineConfig::default_single_core();
+    cfg.defense = DefenseScheme::Fence;
+    cfg.pinned_loads = PinnedLoadsConfig::with_mode(PinMode::Early);
+    cfg
+}
+
+/// A server running on an ephemeral port with its own scratch cache
+/// directory; dropped state is cleaned up by the test that owns it.
+struct TestServer {
+    addr: String,
+    cache_dir: PathBuf,
+    scratch: PathBuf,
+    handle: JoinHandle<std::io::Result<()>>,
+}
+
+fn start_server(test_name: &str, checkpoint_period: u64) -> TestServer {
+    let scratch = std::env::temp_dir().join(format!(
+        "plsim-serve-test-{}-{test_name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+    let cache_dir = scratch.join("cache");
+    let port_file = scratch.join("port.txt");
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        cache_dir: cache_dir.clone(),
+        checkpoint_period,
+        port_file: Some(port_file.clone()),
+    };
+    let handle = std::thread::spawn(move || serve::serve(&opts));
+    let addr = loop {
+        if let Ok(s) = std::fs::read_to_string(&port_file) {
+            break s.trim().to_string();
+        }
+        assert!(!handle.is_finished(), "server died before binding");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    TestServer {
+        addr,
+        cache_dir,
+        scratch,
+        handle,
+    }
+}
+
+impl TestServer {
+    fn cache_files(&self) -> Vec<String> {
+        let mut names: Vec<String> = match std::fs::read_dir(&self.cache_dir) {
+            Ok(entries) => entries
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        names.sort();
+        names
+    }
+
+    fn shutdown(self) {
+        let resp = serve::request(&self.addr, "{\"cmd\":\"shutdown\"}").unwrap();
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        self.handle.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&self.scratch);
+    }
+}
+
+fn assert_cache_file_count(dir: &Path, expected: usize) {
+    let cache = serve::ResultCache::new(dir).unwrap();
+    assert_eq!(cache.len(), expected);
+}
+
+#[test]
+fn repeat_jobs_hit_the_cache_byte_identically() {
+    let server = start_server("repeat", serve::DEFAULT_CHECKPOINT_PERIOD);
+    let line = serve::run_request_json(&test_config(), None, &test_workload(), None, None);
+
+    let first = serve::request(&server.addr, &line).unwrap();
+    assert!(!serve::response_was_cached(&first), "{first}");
+    let second = serve::request(&server.addr, &line).unwrap();
+    assert!(serve::response_was_cached(&second), "{second}");
+
+    // Byte identity of the result payload, not merely semantic equality:
+    // the cache hit splices the stored file's raw bytes back in.
+    let r1 = serve::extract_result(&first).unwrap();
+    let r2 = serve::extract_result(&second).unwrap();
+    assert_eq!(r1, r2, "cache hit altered the result bytes");
+
+    // Exactly one content-addressed entry landed on disk.
+    let files = server.cache_files();
+    assert_eq!(files.len(), 1, "{files:?}");
+    assert!(files[0].starts_with("plcache-"), "{files:?}");
+    assert_cache_file_count(&server.cache_dir, 1);
+
+    // The stats command agrees: one miss, one hit.
+    let stats = serve::request(&server.addr, "{\"cmd\":\"stats\"}").unwrap();
+    assert!(stats.contains("\"hits\":\"1\""), "{stats}");
+    assert!(stats.contains("\"misses\":\"1\""), "{stats}");
+    server.shutdown();
+}
+
+/// Satellite: a result that carries an event trace must NEVER be served
+/// from or stored in the cache — the wire format drops the trace, so a
+/// cached trace-job reply would silently lose data on the repeat.
+#[test]
+fn traced_jobs_are_never_cached() {
+    let server = start_server("traced", serve::DEFAULT_CHECKPOINT_PERIOD);
+    let mut cfg = test_config();
+    cfg.trace = TraceConfig::enabled();
+    let line = serve::run_request_json(&cfg, None, &test_workload(), None, None);
+
+    for _ in 0..2 {
+        let resp = serve::request(&server.addr, &line).unwrap();
+        assert!(
+            !serve::response_was_cached(&resp),
+            "traced job served from cache: {resp}"
+        );
+        serve::extract_result(&resp).unwrap();
+        assert_eq!(server.cache_files(), Vec::<String>::new());
+    }
+    let stats = serve::request(&server.addr, "{\"cmd\":\"stats\"}").unwrap();
+    assert!(stats.contains("\"cache_entries\":0"), "{stats}");
+    server.shutdown();
+}
+
+/// A worker killed after two checkpoints re-enqueues the job; whichever
+/// worker picks it up restores the last checkpoint instead of starting
+/// over, and the finished result is byte-identical to a direct,
+/// uninterrupted in-process run of the same job.
+#[test]
+fn killed_worker_resumes_from_checkpoint_with_identical_result() {
+    let cfg = test_config();
+    let w = test_workload();
+
+    // Ground truth: the same job run directly, no server involved.
+    let mut m = Machine::new(&cfg).unwrap();
+    w.install(&mut m);
+    let direct = m.run(2_000_000_000).unwrap();
+    let direct_json = serve::result_to_json(&direct);
+    // Checkpoint every ~1/5th of the run so kill_after_checkpoints=2
+    // strikes mid-run, not after completion.
+    let period = (direct.cycles / 5).max(1);
+
+    let server = start_server("kill", serve::DEFAULT_CHECKPOINT_PERIOD);
+    let line = serve::run_request_json(&cfg, None, &w, Some(2), Some(period));
+    let resp = serve::request(&server.addr, &line).unwrap();
+    assert!(!serve::response_was_cached(&resp), "{resp}");
+    assert!(
+        resp.contains("\"resumed\":\"1\""),
+        "job did not resume from a checkpoint: {resp}"
+    );
+    let result = serve::extract_result(&resp).unwrap();
+    assert_eq!(
+        result, direct_json,
+        "kill/resume diverged from the direct run"
+    );
+
+    // The resumed job's (untraced) result is cached like any other, so a
+    // repeat — this time unkilled — hits the cache with the same bytes.
+    let repeat_line = serve::run_request_json(&cfg, None, &w, None, Some(period));
+    let repeat = serve::request(&server.addr, &repeat_line).unwrap();
+    assert!(serve::response_was_cached(&repeat), "{repeat}");
+    assert_eq!(serve::extract_result(&repeat).unwrap(), direct_json);
+    server.shutdown();
+}
