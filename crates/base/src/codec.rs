@@ -1,0 +1,286 @@
+//! Deterministic little-endian binary encoding for spilled machine state.
+//!
+//! `plsim serve` checkpoints mid-run simulations to disk so a server
+//! restart does not lose progress. The spilled payload carries only the
+//! *dynamic* state of a machine — everything derivable from the job
+//! (config, programs, VP mask) is rebuilt on resume and the decoded
+//! state overlaid on top. That keeps the format small and lets it skip
+//! every config-shaped invariant.
+//!
+//! The format is deliberately primitive: fixed-width little-endian
+//! integers, length-prefixed strings, one-byte tags for `bool`/`Option`.
+//! There is no schema negotiation; a version byte in the file header
+//! (owned by the caller) gates compatibility, and any structural
+//! mismatch surfaces as a decode error rather than garbage state.
+//!
+//! # Examples
+//!
+//! ```
+//! use pl_base::codec::{Dec, Enc};
+//!
+//! let mut e = Enc::new();
+//! e.u64(42);
+//! e.str("hello");
+//! e.opt_u64(None);
+//! let bytes = e.into_bytes();
+//!
+//! let mut d = Dec::new(&bytes);
+//! assert_eq!(d.u64().unwrap(), 42);
+//! assert_eq!(d.str().unwrap(), "hello");
+//! assert_eq!(d.opt_u64().unwrap(), None);
+//! d.finish().unwrap();
+//! ```
+
+/// Append-only encoder producing a deterministic byte stream.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Creates an empty encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// Consumes the encoder and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Returns the bytes encoded so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Number of bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` widened to a `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends an optional `u64` as a presence byte plus the value.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+}
+
+/// Cursor-based decoder over a byte stream produced by [`Enc`].
+///
+/// Every read returns `Result<_, String>`; errors carry the byte offset
+/// so a truncated or mismatched spill file names where it went wrong.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Creates a decoder over `buf` starting at offset zero.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Current read offset, for error reporting by callers.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining after the cursor.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "codec: truncated stream at offset {} (need {n} bytes, have {})",
+                self.pos,
+                self.remaining()
+            ));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a single byte.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `usize` (encoded as `u64`), rejecting values that do not
+    /// fit the host's `usize`.
+    pub fn usize(&mut self) -> Result<usize, String> {
+        let at = self.pos;
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| format!("codec: usize overflow at offset {at}: {v}"))
+    }
+
+    /// Reads a bool byte, rejecting anything but 0 or 1.
+    pub fn bool(&mut self) -> Result<bool, String> {
+        let at = self.pos;
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(format!("codec: invalid bool byte {b} at offset {at}")),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, String> {
+        let at = self.pos;
+        let len = self.usize()?;
+        let b = self.take(len)?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| format!("codec: invalid utf-8 string at offset {at}"))
+    }
+
+    /// Reads an optional `u64` written by [`Enc::opt_u64`].
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, String> {
+        if self.bool()? {
+            Ok(Some(self.u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Asserts the entire stream was consumed.
+    pub fn finish(&self) -> Result<(), String> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(format!(
+                "codec: {} trailing bytes at offset {}",
+                self.remaining(),
+                self.pos
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut e = Enc::new();
+        e.u8(0xab);
+        e.u32(0xdead_beef);
+        e.u64(u64::MAX - 3);
+        e.usize(123_456);
+        e.bool(true);
+        e.bool(false);
+        e.str("spin Ω park");
+        e.str("");
+        e.opt_u64(Some(9));
+        e.opt_u64(None);
+        let bytes = e.into_bytes();
+
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 0xab);
+        assert_eq!(d.u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(d.usize().unwrap(), 123_456);
+        assert!(d.bool().unwrap());
+        assert!(!d.bool().unwrap());
+        assert_eq!(d.str().unwrap(), "spin Ω park");
+        assert_eq!(d.str().unwrap(), "");
+        assert_eq!(d.opt_u64().unwrap(), Some(9));
+        assert_eq!(d.opt_u64().unwrap(), None);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_error() {
+        let mut e = Enc::new();
+        e.u64(7);
+        let bytes = e.into_bytes();
+
+        let mut d = Dec::new(&bytes[..5]);
+        assert!(d.u64().unwrap_err().contains("truncated"));
+
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u32().unwrap(), 7);
+        assert!(d.finish().unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn invalid_bool_and_utf8_error() {
+        let mut d = Dec::new(&[2]);
+        assert!(d.bool().unwrap_err().contains("invalid bool"));
+
+        let mut e = Enc::new();
+        e.usize(2);
+        let mut bytes = e.into_bytes();
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        let mut d = Dec::new(&bytes);
+        assert!(d.str().unwrap_err().contains("utf-8"));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let enc = || {
+            let mut e = Enc::new();
+            e.str("abc");
+            e.u64(1);
+            e.opt_u64(Some(2));
+            e.into_bytes()
+        };
+        assert_eq!(enc(), enc());
+    }
+}

@@ -509,6 +509,15 @@ pub struct MachineConfig {
     /// the skipped cycles' statistics in bulk. Architecturally invisible
     /// (bit-identical stats, traces, and retirement order); on by default.
     pub fast_forward: bool,
+    /// Spin-loop parking: when an awake core's boundary state repeats
+    /// with a fixed period and no messages in or out, park it in a
+    /// `Spinning` calendar state and replay the captured per-period
+    /// deltas on wake. Architecturally invisible like [`fast_forward`]
+    /// (which it requires — the detector rides the scheduled run loop);
+    /// on by default.
+    ///
+    /// [`fast_forward`]: MachineConfig::fast_forward
+    pub spin_parking: bool,
     /// Random seed driving every stochastic element of a run (address
     /// layout randomization in workloads, etc.). Same seed, same result.
     pub seed: u64,
@@ -528,6 +537,7 @@ impl MachineConfig {
             pinned_loads: PinnedLoadsConfig::with_mode(PinMode::Off),
             trace: TraceConfig::default(),
             fast_forward: true,
+            spin_parking: true,
             seed: 0xA5105,
             verify: crate::verify::VerifyConfig::default(),
         }
@@ -649,7 +659,7 @@ impl MachineConfig {
     /// any field is added, removed, or changes meaning** — old cached
     /// results keyed under the previous schema then simply miss instead
     /// of colliding.
-    pub const DIGEST_SCHEMA: u64 = 1;
+    pub const DIGEST_SCHEMA: u64 = 2;
 
     /// Stable 64-bit content identity of this configuration.
     ///
@@ -727,6 +737,7 @@ impl MachineConfig {
         h.write_bool(self.trace.enabled);
         h.write_usize(self.trace.buffer_capacity);
         h.write_bool(self.fast_forward);
+        h.write_bool(self.spin_parking);
         h.write_u64(self.seed);
         let v = &self.verify;
         h.write_bool(v.enabled);
@@ -976,16 +987,16 @@ mod tests {
     fn digest_values_are_pinned() {
         assert_eq!(
             MachineConfig::default_single_core().digest(),
-            0x9828_88b6_c611_93fb,
+            0x39be_3a9a_60b9_0533,
         );
         assert_eq!(
             MachineConfig::default_multi_core(8).digest(),
-            0xb1d4_9c66_79d2_0259,
+            0x2ac3_1608_1d89_92a9,
         );
         let mut cfg = MachineConfig::default_single_core();
         cfg.defense = DefenseScheme::Fence;
         cfg.pinned_loads = PinnedLoadsConfig::with_mode(PinMode::Early);
-        assert_eq!(cfg.digest(), 0xc995_e33f_14cd_bdfa);
+        assert_eq!(cfg.digest(), 0xb266_e516_9230_8174);
     }
 
     #[test]
@@ -1016,6 +1027,9 @@ mod tests {
             out.push(c);
             let mut c = base.clone();
             c.fast_forward = false;
+            out.push(c);
+            let mut c = base.clone();
+            c.spin_parking = false;
             out.push(c);
             let mut c = base.clone();
             c.seed ^= 0xdead_beef;

@@ -23,7 +23,7 @@
 /// assert_eq!(q.pop_front(), Some(1));
 /// assert_eq!(q.len(), 1);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CircQueue<T> {
     items: std::collections::VecDeque<T>,
     capacity: usize,

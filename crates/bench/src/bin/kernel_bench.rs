@@ -15,17 +15,27 @@
 //!
 //! Run with `cargo run --release -p pl-bench --bin kernel_bench
 //! [--scale test|bench|full] [--cores N] [--reps N] [--smoke]
+//! [--no-spin-park]
 //! [--baseline results/BENCH_kernel_baseline.json]
 //! [--out results/BENCH_kernel.json]`.
 //!
+//! Besides the fig1 `spec/*` and `par/*` sweeps, a dedicated
+//! `par_spin/*` group runs the spin-heavy `spin_relay` kernel alone, so
+//! the machine's spin-signature parking path is measured in isolation
+//! (the mixed par jobs average it away). `--no-spin-park` disables spin
+//! parking in every configuration — runs must keep identical cycle
+//! counts (parking is architecturally invisible) while the wall time
+//! shows the cost of ticking spinning cores; the committed
+//! `results/BENCH_kernel_baseline.json` is refreshed with this flag.
+//!
 //! `--baseline` turns the run into a throughput-regression guard: after
-//! measuring, every `par/*` job present in both this run and the given
-//! baseline report is compared, and the process exits 1 if any drops
-//! more than 20% below its baseline kc/s. Tier-1 points it at the
-//! committed pre-event-driven baseline, making the guard a hard floor:
-//! shared-machine noise cannot trip it (current throughput is several
-//! multiples of the floor), while any change that leaves the multicore
-//! path slower than the old tick-everything loop fails the gate.
+//! measuring, every `par/*` and `par_spin/*` job present in both this
+//! run and the given baseline report is compared, and the process exits
+//! 1 if any drops more than 20% below its baseline kc/s. Tier-1 points
+//! it at the committed spin-parking-off baseline, making the guard a
+//! hard floor: shared-machine noise cannot trip it (current throughput
+//! is several multiples of the floor), while any change that leaves the
+//! multicore path slower than the naive awake-core loop fails the gate.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -195,9 +205,9 @@ fn read_baseline(path: &PathBuf) -> Vec<(String, f64)> {
     jobs
 }
 
-/// The `--baseline` regression guard: fails (exit 1) if any `par/*` job
-/// measured in this run fell more than 20% below the same-named job in
-/// the baseline report.
+/// The `--baseline` regression guard: fails (exit 1) if any `par/*` or
+/// `par_spin/*` job measured in this run fell more than 20% below the
+/// same-named job in the baseline report.
 fn guard_against(baseline_path: &PathBuf, results: &[JobResult]) {
     let baseline = read_baseline(baseline_path);
     assert!(
@@ -207,7 +217,7 @@ fn guard_against(baseline_path: &PathBuf, results: &[JobResult]) {
     );
     let mut checked = 0;
     let mut failed = false;
-    for r in results.iter().filter(|r| r.name.starts_with("par/")) {
+    for r in results.iter().filter(|r| r.name.starts_with("par")) {
         let Some((_, base_kcps)) = baseline.iter().find(|(n, _)| *n == r.name) else {
             continue;
         };
@@ -240,6 +250,7 @@ fn main() {
     let mut cores = 8usize;
     let mut reps = 3usize;
     let mut smoke = false;
+    let mut no_spin_park = false;
     let mut baseline: Option<PathBuf> = None;
     let mut out = PathBuf::from("results/BENCH_kernel.json");
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -277,6 +288,7 @@ fn main() {
                     });
             }
             "--smoke" => smoke = true,
+            "--no-spin-park" => no_spin_park = true,
             "--baseline" => {
                 i += 1;
                 baseline = Some(PathBuf::from(args.get(i).unwrap_or_else(|| {
@@ -294,7 +306,8 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown flag {other}; supported: --scale test|bench|full, \
-                     --cores N, --reps N, --smoke, --baseline PATH, --out PATH"
+                     --cores N, --reps N, --smoke, --no-spin-park, \
+                     --baseline PATH, --out PATH"
                 );
                 std::process::exit(2);
             }
@@ -302,7 +315,11 @@ fn main() {
         i += 1;
     }
 
-    let single = MachineConfig::default_single_core();
+    let mut single = MachineConfig::default_single_core();
+    single.spin_parking = !no_spin_park;
+    if no_spin_park {
+        println!("spin parking disabled (--no-spin-park): ticking every awake core");
+    }
     print_banner("Kernel throughput (fig1 sweep, serial)", &single);
     println!(
         "{:<28} {:>19} {:>12} {:>15}",
@@ -311,27 +328,36 @@ fn main() {
 
     let mut spec = spec_suite(scale);
     let mut results = Vec::new();
+    let mut multi = MachineConfig::default_multi_core(cores);
+    multi.spin_parking = !no_spin_park;
     if smoke {
         // CI smoke: one workload and one configuration per suite, one
         // repetition — proves both the single-core and the multicore
         // (event-calendar + directory + NoC) paths run end to end and
         // write a parseable report, and gives `--baseline` a par job
-        // to guard.
+        // and the par_spin job to guard.
         spec.truncate(1);
         for (name, cfg, mask) in suite_jobs("spec", &single).into_iter().take(1) {
             results.push(time_job(&name, &cfg, mask, &spec, 1));
         }
-        let multi = MachineConfig::default_multi_core(cores);
-        let mut par = parallel_suite(cores, scale);
+        let par = parallel_suite(cores, scale);
+        let spin: Vec<Workload> = par
+            .iter()
+            .filter(|w| w.name == "spin_relay")
+            .cloned()
+            .collect();
+        let mut par = par;
         par.truncate(1);
         for (name, cfg, mask) in suite_jobs("par", &multi).into_iter().take(1) {
             results.push(time_job(&name, &cfg, mask, &par, 1));
+        }
+        for (name, cfg, mask) in suite_jobs("par_spin", &multi).into_iter().take(1) {
+            results.push(time_job(&name, &cfg, mask, &spin, 1));
         }
     } else {
         for (name, cfg, mask) in suite_jobs("spec", &single) {
             results.push(time_job(&name, &cfg, mask, &spec, reps));
         }
-        let multi = MachineConfig::default_multi_core(cores);
         let par = parallel_suite(
             cores,
             if scale == Scale::Full {
@@ -340,8 +366,18 @@ fn main() {
                 scale
             },
         );
+        let spin: Vec<Workload> = par
+            .iter()
+            .filter(|w| w.name == "spin_relay")
+            .cloned()
+            .collect();
         for (name, cfg, mask) in suite_jobs("par", &multi) {
             results.push(time_job(&name, &cfg, mask, &par, reps));
+        }
+        // The spin-heavy kernel alone: the isolated measurement of the
+        // spin-parking path (the mixed par jobs dilute it).
+        for (name, cfg, mask) in suite_jobs("par_spin", &multi) {
+            results.push(time_job(&name, &cfg, mask, &spin, reps));
         }
     }
 

@@ -18,6 +18,17 @@
 //! last [`Checkpoint`] — by whichever worker picks it up — with results
 //! bit-identical to an uninterrupted run.
 //!
+//! Checkpoints also spill to disk beside the result cache (a
+//! [`CheckpointStore`]: one `plckpt-<digest>.bin` per in-flight job,
+//! written atomically with the same temp-file + rename discipline as
+//! [`ResultCache`], payload produced by
+//! [`pl_machine::Machine::encode_state`]). A *server* restart therefore
+//! loses at most one period too: a fresh server finding a spilled
+//! checkpoint for a requested job rebuilds the machine from the job
+//! description and overlays the saved state instead of starting over.
+//! Spill files are removed when their job completes; a corrupt or
+//! mismatched file is ignored (the job just restarts from cycle zero).
+//!
 //! The wire protocol is newline-delimited JSON over TCP, parsed with the
 //! in-tree [`pl_trace::json`] parser — no new dependencies. All `u64`
 //! values are encoded as decimal *strings* because the parser holds
@@ -51,7 +62,7 @@ use pl_workloads::Workload;
 /// Version tag mixed into every [`job_digest`]; bump when the job wire
 /// schema changes meaning so stale cache entries go cold instead of
 /// aliasing.
-pub const JOB_DIGEST_SCHEMA: u64 = 1;
+pub const JOB_DIGEST_SCHEMA: u64 = 2;
 
 /// Default cycles between checkpoints for jobs that don't override it.
 pub const DEFAULT_CHECKPOINT_PERIOD: u64 = 250_000;
@@ -142,7 +153,7 @@ pub fn config_to_json(cfg: &MachineConfig) -> String {
          \"pinned_loads\":{{\"cpt_entries\":{},\"cst\":{{\"dir_entries\":{},\"dir_records\":{},\
          \"l1_entries\":{},\"l1_records\":{},\"wd\":{}}},\"ideal_cpt\":{},\"ideal_cst\":{},\
          \"lq_id_tag_bits\":{},\"mode\":{}}},\
-         \"seed\":{},\"threat_model\":{},\
+         \"seed\":{},\"spin_parking\":{},\"threat_model\":{},\
          \"trace\":{{\"buffer_capacity\":{},\"enabled\":{}}},\
          \"verify\":{{\"enabled\":{},\"fault_delay\":{},\"fault_seed\":{},\"mutation\":{},\
          \"snapshot_period\":{}}}}}",
@@ -181,6 +192,7 @@ pub fn config_to_json(cfg: &MachineConfig) -> String {
         cfg.pinned_loads.lq_id_tag_bits,
         cfg.pinned_loads.mode.code(),
         ju64(cfg.seed),
+        cfg.spin_parking,
         cfg.threat_model.code(),
         cfg.trace.buffer_capacity,
         cfg.trace.enabled,
@@ -264,6 +276,7 @@ pub fn config_from_json(v: &Value) -> Result<MachineConfig, String> {
             buffer_capacity: get_usize(trace, "buffer_capacity")?,
         },
         fast_forward: get_bool(v, "fast_forward")?,
+        spin_parking: get_bool(v, "spin_parking")?,
         seed: get_u64(v, "seed")?,
         verify: pl_base::VerifyConfig {
             enabled: get_bool(verify, "enabled")?,
@@ -601,6 +614,117 @@ impl ResultCache {
 }
 
 // ---------------------------------------------------------------------
+// On-disk checkpoint spill.
+// ---------------------------------------------------------------------
+
+/// Magic + version stamped on every spilled checkpoint file.
+const CKPT_MAGIC: u32 = 0x504C_434B; // "PLCK"
+const CKPT_VERSION: u32 = 1;
+
+/// The durable sibling of the in-memory checkpoint store: one
+/// `plckpt-<digest>.bin` file per in-flight job, living next to the
+/// [`ResultCache`] entries and written with the same temp-file + rename
+/// discipline, so a server killed mid-write never leaves a torn spill.
+///
+/// The payload is [`pl_machine::Machine::encode_state`] bytes behind a
+/// small canonical header (magic, version, digest, cycle, resume count).
+/// The digest in the header must match the file name's — a spill is only
+/// meaningful for the exact job that produced it, because the state
+/// stream carries no configuration or programs of its own.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    tmp_counter: AtomicU64,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a spill store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn new(dir: &Path) -> io::Result<CheckpointStore> {
+        std::fs::create_dir_all(dir)?;
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+            tmp_counter: AtomicU64::new(0),
+        })
+    }
+
+    /// The file a spill with this digest lives at.
+    pub fn path_for(&self, digest: u64) -> PathBuf {
+        self.dir.join(format!("plckpt-{digest:016x}.bin"))
+    }
+
+    /// Atomically spills `state` (from
+    /// [`pl_machine::Machine::encode_state`]) for job `digest`, taken at
+    /// `cycle` after `resumed` prior resumes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn store(&self, digest: u64, cycle: u64, resumed: u64, state: &[u8]) -> io::Result<()> {
+        let mut e = pl_base::Enc::new();
+        e.u32(CKPT_MAGIC);
+        e.u32(CKPT_VERSION);
+        e.u64(digest);
+        e.u64(cycle);
+        e.u64(resumed);
+        let mut bytes = e.into_bytes();
+        bytes.extend_from_slice(state);
+        let n = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.dir.join(format!(
+            "plckpt-{digest:016x}.tmp{n}-{}",
+            std::process::id()
+        ));
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, self.path_for(digest))
+    }
+
+    /// Loads the spilled `(cycle, resumed, state)` for `digest`, or
+    /// `None` if no spill exists or the file fails validation (wrong
+    /// magic, version, or digest — e.g. truncated by a full disk). A bad
+    /// spill is deliberately indistinguishable from a missing one: the
+    /// job simply restarts from cycle zero.
+    pub fn load(&self, digest: u64) -> Option<(u64, u64, Vec<u8>)> {
+        let bytes = std::fs::read(self.path_for(digest)).ok()?;
+        let mut d = pl_base::Dec::new(&bytes);
+        if d.u32().ok()? != CKPT_MAGIC || d.u32().ok()? != CKPT_VERSION || d.u64().ok()? != digest {
+            return None;
+        }
+        let cycle = d.u64().ok()?;
+        let resumed = d.u64().ok()?;
+        Some((cycle, resumed, bytes[d.pos()..].to_vec()))
+    }
+
+    /// Removes the spill for `digest`, if any (the job completed or
+    /// errored; either way the file is dead weight).
+    pub fn remove(&self, digest: u64) {
+        let _ = std::fs::remove_file(self.path_for(digest));
+    }
+
+    /// Number of spill files currently on disk.
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| {
+                        let name = e.file_name();
+                        let name = name.to_string_lossy();
+                        name.starts_with("plckpt-") && name.ends_with(".bin")
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// `true` if no spill files are on disk.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------
 // The server.
 // ---------------------------------------------------------------------
 
@@ -655,13 +779,18 @@ struct Shared {
     queue_cv: Condvar,
     shutdown: AtomicBool,
     /// In-memory checkpoint store: digest -> (latest checkpoint, times
-    /// this job has been resumed). Checkpoints are process-local by
-    /// design — the durable layer is the result cache; a server restart
-    /// merely costs a re-run (see `INTERNALS.md` §12).
+    /// this job has been resumed). The fast path for a *worker* death —
+    /// the requeued job resumes without touching disk. A *server* death
+    /// falls back to the on-disk [`CheckpointStore`] spill.
     checkpoints: Mutex<HashMap<u64, (Checkpoint, u64)>>,
     cache: ResultCache,
+    /// Durable checkpoint spill, sharing the cache directory.
+    ckpt: CheckpointStore,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Checkpoint spill files written this process (`stats` reports it;
+    /// the restart test asserts the write path actually ran).
+    spills: AtomicU64,
     local_addr: Mutex<Option<SocketAddr>>,
 }
 
@@ -688,8 +817,9 @@ fn worker_loop(shared: &Shared) {
 }
 
 fn run_job(shared: &Shared, job: Job) {
-    // Resume from the latest checkpoint if one exists; otherwise build a
-    // fresh machine from the job description.
+    // Resume from the latest in-memory checkpoint if one exists (worker
+    // death); failing that, from an on-disk spill (server death);
+    // otherwise build a fresh machine from the job description.
     let entry = shared
         .checkpoints
         .lock()
@@ -698,13 +828,6 @@ fn run_job(shared: &Shared, job: Job) {
     let (mut machine, resumed) = match entry {
         Some((cp, prior_resumes)) => (Machine::restore(&cp), prior_resumes + 1),
         None => {
-            let mut m = match Machine::new(&job.cfg) {
-                Ok(m) => m,
-                Err(e) => {
-                    let _ = job.reply.send(Err(format!("invalid config: {e}")));
-                    return;
-                }
-            };
             if job.workload.cores() > job.cfg.num_cores {
                 let _ = job.reply.send(Err(format!(
                     "workload `{}` needs {} cores but the config has {}",
@@ -714,11 +837,43 @@ fn run_job(shared: &Shared, job: Job) {
                 )));
                 return;
             }
-            job.workload.install(&mut m);
-            if let Some(mask) = job.mask {
-                m.set_vp_mask(mask);
+            // The state stream carries no configuration or programs, so
+            // the overlay target must be built exactly as a fresh run
+            // would be — config, workload, mask — before decoding.
+            let build = || -> Result<Machine, String> {
+                let mut m = Machine::new(&job.cfg).map_err(|e| format!("invalid config: {e}"))?;
+                job.workload.install(&mut m);
+                if let Some(mask) = job.mask {
+                    m.set_vp_mask(mask);
+                }
+                Ok(m)
+            };
+            let mut m = match build() {
+                Ok(m) => m,
+                Err(e) => {
+                    let _ = job.reply.send(Err(e));
+                    return;
+                }
+            };
+            let mut resumed = 0;
+            if cacheable(&job.cfg) {
+                if let Some((_cycle, prior_resumes, state)) = shared.ckpt.load(job.digest) {
+                    if m.decode_state_into(&state).is_ok() {
+                        resumed = prior_resumes + 1;
+                    } else {
+                        // A failed decode leaves the machine partially
+                        // overwritten; discard it and restart clean.
+                        m = match build() {
+                            Ok(m) => m,
+                            Err(e) => {
+                                let _ = job.reply.send(Err(e));
+                                return;
+                            }
+                        };
+                    }
+                }
             }
-            (m, 0)
+            (m, resumed)
         }
     };
     let mut taken_this_attempt = 0u64;
@@ -736,6 +891,19 @@ fn run_job(shared: &Shared, job: Job) {
                     .lock()
                     .expect("checkpoint store lock")
                     .insert(job.digest, (cp, resumed));
+                if cacheable(&job.cfg) {
+                    // Spill the same checkpoint to disk so a *server*
+                    // restart resumes too. A failed write is non-fatal:
+                    // the in-memory copy still covers worker deaths.
+                    let state = machine.encode_state();
+                    if shared
+                        .ckpt
+                        .store(job.digest, machine.now().raw(), resumed, &state)
+                        .is_ok()
+                    {
+                        shared.spills.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 taken_this_attempt += 1;
                 if job.kill_after.is_some_and(|k| taken_this_attempt >= k) {
                     // Simulate this worker dying mid-run: drop the live
@@ -758,6 +926,7 @@ fn run_job(shared: &Shared, job: Job) {
                     .lock()
                     .expect("checkpoint store lock")
                     .remove(&job.digest);
+                shared.ckpt.remove(job.digest);
                 let _ = job
                     .reply
                     .send(Err(format!("workload `{}`: {e}", job.workload.name)));
@@ -770,6 +939,7 @@ fn run_job(shared: &Shared, job: Job) {
         .lock()
         .expect("checkpoint store lock")
         .remove(&job.digest);
+    shared.ckpt.remove(job.digest);
     let json = result_to_json(&result);
     if cacheable(&job.cfg) {
         if let Err(e) = shared.cache.store(job.digest, &json) {
@@ -825,11 +995,15 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) -> bool {
         Some("stats") => {
             let hits = shared.hits.load(Ordering::Relaxed);
             let misses = shared.misses.load(Ordering::Relaxed);
+            let spills = shared.spills.load(Ordering::Relaxed);
             respond(
                 &mut stream,
                 &format!(
-                    "{{\"cache_entries\":{},\"hits\":{},\"misses\":{},\"ok\":true}}",
+                    "{{\"cache_entries\":{},\"ckpt_entries\":{},\"ckpt_spills\":{},\
+                     \"hits\":{},\"misses\":{},\"ok\":true}}",
                     shared.cache.len(),
+                    shared.ckpt.len(),
+                    ju64(spills),
                     ju64(hits),
                     ju64(misses),
                 ),
@@ -929,8 +1103,10 @@ pub fn serve(opts: &ServeOptions) -> io::Result<()> {
         shutdown: AtomicBool::new(false),
         checkpoints: Mutex::new(HashMap::new()),
         cache: ResultCache::new(&opts.cache_dir)?,
+        ckpt: CheckpointStore::new(&opts.cache_dir)?,
         hits: AtomicU64::new(0),
         misses: AtomicU64::new(0),
+        spills: AtomicU64::new(0),
         local_addr: Mutex::new(Some(local)),
     };
     let threads = opts.threads.max(1);
@@ -1167,5 +1343,75 @@ mod tests {
         assert!(cacheable(&cfg));
         cfg.trace = pl_base::TraceConfig::enabled();
         assert!(!cacheable(&cfg));
+    }
+
+    #[test]
+    fn checkpoint_spill_round_trips_and_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("plserve-ckpt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir).unwrap();
+        assert!(store.load(7).is_none());
+
+        let state = vec![0xA5u8; 300];
+        store.store(7, 123_456, 2, &state).unwrap();
+        assert_eq!(store.len(), 1);
+        let (cycle, resumed, back) = store.load(7).unwrap();
+        assert_eq!((cycle, resumed), (123_456, 2));
+        assert_eq!(back, state);
+
+        // Wrong digest in the header (file renamed/aliased): rejected.
+        std::fs::rename(store.path_for(7), store.path_for(8)).unwrap();
+        assert!(store.load(8).is_none());
+        std::fs::rename(store.path_for(8), store.path_for(7)).unwrap();
+
+        // A newer store overwrites atomically.
+        store.store(7, 200_000, 3, &state).unwrap();
+        assert_eq!(store.load(7).unwrap().0, 200_000);
+        assert_eq!(store.len(), 1);
+
+        // Truncated and garbage files read as missing, not as errors.
+        std::fs::write(store.path_for(9), b"PL").unwrap();
+        assert!(store.load(9).is_none());
+        std::fs::write(store.path_for(10), vec![0u8; 64]).unwrap();
+        assert!(store.load(10).is_none());
+
+        store.remove(7);
+        assert!(store.load(7).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spilled_machine_state_resumes_bit_identically() {
+        // The spill payload really is a resumable machine: encode at a
+        // mid-run pause, overlay onto a freshly built twin, and the twin
+        // must finish with the original's exact result.
+        let cfg = MachineConfig::default_single_core();
+        let w = test_workload();
+        let mut reference = Machine::new(&cfg).unwrap();
+        w.install(&mut reference);
+        let expect = reference.run(crate::RUN_BUDGET).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("plserve-spill-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir).unwrap();
+        let digest = job_digest(&cfg, None, &w);
+        let mut first = Machine::new(&cfg).unwrap();
+        w.install(&mut first);
+        let pause = (expect.cycles / 2).max(1);
+        match first.run_until(crate::RUN_BUDGET, pause).unwrap() {
+            StepOutcome::Paused => {}
+            StepOutcome::Done(_) => panic!("job finished before the mid-run pause"),
+        }
+        let state = first.encode_state();
+        store.store(digest, first.now().raw(), 0, &state).unwrap();
+        drop(first); // the "server death": only the spill survives
+
+        let (_cycle, _resumed, state) = store.load(digest).unwrap();
+        let mut twin = Machine::new(&cfg).unwrap();
+        w.install(&mut twin);
+        twin.decode_state_into(&state).unwrap();
+        let got = twin.run(crate::RUN_BUDGET).unwrap();
+        assert_eq!(result_to_json(&got), result_to_json(&expect));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -20,14 +20,14 @@ use std::sync::Arc;
 
 use pl_base::verify::{VP_ALIAS, VP_CTRL, VP_EXCEPTION};
 use pl_base::{
-    Addr, CheckEvent, CheckSink, CoreId, CoreSnapshot, Cycle, HistId, InvalidateCause, LineAddr,
-    LineMode, MachineConfig, Mutation, PinMode, SeqNum, StatId, Stats,
+    Addr, CheckEvent, CheckSink, CoreId, CoreSnapshot, Cycle, Dec, Enc, HistId, InvalidateCause,
+    LineAddr, LineMode, MachineConfig, Mutation, PinMode, SeqNum, StatId, Stats,
 };
 use pl_isa::{Inst, Operand, Pc, Program, Reg};
 use pl_mem::{
     home_slice, Cache, DataGrant, Memory, Mesi, Msg, MshrFile, NodeId, WbState, WriteBuffer,
 };
-use pl_predictor::BranchPredictor;
+use pl_predictor::{BranchPredictor, Checkpoint, Ras};
 use pl_secure::scheme::LoadContext;
 use pl_secure::{IssuePolicy, PinGovernor, PinState, TaintTracker, VpMask, VpStatus};
 use pl_trace::{EventKind, TraceSource, Tracer};
@@ -47,7 +47,7 @@ const FETCH_BUF_CAP: usize = 16;
 /// window would have taken.
 pub const OCC_SAMPLE_PERIOD: u64 = 32;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct Fetched {
     pc: Pc,
     inst: Inst,
@@ -65,7 +65,7 @@ enum InstallAction {
     AtomicFinish { needs_unblock: bool },
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct PendingInstall {
     line: LineAddr,
     state: Mesi,
@@ -74,7 +74,7 @@ struct PendingInstall {
 }
 
 /// In-flight `GetX` transaction for the atomic at the ROB head.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct AtomicTxn {
     active: bool,
     line: LineAddr,
@@ -294,6 +294,23 @@ pub struct Core {
     /// every cycle — VP-blocked, fence-blocked, store-data waits, or
     /// exposure-eligible invisible loads — simply stay `LQ_VISIT`.
     lq_flags: VecDeque<u8>,
+    /// Number of [`LQ_VISIT`] bytes currently in `lq_flags`, maintained
+    /// at every flag transition so the load-issue pass can prove in O(1)
+    /// that a scan would visit nothing (the common case on a spinning or
+    /// drained core) and return without touching the mirror at all.
+    lq_visit_count: usize,
+    /// SoA mirror of the per-entry fields the per-tick LQ *search* paths
+    /// (TSO squash scan, memory-order-violation scan, pending-pin
+    /// promotion) filter on, kept in lockstep with `lq` via
+    /// [`Core::lq_sync`]: the 64-bit word index of the entry's address
+    /// ([`LQ_NO_WORD`] until generated). Packing the filter keys into
+    /// dense arrays lets those scans reject an entry from one or two
+    /// cache lines instead of touching each ~100-byte [`LqEntry`].
+    lq_words: Vec<u64>,
+    /// SoA mirror, second column: packed status bits
+    /// ([`LQS_PERFORMED`] / [`LQS_FORWARDED`] / [`LQS_INVISIBLE`] and the
+    /// pin tag at [`LQS_PIN_SHIFT`]).
+    lq_status: Vec<u8>,
 }
 
 /// `lq_flags` value: the load-issue pass would provably no-op (and emit
@@ -310,6 +327,41 @@ const ISSUE_CHECK: u8 = 1;
 /// `issue_flags` value: entry waits on `issue_blocked_on`; examine only
 /// after a completion.
 const ISSUE_PARKED: u8 = 2;
+
+/// `lq_words` sentinel: the entry's address is not generated yet, so no
+/// word- or line-keyed scan can match it.
+const LQ_NO_WORD: u64 = u64::MAX;
+/// `lq_status` bit: the value is bound (`performed_at.is_some()`).
+const LQS_PERFORMED: u8 = 1 << 0;
+/// `lq_status` bit: the value came from store-to-load forwarding.
+const LQS_FORWARDED: u8 = 1 << 1;
+/// `lq_status` bit: the value was bound invisibly (InvisiSpec).
+const LQS_INVISIBLE: u8 = 1 << 2;
+/// `lq_status` shift of the two-bit pin tag.
+const LQS_PIN_SHIFT: u32 = 3;
+/// Pin tags stored at [`LQS_PIN_SHIFT`].
+const LQS_PIN_UNPINNED: u8 = 0;
+const LQS_PIN_PENDING: u8 = 1;
+const LQS_PIN_PINNED: u8 = 2;
+
+/// The packed `lq_status` byte for one LQ entry.
+fn lq_status_of(e: &LqEntry) -> u8 {
+    let mut s = 0u8;
+    if e.performed() {
+        s |= LQS_PERFORMED;
+    }
+    if e.forwarded {
+        s |= LQS_FORWARDED;
+    }
+    if e.invisible {
+        s |= LQS_INVISIBLE;
+    }
+    s | (match e.pin {
+        PinState::Unpinned => LQS_PIN_UNPINNED,
+        PinState::Pending => LQS_PIN_PENDING,
+        PinState::Pinned => LQS_PIN_PINNED,
+    } << LQS_PIN_SHIFT)
+}
 
 impl Core {
     /// Creates a core running `program` under the given configuration.
@@ -381,6 +433,9 @@ impl Core {
             issue_flags: VecDeque::with_capacity(cfg.core.rob_entries),
             issue_queue: VecDeque::with_capacity(cfg.core.rob_entries),
             lq_flags: VecDeque::with_capacity(cfg.core.lq_entries),
+            lq_visit_count: 0,
+            lq_words: Vec::with_capacity(cfg.core.lq_entries),
+            lq_status: Vec::with_capacity(cfg.core.lq_entries),
         }
     }
 
@@ -515,6 +570,14 @@ impl Core {
     /// buffers' capacity (the steady-state routing path).
     pub fn drain_outbox_into(&mut self, out: &mut Vec<(NodeId, Msg)>) {
         out.append(&mut self.outbox);
+    }
+
+    /// Returns `true` while no outbound coherence message is pending.
+    /// The machine's spin-parking replay asserts this after each
+    /// catch-up tick: a verified spin window sent nothing, so neither
+    /// may its repeats.
+    pub fn outbox_is_empty(&self) -> bool {
+        self.outbox.is_empty()
     }
 
     fn home(&self, line: LineAddr) -> NodeId {
@@ -979,14 +1042,39 @@ impl Core {
         } else {
             self.lq.first().map(|e| e.seq)
         };
-        let victim = self.lq.iter().find(|e| {
-            e.performed()
-                && !e.forwarded
-                && !e.invisible
-                && e.pin != PinState::Pinned
-                && e.line() == Some(line)
-                && Some(e.seq) != oldest_seq
-        });
+        // SoA scan: every predicate term is a packed column, so the usual
+        // no-victim outcome rejects each entry from the two dense mirrors
+        // without touching the LQ entries at all. The oldest-load
+        // exemption is positional — `oldest_seq` is exactly `lq[0]` —
+        // so the aggressive mode starts the scan at index 1.
+        debug_assert!(self.lq_soa_consistent());
+        let start = usize::from(oldest_seq.is_some());
+        let victim = self
+            .lq_words
+            .iter()
+            .zip(self.lq_status.iter())
+            .skip(start)
+            .position(|(&w, &s)| {
+                w != LQ_NO_WORD
+                    && w >> 3 == line.raw()
+                    && s & (LQS_PERFORMED | LQS_FORWARDED | LQS_INVISIBLE) == LQS_PERFORMED
+                    && (s >> LQS_PIN_SHIFT) & 0b11 != LQS_PIN_PINNED
+            })
+            .map(|i| &self.lq[start + i]);
+        debug_assert_eq!(
+            victim.map(|v| v.seq),
+            self.lq
+                .iter()
+                .find(|e| {
+                    e.performed()
+                        && !e.forwarded
+                        && !e.invisible
+                        && e.pin != PinState::Pinned
+                        && e.line() == Some(line)
+                        && Some(e.seq) != oldest_seq
+                })
+                .map(|e| e.seq)
+        );
         if let Some(v) = victim {
             let seq = v.seq;
             debug_assert_eq!(
@@ -1126,15 +1214,25 @@ impl Core {
     }
 
     fn promote_pending_pins(&mut self, line: LineAddr) {
-        for e in &mut self.lq {
-            if e.pin == PinState::Pending && e.line() == Some(line) {
-                e.pin = PinState::Pinned;
-                if self.governor.record_pin(line) {
-                    self.check.emit(CheckEvent::PinAcquired {
-                        core: self.id,
-                        line,
-                    });
-                }
+        debug_assert!(self.lq_soa_consistent());
+        for i in 0..self.lq.len() {
+            // SoA pre-filter: pin-pending entries on this line are rare,
+            // so reject on the packed columns without reading the entry.
+            if (self.lq_status[i] >> LQS_PIN_SHIFT) & 0b11 != LQS_PIN_PENDING {
+                continue;
+            }
+            let w = self.lq_words[i];
+            if w == LQ_NO_WORD || w >> 3 != line.raw() {
+                continue;
+            }
+            debug_assert!(self.lq[i].pin == PinState::Pending && self.lq[i].line() == Some(line));
+            self.lq[i].pin = PinState::Pinned;
+            self.lq_sync(i);
+            if self.governor.record_pin(line) {
+                self.check.emit(CheckEvent::PinAcquired {
+                    core: self.id,
+                    line,
+                });
             }
         }
     }
@@ -1380,7 +1478,11 @@ impl Core {
                     }
                 }
                 self.lq.remove(0);
-                self.lq_flags.pop_front();
+                if self.lq_flags.pop_front() == Some(LQ_VISIT) {
+                    self.lq_visit_count -= 1;
+                }
+                self.lq_words.remove(0);
+                self.lq_status.remove(0);
             }
             match inst {
                 Inst::Call { .. } => self.arch_call_stack.push(pc.next()),
@@ -1706,6 +1808,7 @@ impl Core {
                     match governor.try_pin_early(line, lq_id, &live) {
                         Ok(newly_pinned) => {
                             self.lq[i].pin = PinState::Pinned;
+                            self.lq_sync(i);
                             if newly_pinned {
                                 self.check.emit(CheckEvent::PinAcquired {
                                     core: self.id,
@@ -1727,6 +1830,7 @@ impl Core {
                         && self.l1.peek(line).is_some_and(|s| s.readable())
                     {
                         self.lq[i].pin = PinState::Pinned;
+                        self.lq_sync(i);
                         if self.governor.record_pin(line) {
                             self.check.emit(CheckEvent::PinAcquired {
                                 core: self.id,
@@ -1739,6 +1843,7 @@ impl Core {
                     if e.waiting_fill {
                         let seq = e.seq;
                         self.lq[i].pin = PinState::Pending;
+                        self.lq_sync(i);
                         self.tracer.emit(EventKind::PinPending { seq, line });
                         active = true;
                         break;
@@ -2115,16 +2220,33 @@ impl Core {
         let word = addr.raw() >> 3;
         // Memory-order violation: a younger load already performed against
         // stale data (it read memory, or forwarded from a store older than
-        // this one).
-        let victim = self.lq.iter().find(|l| {
-            l.seq > seq
-                && l.performed()
-                && l.addr.is_some_and(|a| a.raw() >> 3 == word)
-                // The load is mis-ordered unless it already bound its
-                // value from this store or a younger one; values from the
-                // write buffer, memory, or an older store are all stale.
-                && l.forwarded_from.is_none_or(|f| f < seq)
-        });
+        // this one). The SoA columns carry the word and performed bits, so
+        // the dominant no-match scan never reads an `LqEntry`.
+        debug_assert!(self.lq_soa_consistent());
+        let victim = self
+            .lq_words
+            .iter()
+            .zip(self.lq_status.iter())
+            .enumerate()
+            .filter(|&(_, (&w, &s))| w == word && s & LQS_PERFORMED != 0)
+            .map(|(i, _)| &self.lq[i])
+            .find(|l| l.seq > seq && l.forwarded_from.is_none_or(|f| f < seq));
+        debug_assert_eq!(
+            victim.map(|v| v.seq),
+            self.lq
+                .iter()
+                .find(|l| {
+                    l.seq > seq
+                        && l.performed()
+                        && l.addr.is_some_and(|a| a.raw() >> 3 == word)
+                        // The load is mis-ordered unless it already bound
+                        // its value from this store or a younger one;
+                        // values from the write buffer, memory, or an
+                        // older store are all stale.
+                        && l.forwarded_from.is_none_or(|f| f < seq)
+                })
+                .map(|l| l.seq)
+        );
         if let Some(v) = victim {
             let vseq = v.seq;
             debug_assert_eq!(v.pin, PinState::Unpinned, "pinned loads are never squashed");
@@ -2312,6 +2434,7 @@ impl Core {
                             _ => unreachable!(),
                         };
                         self.lq[lq_idx].addr = Some(Addr::new(b.wrapping_add(offset as u64)));
+                        self.lq_sync(lq_idx);
                         self.lq_promote(lq_idx);
                         self.rob[idx].issue_done = true;
                         self.issue_flags[idx] = ISSUE_SKIP;
@@ -2403,6 +2526,13 @@ impl Core {
         // (fence- and VP-blocked loads emit stall statistics every
         // cycle), so indirection would cost more than the byte scan.
         debug_assert!(self.lq_flags_consistent());
+        // O(1) early-out: with no `LQ_VISIT` entries the byte scan below
+        // would no-op without emitting a single statistic, so skipping it
+        // entirely is indistinguishable. This is the steady state of a
+        // core spinning on performed loads or blocked behind a fill.
+        if self.lq_visit_count == 0 {
+            return false;
+        }
         let mut i = 0usize;
         // Visits can squash an LQ suffix (validation mismatch); the
         // bound is re-read every iteration, so a truncated tail is
@@ -2431,12 +2561,12 @@ impl Core {
                 if e.performed() || e.waiting_fill {
                     // Terminal for this scan until an explicitly hooked event
                     // (fill arrival, exposure outcome) re-promotes the flag.
-                    self.lq_flags[i] = LQ_SKIP;
+                    self.lq_demote(i);
                     break 'load;
                 }
                 let Some(addr) = e.addr else {
                     // Address generation re-promotes.
-                    self.lq_flags[i] = LQ_SKIP;
+                    self.lq_demote(i);
                     break 'load;
                 };
                 // Loads younger than an active fence must not issue.
@@ -2524,6 +2654,7 @@ impl Core {
                     self.tracer.emit(EventKind::IssueLoad { seq, line, l1_hit });
                     self.perform_load(i, v, false, None, now, false);
                     self.lq[i].invisible = true;
+                    self.lq_sync(i);
                     if let Some(d) = self.rob_entry_mut(seq) {
                         // Override the L1-hit deadline `perform_load` set
                         // with the invisible access's latency. The heap
@@ -2578,6 +2709,7 @@ impl Core {
                                 && self.pin_eligible_base(i, &aggr)
                             {
                                 self.lq[i].pin = PinState::Pending;
+                                self.lq_sync(i);
                                 self.tracer.emit(EventKind::PinPending { seq, line });
                             }
                             if primary {
@@ -2654,6 +2786,7 @@ impl Core {
         if current == bound {
             self.lq[i].invisible = false;
             self.lq[i].exposing = false;
+            self.lq_sync(i);
             self.stats.incr_id(self.ids.loads_validated);
         } else {
             let pc = self.rob_entry(seq).expect("load in ROB").pc;
@@ -2708,6 +2841,7 @@ impl Core {
         e.forwarded_from = forwarded_from;
         e.waiting_fill = false;
         let seq = e.seq;
+        self.lq_sync(i);
         self.stats.incr_id(self.ids.loads_performed);
         if forwarded {
             self.stats.incr_id(self.ids.loads_forwarded);
@@ -2886,20 +3020,53 @@ impl Core {
 
     /// Promotes LQ entry `i` for examination by the load-issue scan.
     fn lq_promote(&mut self, i: usize) {
-        self.lq_flags[i] = LQ_VISIT;
+        if self.lq_flags[i] != LQ_VISIT {
+            self.lq_flags[i] = LQ_VISIT;
+            self.lq_visit_count += 1;
+        }
+    }
+
+    /// Demotes LQ entry `i`: the load-issue scan proved it will no-op on
+    /// the entry until an explicitly hooked event re-promotes it.
+    fn lq_demote(&mut self, i: usize) {
+        debug_assert_eq!(self.lq_flags[i], LQ_VISIT);
+        self.lq_flags[i] = LQ_SKIP;
+        self.lq_visit_count -= 1;
+    }
+
+    /// Re-derives LQ entry `i`'s SoA mirror columns after any mutation of
+    /// the fields they pack (address, performed, forwarded, invisible,
+    /// pin). Every `LqEntry` mutation site calls this.
+    fn lq_sync(&mut self, i: usize) {
+        let e = &self.lq[i];
+        self.lq_words[i] = e.addr.map_or(LQ_NO_WORD, |a| a.raw() >> 3);
+        self.lq_status[i] = lq_status_of(e);
     }
 
     /// Debug oracle: every `LQ_SKIP` entry must satisfy a skip condition
     /// of the load-issue scan (no stats, no side effects), so skipping it
     /// is indistinguishable from visiting it. `LQ_VISIT` may be stale the
     /// other way (a visit that no-ops and demotes) — that is harmless.
+    /// Also checks the maintained visit count against a recount.
     fn lq_flags_consistent(&self) -> bool {
         self.lq_flags.len() == self.lq.len()
+            && self.lq_visit_count == self.lq_flags.iter().filter(|&&f| f == LQ_VISIT).count()
             && self.lq.iter().zip(self.lq_flags.iter()).all(|(e, &f)| {
                 f == LQ_VISIT
                     || e.addr.is_none()
                     || e.waiting_fill
                     || (e.performed() && (!e.invisible || e.exposing))
+            })
+    }
+
+    /// Debug oracle: the SoA mirror columns must equal a re-derivation
+    /// from the LQ entries themselves.
+    fn lq_soa_consistent(&self) -> bool {
+        self.lq_words.len() == self.lq.len()
+            && self.lq_status.len() == self.lq.len()
+            && self.lq.iter().enumerate().all(|(i, e)| {
+                self.lq_words[i] == e.addr.map_or(LQ_NO_WORD, |a| a.raw() >> 3)
+                    && self.lq_status[i] == lq_status_of(e)
             })
     }
 
@@ -3013,6 +3180,9 @@ impl Core {
                 // No address yet: the load-issue pass would skip it;
                 // address generation promotes the flag.
                 self.lq_flags.push_back(LQ_SKIP);
+                // Fresh entry: no address, no status bits set.
+                self.lq_words.push(LQ_NO_WORD);
+                self.lq_status.push(0);
             }
             if matches!(f.inst, Inst::Store { .. }) {
                 self.sq.push(SqEntry::new(seq));
@@ -3155,8 +3325,15 @@ impl Core {
         );
         self.lq.retain(|e| e.seq < first_bad);
         // The LQ is seq-sorted, so the retain removed a suffix; the
-        // flag mirror shrinks in lockstep.
+        // flag and SoA mirrors shrink in lockstep.
+        for &f in self.lq_flags.iter().skip(self.lq.len()) {
+            if f == LQ_VISIT {
+                self.lq_visit_count -= 1;
+            }
+        }
         self.lq_flags.truncate(self.lq.len());
+        self.lq_words.truncate(self.lq.len());
+        self.lq_status.truncate(self.lq.len());
         self.sq.retain(|e| e.seq < first_bad);
         // Back-purge the sorted candidate queue: a squash rewinds
         // `next_seq`, so a reused seq must never alias a stale entry.
@@ -3223,6 +3400,730 @@ impl Core {
         let idx = (seq.0 - head.0) as usize;
         self.rob.get_mut(idx)
     }
+
+    // ------------------------------------------------------------------
+    // Spin parking: signature anchor, period verification, bulk replay
+    // ------------------------------------------------------------------
+
+    /// The spin-signature anchor the machine's detector tracks: the
+    /// fetch PC and the next sequence number. A spinning core revisits
+    /// the same anchor PC once per iteration with a fixed seq stride;
+    /// the detector uses the pair to guess the raw iteration period
+    /// before paying for a full [`Core::spin_verify`].
+    pub fn spin_anchor(&self) -> (u64, u64) {
+        (self.fetch_pc.0 as u64, self.next_seq.0)
+    }
+
+    /// Returns `true` when the core holds no in-flight memory-system
+    /// transaction: all coherence buffers are empty and no retry timer
+    /// is pending. Spin parking is only sound from such a boundary —
+    /// everything that remains is pure pipeline state that the period
+    /// shift of [`Core::spin_verify`] can reason about, and any future
+    /// external influence must arrive as a message (which wakes the
+    /// core).
+    pub fn spin_ready(&self) -> bool {
+        self.outbox.is_empty()
+            && self.mshrs.is_empty()
+            && self.wb.is_empty()
+            && !self.wb_needs_unblock
+            && self.pending_installs.is_empty()
+            && self.read_retries.is_empty()
+            && !self.atomic.active
+            && !self.halted
+    }
+
+    /// LQ IDs that may still be allocated before the governor's
+    /// wraparound-drain boundary. Bounds how many whole periods a
+    /// parked spinning core may bulk-replay before it must run live
+    /// again (the wrap drain is a global interaction).
+    pub fn spin_wrap_budget(&self) -> u64 {
+        self.governor.lq_ids_before_wrap()
+    }
+
+    /// Checks whether `probe` is exactly `base` advanced by one spin
+    /// period of `period` cycles, and if so returns the [`SpinDelta`]
+    /// that replays further periods in O(1). `base` is a snapshot of
+    /// this core taken `period` cycles ago (its last ticked cycle being
+    /// `base_now`); `probe` is the live core now. Consumes `base`: its
+    /// state is shifted forward one period in place for the comparison.
+    ///
+    /// Returns `None` — park nothing, lose nothing but time — unless
+    /// every condition for bit-identical replay holds:
+    ///
+    /// - both endpoints are [`Core::spin_ready`];
+    /// - the period is a multiple of [`OCC_SAMPLE_PERIOD`], so every
+    ///   period window contains the same occupancy-sample points;
+    /// - the core dispatched *and* retired instructions (a fully
+    ///   stalled core is the quiet-tick machinery's job, and its
+    ///   stale cycle stamps would defeat the uniform shift);
+    /// - no load performed invisibly (such loads read the memory image
+    ///   directly, which a replay would not repeat);
+    /// - the pin set did not change (remote cores read pin counts at
+    ///   arbitrary cycles without a message; zero pins acquired plus
+    ///   the governor boundary-state equality below implies the counts
+    ///   were constant mid-period too, since releases alone could only
+    ///   shrink the boundary counts);
+    /// - the LQ-ID stride stays within the wraparound budget;
+    /// - the branch predictor moved only in loop-predictor confidence
+    ///   counters ([`BranchPredictor::spin_delta`]);
+    /// - the shifted `base` matches `probe` field for field
+    ///   ([`Core::spin_state_eq`]).
+    pub fn spin_verify(
+        base: &Core,
+        probe: &Core,
+        base_now: Cycle,
+        period: u64,
+    ) -> Option<SpinDelta> {
+        if period == 0 || !period.is_multiple_of(OCC_SAMPLE_PERIOD) {
+            return None;
+        }
+        if !base.spin_ready() || !probe.spin_ready() {
+            return None;
+        }
+        let dseq = probe.next_seq.0.checked_sub(base.next_seq.0)?;
+        let dretired = probe.retired.checked_sub(base.retired)?;
+        if dseq == 0 || dretired == 0 {
+            return None;
+        }
+        let dlqid = probe
+            .governor
+            .next_lq_id()
+            .checked_sub(base.governor.next_lq_id())?;
+        if dlqid > base.governor.lq_ids_before_wrap() {
+            return None;
+        }
+        let dl1tick = probe.l1.lru_tick().checked_sub(base.l1.lru_tick())?;
+        if probe.stats.get_id(probe.ids.loads_invisible)
+            != base.stats.get_id(base.ids.loads_invisible)
+        {
+            return None;
+        }
+        if probe.governor.stats().get("pin.pins") != base.governor.stats().get("pin.pins") {
+            return None;
+        }
+        // Cheap structural pre-gates: these fields are never shifted, so
+        // they must already be bit-equal. Checking them (and the queue
+        // shapes) before the predictor tables and the clone below keeps a
+        // failed probe at a periodic cadence close to free.
+        if base.fetch_pc != probe.fetch_pc
+            || base.regfile != probe.regfile
+            || base.rob.len() != probe.rob.len()
+            || base.lq.len() != probe.lq.len()
+            || base.sq.len() != probe.sq.len()
+            || base.fetch_buf.len() != probe.fetch_buf.len()
+        {
+            return None;
+        }
+        let loop_deltas = BranchPredictor::spin_delta(&base.bp, &probe.bp)?;
+        let delta = SpinDelta {
+            period,
+            dseq,
+            dlqid,
+            dretired,
+            dl1tick,
+            core_ctr_before: base.stats.counter_values().to_vec(),
+            core_ctr_after: probe.stats.counter_values().to_vec(),
+            core_hist_before: base.stats.hist_values(),
+            core_hist_after: probe.stats.hist_values(),
+            gov_ctr_before: base.governor.stats().counter_values().to_vec(),
+            gov_ctr_after: probe.governor.stats().counter_values().to_vec(),
+            gov_hist_before: base.governor.stats().hist_values(),
+            gov_hist_after: probe.governor.stats().hist_values(),
+            loop_deltas,
+        };
+        let mut shifted = Box::new(base.clone());
+        shifted.spin_shift(dseq, period, dlqid, base_now);
+        shifted.l1.spin_shift_lru(dl1tick);
+        if !Core::spin_state_eq(&shifted, probe) {
+            return None;
+        }
+        Some(delta)
+    }
+
+    /// Applies `k` whole spin periods in O(delta) time: statistics and
+    /// histograms replay their per-period deltas, the predictor's loop
+    /// tables and the L1 recency clock advance, and every sequence
+    /// number, cycle stamp, and LQ ID in the pipeline shifts —
+    /// bit-identical to running the `k * period` cycles live.
+    /// `boundary` is the last cycle this core actually ticked.
+    pub fn spin_advance(&mut self, k: u64, d: &SpinDelta, boundary: Cycle) {
+        if k == 0 {
+            return;
+        }
+        self.stats
+            .replay_counter_delta(&d.core_ctr_before, &d.core_ctr_after, k);
+        self.stats
+            .replay_hist_delta(&d.core_hist_before, &d.core_hist_after, k);
+        self.governor
+            .stats_mut()
+            .replay_counter_delta(&d.gov_ctr_before, &d.gov_ctr_after, k);
+        self.governor
+            .stats_mut()
+            .replay_hist_delta(&d.gov_hist_before, &d.gov_hist_after, k);
+        self.retired += k * d.dretired;
+        self.bp.spin_advance(k, &d.loop_deltas);
+        self.l1.spin_advance_ticks(d.dl1tick, k);
+        self.spin_shift(k * d.dseq, k * d.period, k * d.dlqid, boundary);
+    }
+
+    /// Shifts every sequence number, cycle stamp, and LQ ID in the pure
+    /// pipeline state forward by the given deltas — producing the state
+    /// a periodic spin reaches `dcycle` cycles later. Fields gated
+    /// empty by [`Core::spin_ready`] are untouched; the L1 recency
+    /// clock is the callers' job (verification shifts one period, bulk
+    /// advance applies `k` at once with the same touched-way cutoff).
+    ///
+    /// `boundary` is the last ticked cycle of the state being shifted:
+    /// past-facing stamps (`dispatched_at`, `performed_at`) always
+    /// shift — the shifted state describes instructions dispatched one
+    /// period later — while `fetch_stalled_until` shifts only when
+    /// still in the future, because an already-expired stall window is
+    /// reproduced verbatim by the next iteration.
+    fn spin_shift(&mut self, dseq: u64, dcycle: u64, dlqid: u64, boundary: Cycle) {
+        let sseq = |s: SeqNum| SeqNum(s.0 + dseq);
+        let sopt = |s: &mut Option<SeqNum>| {
+            if let Some(x) = s.as_mut() {
+                *x = SeqNum(x.0 + dseq);
+            }
+        };
+        if self.fetch_stalled_until > boundary {
+            self.fetch_stalled_until += dcycle;
+        }
+        for e in self.rob.iter_mut() {
+            e.seq = sseq(e.seq);
+            if let Stage::Executing { done_at } = &mut e.stage {
+                *done_at += dcycle;
+            }
+            if let Some((_, p)) = e.prev_map.as_mut() {
+                sopt(p);
+            }
+            for (_, p) in e.srcs.iter_mut() {
+                sopt(p);
+            }
+            e.dispatched_at += dcycle;
+            sopt(&mut e.issue_blocked_on);
+            sopt(&mut e.first_waiter);
+            sopt(&mut e.next_waiter);
+        }
+        self.next_seq = sseq(self.next_seq);
+        for r in self.rename.iter_mut() {
+            sopt(r);
+        }
+        for e in self.lq.iter_mut() {
+            e.seq = sseq(e.seq);
+            e.lq_id += dlqid;
+            if let Some(t) = e.performed_at.as_mut() {
+                *t += dcycle;
+            }
+            sopt(&mut e.forwarded_from);
+        }
+        for e in self.sq.iter_mut() {
+            e.seq = sseq(e.seq);
+        }
+        // A uniform shift of both tuple components is strictly
+        // monotone, so element order is preserved and re-heapifying
+        // the shifted elements yields an equivalent heap.
+        let shifted: Vec<_> = self
+            .exec_heap
+            .drain()
+            .map(|Reverse((c, s))| Reverse((c + dcycle, sseq(s))))
+            .collect();
+        self.exec_heap = BinaryHeap::from(shifted);
+        for q in [
+            &mut self.agg_ctrl,
+            &mut self.agg_fence,
+            &mut self.agg_mem,
+            &mut self.agg_store,
+        ] {
+            for s in q.iter_mut() {
+                *s = SeqNum(s.0 + dseq);
+            }
+        }
+        for s in self.issue_queue.iter_mut() {
+            *s = SeqNum(s.0 + dseq);
+        }
+        sopt(&mut self.aggr.oldest_unresolved_ctrl);
+        sopt(&mut self.aggr.oldest_unknown_store_addr);
+        sopt(&mut self.aggr.oldest_unknown_mem_addr);
+        sopt(&mut self.aggr.oldest_active_fence);
+        self.taint.spin_shift(dseq);
+        self.governor.spin_advance_lq_ids(dlqid);
+    }
+
+    /// Structural equality of the pure pipeline state, used by
+    /// [`Core::spin_verify`] after shifting the older snapshot. The
+    /// struct is destructured without `..`, so adding a field forces a
+    /// decision here. Excluded: statistics and the retired count
+    /// (captured as per-period deltas in the [`SpinDelta`]), the branch
+    /// predictor (compared separately via
+    /// [`BranchPredictor::spin_delta`]), tracer and checker sinks
+    /// (spin parking is gated off when either is enabled), per-tick
+    /// scratch buffers (empty between ticks), and configuration-derived
+    /// fields (identical by construction). The outbox and MSHRs are
+    /// required empty on both sides rather than compared — they are
+    /// gated empty by [`Core::spin_ready`] anyway.
+    pub fn spin_state_eq(base: &Core, probe: &Core) -> bool {
+        let Core {
+            id: _,
+            cfg: _,
+            program: _,
+            policy: _,
+            vp_mask: _,
+            bp: _,
+            fetch_pc,
+            fetch_halted,
+            fetch_stalled_until,
+            fetch_buf,
+            rob,
+            next_seq,
+            rename,
+            regfile,
+            lq,
+            sq,
+            wb,
+            wb_needs_unblock,
+            l1,
+            mshrs,
+            pending_installs,
+            read_retries,
+            governor,
+            taint,
+            atomic,
+            arch_call_stack,
+            aggr,
+            outbox,
+            tracer: _,
+            check: _,
+            mutation: _,
+            mutation_armed,
+            stats: _,
+            ids: _,
+            halted,
+            retired: _,
+            scratch_installs: _,
+            scratch_lines: _,
+            scratch_seqs: _,
+            scratch_due: _,
+            exec_heap,
+            agg_ctrl,
+            agg_fence,
+            agg_mem,
+            agg_store,
+            issue_flags,
+            issue_queue,
+            lq_flags,
+            lq_visit_count,
+            lq_words,
+            lq_status,
+        } = base;
+        *fetch_pc == probe.fetch_pc
+            && *fetch_halted == probe.fetch_halted
+            && *fetch_stalled_until == probe.fetch_stalled_until
+            && *fetch_buf == probe.fetch_buf
+            && *rob == probe.rob
+            && *next_seq == probe.next_seq
+            && *rename == probe.rename
+            && *regfile == probe.regfile
+            && *lq == probe.lq
+            && *sq == probe.sq
+            && *wb == probe.wb
+            && *wb_needs_unblock == probe.wb_needs_unblock
+            && l1.spin_state_eq(&probe.l1)
+            && mshrs.is_empty()
+            && probe.mshrs.is_empty()
+            && *pending_installs == probe.pending_installs
+            && *read_retries == probe.read_retries
+            && governor.spin_state_eq(&probe.governor)
+            && *taint == probe.taint
+            && *atomic == probe.atomic
+            && *arch_call_stack == probe.arch_call_stack
+            && *aggr == probe.aggr
+            && outbox.is_empty()
+            && probe.outbox.is_empty()
+            && *mutation_armed == probe.mutation_armed
+            && *halted == probe.halted
+            && heap_sorted(exec_heap) == heap_sorted(&probe.exec_heap)
+            && *agg_ctrl == probe.agg_ctrl
+            && *agg_fence == probe.agg_fence
+            && *agg_mem == probe.agg_mem
+            && *agg_store == probe.agg_store
+            && *issue_flags == probe.issue_flags
+            && *issue_queue == probe.issue_queue
+            && *lq_flags == probe.lq_flags
+            && *lq_visit_count == probe.lq_visit_count
+            && *lq_words == probe.lq_words
+            && *lq_status == probe.lq_status
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint codec
+    // ------------------------------------------------------------------
+
+    /// Encodes the complete simulation state of this core for a
+    /// checkpoint spill. Trace and verify sinks are not captured —
+    /// spills are gated to runs with both disabled — and per-tick
+    /// scratch buffers are empty between ticks by construction.
+    pub fn encode_into(&self, e: &mut Enc) {
+        self.bp.encode_into(e);
+        e.usize(self.fetch_pc.0);
+        e.bool(self.fetch_halted);
+        e.u64(self.fetch_stalled_until.raw());
+        e.usize(self.fetch_buf.len());
+        for f in &self.fetch_buf {
+            e.usize(f.pc.0);
+            encode_opt_pred(e, &f.pred);
+        }
+        e.usize(self.rob.len());
+        for r in &self.rob {
+            encode_dyninst(e, r);
+        }
+        e.u64(self.next_seq.0);
+        for r in &self.rename {
+            e.opt_u64(r.map(|s| s.0));
+        }
+        for &v in &self.regfile {
+            e.u64(v);
+        }
+        e.usize(self.lq.len());
+        for l in &self.lq {
+            encode_lq_entry(e, l);
+        }
+        e.usize(self.sq.len());
+        for s in &self.sq {
+            e.u64(s.seq.0);
+            e.opt_u64(s.addr.map(|a| a.raw()));
+            e.opt_u64(s.data);
+        }
+        self.wb.encode_into(e);
+        e.bool(self.wb_needs_unblock);
+        self.l1
+            .encode_into(e, &mut |e, m: &Mesi| e.u8(mesi_tag(*m)));
+        self.mshrs.encode_into(e);
+        e.usize(self.pending_installs.len());
+        for p in &self.pending_installs {
+            e.u64(p.line.raw());
+            e.u8(mesi_tag(p.state));
+            match p.action {
+                InstallAction::ReadFill => e.u8(0),
+                InstallAction::WriteMerge { needs_unblock } => {
+                    e.u8(1);
+                    e.bool(needs_unblock);
+                }
+                InstallAction::AtomicFinish { needs_unblock } => {
+                    e.u8(2);
+                    e.bool(needs_unblock);
+                }
+            }
+            e.u64(p.retry_at.raw());
+        }
+        e.usize(self.read_retries.len());
+        for &(c, l) in &self.read_retries {
+            e.u64(c.raw());
+            e.u64(l.raw());
+        }
+        self.governor.encode_into(e);
+        self.taint.encode_into(e);
+        e.bool(self.atomic.active);
+        e.u64(self.atomic.line.raw());
+        e.bool(self.atomic.use_star);
+        e.usize(self.atomic.acks_pending);
+        e.bool(self.atomic.saw_defer);
+        e.bool(self.atomic.have_data);
+        e.bool(self.atomic.needs_unblock);
+        e.bool(self.atomic.waiting_retry);
+        e.u64(self.atomic.retry_at.raw());
+        e.usize(self.arch_call_stack.len());
+        for pc in &self.arch_call_stack {
+            e.usize(pc.0);
+        }
+        e.opt_u64(self.aggr.oldest_unresolved_ctrl.map(|s| s.0));
+        e.opt_u64(self.aggr.oldest_unknown_store_addr.map(|s| s.0));
+        e.opt_u64(self.aggr.oldest_unknown_mem_addr.map(|s| s.0));
+        e.opt_u64(self.aggr.oldest_active_fence.map(|s| s.0));
+        e.usize(self.outbox.len());
+        for (dst, msg) in &self.outbox {
+            dst.encode_into(e);
+            msg.encode_into(e);
+        }
+        e.bool(self.mutation_armed);
+        self.stats.encode_into(e);
+        e.bool(self.halted);
+        e.u64(self.retired);
+        e.usize(self.issue_flags.len());
+        for &f in &self.issue_flags {
+            e.u8(f);
+        }
+        e.usize(self.lq_flags.len());
+        for &f in &self.lq_flags {
+            e.u8(f);
+        }
+        for q in [
+            &self.agg_ctrl,
+            &self.agg_fence,
+            &self.agg_mem,
+            &self.agg_store,
+        ] {
+            e.usize(q.len());
+            for s in q {
+                e.u64(s.0);
+            }
+        }
+        let heap = heap_sorted(&self.exec_heap);
+        e.usize(heap.len());
+        for (c, s) in heap {
+            e.u64(c.raw());
+            e.u64(s.0);
+        }
+    }
+
+    /// Overlays state encoded by [`Core::encode_into`] onto a freshly
+    /// constructed core with the same id, configuration, and program.
+    /// Derived structures that the encoding omits — the issue-candidate
+    /// queue, the LQ SoA mirror, and the visit count — are rebuilt from
+    /// the decoded state.
+    pub fn decode_overlay(&mut self, d: &mut Dec<'_>) -> Result<(), String> {
+        self.bp.decode_overlay(d)?;
+        self.fetch_pc = Pc(d.usize()?);
+        self.fetch_halted = d.bool()?;
+        self.fetch_stalled_until = Cycle(d.u64()?);
+        self.fetch_buf.clear();
+        for _ in 0..d.usize()? {
+            let pc = Pc(d.usize()?);
+            let pred = self.decode_opt_pred(d)?;
+            self.fetch_buf.push_back(Fetched {
+                pc,
+                inst: self.program.fetch(pc),
+                pred,
+            });
+        }
+        self.rob.clear();
+        for _ in 0..d.usize()? {
+            let di = self.decode_dyninst(d)?;
+            self.rob.push_back(di);
+        }
+        self.next_seq = SeqNum(d.u64()?);
+        for r in self.rename.iter_mut() {
+            *r = d.opt_u64()?.map(SeqNum);
+        }
+        for v in self.regfile.iter_mut() {
+            *v = d.u64()?;
+        }
+        self.lq.clear();
+        for _ in 0..d.usize()? {
+            let l = decode_lq_entry(d)?;
+            self.lq.push(l);
+        }
+        self.sq.clear();
+        for _ in 0..d.usize()? {
+            self.sq.push(SqEntry {
+                seq: SeqNum(d.u64()?),
+                addr: d.opt_u64()?.map(Addr::new),
+                data: d.opt_u64()?,
+            });
+        }
+        self.wb.decode_overlay(d)?;
+        self.wb_needs_unblock = d.bool()?;
+        self.l1.decode_overlay(d, &mut |d| mesi_from(d.u8()?))?;
+        self.mshrs.decode_overlay(d)?;
+        self.pending_installs.clear();
+        for _ in 0..d.usize()? {
+            let line = LineAddr::from_line_number(d.u64()?);
+            let state = mesi_from(d.u8()?)?;
+            let action = match d.u8()? {
+                0 => InstallAction::ReadFill,
+                1 => InstallAction::WriteMerge {
+                    needs_unblock: d.bool()?,
+                },
+                2 => InstallAction::AtomicFinish {
+                    needs_unblock: d.bool()?,
+                },
+                t => return Err(format!("core: bad install-action tag {t}")),
+            };
+            let retry_at = Cycle(d.u64()?);
+            self.pending_installs.push(PendingInstall {
+                line,
+                state,
+                action,
+                retry_at,
+            });
+        }
+        self.read_retries.clear();
+        for _ in 0..d.usize()? {
+            let c = Cycle(d.u64()?);
+            let l = LineAddr::from_line_number(d.u64()?);
+            self.read_retries.push((c, l));
+        }
+        self.governor.decode_overlay(d)?;
+        self.taint.decode_overlay(d)?;
+        self.atomic = AtomicTxn {
+            active: d.bool()?,
+            line: LineAddr::from_line_number(d.u64()?),
+            use_star: d.bool()?,
+            acks_pending: d.usize()?,
+            saw_defer: d.bool()?,
+            have_data: d.bool()?,
+            needs_unblock: d.bool()?,
+            waiting_retry: d.bool()?,
+            retry_at: Cycle(d.u64()?),
+        };
+        self.arch_call_stack.clear();
+        for _ in 0..d.usize()? {
+            self.arch_call_stack.push(Pc(d.usize()?));
+        }
+        self.aggr = Aggregates {
+            oldest_unresolved_ctrl: d.opt_u64()?.map(SeqNum),
+            oldest_unknown_store_addr: d.opt_u64()?.map(SeqNum),
+            oldest_unknown_mem_addr: d.opt_u64()?.map(SeqNum),
+            oldest_active_fence: d.opt_u64()?.map(SeqNum),
+        };
+        self.outbox.clear();
+        for _ in 0..d.usize()? {
+            let dst = NodeId::decode(d)?;
+            let msg = Msg::decode(d)?;
+            self.outbox.push((dst, msg));
+        }
+        self.mutation_armed = d.bool()?;
+        self.stats.decode_overlay(d)?;
+        self.halted = d.bool()?;
+        self.retired = d.u64()?;
+        self.issue_flags.clear();
+        for _ in 0..d.usize()? {
+            let f = d.u8()?;
+            if f > ISSUE_PARKED {
+                return Err(format!("core: bad issue flag {f}"));
+            }
+            self.issue_flags.push_back(f);
+        }
+        if self.issue_flags.len() != self.rob.len() {
+            return Err(format!(
+                "core: {} issue flags for {} ROB entries",
+                self.issue_flags.len(),
+                self.rob.len()
+            ));
+        }
+        self.lq_flags.clear();
+        for _ in 0..d.usize()? {
+            let f = d.u8()?;
+            if f > LQ_VISIT {
+                return Err(format!("core: bad LQ flag {f}"));
+            }
+            self.lq_flags.push_back(f);
+        }
+        if self.lq_flags.len() != self.lq.len() {
+            return Err(format!(
+                "core: {} LQ flags for {} LQ entries",
+                self.lq_flags.len(),
+                self.lq.len()
+            ));
+        }
+        for q in [
+            &mut self.agg_ctrl,
+            &mut self.agg_fence,
+            &mut self.agg_mem,
+            &mut self.agg_store,
+        ] {
+            q.clear();
+        }
+        for i in 0..4 {
+            let n = d.usize()?;
+            for _ in 0..n {
+                let s = SeqNum(d.u64()?);
+                match i {
+                    0 => self.agg_ctrl.push_back(s),
+                    1 => self.agg_fence.push_back(s),
+                    2 => self.agg_mem.push_back(s),
+                    _ => self.agg_store.push_back(s),
+                }
+            }
+        }
+        self.exec_heap.clear();
+        for _ in 0..d.usize()? {
+            let c = Cycle(d.u64()?);
+            let s = SeqNum(d.u64()?);
+            self.exec_heap.push(Reverse((c, s)));
+        }
+        // Rebuild the derived structures the encoding omits.
+        self.issue_queue.clear();
+        for (r, &f) in self.rob.iter().zip(self.issue_flags.iter()) {
+            if f == ISSUE_CHECK {
+                self.issue_queue.push_back(r.seq);
+            }
+        }
+        self.lq_visit_count = self.lq_flags.iter().filter(|&&f| f == LQ_VISIT).count();
+        self.lq_words.clear();
+        self.lq_status.clear();
+        for i in 0..self.lq.len() {
+            self.lq_words.push(LQ_NO_WORD);
+            self.lq_status.push(0);
+            self.lq_sync(i);
+        }
+        debug_assert!(self.lq_flags_consistent());
+        debug_assert!(self.lq_soa_consistent());
+        Ok(())
+    }
+
+    fn decode_opt_pred(&self, d: &mut Dec<'_>) -> Result<Option<PredInfo>, String> {
+        if !d.bool()? {
+            return Ok(None);
+        }
+        let taken = d.bool()?;
+        let target = Pc(d.usize()?);
+        let ghr = d.u64()?;
+        let mut ras = Ras::new(self.cfg.core.ras_entries);
+        ras.decode_overlay(d)?;
+        Ok(Some(PredInfo {
+            taken,
+            target,
+            checkpoint: Checkpoint { ghr, ras },
+        }))
+    }
+
+    fn decode_dyninst(&self, d: &mut Dec<'_>) -> Result<DynInst, String> {
+        let seq = SeqNum(d.u64()?);
+        let pc = Pc(d.usize()?);
+        let stage = match d.u8()? {
+            0 => Stage::Dispatched,
+            1 => Stage::Executing {
+                done_at: Cycle(d.u64()?),
+            },
+            2 => Stage::Completed,
+            t => return Err(format!("core: bad stage tag {t}")),
+        };
+        let result = d.opt_u64()?;
+        let pred = self.decode_opt_pred(d)?;
+        let prev_map = if d.bool()? {
+            let r = decode_reg(d)?;
+            Some((r, d.opt_u64()?.map(SeqNum)))
+        } else {
+            None
+        };
+        let mut srcs = SrcList::new();
+        let n = d.u8()?;
+        if n > 3 {
+            return Err(format!(
+                "core: {n} encoded sources exceed the inline capacity"
+            ));
+        }
+        for _ in 0..n {
+            let r = decode_reg(d)?;
+            srcs.push(r, d.opt_u64()?.map(SeqNum));
+        }
+        Ok(DynInst {
+            seq,
+            pc,
+            inst: self.program.fetch(pc),
+            stage,
+            result,
+            pred,
+            prev_map,
+            srcs,
+            dispatched_at: Cycle(d.u64()?),
+            issue_done: d.bool()?,
+            issue_blocked_on: d.opt_u64()?.map(SeqNum),
+            first_waiter: d.opt_u64()?.map(SeqNum),
+            next_waiter: d.opt_u64()?.map(SeqNum),
+        })
+    }
 }
 
 /// Dense-seq ROB lookup usable while another field of `Core` is borrowed.
@@ -3233,4 +4134,399 @@ fn rob_entry_mut_in(rob: &mut VecDeque<DynInst>, seq: SeqNum) -> Option<&mut Dyn
     }
     let idx = (seq.0 - head.0) as usize;
     rob.get_mut(idx)
+}
+
+/// The verified per-period effect of one spin iteration window,
+/// produced by [`Core::spin_verify`] and replayed `k` periods at a time
+/// by [`Core::spin_advance`]. The public stride fields let the machine
+/// compute how many whole periods fit before a timed boundary (LQ-ID
+/// wraparound, watchdog); the statistic snapshots stay private to the
+/// replay machinery.
+#[derive(Debug, Clone)]
+pub struct SpinDelta {
+    /// Verified period length in cycles (a multiple of
+    /// [`OCC_SAMPLE_PERIOD`]).
+    pub period: u64,
+    /// Sequence numbers consumed per period.
+    pub dseq: u64,
+    /// LQ IDs allocated per period.
+    pub dlqid: u64,
+    /// Instructions retired per period.
+    pub dretired: u64,
+    /// L1 recency-clock advances per period.
+    pub dl1tick: u64,
+    core_ctr_before: Vec<u64>,
+    core_ctr_after: Vec<u64>,
+    core_hist_before: Vec<(u64, u64)>,
+    core_hist_after: Vec<(u64, u64)>,
+    gov_ctr_before: Vec<u64>,
+    gov_ctr_after: Vec<u64>,
+    gov_hist_before: Vec<(u64, u64)>,
+    gov_hist_after: Vec<(u64, u64)>,
+    loop_deltas: Vec<(usize, u32)>,
+}
+
+/// The exec-completion heap as a sorted vector, for order-insensitive
+/// comparison and canonical encoding. The heap's *contents* are what
+/// matter — two heaps with the same elements pop identically.
+fn heap_sorted(h: &BinaryHeap<Reverse<(Cycle, SeqNum)>>) -> Vec<(Cycle, SeqNum)> {
+    let mut v: Vec<(Cycle, SeqNum)> = h.iter().map(|&Reverse(t)| t).collect();
+    v.sort_unstable();
+    v
+}
+
+fn mesi_tag(m: Mesi) -> u8 {
+    match m {
+        Mesi::Invalid => 0,
+        Mesi::Shared => 1,
+        Mesi::Exclusive => 2,
+        Mesi::Modified => 3,
+    }
+}
+
+fn mesi_from(t: u8) -> Result<Mesi, String> {
+    match t {
+        0 => Ok(Mesi::Invalid),
+        1 => Ok(Mesi::Shared),
+        2 => Ok(Mesi::Exclusive),
+        3 => Ok(Mesi::Modified),
+        t => Err(format!("core: bad MESI tag {t}")),
+    }
+}
+
+fn decode_reg(d: &mut Dec<'_>) -> Result<Reg, String> {
+    Reg::new(d.u8()?).map_err(|e| e.to_string())
+}
+
+fn encode_opt_pred(e: &mut Enc, p: &Option<PredInfo>) {
+    match p {
+        None => e.bool(false),
+        Some(p) => {
+            e.bool(true);
+            e.bool(p.taken);
+            e.usize(p.target.0);
+            e.u64(p.checkpoint.ghr);
+            p.checkpoint.ras.encode_into(e);
+        }
+    }
+}
+
+fn encode_dyninst(e: &mut Enc, r: &DynInst) {
+    e.u64(r.seq.0);
+    e.usize(r.pc.0);
+    match r.stage {
+        Stage::Dispatched => e.u8(0),
+        Stage::Executing { done_at } => {
+            e.u8(1);
+            e.u64(done_at.raw());
+        }
+        Stage::Completed => e.u8(2),
+    }
+    e.opt_u64(r.result);
+    encode_opt_pred(e, &r.pred);
+    match r.prev_map {
+        None => e.bool(false),
+        Some((reg, old)) => {
+            e.bool(true);
+            e.u8(reg.index() as u8);
+            e.opt_u64(old.map(|s| s.0));
+        }
+    }
+    e.u8(r.srcs.len() as u8);
+    for &(reg, p) in r.srcs.iter() {
+        e.u8(reg.index() as u8);
+        e.opt_u64(p.map(|s| s.0));
+    }
+    e.u64(r.dispatched_at.raw());
+    e.bool(r.issue_done);
+    e.opt_u64(r.issue_blocked_on.map(|s| s.0));
+    e.opt_u64(r.first_waiter.map(|s| s.0));
+    e.opt_u64(r.next_waiter.map(|s| s.0));
+}
+
+fn encode_lq_entry(e: &mut Enc, l: &LqEntry) {
+    e.u64(l.seq.0);
+    e.u64(l.lq_id);
+    e.opt_u64(l.addr.map(|a| a.raw()));
+    e.opt_u64(l.performed_at.map(|c| c.raw()));
+    e.opt_u64(l.value);
+    e.bool(l.forwarded);
+    e.opt_u64(l.forwarded_from.map(|s| s.0));
+    e.u8(match l.pin {
+        PinState::Unpinned => 0,
+        PinState::Pending => 1,
+        PinState::Pinned => 2,
+    });
+    e.bool(l.waiting_fill);
+    e.bool(l.invisible);
+    e.bool(l.exposing);
+    e.u8(l.vp_bits);
+}
+
+/// Decodes an LQ entry. The trace-attribution fields (`vp_blocker`,
+/// `vp_clear_traced`) are reset rather than encoded: checkpoint spills
+/// are gated to runs with tracing and verification disabled, where both
+/// stay at their defaults.
+fn decode_lq_entry(d: &mut Dec<'_>) -> Result<LqEntry, String> {
+    let seq = SeqNum(d.u64()?);
+    let lq_id = d.u64()?;
+    let addr = d.opt_u64()?.map(Addr::new);
+    let performed_at = d.opt_u64()?.map(Cycle);
+    let value = d.opt_u64()?;
+    let forwarded = d.bool()?;
+    let forwarded_from = d.opt_u64()?.map(SeqNum);
+    let pin = match d.u8()? {
+        0 => PinState::Unpinned,
+        1 => PinState::Pending,
+        2 => PinState::Pinned,
+        t => return Err(format!("core: bad pin tag {t}")),
+    };
+    Ok(LqEntry {
+        seq,
+        lq_id,
+        addr,
+        performed_at,
+        value,
+        forwarded,
+        forwarded_from,
+        pin,
+        waiting_fill: d.bool()?,
+        invisible: d.bool()?,
+        exposing: d.bool()?,
+        vp_bits: d.u8()?,
+        vp_blocker: None,
+        vp_clear_traced: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_isa::{AluOp, BranchCond, ProgramBuilder};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i).unwrap()
+    }
+
+    /// An endless spin-wait with a short data-dependent body: the shape
+    /// the machine's detector targets. Register state must be periodic
+    /// for the spin to verify, so the counter is masked (`r1` cycles
+    /// through 0..=7) and the "flag test" result is always zero — a
+    /// monotonically counting loop is *not* a spin and must be (and is,
+    /// see the rejection test) left to run live.
+    fn spin_program() -> Arc<Program> {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.addi(r(1), Reg::ZERO, 0);
+        b.bind(top).unwrap();
+        b.addi(r(1), r(1), 1);
+        b.alu(AluOp::And, r(1), r(1), 7i64);
+        b.alu(AluOp::Xor, r(3), r(1), r(1));
+        b.branch(BranchCond::Eq, r(3), Reg::ZERO, top);
+        Arc::new(b.build().unwrap())
+    }
+
+    /// Runs the live core through cycles `[from, to)`.
+    fn run_cycles(core: &mut Core, image: &mut Memory, from: u64, to: u64) {
+        for c in from..to {
+            core.tick(Cycle(c), image);
+        }
+    }
+
+    /// Finds the first OCC-aligned period at which the warmed-up spin
+    /// core verifies, returning the delta, the live core, and the cycle
+    /// bounds (base snapshot cycle, probe cycle).
+    fn verify_spin() -> (Core, Memory, SpinDelta, u64, u64) {
+        let cfg = MachineConfig::default_single_core();
+        let mut core = Core::new(CoreId(0), &cfg, spin_program());
+        let mut image = Memory::new();
+        let warm = 8192u64;
+        run_cycles(&mut core, &mut image, 0, warm);
+        let base = Box::new(core.clone());
+        let base_now = Cycle(warm - 1);
+        for c in warm..warm + 4096 {
+            core.tick(Cycle(c), &mut image);
+            let period = c - warm + 1;
+            if !period.is_multiple_of(OCC_SAMPLE_PERIOD) {
+                continue;
+            }
+            if let Some(d) = Core::spin_verify(&base, &core, base_now, period) {
+                return (core, image, d, warm - 1, c);
+            }
+        }
+        panic!("spin loop failed to verify within 4096 cycles");
+    }
+
+    #[test]
+    fn spin_loop_verifies_at_an_aligned_period() {
+        let (_, _, delta, _, _) = verify_spin();
+        assert!(delta.period.is_multiple_of(OCC_SAMPLE_PERIOD));
+        assert!(delta.dseq > 0);
+        assert!(delta.dretired > 0);
+        assert_eq!(delta.dlqid, 0, "a memory-free spin allocates no LQ IDs");
+    }
+
+    #[test]
+    fn spin_advance_matches_live_execution_exactly() {
+        let (mut live, mut image, delta, _, probe_now) = verify_spin();
+        let k = 7u64;
+        let mut bulk = live.clone();
+        bulk.spin_advance(k, &delta, Cycle(probe_now));
+        run_cycles(
+            &mut live,
+            &mut image,
+            probe_now + 1,
+            probe_now + 1 + k * delta.period,
+        );
+        assert!(
+            Core::spin_state_eq(&bulk, &live),
+            "bulk-advanced state diverged from live execution"
+        );
+        assert_eq!(bulk.retired(), live.retired());
+        assert_eq!(
+            bulk.stats().counter_values(),
+            live.stats().counter_values(),
+            "counter replay diverged"
+        );
+        assert_eq!(
+            bulk.stats().hist_values(),
+            live.stats().hist_values(),
+            "histogram replay diverged"
+        );
+        assert_eq!(
+            bulk.governor().stats().counter_values(),
+            live.governor().stats().counter_values()
+        );
+        assert_eq!(
+            bulk.governor().stats().hist_values(),
+            live.governor().stats().hist_values()
+        );
+        // The advanced core keeps running identically to the live one.
+        let resume = probe_now + 1 + k * delta.period;
+        let mut image2 = Memory::new();
+        run_cycles(&mut bulk, &mut image2, resume, resume + 100);
+        run_cycles(&mut live, &mut image, resume, resume + 100);
+        assert!(Core::spin_state_eq(&bulk, &live));
+        assert_eq!(bulk.stats().counter_values(), live.stats().counter_values());
+    }
+
+    #[test]
+    fn spin_verify_rejects_misaligned_and_zero_periods() {
+        let cfg = MachineConfig::default_single_core();
+        let core = Core::new(CoreId(0), &cfg, spin_program());
+        let base = core.clone();
+        assert!(Core::spin_verify(&base, &core, Cycle(0), 0).is_none());
+        assert!(Core::spin_verify(&base, &core, Cycle(0), 31).is_none());
+    }
+
+    #[test]
+    fn spin_verify_rejects_a_counting_loop() {
+        // An unbounded counter looks like a spin to a PC-anchor
+        // detector but its register file is never periodic; replaying
+        // it would freeze the count. It must never verify.
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.addi(r(1), Reg::ZERO, 0);
+        b.bind(top).unwrap();
+        b.addi(r(1), r(1), 1);
+        b.branch(BranchCond::Eq, Reg::ZERO, Reg::ZERO, top);
+        let program = Arc::new(b.build().unwrap());
+        let cfg = MachineConfig::default_single_core();
+        let mut core = Core::new(CoreId(0), &cfg, program);
+        let mut image = Memory::new();
+        let warm = 8192u64;
+        run_cycles(&mut core, &mut image, 0, warm);
+        let base = Box::new(core.clone());
+        for c in warm..warm + 1024 {
+            core.tick(Cycle(c), &mut image);
+            let period = c - warm + 1;
+            if !period.is_multiple_of(OCC_SAMPLE_PERIOD) {
+                continue;
+            }
+            assert!(
+                Core::spin_verify(&base, &core, Cycle(warm - 1), period).is_none(),
+                "a counting loop must not verify (period {period})"
+            );
+        }
+    }
+
+    #[test]
+    fn spin_verify_rejects_an_unchanged_core() {
+        // Identical endpoints mean nothing dispatched or retired: that
+        // is a stalled core, not a spinning one.
+        let (live, _, delta, _, _) = verify_spin();
+        assert!(Core::spin_verify(&live.clone(), &live, Cycle(0), delta.period).is_none());
+    }
+
+    #[test]
+    fn codec_round_trip_is_bit_exact_and_resumable() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        let skip = b.new_label();
+        b.addi(r(1), Reg::ZERO, 64);
+        b.addi(r(2), Reg::ZERO, 0);
+        b.bind(top).unwrap();
+        b.alu(AluOp::And, r(3), r(1), 1i64);
+        b.branch(BranchCond::Eq, r(3), Reg::ZERO, skip);
+        b.addi(r(2), r(2), 1);
+        b.bind(skip).unwrap();
+        b.addi(r(1), r(1), -1);
+        b.branch(BranchCond::Ne, r(1), Reg::ZERO, top);
+        let program = Arc::new(b.build().unwrap());
+
+        let cfg = MachineConfig::default_single_core();
+        let mut core = Core::new(CoreId(0), &cfg, Arc::clone(&program));
+        let mut image = Memory::new();
+        // Stop mid-flight so the ROB, fetch buffer, and predictor all
+        // hold interesting state.
+        run_cycles(&mut core, &mut image, 0, 57);
+
+        let mut e = Enc::new();
+        core.encode_into(&mut e);
+        let bytes = e.into_bytes();
+
+        let mut fresh = Core::new(CoreId(0), &cfg, program);
+        let mut d = Dec::new(&bytes);
+        fresh.decode_overlay(&mut d).expect("decode");
+        d.finish().expect("trailing bytes");
+
+        let mut e2 = Enc::new();
+        fresh.encode_into(&mut e2);
+        assert_eq!(bytes, e2.into_bytes(), "re-encoding must be bit-exact");
+        assert!(Core::spin_state_eq(&core, &fresh));
+        assert_eq!(core.retired(), fresh.retired());
+
+        // Both cores must continue identically to completion.
+        let mut image2 = Memory::new();
+        for c in 57..50_000 {
+            if core.halted() && fresh.halted() {
+                break;
+            }
+            core.tick(Cycle(c), &mut image);
+            fresh.tick(Cycle(c), &mut image2);
+        }
+        assert!(core.halted() && fresh.halted());
+        assert_eq!(core.reg(r(2)), 32);
+        assert_eq!(core.reg(r(2)), fresh.reg(r(2)));
+        assert_eq!(core.retired(), fresh.retired());
+        assert_eq!(
+            core.stats().counter_values(),
+            fresh.stats().counter_values()
+        );
+        assert_eq!(core.stats().hist_values(), fresh.stats().hist_values());
+    }
+
+    #[test]
+    fn codec_round_trip_of_a_fresh_core() {
+        let cfg = MachineConfig::default_single_core();
+        let core = Core::new(CoreId(0), &cfg, spin_program());
+        let mut e = Enc::new();
+        core.encode_into(&mut e);
+        let bytes = e.into_bytes();
+        let mut fresh = Core::new(CoreId(0), &cfg, spin_program());
+        let mut d = Dec::new(&bytes);
+        fresh.decode_overlay(&mut d).expect("decode");
+        d.finish().expect("trailing bytes");
+        assert!(Core::spin_state_eq(&core, &fresh));
+    }
 }

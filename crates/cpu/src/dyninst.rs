@@ -21,7 +21,7 @@ pub enum Stage {
 }
 
 /// A control instruction's prediction record, checked at resolution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PredInfo {
     /// Predicted direction (always `true` for unconditional control).
     pub taken: bool,
@@ -38,7 +38,11 @@ pub struct PredInfo {
 /// No instruction shape has more than three sources, so the list is
 /// inline — dispatching an instruction allocates nothing. Derefs to a
 /// slice, so call sites iterate it like the `Vec` it replaced.
-#[derive(Debug, Clone, Copy, Default)]
+/// Slots at or past `len` are only ever written by `push` (which bumps
+/// `len` over them), so they stay at their `Default` value and the
+/// derived `PartialEq` over the whole array is equivalent to comparing
+/// the live prefixes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SrcList {
     items: [(Reg, Option<SeqNum>); 3],
     len: u8,
@@ -68,8 +72,14 @@ impl std::ops::Deref for SrcList {
     }
 }
 
+impl std::ops::DerefMut for SrcList {
+    fn deref_mut(&mut self) -> &mut [(Reg, Option<SeqNum>)] {
+        &mut self.items[..self.len as usize]
+    }
+}
+
 /// One reorder-buffer entry.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DynInst {
     /// Program-order sequence number (dense within the ROB).
     pub seq: SeqNum,
@@ -126,7 +136,7 @@ impl DynInst {
 }
 
 /// One load-queue entry.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LqEntry {
     /// Owning instruction.
     pub seq: SeqNum,
@@ -206,7 +216,7 @@ impl LqEntry {
 }
 
 /// One store-queue entry (pre-retirement store).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SqEntry {
     /// Owning instruction.
     pub seq: SeqNum,

@@ -17,7 +17,7 @@
 pub mod core;
 pub mod dyninst;
 
-pub use crate::core::{Core, OCC_SAMPLE_PERIOD};
+pub use crate::core::{Core, SpinDelta, OCC_SAMPLE_PERIOD};
 pub use dyninst::{DynInst, LqEntry, PredInfo, SqEntry, Stage};
 
 #[cfg(test)]

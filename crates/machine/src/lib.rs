@@ -46,7 +46,7 @@ use pl_base::{
     Addr, CheckEvent, CheckObserver, ConfigError, CoreId, Cycle, HistId, LineAddr, MachineConfig,
     MachineSnapshot, Stats,
 };
-use pl_cpu::{Core, OCC_SAMPLE_PERIOD};
+use pl_cpu::{Core, SpinDelta, OCC_SAMPLE_PERIOD};
 use pl_isa::{Program, Reg};
 use pl_mem::{LlcSlice, Memory, Msg, Noc, NodeId, PinView};
 use pl_secure::VpMask;
@@ -61,6 +61,53 @@ const CPT_SAMPLE_PERIOD: u64 = 64;
 
 /// How many trailing trace events a deadlock diagnosis carries.
 const DEADLOCK_TRACE_TAIL: usize = 64;
+
+/// Spin-detector probe grid: candidate spin periods are multiples of
+/// this, the least common multiple of the core's occupancy-sample
+/// period (32) and the machine's CPT sample period (64). Any window
+/// whose length is a multiple of both contains an identical set of
+/// sample points in every repeat, so the captured statistics deltas
+/// replay bit-exactly.
+const SPIN_PROBE_GRID: u64 = 64;
+
+/// Longest spin period the detector will try to verify. Bounds how
+/// long a verification window stays open (and so the cost of watching
+/// a core that turns out not to be spinning). Probes land on the
+/// [`SPIN_PROBE_GRID`], so a loop with natural period `p` only matches
+/// at `lcm(p, grid)` — e.g. a 7-cycle polling loop first repeats on the
+/// grid at 448 cycles. `lcm(p, 64) <= 2048` for every loop period
+/// `p <= 32` — enough for fenced polling loops, whose iteration latency
+/// includes waiting for the load to reach its visibility point — while
+/// [`SPIN_MSG_GUARD`] keeps mistakenly opened windows rare enough that
+/// the occasional full-window burn is noise.
+const SPIN_MAX_PERIOD: u64 = 2048;
+
+/// Cycles of detector backoff after a failed verification window,
+/// doubled per consecutive failure.
+const SPIN_BACKOFF_BASE: u64 = 256;
+
+/// Cap on the backoff doubling exponent (256 << 8 = 64K cycles).
+const SPIN_BACKOFF_CAP: u32 = 8;
+
+/// Cycles the detector waits after a core sends or receives NoC traffic
+/// before opening a new verification window. Traffic is usually a spin
+/// wake (the watched line was written and the next poll misses), so the
+/// core spends the next refill latency in a transient; capturing the
+/// base mid-transient wastes a whole [`SPIN_MAX_PERIOD`] window. The
+/// fill response is itself traffic, so the guard re-arms from the last
+/// message and the window opens on a steady-state base.
+const SPIN_MSG_GUARD: u64 = 64;
+
+/// Consecutive undisturbed `Active` ticks a core must accumulate before
+/// the detector opens a verification window. Opening clones the whole
+/// core (L1 included), so a core that oscillates between `Active` and
+/// quiet excursions — a fenced spinner whose load waits at the ROB head,
+/// say, which §11's ordinary quiet-parking already absorbs — must not
+/// re-clone on every reactivation; without this gate the clone churn
+/// makes the detector a net loss on exactly those workloads. One
+/// probe-grid of continuous activity is a cheap proof the core is the
+/// hot, never-quiet kind the detector exists for.
+const SPIN_WARMUP: u64 = SPIN_PROBE_GRID;
 
 /// Number of multiples of `m` in the half-open range `[lo, hi)`.
 fn multiples_in(m: u64, lo: u64, hi: u64) -> u64 {
@@ -269,6 +316,12 @@ impl Checkpoint {
 /// back to `Active` when a message arrives or its next timed event comes
 /// due. While parked the core is not ticked at all; the skipped cycles'
 /// statistics are replayed in bulk at wake-up from the captured delta.
+///
+/// `Spinning` is the busy-waiting sibling of `Parked`: the core *would*
+/// execute every cycle, but the spin detector proved that each verified
+/// period repeats the previous one exactly, so the machine freezes the
+/// core at a period boundary and replays whole periods in O(delta) at
+/// wake-up ([`Core::spin_advance`]) plus a live partial-period catch-up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 enum ParkState {
     /// Ticking normally.
@@ -278,6 +331,8 @@ enum ParkState {
     Quiet,
     /// Not ticked; statistics owed since the capture tick.
     Parked,
+    /// Not ticked; whole spin periods owed since the verified boundary.
+    Spinning,
 }
 
 #[derive(Debug, Default)]
@@ -294,6 +349,34 @@ struct CoreSched {
     core_after: Vec<u64>,
     gov_before: Vec<u64>,
     gov_after: Vec<u64>,
+    /// The verified per-period delta while `Spinning`; consumed at wake.
+    delta: Option<Box<SpinDelta>>,
+}
+
+/// Per-core spin-loop detector state.
+///
+/// The detector watches cores that tick `Active` every cycle with no
+/// NoC interaction. When one looks idle-at-a-boundary
+/// ([`Core::spin_ready`]), it snapshots the core and probes at every
+/// [`SPIN_PROBE_GRID`] multiple whether the live core is the snapshot
+/// shifted by exactly one spin period ([`Core::spin_verify`]). Success
+/// parks the core as [`ParkState::Spinning`]; a window that exceeds
+/// [`SPIN_MAX_PERIOD`] without verifying closes with exponential
+/// backoff. Any message sent or received, or any cycle the core does
+/// not tick `Active`, invalidates the open window — a parkable spin is
+/// self-contained by construction, so its repeats touch nothing outside
+/// the core.
+#[derive(Debug, Default)]
+struct SpinTrack {
+    /// Consecutive failed verification windows, driving the backoff.
+    fails: u32,
+    /// Do not open a new window before this cycle.
+    idle_until: Cycle,
+    /// Consecutive undisturbed `Active` ticks; a window may only open
+    /// once this reaches [`SPIN_WARMUP`] (see there for why).
+    streak: u64,
+    /// Open verification window: boundary snapshot and its cycle.
+    base: Option<(Box<Core>, Cycle)>,
 }
 
 /// Holder for the attached invariant-check observer. Trait objects have
@@ -337,6 +420,19 @@ pub struct Machine {
     sched: Vec<CoreSched>,
     slice_next: Vec<Option<Cycle>>,
     slice_touched: Vec<bool>,
+    /// Per-core spin detector plus its per-tick scratch: which cores
+    /// executed a normal `Active` tick this cycle, and which sent or
+    /// received a NoC message. Not checkpointed — the detector re-arms
+    /// from scratch, which only costs re-verification time.
+    spin_track: Vec<SpinTrack>,
+    spin_ticked: Vec<bool>,
+    spin_msg: Vec<bool>,
+    /// Diagnostics for benchmarks and tests, deliberately *not* part of
+    /// [`RunResult::stats`]: spin parking must leave every merged
+    /// statistic bit-identical to a run without it.
+    spin_parks: u64,
+    spin_skipped_cycles: u64,
+    spin_opens: u64,
     /// Run-loop bookkeeping carried across a [`Machine::run_until`] pause
     /// (and through [`Machine::snapshot`]); `None` when no run is
     /// suspended.
@@ -402,6 +498,12 @@ impl Machine {
             sched: (0..cfg.num_cores).map(|_| CoreSched::default()).collect(),
             slice_next: vec![None; cfg.mem.llc_slices],
             slice_touched: vec![false; cfg.mem.llc_slices],
+            spin_track: (0..cfg.num_cores).map(|_| SpinTrack::default()).collect(),
+            spin_ticked: vec![false; cfg.num_cores],
+            spin_msg: vec![false; cfg.num_cores],
+            spin_parks: 0,
+            spin_skipped_cycles: 0,
+            spin_opens: 0,
             run_state: None,
         })
     }
@@ -457,6 +559,12 @@ impl Machine {
             sched: (0..cfg.num_cores).map(|_| CoreSched::default()).collect(),
             slice_next: vec![None; cfg.mem.llc_slices],
             slice_touched: vec![false; cfg.mem.llc_slices],
+            spin_track: (0..cfg.num_cores).map(|_| SpinTrack::default()).collect(),
+            spin_ticked: vec![false; cfg.num_cores],
+            spin_msg: vec![false; cfg.num_cores],
+            spin_parks: 0,
+            spin_skipped_cycles: 0,
+            spin_opens: 0,
             run_state: cp.run_state.clone(),
             cfg,
         }
@@ -756,6 +864,10 @@ impl Machine {
         for sched in &mut self.sched {
             sched.state = ParkState::Active;
             sched.wake = None;
+            sched.delta = None;
+        }
+        for track in &mut self.spin_track {
+            *track = SpinTrack::default();
         }
         for (s, slot) in self.slice_next.iter_mut().enumerate() {
             *slot = self.slices[s].next_timer();
@@ -774,19 +886,35 @@ impl Machine {
                 return Ok(StepOutcome::Paused);
             }
             let active = self.tick_scheduled();
+            let spinning = self.sched.iter().any(|s| s.state == ParkState::Spinning);
+            if spinning {
+                // A spinning core retires instructions every period; the
+                // naive loop would observe that progress and keep moving
+                // the watchdog anchor. Its retirements are only credited
+                // in bulk at wake-up, so anchor the watchdog explicitly —
+                // exactly the no-deadlock behavior the naive loop shows
+                // while any core is still retiring.
+                rs.last_progress = self.now;
+            }
             self.post_tick(
                 &mut rs.last_retired,
                 &mut rs.last_progress,
                 &mut rs.cpt_stats,
                 rs.cpt_occ,
             )?;
-            if !active && self.sched.iter().all(|s| s.state == ParkState::Parked) {
+            if !active
+                && self
+                    .sched
+                    .iter()
+                    .all(|s| matches!(s.state, ParkState::Parked | ParkState::Spinning))
+            {
                 self.jump_ahead(
                     max_cycles,
                     &rs.last_retired,
                     &rs.last_progress,
                     &mut rs.cpt_stats,
                     rs.cpt_occ,
+                    spinning,
                 )?;
             }
         }
@@ -873,15 +1001,29 @@ impl Machine {
     ///   touch nothing, so no replay is needed.
     /// - **NoC** delivery is consulted only when its earliest in-flight
     ///   deadline (conservative-early, never late) is due.
+    /// - **Spinning cores** (see [`SpinTrack`]) are the busy-waiting
+    ///   counterpart of parked ones: the detector proved every period of
+    ///   the loop repeats exactly, so the core freezes at a verified
+    ///   boundary and the owed periods replay in O(delta) at wake-up —
+    ///   bit-identical state, statistics, and histograms, locked in by
+    ///   [`Core::spin_advance`]'s equivalence tests and the machine-level
+    ///   spin-on/spin-off fingerprint tests below.
     ///
     /// Outboxes and check-event drains still run for every component every
     /// executed cycle: parked components cannot produce either, so this
     /// costs nothing and keeps the ordering trivially identical.
     fn tick_scheduled(&mut self) -> bool {
         let now = self.now;
+        let spin_enabled = self.spin_enabled();
+        if spin_enabled {
+            self.spin_ticked.iter_mut().for_each(|t| *t = false);
+            self.spin_msg.iter_mut().for_each(|t| *t = false);
+        }
         // 1. Deliver due messages; a message to a parked core wakes it
         //    (statistics replay first, then the handler, then a normal
-        //    tick below — the naive per-cycle order).
+        //    tick below — the naive per-cycle order). A spinning core
+        //    first replays its owed periods, so the handler sees the
+        //    exact state single-stepping would have produced.
         let mut delivered = std::mem::take(&mut self.deliver_buf);
         delivered.clear();
         if self.noc.next_delivery().is_some_and(|c| c <= now) {
@@ -894,13 +1036,20 @@ impl Machine {
             match dst {
                 NodeId::Core(c) => {
                     let i = c.index();
-                    if self.sched[i].state == ParkState::Parked {
-                        self.replay_parked(i, now);
-                        // The naive loop's previous (quiet) tick would
-                        // have left the trace clock at `now - 1`.
-                        self.cores[i].sync_trace_now(Cycle(now.raw() - 1));
+                    match self.sched[i].state {
+                        ParkState::Parked => {
+                            self.replay_parked(i, now);
+                            // The naive loop's previous (quiet) tick would
+                            // have left the trace clock at `now - 1`.
+                            self.cores[i].sync_trace_now(Cycle(now.raw() - 1));
+                        }
+                        ParkState::Spinning => self.wake_spinning(i, now),
+                        _ => {}
                     }
                     self.sched[i].state = ParkState::Active;
+                    if spin_enabled {
+                        self.spin_msg[i] = true;
+                    }
                     self.cores[i].handle_msg(msg, now, &mut self.image);
                 }
                 NodeId::Slice(s) => slice_bound.push((s, msg)),
@@ -943,9 +1092,31 @@ impl Machine {
                         };
                     }
                 }
+                ParkState::Spinning => {
+                    if self.sched[i].wake.is_some_and(|c| c <= now) {
+                        // The LQ-ID wrap bound came due: replay the owed
+                        // periods and tick live again. The detector
+                        // re-arms with no backoff, so a still-spinning
+                        // core re-parks after one verification window.
+                        self.wake_spinning(i, now);
+                        let a = self.cores[i].tick(now, &mut self.image);
+                        active |= a;
+                        if spin_enabled {
+                            self.spin_ticked[i] = true;
+                        }
+                        self.sched[i].state = if a {
+                            ParkState::Active
+                        } else {
+                            ParkState::Quiet
+                        };
+                    }
+                }
                 ParkState::Active => {
                     let a = self.cores[i].tick(now, &mut self.image);
                     active |= a;
+                    if spin_enabled {
+                        self.spin_ticked[i] = true;
+                    }
                     self.sched[i].state = if a {
                         ParkState::Active
                     } else {
@@ -1002,6 +1173,9 @@ impl Machine {
         let mut outbox = std::mem::take(&mut self.outbox_buf);
         for i in 0..self.cores.len() {
             self.cores[i].drain_outbox_into(&mut outbox);
+            if spin_enabled && !outbox.is_empty() {
+                self.spin_msg[i] = true;
+            }
             for (dst, msg) in outbox.drain(..) {
                 self.noc.send(now, NodeId::Core(CoreId(i)), dst, msg);
             }
@@ -1013,6 +1187,11 @@ impl Machine {
             }
         }
         self.outbox_buf = outbox;
+        // 5. Spin detection, after message routing so an open window is
+        //    invalidated by anything the core sent this cycle.
+        if spin_enabled {
+            self.spin_observe(now);
+        }
         if self.cfg.verify.enabled {
             self.drain_checks(now);
         }
@@ -1051,21 +1230,179 @@ impl Machine {
     fn flush_parked(&mut self) {
         let now = self.now;
         for i in 0..self.cores.len() {
-            if self.sched[i].state == ParkState::Parked {
-                self.replay_parked(i, now);
+            match self.sched[i].state {
+                ParkState::Parked => self.replay_parked(i, now),
+                ParkState::Spinning => self.wake_spinning(i, now),
+                _ => {}
             }
         }
     }
 
-    /// Whole-machine time jump, legal only when every core is parked: no
-    /// core will tick until its wake bound, no slice until its timer, and
-    /// no delivery until the NoC's earliest deadline, so the skipped
-    /// machine cycles execute nothing at all. Jumps `now` to the earliest
-    /// of those bounds (capped by the watchdog fire cycle and
-    /// `max_cycles`). Per-core statistics need no attention here — the
-    /// parked spans already cover the jumped cycles and are replayed at
-    /// wake — but the machine-level CPT samples post_tick would have taken
-    /// are replayed by count at the cores' frozen occupancies.
+    /// Whether the spin-loop detector may run. Spin parking rides the
+    /// scheduled loop and (unlike quiet parking) skips cycles the core
+    /// *would* execute, so trace and check events those cycles would
+    /// emit cannot be reproduced — tracing and verification gate it off
+    /// entirely rather than complicate the replay.
+    fn spin_enabled(&self) -> bool {
+        self.cfg.spin_parking
+            && self.cfg.fast_forward
+            && !self.cfg.trace.enabled
+            && !self.cfg.verify.enabled
+    }
+
+    /// Brings a `Spinning` core to the state it would hold had it ticked
+    /// every skipped cycle `since + 1 ..= now - 1` live: whole verified
+    /// periods replay in O(delta) ([`Core::spin_advance`]), and the
+    /// trailing partial period re-executes live. Leaves the core
+    /// `Active` with the detector re-armed (no backoff — a timed wake
+    /// usually means the core is still spinning, and the fastest
+    /// possible re-park matters for barrier-heavy workloads).
+    fn wake_spinning(&mut self, i: usize, now: Cycle) {
+        let sched = &mut self.sched[i];
+        debug_assert_eq!(sched.state, ParkState::Spinning);
+        let delta = sched.delta.take().expect("spinning core holds its delta");
+        let since = sched.since;
+        sched.state = ParkState::Active;
+        sched.wake = None;
+        let owed = now.raw() - since.raw() - 1;
+        let k = owed / delta.period;
+        self.spin_skipped_cycles += k * delta.period;
+        let core = &mut self.cores[i];
+        core.spin_advance(k, &delta, since);
+        // Live catch-up over the partial trailing period. The verified
+        // window sent and received nothing, so neither do its repeats:
+        // the outbox stays empty after every catch-up tick, and no
+        // delivery can land mid-replay (a due message wakes the core in
+        // the delivery phase, before any of these cycles are owed).
+        for c in since.raw() + k * delta.period + 1..now.raw() {
+            core.tick(Cycle(c), &mut self.image);
+            debug_assert!(core.outbox_is_empty(), "spin catch-up must stay silent");
+        }
+        let track = &mut self.spin_track[i];
+        track.fails = 0;
+        track.idle_until = now;
+        // The replayed periods were (verified-equivalent) active ticks,
+        // so the warmup is already paid: a timed wake may re-open its
+        // window on the very next tick.
+        track.streak = SPIN_WARMUP;
+        track.base = None;
+    }
+
+    /// Spin-loop detection, run once per scheduled tick (when
+    /// [`Machine::spin_enabled`]) over every core that executed a normal
+    /// `Active` tick this cycle. See [`SpinTrack`] for the state
+    /// machine; this is the driver that opens windows, probes them on
+    /// the [`SPIN_PROBE_GRID`], and parks cores whose window verified.
+    fn spin_observe(&mut self, now: Cycle) {
+        enum Act {
+            Stay,
+            Open,
+            Fail,
+            Park(Box<SpinDelta>),
+        }
+        for i in 0..self.cores.len() {
+            if self.sched[i].state != ParkState::Active || !self.spin_ticked[i] || self.spin_msg[i]
+            {
+                // Only an undisturbed, continuously active core can be
+                // mid-spin; a park-state excursion or any NoC traffic
+                // invalidates an open window. Traffic also pushes the
+                // next window past the message's transient, so the base
+                // is captured from steady state (see [`SPIN_MSG_GUARD`]).
+                let track = &mut self.spin_track[i];
+                track.base = None;
+                track.streak = 0;
+                if self.spin_msg[i] {
+                    track.idle_until = now + SPIN_MSG_GUARD;
+                }
+                continue;
+            }
+            let track = &mut self.spin_track[i];
+            track.streak = track.streak.saturating_add(1);
+            let act = match &self.spin_track[i].base {
+                None => {
+                    let track = &self.spin_track[i];
+                    if track.streak >= SPIN_WARMUP
+                        && now >= track.idle_until
+                        && self.cores[i].spin_ready()
+                    {
+                        Act::Open
+                    } else {
+                        Act::Stay
+                    }
+                }
+                Some((base, base_now)) => {
+                    let elapsed = now.raw() - base_now.raw();
+                    let mut act = Act::Stay;
+                    if elapsed > 0 && elapsed.is_multiple_of(SPIN_PROBE_GRID) {
+                        if let Some(d) = Core::spin_verify(base, &self.cores[i], *base_now, elapsed)
+                        {
+                            act = Act::Park(Box::new(d));
+                        }
+                    }
+                    if matches!(act, Act::Stay) && elapsed >= SPIN_MAX_PERIOD {
+                        act = Act::Fail;
+                    }
+                    act
+                }
+            };
+            match act {
+                Act::Stay => {}
+                Act::Open => {
+                    self.spin_opens += 1;
+                    self.spin_track[i].base = Some((Box::new(self.cores[i].clone()), now));
+                }
+                Act::Fail => {
+                    let track = &mut self.spin_track[i];
+                    track.base = None;
+                    track.fails = track.fails.saturating_add(1);
+                    track.idle_until =
+                        now + (SPIN_BACKOFF_BASE << track.fails.min(SPIN_BACKOFF_CAP));
+                }
+                Act::Park(d) => {
+                    // Every replayed period consumes `dlqid` extended LQ
+                    // IDs; cap the park so the bulk replay never crosses
+                    // the governor's wrap boundary (the wrap itself runs
+                    // live after the timed wake). A memory-free spin
+                    // (dlqid == 0) parks unbounded, until a message.
+                    let budget = self.cores[i].spin_wrap_budget();
+                    let k_max = budget.checked_div(d.dlqid);
+                    if k_max == Some(0) {
+                        // About to wrap: not worth parking for zero whole
+                        // periods. Retry after the wrap has passed.
+                        let track = &mut self.spin_track[i];
+                        track.base = None;
+                        track.idle_until = now + SPIN_BACKOFF_BASE;
+                    } else {
+                        self.spin_parks += 1;
+                        let sched = &mut self.sched[i];
+                        sched.state = ParkState::Spinning;
+                        sched.since = now;
+                        sched.wake = k_max.map(|k| Cycle(now.raw() + k * d.period + 1));
+                        sched.delta = Some(d);
+                        let track = &mut self.spin_track[i];
+                        track.base = None;
+                        track.fails = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whole-machine time jump, legal only when every core is parked or
+    /// spinning: no core will tick until its wake bound, no slice until
+    /// its timer, and no delivery until the NoC's earliest deadline, so
+    /// the skipped machine cycles execute nothing at all. Jumps `now` to
+    /// the earliest of those bounds (capped by the watchdog fire cycle
+    /// and `max_cycles`). Per-core statistics need no attention here —
+    /// the parked spans already cover the jumped cycles and are replayed
+    /// at wake — but the machine-level CPT samples post_tick would have
+    /// taken are replayed by count at the cores' frozen occupancies
+    /// (exact for spinning cores too: a verified window acquires and
+    /// releases no pins, so its CPT occupancy is constant).
+    ///
+    /// `spinning` disarms the watchdog for the jump: a spinning core
+    /// retires instructions every period, so the naive loop would see
+    /// progress on every skipped cycle and never fire.
     fn jump_ahead(
         &mut self,
         max_cycles: u64,
@@ -1073,11 +1410,16 @@ impl Machine {
         last_progress: &Cycle,
         cpt_stats: &mut Stats,
         cpt_occ: HistId,
+        spinning: bool,
     ) -> Result<(), RunError> {
         let now = self.now.raw();
         // Watchdog fire cycle: post_tick faults once now - last_progress
         // exceeds the threshold.
-        let mut target = (last_progress.raw() + self.watchdog_cycles + 1).min(max_cycles);
+        let mut target = if spinning {
+            max_cycles
+        } else {
+            (last_progress.raw() + self.watchdog_cycles + 1).min(max_cycles)
+        };
         if let Some(c) = self.noc.next_delivery() {
             target = target.min(c.raw());
         }
@@ -1106,8 +1448,9 @@ impl Machine {
         }
         self.now = Cycle(target);
         // The watchdog check post_tick would have made on each skipped
-        // cycle (retirements are frozen, so only the threshold matters).
-        if self.now.since(*last_progress) > self.watchdog_cycles {
+        // cycle (retirements are frozen, so only the threshold matters;
+        // a spinning core keeps retiring, so the naive loop never fires).
+        if !spinning && self.now.since(*last_progress) > self.watchdog_cycles {
             return Err(self.deadlock_error(*last_retired));
         }
         Ok(())
@@ -1146,6 +1489,107 @@ impl Machine {
         }
         out.push_str(&format!("noc in flight: {}\n", self.noc.in_flight()));
         out
+    }
+
+    /// Times the spin detector parked a core this machine's lifetime.
+    /// Diagnostic only — never part of [`RunResult::stats`], which stay
+    /// bit-identical with spin parking on or off.
+    pub fn spin_parks(&self) -> u64 {
+        self.spin_parks
+    }
+
+    /// Core-cycles replayed in bulk (whole verified spin periods) rather
+    /// than executed. Diagnostic only, like [`Machine::spin_parks`].
+    pub fn spin_skipped_cycles(&self) -> u64 {
+        self.spin_skipped_cycles
+    }
+
+    /// Verification windows the spin detector opened (each one clones a
+    /// core, the detector's dominant cost). Diagnostic only, like
+    /// [`Machine::spin_parks`]: windows / parks is the detector's hit
+    /// rate, and a high open count with few parks means clone churn.
+    pub fn spin_opens(&self) -> u64 {
+        self.spin_opens
+    }
+
+    /// Serializes the complete machine state — every core, slice, the
+    /// NoC, the memory image, the clock, and the run-loop bookkeeping —
+    /// into a canonical byte stream for an on-disk checkpoint spill.
+    /// Parked and spinning cores are flushed first, so the encoding is
+    /// exactly the state the naive loop would hold at this cycle.
+    ///
+    /// The stream carries state only, not configuration: decode it with
+    /// [`Machine::decode_state_into`] on a machine built from the same
+    /// configuration with the same programs loaded (the caller's
+    /// contract — `plsim serve` enforces it by keying spilled files on
+    /// the job digest).
+    pub fn encode_state(&mut self) -> Vec<u8> {
+        self.flush_parked();
+        let mut e = pl_base::Enc::new();
+        e.u64(self.now.raw());
+        e.u64(self.watchdog_cycles);
+        e.u64(self.next_snapshot);
+        for core in &self.cores {
+            core.encode_into(&mut e);
+        }
+        for slice in &self.slices {
+            slice.encode_into(&mut e);
+        }
+        self.noc.encode_into(&mut e);
+        self.image.encode_into(&mut e);
+        match &self.run_state {
+            None => e.bool(false),
+            Some(rs) => {
+                e.bool(true);
+                e.u64(rs.last_retired);
+                e.u64(rs.last_progress.raw());
+                rs.cpt_stats.encode_into(&mut e);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Overlays state encoded by [`Machine::encode_state`] onto this
+    /// machine, which must have been built from the same configuration
+    /// with the same programs loaded. The event calendar and spin
+    /// detector re-arm on the next run, exactly as after
+    /// [`Machine::restore`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or inconsistent
+    /// field; the machine may be partially overwritten and must be
+    /// discarded.
+    pub fn decode_state_into(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut d = pl_base::Dec::new(bytes);
+        self.now = Cycle(d.u64()?);
+        self.watchdog_cycles = d.u64()?;
+        self.next_snapshot = d.u64()?;
+        for core in &mut self.cores {
+            core.decode_overlay(&mut d)?;
+        }
+        for slice in &mut self.slices {
+            slice.decode_overlay(&mut d)?;
+        }
+        self.noc.decode_overlay(&mut d)?;
+        self.image.decode_overlay(&mut d)?;
+        self.run_state = if d.bool()? {
+            let last_retired = d.u64()?;
+            let last_progress = Cycle(d.u64()?);
+            let mut rs = RunState::new(last_retired, last_progress);
+            rs.cpt_stats.decode_overlay(&mut d)?;
+            Some(rs)
+        } else {
+            None
+        };
+        d.finish()?;
+        for sched in &mut self.sched {
+            *sched = CoreSched::default();
+        }
+        for track in &mut self.spin_track {
+            *track = SpinTrack::default();
+        }
+        Ok(())
     }
 
     /// Total lines currently pinned across all cores; zero after a
@@ -1622,5 +2066,172 @@ mod tests {
         let err = m.run(10_000).unwrap_err();
         assert!(matches!(err, RunError::CycleLimit { limit: 10_000, .. }));
         assert!(!err.to_string().is_empty());
+    }
+
+    /// Core 0 computes for `delay_iters` loop iterations, then publishes
+    /// a flag core 1 busy-waits on; core 1 finally reads the datum the
+    /// flag guards. The wait is long enough for the spin detector to
+    /// verify core 1's loop and park it.
+    fn spin_rendezvous_programs(delay_iters: i64) -> (Program, Program) {
+        let data = 0x9000i64;
+        let flag = 0xa000i64;
+        let mut p0 = ProgramBuilder::new();
+        let work = p0.new_label();
+        p0.addi(r(1), Reg::ZERO, data);
+        p0.addi(r(2), Reg::ZERO, 1234);
+        p0.store(r(2), r(1), 0);
+        p0.addi(r(5), Reg::ZERO, delay_iters);
+        p0.bind(work).unwrap();
+        p0.addi(r(5), r(5), -1);
+        p0.branch(BranchCond::Ne, r(5), Reg::ZERO, work);
+        p0.addi(r(3), Reg::ZERO, flag);
+        p0.addi(r(4), Reg::ZERO, 1);
+        p0.store(r(4), r(3), 0);
+        let mut p1 = ProgramBuilder::new();
+        let spin = p1.new_label();
+        p1.addi(r(3), Reg::ZERO, flag);
+        p1.bind(spin).unwrap();
+        p1.load(r(4), r(3), 0);
+        p1.branch(BranchCond::Eq, r(4), Reg::ZERO, spin);
+        p1.addi(r(1), Reg::ZERO, data);
+        p1.load(r(5), r(1), 0);
+        (p0.build().unwrap(), p1.build().unwrap())
+    }
+
+    fn run_rendezvous(cfg: &MachineConfig, p0: &Program, p1: &Program) -> (Machine, RunResult) {
+        let mut m = Machine::new(cfg).unwrap();
+        m.load_program(CoreId(0), p0.clone());
+        m.load_program(CoreId(1), p1.clone());
+        let res = m.run(5_000_000).unwrap();
+        assert_eq!(m.reg(CoreId(1), r(5)), 1234, "TSO publication");
+        (m, res)
+    }
+
+    #[test]
+    fn spin_parking_parks_and_stays_bit_identical() {
+        let (p0, p1) = spin_rendezvous_programs(20_000);
+        let cfg_with = |spin: bool, ff: bool| {
+            let mut cfg = MachineConfig::default_multi_core(2);
+            cfg.spin_parking = spin;
+            cfg.fast_forward = ff;
+            cfg
+        };
+        let (m_on, res_on) = run_rendezvous(&cfg_with(true, true), &p0, &p1);
+        let (m_off, res_off) = run_rendezvous(&cfg_with(false, true), &p0, &p1);
+        let (m_naive, res_naive) = run_rendezvous(&cfg_with(true, false), &p0, &p1);
+        assert!(m_on.spin_parks() > 0, "detector never parked the spinner");
+        assert!(
+            m_on.spin_skipped_cycles() > 10_000,
+            "parked spans too short: {}",
+            m_on.spin_skipped_cycles()
+        );
+        assert_eq!(m_off.spin_parks(), 0);
+        assert_eq!(m_naive.spin_parks(), 0, "naive loop must not spin-park");
+        assert_eq!(
+            fingerprint(&m_on, &res_on),
+            fingerprint(&m_off, &res_off),
+            "spin parking changed observable results"
+        );
+        assert_eq!(
+            fingerprint(&m_on, &res_on),
+            fingerprint(&m_naive, &res_naive),
+            "spin parking diverged from the naive loop"
+        );
+    }
+
+    #[test]
+    fn spin_parking_timed_wake_at_lq_wrap_is_bit_identical() {
+        // Small LQ-ID tag space: the spinner dispatches loads at fetch
+        // width (hundreds of IDs per 64-cycle period), so a 4096-ID tag
+        // space bounds every park at a handful of periods and the
+        // timed-wake / live-wrap / re-park path runs many times. (Even
+        // smaller spaces park zero times, correctly: no whole period
+        // fits the wrap budget.)
+        let (p0, p1) = spin_rendezvous_programs(30_000);
+        let cfg_with = |spin: bool| {
+            let mut cfg = MachineConfig::default_multi_core(2);
+            cfg.spin_parking = spin;
+            cfg.pinned_loads.lq_id_tag_bits = 12; // wrap every 4096 loads
+            cfg
+        };
+        let (m_on, res_on) = run_rendezvous(&cfg_with(true), &p0, &p1);
+        let (m_off, res_off) = run_rendezvous(&cfg_with(false), &p0, &p1);
+        assert!(
+            m_on.spin_parks() >= 2,
+            "expected repeated parks across wrap boundaries, got {}",
+            m_on.spin_parks()
+        );
+        assert_eq!(
+            fingerprint(&m_on, &res_on),
+            fingerprint(&m_off, &res_off),
+            "timed spin wakes changed observable results"
+        );
+    }
+
+    #[test]
+    fn spin_parking_survives_pause_and_snapshot() {
+        let (p0, p1) = spin_rendezvous_programs(20_000);
+        let cfg = MachineConfig::default_multi_core(2);
+        let (m_ref, ref_res) = run_rendezvous(&cfg, &p0, &p1);
+        // Chop the run into pauses, checkpointing and restoring at each
+        // one — every pause flushes mid-spin parks, every resume re-arms
+        // the detector from scratch.
+        let mut m = Machine::new(&cfg).unwrap();
+        m.load_program(CoreId(0), p0.clone());
+        m.load_program(CoreId(1), p1.clone());
+        let chunk = (ref_res.cycles / 7).max(1);
+        let mut pause = chunk;
+        let res = loop {
+            match m.run_until(5_000_000, pause).unwrap() {
+                StepOutcome::Done(res) => break res,
+                StepOutcome::Paused => {
+                    let cp = m.snapshot();
+                    m = Machine::restore(&cp);
+                    pause = m.now.raw() + chunk;
+                }
+            }
+        };
+        assert_eq!(
+            fingerprint(&m, &res),
+            fingerprint(&m_ref, &ref_res),
+            "pause/snapshot through spin parks diverged"
+        );
+    }
+
+    #[test]
+    fn machine_state_codec_round_trips_and_resumes() {
+        let cfg = defended_cfg(DefenseScheme::Stt, PinMode::Early);
+        let (m_ref, ref_res) = single(&cfg, chained_loads_program());
+        let mut m = Machine::new(&cfg).unwrap();
+        m.load_program(CoreId(0), chained_loads_program().build().unwrap());
+        let outcome = m.run_until(5_000_000, ref_res.cycles / 2).unwrap();
+        assert!(matches!(outcome, StepOutcome::Paused));
+        let bytes = m.encode_state();
+        // Overlay onto a fresh machine with the same config and program.
+        let mut fresh = Machine::new(&cfg).unwrap();
+        fresh.load_program(CoreId(0), chained_loads_program().build().unwrap());
+        fresh.decode_state_into(&bytes).unwrap();
+        assert_eq!(
+            fresh.encode_state(),
+            bytes,
+            "re-encode must be byte-identical"
+        );
+        let res = fresh.run(5_000_000).unwrap();
+        assert_eq!(
+            fingerprint(&fresh, &res),
+            fingerprint(&m_ref, &ref_res),
+            "decoded machine diverged from uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn machine_state_codec_rejects_truncation() {
+        let cfg = MachineConfig::default_single_core();
+        let mut m = Machine::new(&cfg).unwrap();
+        m.load_program(CoreId(0), chained_loads_program().build().unwrap());
+        let bytes = m.encode_state();
+        let mut fresh = Machine::new(&cfg).unwrap();
+        fresh.load_program(CoreId(0), chained_loads_program().build().unwrap());
+        assert!(fresh.decode_state_into(&bytes[..bytes.len() - 1]).is_err());
     }
 }

@@ -348,6 +348,128 @@ impl<T> Cache<T> {
             .filter(|w| w.valid)
             .count()
     }
+
+    /// Current value of the monotonic recency clock.
+    pub fn lru_tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Shifts the recency clock — and every way accessed within the last
+    /// `dtick` clock advances — forward by `dtick`, reproducing one spin
+    /// period's cache accesses without performing them.
+    ///
+    /// A way is "touched last period" exactly when `lru > tick - dtick`;
+    /// periodic accesses keep each touched way's offset inside the
+    /// period constant, so adding `dtick` to those ways and to the clock
+    /// is bit-identical to re-running the accesses.
+    pub fn spin_shift_lru(&mut self, dtick: u64) {
+        self.spin_advance_ticks(dtick, 1);
+    }
+
+    /// Applies `k` spin periods of `dtick` recency advances in one step.
+    pub fn spin_advance_ticks(&mut self, dtick: u64, k: u64) {
+        if dtick == 0 || k == 0 {
+            return;
+        }
+        let cutoff = self.tick.saturating_sub(dtick);
+        let add = dtick * k;
+        for set in &mut self.sets {
+            for w in set.iter_mut() {
+                if w.lru > cutoff {
+                    w.lru += add;
+                }
+            }
+        }
+        self.tick += add;
+    }
+
+    /// Structural equality for the spin-loop detector, ignoring the
+    /// tracer. Way positions and recency values must match exactly
+    /// (replacement decisions read both); invalid ways only need their
+    /// slot to be invalid on both sides — their stale contents are never
+    /// read.
+    pub fn spin_state_eq(&self, other: &Cache<T>) -> bool
+    where
+        T: PartialEq,
+    {
+        let Cache {
+            sets,
+            index_bits,
+            ways,
+            tick,
+            tracer: _,
+        } = self;
+        *index_bits == other.index_bits
+            && *ways == other.ways
+            && *tick == other.tick
+            && sets.len() == other.sets.len()
+            && sets.iter().zip(&other.sets).all(|(a, b)| {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| {
+                        x.valid == y.valid
+                            && (!x.valid
+                                || (x.line == y.line && x.lru == y.lru && x.meta == y.meta))
+                    })
+            })
+    }
+
+    /// Encodes the full cache contents for a checkpoint spill.
+    /// Per-line metadata is encoded by `enc_meta` so each owner picks
+    /// its own representation.
+    pub fn encode_into(
+        &self,
+        e: &mut pl_base::Enc,
+        enc_meta: &mut dyn FnMut(&mut pl_base::Enc, &T),
+    ) {
+        e.u64(self.tick);
+        e.usize(self.sets.len());
+        for set in &self.sets {
+            e.usize(set.len());
+            for w in set {
+                e.bool(w.valid);
+                e.u64(w.line.raw());
+                e.u64(w.lru);
+                enc_meta(e, &w.meta);
+            }
+        }
+    }
+
+    /// Overlays contents encoded by [`Cache::encode_into`] onto a
+    /// same-geometry cache.
+    pub fn decode_overlay(
+        &mut self,
+        d: &mut pl_base::Dec<'_>,
+        dec_meta: &mut dyn FnMut(&mut pl_base::Dec<'_>) -> Result<T, String>,
+    ) -> Result<(), String> {
+        self.tick = d.u64()?;
+        let n = d.usize()?;
+        if n != self.sets.len() {
+            return Err(format!("cache: {n} encoded sets, have {}", self.sets.len()));
+        }
+        let ways = self.ways;
+        for set in &mut self.sets {
+            let m = d.usize()?;
+            if m > ways {
+                return Err(format!(
+                    "cache: {m} encoded ways exceed associativity {ways}"
+                ));
+            }
+            set.clear();
+            for _ in 0..m {
+                let valid = d.bool()?;
+                let line = LineAddr::from_line_number(d.u64()?);
+                let lru = d.u64()?;
+                let meta = dec_meta(d)?;
+                set.push(Way {
+                    line,
+                    meta,
+                    lru,
+                    valid,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ use pl_base::LineAddr;
 
 /// Insertion-ordered map from [`LineAddr`] to `T` with pre-allocated,
 /// linearly-scanned storage.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct LineTable<T> {
     entries: Vec<(LineAddr, T)>,
 }

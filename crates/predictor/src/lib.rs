@@ -57,7 +57,7 @@ pub struct Checkpoint {
 ///
 /// Owns the TAGE tables, loop predictor, BTB, RAS, and the speculative
 /// global history register.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BranchPredictor {
     tage: Tage,
     loop_pred: LoopPredictor,
@@ -153,6 +153,52 @@ impl BranchPredictor {
             self.ghr = (self.ghr << 1) | u64::from(taken);
         }
     }
+
+    /// Compares two boundary snapshots of the same predictor one spin
+    /// period apart. Returns the loop-predictor replay deltas when the
+    /// pair is spin-compatible — everything except unconfident loop trip
+    /// counters must be *exactly* equal (a steady spin saturates TAGE
+    /// counters and repeats the same 64-outcome history window, so any
+    /// other difference means training has not settled yet).
+    pub fn spin_delta(
+        base: &BranchPredictor,
+        probe: &BranchPredictor,
+    ) -> Option<Vec<(usize, u32)>> {
+        if base.tage != probe.tage
+            || base.btb != probe.btb
+            || base.ras != probe.ras
+            || base.ghr != probe.ghr
+        {
+            return None;
+        }
+        LoopPredictor::spin_delta(&base.loop_pred, &probe.loop_pred)
+    }
+
+    /// Replays `k` spin periods' worth of the deltas returned by
+    /// [`BranchPredictor::spin_delta`].
+    pub fn spin_advance(&mut self, k: u64, deltas: &[(usize, u32)]) {
+        self.loop_pred.spin_advance(k, deltas);
+    }
+
+    /// Encodes the full predictor state for a checkpoint spill.
+    pub fn encode_into(&self, e: &mut pl_base::Enc) {
+        self.tage.encode_into(e);
+        self.loop_pred.encode_into(e);
+        self.btb.encode_into(e);
+        self.ras.encode_into(e);
+        e.u64(self.ghr);
+    }
+
+    /// Overlays state encoded by [`BranchPredictor::encode_into`] onto a
+    /// same-geometry predictor.
+    pub fn decode_overlay(&mut self, d: &mut pl_base::Dec<'_>) -> Result<(), String> {
+        self.tage.decode_overlay(d)?;
+        self.loop_pred.decode_overlay(d)?;
+        self.btb.decode_overlay(d)?;
+        self.ras.decode_overlay(d)?;
+        self.ghr = d.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -212,5 +258,83 @@ mod tests {
         assert_eq!(bp.predict_target(Pc(5)), None);
         bp.update_target(Pc(5), Pc(42));
         assert_eq!(bp.predict_target(Pc(5)), Some(Pc(42)));
+    }
+
+    /// One spin iteration: the backward branch at `pc` taken `takens`
+    /// times, never exiting.
+    fn spin_period(bp: &mut BranchPredictor, pc: Pc, takens: usize) {
+        for _ in 0..takens {
+            let (pred, ckpt) = bp.predict_cond(pc);
+            bp.update_cond(pc, true, pred, &ckpt);
+        }
+    }
+
+    #[test]
+    fn spin_delta_replay_matches_live_training() {
+        let mut bp = BranchPredictor::new(64, 4);
+        let pc = Pc(40);
+        // Teach the loop predictor a finite trip count first so the spin
+        // phase has a live (but unconfident, post-reset) loop entry whose
+        // taken counter grows every period.
+        for _ in 0..6 {
+            spin_period(&mut bp, pc, 3);
+            let (pred, ckpt) = bp.predict_cond(pc);
+            bp.update_cond(pc, false, pred, &ckpt);
+        }
+        // Warm up far past TAGE saturation and history fill.
+        for _ in 0..200 {
+            spin_period(&mut bp, pc, 2);
+        }
+        let base = bp.clone();
+        spin_period(&mut bp, pc, 2);
+        let deltas = BranchPredictor::spin_delta(&base, &bp)
+            .expect("steady always-taken spin must be compatible");
+        assert!(!deltas.is_empty(), "loop trip counter grows each period");
+        // Replay 10 periods in bulk vs. live, from the same point.
+        let mut live = bp.clone();
+        for _ in 0..10 {
+            spin_period(&mut live, pc, 2);
+        }
+        bp.spin_advance(10, &deltas);
+        assert_eq!(bp, live);
+    }
+
+    #[test]
+    fn spin_delta_rejects_diverged_state() {
+        let mut bp = BranchPredictor::new(64, 4);
+        for _ in 0..200 {
+            spin_period(&mut bp, Pc(40), 3);
+        }
+        let base = bp.clone();
+        // A mispredicted branch perturbs TAGE: incompatible.
+        let (pred, ckpt) = bp.predict_cond(Pc(7777));
+        bp.update_cond(Pc(7777), !pred, pred, &ckpt);
+        assert!(BranchPredictor::spin_delta(&base, &bp).is_none());
+    }
+
+    #[test]
+    fn codec_round_trips_trained_state() {
+        let mut bp = BranchPredictor::new(64, 4);
+        for i in 0..600 {
+            let pc = Pc(13 + (i % 5));
+            let (pred, ckpt) = bp.predict_cond(pc);
+            bp.update_cond(pc, i % 3 != 0, pred, &ckpt);
+            bp.update_target(pc, Pc(100 + i));
+        }
+        bp.push_return(Pc(555));
+        let mut e = pl_base::Enc::new();
+        bp.encode_into(&mut e);
+        let bytes = e.into_bytes();
+        let mut fresh = BranchPredictor::new(64, 4);
+        assert_ne!(fresh, bp);
+        let mut d = pl_base::Dec::new(&bytes);
+        fresh.decode_overlay(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(fresh, bp);
+
+        // Wrong geometry is rejected.
+        let mut wrong = BranchPredictor::new(128, 4);
+        let mut d = pl_base::Dec::new(&bytes);
+        assert!(wrong.decode_overlay(&mut d).is_err());
     }
 }

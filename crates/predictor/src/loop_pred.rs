@@ -5,7 +5,7 @@
 
 use pl_isa::Pc;
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct LoopEntry {
     tag: u64,
     /// Learned trip count (iterations before the exit).
@@ -37,7 +37,7 @@ struct LoopEntry {
 /// }
 /// assert_eq!(lp.predict(pc), Some(true));  // start of a traversal
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoopPredictor {
     entries: Vec<LoopEntry>,
     confidence_threshold: u8,
@@ -110,6 +110,91 @@ impl LoopPredictor {
             }
             e.current = 0;
         }
+    }
+
+    /// Compares two boundary snapshots of the same predictor one spin
+    /// period apart and, if compatible, returns the per-slot `current`
+    /// growth to replay per period.
+    ///
+    /// A slot may differ only by its in-traversal taken count, and only
+    /// while the entry is *unconfident*: below the confidence threshold
+    /// `predict` ignores `current` entirely and `update`'s
+    /// confidence-reset branch cannot fire, so advancing `current` by an
+    /// exact multiple of the observed delta reproduces what slot-by-slot
+    /// training would have computed. A confident entry whose count moved
+    /// is about to cross a behavior boundary, so the pair is rejected
+    /// (`None`) and the caller keeps ticking normally.
+    pub fn spin_delta(base: &LoopPredictor, probe: &LoopPredictor) -> Option<Vec<(usize, u32)>> {
+        if base.entries.len() != probe.entries.len()
+            || base.confidence_threshold != probe.confidence_threshold
+        {
+            return None;
+        }
+        let mut deltas = Vec::new();
+        for (i, (b, p)) in base.entries.iter().zip(&probe.entries).enumerate() {
+            if b == p {
+                continue;
+            }
+            let compatible = b.valid
+                && p.valid
+                && b.tag == p.tag
+                && b.trip == p.trip
+                && b.confidence == p.confidence
+                && b.confidence < base.confidence_threshold
+                && p.current >= b.current;
+            if !compatible {
+                return None;
+            }
+            deltas.push((i, p.current - b.current));
+        }
+        Some(deltas)
+    }
+
+    /// Replays `k` spin periods' worth of the per-slot deltas returned by
+    /// [`LoopPredictor::spin_delta`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a replayed taken count overflows `u32` (unreachable
+    /// under any realistic cycle limit) or a slot index is out of range.
+    pub fn spin_advance(&mut self, k: u64, deltas: &[(usize, u32)]) {
+        for &(slot, d) in deltas {
+            let e = &mut self.entries[slot];
+            let grown = e.current as u64 + k * d as u64;
+            e.current = u32::try_from(grown).expect("loop trip counter overflow");
+        }
+    }
+
+    /// Encodes the full table for a checkpoint spill.
+    pub fn encode_into(&self, e: &mut pl_base::Enc) {
+        e.usize(self.entries.len());
+        for en in &self.entries {
+            e.u64(en.tag);
+            e.u32(en.trip);
+            e.u32(en.current);
+            e.u8(en.confidence);
+            e.bool(en.valid);
+        }
+    }
+
+    /// Overlays a table encoded by [`LoopPredictor::encode_into`] onto a
+    /// same-geometry predictor.
+    pub fn decode_overlay(&mut self, d: &mut pl_base::Dec<'_>) -> Result<(), String> {
+        let n = d.usize()?;
+        if n != self.entries.len() {
+            return Err(format!(
+                "loop predictor: {n} encoded slots, table has {}",
+                self.entries.len()
+            ));
+        }
+        for en in &mut self.entries {
+            en.tag = d.u64()?;
+            en.trip = d.u32()?;
+            en.current = d.u32()?;
+            en.confidence = d.u8()?;
+            en.valid = d.bool()?;
+        }
+        Ok(())
     }
 }
 

@@ -39,7 +39,7 @@ impl CstOutcome {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Record {
     line_hash: u64,
     lq_id: u64,
@@ -50,7 +50,7 @@ struct Record {
 /// 444-byte / 370-byte CST sizes, Section 9.2.4).
 pub const RECORD_HASH_BITS: u32 = 12;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum Table {
     /// `entry = hash(key) % n`, at most `m` records per entry.
     Finite(Vec<Vec<Record>>),
@@ -76,7 +76,7 @@ enum Table {
 /// let live = |_id: u64| -> Option<pl_base::LineAddr> { None };
 /// assert_eq!(cst.try_pin(7, line, 100, &live), CstOutcome::NewRecord);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cst {
     table: Table,
     records_per_entry: usize,
@@ -209,6 +209,90 @@ impl Cst {
             }
             Table::Ideal(map) => map.entry(key).or_default(),
         }
+    }
+}
+
+impl Cst {
+    /// Encodes the table contents for a checkpoint spill. Geometry
+    /// (finite vs. ideal, entry count, records per entry) is
+    /// config-derived; a variant tag is still written so a mismatched
+    /// overlay is rejected instead of silently misread.
+    pub fn encode_into(&self, e: &mut pl_base::Enc) {
+        let rec = |e: &mut pl_base::Enc, r: &Record| {
+            e.u64(r.line_hash);
+            e.u64(r.lq_id);
+        };
+        match &self.table {
+            Table::Finite(entries) => {
+                e.u8(0);
+                e.usize(entries.len());
+                for recs in entries {
+                    e.usize(recs.len());
+                    for r in recs {
+                        rec(e, r);
+                    }
+                }
+            }
+            Table::Ideal(map) => {
+                e.u8(1);
+                let mut keys: Vec<u64> = map.keys().copied().collect();
+                keys.sort_unstable();
+                e.usize(keys.len());
+                for k in keys {
+                    e.u64(k);
+                    let recs = &map[&k];
+                    e.usize(recs.len());
+                    for r in recs {
+                        rec(e, r);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Overlays contents encoded by [`Cst::encode_into`] onto a
+    /// same-geometry table.
+    pub fn decode_overlay(&mut self, d: &mut pl_base::Dec<'_>) -> Result<(), String> {
+        let rec = |d: &mut pl_base::Dec<'_>| -> Result<Record, String> {
+            Ok(Record {
+                line_hash: d.u64()?,
+                lq_id: d.u64()?,
+            })
+        };
+        let tag = d.u8()?;
+        match (&mut self.table, tag) {
+            (Table::Finite(entries), 0) => {
+                let n = d.usize()?;
+                if n != entries.len() {
+                    return Err(format!(
+                        "cst: {n} encoded entries, table has {}",
+                        entries.len()
+                    ));
+                }
+                for recs in entries.iter_mut() {
+                    let m = d.usize()?;
+                    recs.clear();
+                    for _ in 0..m {
+                        recs.push(rec(d)?);
+                    }
+                }
+            }
+            (Table::Ideal(map), 1) => {
+                map.clear();
+                let n = d.usize()?;
+                for _ in 0..n {
+                    let k = d.u64()?;
+                    let m = d.usize()?;
+                    let mut recs = Vec::with_capacity(m);
+                    for _ in 0..m {
+                        recs.push(rec(d)?);
+                    }
+                    map.insert(k, recs);
+                }
+            }
+            _ => return Err(format!("cst: table variant mismatch (tag {tag})")),
+        }
+        Ok(())
     }
 }
 

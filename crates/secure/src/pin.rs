@@ -433,6 +433,149 @@ impl PinGovernor {
         self.pin_counts.keys().copied()
     }
 
+    /// The next extended LQ ID [`PinGovernor::alloc_lq_id`] will return.
+    pub fn next_lq_id(&self) -> u64 {
+        self.next_lq_id
+    }
+
+    /// How many more allocations [`PinGovernor::alloc_lq_id`] can serve
+    /// before one crosses a tag boundary and triggers the wraparound
+    /// drain side effect. The spin-parking replay caps its bulk
+    /// allocation at this distance so the drain still fires on a live
+    /// tick, exactly where the naive loop would fire it.
+    pub fn lq_ids_before_wrap(&self) -> u64 {
+        let m = 1u64 << self.lq_id_tag_bits;
+        let boundary = self.next_lq_id.max(1).div_ceil(m) * m;
+        boundary - self.next_lq_id
+    }
+
+    /// Bulk-allocates `n` LQ IDs without the per-call bookkeeping — the
+    /// spin replay's equivalent of `n` [`PinGovernor::alloc_lq_id`]
+    /// calls, valid only while no allocation crosses a tag boundary
+    /// (`n <= `[`PinGovernor::lq_ids_before_wrap`]).
+    pub fn spin_advance_lq_ids(&mut self, n: u64) {
+        debug_assert!(n <= self.lq_ids_before_wrap());
+        self.next_lq_id += n;
+    }
+
+    /// Structural equality for the spin-loop detector, ignoring stats
+    /// and tracer (replayed separately). Every other field must match
+    /// exactly: a spin period that pins, unpins, or touches the CPT is
+    /// not parkable because remote cores read this governor's pin view
+    /// at arbitrary cycles.
+    pub fn spin_state_eq(&self, other: &PinGovernor) -> bool {
+        // Full destructuring (no `..`) so a new field breaks this
+        // comparison at compile time instead of silently corrupting the
+        // architectural state.
+        let PinGovernor {
+            mode,
+            l1_cst,
+            dir_cst,
+            cpt,
+            l1_index_bits,
+            llc_index_bits,
+            num_slices,
+            l1_ways,
+            wd,
+            next_lq_id,
+            lq_id_tag_bits,
+            draining_wraparound,
+            pin_counts,
+            l1_set_lines,
+            dir_key_lines,
+            stats: _,
+            tracer: _,
+        } = self;
+        *mode == other.mode
+            && *l1_cst == other.l1_cst
+            && *dir_cst == other.dir_cst
+            && *cpt == other.cpt
+            && *l1_index_bits == other.l1_index_bits
+            && *llc_index_bits == other.llc_index_bits
+            && *num_slices == other.num_slices
+            && *l1_ways == other.l1_ways
+            && *wd == other.wd
+            && *next_lq_id == other.next_lq_id
+            && *lq_id_tag_bits == other.lq_id_tag_bits
+            && *draining_wraparound == other.draining_wraparound
+            && *pin_counts == other.pin_counts
+            && *l1_set_lines == other.l1_set_lines
+            && *dir_key_lines == other.dir_key_lines
+    }
+
+    /// Encodes the dynamic governor state (CSTs, CPT, LQ-ID allocator,
+    /// pin ground truth, stats) for a checkpoint spill. Geometry and
+    /// mode are config-derived and skipped.
+    pub fn encode_into(&self, e: &mut pl_base::Enc) {
+        for cst in [&self.l1_cst, &self.dir_cst] {
+            match cst {
+                Some(c) => {
+                    e.bool(true);
+                    c.encode_into(e);
+                }
+                None => e.bool(false),
+            }
+        }
+        self.cpt.encode_into(e);
+        e.u64(self.next_lq_id);
+        e.bool(self.draining_wraparound);
+        let mut pins: Vec<(u64, u64)> = self
+            .pin_counts
+            .iter()
+            .map(|(l, &c)| (l.raw(), c as u64))
+            .collect();
+        pins.sort_unstable();
+        e.usize(pins.len());
+        for (l, c) in pins {
+            e.u64(l);
+            e.u64(c);
+        }
+        for map in [&self.l1_set_lines, &self.dir_key_lines] {
+            let mut kv: Vec<(u64, u64)> = map.iter().map(|(&k, &v)| (k, v as u64)).collect();
+            kv.sort_unstable();
+            e.usize(kv.len());
+            for (k, v) in kv {
+                e.u64(k);
+                e.u64(v);
+            }
+        }
+        self.stats.encode_into(e);
+    }
+
+    /// Overlays state encoded by [`PinGovernor::encode_into`] onto a
+    /// freshly constructed same-config governor.
+    pub fn decode_overlay(&mut self, d: &mut pl_base::Dec<'_>) -> Result<(), String> {
+        for cst in [&mut self.l1_cst, &mut self.dir_cst] {
+            let present = d.bool()?;
+            match (cst, present) {
+                (Some(c), true) => c.decode_overlay(d)?,
+                (None, false) => {}
+                _ => return Err("pin: CST presence mismatch".to_string()),
+            }
+        }
+        self.cpt.decode_overlay(d)?;
+        self.next_lq_id = d.u64()?;
+        self.draining_wraparound = d.bool()?;
+        let n = d.usize()?;
+        self.pin_counts = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let l = LineAddr::from_line_number(d.u64()?);
+            let c = d.usize()?;
+            self.pin_counts.insert(l, c);
+        }
+        for map in [&mut self.l1_set_lines, &mut self.dir_key_lines] {
+            let n = d.usize()?;
+            map.clear();
+            for _ in 0..n {
+                let k = d.u64()?;
+                let v = d.usize()?;
+                map.insert(k, v);
+            }
+        }
+        self.stats.decode_overlay(d)?;
+        Ok(())
+    }
+
     fn l1_key(&self, line: LineAddr) -> u64 {
         line.index_bits(self.l1_index_bits)
     }

@@ -28,7 +28,7 @@ use std::collections::HashSet;
 /// t.clear(SeqNum(1));                      // the load reached its VP
 /// assert!(!t.is_tainted(SeqNum(1)));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TaintTracker {
     tainted: HashSet<SeqNum>,
 }
@@ -96,6 +96,38 @@ impl TaintTracker {
     /// Returns `true` if nothing is tainted.
     pub fn is_empty(&self) -> bool {
         self.tainted.is_empty()
+    }
+
+    /// Shifts every tainted sequence number forward by `dseq` — the
+    /// spin-parking replay's uniform renumbering of the in-flight window.
+    pub fn spin_shift(&mut self, dseq: u64) {
+        if dseq == 0 || self.tainted.is_empty() {
+            return;
+        }
+        self.tainted = self.tainted.iter().map(|s| SeqNum(s.0 + dseq)).collect();
+    }
+
+    /// Encodes the tainted set (sorted, for determinism) for a
+    /// checkpoint spill.
+    pub fn encode_into(&self, e: &mut pl_base::Enc) {
+        let mut seqs: Vec<u64> = self.tainted.iter().map(|s| s.0).collect();
+        seqs.sort_unstable();
+        e.usize(seqs.len());
+        for s in seqs {
+            e.u64(s);
+        }
+    }
+
+    /// Replaces the tainted set with one encoded by
+    /// [`TaintTracker::encode_into`].
+    pub fn decode_overlay(&mut self, d: &mut pl_base::Dec<'_>) -> Result<(), String> {
+        let n = d.usize()?;
+        let mut set = HashSet::with_capacity(n);
+        for _ in 0..n {
+            set.insert(SeqNum(d.u64()?));
+        }
+        self.tainted = set;
+        Ok(())
     }
 }
 

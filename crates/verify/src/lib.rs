@@ -1,7 +1,7 @@
 //! Runtime invariant checking and cross-scheme differential verification
 //! for the Pinned Loads simulator.
 //!
-//! Two complementary oracles live here:
+//! Three complementary oracles live here:
 //!
 //! 1. [`Checker`] — a [`CheckObserver`] attached to a running
 //!    [`Machine`] that asserts the protocol invariants of the Pinned
@@ -18,6 +18,10 @@
 //!    workload under every defense scheme ([`scheme_configs`]) and
 //!    asserts the *architecturally committed* results are bit-identical:
 //!    defenses may change timing, never results.
+//! 3. [`spin_twin_check`] — a spin-parking oracle that runs the same
+//!    workload with the spin-loop detector on and off and demands
+//!    bit-identical *timing* (cycles, stats, retired counts), not just
+//!    committed state: parking a spinning core must be invisible.
 //!
 //! A seeded fault-injection layer ([`faulted`], backed by
 //! `VerifyConfig::fault_delay`) perturbs directory-bound NoC delivery
@@ -679,6 +683,87 @@ pub fn differential_check(
     Ok(DiffReport {
         workload: w.name.clone(),
         baseline: cfgs[0].label(),
+        mismatches,
+    })
+}
+
+/// Spin-parking twin oracle: runs `w` under `cfg` twice as *plain*
+/// (checker-free) runs — spin detector enabled and disabled — and
+/// compares total cycles, per-core retired-instruction counts, the full
+/// stats dump, and the final memory image. Unlike the other oracles
+/// this one demands *bit-identical timing*, not just committed state:
+/// parking a spinning core and replaying its loop from a recorded delta
+/// must be architecturally invisible down to every counter.
+///
+/// Plain runs are the point: `verify.enabled` force-disables spin
+/// parking (delta replay cannot re-emit per-cycle check events), so
+/// [`differential_check`] never exercises the parking path. The twin
+/// with the detector off doubles as a gate check — if it ever parks,
+/// the `spin_parking` config switch is broken.
+///
+/// `cfg.fast_forward` is forced on (the detector rides the machine
+/// calendar) and `cfg.spin_parking` is overridden per twin.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails validation.
+pub fn spin_twin_check(
+    w: &Workload,
+    cfg: &MachineConfig,
+    max_cycles: u64,
+) -> Result<DiffReport, RunError> {
+    type Twin = (RunResult, Vec<(u64, u64)>, u64);
+    let run = |spin: bool| -> Result<Twin, RunError> {
+        let mut cfg = cfg.clone();
+        cfg.fast_forward = true;
+        cfg.spin_parking = spin;
+        let mut m = Machine::new(&cfg).expect("spin twin config must be valid");
+        w.install(&mut m);
+        let res = m.run(max_cycles)?;
+        let mem = m.memory_words();
+        let parks = m.spin_parks();
+        Ok((res, mem, parks))
+    };
+    let (off, off_mem, off_parks) = run(false)?;
+    let (on, on_mem, _) = run(true)?;
+    let label = format!("{} +spin-parking", cfg.label());
+    let mut mismatches = Vec::new();
+    if off_parks != 0 {
+        mismatches.push(format!(
+            "{label}: detector parked {off_parks} time(s) with spin_parking off"
+        ));
+    }
+    if on.cycles != off.cycles {
+        mismatches.push(format!(
+            "{label}: cycles {} != baseline {}",
+            on.cycles, off.cycles
+        ));
+    }
+    if on.retired_per_core != off.retired_per_core {
+        mismatches.push(format!(
+            "{label}: retired {:?} != baseline {:?}",
+            on.retired_per_core, off.retired_per_core
+        ));
+    }
+    let (on_stats, off_stats) = (on.stats.to_string(), off.stats.to_string());
+    if on_stats != off_stats {
+        // The stats dump is long; report the first differing line.
+        let diff = on_stats
+            .lines()
+            .zip(off_stats.lines())
+            .find(|(a, b)| a != b)
+            .map_or_else(
+                || "stats line counts differ".to_string(),
+                |(a, b)| format!("`{a}` != `{b}`"),
+            );
+        mismatches.push(format!("{label}: stats diverged: {diff}"));
+    }
+    if on_mem != off_mem {
+        mismatches.push(diff_memory(&label, &off_mem, &on_mem));
+    }
+    Ok(DiffReport {
+        workload: w.name.clone(),
+        baseline: format!("{} (spin parking off)", cfg.label()),
         mismatches,
     })
 }

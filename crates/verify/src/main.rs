@@ -6,10 +6,12 @@
 //! ```
 //!
 //! * `--smoke` — the quick tier-1 gate: a subset of kernels through the
-//!   checker, two differential passes, one seeded fault-injection run.
+//!   checker, two differential passes, one spin-parking twin pass, one
+//!   seeded fault-injection run.
 //! * default (no `--smoke`) — the full sweep: every parallel and SPEC
 //!   kernel checked under Late and Early Pinning, differentially
-//!   verified across all six schemes, plus a fault-injection seed sweep.
+//!   verified across all six schemes, spin-parking twins over the
+//!   scheme × {2, 4, 8}-core matrix, plus a fault-injection seed sweep.
 //! * `--seed` / `--faults` — override the fault-injection seed and the
 //!   maximum extra directory-message delay (cycles).
 //!
@@ -19,7 +21,7 @@
 use std::process::ExitCode;
 
 use pl_base::{DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig};
-use pl_verify::{differential_check, faulted, run_checked, scheme_configs};
+use pl_verify::{differential_check, faulted, run_checked, scheme_configs, spin_twin_check};
 use pl_workloads::{parallel_suite, spec_suite, Scale, Workload};
 
 const MAX_CYCLES: u64 = 500_000_000;
@@ -77,6 +79,38 @@ fn diff_pass(tag: &str, workloads: &[Workload], cores: usize) -> u64 {
             Err(e) => {
                 failures += 1;
                 eprintln!("[{tag}] `{}`: run failed: {e}", w.name);
+            }
+        }
+    }
+    failures
+}
+
+/// Spin-parking twin oracle: for every scheduled scheme config at each
+/// core count, the named workloads must run bit-identically (cycles,
+/// retired counts, stats, memory) with the spin detector on and off.
+/// The reference-loop twins in [`scheme_configs`] are skipped — the
+/// detector rides the calendar, so they cannot park by construction.
+fn spin_pass(tag: &str, names: &[&str], cores_list: &[usize]) -> u64 {
+    let mut failures = 0;
+    for &cores in cores_list {
+        let suite = parallel_suite(cores, Scale::Test);
+        for cfg in scheme_configs(cores).iter().filter(|c| c.fast_forward) {
+            for w in suite.iter().filter(|w| names.contains(&w.name.as_str())) {
+                match spin_twin_check(w, cfg, MAX_CYCLES) {
+                    Ok(report) if report.ok() => {}
+                    Ok(report) => {
+                        failures += 1;
+                        eprintln!("[{tag}] {cores} cores: {report}");
+                    }
+                    Err(e) => {
+                        failures += 1;
+                        eprintln!(
+                            "[{tag}] `{}` under {} on {cores} cores: run failed: {e}",
+                            w.name,
+                            cfg.label()
+                        );
+                    }
+                }
             }
         }
     }
@@ -160,6 +194,7 @@ fn main() -> ExitCode {
         failures += check_pass("check", &spec[..2], &cfgs[1..]);
         failures += diff_pass("diff", &parallel[..1], CORES);
         failures += diff_pass("diff", &spec[..1], 1);
+        failures += spin_pass("spin", &["spin_relay"], &[CORES]);
         failures += fault_pass("fault", &parallel[..1], &[seed], delay);
         println!(
             "pl-verify --smoke: {} ({} failure(s))",
@@ -176,6 +211,7 @@ fn main() -> ExitCode {
         failures += check_pass("check", &spec, &cfgs[2..]);
         failures += diff_pass("diff", &parallel, CORES);
         failures += diff_pass("diff", &spec, 1);
+        failures += spin_pass("spin", &["spin_relay", "lock_counter"], &[2, 4, 8]);
         failures += fault_pass("fault", &parallel[..4], &[seed, 1, 2, 3], delay);
         println!(
             "pl-verify: {} ({} failure(s))",

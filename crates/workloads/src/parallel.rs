@@ -36,6 +36,7 @@ pub fn parallel_suite(cores: usize, scale: Scale) -> Vec<Workload> {
         par_mix(cores, f),
         pipeline_stages(cores, f),
         tree_readers(cores, f),
+        spin_relay(cores, f),
     ]
 }
 
@@ -620,6 +621,59 @@ fn tree_readers(cores: usize, f: u64) -> Workload {
     }
 }
 
+/// Token relay with heavily skewed turns (like an unbalanced OpenMP
+/// loop under a spin-wait runtime): the token holder runs a long private
+/// ALU kernel while every other core sits in a two-instruction spin loop
+/// on the token word. At any moment `cores-1` of `cores` cores are pure
+/// spinners with zero NoC traffic — the workload the machine's
+/// spin-signature parking exists for, and deliberately under-represented
+/// by the rest of the suite (whose spin phases are short).
+fn spin_relay(cores: usize, f: u64) -> Workload {
+    const TOKEN: u64 = 0x1300_0000;
+    let rounds = 4 * f; // times each core holds the token
+    let work = 1500i64; // ALU iterations per holding turn
+    let programs = (0..cores)
+        .map(|c| {
+            let mut b = ProgramBuilder::new();
+            let top = b.new_label();
+            let spin = b.new_label();
+            let grind = b.new_label();
+            b.addi(r(4), Reg::ZERO, TOKEN as i64);
+            b.addi(r(2), Reg::ZERO, rounds as i64);
+            b.addi(r(9), Reg::ZERO, c as i64); // my token value
+            b.addi(r(8), Reg::ZERO, cores as i64);
+            b.addi(r(11), Reg::ZERO, (3 + c) as i64);
+            b.bind(top).unwrap();
+            // Wait for my turn: the long quiet window the detector parks.
+            b.bind(spin).unwrap();
+            b.load(r(10), r(4), 0);
+            b.branch(BranchCond::Ne, r(10), r(9), spin);
+            // Hold the token: private compute, no memory traffic.
+            b.addi(r(5), Reg::ZERO, work);
+            b.bind(grind).unwrap();
+            b.alu(AluOp::Mul, r(11), r(11), 3i64);
+            b.alu(AluOp::Xor, r(11), r(11), 7i64);
+            b.addi(r(5), r(5), -1);
+            b.branch(BranchCond::Ne, r(5), Reg::ZERO, grind);
+            b.alu(AluOp::Add, r(20), r(20), r(11));
+            // Pass the token to the next core (wrapping at `cores`).
+            b.addi(r(12), r(10), 1);
+            b.alu(AluOp::SltU, r(13), r(12), r(8));
+            b.alu(AluOp::Mul, r(12), r(12), r(13)); // wrap to 0 at cores
+            b.store(r(12), r(4), 0);
+            b.addi(r(2), r(2), -1);
+            b.branch(BranchCond::Ne, r(2), Reg::ZERO, top);
+            b.build().expect("kernel builds")
+        })
+        .collect();
+    Workload {
+        name: "spin_relay".into(),
+        programs,
+        init_mem: vec![],
+        init_regs: vec![vec![]; cores],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -627,9 +681,9 @@ mod tests {
     use pl_machine::Machine;
 
     #[test]
-    fn suite_has_twelve_kernels_sized_to_cores() {
+    fn suite_has_thirteen_kernels_sized_to_cores() {
         let suite = parallel_suite(4, Scale::Test);
-        assert_eq!(suite.len(), 12);
+        assert_eq!(suite.len(), 13);
         for w in &suite {
             assert_eq!(w.cores(), 4, "kernel `{}`", w.name);
         }
@@ -689,6 +743,18 @@ mod tests {
         // Each of the 2 cores does 12 rounds over the block.
         assert_eq!(m.read_mem(Addr::new(0x800_0000)), 24);
         assert_eq!(m.read_mem(Addr::new(0x800_0000 + 63 * 8)), 24);
+    }
+
+    #[test]
+    fn spin_relay_hands_the_token_all_the_way_round() {
+        let cfg = MachineConfig::default_multi_core(2);
+        let mut m = Machine::new(&cfg).unwrap();
+        spin_relay(2, 1).install(&mut m);
+        let res = m.run(100_000_000).unwrap();
+        // 2 cores x 4 turns x 1500 grind iterations dominate retirement.
+        assert!(res.total_retired() > 10_000);
+        // The final holder wraps the token back to core 0's value.
+        assert_eq!(m.read_mem(Addr::new(0x1300_0000)), 0);
     }
 
     #[test]

@@ -43,6 +43,9 @@ wait "$SERVE_PID"
 unset SERVE_PID
 # Invariant-heavy sweeps once more at release speed with debug
 # assertions live (the `checked` profile), so internal debug_assert!s
-# in the pipeline/protocol run against the full scheme matrix.
+# in the pipeline/protocol run against the full scheme matrix. The
+# ff_equivalence spin_parking filter re-proves the spin-parking twins
+# bit-identical with every debug_assert! in the park/replay path armed.
 cargo test -q --profile checked --test protocol_invariants --test verify_checker
+cargo test -q --profile checked --test ff_equivalence spin_parking
 echo "tier-1: OK"

@@ -123,6 +123,137 @@ fn fast_forward_is_bit_identical_across_the_parallel_matrix() {
     }
 }
 
+/// Spin parking must be exactly as invisible as fast-forward itself: a
+/// run with `cfg.spin_parking` on is bit-identical to its parking-off
+/// twin — cycles, per-core retirement, every counter and histogram
+/// sample (occupancy and CPT samples land on fixed cycle numbers, so a
+/// parked period replayed with a wrong phase would double or drop one),
+/// and the committed memory image. The spin-heavy relay kernel makes the
+/// detector actually fire under Unsafe, where spinners stay continuously
+/// active. Under Fence a spinner's load waits at the ROB head, the
+/// resulting quiet cycles send the core through the ordinary
+/// Quiet/Parked states, and any park-state excursion closes the spin
+/// window — quiet-parking already absorbs those waits, so the detector
+/// conservatively never fires there. The pinned schemes may park or not
+/// (a window qualifies only when `pin.pins` never moved inside it);
+/// whichever way the detector decides, the twins must agree bit for
+/// bit, which is the assertion that matters.
+#[test]
+fn spin_parking_is_bit_identical_across_the_matrix() {
+    for cores in [2usize, 4, 8] {
+        let suite = parallel_suite(cores, Scale::Test);
+        let relay = suite
+            .iter()
+            .find(|w| w.name == "spin_relay")
+            .expect("spin_relay in the parallel suite");
+        for cfg_base in configs() {
+            let mut cfg = MachineConfig::default_multi_core(cores);
+            cfg.defense = cfg_base.defense;
+            cfg.pinned_loads = cfg_base.pinned_loads.clone();
+            cfg.fast_forward = true;
+            let label = format!("spin_relay on {cores} cores under {}", cfg.label());
+            let run = |spin_parking: bool| {
+                let mut cfg = cfg.clone();
+                cfg.spin_parking = spin_parking;
+                let mut m = Machine::new(&cfg).unwrap();
+                relay.install(&mut m);
+                let res = m
+                    .run(500_000_000)
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+                (
+                    (
+                        res.cycles,
+                        res.retired_per_core,
+                        res.stats.to_string(),
+                        m.memory_words(),
+                    ),
+                    m.spin_parks(),
+                )
+            };
+            let (off, off_parks) = run(false);
+            let (on, on_parks) = run(true);
+            assert_eq!(off, on, "{label}: spin parking changed the run");
+            assert_eq!(off_parks, 0, "{label}: parked with spin_parking off");
+            assert!(
+                off.2.contains("occ.rob"),
+                "{label}: occupancy samples missing from the fingerprint"
+            );
+            if cfg.defense == DefenseScheme::Unsafe {
+                assert!(on_parks > 0, "{label}: the spin detector never parked");
+            }
+            if cfg.pinned_loads.mode != PinMode::Off {
+                assert!(
+                    off.2.contains("cpt.peak"),
+                    "{label}: CPT samples missing from the fingerprint"
+                );
+            }
+        }
+    }
+}
+
+/// The retired-load digest leg of the twin matrix: the invariant checker
+/// records an architectural fingerprint of every committed load, and
+/// spin replay cannot re-emit check events — which is exactly why
+/// `verify.enabled` gates spin parking off. This test locks both halves
+/// of that contract in: checker-attached twins with `spin_parking` on
+/// and off produce identical retired-load digests (and never park), and
+/// their cycles/stats equal the plain parking-on run's, so the digest
+/// transitively covers the parked runs too.
+#[test]
+fn spin_parking_twins_agree_on_retired_load_digests() {
+    let cores = 4usize;
+    let suite = parallel_suite(cores, Scale::Test);
+    let relay = suite
+        .iter()
+        .find(|w| w.name == "spin_relay")
+        .expect("spin_relay in the parallel suite");
+    for cfg_base in configs() {
+        let mut cfg = MachineConfig::default_multi_core(cores);
+        cfg.defense = cfg_base.defense;
+        cfg.pinned_loads = cfg_base.pinned_loads.clone();
+        cfg.fast_forward = true;
+        let label = format!("spin_relay on {cores} cores under {}", cfg.label());
+
+        let checked_run = |spin_parking: bool| {
+            let mut cfg = cfg.clone();
+            cfg.spin_parking = spin_parking;
+            cfg.verify.enabled = true;
+            let mut m = Machine::new(&cfg).unwrap();
+            relay.install(&mut m);
+            m.set_check_observer(Box::new(Checker::new()));
+            let res = m
+                .run(500_000_000)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_eq!(
+                m.spin_parks(),
+                0,
+                "{label}: parked under verify.enabled (replay would lose check events)"
+            );
+            let fp = checked_fingerprint(&mut m, &res);
+            (res.cycles, res.stats.to_string(), fp)
+        };
+        let (off_cycles, off_stats, off_fp) = checked_run(false);
+        let (on_cycles, on_stats, on_fp) = checked_run(true);
+        assert_eq!(
+            off_fp, on_fp,
+            "{label}: checker twins diverged (digests included)"
+        );
+
+        // Anchor the checker twins to the plain parking-on run: same
+        // cycles, same stats — so the digest they agree on describes the
+        // parked run's architectural behavior too.
+        let mut plain_cfg = cfg.clone();
+        plain_cfg.spin_parking = true;
+        let mut m = Machine::new(&plain_cfg).unwrap();
+        relay.install(&mut m);
+        let res = m
+            .run(500_000_000)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert_eq!((res.cycles, res.stats.to_string()), (off_cycles, off_stats));
+        assert_eq!((res.cycles, res.stats.to_string()), (on_cycles, on_stats));
+    }
+}
+
 #[test]
 fn fast_forward_preserves_event_traces() {
     let mut cfg = MachineConfig::default_single_core();

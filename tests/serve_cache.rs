@@ -9,7 +9,7 @@ use std::thread::JoinHandle;
 
 use pinned_loads::base::{DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, TraceConfig};
 use pinned_loads::bench::serve::{self, ServeOptions};
-use pinned_loads::machine::Machine;
+use pinned_loads::machine::{Machine, StepOutcome};
 use pinned_loads::workloads::{spec_suite, Scale, Workload};
 
 fn test_workload() -> Workload {
@@ -177,11 +177,97 @@ fn killed_worker_resumes_from_checkpoint_with_identical_result() {
         "kill/resume diverged from the direct run"
     );
 
+    // The checkpoints the worker took were also spilled to disk (the
+    // server-restart safety net), and the finished job cleaned its spill
+    // file up again.
+    let stats = serve::request(&server.addr, "{\"cmd\":\"stats\"}").unwrap();
+    assert!(
+        !stats.contains("\"ckpt_spills\":\"0\""),
+        "no checkpoint ever spilled to disk: {stats}"
+    );
+    assert!(stats.contains("\"ckpt_entries\":0"), "{stats}");
+
     // The resumed job's (untraced) result is cached like any other, so a
     // repeat — this time unkilled — hits the cache with the same bytes.
     let repeat_line = serve::run_request_json(&cfg, None, &w, None, Some(period));
     let repeat = serve::request(&server.addr, &repeat_line).unwrap();
     assert!(serve::response_was_cached(&repeat), "{repeat}");
     assert_eq!(serve::extract_result(&repeat).unwrap(), direct_json);
+    server.shutdown();
+}
+
+/// A *server* restart must not lose mid-run progress either: checkpoints
+/// spill to `plckpt-*.bin` files beside the result cache, and a fresh
+/// server asked for the same job resumes from the spill instead of
+/// starting over — with the exact bytes an uninterrupted run produces.
+#[test]
+fn server_restart_resumes_from_disk_spill() {
+    let cfg = test_config();
+    let w = test_workload();
+
+    // Ground truth: the same job run directly, no server involved.
+    let mut m = Machine::new(&cfg).unwrap();
+    w.install(&mut m);
+    let direct = m.run(2_000_000_000).unwrap();
+    let direct_json = serve::result_to_json(&direct);
+    let period = (direct.cycles / 5).max(1);
+
+    let server = start_server("restart", serve::DEFAULT_CHECKPOINT_PERIOD);
+
+    // Simulate the first server dying after its second checkpoint: leave
+    // behind exactly the spill file its worker would have written, via
+    // the same public store and state encoding the server itself uses.
+    // (The in-memory copy died with the process; the new server above
+    // has never seen this job.)
+    let digest = serve::job_digest(&cfg, None, &w);
+    let store = serve::CheckpointStore::new(&server.cache_dir).unwrap();
+    let mut killed = Machine::new(&cfg).unwrap();
+    w.install(&mut killed);
+    match killed.run_until(2_000_000_000, 2 * period).unwrap() {
+        StepOutcome::Paused => {}
+        StepOutcome::Done(_) => panic!("job finished before its second checkpoint"),
+    }
+    let mid_cycle = killed.now().raw();
+    store
+        .store(digest, mid_cycle, 0, &killed.encode_state())
+        .unwrap();
+    drop(killed);
+    assert_eq!(store.len(), 1);
+
+    // The restarted server resumes from the spill: the reply says so,
+    // the result is byte-identical to the uninterrupted run, and the
+    // spill file is cleaned up once the job completes.
+    let line = serve::run_request_json(&cfg, None, &w, None, Some(period));
+    let resp = serve::request(&server.addr, &line).unwrap();
+    assert!(!serve::response_was_cached(&resp), "{resp}");
+    assert!(
+        resp.contains("\"resumed\":\"1\""),
+        "restarted server did not resume from the disk spill: {resp}"
+    );
+    assert_eq!(
+        serve::extract_result(&resp).unwrap(),
+        direct_json,
+        "resume from disk diverged from the direct run"
+    );
+    assert_eq!(store.len(), 0, "completed job left its spill file behind");
+
+    // A corrupt spill must read as missing: the job restarts from cycle
+    // zero (resumed 0) and still produces the right bytes. Use a fresh
+    // digest (different checkpoint period changes nothing; same digest)
+    // — so first evict the cached result to force a re-run.
+    std::fs::remove_file(
+        serve::ResultCache::new(&server.cache_dir)
+            .unwrap()
+            .path_for(digest),
+    )
+    .unwrap();
+    std::fs::write(store.path_for(digest), b"not a checkpoint").unwrap();
+    let resp = serve::request(&server.addr, &line).unwrap();
+    assert!(!serve::response_was_cached(&resp), "{resp}");
+    assert!(
+        resp.contains("\"resumed\":\"0\""),
+        "corrupt spill should restart the job from scratch: {resp}"
+    );
+    assert_eq!(serve::extract_result(&resp).unwrap(), direct_json);
     server.shutdown();
 }
