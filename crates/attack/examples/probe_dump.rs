@@ -1,0 +1,224 @@
+//! Dumps the observer's per-round probe measurements for one gadget
+//! under one scheme — the tool for eyeballing channel quality.
+//!
+//! ```text
+//! cargo run --release -p pl-attack --example probe_dump -- spectre_v1 Unsafe
+//! ```
+
+use pl_attack::{attack_config, decode, score, ProbeLog};
+use pl_base::VerifyConfig;
+use pl_machine::Machine;
+use pl_workloads::attack::{attack_scenario, Gadget};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let gadget =
+        Gadget::from_name(&args.next().unwrap_or("spectre_v1".into())).expect("known gadget name");
+    let want = args.next().unwrap_or("Unsafe".into());
+    let cfg = pl_verify::scheme_configs(2)
+        .into_iter()
+        .take(6)
+        .find(|c| c.label() == want)
+        .expect("known scheme label");
+    let sc = attack_scenario(gadget, 2, 8, 24, 0xA77AC);
+    let mut dcfg = attack_config(&cfg);
+    dcfg.verify = VerifyConfig::enabled();
+    let mut m = Machine::new(&dcfg).unwrap();
+    sc.workload.install(&mut m);
+    m.set_check_observer(Box::new(ProbeLog::new(sc.observer_core)));
+    let res = m.run(200_000_000).unwrap();
+    let mut obs = m.take_check_observer().unwrap();
+    let log = &obs.as_any_mut().downcast_mut::<ProbeLog>().unwrap().records;
+    println!(
+        "{} under {}: {} cycles, {} observer load retires",
+        sc.workload.name,
+        dcfg.label(),
+        res.cycles,
+        log.len()
+    );
+    let total = sc.total_rounds();
+    let find = |addr: u64| -> Vec<&pl_attack::ProbeRecord> {
+        log.iter().filter(|r| r.addr == addr).collect()
+    };
+    match gadget {
+        Gadget::SpectreV1 | Gadget::SpectreV4 => {
+            let hit = find(sc.addrs.cal_hit);
+            let ready = find(sc.addrs.flag_ready);
+            let done = find(sc.addrs.flag_done);
+            for r in 0..total {
+                let (a0, a1) = sc.oracle_pair(r);
+                let o0 = find(a0);
+                let o1 = find(a1);
+                let (Some(o0), Some(o1)) = (o0.first(), o1.first()) else {
+                    println!("r{r:02} missing oracle probes");
+                    continue;
+                };
+                let miss = find(sc.addrs.cal_miss_base + (r as u64 + 1) * (1 << 17));
+                let t_done = done
+                    .iter()
+                    .find(|p| p.value == r as u64 + 1)
+                    .map_or(0, |p| p.at);
+                println!(
+                    "r{r:02} secret={} o0={:3} o1={:3} hit={:3} miss={:3} \
+                     t_ready={} t_done={} t_o0={} t_o1={}",
+                    sc.secrets[r],
+                    o0.latency,
+                    o1.latency,
+                    hit.get(2 * r + 1).map_or(0, |p| p.latency),
+                    miss.first().map_or(0, |p| p.latency),
+                    ready.get(r).map_or(0, |p| p.at),
+                    t_done,
+                    o0.at,
+                    o1.at,
+                );
+            }
+        }
+        Gadget::InterferenceMshr => {
+            for r in 0..total {
+                let lats: Vec<u64> = sc
+                    .probe_chain(r)
+                    .iter()
+                    .map(|&a| find(a).first().map_or(0, |p| p.latency))
+                    .collect();
+                println!(
+                    "r{r:02} secret={} probes={lats:?} sum={}",
+                    sc.secrets[r],
+                    lats.iter().sum::<u64>()
+                );
+            }
+        }
+        Gadget::InterferenceIssue => {
+            let tdone = find(sc.addrs.flag_tdone);
+            let done = find(sc.addrs.flag_done);
+            let arrival = |probes: &[&pl_attack::ProbeRecord], r: usize| {
+                probes
+                    .iter()
+                    .find(|p| p.value == r as u64 + 1)
+                    .map_or(0, |p| p.at)
+            };
+            for r in 0..total {
+                println!(
+                    "r{r:02} secret={} tail={}",
+                    sc.secrets[r],
+                    arrival(&done, r).saturating_sub(arrival(&tdone, r))
+                );
+            }
+        }
+    }
+    let outcome = score(&sc, decode(&sc, log), res.cycles);
+    println!(
+        "bits/trial={:.4} acc={:.4} confusion={:?}",
+        outcome.bits_per_trial, outcome.accuracy, outcome.confusion
+    );
+
+    if std::env::var("DBG_TRACE").is_ok() {
+        let mut dcfg3 = attack_config(&cfg);
+        dcfg3.trace = pl_base::TraceConfig::enabled();
+        dcfg3.trace.buffer_capacity = 4 << 20;
+        let mut m3 = Machine::new(&dcfg3).unwrap();
+        sc.workload.install(&mut m3);
+        m3.run(200_000_000).unwrap();
+        // Oracle gadgets: watch the two oracle lines (round 0 pair).
+        // Interference gadgets: watch every line of the contended set.
+        let watch = |l: pl_base::LineAddr| match gadget {
+            Gadget::SpectreV1 | Gadget::SpectreV4 => {
+                let (a0, a1) = sc.oracle_pair(0);
+                l.raw() == a0 / 64 || l.raw() == a1 / 64
+            }
+            _ => l.raw() % 2048 == (sc.addrs.set_c / 64) % 2048,
+        };
+        use pl_trace::EventKind as E;
+        for rec in &m3.trace_log().records {
+            let (what, line) = match rec.kind {
+                E::IssueLoad { line, l1_hit, .. } => {
+                    (if l1_hit { "issue(hit)" } else { "issue(miss)" }, line)
+                }
+                E::CacheInstall { line } => ("install", line),
+                E::CacheEvict { line } => ("evict", line),
+                E::CacheInvalidate { line } => ("invalidate", line),
+                E::MsgSend { kind, line } => {
+                    if watch(line) {
+                        println!(
+                            "t={} {:?} send:{kind} set{}",
+                            rec.cycle,
+                            rec.source,
+                            line.raw() & 0x7FF
+                        );
+                    }
+                    continue;
+                }
+                E::MsgRecv { kind, line } => {
+                    if watch(line) {
+                        println!(
+                            "t={} {:?} recv:{kind} set{}",
+                            rec.cycle,
+                            rec.source,
+                            line.raw() & 0x7FF
+                        );
+                    }
+                    continue;
+                }
+                _ => continue,
+            };
+            if watch(line) {
+                println!(
+                    "t={} {:?} {what} set{}",
+                    rec.cycle,
+                    rec.source,
+                    line.raw() & 0x7FF
+                );
+            }
+        }
+    }
+
+    if std::env::var("DBG_L1").is_ok() {
+        let mut dcfg2 = attack_config(&cfg);
+        dcfg2.verify = VerifyConfig::enabled();
+        dcfg2.verify.snapshot_period = std::env::var("DBG_L1")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(20);
+        let mut m2 = Machine::new(&dcfg2).unwrap();
+        sc.workload.install(&mut m2);
+        m2.set_check_observer(Box::new(L1Watch {
+            o0: sc.addrs.oracle0,
+            o1: sc.addrs.oracle1,
+            events: Vec::new(),
+        }));
+        m2.run(200_000_000).unwrap();
+        let mut obs2 = m2.take_check_observer().unwrap();
+        let w = obs2.as_any_mut().downcast_mut::<L1Watch>().unwrap();
+        let mut last = (false, false);
+        for &(at, h0, h1) in &w.events {
+            if (h0, h1) != last {
+                println!("t={at} obs-l1 o0={h0} o1={h1}");
+                last = (h0, h1);
+            }
+        }
+    }
+}
+
+// Scratch observer: tracks when the oracle lines appear in core 0's L1.
+struct L1Watch {
+    o0: u64,
+    o1: u64,
+    events: Vec<(u64, bool, bool)>,
+}
+
+impl pl_base::CheckObserver for L1Watch {
+    fn on_events(&mut self, _now: pl_base::Cycle, _events: &[pl_base::CheckEvent]) {}
+    fn on_snapshot(&mut self, now: pl_base::Cycle, snap: &pl_base::MachineSnapshot) {
+        let has = |c: usize, a: u64| {
+            snap.cores[c]
+                .l1_lines
+                .iter()
+                .any(|(l, _)| l.raw() == a / 64)
+        };
+        self.events
+            .push((now.raw(), has(0, self.o0), has(0, self.o1)));
+    }
+    fn on_run_end(&mut self, _now: pl_base::Cycle) {}
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -230,6 +230,11 @@ pub enum CheckEvent {
         addr: Addr,
         /// The committed value.
         value: u64,
+        /// Cycles from dispatch until the value bound (the load's
+        /// observable memory latency: forwarding/L1 hits are small,
+        /// misses large). Timing side-channel observers key off this;
+        /// the invariant checker must *not* fold it into any digest.
+        latency: u64,
     },
     /// The pipeline squashed every instruction at or after `first_bad`.
     Squashed {

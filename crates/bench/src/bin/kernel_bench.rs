@@ -22,15 +22,18 @@
 //! Besides the fig1 `spec/*` and `par/*` sweeps, a dedicated
 //! `par_spin/*` group runs the spin-heavy `spin_relay` kernel alone, so
 //! the machine's spin-signature parking path is measured in isolation
-//! (the mixed par jobs average it away). `--no-spin-park` disables spin
+//! (the mixed par jobs average it away), and a `par_attack/*` group
+//! runs the `pl-attack` gadget suite so leakage-sweep throughput is
+//! guarded alongside the kernels. `--no-spin-park` disables spin
 //! parking in every configuration — runs must keep identical cycle
 //! counts (parking is architecturally invisible) while the wall time
 //! shows the cost of ticking spinning cores; the committed
 //! `results/BENCH_kernel_baseline.json` is refreshed with this flag.
 //!
 //! `--baseline` turns the run into a throughput-regression guard: after
-//! measuring, every `par/*` and `par_spin/*` job present in both this
-//! run and the given baseline report is compared, and the process exits
+//! measuring, every `par*` job (`par/*`, `par_spin/*`, `par_attack/*`)
+//! present in both this run and the baseline report is compared, and
+//! the process exits
 //! 1 if any drops more than 20% below its baseline kc/s. Tier-1 points
 //! it at the committed spin-parking-off baseline, making the guard a
 //! hard floor: shared-machine noise cannot trip it (current throughput
@@ -45,6 +48,7 @@ use pl_base::{DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig, ThreatMo
 use pl_bench::print_banner;
 use pl_machine::Machine;
 use pl_secure::VpMask;
+use pl_workloads::attack::attack_suite;
 use pl_workloads::{parallel_suite, spec_suite, Scale, Workload};
 
 struct JobResult {
@@ -205,9 +209,9 @@ fn read_baseline(path: &PathBuf) -> Vec<(String, f64)> {
     jobs
 }
 
-/// The `--baseline` regression guard: fails (exit 1) if any `par/*` or
-/// `par_spin/*` job measured in this run fell more than 20% below the
-/// same-named job in the baseline report.
+/// The `--baseline` regression guard: fails (exit 1) if any `par*` job
+/// (`par/*`, `par_spin/*`, `par_attack/*`) measured in this run fell
+/// more than 20% below the same-named job in the baseline report.
 fn guard_against(baseline_path: &PathBuf, results: &[JobResult]) {
     let baseline = read_baseline(baseline_path);
     assert!(
@@ -334,8 +338,8 @@ fn main() {
         // CI smoke: one workload and one configuration per suite, one
         // repetition — proves both the single-core and the multicore
         // (event-calendar + directory + NoC) paths run end to end and
-        // write a parseable report, and gives `--baseline` a par job
-        // and the par_spin job to guard.
+        // write a parseable report, and gives `--baseline` one job from
+        // each par group (par, par_spin, par_attack) to guard.
         spec.truncate(1);
         for (name, cfg, mask) in suite_jobs("spec", &single).into_iter().take(1) {
             results.push(time_job(&name, &cfg, mask, &spec, 1));
@@ -353,6 +357,11 @@ fn main() {
         }
         for (name, cfg, mask) in suite_jobs("par_spin", &multi).into_iter().take(1) {
             results.push(time_job(&name, &cfg, mask, &spin, 1));
+        }
+        let mut attack: Vec<Workload> = attack_suite(2).into_iter().map(|s| s.workload).collect();
+        attack.truncate(1);
+        for (name, cfg, mask) in suite_jobs("par_attack", &multi).into_iter().take(1) {
+            results.push(time_job(&name, &cfg, mask, &attack, 1));
         }
     } else {
         for (name, cfg, mask) in suite_jobs("spec", &single) {
@@ -378,6 +387,13 @@ fn main() {
         // spin-parking path (the mixed par jobs dilute it).
         for (name, cfg, mask) in suite_jobs("par_spin", &multi) {
             results.push(time_job(&name, &cfg, mask, &spin, reps));
+        }
+        // The attack gadget suite: attacker/victim pairs whose shadow
+        // bursts and observer spin loops stress the squash/retain and
+        // flag-polling paths, which the mixed par jobs barely touch.
+        let attack: Vec<Workload> = attack_suite(2).into_iter().map(|s| s.workload).collect();
+        for (name, cfg, mask) in suite_jobs("par_attack", &multi) {
+            results.push(time_job(&name, &cfg, mask, &attack, reps));
         }
     }
 

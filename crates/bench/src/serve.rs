@@ -547,23 +547,52 @@ pub fn result_from_json(v: &Value) -> Result<RunResult, String> {
 /// A content-addressed result store: one `plcache-<digest>.json` file
 /// per completed job, written atomically (temp file + rename) so a
 /// killed worker never leaves a torn entry.
+///
+/// A long-lived server accumulates one file per distinct job forever, so
+/// the cache can be bounded ([`ResultCache::with_limits`]): after every
+/// store, least-recently-used entries are evicted until the cache fits.
+/// Recency is the file mtime — a [`ResultCache::lookup`] hit re-stamps
+/// it, so hot entries survive and cold ones age out. The entry just
+/// stored is never evicted (a limit smaller than one entry must not turn
+/// `store` into a no-op that breaks the store-then-lookup contract).
 #[derive(Debug)]
 pub struct ResultCache {
     dir: PathBuf,
     tmp_counter: AtomicU64,
+    max_entries: Option<usize>,
+    max_bytes: Option<u64>,
+    evictions: AtomicU64,
 }
 
 impl ResultCache {
-    /// Opens (creating if needed) a cache rooted at `dir`.
+    /// Opens (creating if needed) an unbounded cache rooted at `dir`.
     ///
     /// # Errors
     ///
     /// Propagates directory-creation failures.
     pub fn new(dir: &Path) -> io::Result<ResultCache> {
+        ResultCache::with_limits(dir, None, None)
+    }
+
+    /// Opens (creating if needed) a cache rooted at `dir` that holds at
+    /// most `max_entries` files / `max_bytes` total payload bytes
+    /// (`None` = unlimited).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn with_limits(
+        dir: &Path,
+        max_entries: Option<usize>,
+        max_bytes: Option<u64>,
+    ) -> io::Result<ResultCache> {
         std::fs::create_dir_all(dir)?;
         Ok(ResultCache {
             dir: dir.to_path_buf(),
             tmp_counter: AtomicU64::new(0),
+            max_entries,
+            max_bytes,
+            evictions: AtomicU64::new(0),
         })
     }
 
@@ -572,16 +601,25 @@ impl ResultCache {
         self.dir.join(format!("plcache-{digest:016x}.json"))
     }
 
-    /// The stored result bytes for `digest`, if present.
+    /// The stored result bytes for `digest`, if present. A hit re-stamps
+    /// the entry's mtime so LRU eviction sees it as fresh.
     pub fn lookup(&self, digest: u64) -> Option<String> {
-        std::fs::read_to_string(self.path_for(digest)).ok()
+        let path = self.path_for(digest);
+        let content = std::fs::read_to_string(&path).ok()?;
+        if let Ok(f) = std::fs::File::options().write(true).open(&path) {
+            let _ = f.set_modified(std::time::SystemTime::now());
+        }
+        Some(content)
     }
 
-    /// Atomically stores `json` under `digest`.
+    /// Atomically stores `json` under `digest`, then evicts
+    /// least-recently-used entries (never this one) until the cache is
+    /// back under its limits.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem failures.
+    /// Propagates filesystem failures on the store itself; eviction
+    /// failures are ignored (a stale entry is harmless).
     pub fn store(&self, digest: u64, json: &str) -> io::Result<()> {
         let n = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
         let tmp = self.dir.join(format!(
@@ -589,7 +627,55 @@ impl ResultCache {
             std::process::id()
         ));
         std::fs::write(&tmp, json)?;
-        std::fs::rename(&tmp, self.path_for(digest))
+        std::fs::rename(&tmp, self.path_for(digest))?;
+        if self.max_entries.is_some() || self.max_bytes.is_some() {
+            self.enforce_limits(digest);
+        }
+        Ok(())
+    }
+
+    /// Total entries evicted over this cache handle's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    fn enforce_limits(&self, keep: u64) {
+        let Ok(rd) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let keep_name = format!("plcache-{keep:016x}.json");
+        // (mtime, name, size) per entry; name tie-breaks equal mtimes so
+        // eviction order is deterministic on coarse-granularity clocks.
+        let mut entries: Vec<(std::time::SystemTime, String, u64)> = rd
+            .filter_map(Result::ok)
+            .filter_map(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                if !name.starts_with("plcache-") || !name.ends_with(".json") {
+                    return None;
+                }
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                Some((mtime, name, meta.len()))
+            })
+            .collect();
+        entries.sort();
+        let mut count = entries.len();
+        let mut bytes: u64 = entries.iter().map(|e| e.2).sum();
+        for (_, name, size) in entries {
+            let over = self.max_entries.is_some_and(|m| count > m)
+                || self.max_bytes.is_some_and(|m| bytes > m);
+            if !over {
+                break;
+            }
+            if name == keep_name {
+                continue;
+            }
+            if std::fs::remove_file(self.dir.join(&name)).is_ok() {
+                count -= 1;
+                bytes = bytes.saturating_sub(size);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Number of completed entries currently stored.
@@ -738,6 +824,11 @@ pub struct ServeOptions {
     pub threads: usize,
     /// Result cache directory.
     pub cache_dir: PathBuf,
+    /// Most cached results kept on disk (`None` = unlimited); the
+    /// least-recently-used entries are evicted past the limit.
+    pub cache_max_entries: Option<usize>,
+    /// Most total cached result bytes kept on disk (`None` = unlimited).
+    pub cache_max_bytes: Option<u64>,
     /// Default cycles between job checkpoints (jobs may override).
     pub checkpoint_period: u64,
     /// When set, the actual bound port is written here once listening —
@@ -751,6 +842,8 @@ impl Default for ServeOptions {
             addr: "127.0.0.1:0".to_string(),
             threads: crate::sweep::default_threads(),
             cache_dir: PathBuf::from("plcache"),
+            cache_max_entries: None,
+            cache_max_bytes: None,
             checkpoint_period: DEFAULT_CHECKPOINT_PERIOD,
             port_file: None,
         }
@@ -999,9 +1092,10 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) -> bool {
             respond(
                 &mut stream,
                 &format!(
-                    "{{\"cache_entries\":{},\"ckpt_entries\":{},\"ckpt_spills\":{},\
-                     \"hits\":{},\"misses\":{},\"ok\":true}}",
+                    "{{\"cache_entries\":{},\"cache_evictions\":{},\"ckpt_entries\":{},\
+                     \"ckpt_spills\":{},\"hits\":{},\"misses\":{},\"ok\":true}}",
                     shared.cache.len(),
+                    ju64(shared.cache.evictions()),
                     shared.ckpt.len(),
                     ju64(spills),
                     ju64(hits),
@@ -1102,7 +1196,11 @@ pub fn serve(opts: &ServeOptions) -> io::Result<()> {
         queue_cv: Condvar::new(),
         shutdown: AtomicBool::new(false),
         checkpoints: Mutex::new(HashMap::new()),
-        cache: ResultCache::new(&opts.cache_dir)?,
+        cache: ResultCache::with_limits(
+            &opts.cache_dir,
+            opts.cache_max_entries,
+            opts.cache_max_bytes,
+        )?,
         ckpt: CheckpointStore::new(&opts.cache_dir)?,
         hits: AtomicU64::new(0),
         misses: AtomicU64::new(0),
@@ -1323,6 +1421,63 @@ mod tests {
         assert!(cache.lookup(42).is_none());
         cache.store(42, "{\"x\":1}").unwrap();
         assert_eq!(cache.lookup(42).unwrap(), "{\"x\":1}");
+        assert_eq!(cache.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_entries() {
+        let dir = std::env::temp_dir().join(format!("plserve-lru-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::with_limits(&dir, Some(3), None).unwrap();
+        // Stamp explicit mtimes so recency order is deterministic even on
+        // coarse-granularity filesystem clocks.
+        let stamp = |digest: u64, secs: u64| {
+            let f = std::fs::File::options()
+                .write(true)
+                .open(cache.path_for(digest))
+                .unwrap();
+            f.set_modified(std::time::UNIX_EPOCH + std::time::Duration::from_secs(secs))
+                .unwrap();
+        };
+        for d in 1..=3u64 {
+            cache.store(d, "{}").unwrap();
+            stamp(d, d);
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 0);
+
+        // A lookup hit refreshes entry 1's recency, so entry 2 is the LRU
+        // victim when a fourth entry arrives.
+        cache.lookup(1).unwrap();
+        cache.store(4, "{}").unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.lookup(2).is_none(), "LRU entry survived eviction");
+        assert!(cache.lookup(1).is_some());
+        assert!(cache.lookup(3).is_some());
+        assert!(cache.lookup(4).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bounded_cache_enforces_byte_budget_but_keeps_newest() {
+        let dir = std::env::temp_dir().join(format!("plserve-bytes-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::with_limits(&dir, None, Some(10)).unwrap();
+        cache.store(1, "aaaaaa").unwrap(); // 6 bytes: fits
+        cache.store(2, "bbbbbbbb").unwrap(); // 14 total: evicts 1
+        assert!(cache.lookup(1).is_none());
+        assert_eq!(cache.lookup(2).unwrap(), "bbbbbbbb");
+        assert_eq!(cache.evictions(), 1);
+
+        // An entry larger than the whole budget still lands — the entry
+        // just stored is never its own eviction victim.
+        let big = "c".repeat(32);
+        cache.store(3, &big).unwrap();
+        assert!(cache.lookup(2).is_none());
+        assert_eq!(cache.lookup(3).unwrap(), big);
+        assert_eq!(cache.evictions(), 2);
         assert_eq!(cache.len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }

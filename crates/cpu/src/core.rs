@@ -1469,11 +1469,13 @@ impl Core {
                 }
                 if self.check.enabled() {
                     if let (Some(addr), Some(value)) = (entry.addr, entry.value) {
+                        let latency = entry.performed_at.map_or(0, |p| p.since(head_dispatched));
                         self.check.emit(CheckEvent::LoadRetired {
                             core: self.id,
                             seq: seq.0,
                             addr,
                             value,
+                            latency,
                         });
                     }
                 }

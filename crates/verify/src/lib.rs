@@ -288,6 +288,9 @@ impl CheckObserver for Checker {
                     seq,
                     addr,
                     value,
+                    // Timing is scheme-dependent by design; the committed-
+                    // state digest must stay latency-free.
+                    latency: _,
                 } => {
                     let entry = self.load_digests.entry(core).or_insert((FNV_OFFSET, 0));
                     entry.0 = fnv1a(fnv1a(fnv1a(entry.0, seq), addr.raw()), value);

@@ -22,6 +22,7 @@ use std::process::ExitCode;
 
 use pl_base::{DefenseScheme, MachineConfig, PinMode, PinnedLoadsConfig};
 use pl_verify::{differential_check, faulted, run_checked, scheme_configs, spin_twin_check};
+use pl_workloads::attack::attack_suite;
 use pl_workloads::{parallel_suite, spec_suite, Scale, Workload};
 
 const MAX_CYCLES: u64 = 500_000_000;
@@ -183,6 +184,10 @@ fn main() -> ExitCode {
 
     let parallel = parallel_suite(CORES, Scale::Test);
     let spec = spec_suite(Scale::Test);
+    // Attack gadget workloads: architecturally deterministic multicore
+    // programs whose *timing* carries the secret, so the differential
+    // oracle must see identical committed state across every scheme.
+    let attack: Vec<Workload> = attack_suite(2).into_iter().map(|s| s.workload).collect();
     let mut failures = 0;
 
     if smoke {
@@ -192,8 +197,10 @@ fn main() -> ExitCode {
         ];
         failures += check_pass("check", &parallel[..4], &cfgs);
         failures += check_pass("check", &spec[..2], &cfgs[1..]);
+        failures += check_pass("check", &attack[..2], &cfgs[..1]);
         failures += diff_pass("diff", &parallel[..1], CORES);
         failures += diff_pass("diff", &spec[..1], 1);
+        failures += diff_pass("diff", &attack[..1], 2);
         failures += spin_pass("spin", &["spin_relay"], &[CORES]);
         failures += fault_pass("fault", &parallel[..1], &[seed], delay);
         println!(
@@ -209,8 +216,10 @@ fn main() -> ExitCode {
         ];
         failures += check_pass("check", &parallel, &cfgs);
         failures += check_pass("check", &spec, &cfgs[2..]);
+        failures += check_pass("check", &attack, &cfgs[..2]);
         failures += diff_pass("diff", &parallel, CORES);
         failures += diff_pass("diff", &spec, 1);
+        failures += diff_pass("diff", &attack, 2);
         failures += spin_pass("spin", &["spin_relay", "lock_counter"], &[2, 4, 8]);
         failures += fault_pass("fault", &parallel[..4], &[seed, 1, 2, 3], delay);
         println!(

@@ -29,9 +29,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attack;
 pub mod parallel;
 pub mod spec;
 
+pub use attack::{attack_scenario, attack_suite, AttackScenario, Gadget};
 pub use parallel::parallel_suite;
 pub use spec::spec_suite;
 

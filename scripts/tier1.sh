@@ -21,6 +21,9 @@ cargo run --release -q -p pl-bench --bin kernel_bench -- --smoke \
   --baseline results/BENCH_kernel_baseline.json --out /dev/null
 # Runtime invariant checker + differential oracle + fault injection.
 cargo run --release -q -p pl-verify -- --smoke
+# Attack-suite smoke: every gadget x scheme point of the leakage sweep
+# runs end to end and writes a parseable leakage report.
+cargo run --release -q -p pl-attack -- --smoke --out /dev/null
 # Serve smoke: boot the job server on an ephemeral port, submit the same
 # job twice, and require the repeat to be a cache hit whose result JSON
 # is byte-identical to the run that populated the cache.
@@ -48,4 +51,8 @@ unset SERVE_PID
 # bit-identical with every debug_assert! in the park/replay path armed.
 cargo test -q --profile checked --test protocol_invariants --test verify_checker
 cargo test -q --profile checked --test ff_equivalence spin_parking
+# The attack suite under debug assertions: non-vacuity, mitigation
+# direction, and sweep determinism with the transient-shadow and
+# observer paths' debug_assert!s armed.
+cargo test -q --profile checked -p pl-attack --test leakage
 echo "tier-1: OK"

@@ -35,6 +35,8 @@ struct Args {
     addr: String,
     threads: Option<usize>,
     cache_dir: String,
+    cache_max_entries: Option<usize>,
+    cache_max_bytes: Option<u64>,
     port_file: Option<String>,
     checkpoint_period: Option<u64>,
     kill_after_checkpoints: Option<u64>,
@@ -60,6 +62,8 @@ fn usage() -> ! {
            --addr HOST:PORT                bind address (default 127.0.0.1:0)\n\
            --threads N                     simulation workers (default: sweep threads)\n\
            --cache-dir DIR                 result cache directory (default plcache)\n\
+           --cache-max-entries N           evict LRU entries past N cached results\n\
+           --cache-max-bytes N             evict LRU entries past N total cached bytes\n\
            --port-file FILE                write the bound address here once listening\n\
            --checkpoint-period N           cycles between job checkpoints\n\
          \n\
@@ -94,6 +98,8 @@ fn parse(argv: &[String]) -> Args {
         addr: "127.0.0.1:0".to_string(),
         threads: None,
         cache_dir: "plcache".to_string(),
+        cache_max_entries: None,
+        cache_max_bytes: None,
         port_file: None,
         checkpoint_period: None,
         kill_after_checkpoints: None,
@@ -170,6 +176,14 @@ fn parse(argv: &[String]) -> Args {
             }
             "--cache-dir" => {
                 args.cache_dir = value(argv, i);
+                i += 1;
+            }
+            "--cache-max-entries" => {
+                args.cache_max_entries = Some(value(argv, i).parse().unwrap_or_else(|_| usage()));
+                i += 1;
+            }
+            "--cache-max-bytes" => {
+                args.cache_max_bytes = Some(value(argv, i).parse().unwrap_or_else(|_| usage()));
                 i += 1;
             }
             "--port-file" => {
@@ -310,6 +324,8 @@ fn cmd_serve(args: &Args) {
             .threads
             .unwrap_or_else(pinned_loads::bench::sweep::default_threads),
         cache_dir: args.cache_dir.clone().into(),
+        cache_max_entries: args.cache_max_entries,
+        cache_max_bytes: args.cache_max_bytes,
         checkpoint_period: args
             .checkpoint_period
             .unwrap_or(serve::DEFAULT_CHECKPOINT_PERIOD),

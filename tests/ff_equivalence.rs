@@ -191,6 +191,46 @@ fn spin_parking_is_bit_identical_across_the_matrix() {
     }
 }
 
+/// The attack gadget workloads are the most timing-sensitive programs in
+/// the tree — their whole payload is a covert timing channel — so they
+/// make a sharp spin-parking oracle: every gadget spins on flags
+/// (victim on READY, observer on TDONE/DONE), and parking any of those
+/// spins must still replay the exact cycle-level interleaving the
+/// channel depends on.
+#[test]
+fn spin_parking_is_bit_identical_on_attack_gadgets() {
+    use pinned_loads::workloads::attack::attack_suite;
+    for sc in attack_suite(2) {
+        for cfg_base in configs() {
+            let mut cfg = MachineConfig::default_multi_core(2);
+            cfg.defense = cfg_base.defense;
+            cfg.pinned_loads = cfg_base.pinned_loads.clone();
+            cfg.fast_forward = true;
+            let label = format!("{} under {}", sc.workload.name, cfg.label());
+            let run = |spin_parking: bool| {
+                let mut cfg = cfg.clone();
+                cfg.spin_parking = spin_parking;
+                let mut m = Machine::new(&cfg).unwrap();
+                sc.workload.install(&mut m);
+                let res = m
+                    .run(500_000_000)
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+                (
+                    res.cycles,
+                    res.retired_per_core,
+                    res.stats.to_string(),
+                    m.memory_words(),
+                )
+            };
+            assert_eq!(
+                run(false),
+                run(true),
+                "{label}: spin parking changed the run"
+            );
+        }
+    }
+}
+
 /// The retired-load digest leg of the twin matrix: the invariant checker
 /// records an architectural fingerprint of every committed load, and
 /// spin replay cannot re-emit check events — which is exactly why

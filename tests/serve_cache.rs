@@ -36,6 +36,14 @@ struct TestServer {
 }
 
 fn start_server(test_name: &str, checkpoint_period: u64) -> TestServer {
+    start_bounded_server(test_name, checkpoint_period, None)
+}
+
+fn start_bounded_server(
+    test_name: &str,
+    checkpoint_period: u64,
+    cache_max_entries: Option<usize>,
+) -> TestServer {
     let scratch = std::env::temp_dir().join(format!(
         "plsim-serve-test-{}-{test_name}",
         std::process::id()
@@ -48,6 +56,8 @@ fn start_server(test_name: &str, checkpoint_period: u64) -> TestServer {
         addr: "127.0.0.1:0".to_string(),
         threads: 2,
         cache_dir: cache_dir.clone(),
+        cache_max_entries,
+        cache_max_bytes: None,
         checkpoint_period,
         port_file: Some(port_file.clone()),
     };
@@ -143,6 +153,84 @@ fn traced_jobs_are_never_cached() {
     let stats = serve::request(&server.addr, "{\"cmd\":\"stats\"}").unwrap();
     assert!(stats.contains("\"cache_entries\":0"), "{stats}");
     server.shutdown();
+}
+
+/// Satellite: a server started with a cache bound evicts the
+/// least-recently-used entry when a new result lands, reports the count
+/// in `stats`, and serves an evicted job as a cold (but byte-identical)
+/// re-run.
+#[test]
+fn bounded_server_cache_evicts_lru_and_reports_it() {
+    let server = start_bounded_server("evict", serve::DEFAULT_CHECKPOINT_PERIOD, Some(1));
+    let w = test_workload();
+    let cfg1 = test_config();
+    let mut cfg2 = test_config();
+    cfg2.seed ^= 0x5eed;
+    let line1 = serve::run_request_json(&cfg1, None, &w, None, None);
+    let line2 = serve::run_request_json(&cfg2, None, &w, None, None);
+
+    let first = serve::request(&server.addr, &line1).unwrap();
+    assert!(!serve::response_was_cached(&first), "{first}");
+    // A second distinct job pushes the one-entry cache over its bound;
+    // the first job's entry is the LRU victim.
+    let second = serve::request(&server.addr, &line2).unwrap();
+    assert!(!serve::response_was_cached(&second), "{second}");
+    let stats = serve::request(&server.addr, "{\"cmd\":\"stats\"}").unwrap();
+    assert!(stats.contains("\"cache_entries\":1"), "{stats}");
+    assert!(stats.contains("\"cache_evictions\":\"1\""), "{stats}");
+    assert_eq!(server.cache_files().len(), 1);
+
+    // The survivor still hits...
+    let survivor = serve::request(&server.addr, &line2).unwrap();
+    assert!(serve::response_was_cached(&survivor), "{survivor}");
+    // ...while the evicted job re-runs cold, byte-identical to its first
+    // run (determinism, not the cache, guarantees the bytes).
+    let again = serve::request(&server.addr, &line1).unwrap();
+    assert!(!serve::response_was_cached(&again), "{again}");
+    assert_eq!(
+        serve::extract_result(&first).unwrap(),
+        serve::extract_result(&again).unwrap()
+    );
+    let stats = serve::request(&server.addr, "{\"cmd\":\"stats\"}").unwrap();
+    assert!(stats.contains("\"cache_evictions\":\"2\""), "{stats}");
+    server.shutdown();
+}
+
+/// Satellite: `plsim submit` must exit nonzero and surface the server's
+/// error message on a job-level error — not print the raw JSON error
+/// blob on stdout with exit 0.
+#[test]
+fn submit_exits_nonzero_on_job_level_error() {
+    use std::io::{BufRead, BufReader, Write};
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let fake = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut line = String::new();
+        BufReader::new(stream.try_clone().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        assert!(line.contains("\"cmd\":\"run\""), "{line}");
+        stream
+            .write_all(b"{\"error\":\"workload `stream`: boom\",\"ok\":false}\n")
+            .unwrap();
+    });
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_plsim"))
+        .args(["submit", "--server", &addr, "--workload", "stream"])
+        .output()
+        .unwrap();
+    fake.join().unwrap();
+    assert!(
+        !out.status.success(),
+        "submit exited 0 on a job-level error"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("boom"), "stderr: {stderr}");
+    assert!(
+        out.stdout.is_empty(),
+        "error blob leaked to stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
 }
 
 /// A worker killed after two checkpoints re-enqueues the job; whichever
